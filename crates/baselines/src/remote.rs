@@ -1,0 +1,157 @@
+//! `RemoteGraph`: a latency-charging wrapper simulating the client/server
+//! deployment of the paper's evaluation (§4.2).
+//!
+//! Titan and Neo4j ran behind HTTP servers (Rexster, the Neo4j REST API);
+//! the Blueprints execution model issues one call per element per step, so
+//! traversals pay a round trip per call. This wrapper charges a fixed cost
+//! per Blueprints call and counts the calls, making the chatty-protocol
+//! effect explicit and tunable. With `latency = 0` it degenerates to call
+//! counting only.
+
+use sqlgraph_gremlin::blueprints::{Blueprints, Direction, GraphResult};
+use sqlgraph_json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A Blueprints store behind a simulated network hop.
+pub struct RemoteGraph<G> {
+    inner: G,
+    latency: Duration,
+    calls: AtomicU64,
+}
+
+impl<G> RemoteGraph<G> {
+    /// Wrap `inner`, charging `latency` per call.
+    pub fn new(inner: G, latency: Duration) -> RemoteGraph<G> {
+        RemoteGraph { inner, latency, calls: AtomicU64::new(0) }
+    }
+
+    /// Total Blueprints calls made so far.
+    pub fn call_count(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Reset the call counter.
+    pub fn reset_calls(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    fn charge(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.latency.is_zero() {
+            return;
+        }
+        if self.latency >= Duration::from_micros(100) {
+            std::thread::sleep(self.latency);
+        } else {
+            // Sleep granularity is too coarse for sub-100µs hops: spin.
+            let start = std::time::Instant::now();
+            while start.elapsed() < self.latency {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl<G: Blueprints> Blueprints for RemoteGraph<G> {
+    fn vertex_ids(&self) -> Vec<i64> {
+        self.charge();
+        self.inner.vertex_ids()
+    }
+
+    fn edge_ids(&self) -> Vec<i64> {
+        self.charge();
+        self.inner.edge_ids()
+    }
+
+    fn vertex_exists(&self, v: i64) -> bool {
+        self.charge();
+        self.inner.vertex_exists(v)
+    }
+
+    fn edge_exists(&self, e: i64) -> bool {
+        self.charge();
+        self.inner.edge_exists(e)
+    }
+
+    fn edges_of(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
+        self.charge();
+        self.inner.edges_of(v, dir, labels)
+    }
+
+    fn adjacent(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
+        self.charge();
+        self.inner.adjacent(v, dir, labels)
+    }
+
+    fn edge_label(&self, e: i64) -> Option<String> {
+        self.charge();
+        self.inner.edge_label(e)
+    }
+
+    fn edge_source(&self, e: i64) -> Option<i64> {
+        self.charge();
+        self.inner.edge_source(e)
+    }
+
+    fn edge_target(&self, e: i64) -> Option<i64> {
+        self.charge();
+        self.inner.edge_target(e)
+    }
+
+    fn vertex_property(&self, v: i64, key: &str) -> Option<Json> {
+        self.charge();
+        self.inner.vertex_property(v, key)
+    }
+
+    fn edge_property(&self, e: i64, key: &str) -> Option<Json> {
+        self.charge();
+        self.inner.edge_property(e, key)
+    }
+
+    fn vertices_by_property(&self, key: &str, value: &Json) -> Vec<i64> {
+        self.charge();
+        self.inner.vertices_by_property(key, value)
+    }
+
+    fn add_vertex(&self, props: &[(String, Json)]) -> GraphResult<i64> {
+        self.charge();
+        self.inner.add_vertex(props)
+    }
+
+    fn add_edge(
+        &self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> GraphResult<i64> {
+        self.charge();
+        self.inner.add_edge(src, dst, label, props)
+    }
+
+    fn remove_vertex(&self, v: i64) -> GraphResult<()> {
+        self.charge();
+        self.inner.remove_vertex(v)
+    }
+
+    fn remove_edge(&self, e: i64) -> GraphResult<()> {
+        self.charge();
+        self.inner.remove_edge(e)
+    }
+
+    fn set_vertex_property(&self, v: i64, key: &str, value: &Json) -> GraphResult<()> {
+        self.charge();
+        self.inner.set_vertex_property(v, key, value)
+    }
+
+    fn set_edge_property(&self, e: i64, key: &str, value: &Json) -> GraphResult<()> {
+        self.charge();
+        self.inner.set_edge_property(e, key, value)
+    }
+}

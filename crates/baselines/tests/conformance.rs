@@ -1,0 +1,201 @@
+//! Blueprints conformance: both baseline stores must agree with the
+//! MemGraph oracle on a query corpus and under randomized update sequences.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlgraph_baselines::{KvGraph, NativeGraph, RemoteGraph};
+use sqlgraph_gremlin::{interp, parse_query, Blueprints, Elem, MemGraph};
+use sqlgraph_json::Json;
+use std::time::Duration;
+
+const CORPUS: &[&str] = &[
+    "g.V.count()",
+    "g.E.count()",
+    "g.v(1).out",
+    "g.v(1).out('knows')",
+    "g.v(3).in",
+    "g.v(4).both",
+    "g.v(1).outE('knows').inV",
+    "g.e(4).bothV",
+    "g.V.has('age', T.gt, 28)",
+    "g.V.has('name', 'lop')",
+    "g.V('name','lop')",
+    "g.V.filter{it.age > 27 && it.age < 33}",
+    "g.V.out.dedup()",
+    "g.v(1).out('knows').values('name')",
+    "g.v(1).out.out.path",
+    "g.V.as('x').out('created').back('x')",
+    "g.v(1).aggregate(x).out.out.except(x)",
+    "g.V.and(_().out('knows'), _().out('created'))",
+    "g.v(1).copySplit(_().out('knows'), _().out('created')).fairMerge",
+    "g.v(1).out.loop(1){it.loops < 2}",
+    "g.E.has('weight', T.gte, 0.8)",
+];
+
+fn build_sample<G: Blueprints>(g: &G) {
+    let p = |pairs: &[(&str, Json)]| -> Vec<(String, Json)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    };
+    let v1 = g.add_vertex(&p(&[("name", "marko".into()), ("age", Json::int(29))])).unwrap();
+    let v2 = g.add_vertex(&p(&[("name", "vadas".into()), ("age", Json::int(27))])).unwrap();
+    let v3 = g.add_vertex(&p(&[("name", "lop".into()), ("lang", "java".into())])).unwrap();
+    let v4 = g.add_vertex(&p(&[("name", "josh".into()), ("age", Json::int(32))])).unwrap();
+    assert_eq!((v1, v2, v3, v4), (1, 2, 3, 4));
+    g.add_edge(v1, v2, "knows", &p(&[("weight", Json::float(0.5))])).unwrap();
+    g.add_edge(v1, v4, "knows", &p(&[("weight", Json::float(1.0))])).unwrap();
+    g.add_edge(v1, v3, "created", &p(&[("weight", Json::float(0.4))])).unwrap();
+    g.add_edge(v4, v2, "likes", &p(&[("weight", Json::float(0.2))])).unwrap();
+    g.add_edge(v4, v3, "created", &p(&[("weight", Json::float(0.8))])).unwrap();
+}
+
+fn canon(elems: Vec<Elem>) -> Vec<String> {
+    let mut out: Vec<String> = elems.iter().map(|e| format!("{:?}", e.to_json())).collect();
+    out.sort();
+    out
+}
+
+fn check_store<G: Blueprints>(store: &G, name: &str) {
+    let oracle = MemGraph::new();
+    build_sample(&oracle);
+    build_sample(store);
+    for query in CORPUS {
+        let pipeline = parse_query(query).unwrap();
+        let want = canon(interp::eval(&oracle, &pipeline).unwrap());
+        let got = canon(interp::eval(store, &pipeline).unwrap());
+        assert_eq!(got, want, "{name} diverged on {query}");
+    }
+}
+
+#[test]
+fn kvgraph_matches_oracle() {
+    check_store(&KvGraph::new(), "KvGraph");
+}
+
+#[test]
+fn nativegraph_matches_oracle() {
+    check_store(&NativeGraph::new(), "NativeGraph");
+}
+
+#[test]
+fn remote_wrapper_is_transparent_and_counts() {
+    let remote = RemoteGraph::new(KvGraph::new(), Duration::ZERO);
+    check_store(&remote, "RemoteGraph<KvGraph>");
+    assert!(remote.call_count() > 50, "per-step calls should accumulate");
+}
+
+fn random_updates<G: Blueprints>(store: &G, oracle: &MemGraph, seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vertices: Vec<i64> = Vec::new();
+    let mut edges: Vec<i64> = Vec::new();
+    for _ in 0..steps {
+        match rng.gen_range(0..10) {
+            0..=2 => {
+                let props = vec![
+                    ("name".to_string(), Json::str(["a", "b", "c"][rng.gen_range(0..3)])),
+                    ("age".to_string(), Json::int(rng.gen_range(1..90))),
+                ];
+                let a = store.add_vertex(&props).unwrap();
+                let b = oracle.add_vertex(&props).unwrap();
+                assert_eq!(a, b, "vertex id allocation diverged");
+                vertices.push(a);
+            }
+            3..=6 => {
+                if vertices.len() < 2 {
+                    continue;
+                }
+                let src = vertices[rng.gen_range(0..vertices.len())];
+                let dst = vertices[rng.gen_range(0..vertices.len())];
+                let label = ["knows", "likes"][rng.gen_range(0..2)];
+                let a = store.add_edge(src, dst, label, &[]).unwrap();
+                let b = oracle.add_edge(src, dst, label, &[]).unwrap();
+                assert_eq!(a, b, "edge id allocation diverged");
+                edges.push(a);
+            }
+            7 => {
+                if let Some(pos) = (!edges.is_empty()).then(|| rng.gen_range(0..edges.len())) {
+                    let e = edges.swap_remove(pos);
+                    store.remove_edge(e).unwrap();
+                    oracle.remove_edge(e).unwrap();
+                }
+            }
+            8 => {
+                if let Some(pos) = (!vertices.is_empty()).then(|| rng.gen_range(0..vertices.len())) {
+                    let v = vertices.swap_remove(pos);
+                    store.remove_vertex(v).unwrap();
+                    oracle.remove_vertex(v).unwrap();
+                    edges.retain(|&e| oracle.edge_exists(e));
+                }
+            }
+            _ => {
+                if let Some(&v) = vertices.first() {
+                    let val = Json::int(rng.gen_range(1..90));
+                    store.set_vertex_property(v, "age", &val).unwrap();
+                    oracle.set_vertex_property(v, "age", &val).unwrap();
+                }
+            }
+        }
+    }
+    // Full-state comparison.
+    let mut want_v = oracle.vertex_ids();
+    let mut got_v = store.vertex_ids();
+    want_v.sort_unstable();
+    got_v.sort_unstable();
+    assert_eq!(got_v, want_v);
+    let mut want_e = oracle.edge_ids();
+    let mut got_e = store.edge_ids();
+    want_e.sort_unstable();
+    got_e.sort_unstable();
+    assert_eq!(got_e, want_e);
+    for &v in &want_v {
+        for dir in [
+            sqlgraph_gremlin::Direction::Out,
+            sqlgraph_gremlin::Direction::In,
+        ] {
+            let mut a = store.edges_of(v, dir, &[]);
+            let mut b = oracle.edges_of(v, dir, &[]);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "adjacency diverged at vertex {v}");
+        }
+        assert_eq!(
+            store.vertex_property(v, "age"),
+            oracle.vertex_property(v, "age"),
+            "property diverged at vertex {v}"
+        );
+    }
+}
+
+#[test]
+fn kvgraph_random_updates_match() {
+    for seed in 0..3 {
+        random_updates(&KvGraph::new(), &MemGraph::new(), seed, 150);
+    }
+}
+
+#[test]
+fn nativegraph_random_updates_match() {
+    for seed in 0..3 {
+        random_updates(&NativeGraph::new(), &MemGraph::new(), seed, 150);
+    }
+}
+
+#[test]
+fn property_index_stays_consistent() {
+    let g = NativeGraph::new();
+    let v = g.add_vertex(&[("name".into(), Json::str("x"))]).unwrap();
+    assert_eq!(g.vertices_by_property("name", &Json::str("x")), [v]);
+    g.set_vertex_property(v, "name", &Json::str("y")).unwrap();
+    assert!(g.vertices_by_property("name", &Json::str("x")).is_empty());
+    assert_eq!(g.vertices_by_property("name", &Json::str("y")), [v]);
+    g.remove_vertex(v).unwrap();
+    assert!(g.vertices_by_property("name", &Json::str("y")).is_empty());
+
+    let g = KvGraph::new();
+    let v = g.add_vertex(&[("name".into(), Json::str("x"))]).unwrap();
+    assert_eq!(g.vertices_by_property("name", &Json::str("x")), [v]);
+    g.set_vertex_property(v, "name", &Json::str("y")).unwrap();
+    assert!(g.vertices_by_property("name", &Json::str("x")).is_empty());
+    assert_eq!(g.vertices_by_property("name", &Json::str("y")), [v]);
+    g.remove_vertex(v).unwrap();
+    assert!(g.vertices_by_property("name", &Json::str("y")).is_empty());
+}

@@ -1,0 +1,37 @@
+//! Criterion bench: Figure 3 — hash-shredded vs JSON-document adjacency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgraph_bench::setup::{build_sqlgraph, to_graph_data};
+use sqlgraph_core::alt::JsonAdjacency;
+use sqlgraph_core::{AdjacencyStrategy, TranslateOptions};
+use sqlgraph_datagen::dbpedia::{generate, DbpediaConfig};
+
+fn bench_adjacency(c: &mut Criterion) {
+    let g = generate(&DbpediaConfig::default().scaled(0.25));
+    let sql = build_sqlgraph(&g.data);
+    let ja = JsonAdjacency::new().unwrap();
+    ja.load(&to_graph_data(&g.data)).unwrap();
+    let force_hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let places = g.config.places;
+
+    let mut group = c.benchmark_group("fig3_adjacency");
+    group.sample_size(10);
+    for hops in [3usize, 6, 9] {
+        let mut q = String::from("g.V.interval('bucket', 0, 1000000)");
+        for _ in 0..hops {
+            q.push_str(".out('isPartOf')");
+        }
+        q.push_str(".count()");
+        group.bench_function(format!("hash_{hops}hop"), |b| {
+            b.iter(|| sql.query_with(&q, force_hash).unwrap())
+        });
+        let seed = format!("JSON_VAL(attr, 'bucket') < {places}");
+        group.bench_function(format!("json_{hops}hop"), |b| {
+            b.iter(|| ja.khop(&seed, Some("isPartOf"), hops).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjacency);
+criterion_main!(benches);

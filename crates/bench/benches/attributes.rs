@@ -1,0 +1,52 @@
+//! Criterion bench: Figure 4 — JSON vs shredded attribute lookups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgraph_bench::setup::build_sqlgraph;
+use sqlgraph_core::alt::ShreddedAttrs;
+use sqlgraph_datagen::dbpedia::{generate, DbpediaConfig};
+
+fn bench_attributes(c: &mut Criterion) {
+    let g = generate(&DbpediaConfig::default().scaled(0.25));
+    let sql = build_sqlgraph(&g.data);
+    let shredded = ShreddedAttrs::build(&g.data.vertices, 8).unwrap();
+
+    let mut group = c.benchmark_group("fig4_attributes");
+    group.sample_size(20);
+    group.bench_function("json_not_null", |b| {
+        b.iter(|| {
+            sql.database()
+                .execute("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, 'label') IS NOT NULL")
+                .unwrap()
+        })
+    });
+    let shred_nn = shredded.count_not_null_sql("label");
+    group.bench_function("shredded_not_null", |b| {
+        b.iter(|| shredded.run(&shred_nn).unwrap())
+    });
+    group.bench_function("json_like", |b| {
+        b.iter(|| {
+            sql.database()
+                .execute("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, 'label') LIKE '%@en'")
+                .unwrap()
+        })
+    });
+    let shred_like = shredded.count_like_sql("label", "%@en");
+    group.bench_function("shredded_like", |b| {
+        b.iter(|| shredded.run(&shred_like).unwrap())
+    });
+    group.bench_function("json_numeric_eq", |b| {
+        b.iter(|| {
+            sql.database()
+                .execute("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, 'longm') = 1.0")
+                .unwrap()
+        })
+    });
+    let shred_num = shredded.count_numeric_eq_sql("longm", 1.0);
+    group.bench_function("shredded_numeric_eq", |b| {
+        b.iter(|| shredded.run(&shred_num).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attributes);
+criterion_main!(benches);

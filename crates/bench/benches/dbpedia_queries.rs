@@ -1,0 +1,37 @@
+//! Criterion bench: Figure 8 — the three systems on DBpedia benchmark queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgraph_bench::setup::{build_kvgraph, build_nativegraph, build_sqlgraph};
+use sqlgraph_datagen::dbpedia::{benchmark_queries, generate, DbpediaConfig};
+use sqlgraph_gremlin::{interp, parse_query};
+
+fn bench_dbpedia(c: &mut Criterion) {
+    let g = generate(&DbpediaConfig::default().scaled(0.25));
+    let sql = build_sqlgraph(&g.data);
+    let kv = build_kvgraph(&g.data);
+    let native = build_nativegraph(&g.data);
+    let queries = benchmark_queries(&g);
+    // A representative subset: selective lookup (dq2), traversal (dq4),
+    // scan-heavy (dq15).
+    let picks = [1usize, 3, 14];
+
+    let mut group = c.benchmark_group("fig8_dbpedia");
+    group.sample_size(10);
+    for &i in &picks {
+        let q = &queries[i];
+        let pipeline = parse_query(q).unwrap();
+        group.bench_function(format!("sqlgraph_dq{}", i + 1), |b| {
+            b.iter(|| sql.query(q).unwrap())
+        });
+        group.bench_function(format!("titan_like_dq{}", i + 1), |b| {
+            b.iter(|| interp::eval(&kv, &pipeline).unwrap())
+        });
+        group.bench_function(format!("neo4j_like_dq{}", i + 1), |b| {
+            b.iter(|| interp::eval(&native, &pipeline).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbpedia);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: Tables 6/7 — per-operation LinkBench latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgraph_bench::linkops::{LinkOps, SqlLinkOps};
+use sqlgraph_bench::setup::{build_nativegraph, build_sqlgraph};
+use sqlgraph_datagen::linkbench::{generate, LinkBenchConfig, Op};
+
+fn bench_linkbench(c: &mut Criterion) {
+    let nodes = 2_000;
+    let data = generate(&LinkBenchConfig::with_nodes(nodes));
+    let sql = build_sqlgraph(&data);
+    let sql_ops = SqlLinkOps { graph: &sql, overhead: std::time::Duration::ZERO };
+    let native = build_nativegraph(&data);
+
+    let get_node = Op::GetNode { id: 5 };
+    let get_links = Op::GetLinkList { id: 3, ltype: "assoc_0" };
+    let count_links = Op::CountLink { id: 3, ltype: "assoc_0" };
+
+    let mut group = c.benchmark_group("linkbench_ops");
+    group.sample_size(30);
+    group.bench_function("sqlgraph_get_node", |b| {
+        b.iter(|| sql_ops.apply(&get_node).unwrap())
+    });
+    group.bench_function("neo4j_like_get_node", |b| {
+        b.iter(|| LinkOps::apply(&native, &get_node).unwrap())
+    });
+    group.bench_function("sqlgraph_get_link_list", |b| {
+        b.iter(|| sql_ops.apply(&get_links).unwrap())
+    });
+    group.bench_function("neo4j_like_get_link_list", |b| {
+        b.iter(|| LinkOps::apply(&native, &get_links).unwrap())
+    });
+    group.bench_function("sqlgraph_count_link", |b| {
+        b.iter(|| sql_ops.apply(&count_links).unwrap())
+    });
+    group.bench_function("neo4j_like_count_link", |b| {
+        b.iter(|| LinkOps::apply(&native, &count_links).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linkbench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: Figure 6 — OPA+OSA joins vs EA self-joins on long paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgraph_bench::setup::build_sqlgraph;
+use sqlgraph_core::{AdjacencyStrategy, TranslateOptions};
+use sqlgraph_datagen::dbpedia::{generate, DbpediaConfig};
+
+fn bench_path_strategy(c: &mut Criterion) {
+    let g = generate(&DbpediaConfig::default().scaled(0.25));
+    let sql = build_sqlgraph(&g.data);
+    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
+
+    let mut group = c.benchmark_group("fig6_path_strategy");
+    group.sample_size(10);
+    for hops in [3usize, 6] {
+        let mut q = String::from("g.V.interval('bucket', 0, 1000000)");
+        for _ in 0..hops {
+            q.push_str(".out('isPartOf')");
+        }
+        q.push_str(".count()");
+        group.bench_function(format!("opa_osa_{hops}hop"), |b| {
+            b.iter(|| sql.query_with(&q, hash).unwrap())
+        });
+        group.bench_function(format!("ea_{hops}hop"), |b| {
+            b.iter(|| sql.query_with(&q, ea).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_strategy);
+criterion_main!(benches);

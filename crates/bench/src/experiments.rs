@@ -1,0 +1,756 @@
+//! One function per paper artifact: each builds the workload, runs every
+//! system, and returns a printable report. The `repro` binary is a thin
+//! dispatcher over these.
+
+use crate::linkops::{LinkOps, SqlLinkOps};
+use crate::setup::{build_kvgraph, build_nativegraph, build_sqlgraph, to_graph_data};
+use crate::timing::{mean_time, ms, LatencyStats};
+use sqlgraph_core::alt::{JsonAdjacency, ShreddedAttrs};
+use sqlgraph_core::{AdjacencyStrategy, SqlGraph, TranslateOptions};
+use sqlgraph_datagen::dbpedia::{
+    adjacency_queries, attribute_queries, benchmark_queries, generate as gen_dbpedia, path_queries,
+    AttrFilter, DbpediaConfig, DbpediaGraph,
+};
+use sqlgraph_datagen::linkbench::{self, LinkBenchConfig, Workload};
+use sqlgraph_baselines::RemoteGraph;
+use sqlgraph_gremlin::{interp, parse_query};
+use sqlgraph_rel::Value;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Busy-wait for `d` (sub-100µs sleeps are too coarse for the simulated
+/// round trip).
+fn spin(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// Harness-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    /// Scale multiplier on the DBpedia-like dataset.
+    pub scale: f64,
+    /// Timed runs per query (after one discarded warm-up).
+    pub runs: usize,
+    /// LinkBench graph sizes (node counts) for the throughput sweep.
+    pub lb_nodes: Vec<usize>,
+    /// Operations per requester in the throughput runs.
+    pub lb_ops: usize,
+    /// Requester counts.
+    pub lb_requesters: Vec<usize>,
+    /// Per-call overhead (µs) charged to the Blueprints baselines, and once
+    /// per query/operation to SQLGraph — the documented stand-in for the
+    /// 2015-era disk + JVM + server cost per storage access that our
+    /// idealized in-memory baselines do not otherwise pay. Set to 0 for the
+    /// fully idealized in-memory comparison.
+    pub call_overhead_us: u64,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            scale: 1.0,
+            runs: 3,
+            lb_nodes: vec![1_000, 5_000, 20_000],
+            lb_ops: 400,
+            lb_requesters: vec![1, 10, 100],
+            call_overhead_us: 20,
+        }
+    }
+}
+
+impl ReproConfig {
+    /// A fast configuration for smoke tests.
+    pub fn quick() -> ReproConfig {
+        ReproConfig {
+            scale: 0.15,
+            runs: 1,
+            lb_nodes: vec![500],
+            lb_ops: 100,
+            lb_requesters: vec![1, 4],
+            call_overhead_us: 20,
+        }
+    }
+
+    fn dbpedia(&self) -> DbpediaGraph {
+        gen_dbpedia(&DbpediaConfig::default().scaled(self.scale))
+    }
+}
+
+fn count_of(rel: &sqlgraph_rel::Relation) -> i64 {
+    rel.scalar().and_then(Value::as_int).unwrap_or(rel.rows.len() as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 / Table 1 — adjacency micro-benchmark
+// ---------------------------------------------------------------------------
+
+/// Hash-shredded adjacency vs JSON-document adjacency on the 11 Table 1
+/// traversals.
+pub fn fig3(cfg: &ReproConfig) -> String {
+    let g = cfg.dbpedia();
+    let sql = build_sqlgraph(&g.data);
+    let ja = JsonAdjacency::new().expect("schema");
+    ja.load(&to_graph_data(&g.data)).expect("load");
+
+    let force_hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3 / Table 1 — adjacency micro-benchmark ({} vertices, {} edges)",
+        g.data.vertex_count(),
+        g.data.edge_count()
+    );
+    let _ = writeln!(
+        out,
+        "{:<4} {:>5} {:>7} {:>10} {:>12} {:>12} {:>8}",
+        "Q", "hops", "input", "result", "hash_ms", "json_ms", "ratio"
+    );
+    for q in adjacency_queries(&g) {
+        // Hash arm: the Gremlin translation over OPA/OSA.
+        let hash_result = sql.query_with(&q.gremlin, force_hash).expect("hash arm");
+        let hash_count = count_of(&hash_result);
+        let hash_t = mean_time(cfg.runs, || {
+            let _ = sql.query_with(&q.gremlin, force_hash).expect("hash arm");
+        });
+        // JSON arm: the same traversal over the adjacency documents.
+        let (seed, label, both) = json_arm_spec(&g, q.id, q.input_size);
+        let json_result = if both {
+            ja.khop_both(&seed, Some(label), q.hops).expect("json arm")
+        } else {
+            ja.khop(&seed, Some(label), q.hops).expect("json arm")
+        };
+        let json_count = count_of(&json_result);
+        assert_eq!(
+            hash_count, json_count,
+            "arms disagree on query {} ({hash_count} vs {json_count})",
+            q.id
+        );
+        let json_t = mean_time(cfg.runs, || {
+            let _ = if both {
+                ja.khop_both(&seed, Some(label), q.hops)
+            } else {
+                ja.khop(&seed, Some(label), q.hops)
+            }
+            .expect("json arm");
+        });
+        let ratio = json_t.as_secs_f64() / hash_t.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:<4} {:>5} {:>7} {:>10} {:>12} {:>12} {:>7.1}x",
+            q.id,
+            q.hops,
+            q.input_size,
+            hash_count,
+            ms(hash_t),
+            ms(json_t),
+            ratio
+        );
+    }
+    let _ = writeln!(out, "(paper: hash mean 3.2s vs JSON mean 18.0s — JSON slower throughout)");
+    out
+}
+
+/// The JSON-arm seed filter matching each Table 1 query's Gremlin start.
+fn json_arm_spec(g: &DbpediaGraph, id: usize, input: usize) -> (String, &'static str, bool) {
+    if id <= 6 {
+        (
+            format!("JSON_VAL(attr, 'bucket') >= 0 AND JSON_VAL(attr, 'bucket') < {input}"),
+            "isPartOf",
+            false,
+        )
+    } else if input == 1 {
+        (format!("vid = {}", g.ids.players.0), "team", true)
+    } else {
+        (
+            format!("JSON_VAL(attr, 'wikiPageID') < {}", 20_000_000 + input as i64),
+            "team",
+            true,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 / Table 2 — attribute lookup micro-benchmark
+// ---------------------------------------------------------------------------
+
+/// JSON attribute table vs shredded relational attribute table on the 16
+/// Table 2 lookups.
+pub fn fig4(cfg: &ReproConfig) -> String {
+    let g = cfg.dbpedia();
+    let sql = build_sqlgraph(&g.data);
+    let shredded = ShreddedAttrs::build(&g.data.vertices, 6).expect("shred");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4 / Table 2 — vertex attribute lookups");
+    let _ = writeln!(
+        out,
+        "{:<4} {:<22} {:<12} {:>8} {:>12} {:>12}",
+        "Q", "attribute", "filter", "result", "json_ms", "hash_ms"
+    );
+    for q in attribute_queries() {
+        let (json_sql, shred_sql, filter_name) = match &q.filter {
+            AttrFilter::NotNull => (
+                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') IS NOT NULL", q.key),
+                shredded.count_not_null_sql(q.key),
+                "not null".to_string(),
+            ),
+            AttrFilter::Like(p) => (
+                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') LIKE '{p}'", q.key),
+                shredded.count_like_sql(q.key, p),
+                format!("like {p}"),
+            ),
+            AttrFilter::NumericEq(v) => (
+                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = {v}", q.key),
+                shredded.count_numeric_eq_sql(q.key, *v),
+                format!("= {v}"),
+            ),
+            AttrFilter::IntEq(v) => (
+                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = {v}", q.key),
+                shredded.count_numeric_eq_sql(q.key, *v as f64),
+                format!("= {v}"),
+            ),
+            AttrFilter::StrEq(v) => (
+                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = '{v}'", q.key),
+                shredded.count_string_eq_sql(q.key, v),
+                format!("= {v}"),
+            ),
+        };
+        let json_count = count_of(&sql.database().execute(&json_sql).expect("json arm"));
+        let shred_count = count_of(&shredded.run(&shred_sql).expect("shred arm"));
+        assert_eq!(json_count, shred_count, "arms disagree on attribute query {}", q.id);
+        let json_t = mean_time(cfg.runs, || {
+            let _ = sql.database().execute(&json_sql).expect("json arm");
+        });
+        let shred_t = mean_time(cfg.runs, || {
+            let _ = shredded.run(&shred_sql).expect("shred arm");
+        });
+        let _ = writeln!(
+            out,
+            "{:<4} {:<22} {:<12} {:>8} {:>12} {:>12}",
+            q.id,
+            q.key,
+            filter_name,
+            json_count,
+            ms(json_t),
+            ms(shred_t)
+        );
+    }
+    let _ = writeln!(out, "(paper: JSON mean 92ms vs shredded 265ms; ties on not-null)");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — hash table characteristics
+// ---------------------------------------------------------------------------
+
+/// The layout statistics table.
+pub fn table3(cfg: &ReproConfig) -> String {
+    let g = cfg.dbpedia();
+    let sql = build_sqlgraph(&g.data);
+    let (out_stats, in_stats) = sql.load_stats().expect("bulk load records stats");
+    let attr_stats = ShreddedAttrs::build(&g.data.vertices, 6).expect("shred").stats().clone();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 — hash table characteristics");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>16} {:>16}",
+        "", "VertexAttr", "OutAdjacency", "InAdjacency"
+    );
+    let rows: [(&str, String, String, String); 5] = [
+        (
+            "No. of Hashed Labels",
+            attr_stats.hashed_labels.to_string(),
+            out_stats.hashed_labels.to_string(),
+            in_stats.hashed_labels.to_string(),
+        ),
+        (
+            "Hashed Bucket Size",
+            attr_stats.max_bucket_size.to_string(),
+            out_stats.max_bucket_size.to_string(),
+            in_stats.max_bucket_size.to_string(),
+        ),
+        (
+            "Spill Rows Percentage",
+            format!("{:.1}%", attr_stats.spill_percent()),
+            format!("{:.1}%", out_stats.spill_percent()),
+            format!("{:.1}%", in_stats.spill_percent()),
+        ),
+        (
+            "Long String Table Rows",
+            attr_stats.long_string_rows.to_string(),
+            "0".into(),
+            "0".into(),
+        ),
+        (
+            "Multi-Value Table Rows",
+            attr_stats.multi_value_rows.to_string(),
+            out_stats.multi_value_rows.to_string(),
+            in_stats.multi_value_rows.to_string(),
+        ),
+    ];
+    for (name, a, b, c) in rows {
+        let _ = writeln!(out, "{name:<28} {a:>14} {b:>16} {c:>16}");
+    }
+    let _ = writeln!(
+        out,
+        "(paper shape: attr table has spills/long strings/multi-values; adjacency mostly clean)"
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — neighbors lookup: EA vs IPA+ISA by selectivity
+// ---------------------------------------------------------------------------
+
+/// Vertex-neighbor queries at increasing fan-in.
+pub fn table4(cfg: &ReproConfig) -> String {
+    let g = cfg.dbpedia();
+    let sql = build_sqlgraph(&g.data);
+    // Candidate start vertices with escalating in-degree: an entity, a mid
+    // place, a team, ..., and the class vertices (type hubs).
+    let candidates = [
+        g.ids.entities.0,
+        g.ids.places.0 + 1,
+        g.ids.teams.0,
+        g.ids.teams.0 + 1,
+        g.ids.classes.2,
+        g.ids.classes.1,
+        g.ids.classes.0,
+    ];
+    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
+    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4 — neighbors of a vertex: EA vs IPA+ISA");
+    let _ = writeln!(
+        out,
+        "{:<4} {:>10} {:>12} {:>12}",
+        "Q", "result", "EA_ms", "IPA+ISA_ms"
+    );
+    for (i, &v) in candidates.iter().enumerate() {
+        let q = format!("g.v({v}).in.count()");
+        let n = count_of(&sql.query_with(&q, ea).expect("EA arm"));
+        let n2 = count_of(&sql.query_with(&q, hash).expect("hash arm"));
+        assert_eq!(n, n2, "strategy arms disagree at vertex {v}");
+        let t_ea = mean_time(cfg.runs, || {
+            let _ = sql.query_with(&q, ea).expect("EA arm");
+        });
+        let t_hash = mean_time(cfg.runs, || {
+            let _ = sql.query_with(&q, hash).expect("hash arm");
+        });
+        let _ = writeln!(out, "{:<4} {:>10} {:>12} {:>12}", i + 1, n, ms(t_ea), ms(t_hash));
+    }
+    let _ = writeln!(
+        out,
+        "(paper shape: comparable at low fan-in; IPA+ISA degrades at very high fan-in)"
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — path computation: OPA+OSA vs EA self-joins
+// ---------------------------------------------------------------------------
+
+/// The 11 long-path queries under both physical strategies.
+pub fn fig6(cfg: &ReproConfig) -> String {
+    let g = cfg.dbpedia();
+    let sql = build_sqlgraph(&g.data);
+    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
+    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 6 — long paths: OPA+OSA joins vs EA self-joins");
+    let _ = writeln!(out, "{:<5} {:>12} {:>12} {:>8}", "lq", "OPA+OSA_ms", "EA_ms", "ratio");
+    let mut hash_total = 0.0;
+    let mut ea_total = 0.0;
+    for (i, q) in path_queries(&g).iter().enumerate() {
+        let a = count_of(&sql.query_with(q, hash).expect("hash"));
+        let b = count_of(&sql.query_with(q, ea).expect("ea"));
+        assert_eq!(a, b, "strategies disagree on lq{}", i + 1);
+        let t_hash = mean_time(cfg.runs, || {
+            let _ = sql.query_with(q, hash).expect("hash");
+        });
+        let t_ea = mean_time(cfg.runs, || {
+            let _ = sql.query_with(q, ea).expect("ea");
+        });
+        hash_total += t_hash.as_secs_f64();
+        ea_total += t_ea.as_secs_f64();
+        let _ = writeln!(
+            out,
+            "lq{:<3} {:>12} {:>12} {:>7.1}x",
+            i + 1,
+            ms(t_hash),
+            ms(t_ea),
+            t_ea.as_secs_f64() / t_hash.as_secs_f64().max(1e-9)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean: OPA+OSA {:.1} ms vs EA {:.1} ms (paper: 8.8s vs 17.8s — shredding wins long paths)",
+        1e3 * hash_total / 11.0,
+        1e3 * ea_total / 11.0
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — DBpedia benchmark across the three systems
+// ---------------------------------------------------------------------------
+
+struct SystemTimes {
+    name: &'static str,
+    times_ms: Vec<f64>,
+}
+
+fn run_query_set(
+    cfg: &ReproConfig,
+    sql: &SqlGraph,
+    kv: &sqlgraph_baselines::KvGraph,
+    native: &sqlgraph_baselines::NativeGraph,
+    queries: &[String],
+    check_agreement: bool,
+) -> Vec<SystemTimes> {
+    // Server-mode cost model (§5): every Blueprints call on the baselines
+    // pays the per-access overhead; SQLGraph pays it once per query (its
+    // whole traversal is one statement).
+    let overhead = Duration::from_micros(cfg.call_overhead_us);
+    let kv = RemoteGraph::new(kv, overhead);
+    let native = RemoteGraph::new(native, overhead);
+    let mut sql_times = Vec::new();
+    let mut kv_times = Vec::new();
+    let mut native_times = Vec::new();
+    for q in queries {
+        let pipeline = parse_query(q).expect("query parses");
+        // Cross-system agreement (counts only, when the query is a count).
+        if check_agreement {
+            let a = count_of(&sql.query(q).expect("sqlgraph"));
+            let b = interp::eval(*kv.inner(), &pipeline).expect("kv").len() as i64;
+            let c = interp::eval(*native.inner(), &pipeline).expect("native").len() as i64;
+            // For count() queries the interpreter returns one element whose
+            // value is the count; compare against SQLGraph's scalar.
+            if q.ends_with("count()") {
+                let bv = interp::eval(*kv.inner(), &pipeline).expect("kv")[0]
+                    .to_json()
+                    .as_i64()
+                    .unwrap_or(-1);
+                let cv = interp::eval(*native.inner(), &pipeline).expect("native")[0]
+                    .to_json()
+                    .as_i64()
+                    .unwrap_or(-1);
+                assert_eq!(a, bv, "kv disagrees on {q}");
+                assert_eq!(a, cv, "native disagrees on {q}");
+            } else {
+                let rows = sql.query(q).expect("sqlgraph").rows.len() as i64;
+                assert_eq!(rows, b, "kv disagrees on {q}");
+                assert_eq!(rows, c, "native disagrees on {q}");
+            }
+        }
+        let t = mean_time(cfg.runs, || {
+            spin(overhead); // one round trip
+            let _ = sql.query(q).expect("sqlgraph");
+        });
+        sql_times.push(t.as_secs_f64() * 1e3);
+        let t = mean_time(cfg.runs, || {
+            let _ = interp::eval(&kv, &pipeline).expect("kv");
+        });
+        kv_times.push(t.as_secs_f64() * 1e3);
+        let t = mean_time(cfg.runs, || {
+            let _ = interp::eval(&native, &pipeline).expect("native");
+        });
+        native_times.push(t.as_secs_f64() * 1e3);
+    }
+    vec![
+        SystemTimes { name: "SQLGraph", times_ms: sql_times },
+        SystemTimes { name: "Titan-like(KV)", times_ms: kv_times },
+        SystemTimes { name: "Neo4j-like", times_ms: native_times },
+    ]
+}
+
+/// Figures 8a, 8b, 8d: benchmark queries, path queries, and the summary.
+pub fn fig8(cfg: &ReproConfig) -> String {
+    let g = cfg.dbpedia();
+    let sql = build_sqlgraph(&g.data);
+    let kv = build_kvgraph(&g.data);
+    let native = build_nativegraph(&g.data);
+
+    let bench = benchmark_queries(&g);
+    let paths = path_queries(&g);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 8a — DBpedia benchmark queries ({} vertices, {} edges)",
+        g.data.vertex_count(),
+        g.data.edge_count()
+    );
+    let bench_times = run_query_set(cfg, &sql, &kv, &native, &bench, true);
+    let _ = writeln!(out, "{:<5} {:>14} {:>16} {:>14}", "dq", "SQLGraph_ms", "Titan-like_ms", "Neo4j-like_ms");
+    for i in 0..bench.len() {
+        let _ = writeln!(
+            out,
+            "dq{:<3} {:>14.3} {:>16.3} {:>14.3}",
+            i + 1,
+            bench_times[0].times_ms[i],
+            bench_times[1].times_ms[i],
+            bench_times[2].times_ms[i]
+        );
+    }
+    let _ = writeln!(out, "\nFigure 8b — path queries");
+    let path_times = run_query_set(cfg, &sql, &kv, &native, &paths, true);
+    let _ = writeln!(out, "{:<5} {:>14} {:>16} {:>14}", "lq", "SQLGraph_ms", "Titan-like_ms", "Neo4j-like_ms");
+    for i in 0..paths.len() {
+        let _ = writeln!(
+            out,
+            "lq{:<3} {:>14.3} {:>16.3} {:>14.3}",
+            i + 1,
+            path_times[0].times_ms[i],
+            path_times[1].times_ms[i],
+            path_times[2].times_ms[i]
+        );
+    }
+
+    // Figure 8d: summary means. "Adjusted" excludes query 15 (index 14).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mean_excl = |v: &[f64], skip: usize| {
+        let total: f64 = v.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, x)| x).sum();
+        total / (v.len() - 1) as f64
+    };
+    let _ = writeln!(out, "\nFigure 8d — summary (mean ms)");
+    let _ = writeln!(out, "{:<16} {:>12} {:>12} {:>12}", "system", "benchmark", "adjusted", "path");
+    for i in 0..3 {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12.3} {:>12.3} {:>12.3}",
+            bench_times[i].name,
+            mean(&bench_times[i].times_ms),
+            mean_excl(&bench_times[i].times_ms, 14),
+            mean(&path_times[i].times_ms)
+        );
+    }
+    let _ = writeln!(out, "(paper: SQLGraph ~2x faster than Titan, ~8x faster than Neo4j)");
+    out
+}
+
+/// Figure 8c substitute: all stores here are in-memory, so the paper's
+/// RAM-budget sweep becomes a dataset-scale sweep (documented in
+/// EXPERIMENTS.md). The shape to hold: SQLGraph stays fastest at every
+/// point.
+pub fn fig8c(cfg: &ReproConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 8c (substituted) — mean query time vs dataset scale");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>14} {:>16} {:>14}",
+        "scale", "edges", "SQLGraph_ms", "Titan-like_ms", "Neo4j-like_ms"
+    );
+    for factor in [0.25, 0.5, 1.0] {
+        let scale = cfg.scale * factor;
+        let g = gen_dbpedia(&DbpediaConfig::default().scaled(scale));
+        let sql = build_sqlgraph(&g.data);
+        let kv = build_kvgraph(&g.data);
+        let native = build_nativegraph(&g.data);
+        let queries: Vec<String> = benchmark_queries(&g)
+            .into_iter()
+            .chain(path_queries(&g))
+            .collect();
+        let times = run_query_set(cfg, &sql, &kv, &native, &queries, false);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let _ = writeln!(
+            out,
+            "{:<8.2} {:>10} {:>14.3} {:>16.3} {:>14.3}",
+            factor,
+            g.data.edge_count(),
+            mean(&times[0].times_ms),
+            mean(&times[1].times_ms),
+            mean(&times[2].times_ms)
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 / Tables 6-7 — LinkBench
+// ---------------------------------------------------------------------------
+
+/// Throughput + per-op latency of one store under `requesters` threads.
+fn run_linkbench<S: LinkOps>(
+    store: &S,
+    nodes: usize,
+    requesters: usize,
+    ops_per_requester: usize,
+    seed: u64,
+) -> (f64, Vec<(&'static str, LatencyStats)>) {
+    use std::sync::Mutex;
+    let collected: Mutex<Vec<(&'static str, LatencyStats)>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for r in 0..requesters {
+            let collected = &collected;
+            scope.spawn(move |_| {
+                let mut wl = Workload::new(seed, r as u64, nodes, 32);
+                let mut local: std::collections::HashMap<&'static str, LatencyStats> =
+                    std::collections::HashMap::new();
+                for _ in 0..ops_per_requester {
+                    let op = wl.next_op();
+                    let t0 = Instant::now();
+                    let _ = store.apply(&op);
+                    local.entry(op.name()).or_default().record(t0.elapsed());
+                }
+                let mut guard = collected.lock().expect("no poisoning");
+                for (name, stats) in local {
+                    guard.push((name, stats));
+                }
+            });
+        }
+    })
+    .expect("threads join");
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_ops = requesters * ops_per_requester;
+    let mut merged: std::collections::HashMap<&'static str, LatencyStats> =
+        std::collections::HashMap::new();
+    for (name, stats) in collected.into_inner().expect("no poisoning") {
+        merged.entry(name).or_default().merge(&stats);
+    }
+    let mut per_op: Vec<(&'static str, LatencyStats)> = merged.into_iter().collect();
+    per_op.sort_by_key(|(name, _)| *name);
+    (total_ops as f64 / elapsed, per_op)
+}
+
+/// Figure 9: LinkBench throughput across scales and requester counts.
+pub fn fig9(cfg: &ReproConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 — LinkBench throughput (op/sec)");
+    for &nodes in &cfg.lb_nodes {
+        let data = linkbench::generate(&LinkBenchConfig::with_nodes(nodes));
+        let _ = writeln!(
+            out,
+            "\nscale: {} nodes, {} edges",
+            data.vertex_count(),
+            data.edge_count()
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>16} {:>14}",
+            "requesters", "SQLGraph", "Titan-like(KV)", "Neo4j-like"
+        );
+        for &req in &cfg.lb_requesters {
+            let ops = cfg.lb_ops;
+            let overhead = Duration::from_micros(cfg.call_overhead_us);
+            let sql = build_sqlgraph(&data);
+            let sql_ops = SqlLinkOps { graph: &sql, overhead };
+            let (sql_tput, _) = run_linkbench(&sql_ops, nodes, req, ops, 5);
+            let kv = RemoteGraph::new(build_kvgraph(&data), overhead);
+            let (kv_tput, _) = run_linkbench(&kv, nodes, req, ops, 5);
+            let native = RemoteGraph::new(build_nativegraph(&data), overhead);
+            let (native_tput, _) = run_linkbench(&native, nodes, req, ops, 5);
+            let _ = writeln!(
+                out,
+                "{:<12} {:>12.0} {:>16.0} {:>14.0}",
+                req, sql_tput, kv_tput, native_tput
+            );
+        }
+    }
+    let _ = writeln!(out, "(paper shape: SQLGraph throughput scales with requesters; others flatten)");
+    out
+}
+
+/// Tables 6/7: per-operation latency mean(max). `large` selects the last
+/// (largest) configured scale and the highest requester count.
+pub fn table67(cfg: &ReproConfig, large: bool) -> String {
+    let nodes = if large {
+        *cfg.lb_nodes.last().expect("non-empty")
+    } else {
+        cfg.lb_nodes[cfg.lb_nodes.len() / 2]
+    };
+    let requesters = if large {
+        *cfg.lb_requesters.last().expect("non-empty")
+    } else {
+        cfg.lb_requesters[cfg.lb_requesters.len() / 2]
+    };
+    let data = linkbench::generate(&LinkBenchConfig::with_nodes(nodes));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table {} — per-operation latency in ms, mean(max): {} nodes, {} requesters",
+        if large { 7 } else { 6 },
+        nodes,
+        requesters
+    );
+
+    let overhead = Duration::from_micros(cfg.call_overhead_us);
+    let sql = build_sqlgraph(&data);
+    let sql_ops = SqlLinkOps { graph: &sql, overhead };
+    let (_, sql_lat) = run_linkbench(&sql_ops, nodes, requesters, cfg.lb_ops, 6);
+    let native = RemoteGraph::new(build_nativegraph(&data), overhead);
+    let (_, native_lat) = run_linkbench(&native, nodes, requesters, cfg.lb_ops, 6);
+    let kv = RemoteGraph::new(build_kvgraph(&data), overhead);
+    let (_, kv_lat) = run_linkbench(&kv, nodes, requesters, cfg.lb_ops, 6);
+
+    let find = |set: &[(&'static str, LatencyStats)], name: &str| -> String {
+        set.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| format!("{}({})", ms(s.mean()), ms(s.max())))
+            .unwrap_or_else(|| "-".into())
+    };
+    let _ = writeln!(
+        out,
+        "{:<16} {:>20} {:>20} {:>20}",
+        "operation", "SQLGraph", "Titan-like(KV)", "Neo4j-like"
+    );
+    for op in [
+        "add node",
+        "update node",
+        "delete node",
+        "get node",
+        "add link",
+        "delete link",
+        "update link",
+        "count link",
+        "multiget link",
+        "get link list",
+    ] {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>20} {:>20} {:>20}",
+            op,
+            find(&sql_lat, op),
+            find(&kv_lat, op),
+            find(&native_lat, op)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(paper shape: SQLGraph slower on delete node/add link/update link at mid scale, \
+         fastest reads; wins everything at the largest scale)"
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// §5.1 — storage footprint comparison
+// ---------------------------------------------------------------------------
+
+/// Approximate storage footprints for the DBpedia-like graph.
+pub fn sizes(cfg: &ReproConfig) -> String {
+    let g = cfg.dbpedia();
+    let sql = build_sqlgraph(&g.data);
+    let kv = build_kvgraph(&g.data);
+    let native = build_nativegraph(&g.data);
+    let mut out = String::new();
+    let _ = writeln!(out, "§5.1 — storage footprint (approximate bytes)");
+    let _ = writeln!(out, "{:<16} {:>14}", "system", "bytes");
+    let _ = writeln!(out, "{:<16} {:>14}", "SQLGraph", sql.database().estimated_bytes());
+    let _ = writeln!(out, "{:<16} {:>14}", "Titan-like(KV)", kv.approx_bytes());
+    let _ = writeln!(out, "{:<16} {:>14}", "Neo4j-like", native.approx_bytes());
+    let _ = writeln!(
+        out,
+        "(paper: SQLGraph 66GB < Neo4j 98GB < Titan 301GB on DBpedia — redundancy \
+         is cheaper than KV blow-up)"
+    );
+    out
+}

@@ -1,0 +1,23 @@
+//! # sqlgraph-bench — the reproduction harness
+//!
+//! Regenerates every table and figure of the SQLGraph paper's evaluation:
+//!
+//! | artifact | function |
+//! |---|---|
+//! | Table 1 / Figure 3 | [`experiments::fig3`] |
+//! | Table 2 / Figure 4 | [`experiments::fig4`] |
+//! | Table 3 | [`experiments::table3`] |
+//! | Table 4 | [`experiments::table4`] |
+//! | Figure 6 | [`experiments::fig6`] |
+//! | Figures 8a/8b/8d | [`experiments::fig8`] |
+//! | Figure 8c (substituted) | [`experiments::fig8c`] |
+//! | Figure 9 | [`experiments::fig9`] |
+//! | Tables 6/7 | [`experiments::table67`] |
+//! | §5.1 sizes | [`experiments::sizes`] |
+//!
+//! Run them all with `cargo run --release -p sqlgraph-bench --bin repro -- all`.
+
+pub mod experiments;
+pub mod linkops;
+pub mod setup;
+pub mod timing;

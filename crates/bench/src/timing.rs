@@ -1,0 +1,104 @@
+//! Timing helpers for the reproduction harness.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` `runs + 1` times, discard the first (cold) run — the paper's
+/// warm-cache methodology (§3.2) — and return the mean of the rest.
+pub fn mean_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs >= 1);
+    f(); // cold run, discarded
+    let mut total = Duration::ZERO;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        total += start.elapsed();
+    }
+    total / runs as u32
+}
+
+/// Time a single invocation.
+pub fn once(mut f: impl FnMut()) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Simple latency accumulator: mean and max per key.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples: Vec<Duration>,
+}
+
+impl LatencyStats {
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+
+    /// Maximum latency.
+    pub fn max(&self) -> Duration {
+        self.samples.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// p-th percentile (0-100).
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+/// Millisecond rendering with 3 significant decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_time_discards_first_run() {
+        let mut calls = 0;
+        let d = mean_time(3, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 4);
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut s = LatencyStats::default();
+        for msec in [1u64, 2, 3, 10] {
+            s.record(Duration::from_millis(msec));
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), Duration::from_millis(4));
+        assert_eq!(s.max(), Duration::from_millis(10));
+        assert_eq!(s.percentile(0.0), Duration::from_millis(1));
+        assert_eq!(s.percentile(100.0), Duration::from_millis(10));
+    }
+}

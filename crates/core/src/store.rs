@@ -1,0 +1,1010 @@
+//! `SqlGraph`: the property graph store.
+//!
+//! Holds the six-table hybrid schema inside an embedded relational
+//! database. Reads go through the Gremlin→SQL translator (one statement per
+//! traversal); the paper's graph update operations run as transactions
+//! spanning the adjacency, attribute, and edge tables — the stored
+//! procedures of §4.5.2, including the negative-ID vertex deletion
+//! optimization and its offline [`SqlGraph::vacuum`] counterpart.
+
+use crate::layout::{color_labels, GraphLayout, LayoutStats};
+use crate::schema::{create_tables, deleted_id, SchemaConfig, MV_BASE};
+use crate::translate::{translate, translate_with, TranslateOptions};
+use crate::CoreError;
+use parking_lot::RwLock;
+use sqlgraph_gremlin::ast::GremlinStatement;
+use sqlgraph_gremlin::blueprints::{Blueprints, Direction, GraphError, GraphResult};
+use sqlgraph_gremlin::{interp, parse};
+use sqlgraph_json::{Json, JsonObject};
+use sqlgraph_rel::{Database, Relation, Txn, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Per-vertex adjacency grouped by label: vid → label → [(eid, other)].
+type AdjacencyMap<'a> = BTreeMap<i64, BTreeMap<&'a str, Vec<(i64, i64)>>>;
+
+/// One vertex for bulk loading: `(vertex id, properties)`.
+pub type VertexSpec = (i64, Vec<(String, Json)>);
+/// One edge for bulk loading: `(edge id, source, target, label, properties)`.
+pub type EdgeSpec = (i64, i64, i64, String, Vec<(String, Json)>);
+
+/// Bulk-load input: a complete property graph.
+#[derive(Debug, Clone, Default)]
+pub struct GraphData {
+    /// Vertices — ids must be unique and non-negative.
+    pub vertices: Vec<VertexSpec>,
+    /// Edges.
+    pub edges: Vec<EdgeSpec>,
+}
+
+/// The SQLGraph property graph store.
+pub struct SqlGraph {
+    db: Database,
+    config: SchemaConfig,
+    layout: RwLock<GraphLayout>,
+    /// Vertex deletion must not interleave with other mutations: a
+    /// concurrent `add_edge` could slip an edge past the incident-edge
+    /// collection and leave a dangling reference. Deletion takes this lock
+    /// exclusively; every other mutation takes it shared.
+    mutation_lock: RwLock<()>,
+    next_vid: AtomicI64,
+    next_eid: AtomicI64,
+    next_valid: AtomicI64,
+    next_rowno: AtomicI64,
+    /// Queries that fell back to the interpreter (the stored-procedure
+    /// fallback path of §4.4).
+    fallbacks: AtomicU64,
+    /// Stats captured at bulk-load time (Table 3).
+    load_stats: RwLock<Option<(LayoutStats, LayoutStats)>>,
+}
+
+impl std::fmt::Debug for SqlGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SqlGraph")
+            .field("config", &self.config)
+            .field("vertices", &self.db.table_len("va").unwrap_or(0))
+            .field("edges", &self.db.table_len("ea").unwrap_or(0))
+            .finish()
+    }
+}
+
+impl SqlGraph {
+    /// A fresh in-memory store with the default layout.
+    pub fn new_in_memory() -> SqlGraph {
+        SqlGraph::with_config(SchemaConfig::default()).expect("default schema is valid")
+    }
+
+    /// A fresh in-memory store with explicit bucket counts.
+    pub fn with_config(config: SchemaConfig) -> Result<SqlGraph, CoreError> {
+        let db = Database::new();
+        create_tables(&db, &config)?;
+        Ok(SqlGraph::from_db(db, config))
+    }
+
+    /// Open (or create) a WAL-backed store at `wal_path`. Existing data is
+    /// recovered by replay; id counters resume past the recovered maxima.
+    pub fn open(wal_path: impl AsRef<Path>, config: SchemaConfig) -> Result<SqlGraph, CoreError> {
+        let db = Database::open(wal_path)?;
+        if !db.table_names().contains(&"va".to_string()) {
+            create_tables(&db, &config)?;
+        }
+        let store = SqlGraph::from_db(db, config);
+        store.resync_counters()?;
+        Ok(store)
+    }
+
+    fn from_db(db: Database, config: SchemaConfig) -> SqlGraph {
+        SqlGraph {
+            db,
+            config,
+            layout: RwLock::new(GraphLayout::trivial(config.out_buckets, config.in_buckets)),
+            mutation_lock: RwLock::new(()),
+            next_vid: AtomicI64::new(1),
+            next_eid: AtomicI64::new(1),
+            next_valid: AtomicI64::new(1),
+            next_rowno: AtomicI64::new(1),
+            fallbacks: AtomicU64::new(0),
+            load_stats: RwLock::new(None),
+        }
+    }
+
+    fn resync_counters(&self) -> Result<(), CoreError> {
+        let max_of = |sql: &str| -> Result<i64, CoreError> {
+            Ok(self
+                .db
+                .execute(sql)?
+                .scalar()
+                .and_then(Value::as_int)
+                .unwrap_or(0))
+        };
+        // ABS folds the negative deleted markers back into the live range.
+        let max_live = max_of("SELECT MAX(vid) FROM va")?;
+        let max_deleted = max_of("SELECT MAX(ABS(vid + 1)) FROM va WHERE vid < 0")?;
+        self.next_vid.store(max_live.max(max_deleted) + 1, Ordering::SeqCst);
+        self.next_eid
+            .store(max_of("SELECT MAX(eid) FROM ea")? + 1, Ordering::SeqCst);
+        let max_valid = max_of("SELECT MAX(valid) FROM osa")?
+            .max(max_of("SELECT MAX(valid) FROM isa")?);
+        self.next_valid
+            .store((max_valid - MV_BASE).max(0) + 1, Ordering::SeqCst);
+        let max_rowno = max_of("SELECT MAX(rowno) FROM opa")?
+            .max(max_of("SELECT MAX(rowno) FROM ipa")?);
+        self.next_rowno.store(max_rowno + 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// The underlying relational database (inspection, ad-hoc SQL).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The current physical layout.
+    pub fn layout(&self) -> GraphLayout {
+        self.layout.read().clone()
+    }
+
+    /// Number of queries that used the interpreter fallback.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Layout statistics from the last bulk load (out, in) — Table 3.
+    pub fn load_stats(&self) -> Option<(LayoutStats, LayoutStats)> {
+        self.load_stats.read().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load
+    // ------------------------------------------------------------------
+
+    /// Bulk-load a complete graph: computes the coloring layout from the
+    /// data (§3.2), then writes all six tables directly.
+    ///
+    /// Bulk loading bypasses the WAL (standard bulk-import semantics); use
+    /// it on a fresh store.
+    pub fn bulk_load(&self, data: &GraphData) -> Result<(), CoreError> {
+        // 1. Per-vertex label sets for the coloring.
+        let mut out_adj: AdjacencyMap<'_> = AdjacencyMap::new();
+        let mut in_adj: AdjacencyMap<'_> = AdjacencyMap::new();
+        for (eid, src, dst, label, _) in &data.edges {
+            out_adj.entry(*src).or_default().entry(label).or_default().push((*eid, *dst));
+            in_adj.entry(*dst).or_default().entry(label).or_default().push((*eid, *src));
+        }
+        let out_lists = out_adj.values().map(|m| m.keys().copied().collect::<Vec<_>>());
+        let in_lists = in_adj.values().map(|m| m.keys().copied().collect::<Vec<_>>());
+        let layout = GraphLayout {
+            out: color_labels(out_lists, self.config.out_buckets),
+            incoming: color_labels(in_lists, self.config.in_buckets),
+            out_buckets: self.config.out_buckets,
+            in_buckets: self.config.in_buckets,
+        };
+
+        // 2. Write VA.
+        {
+            let mut va = self.db.write_table("va")?;
+            for (vid, props) in &data.vertices {
+                va.insert(vec![Value::Int(*vid), Value::json(props_to_json(props))])?;
+            }
+        }
+        // 3. Write EA.
+        {
+            let mut ea = self.db.write_table("ea")?;
+            for (eid, src, dst, label, props) in &data.edges {
+                ea.insert(vec![
+                    Value::Int(*eid),
+                    Value::Int(*src),
+                    Value::Int(*dst),
+                    Value::str(label),
+                    Value::json(props_to_json(props)),
+                ])?;
+            }
+        }
+        // 4. Shred adjacency, collecting Table 3 stats.
+        let mut stats_out = LayoutStats {
+            hashed_labels: layout.out.labels(),
+            max_bucket_size: layout.out.bucket_sizes().into_iter().max().unwrap_or(0),
+            ..LayoutStats::default()
+        };
+        let mut stats_in = LayoutStats {
+            hashed_labels: layout.incoming.labels(),
+            max_bucket_size: layout.incoming.bucket_sizes().into_iter().max().unwrap_or(0),
+            ..LayoutStats::default()
+        };
+        self.shred_direction(&layout, &out_adj, true, data.vertices.len(), &mut stats_out)?;
+        self.shred_direction(&layout, &in_adj, false, data.vertices.len(), &mut stats_in)?;
+
+        // 5. Counters and layout.
+        let max_vid = data.vertices.iter().map(|(v, _)| *v).max().unwrap_or(0);
+        let max_eid = data.edges.iter().map(|(e, ..)| *e).max().unwrap_or(0);
+        self.next_vid.fetch_max(max_vid + 1, Ordering::SeqCst);
+        self.next_eid.fetch_max(max_eid + 1, Ordering::SeqCst);
+        *self.layout.write() = layout;
+        *self.load_stats.write() = Some((stats_out, stats_in));
+        Ok(())
+    }
+
+    fn shred_direction(
+        &self,
+        layout: &GraphLayout,
+        adj: &AdjacencyMap<'_>,
+        out: bool,
+        total_vertices: usize,
+        stats: &mut LayoutStats,
+    ) -> Result<(), CoreError> {
+        let buckets = if out { self.config.out_buckets } else { self.config.in_buckets };
+        let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
+        let arity = 3 + 3 * buckets;
+        let mut pa_table = self.db.write_table(pa)?;
+        let mut sa_table = self.db.write_table(sa)?;
+        let empty_row = |rowno: i64, vid: i64, spill: bool| {
+            let mut row = vec![Value::Null; arity];
+            row[0] = Value::Int(rowno);
+            row[1] = Value::Int(vid);
+            row[2] = Value::Int(spill as i64);
+            row
+        };
+        for (&vid, labels) in adj {
+            let mut rows: Vec<Vec<Value>> =
+                vec![empty_row(self.next_rowno.fetch_add(1, Ordering::Relaxed), vid, false)];
+            for (label, entries) in labels {
+                let col = if out { layout.out_column(label) } else { layout.in_column(label) };
+                let (lbl_i, eid_i, val_i) = (3 + 3 * col, 4 + 3 * col, 5 + 3 * col);
+                // First row whose triad is free; else a new spill row.
+                let row_idx = match rows.iter().position(|r| r[lbl_i].is_null()) {
+                    Some(i) => i,
+                    None => {
+                        rows.push(empty_row(
+                            self.next_rowno.fetch_add(1, Ordering::Relaxed),
+                            vid,
+                            true,
+                        ));
+                        rows.len() - 1
+                    }
+                };
+                let row = &mut rows[row_idx];
+                row[lbl_i] = Value::str(*label);
+                if entries.len() == 1 {
+                    row[eid_i] = Value::Int(entries[0].0);
+                    row[val_i] = Value::Int(entries[0].1);
+                } else {
+                    let valid = MV_BASE + self.next_valid.fetch_add(1, Ordering::Relaxed);
+                    row[val_i] = Value::Int(valid);
+                    for (eid, other) in entries {
+                        sa_table.insert(vec![
+                            Value::Int(valid),
+                            Value::Int(*eid),
+                            Value::Int(*other),
+                        ])?;
+                        stats.multi_value_rows += 1;
+                    }
+                }
+            }
+            stats.primary_rows += 1;
+            stats.spill_rows += rows.len() - 1;
+            for row in rows {
+                pa_table.insert(row)?;
+            }
+        }
+        // Vertices with no adjacency in this direction get their primary
+        // row lazily from attach(); nothing to write for them here.
+        let _ = total_vertices;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Execute a Gremlin statement. Side-effect-free traversals compile to
+    /// a single SQL statement; non-translatable queries fall back to the
+    /// step-at-a-time interpreter; CRUD statements run as transactions.
+    pub fn query(&self, gremlin: &str) -> Result<Relation, CoreError> {
+        let stmt = parse(gremlin)?;
+        match &stmt {
+            GremlinStatement::Query(pipeline) => {
+                let layout = self.layout.read().clone();
+                match translate(pipeline, &layout) {
+                    Ok(sql) => Ok(self.db.execute(&sql)?),
+                    Err(_) => {
+                        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                        let elems = interp::eval(self, pipeline)?;
+                        Ok(elems_to_relation(elems))
+                    }
+                }
+            }
+            GremlinStatement::AddVertex { props } => {
+                let id = self.add_vertex_props(props)?;
+                Ok(Relation::new(vec!["val".into()], vec![vec![Value::Int(id)]]))
+            }
+            GremlinStatement::AddEdge { src, dst, label, props } => {
+                let id = self.add_edge_props(*src, *dst, label, props)?;
+                Ok(Relation::new(vec!["val".into()], vec![vec![Value::Int(id)]]))
+            }
+            GremlinStatement::RemoveVertex { id } => {
+                self.remove_vertex_impl(*id)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+            GremlinStatement::RemoveEdge { id } => {
+                self.remove_edge_impl(*id)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+            GremlinStatement::SetVertexProperty { id, key, value } => {
+                self.set_vertex_property_impl(*id, key, value)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+            GremlinStatement::SetEdgeProperty { id, key, value } => {
+                self.set_edge_property_impl(*id, key, value)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+        }
+    }
+
+    /// The SQL a Gremlin traversal compiles to (for inspection/tests).
+    pub fn translate_query(&self, gremlin: &str) -> Result<String, CoreError> {
+        self.translate_query_with(gremlin, TranslateOptions::default())
+    }
+
+    /// Translate with explicit physical-strategy options (Table 4 /
+    /// Figure 6 ablations).
+    pub fn translate_query_with(
+        &self,
+        gremlin: &str,
+        options: TranslateOptions,
+    ) -> Result<String, CoreError> {
+        match parse(gremlin)? {
+            GremlinStatement::Query(pipeline) => {
+                let layout = self.layout.read().clone();
+                translate_with(&pipeline, &layout, options)
+                    .map_err(|u| CoreError::Unsupported(u.reason))
+            }
+            _ => Err(CoreError::Unsupported("not a traversal query".into())),
+        }
+    }
+
+    /// Execute a traversal with explicit physical-strategy options.
+    pub fn query_with(
+        &self,
+        gremlin: &str,
+        options: TranslateOptions,
+    ) -> Result<Relation, CoreError> {
+        let sql = self.translate_query_with(gremlin, options)?;
+        Ok(self.db.execute(&sql)?)
+    }
+
+    /// Evaluate a Gremlin traversal with the step-at-a-time interpreter
+    /// over this store's Blueprints API (the chatty mode; used for
+    /// differential testing and the Blueprints-style comparison).
+    pub fn query_interpreted(&self, gremlin: &str) -> Result<Relation, CoreError> {
+        let stmt = parse(gremlin)?;
+        let elems = interp::execute(self, &stmt)?;
+        Ok(elems_to_relation(elems))
+    }
+
+    // ------------------------------------------------------------------
+    // CRUD (the paper's stored procedures)
+    // ------------------------------------------------------------------
+
+    /// Add a vertex with properties; returns its id.
+    pub fn add_vertex<'p>(
+        &self,
+        props: impl IntoIterator<Item = (&'p str, Json)>,
+    ) -> Result<i64, CoreError> {
+        let props: Vec<(String, Json)> =
+            props.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        self.add_vertex_props(&props)
+    }
+
+    fn add_vertex_props(&self, props: &[(String, Json)]) -> Result<i64, CoreError> {
+        let _shared = self.mutation_lock.read();
+        let vid = self.next_vid.fetch_add(1, Ordering::SeqCst);
+        let attr = Value::json(props_to_json(props));
+        self.db.transaction(|tx| {
+            tx.execute_with_params("INSERT INTO va VALUES (?, ?)", &[Value::Int(vid), attr.clone()])?;
+            for pa in ["opa", "ipa"] {
+                let rowno = self.next_rowno.fetch_add(1, Ordering::Relaxed);
+                tx.execute_with_params(
+                    &format!("INSERT INTO {pa} (rowno, vid, spill) VALUES (?, ?, 0)"),
+                    &[Value::Int(rowno), Value::Int(vid)],
+                )?;
+            }
+            Ok(())
+        })?;
+        Ok(vid)
+    }
+
+    /// Add an edge `src -label-> dst`; returns its id.
+    pub fn add_edge<'p>(
+        &self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: impl IntoIterator<Item = (&'p str, Json)>,
+    ) -> Result<i64, CoreError> {
+        let props: Vec<(String, Json)> =
+            props.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        self.add_edge_props(src, dst, label, &props)
+    }
+
+    fn add_edge_props(
+        &self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> Result<i64, CoreError> {
+        let _shared = self.mutation_lock.read();
+        for v in [src, dst] {
+            if !self.vertex_exists_internal(v)? {
+                return Err(CoreError::Graph(GraphError::new(format!("no vertex {v}"))));
+            }
+        }
+        let eid = self.next_eid.fetch_add(1, Ordering::SeqCst);
+        let attr = Value::json(props_to_json(props));
+        let layout = self.layout.read().clone();
+        self.db.transaction(|tx| {
+            tx.execute_with_params(
+                "INSERT INTO ea VALUES (?, ?, ?, ?, ?)",
+                &[
+                    Value::Int(eid),
+                    Value::Int(src),
+                    Value::Int(dst),
+                    Value::str(label),
+                    attr.clone(),
+                ],
+            )?;
+            self.attach(tx, &layout, true, src, label, eid, dst)?;
+            self.attach(tx, &layout, false, dst, label, eid, src)?;
+            Ok(())
+        })?;
+        Ok(eid)
+    }
+
+    /// Insert `(label, eid, other)` into one direction's adjacency tables.
+    #[allow(clippy::too_many_arguments)] // (txn, layout, direction, vid, label, eid, other) is the natural shape
+    fn attach(
+        &self,
+        tx: &mut Txn<'_>,
+        layout: &GraphLayout,
+        out: bool,
+        vid: i64,
+        label: &str,
+        eid: i64,
+        other: i64,
+    ) -> sqlgraph_rel::Result<()> {
+        let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
+        let col = if out { layout.out_column(label) } else { layout.in_column(label) };
+        let rows = tx.execute_with_params(
+            &format!("SELECT rowno, lbl{col}, eid{col}, val{col} FROM {pa} WHERE vid = ?"),
+            &[Value::Int(vid)],
+        )?;
+        // Same label already present?
+        if let Some(row) = rows
+            .rows
+            .iter()
+            .find(|r| r[1].as_str() == Some(label))
+        {
+            let rowno = row[0].clone();
+            if row[2].is_null() {
+                // Already multi-valued: append to the secondary table.
+                tx.execute_with_params(
+                    &format!("INSERT INTO {sa} VALUES (?, ?, ?)"),
+                    &[row[3].clone(), Value::Int(eid), Value::Int(other)],
+                )?;
+            } else {
+                // Single → multi migration.
+                let valid = MV_BASE + self.next_valid.fetch_add(1, Ordering::Relaxed);
+                tx.execute_with_params(
+                    &format!("INSERT INTO {sa} VALUES (?, ?, ?), (?, ?, ?)"),
+                    &[
+                        Value::Int(valid),
+                        row[2].clone(),
+                        row[3].clone(),
+                        Value::Int(valid),
+                        Value::Int(eid),
+                        Value::Int(other),
+                    ],
+                )?;
+                tx.execute_with_params(
+                    &format!("UPDATE {pa} SET eid{col} = NULL, val{col} = ? WHERE rowno = ?"),
+                    &[Value::Int(valid), rowno],
+                )?;
+            }
+            return Ok(());
+        }
+        // Free triad on an existing row?
+        if let Some(row) = rows.rows.iter().find(|r| r[1].is_null()) {
+            tx.execute_with_params(
+                &format!("UPDATE {pa} SET lbl{col} = ?, eid{col} = ?, val{col} = ? WHERE rowno = ?"),
+                &[Value::str(label), Value::Int(eid), Value::Int(other), row[0].clone()],
+            )?;
+            return Ok(());
+        }
+        // New row: primary if the vertex had none yet, spill otherwise.
+        let spill = i64::from(!rows.rows.is_empty());
+        let rowno = self.next_rowno.fetch_add(1, Ordering::Relaxed);
+        tx.execute_with_params(
+            &format!(
+                "INSERT INTO {pa} (rowno, vid, spill, lbl{col}, eid{col}, val{col}) \
+                 VALUES (?, ?, {spill}, ?, ?, ?)"
+            ),
+            &[
+                Value::Int(rowno),
+                Value::Int(vid),
+                Value::str(label),
+                Value::Int(eid),
+                Value::Int(other),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Remove `eid` from one direction's adjacency tables.
+    fn detach(
+        &self,
+        tx: &mut Txn<'_>,
+        layout: &GraphLayout,
+        out: bool,
+        vid: i64,
+        label: &str,
+        eid: i64,
+    ) -> sqlgraph_rel::Result<()> {
+        let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
+        let col = if out { layout.out_column(label) } else { layout.in_column(label) };
+        let rows = tx.execute_with_params(
+            &format!("SELECT rowno, lbl{col}, eid{col}, val{col} FROM {pa} WHERE vid = ?"),
+            &[Value::Int(vid)],
+        )?;
+        let Some(row) = rows.rows.iter().find(|r| r[1].as_str() == Some(label)) else {
+            return Ok(()); // already detached (idempotent)
+        };
+        let rowno = row[0].clone();
+        if row[2].is_null() {
+            // Multi-valued list: remove this edge's entry.
+            let valid = row[3].clone();
+            tx.execute_with_params(
+                &format!("DELETE FROM {sa} WHERE valid = ? AND eid = ?"),
+                &[valid.clone(), Value::Int(eid)],
+            )?;
+            let left = tx
+                .execute_with_params(
+                    &format!("SELECT COUNT(*) FROM {sa} WHERE valid = ?"),
+                    &[valid],
+                )?
+                .scalar()
+                .and_then(Value::as_int)
+                .unwrap_or(0);
+            if left == 0 {
+                tx.execute_with_params(
+                    &format!(
+                        "UPDATE {pa} SET lbl{col} = NULL, eid{col} = NULL, val{col} = NULL \
+                         WHERE rowno = ?"
+                    ),
+                    &[rowno],
+                )?;
+            }
+        } else if row[2].as_int() == Some(eid) {
+            tx.execute_with_params(
+                &format!(
+                    "UPDATE {pa} SET lbl{col} = NULL, eid{col} = NULL, val{col} = NULL \
+                     WHERE rowno = ?"
+                ),
+                &[rowno],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn remove_edge_impl(&self, eid: i64) -> Result<(), CoreError> {
+        let _shared = self.mutation_lock.read();
+        let layout = self.layout.read().clone();
+        self.db.transaction(|tx| {
+            let rel = tx.execute_with_params(
+                "SELECT inv, outv, lbl FROM ea WHERE eid = ?",
+                &[Value::Int(eid)],
+            )?;
+            let Some(row) = rel.rows.first() else {
+                return Err(sqlgraph_rel::Error::NotFound(format!("edge {eid}")));
+            };
+            let (src, dst) = (row[0].as_int().unwrap_or(-1), row[1].as_int().unwrap_or(-1));
+            let label = row[2].as_str().unwrap_or("").to_string();
+            tx.execute_with_params("DELETE FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
+            self.detach(tx, &layout, true, src, &label, eid)?;
+            self.detach(tx, &layout, false, dst, &label, eid)?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    fn remove_vertex_impl(&self, vid: i64) -> Result<(), CoreError> {
+        let _exclusive = self.mutation_lock.write();
+        if !self.vertex_exists_internal(vid)? {
+            return Err(CoreError::Graph(GraphError::new(format!("no vertex {vid}"))));
+        }
+        let layout = self.layout.read().clone();
+        self.db.transaction(|tx| {
+            // All incident edges via the redundant EA triple table.
+            let mut incident: Vec<(i64, i64, i64, String)> = Vec::new();
+            for key in ["inv", "outv"] {
+                let rel = tx.execute_with_params(
+                    &format!("SELECT eid, inv, outv, lbl FROM ea WHERE {key} = ?"),
+                    &[Value::Int(vid)],
+                )?;
+                for row in &rel.rows {
+                    incident.push((
+                        row[0].as_int().unwrap_or(-1),
+                        row[1].as_int().unwrap_or(-1),
+                        row[2].as_int().unwrap_or(-1),
+                        row[3].as_str().unwrap_or("").to_string(),
+                    ));
+                }
+            }
+            incident.sort_by_key(|(e, ..)| *e);
+            incident.dedup_by_key(|(e, ..)| *e);
+            for (eid, src, dst, label) in incident {
+                tx.execute_with_params("DELETE FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
+                self.detach(tx, &layout, true, src, &label, eid)?;
+                self.detach(tx, &layout, false, dst, &label, eid)?;
+            }
+            // Negative-ID marking (§4.5.2): cheap logical deletion of the
+            // vertex's own rows; vacuum() removes them physically.
+            let marked = Value::Int(deleted_id(vid));
+            tx.execute_with_params(
+                "UPDATE va SET vid = ? WHERE vid = ?",
+                &[marked.clone(), Value::Int(vid)],
+            )?;
+            for pa in ["opa", "ipa"] {
+                tx.execute_with_params(
+                    &format!("UPDATE {pa} SET vid = ? WHERE vid = ?"),
+                    &[marked.clone(), Value::Int(vid)],
+                )?;
+            }
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    fn set_vertex_property_impl(&self, vid: i64, key: &str, value: &Json) -> Result<(), CoreError> {
+        let _shared = self.mutation_lock.read();
+        self.db.transaction(|tx| {
+            let rel = tx.execute_with_params(
+                "SELECT attr FROM va WHERE vid = ?",
+                &[Value::Int(vid)],
+            )?;
+            let Some(Value::Json(doc)) = rel.rows.first().and_then(|r| r.first()) else {
+                return Err(sqlgraph_rel::Error::NotFound(format!("vertex {vid}")));
+            };
+            let mut doc = (**doc).clone();
+            if let Some(obj) = doc.as_object_mut() {
+                obj.insert(key, value.clone());
+            }
+            tx.execute_with_params(
+                "UPDATE va SET attr = ? WHERE vid = ?",
+                &[Value::json(doc), Value::Int(vid)],
+            )?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    fn set_edge_property_impl(&self, eid: i64, key: &str, value: &Json) -> Result<(), CoreError> {
+        let _shared = self.mutation_lock.read();
+        self.db.transaction(|tx| {
+            let rel = tx.execute_with_params(
+                "SELECT attr FROM ea WHERE eid = ?",
+                &[Value::Int(eid)],
+            )?;
+            let Some(Value::Json(doc)) = rel.rows.first().and_then(|r| r.first()) else {
+                return Err(sqlgraph_rel::Error::NotFound(format!("edge {eid}")));
+            };
+            let mut doc = (**doc).clone();
+            if let Some(obj) = doc.as_object_mut() {
+                obj.insert(key, value.clone());
+            }
+            tx.execute_with_params(
+                "UPDATE ea SET attr = ? WHERE eid = ?",
+                &[Value::json(doc), Value::Int(eid)],
+            )?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Run a traversal under `EXPLAIN`: returns the relational engine's
+    /// access-path decisions for the generated SQL.
+    pub fn explain_query(&self, gremlin: &str) -> Result<Relation, CoreError> {
+        let sql = self.translate_query(gremlin)?;
+        Ok(self.db.execute(&format!("EXPLAIN {sql}"))?)
+    }
+
+    /// Create a functional index on a vertex attribute —
+    /// `JSON_VAL(va.attr, key)` — the paper's "specialized indexes for
+    /// attributes" (§3.3). Speeds `has('key', v)` filters, `g.V('key', v)`
+    /// starts, and `vertices_by_property`.
+    pub fn create_vertex_property_index(&self, key: &str) -> Result<(), CoreError> {
+        let name = format!("va_attr_{}", sanitize_index_name(key));
+        self.db.execute(&format!(
+            "CREATE INDEX IF NOT EXISTS {name} ON va (JSON_VAL(attr, '{}')) USING BTREE",
+            key.replace('\'', "''")
+        ))?;
+        Ok(())
+    }
+
+    /// Create a functional index on an edge attribute.
+    pub fn create_edge_property_index(&self, key: &str) -> Result<(), CoreError> {
+        let name = format!("ea_attr_{}", sanitize_index_name(key));
+        self.db.execute(&format!(
+            "CREATE INDEX IF NOT EXISTS {name} ON ea (JSON_VAL(attr, '{}')) USING BTREE",
+            key.replace('\'', "''")
+        ))?;
+        Ok(())
+    }
+
+    /// Offline cleanup (§4.5.2): physically remove rows marked deleted.
+    pub fn vacuum(&self) -> Result<usize, CoreError> {
+        let _exclusive = self.mutation_lock.write();
+        let mut removed = 0usize;
+        for table in ["va", "opa", "ipa"] {
+            let rel = self.db.execute(&format!("DELETE FROM {table} WHERE vid < 0"))?;
+            removed += rel.scalar().and_then(Value::as_int).unwrap_or(0) as usize;
+        }
+        // Reclaim secondary-adjacency lists whose owning primary row is
+        // gone (their list ids are no longer referenced by any triad).
+        for (pa, sa, buckets) in [
+            ("opa", "osa", self.config.out_buckets),
+            ("ipa", "isa", self.config.in_buckets),
+        ] {
+            let triads: Vec<String> = (0..buckets).map(|i| format!("(p.val{i})")).collect();
+            let rel = self.db.execute(&format!(
+                "DELETE FROM {sa} WHERE valid NOT IN (                 SELECT t.v FROM {pa} p, TABLE(VALUES {}) AS t(v)                  WHERE t.v >= {MV_BASE})",
+                triads.join(", "),
+            ))?;
+            removed += rel.scalar().and_then(Value::as_int).unwrap_or(0) as usize;
+        }
+        Ok(removed)
+    }
+
+    fn vertex_exists_internal(&self, vid: i64) -> Result<bool, CoreError> {
+        let rel = self
+            .db
+            .execute_with_params("SELECT vid FROM va WHERE vid = ?", &[Value::Int(vid)])?;
+        Ok(!rel.rows.is_empty())
+    }
+}
+
+/// Lower-case alphanumeric identifier fragment from a property key.
+fn sanitize_index_name(key: &str) -> String {
+    key.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+/// Properties → a JSON object document.
+pub fn props_to_json(props: &[(String, Json)]) -> Json {
+    Json::Object(
+        props
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect::<JsonObject>(),
+    )
+}
+
+/// Engine value → JSON (for Blueprints property reads).
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::int(*i),
+        Value::Double(f) => Json::float(*f),
+        Value::Str(s) => Json::str(s.as_ref()),
+        Value::Json(j) => (**j).clone(),
+        Value::Array(items) => Json::Array(items.iter().map(value_to_json).collect()),
+    }
+}
+
+fn elems_to_relation(elems: Vec<interp::Elem>) -> Relation {
+    Relation::new(
+        vec!["val".into()],
+        elems
+            .into_iter()
+            .map(|e| {
+                vec![match e {
+                    interp::Elem::Vertex(v) | interp::Elem::Edge(v) => Value::Int(v),
+                    interp::Elem::Value(j) => sqlgraph_rel::expr::json_to_value(&j),
+                }]
+            })
+            .collect(),
+    )
+}
+
+// ----------------------------------------------------------------------
+// Blueprints: the chatty per-call API over the same tables.
+// ----------------------------------------------------------------------
+
+impl Blueprints for SqlGraph {
+    fn vertex_ids(&self) -> Vec<i64> {
+        self.db
+            .execute("SELECT vid FROM va WHERE vid >= 0")
+            .map(|r| r.int_column())
+            .unwrap_or_default()
+    }
+
+    fn edge_ids(&self) -> Vec<i64> {
+        self.db
+            .execute("SELECT eid FROM ea")
+            .map(|r| r.int_column())
+            .unwrap_or_default()
+    }
+
+    fn vertex_exists(&self, v: i64) -> bool {
+        self.vertex_exists_internal(v).unwrap_or(false)
+    }
+
+    fn edge_exists(&self, e: i64) -> bool {
+        self.db
+            .execute_with_params("SELECT eid FROM ea WHERE eid = ?", &[Value::Int(e)])
+            .map(|r| !r.rows.is_empty())
+            .unwrap_or(false)
+    }
+
+    fn edges_of(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
+        let mut out = Vec::new();
+        let lbl_filter = if labels.is_empty() {
+            String::new()
+        } else {
+            let list: Vec<String> =
+                labels.iter().map(|l| format!("'{}'", l.replace('\'', "''"))).collect();
+            format!(" AND lbl IN ({})", list.join(", "))
+        };
+        if matches!(dir, Direction::Out | Direction::Both) {
+            if let Ok(r) = self.db.execute_with_params(
+                &format!("SELECT eid FROM ea WHERE inv = ?{lbl_filter}"),
+                &[Value::Int(v)],
+            ) {
+                out.extend(r.int_column());
+            }
+        }
+        if matches!(dir, Direction::In | Direction::Both) {
+            if let Ok(r) = self.db.execute_with_params(
+                &format!("SELECT eid FROM ea WHERE outv = ?{lbl_filter}"),
+                &[Value::Int(v)],
+            ) {
+                out.extend(r.int_column());
+            }
+        }
+        out
+    }
+
+    fn adjacent(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
+        // Single-hop neighbor lookups use the redundant EA table (§3.5).
+        let mut out = Vec::new();
+        let lbl_filter = if labels.is_empty() {
+            String::new()
+        } else {
+            let list: Vec<String> =
+                labels.iter().map(|l| format!("'{}'", l.replace('\'', "''"))).collect();
+            format!(" AND lbl IN ({})", list.join(", "))
+        };
+        if matches!(dir, Direction::Out | Direction::Both) {
+            if let Ok(r) = self.db.execute_with_params(
+                &format!("SELECT outv FROM ea WHERE inv = ?{lbl_filter}"),
+                &[Value::Int(v)],
+            ) {
+                out.extend(r.int_column());
+            }
+        }
+        if matches!(dir, Direction::In | Direction::Both) {
+            if let Ok(r) = self.db.execute_with_params(
+                &format!("SELECT inv FROM ea WHERE outv = ?{lbl_filter}"),
+                &[Value::Int(v)],
+            ) {
+                out.extend(r.int_column());
+            }
+        }
+        out
+    }
+
+    fn edge_label(&self, e: i64) -> Option<String> {
+        self.db
+            .execute_with_params("SELECT lbl FROM ea WHERE eid = ?", &[Value::Int(e)])
+            .ok()?
+            .rows
+            .first()
+            .and_then(|r| r[0].as_str().map(str::to_string))
+    }
+
+    fn edge_source(&self, e: i64) -> Option<i64> {
+        self.db
+            .execute_with_params("SELECT inv FROM ea WHERE eid = ?", &[Value::Int(e)])
+            .ok()?
+            .rows
+            .first()
+            .and_then(|r| r[0].as_int())
+    }
+
+    fn edge_target(&self, e: i64) -> Option<i64> {
+        self.db
+            .execute_with_params("SELECT outv FROM ea WHERE eid = ?", &[Value::Int(e)])
+            .ok()?
+            .rows
+            .first()
+            .and_then(|r| r[0].as_int())
+    }
+
+    fn vertex_property(&self, v: i64, key: &str) -> Option<Json> {
+        let rel = self
+            .db
+            .execute_with_params(
+                "SELECT JSON_VAL(attr, ?) FROM va WHERE vid = ?",
+                &[Value::str(key), Value::Int(v)],
+            )
+            .ok()?;
+        let value = rel.rows.first()?.first()?;
+        if value.is_null() {
+            None
+        } else {
+            Some(value_to_json(value))
+        }
+    }
+
+    fn edge_property(&self, e: i64, key: &str) -> Option<Json> {
+        let rel = self
+            .db
+            .execute_with_params(
+                "SELECT JSON_VAL(attr, ?) FROM ea WHERE eid = ?",
+                &[Value::str(key), Value::Int(e)],
+            )
+            .ok()?;
+        let value = rel.rows.first()?.first()?;
+        if value.is_null() {
+            None
+        } else {
+            Some(value_to_json(value))
+        }
+    }
+
+    fn vertices_by_property(&self, key: &str, value: &Json) -> Vec<i64> {
+        let engine_value = sqlgraph_rel::expr::json_to_value(value);
+        self.db
+            .execute_with_params(
+                "SELECT vid FROM va WHERE vid >= 0 AND JSON_VAL(attr, ?) = ?",
+                &[Value::str(key), engine_value],
+            )
+            .map(|r| r.int_column())
+            .unwrap_or_default()
+    }
+
+    fn add_vertex(&self, props: &[(String, Json)]) -> GraphResult<i64> {
+        self.add_vertex_props(props).map_err(to_graph_error)
+    }
+
+    fn add_edge(
+        &self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> GraphResult<i64> {
+        self.add_edge_props(src, dst, label, props).map_err(to_graph_error)
+    }
+
+    fn remove_vertex(&self, v: i64) -> GraphResult<()> {
+        self.remove_vertex_impl(v).map_err(to_graph_error)
+    }
+
+    fn remove_edge(&self, e: i64) -> GraphResult<()> {
+        self.remove_edge_impl(e).map_err(to_graph_error)
+    }
+
+    fn set_vertex_property(&self, v: i64, key: &str, value: &Json) -> GraphResult<()> {
+        self.set_vertex_property_impl(v, key, value).map_err(to_graph_error)
+    }
+
+    fn set_edge_property(&self, e: i64, key: &str, value: &Json) -> GraphResult<()> {
+        self.set_edge_property_impl(e, key, value).map_err(to_graph_error)
+    }
+}
+
+fn to_graph_error(e: CoreError) -> GraphError {
+    GraphError::new(e.to_string())
+}

@@ -1,0 +1,268 @@
+//! CRUD and schema-maintenance tests for `SqlGraph`.
+
+use sqlgraph_core::{GraphData, SchemaConfig, SqlGraph};
+use sqlgraph_json::Json;
+use sqlgraph_rel::Value;
+
+fn sample() -> SqlGraph {
+    let g = SqlGraph::new_in_memory();
+    let marko = g.add_vertex([("name", "marko".into()), ("age", 29i64.into())]).unwrap();
+    let vadas = g.add_vertex([("name", "vadas".into()), ("age", 27i64.into())]).unwrap();
+    let lop = g.add_vertex([("name", "lop".into()), ("lang", "java".into())]).unwrap();
+    let josh = g.add_vertex([("name", "josh".into()), ("age", 32i64.into())]).unwrap();
+    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())]).unwrap();
+    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())]).unwrap();
+    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())]).unwrap();
+    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())]).unwrap();
+    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())]).unwrap();
+    g
+}
+
+fn sorted_ints(rel: &sqlgraph_rel::Relation) -> Vec<i64> {
+    let mut v = rel.int_column();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn incremental_build_and_query() {
+    let g = sample();
+    let out = g.query("g.V.count()").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(4)));
+    let out = g.query("g.v(1).out('knows')").unwrap();
+    assert_eq!(sorted_ints(&out), [2, 4]);
+    // Multi-valued label went through the OSA migration (marko has two
+    // 'knows' edges).
+    let osa = g.database().table_len("osa").unwrap();
+    assert_eq!(osa, 2);
+}
+
+#[test]
+fn multi_step_traversal_over_hash_tables() {
+    let g = sample();
+    let out = g.query("g.v(1).out('knows').out('created')").unwrap();
+    assert_eq!(sorted_ints(&out), [3]);
+    let out = g.query("g.v(1).out.out.count()").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(2))); // josh -> vadas, lop
+}
+
+#[test]
+fn remove_edge_updates_both_directions() {
+    let g = sample();
+    // Edge 1 is marko-knows->vadas.
+    g.query("g.removeEdge(g.e(1))").unwrap();
+    let out = g.query("g.v(1).out('knows')").unwrap();
+    assert_eq!(sorted_ints(&out), [4]);
+    let out = g.query("g.v(2).in('knows')").unwrap();
+    assert!(sorted_ints(&out).is_empty());
+    // EA row gone.
+    assert_eq!(g.database().table_len("ea").unwrap(), 4);
+    // Removing again errors.
+    assert!(g.query("g.removeEdge(g.e(1))").is_err());
+}
+
+#[test]
+fn remove_vertex_marks_and_cleans_neighbors() {
+    let g = sample();
+    g.query("g.removeVertex(g.v(2))").unwrap(); // vadas
+    // vadas no longer visible anywhere.
+    let out = g.query("g.V.count()").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(3)));
+    let out = g.query("g.v(1).out('knows')").unwrap();
+    assert_eq!(sorted_ints(&out), [4]);
+    let out = g.query("g.v(4).out('likes')").unwrap();
+    assert!(out.rows.is_empty());
+    // Incident EA rows were deleted.
+    assert_eq!(g.database().table_len("ea").unwrap(), 3);
+    // The logical rows remain (marked negative) until vacuum.
+    let marked = g
+        .database()
+        .execute("SELECT COUNT(*) FROM va WHERE vid < 0")
+        .unwrap();
+    assert_eq!(marked.scalar(), Some(&Value::Int(1)));
+    let removed = g.vacuum().unwrap();
+    assert!(removed >= 1);
+    let marked = g
+        .database()
+        .execute("SELECT COUNT(*) FROM va WHERE vid < 0")
+        .unwrap();
+    assert_eq!(marked.scalar(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn vertex_ids_are_not_reused_after_delete() {
+    let g = sample();
+    g.query("g.removeVertex(g.v(4))").unwrap();
+    let new_id = g.add_vertex([("name", "peter".into())]).unwrap();
+    assert_eq!(new_id, 5);
+}
+
+#[test]
+fn set_properties() {
+    let g = sample();
+    g.query("g.v(1).setProperty('age', 30)").unwrap();
+    let out = g.query("g.v(1).values('age')").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(30)));
+    g.query("g.e(1).setProperty('weight', 0.9)").unwrap();
+    let out = g
+        .database()
+        .execute("SELECT JSON_VAL(attr, 'weight') FROM ea WHERE eid = 1")
+        .unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Double(0.9)));
+}
+
+#[test]
+fn add_edge_to_missing_vertex_fails_atomically() {
+    let g = sample();
+    let before_ea = g.database().table_len("ea").unwrap();
+    assert!(g.add_edge(1, 999, "knows", []).is_err());
+    assert_eq!(g.database().table_len("ea").unwrap(), before_ea);
+}
+
+#[test]
+fn bulk_load_round_trip() {
+    let g = SqlGraph::with_config(SchemaConfig { out_buckets: 3, in_buckets: 3 }).unwrap();
+    let mut data = GraphData::default();
+    for v in 1..=50 {
+        data.vertices.push((v, vec![("n".into(), Json::int(v))]));
+    }
+    let mut eid = 0;
+    for v in 1..=49 {
+        eid += 1;
+        data.edges.push((eid, v, v + 1, "next".into(), vec![]));
+        if v % 5 == 0 {
+            eid += 1;
+            data.edges.push((eid, v, 1, "home".into(), vec![("w".into(), Json::float(0.5))]));
+        }
+    }
+    g.bulk_load(&data).unwrap();
+    assert_eq!(g.query("g.V.count()").unwrap().scalar(), Some(&Value::Int(50)));
+    // 3-hop chain traversal.
+    let out = g.query("g.v(1).out('next').out('next').out('next')").unwrap();
+    assert_eq!(sorted_ints(&out), [4]);
+    // Updates after bulk load keep working (ids continue past loaded max).
+    let v = g.add_vertex([("n", Json::int(51))]).unwrap();
+    assert_eq!(v, 51);
+    let e = g.add_edge(50, 51, "next", []).unwrap();
+    assert!(e > eid);
+    let out = g.query("g.v(50).out('next')").unwrap();
+    assert_eq!(sorted_ints(&out), [51]);
+    // Table 3 statistics exist.
+    let (out_stats, in_stats) = g.load_stats().unwrap();
+    assert_eq!(out_stats.primary_rows, 49); // 49 vertices with out-edges
+    assert!(in_stats.primary_rows > 0);
+}
+
+#[test]
+fn spill_rows_appear_when_buckets_overflow() {
+    // 1 bucket forces every second co-occurring label to spill.
+    let g = SqlGraph::with_config(SchemaConfig { out_buckets: 1, in_buckets: 1 }).unwrap();
+    let a = g.add_vertex([]).unwrap();
+    let b = g.add_vertex([]).unwrap();
+    let c = g.add_vertex([]).unwrap();
+    g.add_edge(a, b, "x", []).unwrap();
+    g.add_edge(a, c, "y", []).unwrap(); // same column → spill row
+    let spills = g
+        .database()
+        .execute("SELECT COUNT(*) FROM opa WHERE spill = 1")
+        .unwrap();
+    assert_eq!(spills.scalar(), Some(&Value::Int(1)));
+    // Traversal still finds both.
+    let out = g.query("g.v(1).out.dedup()").unwrap();
+    assert_eq!(sorted_ints(&out), [2, 3]);
+}
+
+#[test]
+fn wal_backed_store_recovers() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("sqlgraph-core-recover-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let g = SqlGraph::open(&path, SchemaConfig::default()).unwrap();
+        let a = g.add_vertex([("name", "a".into())]).unwrap();
+        let b = g.add_vertex([("name", "b".into())]).unwrap();
+        g.add_edge(a, b, "knows", []).unwrap();
+    }
+    {
+        let g = SqlGraph::open(&path, SchemaConfig::default()).unwrap();
+        assert_eq!(g.query("g.V.count()").unwrap().scalar(), Some(&Value::Int(2)));
+        assert_eq!(g.query("g.v(1).out('knows')").unwrap().int_column(), [2]);
+        // Counters resumed: new ids do not collide.
+        let c = g.add_vertex([]).unwrap();
+        assert_eq!(c, 3);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn translation_is_used_not_fallback() {
+    let g = sample();
+    g.query("g.V.has('age', T.gt, 28).out('created').dedup().count()").unwrap();
+    assert_eq!(g.fallback_count(), 0);
+    // Dynamic loop falls back.
+    g.query("g.v(1).out.loop(1){it.weight < 2}").unwrap();
+    assert_eq!(g.fallback_count(), 1);
+}
+
+#[test]
+fn deleted_vertices_never_returned() {
+    let g = sample();
+    g.query("g.removeVertex(g.v(3))").unwrap(); // lop
+    for q in [
+        "g.V",
+        "g.V.has('name','lop')",
+        "g.v(3)",
+        "g.v(1).out('created')",
+        "g.v(4).out('created')",
+    ] {
+        let out = g.query(q).unwrap();
+        assert!(
+            !out.int_column().contains(&3),
+            "deleted vertex leaked from {q}"
+        );
+    }
+}
+
+#[test]
+fn explain_shows_index_usage() {
+    let g = sample();
+    g.create_vertex_property_index("name").unwrap();
+    let plan = g
+        .explain_query("g.V.has('name','marko').out('knows')")
+        .unwrap()
+        .strings()
+        .join("\n");
+    // The GraphQuery start merges into the scan... the has() filter joins
+    // va; either way the EA hop must probe an index.
+    assert!(plan.contains("index"), "expected index access:\n{plan}");
+}
+
+#[test]
+fn property_index_accelerated_start() {
+    let g = sample();
+    g.create_vertex_property_index("name").unwrap();
+    // GraphQuery start uses the functional index (visible in EXPLAIN).
+    let plan = g.explain_query("g.V('name','marko').out('created')").unwrap();
+    let text = plan.strings().join("\n");
+    assert!(
+        text.contains("va_attr_name"),
+        "expected functional index in plan:\n{text}"
+    );
+    // And produces correct results.
+    let out = g.query("g.V('name','marko').out('created').values('name')").unwrap();
+    assert_eq!(out.strings(), ["lop"]);
+}
+
+#[test]
+fn vacuum_reclaims_orphaned_secondary_lists() {
+    let g = sample();
+    // marko's two 'knows' edges live in an OSA list.
+    assert_eq!(g.database().table_len("osa").unwrap(), 2);
+    g.query("g.removeVertex(g.v(1))").unwrap(); // marko
+    // The list is unreferenced once marko's OPA row is vacuumed.
+    g.vacuum().unwrap();
+    assert_eq!(g.database().table_len("osa").unwrap(), 0);
+    // Remaining graph still queryable and consistent.
+    let out = g.query("g.v(4).out('created').values('name')").unwrap();
+    assert_eq!(out.strings(), ["lop"]);
+}

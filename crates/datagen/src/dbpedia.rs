@@ -1,0 +1,659 @@
+//! DBpedia-like knowledge graph generator (§3.1 of the paper).
+//!
+//! The paper converts DBpedia 3.8 to a property graph: object properties →
+//! edges, datatype properties → vertex attributes, provenance quads → edge
+//! attributes. Its micro-benchmarks traverse `isPartOf` chains between
+//! places and `team` relations between soccer players and teams, and look
+//! up a fixed set of attribute keys (Table 2).
+//!
+//! This generator reproduces those structures at a configurable scale:
+//!
+//! * a forest of `isPartOf` containment trees over *places* (so k-hop
+//!   `isPartOf` traversals behave like the geographic hierarchy),
+//! * a player↔team bipartite layer with multi-valued `team` edges,
+//! * an entity layer wired with a large, skewed edge-label vocabulary
+//!   (thousands of labels → meaningful coloring / Table 3 statistics),
+//! * `type` edges to class vertices with `uri` attributes, mirroring the
+//!   converted RDF types the benchmark queries start from,
+//! * the Table 2 attribute keys (`national`, `genre`, `title`, `label`,
+//!   `regionAffiliation`, `populationDensitySqMi`, `longm`, `wikiPageID`)
+//!   with value shapes that make each query's selectivity meaningful,
+//! * provenance attributes (`oldid`, `section`, `relative-line`) on a
+//!   fraction of edges.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sqlgraph_json::Json;
+
+/// Scale and shape parameters.
+#[derive(Debug, Clone)]
+pub struct DbpediaConfig {
+    /// RNG seed (everything is deterministic given the seed).
+    pub seed: u64,
+    /// Place vertices (the `isPartOf` forest).
+    pub places: usize,
+    /// Soccer-player vertices.
+    pub players: usize,
+    /// Team vertices.
+    pub teams: usize,
+    /// Generic entity vertices (label-vocabulary layer).
+    pub entities: usize,
+    /// Distinct edge labels in the entity layer.
+    pub label_vocabulary: usize,
+    /// Entity-layer edges.
+    pub entity_edges: usize,
+}
+
+impl Default for DbpediaConfig {
+    fn default() -> Self {
+        DbpediaConfig {
+            seed: 42,
+            places: 2_000,
+            players: 1_500,
+            teams: 150,
+            entities: 3_000,
+            label_vocabulary: 200,
+            entity_edges: 12_000,
+        }
+    }
+}
+
+impl DbpediaConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> DbpediaConfig {
+        DbpediaConfig {
+            seed: 7,
+            places: 120,
+            players: 60,
+            teams: 10,
+            entities: 100,
+            label_vocabulary: 20,
+            entity_edges: 300,
+        }
+    }
+
+    /// Scale all sizes by `factor` (for parameter sweeps).
+    pub fn scaled(mut self, factor: f64) -> DbpediaConfig {
+        let s = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        self.places = s(self.places);
+        self.players = s(self.players);
+        self.teams = s(self.teams);
+        self.entities = s(self.entities);
+        self.entity_edges = s(self.entity_edges);
+        self
+    }
+}
+
+/// Class-vertex URIs (the converted `rdf:type` targets).
+pub const CLASS_PLACE: &str = "http://dbpedia.org/ontology/Place";
+/// Person class URI.
+pub const CLASS_PERSON: &str = "http://dbpedia.org/ontology/Person";
+/// Team class URI.
+pub const CLASS_TEAM: &str = "http://dbpedia.org/ontology/SoccerClub";
+
+/// Id layout of a generated graph (all ranges inclusive).
+#[derive(Debug, Clone)]
+pub struct DbpediaIds {
+    /// First/last place vertex id.
+    pub places: (i64, i64),
+    /// First/last player id.
+    pub players: (i64, i64),
+    /// First/last team id.
+    pub teams: (i64, i64),
+    /// First/last entity id.
+    pub entities: (i64, i64),
+    /// Class vertex ids: (Place, Person, SoccerClub).
+    pub classes: (i64, i64, i64),
+    /// A chain of place ids of strictly increasing depth (deepest first) —
+    /// handy single-vertex starts for the long-path queries.
+    pub deep_places: Vec<i64>,
+}
+
+/// A generated DBpedia-like graph plus its id layout.
+#[derive(Debug, Clone)]
+pub struct DbpediaGraph {
+    /// The graph data.
+    pub data: Dataset,
+    /// Where each section lives.
+    pub ids: DbpediaIds,
+    /// The configuration used.
+    pub config: DbpediaConfig,
+}
+
+/// Generate the graph.
+pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut data = Dataset::default();
+    let mut next_vid = 0i64;
+    let mut next_eid = 0i64;
+    fn alloc_v(data: &mut Dataset, next_vid: &mut i64, props: Vec<(String, Json)>) -> i64 {
+        *next_vid += 1;
+        data.vertices.push((*next_vid, props));
+        *next_vid
+    }
+
+    let sections = ["External_links", "History", "Geography", "Career", "Honours"];
+    let provenance = |rng: &mut StdRng| -> Vec<(String, Json)> {
+        if rng.gen_bool(0.3) {
+            vec![
+                ("oldid".into(), Json::int(rng.gen_range(10_000_000..99_999_999))),
+                ("section".into(), Json::str(sections[rng.gen_range(0..sections.len())])),
+                ("relative-line".into(), Json::int(rng.gen_range(1..400))),
+            ]
+        } else {
+            Vec::new()
+        }
+    };
+
+    // -- places: a containment forest ------------------------------------
+    // `bucket` is a random permutation of 0..places so `interval('bucket',
+    // 0, K)` selects a uniform random start set of exactly K places.
+    let mut buckets: Vec<usize> = (0..config.places).collect();
+    buckets.shuffle(&mut rng);
+    let first_place = next_vid + 1;
+    for (i, &bucket) in buckets.iter().enumerate() {
+        let mut props: Vec<(String, Json)> = vec![
+            ("uri".into(), Json::str(format!("http://dbpedia.org/resource/Place_{i}"))),
+            ("kind".into(), Json::str("place")),
+            ("bucket".into(), Json::int(bucket as i64)),
+            ("label".into(), place_label(&mut rng, i)),
+        ];
+        if rng.gen_bool(0.5) {
+            // Exact value 100 appears rarely → query 12 is selective.
+            let dens = if rng.gen_bool(0.002) {
+                100.0
+            } else {
+                (rng.gen_range(1..100_000) as f64) / 10.0
+            };
+            props.push(("populationDensitySqMi".into(), Json::float(dens)));
+        }
+        if rng.gen_bool(0.6) {
+            let lm = if rng.gen_bool(0.01) { 1.0 } else { rng.gen_range(-180.0..180.0) };
+            props.push(("longm".into(), Json::float(lm)));
+        }
+        if rng.gen_bool(0.05) {
+            let v = if rng.gen_bool(0.02) {
+                "1958".to_string()
+            } else {
+                format!("region-{}", rng.gen_range(0..50))
+            };
+            props.push(("regionAffiliation".into(), Json::str(v)));
+        }
+        alloc_v(&mut data, &mut next_vid, props);
+    }
+    let last_place = next_vid;
+    // Containment: place i isPartOf a place with smaller index (forest with
+    // a handful of roots), giving deep chains for long-path traversals.
+    for i in 1..config.places {
+        let child = first_place + i as i64;
+        // Bias the parent towards `i-1` so chains get deep.
+        let parent_idx = if rng.gen_bool(0.55) {
+            i - 1
+        } else {
+            rng.gen_range(0..i)
+        };
+        let parent = first_place + parent_idx as i64;
+        next_eid += 1;
+        data.edges.push((next_eid, child, parent, "isPartOf".into(), provenance(&mut rng)));
+    }
+    // Deepest chain: follow i-1 links from the last place.
+    let deep_places: Vec<i64> = (0..12.min(config.places))
+        .map(|k| last_place - k as i64)
+        .collect();
+
+    // -- teams ------------------------------------------------------------
+    let first_team = next_vid + 1;
+    for i in 0..config.teams {
+        alloc_v(
+            &mut data,
+            &mut next_vid,
+            vec![
+                ("uri".into(), Json::str(format!("http://dbpedia.org/resource/Team_{i}"))),
+                ("kind".into(), Json::str("team")),
+                ("title".into(), Json::str(format!("FC Team {i}"))),
+                ("label".into(), Json::str(format!("Team {i}@en"))),
+            ],
+        );
+    }
+    let last_team = next_vid;
+
+    // -- players ----------------------------------------------------------
+    let nationals = ["england", "brazilien", "deutschland@en", "espana@en", "france"];
+    let first_player = next_vid + 1;
+    for i in 0..config.players {
+        let mut props: Vec<(String, Json)> = vec![
+            ("uri".into(), Json::str(format!("http://dbpedia.org/resource/Player_{i}"))),
+            ("kind".into(), Json::str("player")),
+            ("label".into(), Json::str(format!("Player {i}@en"))),
+            ("wikiPageID".into(), Json::int(20_000_000 + i as i64)),
+        ];
+        if rng.gen_bool(0.08) {
+            props.push((
+                "national".into(),
+                Json::str(nationals[rng.gen_range(0..nationals.len())]),
+            ));
+        }
+        alloc_v(&mut data, &mut next_vid, props);
+        let player = next_vid;
+        // Mostly one membership, sometimes two (keeps `both('team')`
+        // fan-out bounded while still exercising multi-valued labels).
+        let n_teams = (1 + usize::from(rng.gen_bool(0.3))).min(config.teams);
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < n_teams {
+            chosen.insert(first_team + rng.gen_range(0..config.teams) as i64);
+        }
+        for team in chosen {
+            next_eid += 1;
+            data.edges.push((next_eid, player, team, "team".into(), provenance(&mut rng)));
+        }
+    }
+    let last_player = next_vid;
+
+    // -- entities with the big label vocabulary ---------------------------
+    let genres = ["rock@en", "jazz", "pop@en", "folk", "metal"];
+    let first_entity = next_vid + 1;
+    for i in 0..config.entities {
+        let mut props: Vec<(String, Json)> = vec![(
+            "uri".into(),
+            Json::str(format!("http://dbpedia.org/resource/Entity_{i}")),
+        )];
+        if rng.gen_bool(0.3) {
+            props.push(("genre".into(), Json::str(genres[rng.gen_range(0..genres.len())])));
+        }
+        if rng.gen_bool(0.4) {
+            props.push(("title".into(), Json::str(format!("Entity Title {i}@en"))));
+        }
+        if rng.gen_bool(0.5) {
+            props.push(("label".into(), place_label(&mut rng, i)));
+        }
+        if rng.gen_bool(0.1) {
+            // Multi-valued attribute (drives the multi-value overflow rows).
+            props.push((
+                "alias".into(),
+                Json::Array(vec![
+                    Json::str(format!("alias-{i}-a")),
+                    Json::str(format!("alias-{i}-b")),
+                ]),
+            ));
+        }
+        alloc_v(&mut data, &mut next_vid, props);
+    }
+    let last_entity = next_vid;
+    // Skewed label vocabulary: label ℓ has weight ~ 1/(ℓ+1). Sources are
+    // drawn from places and entities alike: DBpedia places carry many
+    // distinct object properties besides `isPartOf`, which is what makes
+    // their adjacency documents wide.
+    let weights: Vec<f64> = (0..config.label_vocabulary).map(|l| 1.0 / (l as f64 + 1.0)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    for _ in 0..config.entity_edges {
+        let src = if rng.gen_bool(0.5) {
+            first_place + rng.gen_range(0..config.places) as i64
+        } else {
+            first_entity + rng.gen_range(0..config.entities) as i64
+        };
+        let dst = first_entity + rng.gen_range(0..config.entities) as i64;
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut label_idx = 0;
+        for (l, w) in weights.iter().enumerate() {
+            if pick < *w {
+                label_idx = l;
+                break;
+            }
+            pick -= w;
+        }
+        next_eid += 1;
+        data.edges.push((
+            next_eid,
+            src,
+            dst,
+            format!("http://dbpedia.org/property/p{label_idx}"),
+            provenance(&mut rng),
+        ));
+    }
+
+    // -- classes and type edges -------------------------------------------
+    let class_place = alloc_v(
+        &mut data,
+        &mut next_vid,
+        vec![("uri".into(), Json::str(CLASS_PLACE)), ("kind".into(), Json::str("class"))],
+    );
+    let class_person = alloc_v(
+        &mut data,
+        &mut next_vid,
+        vec![("uri".into(), Json::str(CLASS_PERSON)), ("kind".into(), Json::str("class"))],
+    );
+    let class_team = alloc_v(
+        &mut data,
+        &mut next_vid,
+        vec![("uri".into(), Json::str(CLASS_TEAM)), ("kind".into(), Json::str("class"))],
+    );
+    for v in first_place..=last_place {
+        next_eid += 1;
+        data.edges.push((next_eid, v, class_place, "type".into(), vec![]));
+    }
+    for v in first_player..=last_player {
+        next_eid += 1;
+        data.edges.push((next_eid, v, class_person, "type".into(), vec![]));
+    }
+    for v in first_team..=last_team {
+        next_eid += 1;
+        data.edges.push((next_eid, v, class_team, "type".into(), vec![]));
+    }
+
+    DbpediaGraph {
+        data,
+        ids: DbpediaIds {
+            places: (first_place, last_place),
+            players: (first_player, last_player),
+            teams: (first_team, last_team),
+            entities: (first_entity, last_entity),
+            classes: (class_place, class_person, class_team),
+            deep_places,
+        },
+        config: config.clone(),
+    }
+}
+
+/// Labels: mostly short `...@en` strings, occasionally very long (the
+/// long-string overflow driver).
+fn place_label(rng: &mut StdRng, i: usize) -> Json {
+    if rng.gen_bool(0.05) {
+        let filler = "lorem ipsum dolor sit amet ".repeat(rng.gen_range(3..10));
+        Json::str(format!("Long Label {i} {filler}@en"))
+    } else if rng.gen_bool(0.8) {
+        Json::str(format!("Label {i}@en"))
+    } else {
+        Json::str(format!("Etikett {i}@de"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query sets
+// ---------------------------------------------------------------------------
+
+/// One adjacency micro-benchmark query (a row of Table 1).
+#[derive(Debug, Clone)]
+pub struct AdjacencyQuery {
+    /// Query id (1-11, matching Table 1).
+    pub id: usize,
+    /// Number of hops.
+    pub hops: usize,
+    /// Start-set size (scaled).
+    pub input_size: usize,
+    /// Gremlin text.
+    pub gremlin: String,
+    /// Edge label traversed.
+    pub label: &'static str,
+}
+
+/// The 11 queries of Table 1, scaled to the generated graph. Queries 1-6
+/// traverse `isPartOf` from start sets selected by the `bucket` attribute;
+/// queries 7-11 traverse `team` relations ignoring direction, starting from
+/// single players / small player sets.
+pub fn adjacency_queries(g: &DbpediaGraph) -> Vec<AdjacencyQuery> {
+    let places = g.config.places;
+    let large = places; // Table 1's 16000 ≙ "all places"
+    let scaled = |n: usize| n.min(places);
+    // (hops, input size, label) per Table 1.
+    let specs: [(usize, usize, &str); 11] = [
+        (3, large, "isPartOf"),
+        (6, large, "isPartOf"),
+        (9, large, "isPartOf"),
+        (5, scaled(100), "isPartOf"),
+        (5, scaled(1000), "isPartOf"),
+        (5, scaled(large / 2), "isPartOf"),
+        (4, 1, "team"),
+        (6, 1, "team"),
+        (8, 1, "team"),
+        (6, 10, "team"),
+        (6, 100, "team"),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(hops, input, label))| {
+            let gremlin = if label == "isPartOf" {
+                let mut q = format!("g.V.interval('bucket', 0, {input})");
+                for _ in 0..hops {
+                    q.push_str(".out('isPartOf')");
+                }
+                q.push_str(".count()");
+                q
+            } else {
+                // Team traversals: both('team'), from 1..k players.
+                let (p0, _) = g.ids.players;
+                let mut q = if input == 1 {
+                    format!("g.v({p0})")
+                } else {
+                    format!(
+                        "g.V.has('wikiPageID', T.lt, {})",
+                        20_000_000 + input as i64
+                    )
+                };
+                for _ in 0..hops {
+                    q.push_str(".both('team')");
+                }
+                q.push_str(".count()");
+                q
+            };
+            AdjacencyQuery { id: i + 1, hops, input_size: input, gremlin, label }
+        })
+        .collect()
+}
+
+/// One vertex-attribute lookup query (a row of Table 2).
+#[derive(Debug, Clone)]
+pub struct AttributeQuery {
+    /// Query id (1-16, matching Table 2).
+    pub id: usize,
+    /// Attribute key.
+    pub key: &'static str,
+    /// The filter, in Table 2's terms.
+    pub filter: AttrFilter,
+}
+
+/// Table 2 filter kinds.
+#[derive(Debug, Clone)]
+pub enum AttrFilter {
+    /// `not null` — existence only.
+    NotNull,
+    /// `LIKE pattern` string match.
+    Like(&'static str),
+    /// Numeric equality.
+    NumericEq(f64),
+    /// Integer equality (the `wikiPageID` lookup).
+    IntEq(i64),
+    /// String equality.
+    StrEq(&'static str),
+}
+
+/// The 16 queries of Table 2.
+pub fn attribute_queries() -> Vec<AttributeQuery> {
+    use AttrFilter::*;
+    let rows: [(&'static str, AttrFilter); 16] = [
+        ("national", NotNull),
+        ("national", Like("%en")),
+        ("genre", NotNull),
+        ("genre", Like("%en")),
+        ("title", NotNull),
+        ("title", Like("%en")),
+        ("label", NotNull),
+        ("label", Like("%en")),
+        ("regionAffiliation", NotNull),
+        ("regionAffiliation", StrEq("1958")),
+        ("populationDensitySqMi", NotNull),
+        ("populationDensitySqMi", NumericEq(100.0)),
+        ("longm", NotNull),
+        ("longm", NumericEq(1.0)),
+        ("wikiPageID", NotNull),
+        ("wikiPageID", IntEq(20_000_001)),
+    ];
+    rows.into_iter()
+        .enumerate()
+        .map(|(i, (key, filter))| AttributeQuery { id: i + 1, key, filter })
+        .collect()
+}
+
+/// The 20 DBpedia benchmark queries (converted-SPARQL style, Appendix B) as
+/// Gremlin, adapted to the generated schema. Query 15 is the deliberately
+/// heavy one the paper reports separately.
+pub fn benchmark_queries(g: &DbpediaGraph) -> Vec<String> {
+    let (p0, p1) = g.ids.players;
+    let mid_player = (p0 + p1) / 2;
+    let (e0, _) = g.ids.entities;
+    let deep = *g.ids.deep_places.first().expect("deep chain");
+    vec![
+        // 1: typed lookup + attribute filter + 1 hop (Table 9's shape).
+        format!("g.V('uri','{CLASS_PERSON}').in('type').has('national').out('team').count()"),
+        // 2: the paper's dq2 analogue: selective label + traverse + back.
+        format!("g.V('uri','{CLASS_TEAM}').in('type').has('title','FC Team 1').in('team').count()"),
+        // 3: star lookup on a single resource.
+        format!("g.v({mid_player}).out('team').values('title')"),
+        // 4: two-hop with dedup.
+        format!("g.v({mid_player}).out('team').in('team').dedup().count()"),
+        // 5: typed scan with numeric filter.
+        format!("g.V('uri','{CLASS_PLACE}').in('type').has('populationDensitySqMi', T.gt, 5000).count()"),
+        // 6: interval + traversal.
+        "g.V.interval('bucket', 0, 50).out('isPartOf').out('isPartOf').dedup().count()".to_string(),
+        // 7: union via copySplit.
+        format!("g.v({mid_player}).copySplit(_().out('team'), _().out('type')).fairMerge.count()"),
+        // 8: filter closure with conjunction.
+        "g.V.filter{it.kind == 'place' && it.longm > 100}.count()".to_string(),
+        // 9: existence + like-style contains.
+        "g.V.has('genre').filter{it.genre.contains('en')}.count()".to_string(),
+        // 10: and() branch intersection.
+        "g.V.and(_().out('team'), _().out('type')).count()".to_string(),
+        // 11: path query over containment.
+        format!("g.v({deep}).out('isPartOf').out('isPartOf').out('isPartOf').path"),
+        // 12: edges by property (provenance).
+        "g.E.has('section', 'History').count()".to_string(),
+        // 13: label projection.
+        format!("g.v({deep}).outE.label.dedup()"),
+        // 14: back() re-selection.
+        "g.V.as('x').out('team').has('title','FC Team 2').back('x').values('label')".to_string(),
+        // 15: the heavy query — full scan, two unlabeled hops, dedup.
+        "g.V.out.out.dedup().count()".to_string(),
+        // 16: aggregate/except neighborhood difference.
+        format!("g.v({mid_player}).aggregate(x).both('team').both('team').except(x).dedup().count()"),
+        // 17: multi-label traversal.
+        format!("g.v({e0}).out('http://dbpedia.org/property/p0','http://dbpedia.org/property/p1').count()"),
+        // 18: hasNot filter.
+        format!("g.V('uri','{CLASS_PLACE}').in('type').hasNot('populationDensitySqMi').count()"),
+        // 19: range slice after traversal.
+        "g.V.interval('bucket', 0, 200).out('isPartOf')[0..49].count()".to_string(),
+        // 20: nested loop (fixed depth) over containment.
+        format!("g.v({deep}).as('s').out('isPartOf').loop('s'){{it.loops < 4}}.dedup().count()"),
+    ]
+}
+
+/// The 11 long-path queries (Figure 8b / Figure 6's `lq*`): the Table 1
+/// traversals ending in `count()`.
+pub fn path_queries(g: &DbpediaGraph) -> Vec<String> {
+    adjacency_queries(g).into_iter().map(|q| q.gremlin).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlgraph_gremlin::{interp, parse_query, MemGraph};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&DbpediaConfig::tiny());
+        let b = generate(&DbpediaConfig::tiny());
+        assert_eq!(a.data.vertex_count(), b.data.vertex_count());
+        assert_eq!(a.data.edge_count(), b.data.edge_count());
+        assert_eq!(a.data.vertices[5].1, b.data.vertices[5].1);
+        assert_eq!(a.data.edges[10], b.data.edges[10]);
+    }
+
+    #[test]
+    fn structure_is_sound() {
+        let g = generate(&DbpediaConfig::tiny());
+        let n = g.data.vertex_count() as i64;
+        // Every edge endpoint is a valid vertex.
+        for (_, src, dst, _, _) in &g.data.edges {
+            assert!(*src >= 1 && *src <= n);
+            assert!(*dst >= 1 && *dst <= n);
+        }
+        // Id ranges partition the space (classes at the end).
+        assert_eq!(g.ids.places.0, 1);
+        assert_eq!(g.ids.classes.2, n);
+        // isPartOf chain from the deepest place reaches 3+ hops.
+        let mem = MemGraph::new();
+        g.data.load_blueprints(&mem).unwrap();
+        let deep = g.ids.deep_places[0];
+        let q = parse_query(&format!("g.v({deep}).out('isPartOf').out('isPartOf').out('isPartOf')"))
+            .unwrap();
+        assert!(!interp::eval(&mem, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn table1_queries_run_and_scale() {
+        let g = generate(&DbpediaConfig::tiny());
+        let mem = MemGraph::new();
+        g.data.load_blueprints(&mem).unwrap();
+        let queries = adjacency_queries(&g);
+        assert_eq!(queries.len(), 11);
+        for q in &queries[..3] {
+            let p = parse_query(&q.gremlin).unwrap();
+            let out = interp::eval(&mem, &p).unwrap();
+            assert_eq!(out.len(), 1, "count query {}", q.id);
+        }
+        // Longer hops over the same input reach at least as shallow a set.
+        let c3 = eval_count(&mem, &queries[0].gremlin);
+        assert!(c3 > 0, "3-hop traversal from all places must be non-empty");
+    }
+
+    fn eval_count(mem: &MemGraph, q: &str) -> i64 {
+        let p = parse_query(q).unwrap();
+        interp::eval(mem, &p).unwrap()[0].to_json().as_i64().unwrap()
+    }
+
+    #[test]
+    fn attribute_value_shapes_exist() {
+        let g = generate(&DbpediaConfig::tiny());
+        let count_key = |key: &str| {
+            g.data
+                .vertices
+                .iter()
+                .filter(|(_, props)| props.iter().any(|(k, _)| k == key))
+                .count()
+        };
+        for key in ["national", "genre", "title", "label", "wikiPageID"] {
+            assert!(count_key(key) > 0, "missing attribute {key}");
+        }
+        // wikiPageID 20_000_001 (query 16's target) exists exactly once.
+        let hits = g
+            .data
+            .vertices
+            .iter()
+            .filter(|(_, props)| {
+                props.iter().any(|(k, v)| k == "wikiPageID" && v.as_i64() == Some(20_000_001))
+            })
+            .count();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn benchmark_queries_parse_and_run() {
+        let g = generate(&DbpediaConfig::tiny());
+        let mem = MemGraph::new();
+        g.data.load_blueprints(&mem).unwrap();
+        let queries = benchmark_queries(&g);
+        assert_eq!(queries.len(), 20);
+        for (i, q) in queries.iter().enumerate() {
+            let p = parse_query(q).unwrap_or_else(|e| panic!("query {} failed to parse: {e}", i + 1));
+            interp::eval(&mem, &p).unwrap_or_else(|e| panic!("query {} failed: {e}", i + 1));
+        }
+    }
+
+    #[test]
+    fn scaled_config() {
+        let c = DbpediaConfig::tiny().scaled(2.0);
+        assert_eq!(c.places, 240);
+        assert_eq!(c.teams, 20);
+    }
+}

@@ -1,0 +1,348 @@
+//! LinkBench-style dataset and operation mix (§5.2, Tables 6/7).
+//!
+//! LinkBench models Facebook's social graph: *objects* (nodes with `type`,
+//! `version`, `time`, `data`) and *associations* (typed, timestamped links
+//! with `visibility` and a payload). Out-degrees follow a power law; the
+//! access pattern is skewed toward hot nodes. The operation mix is the one
+//! reported in Table 6 (50.7% `get_link_list`, 12.9% `get_node`, ...).
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlgraph_json::Json;
+
+/// Association type labels (LinkBench uses a small set of integer types).
+pub const ASSOC_TYPES: [&str; 3] = ["assoc_0", "assoc_1", "assoc_2"];
+
+/// Dataset shape parameters.
+#[derive(Debug, Clone)]
+pub struct LinkBenchConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of objects (nodes).
+    pub nodes: usize,
+    /// Mean out-degree (degrees are power-law distributed around this).
+    pub mean_degree: f64,
+    /// Payload size in bytes.
+    pub payload: usize,
+}
+
+impl Default for LinkBenchConfig {
+    fn default() -> Self {
+        LinkBenchConfig { seed: 1, nodes: 10_000, mean_degree: 4.0, payload: 32 }
+    }
+}
+
+impl LinkBenchConfig {
+    /// Config with `nodes` nodes, everything else default.
+    pub fn with_nodes(nodes: usize) -> LinkBenchConfig {
+        LinkBenchConfig { nodes, ..LinkBenchConfig::default() }
+    }
+}
+
+/// Generate the initial social graph.
+pub fn generate(config: &LinkBenchConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut data = Dataset::default();
+    let payload: String = "x".repeat(config.payload);
+    for i in 1..=config.nodes as i64 {
+        data.vertices.push((
+            i,
+            vec![
+                ("type".into(), Json::int(rng.gen_range(0..5))),
+                ("version".into(), Json::int(1)),
+                ("time".into(), Json::int(1_400_000_000 + i)),
+                ("data".into(), Json::str(&payload)),
+            ],
+        ));
+    }
+    let mut eid = 0i64;
+    for src in 1..=config.nodes as i64 {
+        // Power-law out-degree: degree = mean * u^(-0.5) clamped, where u is
+        // uniform — a heavy tail with a few supernodes.
+        let u: f64 = rng.gen_range(0.01..1.0);
+        let degree = ((config.mean_degree * u.powf(-0.5) * 0.5) as usize).min(config.nodes / 2);
+        for _ in 0..degree {
+            let dst = zipf_target(&mut rng, config.nodes);
+            eid += 1;
+            data.edges.push((
+                eid,
+                src,
+                dst,
+                ASSOC_TYPES[rng.gen_range(0..ASSOC_TYPES.len())].to_string(),
+                vec![
+                    ("visibility".into(), Json::int(1)),
+                    ("timestamp".into(), Json::int(1_400_000_000 + eid)),
+                    ("data".into(), Json::str("assoc-payload")),
+                ],
+            ));
+        }
+    }
+    data
+}
+
+/// Skewed target choice: hot nodes (small ids) attract most links.
+fn zipf_target(rng: &mut StdRng, nodes: usize) -> i64 {
+    let u: f64 = rng.gen_range(0.0..1.0f64);
+    // Approximate zipf via the inverse-power transform.
+    let idx = ((nodes as f64).powf(u) as usize).min(nodes - 1);
+    (idx + 1) as i64
+}
+
+/// One LinkBench operation. Percentages are the Table 6 distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// 2.6% — create a node.
+    AddNode {
+        /// Initial properties.
+        props: Vec<(String, Json)>,
+    },
+    /// 7.4% — bump a node's version/payload.
+    UpdateNode {
+        /// Target node.
+        id: i64,
+    },
+    /// 1.0% — delete a node (and incident links).
+    DeleteNode {
+        /// Target node.
+        id: i64,
+    },
+    /// 12.9% — read a node's record.
+    GetNode {
+        /// Target node.
+        id: i64,
+    },
+    /// 9.0% — add a link.
+    AddLink {
+        /// Source.
+        src: i64,
+        /// Destination.
+        dst: i64,
+        /// Association type.
+        ltype: &'static str,
+    },
+    /// 3.0% — delete a link if present.
+    DeleteLink {
+        /// Source.
+        src: i64,
+        /// Destination.
+        dst: i64,
+        /// Association type.
+        ltype: &'static str,
+    },
+    /// 8.0% — update a link's attributes if present.
+    UpdateLink {
+        /// Source.
+        src: i64,
+        /// Destination.
+        dst: i64,
+        /// Association type.
+        ltype: &'static str,
+    },
+    /// 4.9% — count a node's links of one type.
+    CountLink {
+        /// Source.
+        id: i64,
+        /// Association type.
+        ltype: &'static str,
+    },
+    /// 0.5% — check several (src, dst) pairs.
+    MultigetLink {
+        /// Source.
+        src: i64,
+        /// Candidate destinations.
+        dsts: Vec<i64>,
+        /// Association type.
+        ltype: &'static str,
+    },
+    /// 50.7% — list a node's links of one type with their attributes.
+    GetLinkList {
+        /// Source.
+        id: i64,
+        /// Association type.
+        ltype: &'static str,
+    },
+}
+
+impl Op {
+    /// Short operation name matching Table 6 row labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::AddNode { .. } => "add node",
+            Op::UpdateNode { .. } => "update node",
+            Op::DeleteNode { .. } => "delete node",
+            Op::GetNode { .. } => "get node",
+            Op::AddLink { .. } => "add link",
+            Op::DeleteLink { .. } => "delete link",
+            Op::UpdateLink { .. } => "update link",
+            Op::CountLink { .. } => "count link",
+            Op::MultigetLink { .. } => "multiget link",
+            Op::GetLinkList { .. } => "get link list",
+        }
+    }
+
+    /// True for operations that modify the graph.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Op::AddNode { .. }
+                | Op::UpdateNode { .. }
+                | Op::DeleteNode { .. }
+                | Op::AddLink { .. }
+                | Op::DeleteLink { .. }
+                | Op::UpdateLink { .. }
+        )
+    }
+}
+
+/// Table 6 operation mix in permille: (cumulative bound, constructor tag).
+const MIX: [(u32, u8); 10] = [
+    (26, 0),   // add node      2.6%
+    (100, 1),  // update node   7.4%
+    (110, 2),  // delete node   1.0%
+    (239, 3),  // get node     12.9%
+    (329, 4),  // add link      9.0%
+    (359, 5),  // delete link   3.0%
+    (439, 6),  // update link   8.0%
+    (488, 7),  // count link    4.9%
+    (493, 8),  // multiget      0.5%
+    (1000, 9), // get link list 50.7%
+];
+
+/// Deterministic operation stream for one requester.
+#[derive(Debug)]
+pub struct Workload {
+    rng: StdRng,
+    nodes: usize,
+    payload: String,
+}
+
+impl Workload {
+    /// A stream seeded per `(benchmark seed, requester index)`.
+    pub fn new(seed: u64, requester: u64, nodes: usize, payload: usize) -> Workload {
+        Workload {
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(requester)),
+            nodes,
+            payload: "x".repeat(payload),
+        }
+    }
+
+    fn node(&mut self) -> i64 {
+        zipf_target(&mut self.rng, self.nodes)
+    }
+
+    fn ltype(&mut self) -> &'static str {
+        ASSOC_TYPES[self.rng.gen_range(0..ASSOC_TYPES.len())]
+    }
+
+    /// Next operation, drawn from the Table 6 mix.
+    pub fn next_op(&mut self) -> Op {
+        let roll = self.rng.gen_range(0..1000u32);
+        let tag = MIX.iter().find(|(bound, _)| roll < *bound).map(|(_, t)| *t).unwrap_or(9);
+        match tag {
+            0 => Op::AddNode {
+                props: vec![
+                    ("type".into(), Json::int(self.rng.gen_range(0..5))),
+                    ("version".into(), Json::int(1)),
+                    ("time".into(), Json::int(1_500_000_000)),
+                    ("data".into(), Json::str(&self.payload)),
+                ],
+            },
+            1 => Op::UpdateNode { id: self.node() },
+            // Node deletes draw uniformly, not from the hot set: LinkBench
+            // uses separate per-operation access distributions, and at
+            // laptop scale a zipf-hot delete would always hit a supernode.
+            2 => Op::DeleteNode { id: self.rng.gen_range(1..=self.nodes as i64) },
+            3 => Op::GetNode { id: self.node() },
+            4 => Op::AddLink { src: self.node(), dst: self.node(), ltype: self.ltype() },
+            5 => Op::DeleteLink { src: self.node(), dst: self.node(), ltype: self.ltype() },
+            6 => Op::UpdateLink { src: self.node(), dst: self.node(), ltype: self.ltype() },
+            7 => Op::CountLink { id: self.node(), ltype: self.ltype() },
+            8 => Op::MultigetLink {
+                src: self.node(),
+                dsts: (0..3).map(|_| self.node()).collect(),
+                ltype: self.ltype(),
+            },
+            _ => Op::GetLinkList { id: self.node(), ltype: self.ltype() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn dataset_shape() {
+        let config = LinkBenchConfig { nodes: 500, ..LinkBenchConfig::default() };
+        let data = generate(&config);
+        assert_eq!(data.vertex_count(), 500);
+        assert!(data.edge_count() > 500, "mean degree ~4 ⇒ well over 1 edge/node");
+        // Degrees are skewed: the max out-degree well above the mean.
+        let mut out_deg: HashMap<i64, usize> = HashMap::new();
+        for (_, src, ..) in &data.edges {
+            *out_deg.entry(*src).or_default() += 1;
+        }
+        let max = out_deg.values().copied().max().unwrap();
+        let mean = data.edge_count() as f64 / 500.0;
+        assert!(max as f64 > 3.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = LinkBenchConfig { nodes: 200, ..LinkBenchConfig::default() };
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.edges.len(), b.edges.len());
+        assert_eq!(a.edges[7], b.edges[7]);
+    }
+
+    #[test]
+    fn mix_matches_table6() {
+        let mut wl = Workload::new(9, 0, 1000, 16);
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(wl.next_op().name()).or_default() += 1;
+        }
+        let pct = |name: &str| 100.0 * counts.get(name).copied().unwrap_or(0) as f64 / n as f64;
+        assert!((pct("get link list") - 50.7).abs() < 1.0);
+        assert!((pct("get node") - 12.9).abs() < 1.0);
+        assert!((pct("add link") - 9.0) < 1.0);
+        assert!((pct("delete node") - 1.0).abs() < 0.5);
+        assert!((pct("multiget link") - 0.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn workload_streams_are_deterministic_per_requester() {
+        let ops_a: Vec<String> = {
+            let mut w = Workload::new(3, 1, 100, 8);
+            (0..50).map(|_| format!("{:?}", w.next_op())).collect()
+        };
+        let ops_b: Vec<String> = {
+            let mut w = Workload::new(3, 1, 100, 8);
+            (0..50).map(|_| format!("{:?}", w.next_op())).collect()
+        };
+        let ops_c: Vec<String> = {
+            let mut w = Workload::new(3, 2, 100, 8);
+            (0..50).map(|_| format!("{:?}", w.next_op())).collect()
+        };
+        assert_eq!(ops_a, ops_b);
+        assert_ne!(ops_a, ops_c);
+    }
+
+    #[test]
+    fn zipf_targets_prefer_hot_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if zipf_target(&mut rng, 1000) <= 100 {
+                low += 1;
+            }
+        }
+        // Far more than the uniform 10% land in the first decile.
+        assert!(low > n / 4, "only {low}/{n} hit the hot set");
+    }
+}

@@ -1,0 +1,226 @@
+//! The Blueprints-style property graph API.
+//!
+//! Every store in this workspace — SQLGraph itself and both baseline
+//! comparators — implements [`Blueprints`]. The step-at-a-time
+//! [`crate::interp`] interpreter runs over this trait exactly the way
+//! Gremlin's reference implementation runs over the TinkerPop Blueprints
+//! API: one call per element per step. That call-per-step execution model
+//! is the thing the paper's single-SQL translation removes.
+
+use sqlgraph_json::Json;
+use std::fmt;
+
+/// Property graph operation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl GraphError {
+    /// Build an error from anything stringy.
+    pub fn new(message: impl Into<String>) -> GraphError {
+        GraphError { message: message.into() }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph error: {}", self.message)
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for graph operations.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+/// Direction of incident edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Edges leaving the vertex.
+    Out,
+    /// Edges arriving at the vertex.
+    In,
+    /// Both.
+    Both,
+}
+
+/// The Blueprints-style CRUD API over a property graph.
+///
+/// Identifiers are `i64`; vertex and edge id spaces are independent.
+/// Property values are JSON scalars (objects/arrays allowed but unused by
+/// the benchmarks).
+pub trait Blueprints: Send + Sync {
+    // ---- global scans ----
+
+    /// All vertex ids (order unspecified).
+    fn vertex_ids(&self) -> Vec<i64>;
+
+    /// All edge ids (order unspecified).
+    fn edge_ids(&self) -> Vec<i64>;
+
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize {
+        self.vertex_ids().len()
+    }
+
+    /// Number of edges.
+    fn edge_count(&self) -> usize {
+        self.edge_ids().len()
+    }
+
+    // ---- element lookups ----
+
+    /// Does the vertex exist?
+    fn vertex_exists(&self, v: i64) -> bool;
+
+    /// Does the edge exist?
+    fn edge_exists(&self, e: i64) -> bool;
+
+    /// Incident edge ids of `v` in `dir`, optionally restricted to labels.
+    fn edges_of(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64>;
+
+    /// Adjacent vertex ids of `v` in `dir`, optionally restricted to labels.
+    /// Default: via `edges_of` + endpoint lookups (stores may override with
+    /// something faster).
+    fn adjacent(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
+        let mut out = Vec::new();
+        if matches!(dir, Direction::Out | Direction::Both) {
+            for e in self.edges_of(v, Direction::Out, labels) {
+                if let Some(t) = self.edge_target(e) {
+                    out.push(t);
+                }
+            }
+        }
+        if matches!(dir, Direction::In | Direction::Both) {
+            for e in self.edges_of(v, Direction::In, labels) {
+                if let Some(s) = self.edge_source(e) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// The edge's label.
+    fn edge_label(&self, e: i64) -> Option<String>;
+
+    /// The edge's source (tail) vertex.
+    fn edge_source(&self, e: i64) -> Option<i64>;
+
+    /// The edge's target (head) vertex.
+    fn edge_target(&self, e: i64) -> Option<i64>;
+
+    // ---- properties ----
+
+    /// A vertex property value.
+    fn vertex_property(&self, v: i64, key: &str) -> Option<Json>;
+
+    /// An edge property value.
+    fn edge_property(&self, e: i64, key: &str) -> Option<Json>;
+
+    /// Vertices with `key == value` — the GraphQuery fast path. Stores with
+    /// a property index override this; the default scans.
+    fn vertices_by_property(&self, key: &str, value: &Json) -> Vec<i64> {
+        self.vertex_ids()
+            .into_iter()
+            .filter(|&v| self.vertex_property(v, key).as_ref() == Some(value))
+            .collect()
+    }
+
+    // ---- updates ----
+
+    /// Create a vertex with initial properties; returns its id.
+    fn add_vertex(&self, props: &[(String, Json)]) -> GraphResult<i64>;
+
+    /// Create an edge `src -label-> dst`; returns its id.
+    fn add_edge(
+        &self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> GraphResult<i64>;
+
+    /// Remove a vertex and all incident edges.
+    fn remove_vertex(&self, v: i64) -> GraphResult<()>;
+
+    /// Remove an edge.
+    fn remove_edge(&self, e: i64) -> GraphResult<()>;
+
+    /// Set (or replace) a vertex property.
+    fn set_vertex_property(&self, v: i64, key: &str, value: &Json) -> GraphResult<()>;
+
+    /// Set (or replace) an edge property.
+    fn set_edge_property(&self, e: i64, key: &str, value: &Json) -> GraphResult<()>;
+}
+
+impl<G: Blueprints + ?Sized> Blueprints for &G {
+    fn vertex_ids(&self) -> Vec<i64> {
+        (**self).vertex_ids()
+    }
+    fn edge_ids(&self) -> Vec<i64> {
+        (**self).edge_ids()
+    }
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+    fn vertex_exists(&self, v: i64) -> bool {
+        (**self).vertex_exists(v)
+    }
+    fn edge_exists(&self, e: i64) -> bool {
+        (**self).edge_exists(e)
+    }
+    fn edges_of(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
+        (**self).edges_of(v, dir, labels)
+    }
+    fn adjacent(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
+        (**self).adjacent(v, dir, labels)
+    }
+    fn edge_label(&self, e: i64) -> Option<String> {
+        (**self).edge_label(e)
+    }
+    fn edge_source(&self, e: i64) -> Option<i64> {
+        (**self).edge_source(e)
+    }
+    fn edge_target(&self, e: i64) -> Option<i64> {
+        (**self).edge_target(e)
+    }
+    fn vertex_property(&self, v: i64, key: &str) -> Option<Json> {
+        (**self).vertex_property(v, key)
+    }
+    fn edge_property(&self, e: i64, key: &str) -> Option<Json> {
+        (**self).edge_property(e, key)
+    }
+    fn vertices_by_property(&self, key: &str, value: &Json) -> Vec<i64> {
+        (**self).vertices_by_property(key, value)
+    }
+    fn add_vertex(&self, props: &[(String, Json)]) -> GraphResult<i64> {
+        (**self).add_vertex(props)
+    }
+    fn add_edge(
+        &self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> GraphResult<i64> {
+        (**self).add_edge(src, dst, label, props)
+    }
+    fn remove_vertex(&self, v: i64) -> GraphResult<()> {
+        (**self).remove_vertex(v)
+    }
+    fn remove_edge(&self, e: i64) -> GraphResult<()> {
+        (**self).remove_edge(e)
+    }
+    fn set_vertex_property(&self, v: i64, key: &str, value: &Json) -> GraphResult<()> {
+        (**self).set_vertex_property(v, key, value)
+    }
+    fn set_edge_property(&self, e: i64, key: &str, value: &Json) -> GraphResult<()> {
+        (**self).set_edge_property(e, key, value)
+    }
+}

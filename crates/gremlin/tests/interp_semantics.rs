@@ -1,0 +1,257 @@
+//! Interpreter semantics tests over the Figure 2a sample graph.
+//!
+//! Sample graph (ids assigned in insertion order):
+//!   1 marko(29) -knows(7->renum:1)-> 2 vadas(27)
+//!   1 -knows-> 4 josh(32)
+//!   1 -created-> 3 lop(java)
+//!   4 -likes-> 2
+//!   4 -created-> 3
+//! Edge ids: 1..=5 in the order above.
+
+use sqlgraph_gremlin::{interp, parse, parse_query, Elem, MemGraph};
+use sqlgraph_json::Json;
+
+fn count(g: &MemGraph, q: &str) -> i64 {
+    let p = parse_query(q).unwrap();
+    let out = interp::eval(g, &p).unwrap();
+    assert_eq!(out.len(), 1, "count query returns one element");
+    out[0].to_json().as_i64().unwrap()
+}
+
+fn ids(g: &MemGraph, q: &str) -> Vec<i64> {
+    let p = parse_query(q).unwrap();
+    let mut out: Vec<i64> = interp::eval(g, &p)
+        .unwrap()
+        .into_iter()
+        .filter_map(|e| e.id())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn start_pipes() {
+    let g = MemGraph::sample();
+    assert_eq!(count(&g, "g.V.count()"), 4);
+    assert_eq!(count(&g, "g.E.count()"), 5);
+    assert_eq!(ids(&g, "g.v(1)"), [1]);
+    assert_eq!(ids(&g, "g.v(99)"), Vec::<i64>::new());
+    assert_eq!(ids(&g, "g.e(3)"), [3]);
+}
+
+#[test]
+fn out_in_both() {
+    let g = MemGraph::sample();
+    assert_eq!(ids(&g, "g.v(1).out"), [2, 3, 4]);
+    assert_eq!(ids(&g, "g.v(1).out('knows')"), [2, 4]);
+    assert_eq!(ids(&g, "g.v(3).in"), [1, 4]);
+    assert_eq!(ids(&g, "g.v(2).in('likes')"), [4]);
+    assert_eq!(ids(&g, "g.v(4).both"), [1, 2, 3]);
+    assert_eq!(ids(&g, "g.v(1).out('knows','created')"), [2, 3, 4]);
+}
+
+#[test]
+fn edge_pipes() {
+    let g = MemGraph::sample();
+    assert_eq!(ids(&g, "g.v(1).outE"), [1, 2, 3]);
+    assert_eq!(ids(&g, "g.v(1).outE('created')"), [3]);
+    assert_eq!(ids(&g, "g.v(1).outE('knows').inV"), [2, 4]);
+    assert_eq!(ids(&g, "g.e(4).outV"), [4]);
+    assert_eq!(ids(&g, "g.e(4).inV"), [2]);
+    assert_eq!(ids(&g, "g.e(4).bothV"), [2, 4]);
+    assert_eq!(ids(&g, "g.v(2).inE"), [1, 4]);
+}
+
+#[test]
+fn the_papers_example() {
+    // Adapted from §4.1: vertices adjacent (either direction) to vertices
+    // whose 'name' is 'marko', deduplicated, counted.
+    let g = MemGraph::sample();
+    assert_eq!(count(&g, "g.V.filter{it.name=='marko'}.both.dedup().count()"), 3);
+}
+
+#[test]
+fn has_variants() {
+    let g = MemGraph::sample();
+    assert_eq!(ids(&g, "g.V.has('age')"), [1, 2, 4]);
+    assert_eq!(ids(&g, "g.V.hasNot('age')"), [3]);
+    assert_eq!(ids(&g, "g.V.has('age', 29)"), [1]);
+    assert_eq!(ids(&g, "g.V.has('age', T.gt, 28)"), [1, 4]);
+    assert_eq!(ids(&g, "g.V.has('age', T.lte, 29)"), [1, 2]);
+    assert_eq!(ids(&g, "g.V.has('name', 'lop')"), [3]);
+    // GraphQuery start-filter form.
+    assert_eq!(ids(&g, "g.V('name','lop')"), [3]);
+}
+
+#[test]
+fn filter_closures() {
+    let g = MemGraph::sample();
+    assert_eq!(ids(&g, "g.V.filter{it.age > 27 && it.age < 32}"), [1]);
+    assert_eq!(ids(&g, "g.V.filter{it.name == 'lop' || it.name == 'vadas'}"), [2, 3]);
+    assert_eq!(ids(&g, "g.V.filter{!(it.age == 29)}"), [2, 3, 4]); // null != 29 is true for lop
+    assert_eq!(ids(&g, "g.V.filter{it.name.contains('a')}"), [1, 2]);
+}
+
+#[test]
+fn interval_and_range() {
+    let g = MemGraph::sample();
+    assert_eq!(ids(&g, "g.V.interval('age', 27, 32)"), [1, 2]); // [27, 32)
+    let p = parse_query("g.V[0..1]").unwrap();
+    assert_eq!(interp::eval(&g, &p).unwrap().len(), 2); // inclusive range
+    let p = parse_query("g.V.range(1, 2)").unwrap();
+    assert_eq!(interp::eval(&g, &p).unwrap().len(), 2);
+}
+
+#[test]
+fn values_id_label() {
+    let g = MemGraph::sample();
+    let p = parse_query("g.v(1).out('knows').values('name')").unwrap();
+    let mut names: Vec<String> = interp::eval(&g, &p)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.to_json().as_str().unwrap().to_string())
+        .collect();
+    names.sort();
+    assert_eq!(names, ["josh", "vadas"]);
+
+    let p = parse_query("g.v(1).outE.label.dedup()").unwrap();
+    let mut labels: Vec<String> = interp::eval(&g, &p)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.to_json().as_str().unwrap().to_string())
+        .collect();
+    labels.sort();
+    assert_eq!(labels, ["created", "knows"]);
+
+    let p = parse_query("g.v(2).id").unwrap();
+    assert_eq!(interp::eval(&g, &p).unwrap()[0].to_json().as_i64(), Some(2));
+}
+
+#[test]
+fn path_and_simple_path() {
+    let g = MemGraph::sample();
+    // 1 -> 4 -> {2, 3} gives paths [1, 4, 2] and [1, 4, 3].
+    let p = parse_query("g.v(1).out('knows').out.path").unwrap();
+    let out = interp::eval(&g, &p).unwrap();
+    let mut paths: Vec<Vec<i64>> = out
+        .iter()
+        .map(|e| match e {
+            Elem::Value(Json::Array(items)) => {
+                items.iter().map(|j| j.as_i64().unwrap()).collect()
+            }
+            other => panic!("expected path array, got {other:?}"),
+        })
+        .collect();
+    paths.sort();
+    assert_eq!(paths, vec![vec![1, 4, 2], vec![1, 4, 3]]);
+
+    // simplePath drops the cycle 1 -> 4 (knows) -> ... none cycle here;
+    // build one: both() from 2 back to 1.
+    assert_eq!(count(&g, "g.v(1).out.both.simplePath.count()"), 4);
+    assert_eq!(count(&g, "g.v(1).out.both.count()"), 7);
+}
+
+#[test]
+fn back_and_as() {
+    let g = MemGraph::sample();
+    // Find people who created something, then jump back to them.
+    assert_eq!(ids(&g, "g.V.as('x').out('created').back('x')"), [1, 4]);
+    assert_eq!(ids(&g, "g.V.out('created').back(1)"), [1, 4]);
+}
+
+#[test]
+fn dedup_and_aggregate_except_retain() {
+    let g = MemGraph::sample();
+    assert_eq!(count(&g, "g.V.out.count()"), 5);
+    assert_eq!(count(&g, "g.V.out.dedup().count()"), 3);
+    // Exclude the start vertex from its own neighborhood.
+    assert_eq!(ids(&g, "g.v(1).aggregate(x).out('knows').out.except(x)"), [2, 3]);
+    assert_eq!(ids(&g, "g.v(2).aggregate(x).in('knows').out.retain(x)"), [2]);
+}
+
+#[test]
+fn and_or_branches() {
+    let g = MemGraph::sample();
+    // Vertices with both an outgoing 'knows' and an outgoing 'created' edge.
+    assert_eq!(ids(&g, "g.V.and(_().out('knows'), _().out('created'))"), [1]);
+    // Vertices with either.
+    assert_eq!(ids(&g, "g.V.or(_().out('knows'), _().out('created'))"), [1, 4]);
+}
+
+#[test]
+fn copy_split_merge() {
+    let g = MemGraph::sample();
+    assert_eq!(
+        ids(&g, "g.v(1).copySplit(_().out('knows'), _().out('created')).fairMerge"),
+        [2, 3, 4]
+    );
+}
+
+#[test]
+fn if_then_else() {
+    let g = MemGraph::sample();
+    let p = parse_query("g.V.has('age').ifThenElse{it.age > 28}{it.name}{it.age}").unwrap();
+    let out = interp::eval(&g, &p).unwrap();
+    let mut rendered: Vec<String> = out.iter().map(|e| e.to_json().to_string()).collect();
+    rendered.sort();
+    assert_eq!(rendered, ["\"josh\"", "\"marko\"", "27"]);
+}
+
+#[test]
+fn loops_fixed_depth() {
+    let g = MemGraph::sample();
+    // Two hops out of 1 via loop: out.loop(1){it.loops < 2} == out.out.
+    assert_eq!(ids(&g, "g.v(1).out.loop(1){it.loops < 2}"), [2, 3]);
+    assert_eq!(ids(&g, "g.v(1).out.out"), [2, 3]);
+    // Named loop target.
+    assert_eq!(ids(&g, "g.v(1).as('s').out.loop('s'){it.loops < 2}"), [2, 3]);
+}
+
+#[test]
+fn side_effect_pipes_pass_through() {
+    let g = MemGraph::sample();
+    assert_eq!(count(&g, "g.V.groupBy{it.name}{it}.count()"), 4);
+    assert_eq!(count(&g, "g.V.table(t1).count()"), 4);
+}
+
+#[test]
+fn crud_statements_mutate_graph() {
+    let g = MemGraph::sample();
+    let add = parse("g.addVertex([name:'ripple', lang:'java'])").unwrap();
+    let out = interp::execute(&g, &add).unwrap();
+    let new_id = out[0].id().unwrap();
+    assert_eq!(new_id, 5);
+
+    let add_e = parse("g.addEdge(g.v(4), g.v(5), 'created', [weight:1.0])").unwrap();
+    interp::execute(&g, &add_e).unwrap();
+    assert_eq!(ids(&g, "g.v(4).out('created')"), [3, 5]);
+
+    let set = parse("g.v(5).setProperty('stars', 5)").unwrap();
+    interp::execute(&g, &set).unwrap();
+    assert_eq!(ids(&g, "g.V.has('stars', 5)"), [5]);
+
+    let rm = parse("g.removeVertex(g.v(5))").unwrap();
+    interp::execute(&g, &rm).unwrap();
+    assert_eq!(ids(&g, "g.v(4).out('created')"), [3]);
+
+    let rm_e = parse("g.removeEdge(g.e(1))").unwrap();
+    interp::execute(&g, &rm_e).unwrap();
+    assert_eq!(ids(&g, "g.v(1).out('knows')"), [4]);
+}
+
+#[test]
+fn edge_properties_via_has() {
+    let g = MemGraph::sample();
+    let p = parse_query("g.E.has('weight', T.gte, 0.8)").unwrap();
+    let mut eids: Vec<i64> =
+        interp::eval(&g, &p).unwrap().into_iter().filter_map(|e| e.id()).collect();
+    eids.sort_unstable();
+    assert_eq!(eids, [2, 5]);
+}
+
+#[test]
+fn loop_guard_rejects_nonterminating() {
+    let g = MemGraph::sample();
+    let p = parse_query("g.v(1).both.loop(1){it.loops > 0}").unwrap();
+    assert!(interp::eval(&g, &p).is_err());
+}

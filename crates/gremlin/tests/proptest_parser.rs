@@ -1,0 +1,29 @@
+//! Fuzz-style properties for the Gremlin front end.
+
+use proptest::prelude::*;
+use sqlgraph_gremlin::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,80}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_gremlin_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "g", ".", "V", "E", "v", "e", "(", ")", "out", "in", "both",
+                "has", "filter", "{", "}", "it", "==", "'x'", "1", ",",
+                "dedup", "count", "loop", "as", "back", "path", "_", "[",
+                "]", "..", "aggregate", "except", "&&", "T", "gt",
+            ]),
+            0..25,
+        )
+    ) {
+        let q = parts.join("");
+        let _ = parse(&q);
+    }
+}

@@ -1,0 +1,37 @@
+//! From-scratch JSON support for SQLGraph.
+//!
+//! The SQLGraph schema (SIGMOD 2015) stores vertex and edge attributes as
+//! JSON documents inside relational tables (the `VA` and `EA` tables). The
+//! behaviour under study — "attribute access is a key-value lookup, one
+//! probe into a parsed document" — is implemented here rather than borrowed
+//! from an external crate, because the JSON storage path is itself part of
+//! the system being reproduced.
+//!
+//! The crate provides:
+//!
+//! * [`Json`] — an owned JSON value with insertion-ordered objects,
+//! * [`parse`] — a recursive-descent parser with full escape handling,
+//! * [`Json::to_string`] (via [`std::fmt::Display`]) — a compact serializer
+//!   whose output round-trips through [`parse`],
+//! * key/path accessors used by the relational engine's `JSON_VAL` function.
+//!
+//! # Example
+//!
+//! ```
+//! use sqlgraph_json::{parse, Json};
+//!
+//! let doc = parse(r#"{ "name": "marko", "age": 29 }"#).unwrap();
+//! assert_eq!(doc.get("name").and_then(Json::as_str), Some("marko"));
+//! assert_eq!(doc.get("age").and_then(Json::as_i64), Some(29));
+//! let text = doc.to_string();
+//! assert_eq!(parse(&text).unwrap(), doc);
+//! ```
+
+mod number;
+mod parse;
+mod ser;
+mod value;
+
+pub use number::Number;
+pub use parse::{parse, ParseError};
+pub use value::{Json, JsonObject};

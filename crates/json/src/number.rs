@@ -1,0 +1,181 @@
+//! JSON numbers.
+//!
+//! JSON does not distinguish integers from floats, but the SQLGraph engine
+//! does (`INTEGER` vs `DOUBLE` columns, casts in `JSON_VAL`). `Number` keeps
+//! the distinction observed in the source text: `29` parses as an integer,
+//! `29.0` as a double, so equality and ordering match SQL semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A JSON number, preserving whether the literal was integral.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A number written without a fraction or exponent, within `i64` range.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `i64` if it is integral and in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(v) => Some(v),
+            Number::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always possible; integers may lose precision).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(v) => v as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// True if the number was written as an integer literal.
+    pub fn is_int(self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_num(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Number {}
+
+impl Number {
+    /// Total numeric ordering: `Int` and `Float` compare by value; NaN sorts
+    /// greater than every other value so the order is total.
+    pub fn cmp_num(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.cmp(b),
+            (a, b) => {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                match x.partial_cmp(&y) {
+                    Some(o) => o,
+                    None => y.is_nan().cmp(&x.is_nan()).reverse(),
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Number {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_num(other)
+    }
+}
+
+impl Hash for Number {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Numbers that compare equal must hash equal: hash the f64 bit
+        // pattern of the canonical value, folding -0.0 into 0.0.
+        match self.as_i64() {
+            Some(i) => {
+                state.write_u8(0);
+                i.hash(state);
+            }
+            None => {
+                let f = self.as_f64();
+                let f = if f == 0.0 { 0.0 } else { f };
+                state.write_u8(1);
+                f.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    // Keep the float-ness visible so round trips preserve type.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        Number::Int(v)
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(n: Number) -> u64 {
+        let mut h = DefaultHasher::new();
+        n.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_equality() {
+        assert_eq!(Number::Int(3), Number::Float(3.0));
+        assert_ne!(Number::Int(3), Number::Float(3.5));
+    }
+
+    #[test]
+    fn equal_numbers_hash_equal() {
+        assert_eq!(hash_of(Number::Int(7)), hash_of(Number::Float(7.0)));
+        assert_eq!(hash_of(Number::Float(0.0)), hash_of(Number::Float(-0.0)));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Number::Int(2) < Number::Float(2.5));
+        assert!(Number::Float(-1.0) < Number::Int(0));
+    }
+
+    #[test]
+    fn nan_sorts_last_totally() {
+        let nan = Number::Float(f64::NAN);
+        assert_eq!(nan.cmp_num(&nan), Ordering::Equal);
+        assert_eq!(Number::Int(1).cmp_num(&nan), Ordering::Less);
+        assert_eq!(nan.cmp_num(&Number::Int(1)), Ordering::Greater);
+    }
+
+    #[test]
+    fn display_preserves_intness() {
+        assert_eq!(Number::Int(5).to_string(), "5");
+        assert_eq!(Number::Float(5.0).to_string(), "5.0");
+        assert_eq!(Number::Float(1.25).to_string(), "1.25");
+    }
+
+    #[test]
+    fn as_i64_bounds() {
+        assert_eq!(Number::Float(2.0).as_i64(), Some(2));
+        assert_eq!(Number::Float(2.5).as_i64(), None);
+        assert_eq!(Number::Float(1e300).as_i64(), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Compact JSON serializer. `Display` output round-trips through [`crate::parse`].
+
+use crate::value::Json;
+use std::fmt::{self, Write};
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(true) => f.write_str("true"),
+            Json::Bool(false) => f.write_str("false"),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_char(']')
+            }
+            Json::Object(obj) => {
+                f.write_char('{')?;
+                for (i, (k, v)) in obj.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_char(':')?;
+                    write!(f, "{v}")?;
+                }
+                f.write_char('}')
+            }
+        }
+    }
+}
+
+/// Escape a string per RFC 8259: `"` and `\` are escaped, control characters
+/// use short forms where available and `\u00XX` otherwise. Non-ASCII passes
+/// through as UTF-8.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    let mut last = 0;
+    for (i, c) in s.char_indices() {
+        let esc: Option<&str> = match c {
+            '"' => Some("\\\""),
+            '\\' => Some("\\\\"),
+            '\n' => Some("\\n"),
+            '\r' => Some("\\r"),
+            '\t' => Some("\\t"),
+            '\u{0008}' => Some("\\b"),
+            '\u{000C}' => Some("\\f"),
+            c if (c as u32) < 0x20 => None, // handled below
+            _ => continue,
+        };
+        f.write_str(&s[last..i])?;
+        match esc {
+            Some(e) => f.write_str(e)?,
+            None => write!(f, "\\u{:04x}", c as u32)?,
+        }
+        last = i + c.len_utf8();
+    }
+    f.write_str(&s[last..])?;
+    f.write_char('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Json, JsonObject};
+
+    #[test]
+    fn serializes_compactly() {
+        let mut obj = JsonObject::new();
+        obj.insert("name", Json::str("marko"));
+        obj.insert("age", Json::int(29));
+        let doc = Json::Object(obj);
+        assert_eq!(doc.to_string(), r#"{"name":"marko","age":29}"#);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "quote \" slash \\ newline \n tab \t bell \u{0007} emoji 😀";
+        let doc = Json::str(s);
+        let text = doc.to_string();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn float_intness_round_trips() {
+        for (src, text) in [("1.0", "1.0"), ("1", "1"), ("0.5", "0.5")] {
+            let doc = parse(src).unwrap();
+            assert_eq!(doc.to_string(), text);
+            assert_eq!(parse(&doc.to_string()).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let src = r#"{"a":[1,2.5,null,true,"s"],"b":{"c":[{"d":false}]}}"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.to_string(), src);
+    }
+}

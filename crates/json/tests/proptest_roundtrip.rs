@@ -1,0 +1,54 @@
+//! Property-based tests: every generated JSON value survives a
+//! serialize → parse round trip, and parsing is deterministic.
+
+use proptest::prelude::*;
+use sqlgraph_json::{parse, Json, JsonObject};
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::int),
+        // Finite floats only: JSON has no NaN/Inf literals.
+        prop::num::f64::NORMAL.prop_map(Json::float),
+        "[ -~]{0,12}".prop_map(Json::str),
+        "\\PC{0,8}".prop_map(Json::str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|kvs| {
+                Json::Object(kvs.into_iter().collect::<JsonObject>())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(doc in arb_json()) {
+        let text = doc.to_string();
+        let back = parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(&back, &doc);
+        // Idempotence: re-serializing the parsed value gives the same text.
+        prop_assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn total_cmp_is_total_order(a in arb_json(), b in arb_json(), c in arb_json()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity (for the <= relation).
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+        // Reflexivity.
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+}

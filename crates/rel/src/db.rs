@@ -1,0 +1,782 @@
+//! The `Database` facade: catalog, statement execution, transactions,
+//! stored procedures, and WAL-backed recovery.
+//!
+//! Concurrency model: per-table reader/writer locks. Readers may hold
+//! several read locks for the duration of a statement; writers lock one
+//! table at a time inside a statement, and multi-table lock acquisition is
+//! always ordered by table name, so lock cycles cannot form. Transactions
+//! provide atomicity through an undo journal (rolled back on error) and
+//! durability through the WAL (redo records appended at commit). Isolation
+//! is statement-level (read committed) — the same level the paper's
+//! LinkBench runs exercise.
+
+use crate::error::{Error, Result};
+use crate::exec::{run_select, Env, Relation, Row};
+use crate::expr::{BinaryOp, Expr};
+use crate::hasher::FxHashMap;
+use crate::index::{IndexKey, IndexKind, KeyPart, RowId};
+use crate::schema::{Column, ColumnType, TableSchema};
+use crate::sql::ast::{self, Statement};
+use crate::sql::parse_statement;
+use crate::storage::Table;
+use crate::value::Value;
+use crate::wal::{Wal, WalRecord};
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::{Mutex, RawRwLock, RwLock};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Read guard over a table.
+pub type TableReadGuard = ArcRwLockReadGuard<RawRwLock, Table>;
+/// Write guard over a table.
+pub type TableWriteGuard = ArcRwLockWriteGuard<RawRwLock, Table>;
+
+/// A stored procedure: runs inside the caller's transaction.
+pub type Procedure = dyn Fn(&mut Txn<'_>, &[Value]) -> Result<Relation> + Send + Sync;
+
+/// An embedded relational database.
+pub struct Database {
+    tables: RwLock<FxHashMap<String, Arc<RwLock<Table>>>>,
+    procedures: RwLock<FxHashMap<String, Arc<Procedure>>>,
+    wal: Option<Mutex<Wal>>,
+    /// Prepared-statement cache: SQL text → parsed AST. Bounded; cleared
+    /// wholesale when full (statement texts are templates, so the working
+    /// set is small).
+    stmt_cache: RwLock<FxHashMap<String, Arc<Statement>>>,
+}
+
+/// Statement-cache capacity.
+const STMT_CACHE_CAP: usize = 4096;
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.read().keys().collect::<Vec<_>>())
+            .field("wal", &self.wal.is_some())
+            .finish()
+    }
+}
+
+/// One undo entry, applied in reverse order on rollback.
+#[derive(Debug)]
+enum UndoOp {
+    Insert { table: String, row_id: RowId },
+    Delete { table: String, row_id: RowId, row: Row },
+    Update { table: String, row_id: RowId, old: Row },
+}
+
+/// Per-transaction journal: undo for rollback, redo for the WAL.
+#[derive(Debug, Default)]
+struct Journal {
+    undo: Vec<UndoOp>,
+    redo: Vec<WalRecord>,
+}
+
+impl Database {
+    /// A fresh in-memory database (no durability).
+    pub fn new() -> Database {
+        Database {
+            tables: RwLock::new(FxHashMap::default()),
+            procedures: RwLock::new(FxHashMap::default()),
+            wal: None,
+            stmt_cache: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// Parse `sql`, consulting the prepared-statement cache first. DDL is
+    /// never cached (it is rare and must observe catalog changes).
+    fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>> {
+        if let Some(stmt) = self.stmt_cache.read().get(sql) {
+            return Ok(stmt.clone());
+        }
+        let stmt = Arc::new(parse_statement(sql)?);
+        let cacheable = matches!(
+            &*stmt,
+            Statement::Select(_)
+                | Statement::Insert { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+                | Statement::Call { .. }
+        );
+        if cacheable {
+            let mut cache = self.stmt_cache.write();
+            if cache.len() >= STMT_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(sql.to_string(), stmt.clone());
+        }
+        Ok(stmt)
+    }
+
+    /// Open a database backed by a WAL file: existing records are replayed
+    /// (DDL first-class, row images matched by content), then new commits
+    /// append to the same log.
+    pub fn open(wal_path: impl AsRef<Path>) -> Result<Database> {
+        let records = Wal::read_all(&wal_path)?;
+        let mut db = Database::new();
+        db.replay(&records)?;
+        db.wal = Some(Mutex::new(Wal::open(wal_path)?));
+        Ok(db)
+    }
+
+    /// Turn on fsync-per-commit durability (off by default for benchmarks).
+    pub fn set_sync_on_commit(&self, sync: bool) {
+        if let Some(wal) = &self.wal {
+            wal.lock().sync_on_commit = sync;
+        }
+    }
+
+    fn replay(&mut self, records: &[WalRecord]) -> Result<()> {
+        for record in records {
+            match record {
+                WalRecord::Ddl { sql } => {
+                    self.execute(sql)?;
+                }
+                WalRecord::Insert { table, row } => {
+                    let mut t = self.write_table(table)?;
+                    t.insert(row.clone())?;
+                }
+                WalRecord::Delete { table, row } => {
+                    let mut t = self.write_table(table)?;
+                    if let Some(id) = find_row_by_image(&t, row) {
+                        t.delete(id)?;
+                    }
+                }
+                WalRecord::Update { table, old, new } => {
+                    let mut t = self.write_table(table)?;
+                    if let Some(id) = find_row_by_image(&t, old) {
+                        t.update(id, new.clone())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- catalog ----
+
+    /// Handle to a table's lock.
+    fn table_handle(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        let lower = name.to_ascii_lowercase();
+        self.tables
+            .read()
+            .get(&lower)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table '{name}'")))
+    }
+
+    /// Acquire a read lock on a table.
+    pub fn read_table(&self, name: &str) -> Result<TableReadGuard> {
+        Ok(self.table_handle(name)?.read_arc())
+    }
+
+    /// Acquire a write lock on a table.
+    pub fn write_table(&self, name: &str) -> Result<TableWriteGuard> {
+        Ok(self.table_handle(name)?.write_arc())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Live row count of a table.
+    pub fn table_len(&self, name: &str) -> Result<usize> {
+        Ok(self.read_table(name)?.len())
+    }
+
+    /// Rough in-memory footprint of all row data in bytes — the analogue of
+    /// the paper's on-disk size comparison (§5.1).
+    pub fn estimated_bytes(&self) -> usize {
+        let mut total = 0;
+        for name in self.table_names() {
+            if let Ok(t) = self.read_table(&name) {
+                for (_, row) in t.iter() {
+                    total += row.iter().map(value_bytes).sum::<usize>();
+                }
+            }
+        }
+        total
+    }
+
+    /// Register a stored procedure under `name` (case-insensitive).
+    pub fn register_procedure(
+        &self,
+        name: impl Into<String>,
+        proc: Arc<Procedure>,
+    ) {
+        self.procedures
+            .write()
+            .insert(name.into().to_ascii_lowercase(), proc);
+    }
+
+    // ---- statement execution ----
+
+    /// Parse and execute one statement in auto-commit mode.
+    pub fn execute(&self, sql: &str) -> Result<Relation> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Parse and execute one statement with positional `?` parameters.
+    /// Parsed statements are cached by SQL text.
+    pub fn execute_with_params(&self, sql: &str, params: &[Value]) -> Result<Relation> {
+        let stmt = self.parse_cached(sql)?;
+        self.execute_statement(&stmt, params, Some(sql))
+    }
+
+    /// Execute a pre-parsed statement (auto-commit).
+    pub fn execute_statement(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        sql_text: Option<&str>,
+    ) -> Result<Relation> {
+        let mut journal = Journal::default();
+        match self.execute_in(stmt, params, sql_text, &mut journal) {
+            Ok(rel) => {
+                self.commit_journal(journal)?;
+                Ok(rel)
+            }
+            Err(e) => {
+                self.rollback_journal(journal);
+                Err(e)
+            }
+        }
+    }
+
+    /// Run `f` inside a transaction: every statement executed through the
+    /// provided [`Txn`] is journaled; on `Ok` the journal commits to the WAL,
+    /// on `Err` all changes are rolled back.
+    pub fn transaction<T>(&self, f: impl FnOnce(&mut Txn<'_>) -> Result<T>) -> Result<T> {
+        let mut txn = Txn { db: self, journal: Journal::default() };
+        match f(&mut txn) {
+            Ok(v) => {
+                self.commit_journal(txn.journal)?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.rollback_journal(txn.journal);
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_journal(&self, journal: Journal) -> Result<()> {
+        if let (Some(wal), false) = (&self.wal, journal.redo.is_empty()) {
+            wal.lock().append_commit(&journal.redo)?;
+        }
+        Ok(())
+    }
+
+    fn rollback_journal(&self, journal: Journal) {
+        for op in journal.undo.into_iter().rev() {
+            // Rollback must not fail; violations here indicate a bug, and
+            // panicking beats silently corrupting state.
+            match op {
+                UndoOp::Insert { table, row_id } => {
+                    let mut t = self.write_table(&table).expect("table exists during rollback");
+                    t.delete(row_id).expect("undo insert");
+                }
+                UndoOp::Delete { table, row_id, row } => {
+                    let mut t = self.write_table(&table).expect("table exists during rollback");
+                    t.undelete(row_id, row).expect("undo delete");
+                }
+                UndoOp::Update { table, row_id, old } => {
+                    let mut t = self.write_table(&table).expect("table exists during rollback");
+                    t.update(row_id, old).expect("undo update");
+                }
+            }
+        }
+    }
+
+    fn execute_in(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        sql_text: Option<&str>,
+        journal: &mut Journal,
+    ) -> Result<Relation> {
+        match stmt {
+            Statement::Select(select) => {
+                let env = Env::new(self, params);
+                run_select(&env, select)
+            }
+            Statement::Explain(select) => {
+                let trace = std::cell::RefCell::new(Vec::new());
+                let mut env = Env::new(self, params);
+                env.trace = Some(&trace);
+                let rel = run_select(&env, select)?;
+                let mut rows: Vec<Row> = trace
+                    .into_inner()
+                    .into_iter()
+                    .map(|line| vec![Value::str(line)])
+                    .collect();
+                rows.push(vec![Value::str(format!("result: {} rows", rel.rows.len()))]);
+                Ok(Relation { columns: vec!["plan".into()], rows })
+            }
+            Statement::Insert { table, columns, source } => {
+                self.exec_insert(table, columns.as_deref(), source, params, journal)
+            }
+            Statement::Update { table, assignments, filter } => {
+                self.exec_update(table, assignments, filter.as_ref(), params, journal)
+            }
+            Statement::Delete { table, filter } => {
+                self.exec_delete(table, filter.as_ref(), params, journal)
+            }
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                let created = self.create_table_internal(name, columns, *if_not_exists)?;
+                if created {
+                    journal.redo.push(WalRecord::Ddl {
+                        sql: sql_text.map(str::to_owned).unwrap_or_else(|| {
+                            render_create_table(name, columns)
+                        }),
+                    });
+                }
+                Ok(count_relation(created as i64))
+            }
+            Statement::CreateIndex { name, table, columns, unique, kind, if_not_exists } => {
+                let created =
+                    self.create_index_internal(name, table, columns, *unique, *kind, *if_not_exists)?;
+                if created {
+                    journal.redo.push(WalRecord::Ddl {
+                        sql: sql_text.map(str::to_owned).unwrap_or_else(|| {
+                            render_create_index(name, table, columns, *unique, *kind)
+                        }),
+                    });
+                }
+                Ok(count_relation(created as i64))
+            }
+            Statement::DropTable { name, if_exists } => {
+                let lower = name.to_ascii_lowercase();
+                let removed = self.tables.write().remove(&lower).is_some();
+                if !removed && !*if_exists {
+                    return Err(Error::NotFound(format!("table '{name}'")));
+                }
+                if removed {
+                    journal.redo.push(WalRecord::Ddl {
+                        sql: format!("DROP TABLE IF EXISTS {lower}"),
+                    });
+                }
+                Ok(count_relation(removed as i64))
+            }
+            Statement::Call { name, args } => {
+                let proc = self
+                    .procedures
+                    .read()
+                    .get(&name.to_ascii_lowercase())
+                    .cloned()
+                    .ok_or_else(|| Error::NotFound(format!("procedure '{name}'")))?;
+                let env = Env::new(self, params);
+                let empty_scope_args: Vec<Value> = args
+                    .iter()
+                    .map(|a| {
+                        crate::exec::compile_scalar(&env, a).and_then(|e| e.eval(&[]))
+                    })
+                    .collect::<Result<_>>()?;
+                // The procedure shares this statement's journal.
+                let mut txn = Txn { db: self, journal: std::mem::take(journal) };
+                let result = proc(&mut txn, &empty_scope_args);
+                *journal = txn.journal;
+                result
+            }
+        }
+    }
+
+    // ---- DML ----
+
+    fn exec_insert(
+        &self,
+        table_name: &str,
+        columns: Option<&[String]>,
+        source: &ast::InsertSource,
+        params: &[Value],
+        journal: &mut Journal,
+    ) -> Result<Relation> {
+        let env = Env::new(self, params);
+        // Materialize the source rows *before* locking the target table.
+        let source_rows: Vec<Row> = match source {
+            ast::InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut values = Vec::with_capacity(row.len());
+                    for e in row {
+                        values.push(crate::exec::compile_scalar(&env, e)?.eval(&[])?);
+                    }
+                    out.push(values);
+                }
+                out
+            }
+            ast::InsertSource::Select(query) => run_select(&env, query)?.rows,
+        };
+
+        let mut table = self.write_table(table_name)?;
+        let lower = table.schema.name.clone();
+        // Map through the explicit column list if given.
+        let mapping: Option<Vec<usize>> = match columns {
+            None => None,
+            Some(cols) => Some(
+                cols.iter()
+                    .map(|c| {
+                        table
+                            .schema
+                            .column_index(c)
+                            .ok_or_else(|| Error::NotFound(format!("column '{c}'")))
+                    })
+                    .collect::<Result<_>>()?,
+            ),
+        };
+        let arity = table.schema.arity();
+        let mut inserted = 0i64;
+        for src in source_rows {
+            let full = match &mapping {
+                None => src,
+                Some(map) => {
+                    if src.len() != map.len() {
+                        return Err(Error::Schema(format!(
+                            "INSERT provides {} values for {} columns",
+                            src.len(),
+                            map.len()
+                        )));
+                    }
+                    let mut full = vec![Value::Null; arity];
+                    for (v, &target) in src.into_iter().zip(map) {
+                        full[target] = v;
+                    }
+                    full
+                }
+            };
+            let row_image = full.clone();
+            let row_id = table.insert(full)?;
+            journal.undo.push(UndoOp::Insert { table: lower.clone(), row_id });
+            journal.redo.push(WalRecord::Insert { table: lower.clone(), row: row_image });
+            inserted += 1;
+        }
+        Ok(count_relation(inserted))
+    }
+
+    fn exec_update(
+        &self,
+        table_name: &str,
+        assignments: &[(String, ast::Expr)],
+        filter: Option<&ast::Expr>,
+        params: &[Value],
+        journal: &mut Journal,
+    ) -> Result<Relation> {
+        let env = Env::new(self, params);
+        let mut table = self.write_table(table_name)?;
+        let lower = table.schema.name.clone();
+        let compiled_filter = filter
+            .map(|f| crate::exec::compile_table_expr(&env, &table.schema, f))
+            .transpose()?;
+        let compiled_assignments: Vec<(usize, Expr)> = assignments
+            .iter()
+            .map(|(col, e)| {
+                let idx = table
+                    .schema
+                    .column_index(col)
+                    .ok_or_else(|| Error::NotFound(format!("column '{col}'")))?;
+                Ok((idx, crate::exec::compile_table_expr(&env, &table.schema, e)?))
+            })
+            .collect::<Result<_>>()?;
+
+        let targets = find_target_rows(&table, compiled_filter.as_ref())?;
+        let mut updated = 0i64;
+        for row_id in targets {
+            let old: Row = table.get(row_id).expect("target is live").to_vec();
+            let mut new = old.clone();
+            for (idx, e) in &compiled_assignments {
+                new[*idx] = e.eval(&old)?;
+            }
+            table.update(row_id, new.clone())?;
+            journal.undo.push(UndoOp::Update { table: lower.clone(), row_id, old: old.clone() });
+            journal.redo.push(WalRecord::Update { table: lower.clone(), old, new });
+            updated += 1;
+        }
+        Ok(count_relation(updated))
+    }
+
+    fn exec_delete(
+        &self,
+        table_name: &str,
+        filter: Option<&ast::Expr>,
+        params: &[Value],
+        journal: &mut Journal,
+    ) -> Result<Relation> {
+        let env = Env::new(self, params);
+        let mut table = self.write_table(table_name)?;
+        let lower = table.schema.name.clone();
+        let compiled_filter = filter
+            .map(|f| crate::exec::compile_table_expr(&env, &table.schema, f))
+            .transpose()?;
+        let targets = find_target_rows(&table, compiled_filter.as_ref())?;
+        let mut deleted = 0i64;
+        for row_id in targets {
+            let row = table.delete(row_id)?;
+            journal.undo.push(UndoOp::Delete { table: lower.clone(), row_id, row: row.clone() });
+            journal.redo.push(WalRecord::Delete { table: lower.clone(), row });
+            deleted += 1;
+        }
+        Ok(count_relation(deleted))
+    }
+
+    /// Programmatic table creation.
+    pub fn create_table(&self, schema: TableSchema, primary_key: Option<&str>) -> Result<()> {
+        let columns: Vec<(String, ColumnType, bool)> = schema
+            .columns
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    c.ty,
+                    primary_key.is_some_and(|pk| pk.eq_ignore_ascii_case(&c.name)),
+                )
+            })
+            .collect();
+        self.create_table_internal(&schema.name, &columns, false)?;
+        Ok(())
+    }
+
+    fn create_table_internal(
+        &self,
+        name: &str,
+        columns: &[(String, ColumnType, bool)],
+        if_not_exists: bool,
+    ) -> Result<bool> {
+        let lower = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&lower) {
+            if if_not_exists {
+                return Ok(false);
+            }
+            return Err(Error::Schema(format!("table '{name}' already exists")));
+        }
+        let schema = TableSchema::new(
+            lower.clone(),
+            columns
+                .iter()
+                .map(|(n, ty, _)| Column { name: n.to_ascii_lowercase(), ty: *ty })
+                .collect(),
+        )?;
+        let mut table = Table::new(schema);
+        for (i, (col, _, pk)) in columns.iter().enumerate() {
+            if *pk {
+                table.create_index(format!("{lower}_pk_{col}"), vec![i], true, IndexKind::Hash)?;
+            }
+        }
+        tables.insert(lower, Arc::new(RwLock::new(table)));
+        Ok(true)
+    }
+
+    fn create_index_internal(
+        &self,
+        name: &str,
+        table: &str,
+        columns: &[ast::IndexColumn],
+        unique: bool,
+        kind: IndexKind,
+        if_not_exists: bool,
+    ) -> Result<bool> {
+        let mut t = self.write_table(table)?;
+        let parts: Vec<KeyPart> = columns
+            .iter()
+            .map(|c| {
+                let pos = t
+                    .schema
+                    .column_index(&c.column)
+                    .ok_or_else(|| Error::NotFound(format!("column '{}'", c.column)))?;
+                Ok(match &c.json_key {
+                    Some(member) => KeyPart::JsonKey(pos, member.clone()),
+                    None => KeyPart::Column(pos),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let lname = name.to_ascii_lowercase();
+        if t.indexes().iter().any(|i| i.name == lname) {
+            if if_not_exists {
+                return Ok(false);
+            }
+            return Err(Error::Schema(format!("index '{name}' already exists")));
+        }
+        t.create_index_with_parts(lname, parts, unique, kind)?;
+        Ok(true)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+/// A transaction handle: statements executed through it share one journal.
+pub struct Txn<'a> {
+    db: &'a Database,
+    journal: Journal,
+}
+
+impl<'a> Txn<'a> {
+    /// The underlying database (for read-only queries).
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    /// Execute a statement inside this transaction.
+    pub fn execute(&mut self, sql: &str) -> Result<Relation> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Execute a parameterized statement inside this transaction.
+    pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> Result<Relation> {
+        let stmt = self.db.parse_cached(sql)?;
+        self.execute_statement(&stmt, params, Some(sql))
+    }
+
+    /// Execute a pre-parsed statement inside this transaction.
+    pub fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+        sql_text: Option<&str>,
+    ) -> Result<Relation> {
+        self.db.execute_in(stmt, params, sql_text, &mut self.journal)
+    }
+}
+
+/// Row ids matching `filter` — point index lookup for `col = const`
+/// conjuncts where possible, otherwise a scan.
+fn find_target_rows(table: &Table, filter: Option<&Expr>) -> Result<Vec<RowId>> {
+    let Some(filter) = filter else {
+        return Ok(table.iter().map(|(id, _)| id).collect());
+    };
+    // Try: filter contains conjunct Col(i) = Const and an index on [i].
+    let mut candidate: Option<(usize, Value)> = None;
+    visit_conjuncts_expr(filter, &mut |c| {
+        if candidate.is_some() {
+            return;
+        }
+        if let Expr::Binary(BinaryOp::Eq, a, b) = c {
+            match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Const(v)) | (Expr::Const(v), Expr::Col(i)) => {
+                    candidate = Some((*i, v.clone()));
+                }
+                _ => {}
+            }
+        }
+    });
+    if let Some((col, value)) = candidate {
+        if let Some(idx) = table.index_with_prefix(col) {
+            if idx.columns.len() == 1 {
+                let ids: Vec<RowId> = idx.lookup(&IndexKey(vec![value])).to_vec();
+                let mut out = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let row = table.get(id).expect("index points at live row");
+                    if filter.eval_bool(row)? {
+                        out.push(id);
+                    }
+                }
+                return Ok(out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (id, row) in table.iter() {
+        if filter.eval_bool(row)? {
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+fn visit_conjuncts_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    if let Expr::Binary(BinaryOp::And, l, r) = e {
+        visit_conjuncts_expr(l, f);
+        visit_conjuncts_expr(r, f);
+    } else {
+        f(e);
+    }
+}
+
+fn find_row_by_image(table: &Table, image: &[Value]) -> Option<RowId> {
+    // Prefer a unique index prefix if the image's first column is indexed.
+    if let Some(idx) = table.index_with_prefix(0) {
+        if idx.columns.len() == 1 {
+            let key = IndexKey(vec![image[0].clone()]);
+            for &id in idx.lookup(&key) {
+                if table.get(id).is_some_and(|r| r == image) {
+                    return Some(id);
+                }
+            }
+            return None;
+        }
+    }
+    table.iter().find(|(_, r)| *r == image).map(|(id, _)| id)
+}
+
+fn count_relation(n: i64) -> Relation {
+    Relation {
+        columns: vec!["count".into()],
+        rows: vec![vec![Value::Int(n)]],
+    }
+}
+
+fn render_create_table(name: &str, columns: &[(String, ColumnType, bool)]) -> String {
+    let cols: Vec<String> = columns
+        .iter()
+        .map(|(n, ty, pk)| {
+            format!(
+                "{} {}{}",
+                n,
+                match ty {
+                    ColumnType::Integer => "INTEGER",
+                    ColumnType::Double => "DOUBLE",
+                    ColumnType::Text => "TEXT",
+                    ColumnType::Json => "JSON",
+                    ColumnType::Boolean => "BOOLEAN",
+                    ColumnType::Any => "ANY",
+                },
+                if *pk { " PRIMARY KEY" } else { "" }
+            )
+        })
+        .collect();
+    format!("CREATE TABLE {} ({})", name, cols.join(", "))
+}
+
+fn render_create_index(
+    name: &str,
+    table: &str,
+    columns: &[ast::IndexColumn],
+    unique: bool,
+    kind: IndexKind,
+) -> String {
+    let keys: Vec<String> = columns
+        .iter()
+        .map(|c| match &c.json_key {
+            Some(m) => format!("JSON_VAL({}, '{}')", c.column, m.replace('\'', "''")),
+            None => c.column.clone(),
+        })
+        .collect();
+    format!(
+        "CREATE {}INDEX {} ON {} ({}) USING {}",
+        if unique { "UNIQUE " } else { "" },
+        name,
+        table,
+        keys.join(", "),
+        match kind {
+            IndexKind::Hash => "HASH",
+            IndexKind::BTree => "BTREE",
+        }
+    )
+}
+
+fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Double(_) => 8,
+        Value::Str(s) => s.len() + 8,
+        Value::Json(j) => j.to_string().len() + 8,
+        Value::Array(a) => a.iter().map(value_bytes).sum::<usize>() + 8,
+    }
+}

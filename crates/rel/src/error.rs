@@ -1,0 +1,44 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Every fallible engine operation returns `Result<T, Error>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// SQL text failed to lex or parse. Carries position and message.
+    Parse { offset: usize, message: String },
+    /// Query referenced an unknown table, column, index, or procedure.
+    NotFound(String),
+    /// Schema violation: duplicate table, duplicate key on a unique index,
+    /// arity mismatch, duplicate column, etc.
+    Schema(String),
+    /// Type mismatch during expression evaluation or a failed cast.
+    Type(String),
+    /// A statement-level constraint failed (e.g. parameter index out of range).
+    Invalid(String),
+    /// Write-ahead log I/O or corruption.
+    Wal(String),
+    /// The transaction was rolled back by user code.
+    RolledBack(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { offset, message } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Schema(msg) => write!(f, "schema error: {msg}"),
+            Error::Type(msg) => write!(f, "type error: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            Error::Wal(msg) => write!(f, "WAL error: {msg}"),
+            Error::RolledBack(msg) => write!(f, "transaction rolled back: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,2073 @@
+//! Query planning and execution.
+//!
+//! Execution is set-oriented and materialized: each stage (scan, join,
+//! lateral unnest, aggregate, set op) produces a full [`Relation`]. This is
+//! exactly the execution model the paper's CTE pipelines assume — each CTE
+//! materializes once and feeds the next — and it keeps the engine simple
+//! while preserving the behaviour under study: one declarative statement
+//! executes the whole traversal with hash/index joins instead of a chatty
+//! call-per-step protocol.
+//!
+//! Planning is heuristic but real:
+//! * single-table equality predicates are pushed into scans and served from
+//!   the best matching (possibly composite) index;
+//! * comma joins execute left-to-right; each new table is attached by index
+//!   nested-loop join when an index covers the join key (plus any constant
+//!   equality columns), by hash join otherwise, falling back to a filtered
+//!   cross product when no equi-join conjunct exists;
+//! * explicit `JOIN ... ON` trees use hash equi-joins (with left-outer
+//!   NULL padding) and the same index strategy where possible.
+
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::expr::{self, BinaryOp, Expr};
+use crate::hasher::{FxHashMap, FxHashSet};
+use crate::index::IndexKey;
+use crate::sql::ast;
+use crate::storage::Table;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// An executor row.
+pub type Row = Vec<Value>;
+
+/// Per-alias column lists tracked through explicit JOIN trees.
+type ScopeCols = Vec<(String, Vec<String>)>;
+
+/// A materialized relation: named columns plus rows.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Lower-cased output column names.
+    pub columns: Vec<String>,
+    /// Row data.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Build a relation, lower-casing column names.
+    pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Relation {
+        Relation {
+            columns: columns.into_iter().map(|c| c.to_ascii_lowercase()).collect(),
+            rows,
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| *c == lower)
+    }
+
+    /// Single-value convenience: the first column of the first row.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// First column of every row as i64 (skipping non-ints).
+    pub fn int_column(&self) -> Vec<i64> {
+        self.rows.iter().filter_map(|r| r.first().and_then(Value::as_int)).collect()
+    }
+
+    /// First column of every row rendered as strings.
+    pub fn strings(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.first())
+            .map(|v| v.to_string())
+            .collect()
+    }
+}
+
+/// One entry of the name-resolution scope: `(alias, column names)`.
+#[derive(Debug, Clone)]
+pub(crate) struct ScopeEntry {
+    alias: String,
+    columns: Vec<String>,
+    offset: usize,
+}
+
+/// Name-resolution scope for a FROM list.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scope {
+    entries: Vec<ScopeEntry>,
+    width: usize,
+}
+
+impl Scope {
+    fn push(&mut self, alias: &str, columns: Vec<String>) {
+        let offset = self.width;
+        self.width += columns.len();
+        self.entries.push(ScopeEntry {
+            alias: alias.to_ascii_lowercase(),
+            columns,
+            offset,
+        });
+    }
+
+    /// Resolve a possibly-qualified column to a flat offset.
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let lname = name.to_ascii_lowercase();
+        match table {
+            Some(t) => {
+                let lt = t.to_ascii_lowercase();
+                let entry = self
+                    .entries
+                    .iter()
+                    .find(|e| e.alias == lt)
+                    .ok_or_else(|| Error::NotFound(format!("table alias '{t}'")))?;
+                let col = entry
+                    .columns
+                    .iter()
+                    .position(|c| *c == lname)
+                    .ok_or_else(|| Error::NotFound(format!("column '{t}.{name}'")))?;
+                Ok(entry.offset + col)
+            }
+            None => {
+                let mut found = None;
+                for entry in &self.entries {
+                    if let Some(col) = entry.columns.iter().position(|c| *c == lname) {
+                        if found.is_some() {
+                            return Err(Error::Invalid(format!("ambiguous column '{name}'")));
+                        }
+                        found = Some(entry.offset + col);
+                    }
+                }
+                found.ok_or_else(|| Error::NotFound(format!("column '{name}'")))
+            }
+        }
+    }
+}
+
+/// Execution environment: the database plus visible CTE bindings.
+pub struct Env<'a> {
+    /// Catalog / storage access.
+    pub db: &'a Database,
+    /// CTEs visible to the query being executed (lower-cased names).
+    pub ctes: FxHashMap<String, Arc<Relation>>,
+    /// Positional parameter values.
+    pub params: &'a [Value],
+    /// When set, the executor records access-path decisions here
+    /// (`EXPLAIN` support).
+    pub trace: Option<&'a std::cell::RefCell<Vec<String>>>,
+}
+
+impl<'a> Env<'a> {
+    /// New environment with no CTEs.
+    pub fn new(db: &'a Database, params: &'a [Value]) -> Env<'a> {
+        Env { db, ctes: FxHashMap::default(), params, trace: None }
+    }
+
+    /// Record one access-path decision (no-op unless tracing).
+    pub fn note(&self, line: impl FnOnce() -> String) {
+        if let Some(t) = self.trace {
+            t.borrow_mut().push(line());
+        }
+    }
+}
+
+/// Run a full query.
+pub fn run_select(env: &Env<'_>, stmt: &ast::SelectStmt) -> Result<Relation> {
+    // Materialize CTEs in order; each sees the previous ones.
+    let mut env2 = Env {
+        db: env.db,
+        ctes: env.ctes.clone(),
+        params: env.params,
+        trace: env.trace,
+    };
+    for (name, query) in &stmt.ctes {
+        let rel = run_select(&env2, query)?;
+        env2.ctes.insert(name.to_ascii_lowercase(), Arc::new(rel));
+    }
+    // A single-core body handles ORDER BY internally so sort keys may
+    // reference input columns that are not projected; set-op bodies sort on
+    // output columns only.
+    let mut rel = match &stmt.body {
+        ast::SetExpr::Select(core) if !stmt.order_by.is_empty() => {
+            run_core(&env2, core, &stmt.order_by)?
+        }
+        body => {
+            let mut rel = run_set_expr(&env2, body)?;
+            if !stmt.order_by.is_empty() {
+                sort_relation(&env2, &mut rel, &stmt.order_by)?;
+            }
+            rel
+        }
+    };
+    apply_limit_offset(&env2, &mut rel, stmt.limit.as_ref(), stmt.offset.as_ref())?;
+    Ok(rel)
+}
+
+fn apply_limit_offset(
+    env: &Env<'_>,
+    rel: &mut Relation,
+    limit: Option<&ast::Expr>,
+    offset: Option<&ast::Expr>,
+) -> Result<()> {
+    let eval_n = |e: &ast::Expr| -> Result<usize> {
+        let scope = Scope::default();
+        let compiled = compile_expr(env, &scope, e)?;
+        compiled
+            .eval(&[])?
+            .as_int()
+            .filter(|n| *n >= 0)
+            .map(|n| n as usize)
+            .ok_or_else(|| Error::Invalid("LIMIT/OFFSET must be a non-negative integer".into()))
+    };
+    if let Some(off) = offset {
+        let n = eval_n(off)?.min(rel.rows.len());
+        rel.rows.drain(..n);
+    }
+    if let Some(lim) = limit {
+        let n = eval_n(lim)?;
+        rel.rows.truncate(n);
+    }
+    Ok(())
+}
+
+fn sort_relation(env: &Env<'_>, rel: &mut Relation, keys: &[(ast::Expr, bool)]) -> Result<()> {
+    // ORDER BY resolves against the output columns; bare integers are
+    // 1-based output positions.
+    let mut scope = Scope::default();
+    scope.push("", rel.columns.clone());
+    let mut compiled = Vec::with_capacity(keys.len());
+    for (e, desc) in keys {
+        let ce = match e {
+            ast::Expr::Literal(Value::Int(n)) if *n >= 1 && (*n as usize) <= rel.columns.len() => {
+                Expr::Col(*n as usize - 1)
+            }
+            // Qualified references (`ORDER BY p2.name`) resolve by bare
+            // column name against the output, matching common SQL practice.
+            ast::Expr::Column { table: Some(_), name } => compile_expr(
+                env,
+                &scope,
+                &ast::Expr::Column { table: None, name: name.clone() },
+            )?,
+            other => compile_expr(env, &scope, other)?,
+        };
+        compiled.push((ce, *desc));
+    }
+    // Precompute sort keys to keep comparisons cheap and fallible code out
+    // of the comparator.
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rel.rows.len());
+    for row in rel.rows.drain(..) {
+        let mut k = Vec::with_capacity(compiled.len());
+        for (ce, _) in &compiled {
+            k.push(ce.eval(&row)?);
+        }
+        keyed.push((k, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for ((a, b), (_, desc)) in ka.iter().zip(kb.iter()).zip(&compiled) {
+            let o = a.total_cmp(b);
+            if o != std::cmp::Ordering::Equal {
+                return if *desc { o.reverse() } else { o };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rel.rows = keyed.into_iter().map(|(_, r)| r).collect();
+    Ok(())
+}
+
+fn run_set_expr(env: &Env<'_>, body: &ast::SetExpr) -> Result<Relation> {
+    match body {
+        ast::SetExpr::Select(core) => run_core(env, core, &[]),
+        ast::SetExpr::Op { op, all, left, right } => {
+            let l = run_set_expr(env, left)?;
+            let r = run_set_expr(env, right)?;
+            if l.columns.len() != r.columns.len() {
+                return Err(Error::Invalid(format!(
+                    "set operands have different arities ({} vs {})",
+                    l.columns.len(),
+                    r.columns.len()
+                )));
+            }
+            let mut out = Relation { columns: l.columns.clone(), rows: Vec::new() };
+            match op {
+                ast::SetOp::Union => {
+                    out.rows = l.rows;
+                    out.rows.extend(r.rows);
+                    if !*all {
+                        dedup_rows(&mut out.rows);
+                    }
+                }
+                ast::SetOp::Intersect => {
+                    let rset: FxHashSet<&Row> = r.rows.iter().collect();
+                    let mut seen = FxHashSet::default();
+                    for row in l.rows {
+                        if rset.contains(&row) && seen.insert(row.clone()) {
+                            out.rows.push(row);
+                        }
+                    }
+                }
+                ast::SetOp::Except => {
+                    let rset: FxHashSet<&Row> = r.rows.iter().collect();
+                    let mut seen = FxHashSet::default();
+                    for row in l.rows {
+                        if !rset.contains(&row) && seen.insert(row.clone()) {
+                            out.rows.push(row);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn dedup_rows(rows: &mut Vec<Row>) {
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    rows.retain(|r| seen.insert(r.clone()));
+}
+
+// ---------------------------------------------------------------------------
+// SELECT core
+// ---------------------------------------------------------------------------
+
+fn run_core(
+    env: &Env<'_>,
+    core: &ast::SelectCore,
+    order_by: &[(ast::Expr, bool)],
+) -> Result<Relation> {
+    // 1. Execute the FROM pipeline with WHERE pushdown and projection
+    //    pruning (only referenced base-table columns are materialized).
+    let needs = collect_needs(core, order_by);
+    let (scope, rows) = run_from(env, &core.from, core.filter.as_ref(), &needs)?;
+
+    // 2. Aggregate or plain projection. ORDER BY keys are computed as
+    //    hidden trailing columns so they may reference unprojected inputs.
+    let needs_agg = !core.group_by.is_empty()
+        || core.projections.iter().any(|p| match p {
+            ast::Projection::Expr { expr, .. } => contains_aggregate(expr),
+            _ => false,
+        });
+
+    let mut rel = if needs_agg {
+        run_aggregate(env, &scope, rows, core, order_by)?
+    } else {
+        project(env, &scope, rows, &core.projections, order_by)?
+    };
+
+    let visible = rel.columns.len();
+    if core.distinct {
+        // Deduplicate on the visible prefix, keeping the first occurrence.
+        let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+        rel.rows.retain(|r| seen.insert(r[..visible].to_vec()));
+    }
+    if !order_by.is_empty() {
+        let descs: Vec<bool> = order_by.iter().map(|(_, d)| *d).collect();
+        sort_rows_by_hidden(&mut rel.rows, visible, &descs);
+        for row in &mut rel.rows {
+            row.truncate(visible);
+        }
+    }
+    Ok(rel)
+}
+
+/// Stable sort by the hidden key columns appended after `visible`.
+fn sort_rows_by_hidden(rows: &mut [Row], visible: usize, descs: &[bool]) {
+    rows.sort_by(|a, b| {
+        for (i, desc) in descs.iter().enumerate() {
+            let o = a[visible + i].total_cmp(&b[visible + i]);
+            if o != std::cmp::Ordering::Equal {
+                return if *desc { o.reverse() } else { o };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// Compile one ORDER BY key against, in priority order: a matching output
+/// alias (reusing that projection's expression), a 1-based output position,
+/// or the input scope directly. `agg` is used for aggregate queries.
+fn compile_order_key(
+    env: &Env<'_>,
+    scope: &Scope,
+    key: &ast::Expr,
+    names: &[String],
+    exprs: &[Expr],
+    aggs: Option<&mut Vec<AggSpec>>,
+) -> Result<Expr> {
+    // Positional: ORDER BY 2.
+    if let ast::Expr::Literal(Value::Int(n)) = key {
+        if *n >= 1 && (*n as usize) <= exprs.len() {
+            return Ok(exprs[*n as usize - 1].clone());
+        }
+    }
+    // Output alias (possibly qualified — qualifier ignored per SQL habit).
+    if let ast::Expr::Column { name, .. } = key {
+        let lower = name.to_ascii_lowercase();
+        if let Some(i) = names.iter().position(|n| *n == lower) {
+            return Ok(exprs[i].clone());
+        }
+    }
+    match aggs {
+        Some(aggs) => compile_with_aggs(env, scope, key, aggs),
+        None => compile_expr(env, scope, key),
+    }
+}
+
+fn project(
+    env: &Env<'_>,
+    scope: &Scope,
+    rows: Vec<Row>,
+    projections: &[ast::Projection],
+    order_by: &[(ast::Expr, bool)],
+) -> Result<Relation> {
+    let (names, mut exprs) = compile_projections(env, scope, projections)?;
+    let visible = exprs.len();
+    for (key, _) in order_by {
+        let ke = compile_order_key(env, scope, key, &names, &exprs[..visible], None)?;
+        exprs.push(ke);
+    }
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            out.push(e.eval(row)?);
+        }
+        out_rows.push(out);
+    }
+    Ok(Relation { columns: names, rows: out_rows })
+}
+
+fn compile_projections(
+    env: &Env<'_>,
+    scope: &Scope,
+    projections: &[ast::Projection],
+) -> Result<(Vec<String>, Vec<Expr>)> {
+    let mut names = Vec::new();
+    let mut exprs = Vec::new();
+    for p in projections {
+        match p {
+            ast::Projection::Wildcard => {
+                for entry in &scope.entries {
+                    for (i, c) in entry.columns.iter().enumerate() {
+                        names.push(c.clone());
+                        exprs.push(Expr::Col(entry.offset + i));
+                    }
+                }
+            }
+            ast::Projection::TableWildcard(t) => {
+                let lt = t.to_ascii_lowercase();
+                let entry = scope
+                    .entries
+                    .iter()
+                    .find(|e| e.alias == lt)
+                    .ok_or_else(|| Error::NotFound(format!("table alias '{t}'")))?;
+                for (i, c) in entry.columns.iter().enumerate() {
+                    names.push(c.clone());
+                    exprs.push(Expr::Col(entry.offset + i));
+                }
+            }
+            ast::Projection::Expr { expr, alias } => {
+                let name = alias
+                    .clone()
+                    .or_else(|| match expr {
+                        ast::Expr::Column { name, .. } => Some(name.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| format!("col{}", names.len()));
+                names.push(name.to_ascii_lowercase());
+                exprs.push(compile_expr(env, scope, expr)?);
+            }
+        }
+    }
+    Ok((names, exprs))
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggFn {
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFn {
+    fn parse(name: &str) -> Option<AggFn> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFn::Count,
+            "SUM" => AggFn::Sum,
+            "MIN" => AggFn::Min,
+            "MAX" => AggFn::Max,
+            "AVG" => AggFn::Avg,
+            _ => return None,
+        })
+    }
+}
+
+struct AggSpec {
+    func: AggFn,
+    arg: Option<Expr>,
+    distinct: bool,
+}
+
+fn contains_aggregate(e: &ast::Expr) -> bool {
+    match e {
+        ast::Expr::CountStar => true,
+        ast::Expr::Call { name, args, .. } => {
+            AggFn::parse(name).is_some() || args.iter().any(contains_aggregate)
+        }
+        ast::Expr::Unary(_, x) | ast::Expr::IsNull(x, _) | ast::Expr::Cast(x, _) => {
+            contains_aggregate(x)
+        }
+        ast::Expr::Binary(_, l, r) | ast::Expr::Subscript(l, r) => {
+            contains_aggregate(l) || contains_aggregate(r)
+        }
+        ast::Expr::Like { expr, pattern, .. } => {
+            contains_aggregate(expr) || contains_aggregate(pattern)
+        }
+        ast::Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        ast::Expr::Between { expr, lo, hi, .. } => {
+            contains_aggregate(expr) || contains_aggregate(lo) || contains_aggregate(hi)
+        }
+        _ => false,
+    }
+}
+
+/// Compile an expression that may contain aggregate calls: each aggregate
+/// becomes a reference to a slot *after* the input row (the executor
+/// evaluates groups into `input_row ++ agg_values`).
+fn compile_with_aggs(
+    env: &Env<'_>,
+    scope: &Scope,
+    e: &ast::Expr,
+    aggs: &mut Vec<AggSpec>,
+) -> Result<Expr> {
+    match e {
+        ast::Expr::CountStar => {
+            aggs.push(AggSpec { func: AggFn::CountStar, arg: None, distinct: false });
+            Ok(Expr::Col(scope.width + aggs.len() - 1))
+        }
+        ast::Expr::Call { name, args, distinct } if AggFn::parse(name).is_some() => {
+            let func = AggFn::parse(name).unwrap();
+            if args.len() != 1 {
+                return Err(Error::Invalid(format!("{name} takes exactly one argument")));
+            }
+            let arg = compile_expr(env, scope, &args[0])?;
+            aggs.push(AggSpec { func, arg: Some(arg), distinct: *distinct });
+            Ok(Expr::Col(scope.width + aggs.len() - 1))
+        }
+        ast::Expr::Unary(op, x) => Ok(Expr::Unary(
+            *op,
+            Box::new(compile_with_aggs(env, scope, x, aggs)?),
+        )),
+        ast::Expr::Binary(op, l, r) => Ok(Expr::Binary(
+            *op,
+            Box::new(compile_with_aggs(env, scope, l, aggs)?),
+            Box::new(compile_with_aggs(env, scope, r, aggs)?),
+        )),
+        // Aggregates inside other constructs are rare; compile without.
+        other => compile_expr(env, scope, other),
+    }
+}
+
+fn run_aggregate(
+    env: &Env<'_>,
+    scope: &Scope,
+    rows: Vec<Row>,
+    core: &ast::SelectCore,
+    order_by: &[(ast::Expr, bool)],
+) -> Result<Relation> {
+    let group_exprs: Vec<Expr> = core
+        .group_by
+        .iter()
+        .map(|e| compile_expr(env, scope, e))
+        .collect::<Result<_>>()?;
+
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    let mut names = Vec::new();
+    let mut proj_exprs = Vec::new();
+    for p in &core.projections {
+        match p {
+            ast::Projection::Expr { expr, alias } => {
+                let name = alias
+                    .clone()
+                    .or_else(|| match expr {
+                        ast::Expr::Column { name, .. } => Some(name.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| format!("col{}", names.len()));
+                names.push(name.to_ascii_lowercase());
+                proj_exprs.push(compile_with_aggs(env, scope, expr, &mut aggs)?);
+            }
+            _ => {
+                return Err(Error::Invalid(
+                    "wildcard projections are not allowed with GROUP BY/aggregates".into(),
+                ))
+            }
+        }
+    }
+    let having = core
+        .having
+        .as_ref()
+        .map(|h| compile_with_aggs(env, scope, h, &mut aggs))
+        .transpose()?;
+    let visible = proj_exprs.len();
+    for (key, _) in order_by {
+        let snapshot = proj_exprs[..visible].to_vec();
+        let ke = compile_order_key(env, scope, key, &names, &snapshot, Some(&mut aggs))?;
+        proj_exprs.push(ke);
+    }
+
+    // Group rows.
+    let mut groups: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(group_exprs.len());
+        for g in &group_exprs {
+            key.push(g.eval(&row)?);
+        }
+        match groups.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(key);
+                e.insert(vec![row]);
+            }
+        }
+    }
+    // A scalar aggregate over zero rows still yields one group.
+    if groups.is_empty() && group_exprs.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for key in order {
+        let group = &groups[&key];
+        let agg_values = eval_aggs(&aggs, group)?;
+        // Representative row: first of group, or all-NULL for empty input.
+        let mut extended: Row = group
+            .first()
+            .cloned()
+            .unwrap_or_else(|| vec![Value::Null; scope.width]);
+        extended.extend(agg_values);
+        if let Some(h) = &having {
+            if !h.eval_bool(&extended)? {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(proj_exprs.len());
+        for e in &proj_exprs {
+            out.push(e.eval(&extended)?);
+        }
+        out_rows.push(out);
+    }
+    Ok(Relation { columns: names, rows: out_rows })
+}
+
+fn eval_aggs(aggs: &[AggSpec], group: &[Row]) -> Result<Vec<Value>> {
+    let mut out = Vec::with_capacity(aggs.len());
+    for spec in aggs {
+        let v = match spec.func {
+            AggFn::CountStar => Value::Int(group.len() as i64),
+            AggFn::Count => {
+                let arg = spec.arg.as_ref().expect("COUNT has an argument");
+                if spec.distinct {
+                    let mut seen = FxHashSet::default();
+                    for row in group {
+                        let v = arg.eval(row)?;
+                        if !v.is_null() {
+                            seen.insert(v);
+                        }
+                    }
+                    Value::Int(seen.len() as i64)
+                } else {
+                    let mut n = 0i64;
+                    for row in group {
+                        if !arg.eval(row)?.is_null() {
+                            n += 1;
+                        }
+                    }
+                    Value::Int(n)
+                }
+            }
+            AggFn::Sum | AggFn::Avg => {
+                let arg = spec.arg.as_ref().expect("SUM/AVG has an argument");
+                let mut sum_i: i64 = 0;
+                let mut sum_f: f64 = 0.0;
+                let mut any_f = false;
+                let mut n = 0i64;
+                for row in group {
+                    match arg.eval(row)? {
+                        Value::Null => {}
+                        Value::Int(v) => {
+                            sum_i = sum_i.wrapping_add(v);
+                            n += 1;
+                        }
+                        Value::Double(v) => {
+                            sum_f += v;
+                            any_f = true;
+                            n += 1;
+                        }
+                        other => {
+                            return Err(Error::Type(format!(
+                                "cannot SUM a {}",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+                if n == 0 {
+                    Value::Null
+                } else if spec.func == AggFn::Sum {
+                    if any_f {
+                        Value::Double(sum_f + sum_i as f64)
+                    } else {
+                        Value::Int(sum_i)
+                    }
+                } else {
+                    Value::Double((sum_f + sum_i as f64) / n as f64)
+                }
+            }
+            AggFn::Min | AggFn::Max => {
+                let arg = spec.arg.as_ref().expect("MIN/MAX has an argument");
+                let mut best: Option<Value> = None;
+                for row in group {
+                    let v = arg.eval(row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = match spec.func {
+                                AggFn::Min => v.total_cmp(&b) == std::cmp::Ordering::Less,
+                                _ => v.total_cmp(&b) == std::cmp::Ordering::Greater,
+                            };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best.unwrap_or(Value::Null)
+            }
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// FROM pipeline
+// ---------------------------------------------------------------------------
+
+/// Projection-pruning analysis of a SELECT core: which columns of each
+/// FROM alias the statement can reference.
+#[derive(Debug, Default)]
+struct Needs {
+    /// Qualified references per (lower-cased) alias.
+    per_alias: FxHashMap<String, FxHashSet<String>>,
+    /// Aliases that need every column (`t.*`).
+    all_for: FxHashSet<String>,
+    /// An unqualified reference or bare `*` appeared: pruning is unsafe.
+    disable: bool,
+}
+
+impl Needs {
+    /// Pruned column list for `alias` given the table's full column list,
+    /// or `None` when pruning is not applicable.
+    fn pruned(&self, alias: &str, columns: &[String]) -> Option<Vec<usize>> {
+        if self.disable || self.all_for.contains(alias) {
+            return None;
+        }
+        let wanted = self.per_alias.get(alias)?;
+        Some(
+            columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| wanted.contains(*c))
+                .map(|(i, _)| i)
+                .collect(),
+        )
+    }
+}
+
+fn collect_needs(core: &ast::SelectCore, order_by: &[(ast::Expr, bool)]) -> Needs {
+    let mut needs = Needs::default();
+    for p in &core.projections {
+        match p {
+            ast::Projection::Wildcard => needs.disable = true,
+            ast::Projection::TableWildcard(t) => {
+                needs.all_for.insert(t.to_ascii_lowercase());
+            }
+            ast::Projection::Expr { expr, .. } => collect_expr_needs(expr, &mut needs),
+        }
+    }
+    if let Some(f) = &core.filter {
+        collect_expr_needs(f, &mut needs);
+    }
+    for e in &core.group_by {
+        collect_expr_needs(e, &mut needs);
+    }
+    if let Some(h) = &core.having {
+        collect_expr_needs(h, &mut needs);
+    }
+    for (e, _) in order_by {
+        collect_expr_needs(e, &mut needs);
+    }
+    for item in &core.from {
+        collect_from_needs(item, &mut needs);
+    }
+    needs
+}
+
+fn collect_from_needs(item: &ast::FromItem, needs: &mut Needs) {
+    match item {
+        ast::FromItem::LateralValues { rows, .. } => {
+            for row in rows {
+                for e in row {
+                    collect_expr_needs(e, needs);
+                }
+            }
+        }
+        ast::FromItem::LateralFunc { args, .. } => {
+            for e in args {
+                collect_expr_needs(e, needs);
+            }
+        }
+        ast::FromItem::Join { left, right, on, .. } => {
+            collect_from_needs(left, needs);
+            collect_from_needs(right, needs);
+            collect_expr_needs(on, needs);
+        }
+        ast::FromItem::Table { .. } | ast::FromItem::Subquery { .. } => {}
+    }
+}
+
+fn collect_expr_needs(e: &ast::Expr, needs: &mut Needs) {
+    match e {
+        ast::Expr::Column { table: Some(t), name } => {
+            needs
+                .per_alias
+                .entry(t.to_ascii_lowercase())
+                .or_default()
+                .insert(name.to_ascii_lowercase());
+        }
+        ast::Expr::Column { table: None, .. } => needs.disable = true,
+        ast::Expr::Literal(_) | ast::Expr::Param(_) | ast::Expr::CountStar => {}
+        ast::Expr::Unary(_, x) | ast::Expr::IsNull(x, _) | ast::Expr::Cast(x, _) => {
+            collect_expr_needs(x, needs)
+        }
+        ast::Expr::Binary(_, l, r) | ast::Expr::Subscript(l, r) => {
+            collect_expr_needs(l, needs);
+            collect_expr_needs(r, needs);
+        }
+        ast::Expr::Like { expr, pattern, .. } => {
+            collect_expr_needs(expr, needs);
+            collect_expr_needs(pattern, needs);
+        }
+        ast::Expr::InList { expr, list, .. } => {
+            collect_expr_needs(expr, needs);
+            for i in list {
+                collect_expr_needs(i, needs);
+            }
+        }
+        ast::Expr::InSubquery { expr, .. } => collect_expr_needs(expr, needs),
+        ast::Expr::Between { expr, lo, hi, .. } => {
+            collect_expr_needs(expr, needs);
+            collect_expr_needs(lo, needs);
+            collect_expr_needs(hi, needs);
+        }
+        ast::Expr::Call { args, .. } => {
+            for a in args {
+                collect_expr_needs(a, needs);
+            }
+        }
+    }
+}
+
+/// A planned FROM unit before execution.
+enum Unit<'q> {
+    /// Base table or CTE reference.
+    Named { name: String, alias: String },
+    /// Derived table, materialized eagerly.
+    Derived { rel: Relation, alias: String },
+    /// Lateral VALUES rows (expressions compiled later, against the
+    /// accumulated scope).
+    Lateral {
+        rows: &'q [Vec<ast::Expr>],
+        alias: String,
+        columns: Vec<String>,
+    },
+    /// Lateral table function (args compiled against the accumulated scope).
+    LateralFn {
+        func: TableFunc,
+        args: &'q [ast::Expr],
+        alias: String,
+        columns: Vec<String>,
+    },
+    /// Explicit join tree, materialized recursively.
+    JoinTree { rel: Relation, scope_cols: Vec<(String, Vec<String>)> },
+}
+
+/// Execute a FROM list with WHERE pushdown; returns the final scope and rows.
+fn run_from(
+    env: &Env<'_>,
+    from: &[ast::FromItem],
+    filter: Option<&ast::Expr>,
+    needs: &Needs,
+) -> Result<(Scope, Vec<Row>)> {
+    // Table-less SELECT: one empty row.
+    if from.is_empty() {
+        let scope = Scope::default();
+        let mut rows = vec![Vec::new()];
+        if let Some(f) = filter {
+            let compiled = compile_expr(env, &scope, f)?;
+            rows.retain(|_| false);
+            let keep = compiled.eval_bool(&[])?;
+            if keep {
+                rows.push(Vec::new());
+            }
+        }
+        return Ok((scope, rows));
+    }
+
+    // Phase 1: turn FROM items into units.
+    let mut units: Vec<Unit<'_>> = Vec::with_capacity(from.len());
+    for item in from {
+        units.push(plan_unit(env, item)?);
+    }
+
+    // Phase 2: split WHERE into conjuncts (kept as AST; compiled when their
+    // tables are all bound).
+    let mut conjuncts: Vec<&ast::Expr> = Vec::new();
+    if let Some(f) = filter {
+        collect_conjuncts(f, &mut conjuncts);
+    }
+    let mut pending: Vec<Option<&ast::Expr>> = conjuncts.into_iter().map(Some).collect();
+
+    // Phase 3: left-to-right pipeline.
+    let mut scope = Scope::default();
+    let mut rows: Vec<Row> = vec![Vec::new()]; // identity row
+
+    for unit in units {
+        attach_unit(env, &mut scope, &mut rows, unit, &mut pending, needs)?;
+        // Apply every pending conjunct that is now fully resolvable.
+        apply_ready_conjuncts(env, &scope, &mut rows, &mut pending)?;
+    }
+
+    // Any conjunct still unresolved references unknown columns — surface the
+    // resolution error.
+    for c in pending.into_iter().flatten() {
+        let compiled = compile_expr(env, &scope, c)?;
+        rows = filter_rows(rows, &compiled)?;
+    }
+    Ok((scope, rows))
+}
+
+fn plan_unit<'q>(env: &Env<'_>, item: &'q ast::FromItem) -> Result<Unit<'q>> {
+    match item {
+        ast::FromItem::Table { name, alias } => Ok(Unit::Named {
+            name: name.to_ascii_lowercase(),
+            alias: alias.clone().unwrap_or_else(|| name.clone()),
+        }),
+        ast::FromItem::Subquery { query, alias } => {
+            let rel = run_select(env, query)?;
+            Ok(Unit::Derived { rel, alias: alias.clone() })
+        }
+        ast::FromItem::LateralValues { rows, alias, columns } => Ok(Unit::Lateral {
+            rows,
+            alias: alias.clone(),
+            columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        }),
+        ast::FromItem::LateralFunc { func, args, alias, columns } => Ok(Unit::LateralFn {
+            func: TableFunc::parse(func)?,
+            args,
+            alias: alias.clone(),
+            columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        }),
+        ast::FromItem::Join { .. } => {
+            let (rel, scope_cols) = run_join_tree(env, item)?;
+            Ok(Unit::JoinTree { rel, scope_cols })
+        }
+    }
+}
+
+/// Execute an explicit JOIN tree into a relation, tracking per-alias columns.
+fn run_join_tree(env: &Env<'_>, item: &ast::FromItem) -> Result<(Relation, ScopeCols)> {
+    match item {
+        ast::FromItem::Join { left, right, kind, on } => {
+            let (lrel, lcols) = run_join_tree(env, left)?;
+            // Index nested-loop fast path: right side is a base table whose
+            // join column is indexed — probe per left row instead of
+            // materializing and hashing the whole table.
+            if let ast::FromItem::Table { name, alias } = right.as_ref() {
+                let lname = name.to_ascii_lowercase();
+                if !env.ctes.contains_key(&lname) {
+                    let ralias = alias.clone().unwrap_or_else(|| name.clone());
+                    if let Some(result) =
+                        try_index_join(env, &lrel, &lcols, &lname, &ralias, *kind, on)?
+                    {
+                        return Ok(result);
+                    }
+                }
+            }
+            let (rrel, rcols) = run_join_tree(env, right)?;
+            // Build the combined scope for the ON expression.
+            let mut scope = Scope::default();
+            for (alias, cols) in lcols.iter().chain(rcols.iter()) {
+                scope.push(alias, cols.clone());
+            }
+            let lwidth = lrel.columns.len();
+            let rwidth = rrel.columns.len();
+            let on_compiled = compile_expr(env, &scope, on)?;
+
+            // Hash equi-join when the ON contains `l = r` across the inputs.
+            let equi = find_equi_split(&on_compiled, lwidth);
+            let mut out_rows = Vec::new();
+            match equi {
+                Some((lkey, rkey)) => {
+                    let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
+                    for r in &rrel.rows {
+                        // Right key expression indexes are relative to the
+                        // combined layout; shift onto the right row.
+                        let mut padded = vec![Value::Null; lwidth];
+                        padded.extend_from_slice(r);
+                        let k = rkey.eval(&padded)?;
+                        if !k.is_null() {
+                            table.entry(k).or_default().push(r);
+                        }
+                    }
+                    for l in &lrel.rows {
+                        let mut probe = l.clone();
+                        probe.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
+                        let k = lkey.eval(&probe)?;
+                        let mut matched = false;
+                        if !k.is_null() {
+                            if let Some(cands) = table.get(&k) {
+                                for r in cands {
+                                    let mut combined = l.clone();
+                                    combined.extend_from_slice(r);
+                                    if on_compiled.eval_bool(&combined)? {
+                                        matched = true;
+                                        out_rows.push(combined);
+                                    }
+                                }
+                            }
+                        }
+                        if !matched && *kind == ast::JoinKind::LeftOuter {
+                            let mut combined = l.clone();
+                            combined.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
+                            out_rows.push(combined);
+                        }
+                    }
+                }
+                None => {
+                    // Nested loop.
+                    for l in &lrel.rows {
+                        let mut matched = false;
+                        for r in &rrel.rows {
+                            let mut combined = l.clone();
+                            combined.extend_from_slice(r);
+                            if on_compiled.eval_bool(&combined)? {
+                                matched = true;
+                                out_rows.push(combined);
+                            }
+                        }
+                        if !matched && *kind == ast::JoinKind::LeftOuter {
+                            let mut combined = l.clone();
+                            combined.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
+                            out_rows.push(combined);
+                        }
+                    }
+                }
+            }
+            let mut columns = lrel.columns;
+            columns.extend(rrel.columns);
+            let mut scope_cols = lcols;
+            scope_cols.extend(rcols);
+            Ok((Relation { columns, rows: out_rows }, scope_cols))
+        }
+        ast::FromItem::Table { name, alias } => {
+            let rel = load_named(env, &name.to_ascii_lowercase(), &[])?;
+            let alias = alias.clone().unwrap_or_else(|| name.clone());
+            let cols = rel.columns.clone();
+            Ok((rel, vec![(alias, cols)]))
+        }
+        ast::FromItem::Subquery { query, alias } => {
+            let rel = run_select(env, query)?;
+            let cols = rel.columns.clone();
+            Ok((rel, vec![(alias.clone(), cols)]))
+        }
+        ast::FromItem::LateralValues { .. } | ast::FromItem::LateralFunc { .. } => {
+            Err(Error::Invalid(
+                "TABLE(...) items cannot be JOIN operands; use them as comma FROM items".into(),
+            ))
+        }
+    }
+}
+
+/// Index nested-loop join of `lrel` against base table `table_name`:
+/// succeeds only when the ON clause contains an equi conjunct whose right
+/// side is a bare indexed column of the table. Returns `None` (caller falls
+/// back to hash/NL join) otherwise.
+fn try_index_join(
+    env: &Env<'_>,
+    lrel: &Relation,
+    lcols: &[(String, Vec<String>)],
+    table_name: &str,
+    ralias: &str,
+    kind: ast::JoinKind,
+    on: &ast::Expr,
+) -> Result<Option<(Relation, ScopeCols)>> {
+    let guard = match env.db.read_table(table_name) {
+        Ok(g) => g,
+        Err(_) => return Ok(None),
+    };
+    let table: &Table = &guard;
+    let rnames: Vec<String> = table.schema.columns.iter().map(|c| c.name.clone()).collect();
+    let mut scope = Scope::default();
+    for (alias, cols) in lcols {
+        scope.push(alias, cols.clone());
+    }
+    let lwidth = scope.width;
+    scope.push(ralias, rnames.clone());
+    let on_compiled = compile_expr(env, &scope, on)?;
+    let Some((lkey, rkey)) = find_equi_split(&on_compiled, lwidth) else {
+        return Ok(None);
+    };
+    // Right key must be a single bare column with a usable index.
+    let Expr::Col(ridx) = rkey else { return Ok(None) };
+    if ridx < lwidth {
+        return Ok(None);
+    }
+    let rcol = ridx - lwidth;
+    let Some(idx) = table
+        .indexes()
+        .iter()
+        .find(|i| i.columns.len() == 1 && i.columns[0] == rcol)
+    else {
+        return Ok(None);
+    };
+    env.note(|| {
+        format!(
+            "{table_name}: index {} join via {}",
+            if kind == ast::JoinKind::LeftOuter { "left-outer" } else { "nested-loop" },
+            idx.name
+        )
+    });
+    let rwidth = rnames.len();
+    let mut out_rows = Vec::new();
+    for l in &lrel.rows {
+        let mut probe = l.clone();
+        probe.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
+        let k = lkey.eval(&probe)?;
+        let mut matched = false;
+        if !k.is_null() {
+            for &rid in idx.lookup(&IndexKey(vec![k])) {
+                let row = table.get(rid).expect("index points at live row");
+                let mut combined = l.clone();
+                combined.extend_from_slice(row);
+                if on_compiled.eval_bool(&combined)? {
+                    matched = true;
+                    out_rows.push(combined);
+                }
+            }
+        }
+        if !matched && kind == ast::JoinKind::LeftOuter {
+            let mut combined = l.clone();
+            combined.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
+            out_rows.push(combined);
+        }
+    }
+    let mut columns = lrel.columns.clone();
+    columns.extend(rnames.clone());
+    let mut scope_cols = lcols.to_vec();
+    scope_cols.push((ralias.to_string(), rnames));
+    Ok(Some((Relation { columns, rows: out_rows }, scope_cols)))
+}
+
+/// If `on` includes a conjunct `expr_l = expr_r` where `expr_l` touches only
+/// columns `< lwidth` and `expr_r` only columns `>= lwidth` (or vice versa),
+/// return `(left_key, right_key)`.
+fn find_equi_split(on: &Expr, lwidth: usize) -> Option<(Expr, Expr)> {
+    let mut found = None;
+    visit_conjuncts(on, &mut |c| {
+        if found.is_some() {
+            return;
+        }
+        if let Expr::Binary(BinaryOp::Eq, a, b) = c {
+            let side = |e: &Expr| -> Option<bool> {
+                // Some(true) = pure left, Some(false) = pure right.
+                let mut all_left = true;
+                let mut all_right = true;
+                let mut any = false;
+                e.visit_columns(&mut |i| {
+                    any = true;
+                    if i < lwidth {
+                        all_right = false;
+                    } else {
+                        all_left = false;
+                    }
+                });
+                if !any {
+                    return None;
+                }
+                if all_left {
+                    Some(true)
+                } else if all_right {
+                    Some(false)
+                } else {
+                    None
+                }
+            };
+            match (side(a), side(b)) {
+                (Some(true), Some(false)) => found = Some(((**a).clone(), (**b).clone())),
+                (Some(false), Some(true)) => found = Some(((**b).clone(), (**a).clone())),
+                _ => {}
+            }
+        }
+    });
+    found
+}
+
+fn visit_conjuncts(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    if let Expr::Binary(BinaryOp::And, l, r) = e {
+        visit_conjuncts(l, f);
+        visit_conjuncts(r, f);
+    } else {
+        f(e);
+    }
+}
+
+fn collect_conjuncts<'q>(e: &'q ast::Expr, out: &mut Vec<&'q ast::Expr>) {
+    if let ast::Expr::Binary(BinaryOp::And, l, r) = e {
+        collect_conjuncts(l, out);
+        collect_conjuncts(r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Built-in lateral table functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TableFunc {
+    /// `JSON_EDGES(doc [, label])`: unnest a JSON adjacency document
+    /// `{"label": [{"eid": e, "val": v}, ...]}` into `(lbl, eid, val)` rows.
+    JsonEdges,
+    /// `JSON_EACH(doc)`: unnest a JSON object into `(key, value)` rows.
+    JsonEach,
+    /// `UNNEST(array)`: one row per array element, column `(val)`.
+    Unnest,
+}
+
+impl TableFunc {
+    fn parse(name: &str) -> Result<TableFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "JSON_EDGES" => Ok(TableFunc::JsonEdges),
+            "JSON_EACH" => Ok(TableFunc::JsonEach),
+            "UNNEST" => Ok(TableFunc::Unnest),
+            other => Err(Error::NotFound(format!("table function '{other}'"))),
+        }
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Vec<Row>> {
+        match self {
+            TableFunc::JsonEdges => {
+                // Accepts a parsed JSON value or serialized text. The text
+                // form decodes per call — the document-store cost model the
+                // adjacency micro-benchmark measures.
+                let parsed;
+                let doc = match args.first() {
+                    Some(Value::Json(j)) => &**j,
+                    Some(Value::Str(s)) => {
+                        parsed = sqlgraph_json::parse(s)
+                            .map_err(|e| Error::Type(format!("JSON_EDGES: {e}")))?;
+                        &parsed
+                    }
+                    Some(Value::Null) | None => return Ok(Vec::new()),
+                    Some(other) => {
+                        return Err(Error::Type(format!(
+                            "JSON_EDGES expects a JSON document, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                let label_filter = match args.get(1) {
+                    None | Some(Value::Null) => None,
+                    Some(Value::Str(s)) => Some(s.as_ref()),
+                    Some(other) => {
+                        return Err(Error::Type(format!(
+                            "JSON_EDGES label must be TEXT, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                let Some(obj) = doc.as_object() else { return Ok(Vec::new()) };
+                let mut out = Vec::new();
+                for (label, edges) in obj.iter() {
+                    if label_filter.is_some_and(|want| want != label) {
+                        continue;
+                    }
+                    let Some(arr) = edges.as_array() else { continue };
+                    for entry in arr {
+                        let eid = entry
+                            .get("eid")
+                            .map(crate::expr::json_to_value)
+                            .unwrap_or(Value::Null);
+                        let val = entry
+                            .get("val")
+                            .map(crate::expr::json_to_value)
+                            .unwrap_or(Value::Null);
+                        out.push(vec![Value::str(label), eid, val]);
+                    }
+                }
+                Ok(out)
+            }
+            TableFunc::JsonEach => {
+                let doc = match args.first() {
+                    Some(Value::Json(j)) => j,
+                    Some(Value::Null) | None => return Ok(Vec::new()),
+                    Some(other) => {
+                        return Err(Error::Type(format!(
+                            "JSON_EACH expects a JSON document, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                let Some(obj) = doc.as_object() else { return Ok(Vec::new()) };
+                Ok(obj
+                    .iter()
+                    .map(|(k, v)| vec![Value::str(k), crate::expr::json_to_value(v)])
+                    .collect())
+            }
+            TableFunc::Unnest => match args.first() {
+                Some(Value::Array(items)) => {
+                    Ok(items.iter().map(|v| vec![v.clone()]).collect())
+                }
+                Some(Value::Null) | None => Ok(Vec::new()),
+                Some(other) => Err(Error::Type(format!(
+                    "UNNEST expects an array, got {}",
+                    other.type_name()
+                ))),
+            },
+        }
+    }
+
+    fn arity(&self) -> usize {
+        match self {
+            TableFunc::JsonEdges => 3,
+            TableFunc::JsonEach => 2,
+            TableFunc::Unnest => 1,
+        }
+    }
+}
+
+/// Attach a unit to the accumulated rows, choosing a join strategy.
+fn attach_unit(
+    env: &Env<'_>,
+    scope: &mut Scope,
+    rows: &mut Vec<Row>,
+    unit: Unit<'_>,
+    pending: &mut [Option<&ast::Expr>],
+    needs: &Needs,
+) -> Result<()> {
+    match unit {
+        Unit::Lateral { rows: value_rows, alias, columns } => {
+            // Compile row expressions against a scope extended with the
+            // lateral's own columns *excluded* — they may only reference
+            // earlier units.
+            let arity = columns.len();
+            let mut compiled_rows = Vec::with_capacity(value_rows.len());
+            for vr in value_rows {
+                let mut cr = Vec::with_capacity(vr.len());
+                for e in vr {
+                    cr.push(compile_expr(env, scope, e)?);
+                }
+                compiled_rows.push(cr);
+            }
+            scope.push(&alias, columns);
+            let mut out = Vec::with_capacity(rows.len() * compiled_rows.len());
+            for row in rows.drain(..) {
+                for cr in &compiled_rows {
+                    let mut extended = row.clone();
+                    for e in cr {
+                        extended.push(e.eval(&row)?);
+                    }
+                    debug_assert_eq!(extended.len(), row.len() + arity);
+                    out.push(extended);
+                }
+            }
+            *rows = out;
+            Ok(())
+        }
+        Unit::LateralFn { func, args, alias, columns } => {
+            if columns.len() != func.arity() {
+                return Err(Error::Invalid(format!(
+                    "{func:?} produces {} columns, alias declares {}",
+                    func.arity(),
+                    columns.len()
+                )));
+            }
+            let compiled: Vec<Expr> = args
+                .iter()
+                .map(|e| compile_expr(env, scope, e))
+                .collect::<Result<_>>()?;
+            scope.push(&alias, columns);
+            let mut out = Vec::new();
+            for row in rows.drain(..) {
+                let mut arg_values = Vec::with_capacity(compiled.len());
+                for e in &compiled {
+                    arg_values.push(e.eval(&row)?);
+                }
+                for produced in func.invoke(&arg_values)? {
+                    let mut extended = row.clone();
+                    extended.extend(produced);
+                    out.push(extended);
+                }
+            }
+            *rows = out;
+            Ok(())
+        }
+        Unit::Derived { rel, alias } => {
+            attach_relation(scope, rows, rel, &alias, env, pending)
+        }
+        Unit::JoinTree { rel, scope_cols } => {
+            // Multi-alias relation: extend the scope with every alias, then
+            // cross/hash join like a derived table. Join-tree outputs are
+            // attached by hash join when a pending equi conjunct links them.
+            let base_alias_cols = scope_cols;
+            let mut flat_cols = Vec::new();
+            for (_, cols) in &base_alias_cols {
+                flat_cols.extend(cols.iter().cloned());
+            }
+            let before_width = scope.width;
+            for (alias, cols) in &base_alias_cols {
+                scope.push(alias, cols.clone());
+            }
+            join_pending(env, scope, rows, rel, before_width, pending)
+        }
+        Unit::Named { name, alias } => {
+            // Base table: try index-assisted attachment.
+            if let Some(cte) = env.ctes.get(&name) {
+                let rel = (**cte).clone();
+                return attach_relation(scope, rows, rel, &alias, env, pending);
+            }
+            attach_base_table(env, scope, rows, &name, &alias, pending, needs)
+        }
+    }
+}
+
+fn attach_relation(
+    scope: &mut Scope,
+    rows: &mut Vec<Row>,
+    rel: Relation,
+    alias: &str,
+    env: &Env<'_>,
+    pending: &mut [Option<&ast::Expr>],
+) -> Result<()> {
+    let before_width = scope.width;
+    scope.push(alias, rel.columns.clone());
+    join_pending(env, scope, rows, rel, before_width, pending)
+}
+
+/// Join `rel` (already pushed into `scope` at `before_width`) to the
+/// accumulated rows: hash join on the first usable pending equi conjunct,
+/// else cross product.
+fn join_pending(
+    env: &Env<'_>,
+    scope: &Scope,
+    rows: &mut Vec<Row>,
+    rel: Relation,
+    before_width: usize,
+    pending: &mut [Option<&ast::Expr>],
+) -> Result<()> {
+    let rwidth = scope.width - before_width;
+    // Find a pending equi conjunct usable as the hash key.
+    let mut key_pair: Option<(Expr, Expr, usize)> = None;
+    for (i, slot) in pending.iter().enumerate() {
+        let Some(c) = slot else { continue };
+        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
+        if let Some((lk, rk)) = find_equi_split(&compiled, before_width) {
+            // Keys must not reference columns beyond the current width.
+            let mut max_col = 0;
+            lk.visit_columns(&mut |i| max_col = max_col.max(i));
+            rk.visit_columns(&mut |i| max_col = max_col.max(i));
+            if max_col < scope.width {
+                key_pair = Some((lk, rk, i));
+                break;
+            }
+        }
+    }
+    match key_pair {
+        Some((lkey, rkey, idx)) => {
+            env.note(|| format!("hash join ({} build rows)", rel.rows.len()));
+            pending[idx] = None;
+            let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
+            for r in &rel.rows {
+                let mut padded = vec![Value::Null; before_width];
+                padded.extend_from_slice(r);
+                let k = rkey.eval(&padded)?;
+                if !k.is_null() {
+                    table.entry(k).or_default().push(r);
+                }
+            }
+            let mut out = Vec::new();
+            for l in rows.drain(..) {
+                let mut probe = l.clone();
+                probe.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
+                let k = lkey.eval(&probe)?;
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(cands) = table.get(&k) {
+                    for r in cands {
+                        let mut combined = l.clone();
+                        combined.extend_from_slice(r);
+                        out.push(combined);
+                    }
+                }
+            }
+            *rows = out;
+        }
+        None => {
+            env.note(|| format!("cross join ({} right rows)", rel.rows.len()));
+            let mut out = Vec::with_capacity(rows.len() * rel.rows.len().max(1));
+            for l in rows.drain(..) {
+                for r in &rel.rows {
+                    let mut combined = l.clone();
+                    combined.extend_from_slice(r);
+                    out.push(combined);
+                }
+            }
+            *rows = out;
+        }
+    }
+    Ok(())
+}
+
+/// Attach a base table with index support:
+/// 1. index nested-loop join when a pending equi conjunct maps to an index
+///    on the table (optionally extended with constant-equality columns);
+/// 2. otherwise, an index-filtered or full scan, then hash/cross join.
+fn attach_base_table(
+    env: &Env<'_>,
+    scope: &mut Scope,
+    rows: &mut Vec<Row>,
+    name: &str,
+    alias: &str,
+    pending: &mut [Option<&ast::Expr>],
+    needs: &Needs,
+) -> Result<()> {
+    let guard = env.db.read_table(name)?;
+    let table: &Table = &guard;
+    let all_names: Vec<String> = table.schema.columns.iter().map(|c| c.name.clone()).collect();
+    // Projection pruning: materialize only the columns the statement can
+    // reference. `keep` maps pruned position -> original position.
+    let keep: Vec<usize> = needs
+        .pruned(&alias.to_ascii_lowercase(), &all_names)
+        .unwrap_or_else(|| (0..all_names.len()).collect());
+    let col_names: Vec<String> = keep.iter().map(|&i| all_names[i].clone()).collect();
+    let before_width = scope.width;
+    scope.push(alias, col_names);
+    let arity = keep.len();
+
+    // Gather, for this unit: constant equality pairs (key part -> const)
+    // and probe equality pairs (key part -> left-side key expression).
+    // A key part is a plain column or `JSON_VAL(json_col, 'member')` — the
+    // latter matches functional indexes.
+    use crate::index::KeyPart;
+    let mut const_eq: Vec<(KeyPart, Value, usize)> = Vec::new();
+    let mut probe_eq: Vec<(KeyPart, Expr, usize)> = Vec::new();
+    for (i, slot) in pending.iter().enumerate() {
+        let Some(c) = slot else { continue };
+        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
+        // Only consider plain equality conjuncts.
+        let Expr::Binary(BinaryOp::Eq, a, b) = &compiled else { continue };
+        let as_key_part = |e: &Expr| -> Option<KeyPart> {
+            match e {
+                Expr::Col(idx) if *idx >= before_width && *idx < before_width + arity => {
+                    // Map the pruned position back to the original column.
+                    Some(KeyPart::Column(keep[*idx - before_width]))
+                }
+                Expr::Call(crate::expr::Func::JsonVal, args) => match (args.first(), args.get(1)) {
+                    (Some(Expr::Col(idx)), Some(Expr::Const(Value::Str(member))))
+                        if *idx >= before_width && *idx < before_width + arity =>
+                    {
+                        Some(KeyPart::JsonKey(keep[*idx - before_width], member.to_string()))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        let is_bound = |e: &Expr| -> bool {
+            let mut ok = true;
+            e.visit_columns(&mut |i| {
+                if i >= before_width {
+                    ok = false;
+                }
+            });
+            ok
+        };
+        let (part, other) = match (as_key_part(a), as_key_part(b)) {
+            (Some(p), None) if is_bound(b) => (p, (**b).clone()),
+            (None, Some(p)) if is_bound(a) => (p, (**a).clone()),
+            _ => continue,
+        };
+        if let Expr::Const(v) = &other {
+            const_eq.push((part, v.clone(), i));
+        } else {
+            probe_eq.push((part, other, i));
+        }
+    }
+
+    // Strategy 1: index nested loop. Find an index whose key parts are all
+    // covered by probe/const pairs, preferring indexes that use a probe.
+    let mut best: Option<(&crate::index::Index, Vec<ProbePart>, Vec<usize>)> = None;
+    for idx in table.indexes() {
+        let mut parts = Vec::with_capacity(idx.parts.len());
+        let mut used = Vec::new();
+        let mut ok = true;
+        let mut uses_probe = false;
+        for part in &idx.parts {
+            if let Some((_, key_expr, pi)) = probe_eq.iter().find(|(pp, _, _)| pp == part) {
+                parts.push(ProbePart::Probe(key_expr.clone()));
+                used.push(*pi);
+                uses_probe = true;
+            } else if let Some((_, v, pi)) = const_eq.iter().find(|(cp, _, _)| cp == part) {
+                parts.push(ProbePart::Const(v.clone()));
+                used.push(*pi);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((bidx, _, _)) => {
+                // Prefer probe-using, then longer keys, then unique.
+                let b_probe = bidx
+                    .parts
+                    .iter()
+                    .any(|p| probe_eq.iter().any(|(pp, _, _)| pp == p));
+                (uses_probe && !b_probe)
+                    || (uses_probe == b_probe && idx.parts.len() > bidx.parts.len())
+            }
+        };
+        if better {
+            best = Some((idx, parts, used));
+        }
+    }
+
+    if let Some((idx, parts, used)) = best {
+        let uses_probe = parts.iter().any(|p| matches!(p, ProbePart::Probe(_)));
+        env.note(|| {
+            format!(
+                "{name}: {} via index {} ({} key parts)",
+                if uses_probe { "index nested-loop join" } else { "index scan" },
+                idx.name,
+                parts.len()
+            )
+        });
+        if uses_probe {
+            for pi in &used {
+                pending[*pi] = None;
+            }
+            let mut out = Vec::new();
+            for l in rows.drain(..) {
+                let mut key = Vec::with_capacity(parts.len());
+                let mut null_key = false;
+                for p in &parts {
+                    let v = match p {
+                        ProbePart::Const(v) => v.clone(),
+                        ProbePart::Probe(e) => e.eval(&l)?,
+                    };
+                    if v.is_null() {
+                        null_key = true;
+                        break;
+                    }
+                    key.push(v);
+                }
+                if null_key {
+                    continue;
+                }
+                for &rid in idx.lookup(&IndexKey(key)) {
+                    let row = table.get(rid).expect("index points at live row");
+                    let mut combined = l.clone();
+                    combined.extend(keep.iter().map(|&i| row[i].clone()));
+                    out.push(combined);
+                }
+            }
+            *rows = out;
+            return Ok(());
+        }
+        // Const-only index: point scan, then join the scanned rows.
+        for pi in &used {
+            pending[*pi] = None;
+        }
+        let key: Vec<Value> = parts
+            .iter()
+            .map(|p| match p {
+                ProbePart::Const(v) => v.clone(),
+                ProbePart::Probe(_) => unreachable!("no probes in const-only path"),
+            })
+            .collect();
+        let scanned: Vec<Row> = idx
+            .lookup(&IndexKey(key))
+            .iter()
+            .map(|&rid| {
+                let row = table.get(rid).expect("live");
+                keep.iter().map(|&i| row[i].clone()).collect()
+            })
+            .collect();
+        let rel = Relation {
+            columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
+            rows: scanned,
+        };
+        drop(guard);
+        return join_pending(env, scope, rows, rel, before_width, pending);
+    }
+
+    // Strategy 2: B-tree range scan for comparison predicates on an indexed
+    // key part. Bounds are applied inclusively; the original conjuncts stay
+    // pending so exclusive endpoints are filtered residually.
+    let mut range_scan: Option<(String, Vec<Row>)> = None;
+    {
+        let mut lo: Option<(KeyPart, Value)> = None;
+        let mut hi: Option<(KeyPart, Value)> = None;
+        for slot in pending.iter() {
+            let Some(c) = slot else { continue };
+            let Ok(compiled) = compile_expr(env, scope, c) else { continue };
+            // BETWEEN desugars to `a AND b` inside one conjunct: split at
+            // the compiled level too.
+            visit_conjuncts(&compiled, &mut |leaf| {
+                let Expr::Binary(op, a, b) = leaf else { return };
+                let as_key_part = |e: &Expr| -> Option<KeyPart> {
+                    match e {
+                        Expr::Col(idx) if *idx >= before_width && *idx < before_width + arity => {
+                            Some(KeyPart::Column(keep[*idx - before_width]))
+                        }
+                        Expr::Call(crate::expr::Func::JsonVal, args) => {
+                            match (args.first(), args.get(1)) {
+                                (Some(Expr::Col(idx)), Some(Expr::Const(Value::Str(member))))
+                                    if *idx >= before_width && *idx < before_width + arity =>
+                                {
+                                    Some(KeyPart::JsonKey(
+                                        keep[*idx - before_width],
+                                        member.to_string(),
+                                    ))
+                                }
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    }
+                };
+                // Normalize to `part OP const`.
+                let (part, value, op) =
+                    match (as_key_part(a), b.as_ref(), as_key_part(b), a.as_ref()) {
+                        (Some(p), Expr::Const(v), _, _) => (p, v.clone(), *op),
+                        (_, _, Some(p), Expr::Const(v)) => {
+                            // Flip: const OP part becomes part OP' const.
+                            let flipped = match *op {
+                                BinaryOp::Lt => BinaryOp::Gt,
+                                BinaryOp::Le => BinaryOp::Ge,
+                                BinaryOp::Gt => BinaryOp::Lt,
+                                BinaryOp::Ge => BinaryOp::Le,
+                                other => other,
+                            };
+                            (p, v.clone(), flipped)
+                        }
+                        _ => return,
+                    };
+                if value.is_null() {
+                    return;
+                }
+                match op {
+                    BinaryOp::Gt | BinaryOp::Ge
+                        if lo.as_ref().is_none_or(|(p, _)| *p == part) =>
+                    {
+                        lo = Some((part, value));
+                    }
+                    BinaryOp::Lt | BinaryOp::Le
+                        if hi.as_ref().is_none_or(|(p, _)| *p == part) =>
+                    {
+                        hi = Some((part, value));
+                    }
+                    _ => {}
+                }
+            });
+        }
+        // Bounds must target one part with a single-part B-tree index.
+        let part = match (&lo, &hi) {
+            (Some((p1, _)), Some((p2, _))) if p1 == p2 => Some(p1.clone()),
+            (Some((p, _)), None) | (None, Some((p, _))) => Some(p.clone()),
+            _ => None,
+        };
+        if let Some(part) = part {
+            let found = table.indexes().iter().find(|i| {
+                i.parts.len() == 1
+                    && i.parts[0] == part
+                    && i.kind() == crate::index::IndexKind::BTree
+            });
+            if let Some(idx) = found {
+                let lo_key = lo
+                    .as_ref()
+                    .filter(|(p, _)| *p == part)
+                    .map(|(_, v)| IndexKey(vec![v.clone()]));
+                let hi_key = hi
+                    .as_ref()
+                    .filter(|(p, _)| *p == part)
+                    .map(|(_, v)| IndexKey(vec![v.clone()]));
+                let ids = idx.range(lo_key.as_ref(), hi_key.as_ref())?;
+                let scanned: Vec<Row> = ids
+                    .iter()
+                    .map(|&rid| {
+                        let row = table.get(rid).expect("index points at live row");
+                        keep.iter().map(|&i| row[i].clone()).collect()
+                    })
+                    .collect();
+                range_scan = Some((idx.name.clone(), scanned));
+            }
+        }
+    }
+    if let Some((idx_name, scanned)) = range_scan {
+        env.note(|| {
+            format!("{name}: range scan via index {idx_name} ({} rows)", scanned.len())
+        });
+        let rel = Relation {
+            columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
+            rows: scanned,
+        };
+        drop(guard);
+        return join_pending(env, scope, rows, rel, before_width, pending);
+    }
+
+    // Strategy 3: full scan, then hash/cross join via pending conjuncts.
+    env.note(|| format!("{name}: full scan ({} rows)", table.len()));
+    let rel = Relation {
+        columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
+        rows: table
+            .iter()
+            .map(|(_, r)| keep.iter().map(|&i| r[i].clone()).collect())
+            .collect(),
+    };
+    drop(guard);
+    join_pending(env, scope, rows, rel, before_width, pending)
+}
+
+enum ProbePart {
+    Const(Value),
+    Probe(Expr),
+}
+
+fn apply_ready_conjuncts(
+    env: &Env<'_>,
+    scope: &Scope,
+    rows: &mut Vec<Row>,
+    pending: &mut [Option<&ast::Expr>],
+) -> Result<()> {
+    for slot in pending.iter_mut() {
+        let Some(c) = slot else { continue };
+        match compile_expr(env, scope, c) {
+            Ok(compiled) => {
+                let mut max_col = 0;
+                let mut any = false;
+                compiled.visit_columns(&mut |i| {
+                    any = true;
+                    max_col = max_col.max(i);
+                });
+                if !any || max_col < scope.width {
+                    *rows = filter_rows(std::mem::take(rows), &compiled)?;
+                    *slot = None;
+                }
+            }
+            Err(_) => {
+                // References columns not yet in scope; retry after the next
+                // unit is attached.
+            }
+        }
+    }
+    Ok(())
+}
+
+fn filter_rows(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if predicate.eval_bool(&row)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Load a named relation (CTE or base table) fully.
+fn load_named(env: &Env<'_>, name: &str, _hint: &[()]) -> Result<Relation> {
+    if let Some(cte) = env.ctes.get(name) {
+        return Ok((**cte).clone());
+    }
+    let guard = env.db.read_table(name)?;
+    Ok(Relation {
+        columns: guard.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        rows: guard.iter().map(|(_, r)| r.to_vec()).collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Expression compilation
+// ---------------------------------------------------------------------------
+
+/// Compile an expression with no columns in scope (INSERT VALUES rows,
+/// CALL arguments, LIMIT/OFFSET).
+pub fn compile_scalar(env: &Env<'_>, e: &ast::Expr) -> Result<Expr> {
+    compile_expr(env, &Scope::default(), e)
+}
+
+/// Compile an expression against a single table's columns (UPDATE/DELETE
+/// predicates and assignments). The table is addressable by its own name.
+pub fn compile_table_expr(
+    env: &Env<'_>,
+    schema: &crate::schema::TableSchema,
+    e: &ast::Expr,
+) -> Result<Expr> {
+    let mut scope = Scope::default();
+    scope.push(
+        &schema.name,
+        schema.columns.iter().map(|c| c.name.clone()).collect(),
+    );
+    compile_expr(env, &scope, e)
+}
+
+/// Compile a name-based expression against `scope`. Parameters are inlined
+/// as constants; IN-subqueries are materialized into sets.
+pub(crate) fn compile_expr(env: &Env<'_>, scope: &Scope, e: &ast::Expr) -> Result<Expr> {
+    Ok(match e {
+        ast::Expr::Literal(v) => Expr::Const(v.clone()),
+        ast::Expr::Param(i) => Expr::Const(
+            env.params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Error::Invalid(format!("missing parameter ${}", i + 1)))?,
+        ),
+        ast::Expr::Column { table, name } => Expr::Col(scope.resolve(table.as_deref(), name)?),
+        ast::Expr::Unary(op, x) => Expr::Unary(*op, Box::new(compile_expr(env, scope, x)?)),
+        ast::Expr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(compile_expr(env, scope, l)?),
+            Box::new(compile_expr(env, scope, r)?),
+        ),
+        ast::Expr::IsNull(x, negated) => {
+            Expr::IsNull(Box::new(compile_expr(env, scope, x)?), *negated)
+        }
+        ast::Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(compile_expr(env, scope, expr)?),
+            pattern: Box::new(compile_expr(env, scope, pattern)?),
+            negated: *negated,
+        },
+        ast::Expr::InList { expr, list, negated } => {
+            let scrutinee = compile_expr(env, scope, expr)?;
+            let compiled: Vec<Expr> = list
+                .iter()
+                .map(|i| compile_expr(env, scope, i))
+                .collect::<Result<_>>()?;
+            if compiled.iter().all(|c| matches!(c, Expr::Const(_))) {
+                let mut set = FxHashSet::default();
+                for c in compiled {
+                    if let Expr::Const(v) = c {
+                        if !v.is_null() {
+                            set.insert(v);
+                        }
+                    }
+                }
+                Expr::InSet {
+                    expr: Box::new(scrutinee),
+                    set: Arc::new(set),
+                    negated: *negated,
+                }
+            } else {
+                // Non-constant list: desugar to an OR chain.
+                let mut acc: Option<Expr> = None;
+                for c in compiled {
+                    let eq = Expr::Binary(BinaryOp::Eq, Box::new(scrutinee.clone()), Box::new(c));
+                    acc = Some(match acc {
+                        None => eq,
+                        Some(prev) => Expr::Binary(BinaryOp::Or, Box::new(prev), Box::new(eq)),
+                    });
+                }
+                let inner = acc.unwrap_or(Expr::Const(Value::Bool(false)));
+                if *negated {
+                    Expr::Unary(crate::expr::UnaryOp::Not, Box::new(inner))
+                } else {
+                    inner
+                }
+            }
+        }
+        ast::Expr::InSubquery { expr, query, negated } => {
+            let rel = run_select(env, query)?;
+            if rel.columns.len() != 1 {
+                return Err(Error::Invalid(
+                    "IN subquery must return exactly one column".into(),
+                ));
+            }
+            let mut set = FxHashSet::default();
+            for row in rel.rows {
+                let v = row.into_iter().next().expect("one column");
+                if !v.is_null() {
+                    set.insert(v);
+                }
+            }
+            Expr::InSet {
+                expr: Box::new(compile_expr(env, scope, expr)?),
+                set: Arc::new(set),
+                negated: *negated,
+            }
+        }
+        ast::Expr::Between { expr, lo, hi, negated } => {
+            let x = compile_expr(env, scope, expr)?;
+            let lo = compile_expr(env, scope, lo)?;
+            let hi = compile_expr(env, scope, hi)?;
+            let ge = Expr::Binary(BinaryOp::Ge, Box::new(x.clone()), Box::new(lo));
+            let le = Expr::Binary(BinaryOp::Le, Box::new(x), Box::new(hi));
+            let and = Expr::Binary(BinaryOp::And, Box::new(ge), Box::new(le));
+            if *negated {
+                Expr::Unary(crate::expr::UnaryOp::Not, Box::new(and))
+            } else {
+                and
+            }
+        }
+        ast::Expr::Call { name, args, distinct } => {
+            if *distinct {
+                return Err(Error::Invalid(format!(
+                    "DISTINCT is only valid in aggregate calls, not {name}"
+                )));
+            }
+            if AggFn::parse(name).is_some() {
+                return Err(Error::Invalid(format!(
+                    "aggregate {name} is not allowed here"
+                )));
+            }
+            let func = expr::Func::parse(name)
+                .ok_or_else(|| Error::NotFound(format!("function '{name}'")))?;
+            let compiled: Vec<Expr> = args
+                .iter()
+                .map(|a| compile_expr(env, scope, a))
+                .collect::<Result<_>>()?;
+            Expr::Call(func, compiled)
+        }
+        ast::Expr::CountStar => {
+            return Err(Error::Invalid("COUNT(*) is not allowed here".into()))
+        }
+        ast::Expr::Cast(x, ty) => Expr::Cast(Box::new(compile_expr(env, scope, x)?), *ty),
+        ast::Expr::Subscript(x, i) => Expr::Subscript(
+            Box::new(compile_expr(env, scope, x)?),
+            Box::new(compile_expr(env, scope, i)?),
+        ),
+    })
+}

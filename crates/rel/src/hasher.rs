@@ -1,0 +1,107 @@
+//! A fast, non-cryptographic hasher for internal hash tables.
+//!
+//! SipHash (std's default) dominates profile time for the small integer keys
+//! (vertex/edge IDs) that graph workloads hash billions of times. This is
+//! the FxHash algorithm used by rustc: multiply-rotate mixing, ~1ns per
+//! word. HashDoS is not a concern — keys are engine-generated IDs, not
+//! attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with FxHash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("abc"), hash_one("abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one("a"), hash_one("b"));
+        assert_ne!(hash_one([1u8, 0]), hash_one([1u8, 0, 0]));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<i64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(-5, "neg");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&-5), Some(&"neg"));
+        assert_eq!(m.get(&2), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! # sqlgraph-rel — embedded relational engine
+//!
+//! A from-scratch relational database engine built as the substrate for the
+//! SQLGraph reproduction (SIGMOD 2015). The paper runs on a commercial
+//! RDBMS; this crate supplies the features its schema and Gremlin→SQL
+//! translation actually exercise:
+//!
+//! * typed tables with hash and B-tree indexes (including composite keys),
+//! * a SQL subset — `WITH` CTE pipelines, joins (inner/left-outer,
+//!   index-nested-loop and hash), lateral `TABLE(VALUES …)` unnest,
+//!   `UNION [ALL]`/`INTERSECT`/`EXCEPT`, `DISTINCT`, aggregates,
+//!   `ORDER BY`/`LIMIT`/`OFFSET`, and the `JSON_VAL` accessor over JSON
+//!   columns,
+//! * DML with statement/transaction atomicity (undo journal), durability
+//!   (checksummed WAL + replay recovery), and per-table reader/writer locks,
+//! * stored procedures (registered Rust closures) for the multi-table graph
+//!   update operations.
+//!
+//! # Example
+//!
+//! ```
+//! use sqlgraph_rel::{Database, Value};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)").unwrap();
+//! db.execute_with_params(
+//!     "INSERT INTO va VALUES (?, ?)",
+//!     &[Value::Int(1), Value::json(sqlgraph_json::parse(r#"{"name":"marko"}"#).unwrap())],
+//! ).unwrap();
+//! let rel = db.execute("SELECT JSON_VAL(attr, 'name') FROM va WHERE vid = 1").unwrap();
+//! assert_eq!(rel.strings(), ["marko"]);
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod hasher;
+pub mod index;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod value;
+pub mod wal;
+
+pub use db::{Database, Txn};
+pub use error::{Error, Result};
+pub use exec::Relation;
+pub use schema::{Column, ColumnType, TableSchema};
+pub use value::Value;

@@ -1,0 +1,297 @@
+//! SQL lexer.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// A token with its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Token kind/payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (kept verbatim; parser matches case-insensitively).
+    Ident(String),
+    /// Numeric literal, already converted.
+    Number(Value),
+    /// String literal (single quotes, `''` escape).
+    Str(String),
+    /// `?` positional parameter.
+    Param,
+    /// Punctuation / operators.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `||`
+    Concat,
+}
+
+/// Tokenize the whole input. Comments (`-- ...` to end of line) are skipped.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Consume a full UTF-8 character.
+                            let rest = &sql[i..];
+                            let c = rest.chars().next().expect("non-empty");
+                            s.push(c);
+                            i += c.len_utf8();
+                        }
+                        None => {
+                            return Err(Error::Parse {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token { offset: start, kind: TokenKind::Str(s) });
+            }
+            b'"' => {
+                // Quoted identifier.
+                i += 1;
+                let id_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Error::Parse {
+                        offset: start,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Ident(sql[id_start..i].to_string()),
+                });
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && matches!(bytes[i], b'e' | b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                let value = if is_float {
+                    Value::Double(text.parse().map_err(|_| Error::Parse {
+                        offset: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Value::Int(v),
+                        Err(_) => Value::Double(text.parse().map_err(|_| Error::Parse {
+                            offset: start,
+                            message: format!("bad number literal '{text}'"),
+                        })?),
+                    }
+                };
+                tokens.push(Token { offset: start, kind: TokenKind::Number(value) });
+            }
+            b'?' => {
+                tokens.push(Token { offset: start, kind: TokenKind::Param });
+                i += 1;
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i] == b'$' || bytes[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Ident(sql[start..i].to_string()),
+                });
+            }
+            _ => {
+                let two = bytes.get(i + 1).copied();
+                let (sym, len) = match (b, two) {
+                    (b'<', Some(b'>')) => (Symbol::Ne, 2),
+                    (b'!', Some(b'=')) => (Symbol::Ne, 2),
+                    (b'<', Some(b'=')) => (Symbol::Le, 2),
+                    (b'>', Some(b'=')) => (Symbol::Ge, 2),
+                    (b'|', Some(b'|')) => (Symbol::Concat, 2),
+                    (b'(', _) => (Symbol::LParen, 1),
+                    (b')', _) => (Symbol::RParen, 1),
+                    (b'[', _) => (Symbol::LBracket, 1),
+                    (b']', _) => (Symbol::RBracket, 1),
+                    (b',', _) => (Symbol::Comma, 1),
+                    (b'.', _) => (Symbol::Dot, 1),
+                    (b'*', _) => (Symbol::Star, 1),
+                    (b';', _) => (Symbol::Semicolon, 1),
+                    (b'=', _) => (Symbol::Eq, 1),
+                    (b'<', _) => (Symbol::Lt, 1),
+                    (b'>', _) => (Symbol::Gt, 1),
+                    (b'+', _) => (Symbol::Plus, 1),
+                    (b'-', _) => (Symbol::Minus, 1),
+                    (b'/', _) => (Symbol::Slash, 1),
+                    (b'%', _) => (Symbol::Percent, 1),
+                    _ => {
+                        return Err(Error::Parse {
+                            offset: i,
+                            message: format!("unexpected character '{}'", b as char),
+                        })
+                    }
+                };
+                tokens.push(Token { offset: start, kind: TokenKind::Symbol(sym) });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token { offset: sql.len(), kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("SELECT a.b, 'it''s' FROM t WHERE x >= 1.5 -- comment\n AND y <> ?");
+        assert!(ks.contains(&TokenKind::Ident("SELECT".into())));
+        assert!(ks.contains(&TokenKind::Str("it's".into())));
+        assert!(ks.contains(&TokenKind::Number(Value::Double(1.5))));
+        assert!(ks.contains(&TokenKind::Symbol(Symbol::Ge)));
+        assert!(ks.contains(&TokenKind::Symbol(Symbol::Ne)));
+        assert!(ks.contains(&TokenKind::Param));
+        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn concat_and_brackets() {
+        let ks = kinds("a || b [0]");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol(Symbol::Concat),
+                TokenKind::Ident("b".into()),
+                TokenKind::Symbol(Symbol::LBracket),
+                TokenKind::Number(Value::Int(0)),
+                TokenKind::Symbol(Symbol::RBracket),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let ks = kinds("'héllo 😀'");
+        assert_eq!(ks[0], TokenKind::Str("héllo 😀".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let ks = kinds("\"Weird Name\"");
+        assert_eq!(ks[0], TokenKind::Ident("Weird Name".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn big_int_literal_falls_to_double() {
+        let ks = kinds("99999999999999999999");
+        assert!(matches!(ks[0], TokenKind::Number(Value::Double(_))));
+    }
+}

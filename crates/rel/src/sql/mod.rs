@@ -1,0 +1,7 @@
+//! SQL front end: lexer, AST, and parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_statement, parse_statement_with_params};

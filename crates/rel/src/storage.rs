@@ -1,0 +1,323 @@
+//! In-memory table storage: an append-only row slab with tombstones, kept
+//! consistent with the table's indexes on every mutation.
+
+use crate::error::{Error, Result};
+use crate::index::{Index, IndexKey, IndexKind, KeyPart, RowId};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A stored table: schema + rows + indexes.
+///
+/// Rows live in a slab; deletion tombstones the slot (`None`) so `RowId`s
+/// stay stable for index entries and undo logs. `live` counts non-tombstone
+/// rows for cardinality estimates.
+#[derive(Debug)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    rows: Vec<Option<Box<[Value]>>>,
+    indexes: Vec<Index>,
+    live: usize,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Upper bound of row ids ever allocated (including tombstones).
+    pub fn slab_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, id: RowId) -> Option<&[Value]> {
+        self.rows.get(id).and_then(|r| r.as_deref())
+    }
+
+    /// Iterate `(RowId, row)` over live rows.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
+    }
+
+    /// Insert a row (validated/coerced against the schema), updating all
+    /// indexes. Returns the new row's id.
+    ///
+    /// On a unique violation the row is not inserted and previously updated
+    /// indexes are rolled back, so the table stays consistent.
+    pub fn insert(&mut self, mut row: Vec<Value>) -> Result<RowId> {
+        self.schema.check_row(&mut row)?;
+        let id = self.rows.len();
+        for i in 0..self.indexes.len() {
+            if let Err(e) = self.indexes[i].insert(&row, id) {
+                for j in 0..i {
+                    self.indexes[j].remove(&row, id);
+                }
+                return Err(e);
+            }
+        }
+        self.rows.push(Some(row.into_boxed_slice()));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Delete a row by id, returning the removed values.
+    pub fn delete(&mut self, id: RowId) -> Result<Vec<Value>> {
+        let slot = self
+            .rows
+            .get_mut(id)
+            .ok_or_else(|| Error::Invalid(format!("row {id} out of range")))?;
+        let row = slot
+            .take()
+            .ok_or_else(|| Error::Invalid(format!("row {id} already deleted")))?;
+        for idx in &mut self.indexes {
+            idx.remove(&row, id);
+        }
+        self.live -= 1;
+        Ok(row.into_vec())
+    }
+
+    /// Replace a row in place, updating indexes. Returns the old values.
+    pub fn update(&mut self, id: RowId, mut new_row: Vec<Value>) -> Result<Vec<Value>> {
+        self.schema.check_row(&mut new_row)?;
+        let old = self
+            .rows
+            .get(id)
+            .and_then(|r| r.clone())
+            .ok_or_else(|| Error::Invalid(format!("row {id} not live")))?;
+        for idx in &mut self.indexes {
+            idx.remove(&old, id);
+        }
+        for i in 0..self.indexes.len() {
+            if let Err(e) = self.indexes[i].insert(&new_row, id) {
+                // Restore: undo partial inserts, re-add old entries.
+                for j in 0..i {
+                    self.indexes[j].remove(&new_row, id);
+                }
+                for idx in &mut self.indexes {
+                    idx.insert(&old, id).expect("restoring prior index state");
+                }
+                return Err(e);
+            }
+        }
+        self.rows[id] = Some(new_row.into_boxed_slice());
+        Ok(old.into_vec())
+    }
+
+    /// Re-insert a previously deleted row at its original id (transaction
+    /// rollback path). The slot must currently be a tombstone.
+    pub fn undelete(&mut self, id: RowId, row: Vec<Value>) -> Result<()> {
+        let slot = self
+            .rows
+            .get_mut(id)
+            .ok_or_else(|| Error::Invalid(format!("row {id} out of range")))?;
+        if slot.is_some() {
+            return Err(Error::Invalid(format!("row {id} is live; cannot undelete")));
+        }
+        for idx in &mut self.indexes {
+            idx.insert(&row, id)?;
+        }
+        *slot = Some(row.into_boxed_slice());
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Create and backfill an index over `columns`.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Result<()> {
+        self.create_index_with_parts(
+            name,
+            columns.into_iter().map(KeyPart::Column).collect(),
+            unique,
+            kind,
+        )
+    }
+
+    /// Create and backfill an index over arbitrary key parts (plain columns
+    /// or `JSON_VAL` extractions — functional indexes).
+    pub fn create_index_with_parts(
+        &mut self,
+        name: impl Into<String>,
+        parts: Vec<KeyPart>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(Error::Schema(format!("index '{name}' already exists")));
+        }
+        if parts.iter().any(|p| p.column() >= self.schema.arity()) {
+            return Err(Error::Schema(format!(
+                "index '{name}' references a column out of range"
+            )));
+        }
+        let mut idx = Index::with_parts(name, parts, unique, kind);
+        for (id, row) in self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
+        {
+            idx.insert(row, id)?;
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Find an index whose key columns are exactly `columns` (order matters).
+    pub fn index_on(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.columns == columns)
+    }
+
+    /// Find an index whose *first* key column is `column` and that can serve
+    /// point lookups on a prefix. Used by the planner for single-column
+    /// equality predicates.
+    pub fn index_with_prefix(&self, column: usize) -> Option<&Index> {
+        // Exact single-column index preferred; otherwise a composite whose
+        // key starts with `column` can still narrow a B-tree range.
+        self.indexes
+            .iter()
+            .find(|i| i.columns.len() == 1 && i.columns[0] == column)
+            .or_else(|| {
+                self.indexes
+                    .iter()
+                    .find(|i| i.columns.first() == Some(&column) && i.kind() == IndexKind::BTree)
+            })
+    }
+
+    /// All indexes (for introspection / stats).
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Row ids matching `key` on the index named `index`.
+    pub fn index_lookup(&self, index: &str, key: &IndexKey) -> Result<Vec<RowId>> {
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.name == index)
+            .ok_or_else(|| Error::NotFound(format!("index '{index}'")))?;
+        Ok(idx.lookup(key).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                Column { name: "id".into(), ty: ColumnType::Integer },
+                Column { name: "v".into(), ty: ColumnType::Any },
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.create_index("t_pk", vec![0], true, IndexKind::Hash).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_get_iter() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let b = t.insert(vec![Value::Int(2), Value::str("b")]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap()[1], Value::str("a"));
+        let ids: Vec<_> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, [a, b]);
+    }
+
+    #[test]
+    fn delete_tombstones_and_indexes() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        let removed = t.delete(a).unwrap();
+        assert_eq!(removed[0], Value::Int(1));
+        assert_eq!(t.len(), 1);
+        assert!(t.get(a).is_none());
+        assert!(t.delete(a).is_err());
+        // id 1 is reusable now via the unique index.
+        t.insert(vec![Value::Int(1), Value::str("again")]).unwrap();
+    }
+
+    #[test]
+    fn unique_violation_leaves_table_consistent() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        assert!(t.insert(vec![Value::Int(1), Value::Null]).is_err());
+        assert_eq!(t.len(), 1);
+        let key = IndexKey(vec![Value::Int(1)]);
+        assert_eq!(t.index_lookup("t_pk", &key).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        t.update(a, vec![Value::Int(9), Value::str("y")]).unwrap();
+        assert!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)])).unwrap().is_empty());
+        assert_eq!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(9)])).unwrap(), [a]);
+    }
+
+    #[test]
+    fn update_unique_conflict_restores_old_state() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let b = t.insert(vec![Value::Int(2), Value::str("keep")]).unwrap();
+        assert!(t.update(b, vec![Value::Int(1), Value::Null]).is_err());
+        // b unchanged and still findable under its old key.
+        assert_eq!(t.get(b).unwrap()[1], Value::str("keep"));
+        assert_eq!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(2)])).unwrap(), [b]);
+    }
+
+    #[test]
+    fn undelete_restores_row() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        let row = t.delete(a).unwrap();
+        t.undelete(a, row).unwrap();
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
+        assert_eq!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)])).unwrap(), [a]);
+    }
+
+    #[test]
+    fn backfilled_index() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
+        }
+        t.create_index("t_v", vec![1], false, IndexKind::BTree).unwrap();
+        let ids = t.index_lookup("t_v", &IndexKey(vec![Value::Int(0)])).unwrap();
+        assert_eq!(ids.len(), 4); // 0, 3, 6, 9
+        assert!(t.create_index("t_v", vec![1], false, IndexKind::Hash).is_err());
+    }
+}

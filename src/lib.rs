@@ -1,0 +1,29 @@
+//! # SQLGraph
+//!
+//! A Rust reproduction of **"SQLGraph: An Efficient Relational-Based
+//! Property Graph Store"** (SIGMOD 2015). This facade crate re-exports the
+//! workspace crates so downstream users depend on one name.
+//!
+//! The headline API is [`core::SqlGraph`]: a property graph stored in an
+//! embedded relational engine using the paper's hybrid schema — relational
+//! hash tables for adjacency, JSON documents for vertex/edge attributes —
+//! and queried with Gremlin pipelines compiled to a single SQL statement.
+//!
+//! ```
+//! use sqlgraph::core::SqlGraph;
+//!
+//! let g = SqlGraph::new_in_memory();
+//! let marko = g.add_vertex([("name", "marko".into()), ("age", 29i64.into())]).unwrap();
+//! let vadas = g.add_vertex([("name", "vadas".into()), ("age", 27i64.into())]).unwrap();
+//! g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())]).unwrap();
+//!
+//! let out = g.query("g.V.has('name','marko').out('knows').values('name')").unwrap();
+//! assert_eq!(out.strings(), ["vadas"]);
+//! ```
+
+pub use sqlgraph_baselines as baselines;
+pub use sqlgraph_core as core;
+pub use sqlgraph_datagen as datagen;
+pub use sqlgraph_gremlin as gremlin;
+pub use sqlgraph_json as json;
+pub use sqlgraph_rel as rel;

@@ -1,0 +1,124 @@
+//! Cross-crate end-to-end tests: datagen → all three stores → query
+//! agreement between the SQL translation, the interpreter over SQLGraph,
+//! and both baseline stores.
+
+use sqlgraph::baselines::{KvGraph, NativeGraph};
+use sqlgraph::core::{GraphData, SchemaConfig, SqlGraph};
+use sqlgraph::datagen::dbpedia::{
+    adjacency_queries, benchmark_queries, generate, DbpediaConfig,
+};
+use sqlgraph::gremlin::{interp, parse_query, Elem};
+use sqlgraph::rel::Value;
+
+fn build_all() -> (sqlgraph::datagen::dbpedia::DbpediaGraph, SqlGraph, KvGraph, NativeGraph) {
+    let g = generate(&DbpediaConfig::tiny());
+    let sql = SqlGraph::with_config(SchemaConfig { out_buckets: 5, in_buckets: 5 }).unwrap();
+    sql.bulk_load(&GraphData {
+        vertices: g.data.vertices.clone(),
+        edges: g.data.edges.clone(),
+    })
+    .unwrap();
+    let kv = KvGraph::new();
+    g.data.load_blueprints(&kv).unwrap();
+    let native = NativeGraph::new();
+    g.data.load_blueprints(&native).unwrap();
+    (g, sql, kv, native)
+}
+
+fn canon_elems(elems: Vec<Elem>) -> Vec<String> {
+    let mut out: Vec<String> = elems.iter().map(|e| format!("{:?}", e.to_json())).collect();
+    out.sort();
+    out
+}
+
+fn canon_rel(rel: &sqlgraph::rel::Relation) -> Vec<String> {
+    let mut out: Vec<String> = rel
+        .rows
+        .iter()
+        .map(|r| format!("{:?}", sqlgraph::core::value_to_json(&r[0])))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn all_systems_agree_on_the_benchmark_queries() {
+    let (g, sql, kv, native) = build_all();
+    for q in benchmark_queries(&g) {
+        let pipeline = parse_query(&q).unwrap();
+        let want = canon_elems(interp::eval(&native, &pipeline).unwrap());
+        let from_kv = canon_elems(interp::eval(&kv, &pipeline).unwrap());
+        assert_eq!(from_kv, want, "kv vs native on {q}");
+        let from_sql = canon_rel(&sql.query(&q).unwrap());
+        assert_eq!(from_sql, want, "sqlgraph vs native on {q}");
+    }
+}
+
+#[test]
+fn all_systems_agree_on_the_path_queries() {
+    let (g, sql, kv, native) = build_all();
+    for spec in adjacency_queries(&g) {
+        let pipeline = parse_query(&spec.gremlin).unwrap();
+        let want = canon_elems(interp::eval(&native, &pipeline).unwrap());
+        let from_kv = canon_elems(interp::eval(&kv, &pipeline).unwrap());
+        assert_eq!(from_kv, want, "kv vs native on lq{}", spec.id);
+        let from_sql = canon_rel(&sql.query(&spec.gremlin).unwrap());
+        assert_eq!(from_sql, want, "sqlgraph vs native on lq{}", spec.id);
+    }
+}
+
+#[test]
+fn physical_strategies_agree() {
+    use sqlgraph::core::{AdjacencyStrategy, TranslateOptions};
+    let (g, sql, _, _) = build_all();
+    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
+    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    for spec in adjacency_queries(&g) {
+        let a = canon_rel(&sql.query_with(&spec.gremlin, ea).unwrap());
+        let b = canon_rel(&sql.query_with(&spec.gremlin, hash).unwrap());
+        assert_eq!(a, b, "EA vs hash strategy diverged on lq{}", spec.id);
+    }
+}
+
+#[test]
+fn alternative_schemas_agree_with_sqlgraph() {
+    use sqlgraph::core::alt::JsonAdjacency;
+    let (g, sql, _, _) = build_all();
+    let ja = JsonAdjacency::new().unwrap();
+    ja.load(&GraphData {
+        vertices: g.data.vertices.clone(),
+        edges: g.data.edges.clone(),
+    })
+    .unwrap();
+    // 3-hop isPartOf from all places, both representations.
+    let places = g.config.places;
+    let mut q = format!("g.V.interval('bucket', 0, {places})");
+    for _ in 0..3 {
+        q.push_str(".out('isPartOf')");
+    }
+    q.push_str(".count()");
+    let from_sql = sql.query(&q).unwrap().scalar().and_then(Value::as_int).unwrap();
+    let from_json = ja
+        .khop(&format!("JSON_VAL(attr, 'bucket') < {places}"), Some("isPartOf"), 3)
+        .unwrap()
+        .scalar()
+        .and_then(Value::as_int)
+        .unwrap();
+    assert_eq!(from_sql, from_json);
+}
+
+#[test]
+fn facade_reexports_work_together() {
+    // The README snippet, via the facade crate.
+    let g = SqlGraph::new_in_memory();
+    let a = g.add_vertex([("name", "ada".into())]).unwrap();
+    let b = g.add_vertex([("name", "grace".into())]).unwrap();
+    g.add_edge(a, b, "admires", []).unwrap();
+    assert_eq!(
+        g.query("g.V.has('name','ada').out('admires').values('name')").unwrap().strings(),
+        ["grace"]
+    );
+    // JSON crate round trip through the public facade.
+    let doc = sqlgraph::json::parse(r#"{"k": [1, 2, 3]}"#).unwrap();
+    assert_eq!(doc.get("k").unwrap().as_array().unwrap().len(), 3);
+}
