@@ -91,7 +91,7 @@ fn random_updates<G: Blueprints>(store: &G, oracle: &MemGraph, seed: u64, steps:
         match rng.gen_range(0..10) {
             0..=2 => {
                 let props = vec![
-                    ("name".to_string(), Json::str(["a", "b", "c"][rng.gen_range(0..3)])),
+                    ("name".to_string(), Json::str(["a", "b", "c"][rng.gen_range(0..3usize)])),
                     ("age".to_string(), Json::int(rng.gen_range(1..90))),
                 ];
                 let a = store.add_vertex(&props).unwrap();
@@ -105,7 +105,7 @@ fn random_updates<G: Blueprints>(store: &G, oracle: &MemGraph, seed: u64, steps:
                 }
                 let src = vertices[rng.gen_range(0..vertices.len())];
                 let dst = vertices[rng.gen_range(0..vertices.len())];
-                let label = ["knows", "likes"][rng.gen_range(0..2)];
+                let label = ["knows", "likes"][rng.gen_range(0..2usize)];
                 let a = store.add_edge(src, dst, label, &[]).unwrap();
                 let b = oracle.add_edge(src, dst, label, &[]).unwrap();
                 assert_eq!(a, b, "edge id allocation diverged");

@@ -281,7 +281,7 @@ fn corpus_survives_updates() {
                 }
                 let src = live_vertices[rng.gen_range(0..live_vertices.len())];
                 let dst = live_vertices[rng.gen_range(0..live_vertices.len())];
-                let label = ["knows", "created", "likes"][rng.gen_range(0..3)];
+                let label = ["knows", "created", "likes"][rng.gen_range(0..3usize)];
                 let a = Blueprints::add_edge(&sql, src, dst, label, &[]).unwrap();
                 let b = mem.add_edge(src, dst, label, &[]).unwrap();
                 // Edge id counters can diverge after removals; re-align by

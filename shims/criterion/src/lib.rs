@@ -1,0 +1,172 @@
+//! Minimal API-compatible stand-in for `criterion` 0.5.
+//!
+//! Wall-clock measurement only: per benchmark it runs a short warm-up,
+//! takes `sample_size` timed samples (auto-batching very fast bodies so a
+//! sample is long enough to time), and prints `min / median / max` per
+//! iteration. No HTML reports, no statistical regression analysis — the
+//! numbers are honest and comparable within one run, which is what the
+//! repo's figure-regeneration harness needs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _parent: self, name, sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.default_sample_size, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API parity; command-line arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Benchmark group mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing context handed to the closure.
+pub struct Bencher {
+    /// Iterations the body should run per sample (auto-tuned).
+    batch: u64,
+    /// Time spent inside `iter` for the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Warm-up and batch sizing: grow the batch until one sample takes at
+    // least ~1ms so Instant resolution doesn't dominate.
+    let mut bencher = Bencher { batch: 1, elapsed: Duration::ZERO };
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(1) || bencher.batch >= (1 << 20) {
+            break;
+        }
+        bencher.batch *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64() / bencher.batch as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let med = per_iter[per_iter.len() / 2];
+    let max = per_iter.last().copied().unwrap_or(0.0);
+    println!(
+        "{label:<40} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(med),
+        fmt_time(max),
+        samples,
+        bencher.batch
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point: runs each group from `main`, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("id", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

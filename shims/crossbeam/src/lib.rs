@@ -1,0 +1,74 @@
+//! Minimal API-compatible stand-in for `crossbeam` 0.8's scoped threads,
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Wrapper over `std::thread::Scope` whose `spawn` passes the scope to
+    /// the closure, matching crossbeam's `|scope| ...` / `spawn(|_| ...)`
+    /// signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope that joins all spawned threads before
+    /// returning. Like crossbeam (and unlike `std::thread::scope`), child
+    /// panics surface as an `Err` instead of a propagated panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scope_joins_all_threads() {
+            let n = AtomicUsize::new(0);
+            super::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|_| {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 4);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

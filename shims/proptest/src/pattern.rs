@@ -1,0 +1,187 @@
+//! Tiny regex-subset string generator backing `"pattern"` strategies.
+//!
+//! Supports what the workspace's tests use: literal characters, character
+//! classes with ranges (`[a-z]`, `[ -~]`), the Unicode
+//! "printable" shorthand `\PC`, and `{n}` / `{n,m}` repetition. Unknown
+//! escape sequences fall back to the escaped literal.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Lit(char),
+    /// Inclusive char ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable character (mixed ASCII + multibyte pool).
+    AnyPrintable,
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty character class in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // Category shorthand; the only one used is `\PC`
+                    // ("not Other" = printable). Consume the category char.
+                    chars.next();
+                    Atom::AnyPrintable
+                }
+                Some('n') => Atom::Lit('\n'),
+                Some('t') => Atom::Lit('\t'),
+                Some(other) => Atom::Lit(other),
+                None => panic!("dangling backslash in pattern {pattern:?}"),
+            },
+            other => Atom::Lit(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for ch in chars.by_ref() {
+                if ch == '}' {
+                    break;
+                }
+                spec.push(ch);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat min"),
+                    hi.trim().parse().expect("bad repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Multibyte / awkward printable characters mixed into `\PC` output so
+/// parsers meet non-ASCII input: accented letters, CJK, symbols, an
+/// emoji, quotes and backslashes.
+const SPICE: &[char] = &[
+    'é', 'ß', 'Ω', 'λ', '中', '日', 'क', 'ё', '€', '±', '¿', '🦀', '"', '\'', '\\', '`', '\u{00A0}',
+];
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            // Some ranges cross the surrogate gap in principle; retry into
+            // the valid plane (never triggers for the ASCII classes used).
+            loop {
+                let v = lo as u32 + rng.below(span as u64) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+        Atom::AnyPrintable => {
+            if rng.below(100) < 85 {
+                // ASCII space..tilde.
+                char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii printable")
+            } else {
+                SPICE[rng.below(SPICE.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+        for _ in 0..n {
+            out.push(gen_char(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_range_respects_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = generate("[a-c]{0,3}", &mut rng);
+            assert!(s.len() <= 3);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad {s:?}");
+        }
+    }
+
+    #[test]
+    fn ascii_printable_class() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "bad {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_shorthand_mixes_unicode() {
+        let mut rng = TestRng::from_seed(3);
+        let mut saw_non_ascii = false;
+        for _ in 0..100 {
+            let s = generate("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            saw_non_ascii |= s.chars().any(|c| !c.is_ascii());
+        }
+        assert!(saw_non_ascii, "expected some non-ASCII output");
+    }
+
+    #[test]
+    fn fixed_count_and_literals() {
+        let mut rng = TestRng::from_seed(4);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("x[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x'));
+    }
+}
