@@ -588,8 +588,11 @@ fn translate_one(ctx: &mut Ctx<'_>, pipe: &Pipe) -> Result<(), Unsupported> {
                     sql_json(v)?
                 ),
             };
+            // The attribute table is written first in textual order; the
+            // relational planner reorders the join from table statistics, so
+            // translation no longer hand-tunes which side leads.
             let sql = format!(
-                "SELECT v.* FROM {cur} v, {table} p WHERE v.val = p.{id_col} AND {cond}",
+                "SELECT v.* FROM {table} p, {cur} v WHERE v.val = p.{id_col} AND {cond}",
                 cur = ctx.cur,
             );
             ctx.push_cte(sql);
@@ -597,7 +600,7 @@ fn translate_one(ctx: &mut Ctx<'_>, pipe: &Pipe) -> Result<(), Unsupported> {
         Pipe::HasNot { key } => {
             let (table, id_col) = attr_join(ctx)?;
             let sql = format!(
-                "SELECT v.* FROM {cur} v, {table} p WHERE v.val = p.{id_col} \
+                "SELECT v.* FROM {table} p, {cur} v WHERE v.val = p.{id_col} \
                  AND JSON_VAL(p.attr, {k}) IS NULL",
                 cur = ctx.cur,
                 k = sql_str(key),
@@ -610,7 +613,7 @@ fn translate_one(ctx: &mut Ctx<'_>, pipe: &Pipe) -> Result<(), Unsupported> {
                 let (table, id_col) = attr_join(ctx)?;
                 let cond = closure_sql(closure, "p.attr", "v.val")?;
                 let sql = format!(
-                    "SELECT v.* FROM {cur} v, {table} p WHERE v.val = p.{id_col} \
+                    "SELECT v.* FROM {table} p, {cur} v WHERE v.val = p.{id_col} \
                      AND COALESCE(({cond}), FALSE)",
                     cur = ctx.cur,
                 );
@@ -627,7 +630,7 @@ fn translate_one(ctx: &mut Ctx<'_>, pipe: &Pipe) -> Result<(), Unsupported> {
         Pipe::Interval { key, lo, hi } => {
             let (table, id_col) = attr_join(ctx)?;
             let sql = format!(
-                "SELECT v.* FROM {cur} v, {table} p WHERE v.val = p.{id_col} \
+                "SELECT v.* FROM {table} p, {cur} v WHERE v.val = p.{id_col} \
                  AND JSON_VAL(p.attr, {k}) >= {lo} AND JSON_VAL(p.attr, {k}) < {hi}",
                 cur = ctx.cur,
                 k = sql_str(key),

@@ -9,11 +9,14 @@ use sqlgraph_gremlin::{interp, Blueprints, Elem, MemGraph};
 use sqlgraph_json::Json;
 use sqlgraph_rel::Value;
 
+/// One edge: `(eid, src, dst, label, props)`.
+type TestEdge = (i64, i64, i64, String, Vec<(String, Json)>);
+
 /// A small random graph: vertices with `name`/`age`, labeled edges.
 #[derive(Debug, Clone)]
 struct TestGraph {
     vertices: Vec<(i64, Vec<(String, Json)>)>,
-    edges: Vec<(i64, i64, i64, String, Vec<(String, Json)>)>,
+    edges: Vec<TestEdge>,
 }
 
 fn arb_graph() -> impl Strategy<Value = TestGraph> {

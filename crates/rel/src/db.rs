@@ -43,6 +43,9 @@ pub struct Database {
     /// wholesale when full (statement texts are templates, so the working
     /// set is small).
     stmt_cache: RwLock<FxHashMap<String, Arc<Statement>>>,
+    /// Cost-based join planner switch (on by default). Off = left-to-right
+    /// attachment in textual FROM order, for A/B comparison and debugging.
+    planner: std::sync::atomic::AtomicBool,
 }
 
 /// Statement-cache capacity.
@@ -80,7 +83,19 @@ impl Database {
             procedures: RwLock::new(FxHashMap::default()),
             wal: None,
             stmt_cache: RwLock::new(FxHashMap::default()),
+            planner: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    /// Whether the cost-based join planner is enabled.
+    pub fn planner_enabled(&self) -> bool {
+        self.planner.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Toggle the cost-based join planner (on by default). When off, FROM
+    /// items attach strictly left to right, as written.
+    pub fn set_planner_enabled(&self, on: bool) {
+        self.planner.store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Parse `sql`, consulting the prepared-statement cache first. DDL is
@@ -380,6 +395,23 @@ impl Database {
                 let result = proc(&mut txn, &empty_scope_args);
                 *journal = txn.journal;
                 result
+            }
+            Statement::Analyze { table } => {
+                // Full-scan statistics collection; not journaled or WAL'd —
+                // stats are derived state, rebuilt by re-running ANALYZE.
+                let names = match table {
+                    Some(t) => vec![t.to_ascii_lowercase()],
+                    None => self.table_names(),
+                };
+                let mut rows = Vec::new();
+                for name in names {
+                    let mut t = self.write_table(&name)?;
+                    let stats = crate::stats::TableStats::analyze(&t);
+                    let count = stats.row_count as i64;
+                    t.set_stats(stats);
+                    rows.push(vec![Value::str(name), Value::Int(count)]);
+                }
+                Ok(Relation { columns: vec!["table".into(), "rows".into()], rows })
             }
         }
     }

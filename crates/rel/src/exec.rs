@@ -293,18 +293,22 @@ fn run_set_expr(env: &Env<'_>, body: &ast::SetExpr) -> Result<Relation> {
                 }
                 ast::SetOp::Intersect => {
                     let rset: FxHashSet<&Row> = r.rows.iter().collect();
-                    let mut seen = FxHashSet::default();
+                    let mut seen: FxHashSet<Row> = FxHashSet::default();
                     for row in l.rows {
-                        if rset.contains(&row) && seen.insert(row.clone()) {
+                        // Membership checks on borrowed rows; clone only the
+                        // distinct rows actually emitted.
+                        if rset.contains(&row) && !seen.contains(&row) {
+                            seen.insert(row.clone());
                             out.rows.push(row);
                         }
                     }
                 }
                 ast::SetOp::Except => {
                     let rset: FxHashSet<&Row> = r.rows.iter().collect();
-                    let mut seen = FxHashSet::default();
+                    let mut seen: FxHashSet<Row> = FxHashSet::default();
                     for row in l.rows {
-                        if !rset.contains(&row) && seen.insert(row.clone()) {
+                        if !rset.contains(&row) && !seen.contains(&row) {
+                            seen.insert(row.clone());
                             out.rows.push(row);
                         }
                     }
@@ -317,7 +321,15 @@ fn run_set_expr(env: &Env<'_>, body: &ast::SetExpr) -> Result<Relation> {
 
 fn dedup_rows(rows: &mut Vec<Row>) {
     let mut seen: FxHashSet<Row> = FxHashSet::default();
-    rows.retain(|r| seen.insert(r.clone()));
+    rows.retain(|r| {
+        // Check first so duplicate rows are dropped without cloning.
+        if seen.contains(r) {
+            false
+        } else {
+            seen.insert(r.clone());
+            true
+        }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -935,28 +947,81 @@ fn run_from(
         return Ok((scope, rows));
     }
 
-    // Phase 1: turn FROM items into units.
+    // Phase 1: turn FROM items into units. With the planner on, inner-only
+    // JOIN trees flatten into their leaf units so the optimizer can reorder
+    // across explicit JOIN syntax too; their ON conjuncts become ordinary
+    // pending conjuncts (equivalent for inner joins).
+    let planner_on = env.db.planner_enabled();
     let mut units: Vec<Unit<'_>> = Vec::with_capacity(from.len());
+    let mut conjuncts: Vec<&ast::Expr> = Vec::new();
     for item in from {
+        if planner_on {
+            if let Some(leaves) = flatten_inner_joins(item, &mut conjuncts) {
+                for leaf in leaves {
+                    units.push(plan_unit(env, leaf)?);
+                }
+                continue;
+            }
+        }
         units.push(plan_unit(env, item)?);
     }
 
     // Phase 2: split WHERE into conjuncts (kept as AST; compiled when their
-    // tables are all bound).
-    let mut conjuncts: Vec<&ast::Expr> = Vec::new();
+    // tables are all bound). Flattened ON conjuncts come first so equi keys
+    // are found before residual predicates.
     if let Some(f) = filter {
         collect_conjuncts(f, &mut conjuncts);
     }
     let mut pending: Vec<Option<&ast::Expr>> = conjuncts.into_iter().map(Some).collect();
 
-    // Phase 3: left-to-right pipeline.
+    // Phase 3: pick an attachment order. The planner greedily reorders the
+    // maximal leading run of non-lateral units smallest-estimate-first;
+    // laterals and everything after them stay in textual order (they may
+    // reference any earlier unit's columns).
+    let planned: Vec<PlannedUnit> = if planner_on && units.len() > 1 {
+        plan_join_order(env, &units, &pending)
+    } else {
+        (0..units.len()).map(|idx| PlannedUnit { idx, est: None }).collect()
+    };
+    if planned.iter().enumerate().any(|(pos, p)| pos != p.idx) {
+        env.note(|| {
+            let names: Vec<String> = planned.iter().map(|p| unit_label(&units[p.idx])).collect();
+            format!("join order: {} (reordered)", names.join(", "))
+        });
+    }
+
     let mut scope = Scope::default();
     let mut rows: Vec<Row> = vec![Vec::new()]; // identity row
+    let mut slots: Vec<Option<Unit<'_>>> = units.into_iter().map(Some).collect();
+    // Scope entries contributed per original unit index, for restoring
+    // textual order below.
+    let mut entry_spans: Vec<(usize, std::ops::Range<usize>)> = Vec::with_capacity(slots.len());
 
-    for unit in units {
+    for p in &planned {
+        let unit = slots[p.idx].take().expect("each unit attaches exactly once");
+        let label = unit_label(&unit);
+        let entries_before = scope.entries.len();
         attach_unit(env, &mut scope, &mut rows, unit, &mut pending, needs)?;
         // Apply every pending conjunct that is now fully resolvable.
         apply_ready_conjuncts(env, &scope, &mut rows, &mut pending)?;
+        entry_spans.push((p.idx, entries_before..scope.entries.len()));
+        if let Some(est) = p.est {
+            env.note(|| {
+                format!("{label}: estimated {:.0} rows, actual {}", est, rows.len())
+            });
+        }
+    }
+
+    // Restore scope entries to textual order so `SELECT *` column order is
+    // unaffected by the planner; offsets keep pointing at the physical row
+    // layout, which is what name resolution uses.
+    entry_spans.sort_by_key(|(orig, _)| *orig);
+    let mut old: Vec<Option<ScopeEntry>> =
+        std::mem::take(&mut scope.entries).into_iter().map(Some).collect();
+    for (_, span) in entry_spans {
+        for k in span {
+            scope.entries.push(old[k].take().expect("entry moved once"));
+        }
     }
 
     // Any conjunct still unresolved references unknown columns — surface the
@@ -966,6 +1031,433 @@ fn run_from(
         rows = filter_rows(rows, &compiled)?;
     }
     Ok((scope, rows))
+}
+
+/// One step of the planned attachment order.
+struct PlannedUnit {
+    /// Index into the unit list.
+    idx: usize,
+    /// Estimated cumulative row count after this unit attaches and its
+    /// filters apply (`None` when the planner did not estimate it).
+    est: Option<f64>,
+}
+
+/// Display label for a unit (EXPLAIN output).
+fn unit_label(unit: &Unit<'_>) -> String {
+    match unit {
+        Unit::Named { alias, .. } => alias.clone(),
+        Unit::Derived { alias, .. } => alias.clone(),
+        Unit::Lateral { alias, .. } => alias.clone(),
+        Unit::LateralFn { alias, .. } => alias.clone(),
+        Unit::JoinTree { scope_cols, .. } => {
+            let names: Vec<&str> = scope_cols.iter().map(|(a, _)| a.as_str()).collect();
+            names.join("+")
+        }
+    }
+}
+
+/// Flatten an inner-only JOIN tree whose leaves are all tables/subqueries
+/// into its leaf items, pushing every ON conjunct into `on_out`. Returns
+/// `None` (caller keeps the tree intact) for outer joins, lateral operands,
+/// or non-join items.
+fn flatten_inner_joins<'q>(
+    item: &'q ast::FromItem,
+    on_out: &mut Vec<&'q ast::Expr>,
+) -> Option<Vec<&'q ast::FromItem>> {
+    fn walk<'q>(
+        item: &'q ast::FromItem,
+        leaves: &mut Vec<&'q ast::FromItem>,
+        ons: &mut Vec<&'q ast::Expr>,
+    ) -> bool {
+        match item {
+            ast::FromItem::Join { left, right, kind: ast::JoinKind::Inner, on } => {
+                walk(left, leaves, ons) && walk(right, leaves, ons) && {
+                    collect_conjuncts(on, ons);
+                    true
+                }
+            }
+            ast::FromItem::Table { .. } | ast::FromItem::Subquery { .. } => {
+                leaves.push(item);
+                true
+            }
+            _ => false,
+        }
+    }
+    if !matches!(item, ast::FromItem::Join { .. }) {
+        return None;
+    }
+    let mut leaves = Vec::new();
+    let mut ons = Vec::new();
+    if walk(item, &mut leaves, &mut ons) {
+        on_out.extend(ons);
+        Some(leaves)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based join ordering
+// ---------------------------------------------------------------------------
+
+/// Cross joins are strongly discouraged: attaching an unconnected unit costs
+/// its full Cartesian product, deferred until a join key becomes available.
+const CROSS_JOIN_PENALTY: f64 = 10.0;
+/// Mild preference for attaching base tables whose join key is indexed —
+/// they probe per row instead of materializing a hash build side.
+const INDEX_JOIN_BONUS: f64 = 0.8;
+
+/// Planning facts for one FROM unit, gathered without executing it.
+struct UnitFacts {
+    /// Aliases this unit contributes to the scope (lower-cased).
+    aliases: Vec<String>,
+    /// Unfiltered cardinality.
+    rows: f64,
+    /// Cardinality after single-unit constant predicates.
+    est: f64,
+    /// Statistics (base tables only): stored `ANALYZE` stats or index-seeded.
+    stats: Option<crate::stats::TableStats>,
+    /// Lower-cased column name → position (base tables only).
+    col_index: FxHashMap<String, usize>,
+    /// Key parts covered by a single-part index (base tables only).
+    indexed_parts: Vec<crate::index::KeyPart>,
+    /// Live row count at planning time (base tables only; caps ndv).
+    live: usize,
+    /// Lateral units cannot move — they reference earlier units' columns.
+    reorderable: bool,
+}
+
+/// An equi-join conjunct linking two units, with its estimated selectivity.
+struct JoinEdge {
+    a: usize,
+    b: usize,
+    sel: f64,
+    /// The `a`/`b`-side key is a single-part-indexed key of that unit.
+    a_indexed: bool,
+    b_indexed: bool,
+}
+
+/// Collect the set of alias qualifiers in `e` into `out`. Returns `false`
+/// when the expression is not analyzable (unqualified columns, subqueries).
+fn expr_aliases(e: &ast::Expr, out: &mut FxHashSet<String>) -> bool {
+    match e {
+        ast::Expr::Column { table: Some(t), .. } => {
+            out.insert(t.to_ascii_lowercase());
+            true
+        }
+        ast::Expr::Column { table: None, .. } => false,
+        ast::Expr::Literal(_) | ast::Expr::Param(_) | ast::Expr::CountStar => true,
+        ast::Expr::Unary(_, x) | ast::Expr::IsNull(x, _) | ast::Expr::Cast(x, _) => {
+            expr_aliases(x, out)
+        }
+        ast::Expr::Binary(_, l, r) | ast::Expr::Subscript(l, r) => {
+            expr_aliases(l, out) && expr_aliases(r, out)
+        }
+        ast::Expr::Like { expr, pattern, .. } => {
+            expr_aliases(expr, out) && expr_aliases(pattern, out)
+        }
+        ast::Expr::InList { expr, list, .. } => {
+            expr_aliases(expr, out) && list.iter().all(|i| expr_aliases(i, out))
+        }
+        ast::Expr::InSubquery { .. } => false,
+        ast::Expr::Between { expr, lo, hi, .. } => {
+            expr_aliases(expr, out) && expr_aliases(lo, out) && expr_aliases(hi, out)
+        }
+        ast::Expr::Call { args, .. } => args.iter().all(|a| expr_aliases(a, out)),
+    }
+}
+
+/// A constant operand from the planner's point of view (parameters are
+/// inlined as constants at compile time).
+fn is_const_operand(e: &ast::Expr) -> bool {
+    matches!(e, ast::Expr::Literal(_) | ast::Expr::Param(_))
+}
+
+/// Resolve an AST expression to an index key part of `facts`' table: a
+/// qualified bare column or `JSON_VAL(col, 'member')` over one.
+fn ast_key_part(facts: &UnitFacts, e: &ast::Expr) -> Option<crate::index::KeyPart> {
+    use crate::index::KeyPart;
+    match e {
+        ast::Expr::Column { table: Some(_), name } => facts
+            .col_index
+            .get(&name.to_ascii_lowercase())
+            .map(|&c| KeyPart::Column(c)),
+        ast::Expr::Call { name, args, .. } if name.eq_ignore_ascii_case("JSON_VAL") => {
+            match (args.first(), args.get(1)) {
+                (
+                    Some(ast::Expr::Column { table: Some(_), name: col }),
+                    Some(ast::Expr::Literal(Value::Str(member))),
+                ) => facts
+                    .col_index
+                    .get(&col.to_ascii_lowercase())
+                    .map(|&c| KeyPart::JsonKey(c, member.to_string())),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Distinct-value estimate for one side of a join conjunct. Falls back to
+/// the System-R tenth-of-the-rows default when no statistic applies.
+fn side_ndv(facts: &UnitFacts, e: &ast::Expr) -> f64 {
+    if let (Some(part), Some(stats)) = (ast_key_part(facts, e), facts.stats.as_ref()) {
+        return stats.ndv_or_default(&part, facts.live) as f64;
+    }
+    (facts.rows / 10.0).max(1.0)
+}
+
+/// Selectivity of a single-unit conjunct: `key = const` uses 1/ndv, any
+/// other recognized predicate the classic 0.3 guess.
+fn conjunct_selectivity(facts: &UnitFacts, c: &ast::Expr) -> f64 {
+    if let ast::Expr::Binary(BinaryOp::Eq, a, b) = c {
+        let key = if is_const_operand(b) {
+            Some(a)
+        } else if is_const_operand(a) {
+            Some(b)
+        } else {
+            None
+        };
+        if let Some(key) = key {
+            if let (Some(part), Some(stats)) = (ast_key_part(facts, key), facts.stats.as_ref()) {
+                return stats.eq_selectivity(&part, facts.live);
+            }
+            return 1.0 / (facts.rows / 10.0).max(1.0);
+        }
+    }
+    0.3
+}
+
+/// Gather planning facts for every unit; estimates never execute a unit
+/// (base tables are inspected under a briefly-held read lock).
+fn gather_unit_facts(
+    env: &Env<'_>,
+    units: &[Unit<'_>],
+    pending: &[Option<&ast::Expr>],
+) -> Vec<UnitFacts> {
+    let mut all: Vec<UnitFacts> = units
+        .iter()
+        .map(|unit| match unit {
+            Unit::Named { name, alias } => {
+                if let Some(cte) = env.ctes.get(name) {
+                    return UnitFacts {
+                        aliases: vec![alias.to_ascii_lowercase()],
+                        rows: cte.rows.len() as f64,
+                        est: cte.rows.len() as f64,
+                        stats: None,
+                        col_index: FxHashMap::default(),
+                        indexed_parts: Vec::new(),
+                        live: 0,
+                        reorderable: true,
+                    };
+                }
+                match env.db.read_table(name) {
+                    Ok(t) => {
+                        let live = t.len();
+                        let stats = t
+                            .stats()
+                            .cloned()
+                            .unwrap_or_else(|| crate::stats::TableStats::seed(&t));
+                        let col_index = t
+                            .schema
+                            .columns
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| (c.name.clone(), i))
+                            .collect();
+                        let indexed_parts = t
+                            .indexes()
+                            .iter()
+                            .filter(|i| i.parts.len() == 1)
+                            .map(|i| i.parts[0].clone())
+                            .collect();
+                        UnitFacts {
+                            aliases: vec![alias.to_ascii_lowercase()],
+                            rows: live as f64,
+                            est: live as f64,
+                            stats: Some(stats),
+                            col_index,
+                            indexed_parts,
+                            live,
+                            reorderable: true,
+                        }
+                    }
+                    // Missing table: the attach step will surface the error;
+                    // give the planner a neutral placeholder.
+                    Err(_) => UnitFacts {
+                        aliases: vec![alias.to_ascii_lowercase()],
+                        rows: 1.0,
+                        est: 1.0,
+                        stats: None,
+                        col_index: FxHashMap::default(),
+                        indexed_parts: Vec::new(),
+                        live: 0,
+                        reorderable: true,
+                    },
+                }
+            }
+            Unit::Derived { rel, alias } => UnitFacts {
+                aliases: vec![alias.to_ascii_lowercase()],
+                rows: rel.rows.len() as f64,
+                est: rel.rows.len() as f64,
+                stats: None,
+                col_index: FxHashMap::default(),
+                indexed_parts: Vec::new(),
+                live: 0,
+                reorderable: true,
+            },
+            Unit::JoinTree { rel, scope_cols } => UnitFacts {
+                aliases: scope_cols.iter().map(|(a, _)| a.to_ascii_lowercase()).collect(),
+                rows: rel.rows.len() as f64,
+                est: rel.rows.len() as f64,
+                stats: None,
+                col_index: FxHashMap::default(),
+                indexed_parts: Vec::new(),
+                live: 0,
+                reorderable: true,
+            },
+            Unit::Lateral { alias, .. } | Unit::LateralFn { alias, .. } => UnitFacts {
+                aliases: vec![alias.to_ascii_lowercase()],
+                rows: 1.0,
+                est: 1.0,
+                stats: None,
+                col_index: FxHashMap::default(),
+                indexed_parts: Vec::new(),
+                live: 0,
+                reorderable: false,
+            },
+        })
+        .collect();
+
+    // Apply single-unit constant predicates to the estimates.
+    for facts in &mut all {
+        let mut sel = 1.0;
+        for c in pending.iter().flatten() {
+            let mut aliases = FxHashSet::default();
+            if !expr_aliases(c, &mut aliases) || aliases.len() != 1 {
+                continue;
+            }
+            let alias = aliases.iter().next().expect("len checked");
+            if facts.aliases.len() == 1 && facts.aliases[0] == *alias {
+                sel *= conjunct_selectivity(facts, c);
+            }
+        }
+        facts.est = facts.rows * sel;
+    }
+    all
+}
+
+/// Extract equi-join edges between reorderable units from the pending
+/// conjuncts.
+fn extract_join_edges(
+    facts: &[UnitFacts],
+    pending: &[Option<&ast::Expr>],
+    prefix: usize,
+) -> Vec<JoinEdge> {
+    let owner_of = |alias: &str| -> Option<usize> {
+        facts[..prefix]
+            .iter()
+            .position(|f| f.aliases.iter().any(|a| a == alias))
+    };
+    let mut edges = Vec::new();
+    for c in pending.iter().flatten() {
+        let ast::Expr::Binary(BinaryOp::Eq, l, r) = c else { continue };
+        let mut la = FxHashSet::default();
+        let mut ra = FxHashSet::default();
+        if !expr_aliases(l, &mut la) || !expr_aliases(r, &mut ra) {
+            continue;
+        }
+        if la.len() != 1 || ra.len() != 1 {
+            continue;
+        }
+        let (la, ra) = (
+            la.iter().next().expect("len checked").clone(),
+            ra.iter().next().expect("len checked").clone(),
+        );
+        let (Some(a), Some(b)) = (owner_of(&la), owner_of(&ra)) else { continue };
+        if a == b {
+            continue;
+        }
+        let sel = 1.0 / side_ndv(&facts[a], l).max(side_ndv(&facts[b], r));
+        let a_indexed = ast_key_part(&facts[a], l)
+            .is_some_and(|p| facts[a].indexed_parts.contains(&p));
+        let b_indexed = ast_key_part(&facts[b], r)
+            .is_some_and(|p| facts[b].indexed_parts.contains(&p));
+        edges.push(JoinEdge { a, b, sel, a_indexed, b_indexed });
+    }
+    edges
+}
+
+/// Greedy smallest-first join ordering over the maximal leading run of
+/// non-lateral units. Starts from the unit with the smallest filtered
+/// estimate, then repeatedly attaches the unit minimizing the estimated
+/// intermediate result — penalizing cross joins, mildly preferring
+/// index-probe attachments. Units at or after the first lateral keep their
+/// textual positions.
+fn plan_join_order(
+    env: &Env<'_>,
+    units: &[Unit<'_>],
+    pending: &[Option<&ast::Expr>],
+) -> Vec<PlannedUnit> {
+    let facts = gather_unit_facts(env, units, pending);
+    let prefix = facts.iter().position(|f| !f.reorderable).unwrap_or(facts.len());
+    if prefix < 2 {
+        return (0..units.len()).map(|idx| PlannedUnit { idx, est: None }).collect();
+    }
+    let edges = extract_join_edges(&facts, pending, prefix);
+
+    let mut order: Vec<PlannedUnit> = Vec::with_capacity(units.len());
+    let mut used = vec![false; prefix];
+    let first = (0..prefix)
+        .min_by(|&i, &j| facts[i].est.total_cmp(&facts[j].est))
+        .expect("prefix >= 2");
+    used[first] = true;
+    let mut cur = facts[first].est;
+    order.push(PlannedUnit { idx: first, est: Some(cur) });
+
+    while order.len() < prefix {
+        let mut best: Option<(usize, f64, f64)> = None; // (unit, cost, result rows)
+        for j in 0..prefix {
+            if used[j] {
+                continue;
+            }
+            let mut sel = 1.0;
+            let mut connected = false;
+            let mut probes_index = false;
+            for e in &edges {
+                let (other, j_side_indexed) = if e.a == j {
+                    (e.b, e.a_indexed)
+                } else if e.b == j {
+                    (e.a, e.b_indexed)
+                } else {
+                    continue;
+                };
+                if !used[other] {
+                    continue;
+                }
+                connected = true;
+                sel *= e.sel;
+                probes_index |= j_side_indexed;
+            }
+            let result = cur * facts[j].est * sel;
+            let mut cost = result;
+            if !connected {
+                cost *= CROSS_JOIN_PENALTY;
+            } else if probes_index && facts[j].stats.is_some() {
+                cost *= INDEX_JOIN_BONUS;
+            }
+            if best.as_ref().is_none_or(|(_, bc, _)| cost < *bc) {
+                best = Some((j, cost, result));
+            }
+        }
+        let (j, _, result) = best.expect("unused unit remains");
+        used[j] = true;
+        cur = result;
+        order.push(PlannedUnit { idx: j, est: Some(cur) });
+    }
+    // The first lateral and everything after it attach in textual order.
+    order.extend((prefix..units.len()).map(|idx| PlannedUnit { idx, est: None }));
+    order
 }
 
 fn plan_unit<'q>(env: &Env<'_>, item: &'q ast::FromItem) -> Result<Unit<'q>> {
@@ -1030,21 +1522,20 @@ fn run_join_tree(env: &Env<'_>, item: &ast::FromItem) -> Result<(Relation, Scope
             let mut out_rows = Vec::new();
             match equi {
                 Some((lkey, rkey)) => {
+                    // Side purity (per `find_equi_split`) lets the build key
+                    // re-base onto the bare right row and the probe key run
+                    // on the left row directly — no padding clones.
+                    let mut rkey = rkey;
+                    rkey.map_columns(&mut |c| c - lwidth);
                     let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
                     for r in &rrel.rows {
-                        // Right key expression indexes are relative to the
-                        // combined layout; shift onto the right row.
-                        let mut padded = vec![Value::Null; lwidth];
-                        padded.extend_from_slice(r);
-                        let k = rkey.eval(&padded)?;
+                        let k = rkey.eval(r)?;
                         if !k.is_null() {
                             table.entry(k).or_default().push(r);
                         }
                     }
                     for l in &lrel.rows {
-                        let mut probe = l.clone();
-                        probe.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
-                        let k = lkey.eval(&probe)?;
+                        let k = lkey.eval(l)?;
                         let mut matched = false;
                         if !k.is_null() {
                             if let Some(cands) = table.get(&k) {
@@ -1162,9 +1653,9 @@ fn try_index_join(
     let rwidth = rnames.len();
     let mut out_rows = Vec::new();
     for l in &lrel.rows {
-        let mut probe = l.clone();
-        probe.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
-        let k = lkey.eval(&probe)?;
+        // `lkey` touches only columns < lwidth, so it evaluates directly on
+        // the left row — no padded probe clone.
+        let k = lkey.eval(l)?;
         let mut matched = false;
         if !k.is_null() {
             for &rid in idx.lookup(&IndexKey(vec![k])) {
@@ -1470,8 +1961,51 @@ fn attach_relation(
     pending: &mut [Option<&ast::Expr>],
 ) -> Result<()> {
     let before_width = scope.width;
+    let arity = rel.columns.len();
     scope.push(alias, rel.columns.clone());
+    let mut rel = rel;
+    push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
     join_pending(env, scope, rows, rel, before_width, pending)
+}
+
+/// Predicate pushdown: apply every pending conjunct that touches only the
+/// unit just pushed at `before_width` (arity `arity`, in `rel`'s layout)
+/// directly to `rel`'s rows, before the join materializes combined rows.
+fn push_down_filters(
+    env: &Env<'_>,
+    scope: &Scope,
+    before_width: usize,
+    arity: usize,
+    alias: &str,
+    rel: &mut Relation,
+    pending: &mut [Option<&ast::Expr>],
+) -> Result<()> {
+    for slot in pending.iter_mut() {
+        let Some(c) = slot else { continue };
+        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
+        let mut any = false;
+        let mut local = true;
+        compiled.visit_columns(&mut |i| {
+            any = true;
+            if i < before_width || i >= before_width + arity {
+                local = false;
+            }
+        });
+        if !any || !local {
+            continue;
+        }
+        // Re-base the predicate from the combined layout onto the bare unit
+        // row, filter in place, and retire the conjunct.
+        let mut rebased = compiled.clone();
+        rebased.map_columns(&mut |i| i - before_width);
+        let before = rel.rows.len();
+        rel.rows = filter_rows(std::mem::take(&mut rel.rows), &rebased)?;
+        env.note(|| {
+            format!("{alias}: pushdown filter ({before} -> {} rows)", rel.rows.len())
+        });
+        *slot = None;
+    }
+    Ok(())
 }
 
 /// Join `rel` (already pushed into `scope` at `before_width`) to the
@@ -1485,7 +2019,6 @@ fn join_pending(
     before_width: usize,
     pending: &mut [Option<&ast::Expr>],
 ) -> Result<()> {
-    let rwidth = scope.width - before_width;
     // Find a pending equi conjunct usable as the hash key.
     let mut key_pair: Option<(Expr, Expr, usize)> = None;
     for (i, slot) in pending.iter().enumerate() {
@@ -1506,20 +2039,23 @@ fn join_pending(
         Some((lkey, rkey, idx)) => {
             env.note(|| format!("hash join ({} build rows)", rel.rows.len()));
             pending[idx] = None;
+            // `find_equi_split` guarantees side purity: rkey references only
+            // columns >= before_width, lkey only columns < before_width. So
+            // the build key can be re-based onto the bare right row and the
+            // probe key evaluated on the left row directly — no per-row
+            // padding clones.
+            let mut rkey = rkey;
+            rkey.map_columns(&mut |c| c - before_width);
             let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
             for r in &rel.rows {
-                let mut padded = vec![Value::Null; before_width];
-                padded.extend_from_slice(r);
-                let k = rkey.eval(&padded)?;
+                let k = rkey.eval(r)?;
                 if !k.is_null() {
                     table.entry(k).or_default().push(r);
                 }
             }
             let mut out = Vec::new();
             for l in rows.drain(..) {
-                let mut probe = l.clone();
-                probe.extend(std::iter::repeat_with(|| Value::Null).take(rwidth));
-                let k = lkey.eval(&probe)?;
+                let k = lkey.eval(&l)?;
                 if k.is_null() {
                     continue;
                 }
@@ -1727,11 +2263,12 @@ fn attach_base_table(
                 keep.iter().map(|&i| row[i].clone()).collect()
             })
             .collect();
-        let rel = Relation {
+        let mut rel = Relation {
             columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
             rows: scanned,
         };
         drop(guard);
+        push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
         return join_pending(env, scope, rows, rel, before_width, pending);
     }
 
@@ -1842,17 +2379,18 @@ fn attach_base_table(
         env.note(|| {
             format!("{name}: range scan via index {idx_name} ({} rows)", scanned.len())
         });
-        let rel = Relation {
+        let mut rel = Relation {
             columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
             rows: scanned,
         };
         drop(guard);
+        push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
         return join_pending(env, scope, rows, rel, before_width, pending);
     }
 
     // Strategy 3: full scan, then hash/cross join via pending conjuncts.
     env.note(|| format!("{name}: full scan ({} rows)", table.len()));
-    let rel = Relation {
+    let mut rel = Relation {
         columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
         rows: table
             .iter()
@@ -1860,6 +2398,7 @@ fn attach_base_table(
             .collect(),
     };
     drop(guard);
+    push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
     join_pending(env, scope, rows, rel, before_width, pending)
 }
 

@@ -265,6 +265,31 @@ impl Expr {
             }
         }
     }
+
+    /// Rewrite every column offset through `f` — used to re-base a compiled
+    /// expression onto a different row layout (e.g. pushing a scan-local
+    /// predicate from the combined join layout down onto the bare table row).
+    pub fn map_columns(&mut self, f: &mut impl FnMut(usize) -> usize) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Col(i) => *i = f(*i),
+            Expr::Unary(_, e) | Expr::IsNull(e, _) | Expr::Cast(e, _) => e.map_columns(f),
+            Expr::Binary(_, l, r) | Expr::Subscript(l, r) => {
+                l.map_columns(f);
+                r.map_columns(f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.map_columns(f);
+                pattern.map_columns(f);
+            }
+            Expr::InSet { expr, .. } => expr.map_columns(f),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.map_columns(f);
+                }
+            }
+        }
+    }
 }
 
 fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {

@@ -39,6 +39,7 @@ pub mod hasher;
 pub mod index;
 pub mod schema;
 pub mod sql;
+pub mod stats;
 pub mod storage;
 pub mod value;
 pub mod wal;
@@ -47,4 +48,5 @@ pub use db::{Database, Txn};
 pub use error::{Error, Result};
 pub use exec::Relation;
 pub use schema::{Column, ColumnType, TableSchema};
+pub use stats::TableStats;
 pub use value::Value;

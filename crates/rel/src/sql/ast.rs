@@ -78,6 +78,12 @@ pub enum Statement {
     /// `EXPLAIN SELECT ...` — run the query, returning the executor's
     /// access-path decisions instead of the rows.
     Explain(SelectStmt),
+    /// `ANALYZE [t]` — collect exact per-column distinct-value statistics
+    /// for one table (or every table) to feed the cost-based planner.
+    Analyze {
+        /// Target table; `None` analyzes every table.
+        table: Option<String>,
+    },
 }
 
 /// One index key definition.

@@ -187,6 +187,14 @@ impl Parser {
         if self.eat_keyword("EXPLAIN") {
             return Ok(Statement::Explain(self.select_stmt()?));
         }
+        if self.eat_keyword("ANALYZE") {
+            let table = if matches!(self.peek(), TokenKind::Ident(_)) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Analyze { table });
+        }
         Err(self.err("expected a statement"))
     }
 

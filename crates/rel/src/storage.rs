@@ -18,6 +18,10 @@ pub struct Table {
     rows: Vec<Option<Box<[Value]>>>,
     indexes: Vec<Index>,
     live: usize,
+    /// Analyzed statistics (`ANALYZE`), if collected. Deliberately not
+    /// invalidated on mutation — stats go stale, the planner compensates by
+    /// capping ndv at the live row count.
+    stats: Option<crate::stats::TableStats>,
 }
 
 impl Table {
@@ -28,7 +32,18 @@ impl Table {
             rows: Vec::new(),
             indexes: Vec::new(),
             live: 0,
+            stats: None,
         }
+    }
+
+    /// Install analyzed statistics (see [`crate::stats::TableStats`]).
+    pub fn set_stats(&mut self, stats: crate::stats::TableStats) {
+        self.stats = Some(stats);
+    }
+
+    /// Analyzed statistics, if `ANALYZE` has been run on this table.
+    pub fn stats(&self) -> Option<&crate::stats::TableStats> {
+        self.stats.as_ref()
     }
 
     /// Number of live rows.

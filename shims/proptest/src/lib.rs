@@ -55,7 +55,7 @@ pub mod arbitrary {
 
     impl<T> Clone for Any<T> {
         fn clone(&self) -> Self {
-            Any(PhantomData)
+            *self
         }
     }
 
@@ -347,7 +347,9 @@ mod tests {
     fn recursive_strategy_terminates() {
         #[derive(Clone, Debug)]
         enum Tree {
+            #[allow(dead_code)]
             Leaf(i64),
+            #[allow(dead_code)]
             Node(Vec<Tree>),
         }
         let strat = (0i64..10).prop_map(Tree::Leaf).boxed().prop_recursive(3, 16, 4, |inner| {
