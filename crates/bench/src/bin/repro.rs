@@ -12,6 +12,7 @@
 //!   fig8     Figures 8a/8b/8d (DBpedia benchmark, 3 systems)
 //!   fig8c    Figure 8c substitute (scale sweep)
 //!   fig9     Figure 9 (LinkBench throughput)
+//!   throughput  §5.2 concurrency: ops/sec at 1/2/4/8 client threads
 //!   table6   Table 6 (per-op latency, mid scale)
 //!   table7   Table 7 (per-op latency, largest scale)
 //!   sizes    §5.1 storage footprints
@@ -73,6 +74,7 @@ fn main() {
             "fig8" => experiments::fig8(config),
             "fig8c" => experiments::fig8c(config),
             "fig9" => experiments::fig9(config),
+            "throughput" => experiments::throughput(config),
             "table6" => experiments::table67(config, false),
             "table7" => experiments::table67(config, true),
             "sizes" => experiments::sizes(config),
@@ -83,8 +85,8 @@ fn main() {
 
     if experiment == "all" {
         for name in [
-            "fig3", "fig4", "table3", "table4", "fig6", "fig8", "fig8c", "fig9", "table6",
-            "table7", "sizes",
+            "fig3", "fig4", "table3", "table4", "fig6", "fig8", "fig8c", "fig9", "throughput",
+            "table6", "table7", "sizes",
         ] {
             println!("==================================================================");
             run(name, &config);
@@ -96,7 +98,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig3|fig4|table3|table4|fig6|fig8|fig8c|fig9|table6|table7|sizes|all> \
+        "usage: repro <fig3|fig4|table3|table4|fig6|fig8|fig8c|fig9|throughput|table6|table7|sizes|all> \
          [--scale F] [--runs N] [--lb-ops N] [--quick]"
     );
 }

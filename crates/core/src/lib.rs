@@ -36,6 +36,16 @@ pub mod schema;
 pub mod store;
 pub mod translate;
 
+// The rel executor now runs morsel workers inside queries, and the bench
+// harness drives one `SqlGraph` from many client threads — the store's
+// read paths must be `Sync`-clean. Enforced at compile time so a stray
+// `Rc`/`RefCell` fails here, not in a race.
+const _: () = {
+    const fn sync_clean<T: Send + Sync>() {}
+    sync_clean::<store::SqlGraph>();
+    sync_clean::<store::GraphData>();
+};
+
 pub use layout::{color_labels, ColorMap, GraphLayout, LayoutStats};
 pub use schema::{deleted_id, SchemaConfig, MV_BASE};
 pub use store::{props_to_json, value_to_json, GraphData, SqlGraph};

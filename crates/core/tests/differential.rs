@@ -351,3 +351,40 @@ fn corpus_planned_vs_naive_join_order() {
         }
     }
 }
+
+#[test]
+fn corpus_parallel_vs_serial() {
+    // Morsel-parallel execution must be not just multiset-equal but
+    // row-identical to serial: parallel operators concatenate morsel
+    // outputs in morsel order, so even unsorted results keep serial row
+    // order. Checked at DOP 2/4/8 with the planner both on and off.
+    for seed in 0..2u64 {
+        let data = random_graph(seed, 25, 60);
+        let (sql, _mem) = build_stores(&data);
+        if seed > 0 {
+            sql.database().execute("ANALYZE").unwrap();
+        }
+        for planner_on in [true, false] {
+            sql.database().set_planner_enabled(planner_on);
+            for query in CORPUS {
+                let Ok(sql_text) = sql.translate_query(query) else { continue };
+                sql.database().set_parallelism(1);
+                let serial = sql.database().execute(&sql_text).unwrap_or_else(|e| {
+                    panic!("serial execution failed for {query}: {e}\nSQL: {sql_text}")
+                });
+                for dop in [2usize, 4, 8] {
+                    sql.database().set_parallelism(dop);
+                    let parallel = sql.database().execute(&sql_text).unwrap_or_else(|e| {
+                        panic!("dop {dop} execution failed for {query}: {e}\nSQL: {sql_text}")
+                    });
+                    assert_eq!(
+                        serial.rows, parallel.rows,
+                        "dop {dop} diverged (planner={planner_on}) on {query}\nSQL: {sql_text}"
+                    );
+                }
+            }
+        }
+        sql.database().set_planner_enabled(true);
+        sql.database().set_parallelism(0);
+    }
+}

@@ -39,17 +39,62 @@ pub struct Database {
     tables: RwLock<FxHashMap<String, Arc<RwLock<Table>>>>,
     procedures: RwLock<FxHashMap<String, Arc<Procedure>>>,
     wal: Option<Mutex<Wal>>,
-    /// Prepared-statement cache: SQL text → parsed AST. Bounded; cleared
-    /// wholesale when full (statement texts are templates, so the working
-    /// set is small).
-    stmt_cache: RwLock<FxHashMap<String, Arc<Statement>>>,
+    /// Prepared-statement cache: SQL text → parsed AST. Bounded with
+    /// second-chance (clock) eviction: hits set a used bit, and when the
+    /// cache is full an insert sweeps out entries whose bit is clear.
+    stmt_cache: RwLock<FxHashMap<String, CachedStmt>>,
     /// Cost-based join planner switch (on by default). Off = left-to-right
     /// attachment in textual FROM order, for A/B comparison and debugging.
     planner: std::sync::atomic::AtomicBool,
+    /// Intra-query parallelism: 0 = auto (planner picks a DOP from table
+    /// statistics), 1 = serial, n > 1 = pin every eligible operator to n.
+    parallelism: std::sync::atomic::AtomicUsize,
+}
+
+/// One statement-cache entry. The used bit gives recently-hit entries a
+/// second chance during eviction.
+struct CachedStmt {
+    stmt: Arc<Statement>,
+    used: std::sync::atomic::AtomicBool,
 }
 
 /// Statement-cache capacity.
 const STMT_CACHE_CAP: usize = 4096;
+
+/// Second-chance eviction: drop entries whose used bit is clear, clearing
+/// bits as we sweep, until the cache is at 3/4 capacity. A second pass
+/// (over now-cleared bits) guarantees progress even when every entry was
+/// recently hit.
+fn evict_unused(cache: &mut FxHashMap<String, CachedStmt>) {
+    let target = STMT_CACHE_CAP * 3 / 4;
+    for _ in 0..2 {
+        if cache.len() <= target {
+            return;
+        }
+        let mut excess = cache.len() - target;
+        cache.retain(|_, entry| {
+            if excess == 0 {
+                return true;
+            }
+            if entry.used.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                true
+            } else {
+                excess -= 1;
+                false
+            }
+        });
+    }
+}
+
+/// Pinned DOP from `SQLGRAPH_TEST_DOP` (used by CI to force every
+/// eligible operator parallel); 0 = auto when unset or unparsable.
+fn env_test_dop() -> usize {
+    use std::sync::OnceLock;
+    static DOP: OnceLock<usize> = OnceLock::new();
+    *DOP.get_or_init(|| {
+        std::env::var("SQLGRAPH_TEST_DOP").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+    })
+}
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -84,6 +129,7 @@ impl Database {
             wal: None,
             stmt_cache: RwLock::new(FxHashMap::default()),
             planner: std::sync::atomic::AtomicBool::new(true),
+            parallelism: std::sync::atomic::AtomicUsize::new(env_test_dop()),
         }
     }
 
@@ -98,11 +144,39 @@ impl Database {
         self.planner.store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Set intra-query parallelism: `0` = auto (the planner picks a DOP
+    /// from table statistics and stays serial below a row threshold),
+    /// `1` = force serial, `n > 1` = pin every eligible operator to `n`
+    /// workers regardless of input size (for differential testing).
+    pub fn set_parallelism(&self, n: usize) {
+        self.parallelism.store(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Current parallelism setting (see [`Database::set_parallelism`]).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Degree of parallelism for an operator over `rows` input rows. In
+    /// auto mode small inputs run serial (thread handoff would dominate);
+    /// a pinned DOP applies to everything but trivial inputs so tests can
+    /// drive the parallel operators with tiny corpora.
+    pub fn dop_for(&self, rows: usize) -> usize {
+        match self.parallelism() {
+            1 => 1,
+            0 if rows >= crate::parallel::AUTO_PARALLEL_MIN_ROWS => crate::parallel::max_workers(),
+            0 => 1,
+            n if rows >= 2 => n.min(64),
+            _ => 1,
+        }
+    }
+
     /// Parse `sql`, consulting the prepared-statement cache first. DDL is
     /// never cached (it is rare and must observe catalog changes).
     fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>> {
-        if let Some(stmt) = self.stmt_cache.read().get(sql) {
-            return Ok(stmt.clone());
+        if let Some(entry) = self.stmt_cache.read().get(sql) {
+            entry.used.store(true, std::sync::atomic::Ordering::Relaxed);
+            return Ok(entry.stmt.clone());
         }
         let stmt = Arc::new(parse_statement(sql)?);
         let cacheable = matches!(
@@ -116,11 +190,19 @@ impl Database {
         if cacheable {
             let mut cache = self.stmt_cache.write();
             if cache.len() >= STMT_CACHE_CAP {
-                cache.clear();
+                evict_unused(&mut cache);
             }
-            cache.insert(sql.to_string(), stmt.clone());
+            cache.insert(
+                sql.to_string(),
+                CachedStmt { stmt: stmt.clone(), used: std::sync::atomic::AtomicBool::new(false) },
+            );
         }
         Ok(stmt)
+    }
+
+    /// Number of cached prepared statements (test hook).
+    pub fn stmt_cache_len(&self) -> usize {
+        self.stmt_cache.read().len()
     }
 
     /// Open a database backed by a WAL file: existing records are replayed

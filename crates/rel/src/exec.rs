@@ -631,38 +631,92 @@ fn run_aggregate(
         proj_exprs.push(ke);
     }
 
-    // Group rows.
-    let mut groups: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    for row in rows {
-        let mut key = Vec::with_capacity(group_exprs.len());
-        for g in &group_exprs {
-            key.push(g.eval(&row)?);
-        }
-        match groups.entry(key.clone()) {
-            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                order.push(key);
-                e.insert(vec![row]);
+    // Group rows morsel by morsel into per-worker partial accumulators,
+    // then merge partials in morsel order. The decomposition depends only
+    // on input size — never on the DOP — so serial and parallel runs fold
+    // the same values in the same order and agree bit-for-bit even on
+    // float accumulations.
+    let dop = env.db.dop_for(rows.len());
+    env.note(|| format!("aggregate ({} rows, dop {dop})", rows.len()));
+    let rows_ref = &rows;
+    let group_ref = &group_exprs;
+    let aggs_ref = &aggs;
+    let partials = crate::parallel::ordered_map(
+        dop,
+        rows.len(),
+        crate::parallel::MORSEL_ROWS,
+        |range| -> Result<Vec<PartialGroup>> {
+            let mut map: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+            let mut local: Vec<PartialGroup> = Vec::new();
+            for i in range {
+                let row = &rows_ref[i];
+                let mut key = Vec::with_capacity(group_ref.len());
+                for g in group_ref {
+                    key.push(g.eval(row)?);
+                }
+                let gi = match map.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let gi = local.len();
+                        local.push(PartialGroup {
+                            key: e.key().clone(),
+                            accs: aggs_ref.iter().map(AggAcc::new).collect(),
+                            rep: i,
+                        });
+                        e.insert(gi);
+                        gi
+                    }
+                };
+                let g = &mut local[gi];
+                for (acc, spec) in g.accs.iter_mut().zip(aggs_ref) {
+                    acc.update(spec, row)?;
+                }
+            }
+            Ok(local)
+        },
+    );
+
+    // Merge in morsel order: group order is first appearance across the
+    // morsel sequence (= first appearance in row order), the representative
+    // row is the earliest morsel's (= the group's first row).
+    let mut map: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    let mut merged: Vec<PartialGroup> = Vec::new();
+    for chunk in partials {
+        for pg in chunk? {
+            match map.entry(pg.key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let dst = &mut merged[*e.get()];
+                    for ((acc, part), spec) in dst.accs.iter_mut().zip(pg.accs).zip(&aggs) {
+                        acc.merge(spec, part);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(merged.len());
+                    merged.push(pg);
+                }
             }
         }
     }
     // A scalar aggregate over zero rows still yields one group.
-    if groups.is_empty() && group_exprs.is_empty() {
-        order.push(Vec::new());
-        groups.insert(Vec::new(), Vec::new());
+    if merged.is_empty() && group_exprs.is_empty() {
+        merged.push(PartialGroup {
+            key: Vec::new(),
+            accs: aggs.iter().map(AggAcc::new).collect(),
+            rep: usize::MAX,
+        });
     }
 
-    let mut out_rows = Vec::with_capacity(groups.len());
-    for key in order {
-        let group = &groups[&key];
-        let agg_values = eval_aggs(&aggs, group)?;
+    let mut out_rows = Vec::with_capacity(merged.len());
+    for pg in merged {
         // Representative row: first of group, or all-NULL for empty input.
-        let mut extended: Row = group
-            .first()
-            .cloned()
-            .unwrap_or_else(|| vec![Value::Null; scope.width]);
-        extended.extend(agg_values);
+        let mut extended: Row = if pg.rep == usize::MAX {
+            vec![Value::Null; scope.width]
+        } else {
+            rows[pg.rep].clone()
+        };
+        for (acc, spec) in pg.accs.into_iter().zip(&aggs) {
+            extended.push(acc.finish(spec));
+        }
         if let Some(h) = &having {
             if !h.eval_bool(&extended)? {
                 continue;
@@ -677,58 +731,140 @@ fn run_aggregate(
     Ok(Relation { columns: names, rows: out_rows })
 }
 
-fn eval_aggs(aggs: &[AggSpec], group: &[Row]) -> Result<Vec<Value>> {
-    let mut out = Vec::with_capacity(aggs.len());
-    for spec in aggs {
-        let v = match spec.func {
-            AggFn::CountStar => Value::Int(group.len() as i64),
-            AggFn::Count => {
+/// One group's partial aggregation state within a morsel (or, after the
+/// merge, globally): group key, one accumulator per aggregate, and the
+/// index of the group's first row (its representative — projections may
+/// reference non-grouped columns).
+struct PartialGroup {
+    key: Vec<Value>,
+    accs: Vec<AggAcc>,
+    rep: usize,
+}
+
+/// A mergeable aggregate accumulator. Serial and parallel aggregation both
+/// run through these, so the two paths cannot drift.
+enum AggAcc {
+    CountStar(i64),
+    Count(i64),
+    CountDistinct(FxHashSet<Value>),
+    /// SUM and AVG: integer and float lanes accumulated separately, mixed
+    /// only at `finish` (matching SQL's int-stays-int SUM semantics).
+    Sum { sum_i: i64, sum_f: f64, any_f: bool, n: i64 },
+    MinMax(Option<Value>),
+}
+
+impl AggAcc {
+    fn new(spec: &AggSpec) -> AggAcc {
+        match spec.func {
+            AggFn::CountStar => AggAcc::CountStar(0),
+            AggFn::Count if spec.distinct => AggAcc::CountDistinct(FxHashSet::default()),
+            AggFn::Count => AggAcc::Count(0),
+            AggFn::Sum | AggFn::Avg => {
+                AggAcc::Sum { sum_i: 0, sum_f: 0.0, any_f: false, n: 0 }
+            }
+            AggFn::Min | AggFn::Max => AggAcc::MinMax(None),
+        }
+    }
+
+    fn update(&mut self, spec: &AggSpec, row: &Row) -> Result<()> {
+        match self {
+            AggAcc::CountStar(n) => *n += 1,
+            AggAcc::Count(n) => {
                 let arg = spec.arg.as_ref().expect("COUNT has an argument");
-                if spec.distinct {
-                    let mut seen = FxHashSet::default();
-                    for row in group {
-                        let v = arg.eval(row)?;
-                        if !v.is_null() {
-                            seen.insert(v);
-                        }
-                    }
-                    Value::Int(seen.len() as i64)
-                } else {
-                    let mut n = 0i64;
-                    for row in group {
-                        if !arg.eval(row)?.is_null() {
-                            n += 1;
-                        }
-                    }
-                    Value::Int(n)
+                if !arg.eval(row)?.is_null() {
+                    *n += 1;
                 }
             }
-            AggFn::Sum | AggFn::Avg => {
+            AggAcc::CountDistinct(seen) => {
+                let arg = spec.arg.as_ref().expect("COUNT has an argument");
+                let v = arg.eval(row)?;
+                if !v.is_null() {
+                    seen.insert(v);
+                }
+            }
+            AggAcc::Sum { sum_i, sum_f, any_f, n } => {
                 let arg = spec.arg.as_ref().expect("SUM/AVG has an argument");
-                let mut sum_i: i64 = 0;
-                let mut sum_f: f64 = 0.0;
-                let mut any_f = false;
-                let mut n = 0i64;
-                for row in group {
-                    match arg.eval(row)? {
-                        Value::Null => {}
-                        Value::Int(v) => {
-                            sum_i = sum_i.wrapping_add(v);
-                            n += 1;
-                        }
-                        Value::Double(v) => {
-                            sum_f += v;
-                            any_f = true;
-                            n += 1;
-                        }
-                        other => {
-                            return Err(Error::Type(format!(
-                                "cannot SUM a {}",
-                                other.type_name()
-                            )))
-                        }
+                match arg.eval(row)? {
+                    Value::Null => {}
+                    Value::Int(v) => {
+                        *sum_i = sum_i.wrapping_add(v);
+                        *n += 1;
+                    }
+                    Value::Double(v) => {
+                        *sum_f += v;
+                        *any_f = true;
+                        *n += 1;
+                    }
+                    other => {
+                        return Err(Error::Type(format!("cannot SUM a {}", other.type_name())))
                     }
                 }
+            }
+            AggAcc::MinMax(best) => {
+                let arg = spec.arg.as_ref().expect("MIN/MAX has an argument");
+                let v = arg.eval(row)?;
+                if v.is_null() {
+                    return Ok(());
+                }
+                let keep_new = match best {
+                    None => true,
+                    Some(b) => {
+                        let ord = v.total_cmp(b);
+                        match spec.func {
+                            AggFn::Min => ord == std::cmp::Ordering::Less,
+                            _ => ord == std::cmp::Ordering::Greater,
+                        }
+                    }
+                };
+                if keep_new {
+                    *best = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold another partial (from a later morsel of the same group) in.
+    fn merge(&mut self, spec: &AggSpec, other: AggAcc) {
+        match (self, other) {
+            (AggAcc::CountStar(a), AggAcc::CountStar(b)) => *a += b,
+            (AggAcc::Count(a), AggAcc::Count(b)) => *a += b,
+            (AggAcc::CountDistinct(a), AggAcc::CountDistinct(b)) => a.extend(b),
+            (
+                AggAcc::Sum { sum_i, sum_f, any_f, n },
+                AggAcc::Sum { sum_i: bi, sum_f: bf, any_f: ba, n: bn },
+            ) => {
+                *sum_i = sum_i.wrapping_add(bi);
+                *sum_f += bf;
+                *any_f |= ba;
+                *n += bn;
+            }
+            (AggAcc::MinMax(a), AggAcc::MinMax(b)) => {
+                if let Some(bv) = b {
+                    let keep_new = match &a {
+                        None => true,
+                        Some(av) => {
+                            let ord = bv.total_cmp(av);
+                            match spec.func {
+                                AggFn::Min => ord == std::cmp::Ordering::Less,
+                                _ => ord == std::cmp::Ordering::Greater,
+                            }
+                        }
+                    };
+                    if keep_new {
+                        *a = Some(bv);
+                    }
+                }
+            }
+            _ => unreachable!("mismatched accumulator kinds"),
+        }
+    }
+
+    fn finish(self, spec: &AggSpec) -> Value {
+        match self {
+            AggAcc::CountStar(n) | AggAcc::Count(n) => Value::Int(n),
+            AggAcc::CountDistinct(seen) => Value::Int(seen.len() as i64),
+            AggAcc::Sum { sum_i, sum_f, any_f, n } => {
                 if n == 0 {
                     Value::Null
                 } else if spec.func == AggFn::Sum {
@@ -741,35 +877,9 @@ fn eval_aggs(aggs: &[AggSpec], group: &[Row]) -> Result<Vec<Value>> {
                     Value::Double((sum_f + sum_i as f64) / n as f64)
                 }
             }
-            AggFn::Min | AggFn::Max => {
-                let arg = spec.arg.as_ref().expect("MIN/MAX has an argument");
-                let mut best: Option<Value> = None;
-                for row in group {
-                    let v = arg.eval(row)?;
-                    if v.is_null() {
-                        continue;
-                    }
-                    best = Some(match best {
-                        None => v,
-                        Some(b) => {
-                            let keep_new = match spec.func {
-                                AggFn::Min => v.total_cmp(&b) == std::cmp::Ordering::Less,
-                                _ => v.total_cmp(&b) == std::cmp::Ordering::Greater,
-                            };
-                            if keep_new {
-                                v
-                            } else {
-                                b
-                            }
-                        }
-                    });
-                }
-                best.unwrap_or(Value::Null)
-            }
-        };
-        out.push(v);
+            AggAcc::MinMax(best) => best.unwrap_or(Value::Null),
+        }
     }
-    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -1028,7 +1138,7 @@ fn run_from(
     // resolution error.
     for c in pending.into_iter().flatten() {
         let compiled = compile_expr(env, &scope, c)?;
-        rows = filter_rows(rows, &compiled)?;
+        rows = filter_rows_par(env, rows, &compiled)?;
     }
     Ok((scope, rows))
 }
@@ -1254,8 +1364,12 @@ fn gather_unit_facts(
                 match env.db.read_table(name) {
                     Ok(t) => {
                         let live = t.len();
+                        // Analyzed stats whose recorded row count has
+                        // drifted >2× from the live table mislead more
+                        // than they help; fall back to seeded stats.
                         let stats = t
                             .stats()
+                            .filter(|s| !s.is_stale(live))
                             .cloned()
                             .unwrap_or_else(|| crate::stats::TableStats::seed(&t));
                         let col_index = t
@@ -2008,6 +2122,40 @@ fn push_down_filters(
     Ok(())
 }
 
+/// Take every pending conjunct local to the unit at `before_width` and
+/// return it re-based onto the bare unit row, retiring the pending slot.
+/// The scan then evaluates these predicates inside its morsel loop (fused
+/// scan + filter) instead of materializing unfiltered rows first.
+fn take_local_filters(
+    env: &Env<'_>,
+    scope: &Scope,
+    before_width: usize,
+    arity: usize,
+    pending: &mut [Option<&ast::Expr>],
+) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for slot in pending.iter_mut() {
+        let Some(c) = slot else { continue };
+        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
+        let mut any = false;
+        let mut local = true;
+        compiled.visit_columns(&mut |i| {
+            any = true;
+            if i < before_width || i >= before_width + arity {
+                local = false;
+            }
+        });
+        if !any || !local {
+            continue;
+        }
+        let mut rebased = compiled;
+        rebased.map_columns(&mut |i| i - before_width);
+        out.push(rebased);
+        *slot = None;
+    }
+    out
+}
+
 /// Join `rel` (already pushed into `scope` at `before_width`) to the
 /// accumulated rows: hash join on the first usable pending equi conjunct,
 /// else cross product.
@@ -2037,7 +2185,8 @@ fn join_pending(
     }
     match key_pair {
         Some((lkey, rkey, idx)) => {
-            env.note(|| format!("hash join ({} build rows)", rel.rows.len()));
+            let dop = env.db.dop_for(rel.rows.len().max(rows.len()));
+            env.note(|| format!("hash join ({} build rows, dop {dop})", rel.rows.len()));
             pending[idx] = None;
             // `find_equi_split` guarantees side purity: rkey references only
             // columns >= before_width, lkey only columns < before_width. So
@@ -2046,43 +2195,154 @@ fn join_pending(
             // padding clones.
             let mut rkey = rkey;
             rkey.map_columns(&mut |c| c - before_width);
-            let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
-            for r in &rel.rows {
-                let k = rkey.eval(r)?;
+            if dop <= 1 {
+                let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
+                for r in &rel.rows {
+                    let k = rkey.eval(r)?;
+                    if !k.is_null() {
+                        table.entry(k).or_default().push(r);
+                    }
+                }
+                let mut out = Vec::new();
+                for l in rows.drain(..) {
+                    let k = lkey.eval(&l)?;
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(cands) = table.get(&k) {
+                        for r in cands {
+                            let mut combined = l.clone();
+                            combined.extend_from_slice(r);
+                            out.push(combined);
+                        }
+                    }
+                }
+                *rows = out;
+            } else {
+                *rows = parallel_hash_join(dop, rows, &rel.rows, &lkey, &rkey)?;
+            }
+        }
+        None => {
+            let dop = env.db.dop_for(rows.len());
+            env.note(|| format!("cross join ({} right rows, dop {dop})", rel.rows.len()));
+            let left = std::mem::take(rows);
+            let right = &rel.rows;
+            let chunks = crate::parallel::ordered_map(
+                dop,
+                left.len(),
+                crate::parallel::MORSEL_ROWS,
+                |range| {
+                    let mut out = Vec::with_capacity(range.len() * right.len());
+                    for l in &left[range] {
+                        for r in right {
+                            let mut combined = l.clone();
+                            combined.extend_from_slice(r);
+                            out.push(combined);
+                        }
+                    }
+                    out
+                },
+            );
+            *rows = chunks.into_iter().flatten().collect();
+        }
+    }
+    Ok(())
+}
+
+/// Partitioned parallel hash join.
+///
+/// Build pass 1 splits the build side into morsels; each worker hashes its
+/// morsel's keys into `dop` partition buckets. Pass 2 gives each worker
+/// whole partitions; it assembles that partition's hash table by scanning
+/// the morsel buckets **in morsel order**, so every key's candidate list
+/// holds build-row indexes in exactly the order the serial build would
+/// produce. The probe pass then splits the probe side into morsels and
+/// concatenates outputs in morsel order — making the join's output
+/// byte-identical to the serial nested loop at any DOP.
+fn parallel_hash_join(
+    dop: usize,
+    probe_rows: &mut Vec<Row>,
+    build_rows: &[Row],
+    lkey: &Expr,
+    rkey: &Expr,
+) -> Result<Vec<Row>> {
+    use crate::hasher::FxHasher;
+    use std::hash::{Hash, Hasher};
+
+    let parts = dop;
+    let part_of = |v: &Value| -> usize {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        (h.finish() as usize) % parts
+    };
+
+    // Pass 1: per-morsel, per-partition (key, build row index) buckets.
+    let morsel_buckets = crate::parallel::ordered_map(
+        dop,
+        build_rows.len(),
+        crate::parallel::MORSEL_ROWS,
+        |range| -> Result<Vec<Vec<(Value, u32)>>> {
+            let mut buckets: Vec<Vec<(Value, u32)>> = vec![Vec::new(); parts];
+            for i in range {
+                let k = rkey.eval(&build_rows[i])?;
                 if !k.is_null() {
-                    table.entry(k).or_default().push(r);
+                    let p = part_of(&k);
+                    buckets[p].push((k, i as u32));
                 }
             }
+            Ok(buckets)
+        },
+    );
+    let mut checked: Vec<Vec<Vec<(Value, u32)>>> = Vec::with_capacity(morsel_buckets.len());
+    for b in morsel_buckets {
+        checked.push(b?);
+    }
+
+    // Pass 2: one hash table per partition, filled in morsel order.
+    let checked_ref = &checked;
+    let tables: Vec<FxHashMap<Value, Vec<u32>>> =
+        crate::parallel::ordered_map(dop, parts, 1, |range| {
+            let p = range.start;
+            let mut table: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+            for morsel in checked_ref {
+                for (k, i) in &morsel[p] {
+                    table.entry(k.clone()).or_default().push(*i);
+                }
+            }
+            table
+        });
+
+    // Probe pass: morsels over the probe side, outputs in morsel order.
+    let probe = std::mem::take(probe_rows);
+    let probe_ref = &probe;
+    let tables_ref = &tables;
+    let chunks = crate::parallel::ordered_map(
+        dop,
+        probe.len(),
+        crate::parallel::MORSEL_ROWS,
+        |range| -> Result<Vec<Row>> {
             let mut out = Vec::new();
-            for l in rows.drain(..) {
-                let k = lkey.eval(&l)?;
+            for l in &probe_ref[range] {
+                let k = lkey.eval(l)?;
                 if k.is_null() {
                     continue;
                 }
-                if let Some(cands) = table.get(&k) {
-                    for r in cands {
+                if let Some(cands) = tables_ref[part_of(&k)].get(&k) {
+                    for &i in cands {
                         let mut combined = l.clone();
-                        combined.extend_from_slice(r);
+                        combined.extend_from_slice(&build_rows[i as usize]);
                         out.push(combined);
                     }
                 }
             }
-            *rows = out;
-        }
-        None => {
-            env.note(|| format!("cross join ({} right rows)", rel.rows.len()));
-            let mut out = Vec::with_capacity(rows.len() * rel.rows.len().max(1));
-            for l in rows.drain(..) {
-                for r in &rel.rows {
-                    let mut combined = l.clone();
-                    combined.extend_from_slice(r);
-                    out.push(combined);
-                }
-            }
-            *rows = out;
-        }
+            Ok(out)
+        },
+    );
+    let mut out = Vec::new();
+    for chunk in chunks {
+        out.extend(chunk?);
     }
-    Ok(())
+    Ok(out)
 }
 
 /// Attach a base table with index support:
@@ -2388,17 +2648,48 @@ fn attach_base_table(
         return join_pending(env, scope, rows, rel, before_width, pending);
     }
 
-    // Strategy 3: full scan, then hash/cross join via pending conjuncts.
-    env.note(|| format!("{name}: full scan ({} rows)", table.len()));
-    let mut rel = Relation {
+    // Strategy 3: full scan fused with the unit's pushed-down predicates,
+    // split into morsels when the table is large enough (or parallelism is
+    // pinned). Morsels cover disjoint slab ranges and their outputs are
+    // concatenated in slab order, so the result is identical at every DOP.
+    let locals = take_local_filters(env, scope, before_width, arity, pending);
+    let live = table.len();
+    let dop = env.db.dop_for(live);
+    env.note(|| format!("{name}: full scan ({live} rows, dop {dop})"));
+    let slots = table.slots();
+    let keep_ref = &keep;
+    let locals_ref = &locals;
+    let chunks = crate::parallel::ordered_map(
+        dop,
+        slots.len(),
+        crate::parallel::MORSEL_ROWS,
+        |range| -> Result<Vec<Row>> {
+            let mut out = Vec::new();
+            'slot: for slot in &slots[range] {
+                let Some(r) = slot else { continue };
+                let row: Row = keep_ref.iter().map(|&i| r[i].clone()).collect();
+                for p in locals_ref {
+                    if !p.eval_bool(&row)? {
+                        continue 'slot;
+                    }
+                }
+                out.push(row);
+            }
+            Ok(out)
+        },
+    );
+    let mut scanned = Vec::new();
+    for chunk in chunks {
+        scanned.extend(chunk?);
+    }
+    if !locals.is_empty() {
+        env.note(|| format!("{alias}: pushdown filter ({live} -> {} rows)", scanned.len()));
+    }
+    let rel = Relation {
         columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
-        rows: table
-            .iter()
-            .map(|(_, r)| keep.iter().map(|&i| r[i].clone()).collect())
-            .collect(),
+        rows: scanned,
     };
     drop(guard);
-    push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
     join_pending(env, scope, rows, rel, before_width, pending)
 }
 
@@ -2424,7 +2715,7 @@ fn apply_ready_conjuncts(
                     max_col = max_col.max(i);
                 });
                 if !any || max_col < scope.width {
-                    *rows = filter_rows(std::mem::take(rows), &compiled)?;
+                    *rows = filter_rows_par(env, std::mem::take(rows), &compiled)?;
                     *slot = None;
                 }
             }
@@ -2443,6 +2734,41 @@ fn filter_rows(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
         if predicate.eval_bool(&row)? {
             out.push(row);
         }
+    }
+    Ok(out)
+}
+
+/// Morsel-parallel filter. Predicate evaluation fans out over morsels;
+/// surviving rows are then moved (not cloned) into the output in row
+/// order, so the result matches [`filter_rows`] exactly.
+fn filter_rows_par(env: &Env<'_>, rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
+    let dop = env.db.dop_for(rows.len());
+    if dop <= 1 {
+        return filter_rows(rows, predicate);
+    }
+    let rows_ref = &rows;
+    let kept = crate::parallel::ordered_map(
+        dop,
+        rows.len(),
+        crate::parallel::MORSEL_ROWS,
+        |range| -> Result<Vec<u32>> {
+            let mut keep = Vec::new();
+            for i in range {
+                if predicate.eval_bool(&rows_ref[i])? {
+                    keep.push(i as u32);
+                }
+            }
+            Ok(keep)
+        },
+    );
+    let mut keep_all = Vec::new();
+    for chunk in kept {
+        keep_all.extend(chunk?);
+    }
+    let mut out = Vec::with_capacity(keep_all.len());
+    let mut rows = rows;
+    for i in keep_all {
+        out.push(std::mem::take(&mut rows[i as usize]));
     }
     Ok(out)
 }

@@ -37,12 +37,28 @@ pub mod exec;
 pub mod expr;
 pub mod hasher;
 pub mod index;
+pub mod parallel;
 pub mod schema;
 pub mod sql;
 pub mod stats;
 pub mod storage;
 pub mod value;
 pub mod wal;
+
+// Morsel workers share the store's read paths across threads: tables (via
+// read guards), values, and compiled expressions must stay `Sync`-clean.
+// Breaking this (e.g. an `Rc` or `RefCell` inside `Value`) is a
+// compile-time error here rather than a trait-bound error deep inside the
+// parallel executor.
+const _: () = {
+    const fn sync_clean<T: Send + Sync>() {}
+    sync_clean::<db::Database>();
+    sync_clean::<storage::Table>();
+    sync_clean::<value::Value>();
+    sync_clean::<expr::Expr>();
+    sync_clean::<exec::Relation>();
+    sync_clean::<stats::TableStats>();
+};
 
 pub use db::{Database, Txn};
 pub use error::{Error, Result};

@@ -132,6 +132,19 @@ impl TableStats {
     pub fn eq_selectivity(&self, part: &KeyPart, live_rows: usize) -> f64 {
         1.0 / self.ndv_or_default(part, live_rows) as f64
     }
+
+    /// Whether the table has drifted more than 2× (either direction) from
+    /// the row count recorded when these stats were collected. Stale ndv
+    /// estimates mislead the planner, so it discards stats that fail this
+    /// check and falls back to index-seeded values.
+    pub fn is_stale(&self, live_rows: usize) -> bool {
+        // A table that was empty at collection time has nothing to scale
+        // from; any growth invalidates it.
+        if self.row_count == 0 {
+            return live_rows > 0;
+        }
+        live_rows > self.row_count * 2 || live_rows * 2 < self.row_count
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +201,20 @@ mod tests {
         assert_eq!(s.ndv_for_part(&KeyPart::Column(1)), Some(4));
         assert_eq!(s.ndv_for_part(&KeyPart::JsonKey(2, "tag".into())), Some(5));
         assert!((s.eq_selectivity(&KeyPart::Column(1), 100) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staleness_is_two_times_drift_in_either_direction() {
+        let t = table();
+        let s = TableStats::seed(&t); // row_count = 100
+        assert!(!s.is_stale(100));
+        assert!(!s.is_stale(200)); // exactly 2× growth is still usable
+        assert!(s.is_stale(201));
+        assert!(!s.is_stale(50)); // exactly half is still usable
+        assert!(s.is_stale(49));
+        let empty = TableStats::default();
+        assert!(!empty.is_stale(0));
+        assert!(empty.is_stale(1));
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl Table {
         self.rows.get(id).and_then(|r| r.as_deref())
     }
 
+    /// Raw slab access for morsel-parallel scans: slot `i` is row id `i`,
+    /// `None` marks a tombstone. Workers slice disjoint ranges of this
+    /// slab so a parallel scan visits rows in exactly `iter()`'s order.
+    pub fn slots(&self) -> &[Option<Box<[Value]>>] {
+        &self.rows
+    }
+
     /// Iterate `(RowId, row)` over live rows.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
         self.rows

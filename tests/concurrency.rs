@@ -101,6 +101,54 @@ fn concurrent_linkbench_storm_preserves_invariants() {
 }
 
 #[test]
+fn parallel_queries_survive_concurrent_linkbench_storm() {
+    // The LinkBench hammer mutates the store from writer threads while
+    // other threads run analytic queries pinned to DOP 4 — so morsel
+    // workers hold table read guards while writers contend for the write
+    // locks. Only panics and deadlocks are bugs; row contents shift under
+    // the race, but every result must stay well-formed.
+    let config = LinkBenchConfig { nodes: 300, ..LinkBenchConfig::default() };
+    let data = linkbench::generate(&config);
+    let g = SqlGraph::new_in_memory();
+    g.bulk_load(&GraphData { vertices: data.vertices.clone(), edges: data.edges.clone() })
+        .unwrap();
+    g.database().set_parallelism(4);
+
+    crossbeam::thread::scope(|scope| {
+        for r in 0..4u64 {
+            let g = &g;
+            scope.spawn(move |_| {
+                let mut wl = Workload::new(29, r, config.nodes, 8);
+                for _ in 0..300 {
+                    apply(g, &wl.next_op());
+                }
+            });
+        }
+        for _ in 0..4 {
+            let g = &g;
+            scope.spawn(move |_| {
+                for _ in 0..60 {
+                    let db = g.database();
+                    let groups = db
+                        .execute(
+                            "SELECT ea.lbl, COUNT(*) FROM ea, va \
+                             WHERE ea.outv = va.vid GROUP BY ea.lbl",
+                        )
+                        .unwrap();
+                    for row in &groups.rows {
+                        assert_eq!(row.len(), 2, "malformed aggregate row: {row:?}");
+                    }
+                    let scanned = db.execute("SELECT COUNT(*) FROM va WHERE vid >= 0").unwrap();
+                    assert!(scanned.scalar().and_then(Value::as_int).is_some());
+                }
+            });
+        }
+    })
+    .unwrap();
+    g.database().set_parallelism(0);
+}
+
+#[test]
 fn concurrent_readers_and_writers_make_progress() {
     let g = SqlGraph::new_in_memory();
     let hub = g.add_vertex([("name", "hub".into())]).unwrap();
