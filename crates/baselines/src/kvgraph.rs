@@ -163,7 +163,10 @@ impl Blueprints for KvGraph {
                 }
             } else {
                 for label in labels {
-                    for k in self.kv.scan_keys(&Self::adj_prefix(prefix_byte, v, Some(label))) {
+                    for k in self
+                        .kv
+                        .scan_keys(&Self::adj_prefix(prefix_byte, v, Some(label)))
+                    {
                         out.push(Self::eid_from_adj_key(&k));
                     }
                 }
@@ -238,7 +241,8 @@ impl Blueprints for KvGraph {
         doc.insert("lbl", Json::str(label));
         doc.insert("props", props_doc(props));
         self.store_doc(Self::edge_key(id), &Json::Object(doc));
-        self.kv.put(Self::adj_key(P_OUT, src, label, id), Vec::new());
+        self.kv
+            .put(Self::adj_key(P_OUT, src, label, id), Vec::new());
         self.kv.put(Self::adj_key(P_IN, dst, label, id), Vec::new());
         Ok(id)
     }
@@ -315,7 +319,11 @@ impl KvGraph {
         };
         let src = doc.get("src").and_then(Json::as_i64).unwrap_or(-1);
         let dst = doc.get("dst").and_then(Json::as_i64).unwrap_or(-1);
-        let label = doc.get("lbl").and_then(Json::as_str).unwrap_or("").to_string();
+        let label = doc
+            .get("lbl")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
         self.kv.delete(&Self::adj_key(P_OUT, src, &label, e));
         self.kv.delete(&Self::adj_key(P_IN, dst, &label, e));
         self.kv.delete(&Self::edge_key(e));

@@ -71,14 +71,19 @@ impl Inner {
     }
 
     fn index_del(&mut self, key: &str, value: &Json, vid: i64) {
-        if let Some(ids) = self.prop_index.get_mut(&(key.to_string(), value.to_string())) {
+        if let Some(ids) = self
+            .prop_index
+            .get_mut(&(key.to_string(), value.to_string()))
+        {
             ids.retain(|&x| x != vid);
         }
     }
 
     /// Unlink an edge record from both chains and free it.
     fn unlink_edge(&mut self, eid0: usize) {
-        let Some(rec) = self.edges[eid0].take() else { return };
+        let Some(rec) = self.edges[eid0].take() else {
+            return;
+        };
         // Out chain.
         match rec.prev_out {
             Some(p) => {
@@ -137,13 +142,25 @@ impl NativeGraph {
             .vertices
             .iter()
             .flatten()
-            .map(|v| 24 + v.props.iter().map(|(k, j)| k.len() + j.to_string().len()).sum::<usize>())
+            .map(|v| {
+                24 + v
+                    .props
+                    .iter()
+                    .map(|(k, j)| k.len() + j.to_string().len())
+                    .sum::<usize>()
+            })
             .sum();
         let ebytes: usize = inner
             .edges
             .iter()
             .flatten()
-            .map(|e| 56 + e.props.iter().map(|(k, j)| k.len() + j.to_string().len()).sum::<usize>())
+            .map(|e| {
+                56 + e
+                    .props
+                    .iter()
+                    .map(|(k, j)| k.len() + j.to_string().len())
+                    .sum::<usize>()
+            })
             .sum();
         vbytes + ebytes
     }
@@ -175,12 +192,20 @@ impl Blueprints for NativeGraph {
     }
 
     fn edge_exists(&self, e: i64) -> bool {
-        e >= 1 && self.inner.read().edges.get(e as usize - 1).is_some_and(Option::is_some)
+        e >= 1
+            && self
+                .inner
+                .read()
+                .edges
+                .get(e as usize - 1)
+                .is_some_and(Option::is_some)
     }
 
     fn edges_of(&self, v: i64, dir: Direction, labels: &[String]) -> Vec<i64> {
         let inner = self.inner.read();
-        let Some(rec) = inner.vertex(v) else { return Vec::new() };
+        let Some(rec) = inner.vertex(v) else {
+            return Vec::new();
+        };
         let label_ids: Vec<u32> = labels
             .iter()
             .filter_map(|l| inner.label_ids.get(l).copied())
@@ -191,7 +216,9 @@ impl Blueprints for NativeGraph {
         let mut out = Vec::new();
         let mut walk = |mut cur: EdgePtr, out_chain: bool| {
             while let Some(idx) = cur {
-                let Some(e) = inner.edges.get(idx).and_then(Option::as_ref) else { break };
+                let Some(e) = inner.edges.get(idx).and_then(Option::as_ref) else {
+                    break;
+                };
                 if labels.is_empty() || label_ids.contains(&e.label) {
                     out.push(idx as i64 + 1);
                 }
@@ -214,11 +241,21 @@ impl Blueprints for NativeGraph {
     }
 
     fn edge_source(&self, e: i64) -> Option<i64> {
-        self.inner.read().edges.get(e as usize - 1)?.as_ref().map(|r| r.src)
+        self.inner
+            .read()
+            .edges
+            .get(e as usize - 1)?
+            .as_ref()
+            .map(|r| r.src)
     }
 
     fn edge_target(&self, e: i64) -> Option<i64> {
-        self.inner.read().edges.get(e as usize - 1)?.as_ref().map(|r| r.dst)
+        self.inner
+            .read()
+            .edges
+            .get(e as usize - 1)?
+            .as_ref()
+            .map(|r| r.dst)
     }
 
     fn vertex_property(&self, v: i64, key: &str) -> Option<Json> {

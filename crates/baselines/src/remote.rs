@@ -23,7 +23,11 @@ pub struct RemoteGraph<G> {
 impl<G> RemoteGraph<G> {
     /// Wrap `inner`, charging `latency` per call.
     pub fn new(inner: G, latency: Duration) -> RemoteGraph<G> {
-        RemoteGraph { inner, latency, calls: AtomicU64::new(0) }
+        RemoteGraph {
+            inner,
+            latency,
+            calls: AtomicU64::new(0),
+        }
     }
 
     /// Total Blueprints calls made so far.

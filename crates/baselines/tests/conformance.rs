@@ -34,18 +34,34 @@ const CORPUS: &[&str] = &[
 
 fn build_sample<G: Blueprints>(g: &G) {
     let p = |pairs: &[(&str, Json)]| -> Vec<(String, Json)> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     };
-    let v1 = g.add_vertex(&p(&[("name", "marko".into()), ("age", Json::int(29))])).unwrap();
-    let v2 = g.add_vertex(&p(&[("name", "vadas".into()), ("age", Json::int(27))])).unwrap();
-    let v3 = g.add_vertex(&p(&[("name", "lop".into()), ("lang", "java".into())])).unwrap();
-    let v4 = g.add_vertex(&p(&[("name", "josh".into()), ("age", Json::int(32))])).unwrap();
+    let v1 = g
+        .add_vertex(&p(&[("name", "marko".into()), ("age", Json::int(29))]))
+        .unwrap();
+    let v2 = g
+        .add_vertex(&p(&[("name", "vadas".into()), ("age", Json::int(27))]))
+        .unwrap();
+    let v3 = g
+        .add_vertex(&p(&[("name", "lop".into()), ("lang", "java".into())]))
+        .unwrap();
+    let v4 = g
+        .add_vertex(&p(&[("name", "josh".into()), ("age", Json::int(32))]))
+        .unwrap();
     assert_eq!((v1, v2, v3, v4), (1, 2, 3, 4));
-    g.add_edge(v1, v2, "knows", &p(&[("weight", Json::float(0.5))])).unwrap();
-    g.add_edge(v1, v4, "knows", &p(&[("weight", Json::float(1.0))])).unwrap();
-    g.add_edge(v1, v3, "created", &p(&[("weight", Json::float(0.4))])).unwrap();
-    g.add_edge(v4, v2, "likes", &p(&[("weight", Json::float(0.2))])).unwrap();
-    g.add_edge(v4, v3, "created", &p(&[("weight", Json::float(0.8))])).unwrap();
+    g.add_edge(v1, v2, "knows", &p(&[("weight", Json::float(0.5))]))
+        .unwrap();
+    g.add_edge(v1, v4, "knows", &p(&[("weight", Json::float(1.0))]))
+        .unwrap();
+    g.add_edge(v1, v3, "created", &p(&[("weight", Json::float(0.4))]))
+        .unwrap();
+    g.add_edge(v4, v2, "likes", &p(&[("weight", Json::float(0.2))]))
+        .unwrap();
+    g.add_edge(v4, v3, "created", &p(&[("weight", Json::float(0.8))]))
+        .unwrap();
 }
 
 fn canon(elems: Vec<Elem>) -> Vec<String> {
@@ -91,7 +107,10 @@ fn random_updates<G: Blueprints>(store: &G, oracle: &MemGraph, seed: u64, steps:
         match rng.gen_range(0..10) {
             0..=2 => {
                 let props = vec![
-                    ("name".to_string(), Json::str(["a", "b", "c"][rng.gen_range(0..3usize)])),
+                    (
+                        "name".to_string(),
+                        Json::str(["a", "b", "c"][rng.gen_range(0..3usize)]),
+                    ),
                     ("age".to_string(), Json::int(rng.gen_range(1..90))),
                 ];
                 let a = store.add_vertex(&props).unwrap();
@@ -119,7 +138,8 @@ fn random_updates<G: Blueprints>(store: &G, oracle: &MemGraph, seed: u64, steps:
                 }
             }
             8 => {
-                if let Some(pos) = (!vertices.is_empty()).then(|| rng.gen_range(0..vertices.len())) {
+                if let Some(pos) = (!vertices.is_empty()).then(|| rng.gen_range(0..vertices.len()))
+                {
                     let v = vertices.swap_remove(pos);
                     store.remove_vertex(v).unwrap();
                     oracle.remove_vertex(v).unwrap();

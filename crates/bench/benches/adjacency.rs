@@ -11,7 +11,9 @@ fn bench_adjacency(c: &mut Criterion) {
     let sql = build_sqlgraph(&g.data);
     let ja = JsonAdjacency::new().unwrap();
     ja.load(&to_graph_data(&g.data)).unwrap();
-    let force_hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let force_hash = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceHash,
+    };
     let places = g.config.places;
 
     let mut group = c.benchmark_group("fig3_adjacency");

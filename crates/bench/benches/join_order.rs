@@ -11,21 +11,32 @@ const DIM_ROWS: i64 = 1_000;
 
 fn build_db() -> Database {
     let db = Database::new();
-    db.execute("CREATE TABLE fact (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)").unwrap();
-    db.execute("CREATE TABLE dim_a (a INTEGER PRIMARY KEY, tag INTEGER)").unwrap();
-    db.execute("CREATE TABLE dim_b (b INTEGER PRIMARY KEY, tag INTEGER)").unwrap();
+    db.execute("CREATE TABLE fact (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE dim_a (a INTEGER PRIMARY KEY, tag INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE dim_b (b INTEGER PRIMARY KEY, tag INTEGER)")
+        .unwrap();
     for i in 0..FACT_ROWS {
         db.execute_with_params(
             "INSERT INTO fact VALUES (?, ?, ?)",
-            &[Value::Int(i), Value::Int((i * 13) % DIM_ROWS), Value::Int((i * 7) % DIM_ROWS)],
+            &[
+                Value::Int(i),
+                Value::Int((i * 13) % DIM_ROWS),
+                Value::Int((i * 7) % DIM_ROWS),
+            ],
         )
         .unwrap();
     }
     for k in 0..DIM_ROWS {
         let tag = Value::Int(i64::from(k < 10));
-        db.execute_with_params("INSERT INTO dim_a VALUES (?, ?)", &[Value::Int(k), tag.clone()])
+        db.execute_with_params(
+            "INSERT INTO dim_a VALUES (?, ?)",
+            &[Value::Int(k), tag.clone()],
+        )
+        .unwrap();
+        db.execute_with_params("INSERT INTO dim_b VALUES (?, ?)", &[Value::Int(k), tag])
             .unwrap();
-        db.execute_with_params("INSERT INTO dim_b VALUES (?, ?)", &[Value::Int(k), tag]).unwrap();
     }
     db.execute("CREATE INDEX fact_a ON fact (a)").unwrap();
     db.execute("CREATE INDEX fact_b ON fact (b)").unwrap();
@@ -51,9 +62,13 @@ fn bench_join_order(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_order");
     group.sample_size(20);
     db.set_planner_enabled(false);
-    group.bench_function("naive_textual_order", |b| b.iter(|| db.execute(QUERY).unwrap()));
+    group.bench_function("naive_textual_order", |b| {
+        b.iter(|| db.execute(QUERY).unwrap())
+    });
     db.set_planner_enabled(true);
-    group.bench_function("cost_based_order", |b| b.iter(|| db.execute(QUERY).unwrap()));
+    group.bench_function("cost_based_order", |b| {
+        b.iter(|| db.execute(QUERY).unwrap())
+    });
     group.finish();
 }
 

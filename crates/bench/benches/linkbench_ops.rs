@@ -9,12 +9,21 @@ fn bench_linkbench(c: &mut Criterion) {
     let nodes = 2_000;
     let data = generate(&LinkBenchConfig::with_nodes(nodes));
     let sql = build_sqlgraph(&data);
-    let sql_ops = SqlLinkOps { graph: &sql, overhead: std::time::Duration::ZERO };
+    let sql_ops = SqlLinkOps {
+        graph: &sql,
+        overhead: std::time::Duration::ZERO,
+    };
     let native = build_nativegraph(&data);
 
     let get_node = Op::GetNode { id: 5 };
-    let get_links = Op::GetLinkList { id: 3, ltype: "assoc_0" };
-    let count_links = Op::CountLink { id: 3, ltype: "assoc_0" };
+    let get_links = Op::GetLinkList {
+        id: 3,
+        ltype: "assoc_0",
+    };
+    let count_links = Op::CountLink {
+        id: 3,
+        ltype: "assoc_0",
+    };
 
     let mut group = c.benchmark_group("linkbench_ops");
     group.sample_size(30);

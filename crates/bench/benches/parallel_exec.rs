@@ -11,12 +11,18 @@ const DIM_ROWS: i64 = 600;
 
 fn build_db() -> Database {
     let db = Database::new();
-    db.execute("CREATE TABLE fact (id INTEGER PRIMARY KEY, k INTEGER, v DOUBLE)").unwrap();
-    db.execute("CREATE TABLE dim (k INTEGER PRIMARY KEY, tag INTEGER)").unwrap();
+    db.execute("CREATE TABLE fact (id INTEGER PRIMARY KEY, k INTEGER, v DOUBLE)")
+        .unwrap();
+    db.execute("CREATE TABLE dim (k INTEGER PRIMARY KEY, tag INTEGER)")
+        .unwrap();
     for i in 0..FACT_ROWS {
         db.execute_with_params(
             "INSERT INTO fact VALUES (?, ?, ?)",
-            &[Value::Int(i), Value::Int((i * 17) % DIM_ROWS), Value::Double(i as f64 * 0.003)],
+            &[
+                Value::Int(i),
+                Value::Int((i * 17) % DIM_ROWS),
+                Value::Double(i as f64 * 0.003),
+            ],
         )
         .unwrap();
     }
@@ -41,13 +47,26 @@ const JOIN: &str = "SELECT COUNT(*) FROM fact, dim \
 fn bench_parallel_exec(c: &mut Criterion) {
     let db = build_db();
 
-    // Both modes must agree row-for-row before anything is timed.
+    // Every mode must agree row-for-row before anything is timed: serial
+    // vs DOP 4, and the columnar batch engine vs row-at-a-time execution.
+    // At 120k rows this exercises scales the unit-test corpora never reach.
     for query in [SCAN_AGG, JOIN] {
         db.set_parallelism(1);
         let serial = db.execute(query).unwrap();
         db.set_parallelism(4);
         let parallel = db.execute(query).unwrap();
-        assert_eq!(serial.rows, parallel.rows, "parallelism changed the answer: {query}");
+        assert_eq!(
+            serial.rows, parallel.rows,
+            "parallelism changed the answer: {query}"
+        );
+        db.set_parallelism(1);
+        db.set_batch_enabled(false);
+        let row_engine = db.execute(query).unwrap();
+        db.set_batch_enabled(true);
+        assert_eq!(
+            serial.rows, row_engine.rows,
+            "batch engine changed the answer: {query}"
+        );
     }
 
     let mut group = c.benchmark_group("parallel_exec");
@@ -61,6 +80,13 @@ fn bench_parallel_exec(c: &mut Criterion) {
         group.bench_function(format!("{name}/dop4"), |b| {
             b.iter(|| db.execute(query).unwrap())
         });
+        // Row-at-a-time reference point for the columnar batch engine.
+        db.set_parallelism(1);
+        db.set_batch_enabled(false);
+        group.bench_function(format!("{name}/row_serial"), |b| {
+            b.iter(|| db.execute(query).unwrap())
+        });
+        db.set_batch_enabled(true);
     }
     group.finish();
     db.set_parallelism(0);

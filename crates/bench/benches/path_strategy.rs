@@ -8,8 +8,12 @@ use sqlgraph_datagen::dbpedia::{generate, DbpediaConfig};
 fn bench_path_strategy(c: &mut Criterion) {
     let g = generate(&DbpediaConfig::default().scaled(0.25));
     let sql = build_sqlgraph(&g.data);
-    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
-    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
+    let hash = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceHash,
+    };
+    let ea = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceEa,
+    };
 
     let mut group = c.benchmark_group("fig6_path_strategy");
     group.sample_size(10);

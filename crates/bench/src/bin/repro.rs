@@ -85,8 +85,18 @@ fn main() {
 
     if experiment == "all" {
         for name in [
-            "fig3", "fig4", "table3", "table4", "fig6", "fig8", "fig8c", "fig9", "throughput",
-            "table6", "table7", "sizes",
+            "fig3",
+            "fig4",
+            "table3",
+            "table4",
+            "fig6",
+            "fig8",
+            "fig8c",
+            "fig9",
+            "throughput",
+            "table6",
+            "table7",
+            "sizes",
         ] {
             println!("==================================================================");
             run(name, &config);

@@ -5,6 +5,7 @@
 use crate::linkops::{LinkOps, SqlLinkOps};
 use crate::setup::{build_kvgraph, build_nativegraph, build_sqlgraph, to_graph_data};
 use crate::timing::{mean_time, ms, LatencyStats};
+use sqlgraph_baselines::RemoteGraph;
 use sqlgraph_core::alt::{JsonAdjacency, ShreddedAttrs};
 use sqlgraph_core::{AdjacencyStrategy, SqlGraph, TranslateOptions};
 use sqlgraph_datagen::dbpedia::{
@@ -12,7 +13,6 @@ use sqlgraph_datagen::dbpedia::{
     AttrFilter, DbpediaConfig, DbpediaGraph,
 };
 use sqlgraph_datagen::linkbench::{self, LinkBenchConfig, Workload};
-use sqlgraph_baselines::RemoteGraph;
 use sqlgraph_gremlin::{interp, parse_query};
 use sqlgraph_rel::Value;
 use std::fmt::Write as _;
@@ -83,7 +83,9 @@ impl ReproConfig {
 }
 
 fn count_of(rel: &sqlgraph_rel::Relation) -> i64 {
-    rel.scalar().and_then(Value::as_int).unwrap_or(rel.rows.len() as i64)
+    rel.scalar()
+        .and_then(Value::as_int)
+        .unwrap_or(rel.rows.len() as i64)
 }
 
 // ---------------------------------------------------------------------------
@@ -98,7 +100,9 @@ pub fn fig3(cfg: &ReproConfig) -> String {
     let ja = JsonAdjacency::new().expect("schema");
     ja.load(&to_graph_data(&g.data)).expect("load");
 
-    let force_hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let force_hash = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceHash,
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -152,7 +156,10 @@ pub fn fig3(cfg: &ReproConfig) -> String {
             ratio
         );
     }
-    let _ = writeln!(out, "(paper: hash mean 3.2s vs JSON mean 18.0s — JSON slower throughout)");
+    let _ = writeln!(
+        out,
+        "(paper: hash mean 3.2s vs JSON mean 18.0s — JSON slower throughout)"
+    );
     out
 }
 
@@ -168,7 +175,10 @@ fn json_arm_spec(g: &DbpediaGraph, id: usize, input: usize) -> (String, &'static
         (format!("vid = {}", g.ids.players.0), "team", true)
     } else {
         (
-            format!("JSON_VAL(attr, 'wikiPageID') < {}", 20_000_000 + input as i64),
+            format!(
+                "JSON_VAL(attr, 'wikiPageID') < {}",
+                20_000_000 + input as i64
+            ),
             "team",
             true,
         )
@@ -196,34 +206,53 @@ pub fn fig4(cfg: &ReproConfig) -> String {
     for q in attribute_queries() {
         let (json_sql, shred_sql, filter_name) = match &q.filter {
             AttrFilter::NotNull => (
-                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') IS NOT NULL", q.key),
+                format!(
+                    "SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') IS NOT NULL",
+                    q.key
+                ),
                 shredded.count_not_null_sql(q.key),
                 "not null".to_string(),
             ),
             AttrFilter::Like(p) => (
-                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') LIKE '{p}'", q.key),
+                format!(
+                    "SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') LIKE '{p}'",
+                    q.key
+                ),
                 shredded.count_like_sql(q.key, p),
                 format!("like {p}"),
             ),
             AttrFilter::NumericEq(v) => (
-                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = {v}", q.key),
+                format!(
+                    "SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = {v}",
+                    q.key
+                ),
                 shredded.count_numeric_eq_sql(q.key, *v),
                 format!("= {v}"),
             ),
             AttrFilter::IntEq(v) => (
-                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = {v}", q.key),
+                format!(
+                    "SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = {v}",
+                    q.key
+                ),
                 shredded.count_numeric_eq_sql(q.key, *v as f64),
                 format!("= {v}"),
             ),
             AttrFilter::StrEq(v) => (
-                format!("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = '{v}'", q.key),
+                format!(
+                    "SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, '{}') = '{v}'",
+                    q.key
+                ),
                 shredded.count_string_eq_sql(q.key, v),
                 format!("= {v}"),
             ),
         };
         let json_count = count_of(&sql.database().execute(&json_sql).expect("json arm"));
         let shred_count = count_of(&shredded.run(&shred_sql).expect("shred arm"));
-        assert_eq!(json_count, shred_count, "arms disagree on attribute query {}", q.id);
+        assert_eq!(
+            json_count, shred_count,
+            "arms disagree on attribute query {}",
+            q.id
+        );
         let json_t = mean_time(cfg.runs, || {
             let _ = sql.database().execute(&json_sql).expect("json arm");
         });
@@ -241,7 +270,10 @@ pub fn fig4(cfg: &ReproConfig) -> String {
             ms(shred_t)
         );
     }
-    let _ = writeln!(out, "(paper: JSON mean 92ms vs shredded 265ms; ties on not-null)");
+    let _ = writeln!(
+        out,
+        "(paper: JSON mean 92ms vs shredded 265ms; ties on not-null)"
+    );
     out
 }
 
@@ -254,7 +286,10 @@ pub fn table3(cfg: &ReproConfig) -> String {
     let g = cfg.dbpedia();
     let sql = build_sqlgraph(&g.data);
     let (out_stats, in_stats) = sql.load_stats().expect("bulk load records stats");
-    let attr_stats = ShreddedAttrs::build(&g.data.vertices, 6).expect("shred").stats().clone();
+    let attr_stats = ShreddedAttrs::build(&g.data.vertices, 6)
+        .expect("shred")
+        .stats()
+        .clone();
 
     let mut out = String::new();
     let _ = writeln!(out, "Table 3 — hash table characteristics");
@@ -324,8 +359,12 @@ pub fn table4(cfg: &ReproConfig) -> String {
         g.ids.classes.1,
         g.ids.classes.0,
     ];
-    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
-    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let ea = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceEa,
+    };
+    let hash = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceHash,
+    };
     let mut out = String::new();
     let _ = writeln!(out, "Table 4 — neighbors of a vertex: EA vs IPA+ISA");
     let _ = writeln!(
@@ -344,7 +383,14 @@ pub fn table4(cfg: &ReproConfig) -> String {
         let t_hash = mean_time(cfg.runs, || {
             let _ = sql.query_with(&q, hash).expect("hash arm");
         });
-        let _ = writeln!(out, "{:<4} {:>10} {:>12} {:>12}", i + 1, n, ms(t_ea), ms(t_hash));
+        let _ = writeln!(
+            out,
+            "{:<4} {:>10} {:>12} {:>12}",
+            i + 1,
+            n,
+            ms(t_ea),
+            ms(t_hash)
+        );
     }
     let _ = writeln!(
         out,
@@ -361,11 +407,19 @@ pub fn table4(cfg: &ReproConfig) -> String {
 pub fn fig6(cfg: &ReproConfig) -> String {
     let g = cfg.dbpedia();
     let sql = build_sqlgraph(&g.data);
-    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
-    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let ea = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceEa,
+    };
+    let hash = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceHash,
+    };
     let mut out = String::new();
     let _ = writeln!(out, "Figure 6 — long paths: OPA+OSA joins vs EA self-joins");
-    let _ = writeln!(out, "{:<5} {:>12} {:>12} {:>8}", "lq", "OPA+OSA_ms", "EA_ms", "ratio");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>12} {:>12} {:>8}",
+        "lq", "OPA+OSA_ms", "EA_ms", "ratio"
+    );
     let mut hash_total = 0.0;
     let mut ea_total = 0.0;
     for (i, q) in path_queries(&g).iter().enumerate() {
@@ -430,7 +484,9 @@ fn run_query_set(
         if check_agreement {
             let a = count_of(&sql.query(q).expect("sqlgraph"));
             let b = interp::eval(*kv.inner(), &pipeline).expect("kv").len() as i64;
-            let c = interp::eval(*native.inner(), &pipeline).expect("native").len() as i64;
+            let c = interp::eval(*native.inner(), &pipeline)
+                .expect("native")
+                .len() as i64;
             // For count() queries the interpreter returns one element whose
             // value is the count; compare against SQLGraph's scalar.
             if q.ends_with("count()") {
@@ -465,9 +521,18 @@ fn run_query_set(
         native_times.push(t.as_secs_f64() * 1e3);
     }
     vec![
-        SystemTimes { name: "SQLGraph", times_ms: sql_times },
-        SystemTimes { name: "Titan-like(KV)", times_ms: kv_times },
-        SystemTimes { name: "Neo4j-like", times_ms: native_times },
+        SystemTimes {
+            name: "SQLGraph",
+            times_ms: sql_times,
+        },
+        SystemTimes {
+            name: "Titan-like(KV)",
+            times_ms: kv_times,
+        },
+        SystemTimes {
+            name: "Neo4j-like",
+            times_ms: native_times,
+        },
     ]
 }
 
@@ -489,7 +554,11 @@ pub fn fig8(cfg: &ReproConfig) -> String {
         g.data.edge_count()
     );
     let bench_times = run_query_set(cfg, &sql, &kv, &native, &bench, true);
-    let _ = writeln!(out, "{:<5} {:>14} {:>16} {:>14}", "dq", "SQLGraph_ms", "Titan-like_ms", "Neo4j-like_ms");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>14} {:>16} {:>14}",
+        "dq", "SQLGraph_ms", "Titan-like_ms", "Neo4j-like_ms"
+    );
     for i in 0..bench.len() {
         let _ = writeln!(
             out,
@@ -502,7 +571,11 @@ pub fn fig8(cfg: &ReproConfig) -> String {
     }
     let _ = writeln!(out, "\nFigure 8b — path queries");
     let path_times = run_query_set(cfg, &sql, &kv, &native, &paths, true);
-    let _ = writeln!(out, "{:<5} {:>14} {:>16} {:>14}", "lq", "SQLGraph_ms", "Titan-like_ms", "Neo4j-like_ms");
+    let _ = writeln!(
+        out,
+        "{:<5} {:>14} {:>16} {:>14}",
+        "lq", "SQLGraph_ms", "Titan-like_ms", "Neo4j-like_ms"
+    );
     for i in 0..paths.len() {
         let _ = writeln!(
             out,
@@ -517,11 +590,20 @@ pub fn fig8(cfg: &ReproConfig) -> String {
     // Figure 8d: summary means. "Adjusted" excludes query 15 (index 14).
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let mean_excl = |v: &[f64], skip: usize| {
-        let total: f64 = v.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, x)| x).sum();
+        let total: f64 = v
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, x)| x)
+            .sum();
         total / (v.len() - 1) as f64
     };
     let _ = writeln!(out, "\nFigure 8d — summary (mean ms)");
-    let _ = writeln!(out, "{:<16} {:>12} {:>12} {:>12}", "system", "benchmark", "adjusted", "path");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>12}",
+        "system", "benchmark", "adjusted", "path"
+    );
     for i in 0..3 {
         let _ = writeln!(
             out,
@@ -532,7 +614,10 @@ pub fn fig8(cfg: &ReproConfig) -> String {
             mean(&path_times[i].times_ms)
         );
     }
-    let _ = writeln!(out, "(paper: SQLGraph ~2x faster than Titan, ~8x faster than Neo4j)");
+    let _ = writeln!(
+        out,
+        "(paper: SQLGraph ~2x faster than Titan, ~8x faster than Neo4j)"
+    );
     out
 }
 
@@ -542,7 +627,10 @@ pub fn fig8(cfg: &ReproConfig) -> String {
 /// point.
 pub fn fig8c(cfg: &ReproConfig) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 8c (substituted) — mean query time vs dataset scale");
+    let _ = writeln!(
+        out,
+        "Figure 8c (substituted) — mean query time vs dataset scale"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>10} {:>14} {:>16} {:>14}",
@@ -650,18 +738,29 @@ pub fn throughput(cfg: &ReproConfig) -> String {
     for &n in &[1usize, 2, 4, 8] {
         // A fresh store per N so earlier mutations don't skew later runs.
         let sql = build_sqlgraph(&data);
-        let sql_ops = SqlLinkOps { graph: &sql, overhead };
+        let sql_ops = SqlLinkOps {
+            graph: &sql,
+            overhead,
+        };
         let (tput, _) = run_linkbench(&sql_ops, nodes, n, cfg.lb_ops, 11);
         if n == 1 {
             base = tput;
         }
-        let _ = writeln!(out, "{:<10} {:>12.0} {:>9.2}x", n, tput, tput / base.max(1e-9));
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.0} {:>9.2}x",
+            n,
+            tput,
+            tput / base.max(1e-9)
+        );
     }
     let _ = writeln!(
         out,
         "(hardware ceiling: scaling flattens at the machine's core count — \
          {} available here)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     out
 }
@@ -687,7 +786,10 @@ pub fn fig9(cfg: &ReproConfig) -> String {
             let ops = cfg.lb_ops;
             let overhead = Duration::from_micros(cfg.call_overhead_us);
             let sql = build_sqlgraph(&data);
-            let sql_ops = SqlLinkOps { graph: &sql, overhead };
+            let sql_ops = SqlLinkOps {
+                graph: &sql,
+                overhead,
+            };
             let (sql_tput, _) = run_linkbench(&sql_ops, nodes, req, ops, 5);
             let kv = RemoteGraph::new(build_kvgraph(&data), overhead);
             let (kv_tput, _) = run_linkbench(&kv, nodes, req, ops, 5);
@@ -700,7 +802,10 @@ pub fn fig9(cfg: &ReproConfig) -> String {
             );
         }
     }
-    let _ = writeln!(out, "(paper shape: SQLGraph throughput scales with requesters; others flatten)");
+    let _ = writeln!(
+        out,
+        "(paper shape: SQLGraph throughput scales with requesters; others flatten)"
+    );
     out
 }
 
@@ -729,7 +834,10 @@ pub fn table67(cfg: &ReproConfig, large: bool) -> String {
 
     let overhead = Duration::from_micros(cfg.call_overhead_us);
     let sql = build_sqlgraph(&data);
-    let sql_ops = SqlLinkOps { graph: &sql, overhead };
+    let sql_ops = SqlLinkOps {
+        graph: &sql,
+        overhead,
+    };
     let (_, sql_lat) = run_linkbench(&sql_ops, nodes, requesters, cfg.lb_ops, 6);
     let native = RemoteGraph::new(build_nativegraph(&data), overhead);
     let (_, native_lat) = run_linkbench(&native, nodes, requesters, cfg.lb_ops, 6);
@@ -789,7 +897,12 @@ pub fn sizes(cfg: &ReproConfig) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "§5.1 — storage footprint (approximate bytes)");
     let _ = writeln!(out, "{:<16} {:>14}", "system", "bytes");
-    let _ = writeln!(out, "{:<16} {:>14}", "SQLGraph", sql.database().estimated_bytes());
+    let _ = writeln!(
+        out,
+        "{:<16} {:>14}",
+        "SQLGraph",
+        sql.database().estimated_bytes()
+    );
     let _ = writeln!(out, "{:<16} {:>14}", "Titan-like(KV)", kv.approx_bytes());
     let _ = writeln!(out, "{:<16} {:>14}", "Neo4j-like", native.approx_bytes());
     let _ = writeln!(

@@ -74,13 +74,15 @@ impl<G: Blueprints + ?Sized> LinkOps for G {
                 None => Ok(false),
             },
             Op::UpdateLink { src, dst, ltype } => match find_link(self, *src, *dst, ltype) {
-                Some(e) => {
-                    Ok(self.set_edge_property(e, "timestamp", &Json::int(1_600_000_000)).is_ok())
-                }
+                Some(e) => Ok(self
+                    .set_edge_property(e, "timestamp", &Json::int(1_600_000_000))
+                    .is_ok()),
                 None => Ok(false),
             },
             Op::CountLink { id, ltype } => {
-                let _ = self.edges_of(*id, Direction::Out, &[ltype.to_string()]).len();
+                let _ = self
+                    .edges_of(*id, Direction::Out, &[ltype.to_string()])
+                    .len();
                 Ok(true)
             }
             Op::MultigetLink { src, dsts, ltype } => {
@@ -184,7 +186,10 @@ mod tests {
 
     #[test]
     fn drivers_agree_on_a_small_run() {
-        let config = LinkBenchConfig { nodes: 60, ..LinkBenchConfig::default() };
+        let config = LinkBenchConfig {
+            nodes: 60,
+            ..LinkBenchConfig::default()
+        };
         let data = generate(&config);
 
         let sql = SqlGraph::new_in_memory();
@@ -192,7 +197,10 @@ mod tests {
         let native = NativeGraph::new();
         data.load_blueprints(&native).unwrap();
 
-        let sql_ops = SqlLinkOps { graph: &sql, overhead: std::time::Duration::ZERO };
+        let sql_ops = SqlLinkOps {
+            graph: &sql,
+            overhead: std::time::Duration::ZERO,
+        };
         let mut wl = Workload::new(11, 0, config.nodes, 8);
         for _ in 0..300 {
             let op = wl.next_op();

@@ -16,8 +16,11 @@ pub fn to_graph_data(data: &Dataset) -> GraphData {
 /// 16 column triads per adjacency table — the paper's tables are wide
 /// enough that adjacency spills are rare (Table 3).
 pub fn build_sqlgraph(data: &Dataset) -> SqlGraph {
-    let g = SqlGraph::with_config(SchemaConfig { out_buckets: 16, in_buckets: 16 })
-        .expect("schema");
+    let g = SqlGraph::with_config(SchemaConfig {
+        out_buckets: 16,
+        in_buckets: 16,
+    })
+    .expect("schema");
     g.bulk_load(&to_graph_data(data)).expect("bulk load");
     // The paper adds specialized attribute indexes for queried keys
     // (§3.3); `uri` serves the typed GraphQuery starts, the rest the

@@ -59,8 +59,18 @@ impl JsonAdjacency {
         let mut out_adj: AdjacencyMap<'_> = AdjacencyMap::new();
         let mut in_adj: AdjacencyMap<'_> = AdjacencyMap::new();
         for (eid, src, dst, label, _) in &data.edges {
-            out_adj.entry(*src).or_default().entry(label).or_default().push((*eid, *dst));
-            in_adj.entry(*dst).or_default().entry(label).or_default().push((*eid, *src));
+            out_adj
+                .entry(*src)
+                .or_default()
+                .entry(label)
+                .or_default()
+                .push((*eid, *dst));
+            in_adj
+                .entry(*dst)
+                .or_default()
+                .entry(label)
+                .or_default()
+                .push((*eid, *src));
         }
         for (table, adj) in [("jout", &out_adj), ("jin", &in_adj)] {
             let mut t = self.db.write_table(table)?;
@@ -154,7 +164,8 @@ impl JsonAdjacency {
 
     /// Run a k-hop count query.
     pub fn khop(&self, seed_filter: &str, label: Option<&str>, hops: usize) -> Result<Relation> {
-        self.db.execute(&self.khop_sql(seed_filter, label, hops, false))
+        self.db
+            .execute(&self.khop_sql(seed_filter, label, hops, false))
     }
 
     /// Run a k-hop count query traversing both directions per hop.
@@ -164,7 +175,8 @@ impl JsonAdjacency {
         label: Option<&str>,
         hops: usize,
     ) -> Result<Relation> {
-        self.db.execute(&self.khop_sql(seed_filter, label, hops, true))
+        self.db
+            .execute(&self.khop_sql(seed_filter, label, hops, true))
     }
 }
 
@@ -185,10 +197,7 @@ pub struct ShreddedAttrs {
 
 impl ShreddedAttrs {
     /// Shred `vertices` into a fresh database with `buckets` column triads.
-    pub fn build(
-        vertices: &[crate::store::VertexSpec],
-        buckets: usize,
-    ) -> Result<ShreddedAttrs> {
+    pub fn build(vertices: &[crate::store::VertexSpec], buckets: usize) -> Result<ShreddedAttrs> {
         let db = Database::new();
         let mut cols = String::from("rowno INTEGER, vid INTEGER, spill INTEGER");
         for i in 0..buckets {
@@ -284,7 +293,12 @@ impl ShreddedAttrs {
                 }
             }
         }
-        Ok(ShreddedAttrs { db, colors, buckets, stats })
+        Ok(ShreddedAttrs {
+            db,
+            colors,
+            buckets,
+            stats,
+        })
     }
 
     /// The underlying database.
@@ -375,8 +389,14 @@ mod tests {
     fn graph() -> GraphData {
         GraphData {
             vertices: vec![
-                (1, vec![("name".into(), "a".into()), ("age".into(), Json::int(10))]),
-                (2, vec![("name".into(), "b".into()), ("age".into(), Json::int(20))]),
+                (
+                    1,
+                    vec![("name".into(), "a".into()), ("age".into(), Json::int(10))],
+                ),
+                (
+                    2,
+                    vec![("name".into(), "b".into()), ("age".into(), Json::int(20))],
+                ),
                 (3, vec![("name".into(), "c".into())]),
             ],
             edges: vec![
@@ -395,7 +415,9 @@ mod tests {
         assert_eq!(rel.scalar().and_then(Value::as_int), Some(1)); // 1→2→3
         let rel = ja.khop("vid = 1", None, 1).unwrap();
         assert_eq!(rel.scalar().and_then(Value::as_int), Some(2)); // 2 and 3
-        let rel = ja.khop("JSON_VAL(attr, 'name') = 'a'", Some("next"), 1).unwrap();
+        let rel = ja
+            .khop("JSON_VAL(attr, 'name') = 'a'", Some("next"), 1)
+            .unwrap();
         assert_eq!(rel.scalar().and_then(Value::as_int), Some(1));
     }
 
@@ -403,12 +425,30 @@ mod tests {
     fn shredded_attrs_lookups() {
         let long = "x".repeat(LONG_STRING_LIMIT + 10) + "@en";
         let vertices: Vec<(i64, Vec<(String, Json)>)> = vec![
-            (1, vec![("label".into(), Json::str("short@en")), ("pop".into(), Json::float(12.5))]),
-            (2, vec![("label".into(), Json::str(long)), ("pop".into(), Json::int(7))]),
-            (3, vec![
-                ("label".into(), Json::str("plain")),
-                ("alias".into(), Json::Array(vec![Json::str("x"), Json::str("y")])),
-            ]),
+            (
+                1,
+                vec![
+                    ("label".into(), Json::str("short@en")),
+                    ("pop".into(), Json::float(12.5)),
+                ],
+            ),
+            (
+                2,
+                vec![
+                    ("label".into(), Json::str(long)),
+                    ("pop".into(), Json::int(7)),
+                ],
+            ),
+            (
+                3,
+                vec![
+                    ("label".into(), Json::str("plain")),
+                    (
+                        "alias".into(),
+                        Json::Array(vec![Json::str("x"), Json::str("y")]),
+                    ),
+                ],
+            ),
         ];
         let sh = ShreddedAttrs::build(&vertices, 4).unwrap();
         // Existence.

@@ -158,14 +158,12 @@ where
         // the least-conflicting color.
         let color = match taken.iter().position(|t| !t) {
             Some(free) => free,
-            None => {
-                conflicts
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &c)| c)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            }
+            None => conflicts
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
         };
         used_colors = used_colors.max(color + 1);
         assignment.insert(label.clone(), color);
@@ -306,12 +304,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let data = lists(&[
-            &["a", "b", "c"],
-            &["b", "d"],
-            &["c", "d", "e"],
-            &["e", "a"],
-        ]);
+        let data = lists(&[&["a", "b", "c"], &["b", "d"], &["c", "d", "e"], &["e", "a"]]);
         let cm1 = color_labels(data.clone(), 4);
         let cm2 = color_labels(data, 4);
         for l in ["a", "b", "c", "d", "e"] {

@@ -47,7 +47,10 @@ pub struct SchemaConfig {
 
 impl Default for SchemaConfig {
     fn default() -> Self {
-        SchemaConfig { out_buckets: 8, in_buckets: 8 }
+        SchemaConfig {
+            out_buckets: 8,
+            in_buckets: 8,
+        }
     }
 }
 
@@ -127,15 +130,35 @@ mod tests {
     #[test]
     fn custom_bucket_counts() {
         let db = Database::new();
-        create_tables(&db, &SchemaConfig { out_buckets: 3, in_buckets: 5 }).unwrap();
-        assert_eq!(db.execute("SELECT * FROM opa").unwrap().columns.len(), 3 + 9);
-        assert_eq!(db.execute("SELECT * FROM ipa").unwrap().columns.len(), 3 + 15);
+        create_tables(
+            &db,
+            &SchemaConfig {
+                out_buckets: 3,
+                in_buckets: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            db.execute("SELECT * FROM opa").unwrap().columns.len(),
+            3 + 9
+        );
+        assert_eq!(
+            db.execute("SELECT * FROM ipa").unwrap().columns.len(),
+            3 + 15
+        );
     }
 
     #[test]
     fn zero_buckets_rejected() {
         let db = Database::new();
-        assert!(create_tables(&db, &SchemaConfig { out_buckets: 0, in_buckets: 1 }).is_err());
+        assert!(create_tables(
+            &db,
+            &SchemaConfig {
+                out_buckets: 0,
+                in_buckets: 1
+            }
+        )
+        .is_err());
     }
 
     #[test]

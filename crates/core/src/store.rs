@@ -121,15 +121,16 @@ impl SqlGraph {
         // ABS folds the negative deleted markers back into the live range.
         let max_live = max_of("SELECT MAX(vid) FROM va")?;
         let max_deleted = max_of("SELECT MAX(ABS(vid + 1)) FROM va WHERE vid < 0")?;
-        self.next_vid.store(max_live.max(max_deleted) + 1, Ordering::SeqCst);
+        self.next_vid
+            .store(max_live.max(max_deleted) + 1, Ordering::SeqCst);
         self.next_eid
             .store(max_of("SELECT MAX(eid) FROM ea")? + 1, Ordering::SeqCst);
-        let max_valid = max_of("SELECT MAX(valid) FROM osa")?
-            .max(max_of("SELECT MAX(valid) FROM isa")?);
+        let max_valid =
+            max_of("SELECT MAX(valid) FROM osa")?.max(max_of("SELECT MAX(valid) FROM isa")?);
         self.next_valid
             .store((max_valid - MV_BASE).max(0) + 1, Ordering::SeqCst);
-        let max_rowno = max_of("SELECT MAX(rowno) FROM opa")?
-            .max(max_of("SELECT MAX(rowno) FROM ipa")?);
+        let max_rowno =
+            max_of("SELECT MAX(rowno) FROM opa")?.max(max_of("SELECT MAX(rowno) FROM ipa")?);
         self.next_rowno.store(max_rowno + 1, Ordering::SeqCst);
         Ok(())
     }
@@ -168,11 +169,25 @@ impl SqlGraph {
         let mut out_adj: AdjacencyMap<'_> = AdjacencyMap::new();
         let mut in_adj: AdjacencyMap<'_> = AdjacencyMap::new();
         for (eid, src, dst, label, _) in &data.edges {
-            out_adj.entry(*src).or_default().entry(label).or_default().push((*eid, *dst));
-            in_adj.entry(*dst).or_default().entry(label).or_default().push((*eid, *src));
+            out_adj
+                .entry(*src)
+                .or_default()
+                .entry(label)
+                .or_default()
+                .push((*eid, *dst));
+            in_adj
+                .entry(*dst)
+                .or_default()
+                .entry(label)
+                .or_default()
+                .push((*eid, *src));
         }
-        let out_lists = out_adj.values().map(|m| m.keys().copied().collect::<Vec<_>>());
-        let in_lists = in_adj.values().map(|m| m.keys().copied().collect::<Vec<_>>());
+        let out_lists = out_adj
+            .values()
+            .map(|m| m.keys().copied().collect::<Vec<_>>());
+        let in_lists = in_adj
+            .values()
+            .map(|m| m.keys().copied().collect::<Vec<_>>());
         let layout = GraphLayout {
             out: color_labels(out_lists, self.config.out_buckets),
             incoming: color_labels(in_lists, self.config.in_buckets),
@@ -208,7 +223,12 @@ impl SqlGraph {
         };
         let mut stats_in = LayoutStats {
             hashed_labels: layout.incoming.labels(),
-            max_bucket_size: layout.incoming.bucket_sizes().into_iter().max().unwrap_or(0),
+            max_bucket_size: layout
+                .incoming
+                .bucket_sizes()
+                .into_iter()
+                .max()
+                .unwrap_or(0),
             ..LayoutStats::default()
         };
         self.shred_direction(&layout, &out_adj, true, data.vertices.len(), &mut stats_out)?;
@@ -232,7 +252,11 @@ impl SqlGraph {
         total_vertices: usize,
         stats: &mut LayoutStats,
     ) -> Result<(), CoreError> {
-        let buckets = if out { self.config.out_buckets } else { self.config.in_buckets };
+        let buckets = if out {
+            self.config.out_buckets
+        } else {
+            self.config.in_buckets
+        };
         let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
         let arity = 3 + 3 * buckets;
         let mut pa_table = self.db.write_table(pa)?;
@@ -245,10 +269,17 @@ impl SqlGraph {
             row
         };
         for (&vid, labels) in adj {
-            let mut rows: Vec<Vec<Value>> =
-                vec![empty_row(self.next_rowno.fetch_add(1, Ordering::Relaxed), vid, false)];
+            let mut rows: Vec<Vec<Value>> = vec![empty_row(
+                self.next_rowno.fetch_add(1, Ordering::Relaxed),
+                vid,
+                false,
+            )];
             for (label, entries) in labels {
-                let col = if out { layout.out_column(label) } else { layout.in_column(label) };
+                let col = if out {
+                    layout.out_column(label)
+                } else {
+                    layout.in_column(label)
+                };
                 let (lbl_i, eid_i, val_i) = (3 + 3 * col, 4 + 3 * col, 5 + 3 * col);
                 // First row whose triad is free; else a new spill row.
                 let row_idx = match rows.iter().position(|r| r[lbl_i].is_null()) {
@@ -315,11 +346,22 @@ impl SqlGraph {
             }
             GremlinStatement::AddVertex { props } => {
                 let id = self.add_vertex_props(props)?;
-                Ok(Relation::new(vec!["val".into()], vec![vec![Value::Int(id)]]))
+                Ok(Relation::new(
+                    vec!["val".into()],
+                    vec![vec![Value::Int(id)]],
+                ))
             }
-            GremlinStatement::AddEdge { src, dst, label, props } => {
+            GremlinStatement::AddEdge {
+                src,
+                dst,
+                label,
+                props,
+            } => {
                 let id = self.add_edge_props(*src, *dst, label, props)?;
-                Ok(Relation::new(vec!["val".into()], vec![vec![Value::Int(id)]]))
+                Ok(Relation::new(
+                    vec!["val".into()],
+                    vec![vec![Value::Int(id)]],
+                ))
             }
             GremlinStatement::RemoveVertex { id } => {
                 self.remove_vertex_impl(*id)?;
@@ -400,7 +442,10 @@ impl SqlGraph {
         let vid = self.next_vid.fetch_add(1, Ordering::SeqCst);
         let attr = Value::json(props_to_json(props));
         self.db.transaction(|tx| {
-            tx.execute_with_params("INSERT INTO va VALUES (?, ?)", &[Value::Int(vid), attr.clone()])?;
+            tx.execute_with_params(
+                "INSERT INTO va VALUES (?, ?)",
+                &[Value::Int(vid), attr.clone()],
+            )?;
             for pa in ["opa", "ipa"] {
                 let rowno = self.next_rowno.fetch_add(1, Ordering::Relaxed);
                 tx.execute_with_params(
@@ -473,17 +518,17 @@ impl SqlGraph {
         other: i64,
     ) -> sqlgraph_rel::Result<()> {
         let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
-        let col = if out { layout.out_column(label) } else { layout.in_column(label) };
+        let col = if out {
+            layout.out_column(label)
+        } else {
+            layout.in_column(label)
+        };
         let rows = tx.execute_with_params(
             &format!("SELECT rowno, lbl{col}, eid{col}, val{col} FROM {pa} WHERE vid = ?"),
             &[Value::Int(vid)],
         )?;
         // Same label already present?
-        if let Some(row) = rows
-            .rows
-            .iter()
-            .find(|r| r[1].as_str() == Some(label))
-        {
+        if let Some(row) = rows.rows.iter().find(|r| r[1].as_str() == Some(label)) {
             let rowno = row[0].clone();
             if row[2].is_null() {
                 // Already multi-valued: append to the secondary table.
@@ -515,8 +560,15 @@ impl SqlGraph {
         // Free triad on an existing row?
         if let Some(row) = rows.rows.iter().find(|r| r[1].is_null()) {
             tx.execute_with_params(
-                &format!("UPDATE {pa} SET lbl{col} = ?, eid{col} = ?, val{col} = ? WHERE rowno = ?"),
-                &[Value::str(label), Value::Int(eid), Value::Int(other), row[0].clone()],
+                &format!(
+                    "UPDATE {pa} SET lbl{col} = ?, eid{col} = ?, val{col} = ? WHERE rowno = ?"
+                ),
+                &[
+                    Value::str(label),
+                    Value::Int(eid),
+                    Value::Int(other),
+                    row[0].clone(),
+                ],
             )?;
             return Ok(());
         }
@@ -550,7 +602,11 @@ impl SqlGraph {
         eid: i64,
     ) -> sqlgraph_rel::Result<()> {
         let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
-        let col = if out { layout.out_column(label) } else { layout.in_column(label) };
+        let col = if out {
+            layout.out_column(label)
+        } else {
+            layout.in_column(label)
+        };
         let rows = tx.execute_with_params(
             &format!("SELECT rowno, lbl{col}, eid{col}, val{col} FROM {pa} WHERE vid = ?"),
             &[Value::Int(vid)],
@@ -619,7 +675,9 @@ impl SqlGraph {
     fn remove_vertex_impl(&self, vid: i64) -> Result<(), CoreError> {
         let _exclusive = self.mutation_lock.write();
         if !self.vertex_exists_internal(vid)? {
-            return Err(CoreError::Graph(GraphError::new(format!("no vertex {vid}"))));
+            return Err(CoreError::Graph(GraphError::new(format!(
+                "no vertex {vid}"
+            ))));
         }
         let layout = self.layout.read().clone();
         self.db.transaction(|tx| {
@@ -667,10 +725,8 @@ impl SqlGraph {
     fn set_vertex_property_impl(&self, vid: i64, key: &str, value: &Json) -> Result<(), CoreError> {
         let _shared = self.mutation_lock.read();
         self.db.transaction(|tx| {
-            let rel = tx.execute_with_params(
-                "SELECT attr FROM va WHERE vid = ?",
-                &[Value::Int(vid)],
-            )?;
+            let rel =
+                tx.execute_with_params("SELECT attr FROM va WHERE vid = ?", &[Value::Int(vid)])?;
             let Some(Value::Json(doc)) = rel.rows.first().and_then(|r| r.first()) else {
                 return Err(sqlgraph_rel::Error::NotFound(format!("vertex {vid}")));
             };
@@ -690,10 +746,8 @@ impl SqlGraph {
     fn set_edge_property_impl(&self, eid: i64, key: &str, value: &Json) -> Result<(), CoreError> {
         let _shared = self.mutation_lock.read();
         self.db.transaction(|tx| {
-            let rel = tx.execute_with_params(
-                "SELECT attr FROM ea WHERE eid = ?",
-                &[Value::Int(eid)],
-            )?;
+            let rel =
+                tx.execute_with_params("SELECT attr FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
             let Some(Value::Json(doc)) = rel.rows.first().and_then(|r| r.first()) else {
                 return Err(sqlgraph_rel::Error::NotFound(format!("edge {eid}")));
             };
@@ -745,7 +799,9 @@ impl SqlGraph {
         let _exclusive = self.mutation_lock.write();
         let mut removed = 0usize;
         for table in ["va", "opa", "ipa"] {
-            let rel = self.db.execute(&format!("DELETE FROM {table} WHERE vid < 0"))?;
+            let rel = self
+                .db
+                .execute(&format!("DELETE FROM {table} WHERE vid < 0"))?;
             removed += rel.scalar().and_then(Value::as_int).unwrap_or(0) as usize;
         }
         // Reclaim secondary-adjacency lists whose owning primary row is
@@ -775,7 +831,13 @@ impl SqlGraph {
 /// Lower-case alphanumeric identifier fragment from a property key.
 fn sanitize_index_name(key: &str) -> String {
     key.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -852,8 +914,10 @@ impl Blueprints for SqlGraph {
         let lbl_filter = if labels.is_empty() {
             String::new()
         } else {
-            let list: Vec<String> =
-                labels.iter().map(|l| format!("'{}'", l.replace('\'', "''"))).collect();
+            let list: Vec<String> = labels
+                .iter()
+                .map(|l| format!("'{}'", l.replace('\'', "''")))
+                .collect();
             format!(" AND lbl IN ({})", list.join(", "))
         };
         if matches!(dir, Direction::Out | Direction::Both) {
@@ -881,8 +945,10 @@ impl Blueprints for SqlGraph {
         let lbl_filter = if labels.is_empty() {
             String::new()
         } else {
-            let list: Vec<String> =
-                labels.iter().map(|l| format!("'{}'", l.replace('\'', "''"))).collect();
+            let list: Vec<String> = labels
+                .iter()
+                .map(|l| format!("'{}'", l.replace('\'', "''")))
+                .collect();
             format!(" AND lbl IN ({})", list.join(", "))
         };
         if matches!(dir, Direction::Out | Direction::Both) {
@@ -985,7 +1051,8 @@ impl Blueprints for SqlGraph {
         label: &str,
         props: &[(String, Json)],
     ) -> GraphResult<i64> {
-        self.add_edge_props(src, dst, label, props).map_err(to_graph_error)
+        self.add_edge_props(src, dst, label, props)
+            .map_err(to_graph_error)
     }
 
     fn remove_vertex(&self, v: i64) -> GraphResult<()> {
@@ -997,11 +1064,13 @@ impl Blueprints for SqlGraph {
     }
 
     fn set_vertex_property(&self, v: i64, key: &str, value: &Json) -> GraphResult<()> {
-        self.set_vertex_property_impl(v, key, value).map_err(to_graph_error)
+        self.set_vertex_property_impl(v, key, value)
+            .map_err(to_graph_error)
     }
 
     fn set_edge_property(&self, e: i64, key: &str, value: &Json) -> GraphResult<()> {
-        self.set_edge_property_impl(e, key, value).map_err(to_graph_error)
+        self.set_edge_property_impl(e, key, value)
+            .map_err(to_graph_error)
     }
 }
 

@@ -33,7 +33,9 @@ pub struct Unsupported {
 
 impl Unsupported {
     fn new(reason: impl Into<String>) -> Unsupported {
-        Unsupported { reason: reason.into() }
+        Unsupported {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -114,7 +116,6 @@ impl<'a> Ctx<'a> {
             ""
         }
     }
-
 }
 
 /// Translate a pipeline into a single SQL statement with default options.
@@ -268,13 +269,23 @@ fn label_in_list(column: &str, labels: &[String]) -> String {
 
 /// Buckets to unnest for `labels` in the out/in adjacency table.
 fn buckets_for(ctx: &Ctx<'_>, labels: &[String], out: bool) -> Vec<usize> {
-    let total = if out { ctx.layout.out_buckets } else { ctx.layout.in_buckets };
+    let total = if out {
+        ctx.layout.out_buckets
+    } else {
+        ctx.layout.in_buckets
+    };
     if labels.is_empty() {
         return (0..total).collect();
     }
     let mut cols: Vec<usize> = labels
         .iter()
-        .map(|l| if out { ctx.layout.out_column(l) } else { ctx.layout.in_column(l) })
+        .map(|l| {
+            if out {
+                ctx.layout.out_column(l)
+            } else {
+                ctx.layout.in_column(l)
+            }
+        })
         .collect();
     cols.sort_unstable();
     cols.dedup();
@@ -286,7 +297,11 @@ fn buckets_for(ctx: &Ctx<'_>, labels: &[String], out: bool) -> Vec<usize> {
 fn adjacency_hash_step(ctx: &mut Ctx<'_>, labels: &[String], out: bool) {
     let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
     let cols = buckets_for(ctx, labels, out);
-    let path_a = if ctx.path { ", ARRAY_APPEND(v.path, v.val) AS path" } else { "" };
+    let path_a = if ctx.path {
+        ", ARRAY_APPEND(v.path, v.val) AS path"
+    } else {
+        ""
+    };
     if cols.len() == 1 && !labels.is_empty() {
         // Every requested label hashes to one triad: project that column
         // directly — no unnest required.
@@ -324,7 +339,11 @@ fn adjacency_hash_step(ctx: &mut Ctx<'_>, labels: &[String], out: bool) {
 
 /// The EA single-lookup template (§3.5): one indexed probe per input.
 fn adjacency_ea_step(ctx: &mut Ctx<'_>, labels: &[String], out: bool) {
-    let (key, value) = if out { ("inv", "outv") } else { ("outv", "inv") };
+    let (key, value) = if out {
+        ("inv", "outv")
+    } else {
+        ("outv", "inv")
+    };
     let sql = format!(
         "SELECT p.{value} AS val{path} FROM {cur} v, ea p WHERE v.val = p.{key}{lbl}",
         path = ctx.path_step(),
@@ -667,7 +686,11 @@ fn translate_one(ctx: &mut Ctx<'_>, pipe: &Pipe) -> Result<(), Unsupported> {
                 .get(var)
                 .cloned()
                 .ok_or_else(|| Unsupported::new(format!("unknown aggregate bag '{var}'")))?;
-            let not = if matches!(pipe, Pipe::Except(_)) { "NOT " } else { "" };
+            let not = if matches!(pipe, Pipe::Except(_)) {
+                "NOT "
+            } else {
+                ""
+            };
             let sql = format!(
                 "SELECT v.* FROM {cur} v WHERE v.val {not}IN (SELECT val FROM {bag})",
                 cur = ctx.cur,
@@ -690,7 +713,11 @@ fn translate_one(ctx: &mut Ctx<'_>, pipe: &Pipe) -> Result<(), Unsupported> {
                     "v.val IN (SELECT COALESCE(p.path[0], p.val) FROM {out} p)"
                 ));
             }
-            let joiner = if matches!(pipe, Pipe::And(_)) { " AND " } else { " OR " };
+            let joiner = if matches!(pipe, Pipe::And(_)) {
+                " AND "
+            } else {
+                " OR "
+            };
             let sql = format!(
                 "SELECT v.* FROM {input} v WHERE {}",
                 membership.join(joiner)
@@ -809,7 +836,9 @@ fn cmp_sql(cmp: Cmp) -> &'static str {
 fn closure_uses_props(c: &Closure) -> bool {
     match c {
         Closure::Prop(_) => true,
-        Closure::Compare(_, l, r) | Closure::And(l, r) | Closure::Or(l, r)
+        Closure::Compare(_, l, r)
+        | Closure::And(l, r)
+        | Closure::Or(l, r)
         | Closure::Contains(l, r) => closure_uses_props(l) || closure_uses_props(r),
         Closure::Not(x) => closure_uses_props(x),
         _ => false,
@@ -842,9 +871,7 @@ fn closure_sql(c: &Closure, attr: &str, val: &str) -> Result<String, Unsupported
             match needle.as_ref() {
                 Closure::Literal(Json::Str(s)) => {
                     if s.contains('%') || s.contains('_') {
-                        return Err(Unsupported::new(
-                            "contains() needle with LIKE wildcards",
-                        ));
+                        return Err(Unsupported::new("contains() needle with LIKE wildcards"));
                     }
                     format!("{h} LIKE {}", sql_str(&format!("%{s}%")))
                 }
@@ -852,7 +879,11 @@ fn closure_sql(c: &Closure, attr: &str, val: &str) -> Result<String, Unsupported
             }
         }
         Closure::Literal(Json::Bool(b)) => if *b { "TRUE" } else { "FALSE" }.to_string(),
-        other => return Err(Unsupported::new(format!("closure {other:?} is not boolean"))),
+        other => {
+            return Err(Unsupported::new(format!(
+                "closure {other:?} is not boolean"
+            )))
+        }
     })
 }
 
@@ -862,9 +893,7 @@ fn closure_value_sql(c: &Closure, attr: &str, val: &str) -> Result<String, Unsup
         Closure::Prop(key) => format!("JSON_VAL({attr}, {})", sql_str(key)),
         Closure::It => val.to_string(),
         Closure::Literal(v) => sql_json(v)?,
-        Closure::Loops => {
-            return Err(Unsupported::new("it.loops outside a static loop bound"))
-        }
+        Closure::Loops => return Err(Unsupported::new("it.loops outside a static loop bound")),
         other => closure_sql(other, attr, val)?,
     })
 }

@@ -65,7 +65,11 @@ fn render_json(j: &Json) -> String {
 
 /// Build the same graph in all three stores.
 fn build_stores(data: &GraphData) -> (SqlGraph, MemGraph) {
-    let sql = SqlGraph::with_config(SchemaConfig { out_buckets: 3, in_buckets: 3 }).unwrap();
+    let sql = SqlGraph::with_config(SchemaConfig {
+        out_buckets: 3,
+        in_buckets: 3,
+    })
+    .unwrap();
     sql.bulk_load(data).unwrap();
     let mem = MemGraph::new();
     for (vid, props) in &data.vertices {
@@ -84,7 +88,10 @@ fn check_query(sql: &SqlGraph, mem: &MemGraph, query: &str) {
     let pipeline = parse_query(query).unwrap();
     let oracle = canon_elems(&interp::eval(mem, &pipeline).unwrap());
     let chatty = canon_elems(&interp::eval(sql, &pipeline).unwrap());
-    assert_eq!(chatty, oracle, "interpreter-over-SqlGraph diverged on {query}");
+    assert_eq!(
+        chatty, oracle,
+        "interpreter-over-SqlGraph diverged on {query}"
+    );
     match sql.translate_query(query) {
         Ok(sql_text) => {
             let translated = sql.database().execute(&sql_text).unwrap_or_else(|e| {
@@ -105,17 +112,71 @@ fn check_query(sql: &SqlGraph, mem: &MemGraph, query: &str) {
 fn figure2_graph() -> GraphData {
     GraphData {
         vertices: vec![
-            (1, vec![("name".into(), "marko".into()), ("age".into(), Json::int(29))]),
-            (2, vec![("name".into(), "vadas".into()), ("age".into(), Json::int(27))]),
-            (3, vec![("name".into(), "lop".into()), ("lang".into(), "java".into())]),
-            (4, vec![("name".into(), "josh".into()), ("age".into(), Json::int(32))]),
+            (
+                1,
+                vec![
+                    ("name".into(), "marko".into()),
+                    ("age".into(), Json::int(29)),
+                ],
+            ),
+            (
+                2,
+                vec![
+                    ("name".into(), "vadas".into()),
+                    ("age".into(), Json::int(27)),
+                ],
+            ),
+            (
+                3,
+                vec![
+                    ("name".into(), "lop".into()),
+                    ("lang".into(), "java".into()),
+                ],
+            ),
+            (
+                4,
+                vec![
+                    ("name".into(), "josh".into()),
+                    ("age".into(), Json::int(32)),
+                ],
+            ),
         ],
         edges: vec![
-            (1, 1, 2, "knows".into(), vec![("weight".into(), Json::float(0.5))]),
-            (2, 1, 4, "knows".into(), vec![("weight".into(), Json::float(1.0))]),
-            (3, 1, 3, "created".into(), vec![("weight".into(), Json::float(0.4))]),
-            (4, 4, 2, "likes".into(), vec![("weight".into(), Json::float(0.2))]),
-            (5, 4, 3, "created".into(), vec![("weight".into(), Json::float(0.8))]),
+            (
+                1,
+                1,
+                2,
+                "knows".into(),
+                vec![("weight".into(), Json::float(0.5))],
+            ),
+            (
+                2,
+                1,
+                4,
+                "knows".into(),
+                vec![("weight".into(), Json::float(1.0))],
+            ),
+            (
+                3,
+                1,
+                3,
+                "created".into(),
+                vec![("weight".into(), Json::float(0.4))],
+            ),
+            (
+                4,
+                4,
+                2,
+                "likes".into(),
+                vec![("weight".into(), Json::float(0.2))],
+            ),
+            (
+                5,
+                4,
+                3,
+                "created".into(),
+                vec![("weight".into(), Json::float(0.8))],
+            ),
         ],
     }
 }
@@ -219,14 +280,18 @@ fn random_graph(seed: u64, vertices: usize, edges: usize) -> GraphData {
     let names = ["alpha", "beta", "gamma", "delta"];
     let mut data = GraphData::default();
     for v in 1..=vertices as i64 {
-        let mut props: Vec<(String, Json)> = vec![
-            ("name".into(), Json::str(names[rng.gen_range(0..names.len())])),
-        ];
+        let mut props: Vec<(String, Json)> = vec![(
+            "name".into(),
+            Json::str(names[rng.gen_range(0..names.len())]),
+        )];
         if rng.gen_bool(0.7) {
             props.push(("age".into(), Json::int(rng.gen_range(10..60))));
         }
         if rng.gen_bool(0.3) {
-            props.push(("tag".into(), Json::str(if rng.gen_bool(0.5) { "w" } else { "z" })));
+            props.push((
+                "tag".into(),
+                Json::str(if rng.gen_bool(0.5) { "w" } else { "z" }),
+            ));
         }
         data.vertices.push((v, props));
     }
@@ -236,7 +301,10 @@ fn random_graph(seed: u64, vertices: usize, edges: usize) -> GraphData {
         let label = labels[rng.gen_range(0..labels.len())];
         let mut props: Vec<(String, Json)> = Vec::new();
         if rng.gen_bool(0.5) {
-            props.push(("weight".into(), Json::float((rng.gen_range(0..100) as f64) / 100.0)));
+            props.push((
+                "weight".into(),
+                Json::float((rng.gen_range(0..100) as f64) / 100.0),
+            ));
         }
         data.edges.push((e, src, dst, label.into(), props));
     }
@@ -312,7 +380,10 @@ fn corpus_survives_updates() {
     // Edge ids may differ between stores after interleaved removals, so
     // restrict the re-check to queries that do not expose edge ids.
     for query in CORPUS.iter().filter(|q| {
-        !q.contains("g.e(") && !q.contains("outE") && !q.contains("inE") && !q.contains("bothE")
+        !q.contains("g.e(")
+            && !q.contains("outE")
+            && !q.contains("inE")
+            && !q.contains("bothE")
             && !q.contains("g.E")
     }) {
         check_query(&sql, &mem, query);
@@ -333,7 +404,9 @@ fn corpus_planned_vs_naive_join_order() {
             sql.database().execute("ANALYZE").unwrap();
         }
         for query in CORPUS {
-            let Ok(sql_text) = sql.translate_query(query) else { continue };
+            let Ok(sql_text) = sql.translate_query(query) else {
+                continue;
+            };
             sql.database().set_planner_enabled(true);
             let planned = sql.database().execute(&sql_text).unwrap_or_else(|e| {
                 panic!("planned execution failed for {query}: {e}\nSQL: {sql_text}")
@@ -367,7 +440,9 @@ fn corpus_parallel_vs_serial() {
         for planner_on in [true, false] {
             sql.database().set_planner_enabled(planner_on);
             for query in CORPUS {
-                let Ok(sql_text) = sql.translate_query(query) else { continue };
+                let Ok(sql_text) = sql.translate_query(query) else {
+                    continue;
+                };
                 sql.database().set_parallelism(1);
                 let serial = sql.database().execute(&sql_text).unwrap_or_else(|e| {
                     panic!("serial execution failed for {query}: {e}\nSQL: {sql_text}")
@@ -386,5 +461,51 @@ fn corpus_parallel_vs_serial() {
         }
         sql.database().set_planner_enabled(true);
         sql.database().set_parallelism(0);
+    }
+}
+
+#[test]
+fn corpus_batch_vs_row() {
+    // The columnar batch engine must be byte-identical to the row engine —
+    // not just multiset-equal: same rows in the same order, since batch
+    // operators preserve the serial row order by construction. Checked for
+    // every translatable corpus query at DOP 1/2/4/8 with the planner both
+    // on and off.
+    for seed in 0..2u64 {
+        let data = random_graph(seed, 25, 60);
+        let (sql, _mem) = build_stores(&data);
+        if seed > 0 {
+            sql.database().execute("ANALYZE").unwrap();
+        }
+        for planner_on in [true, false] {
+            sql.database().set_planner_enabled(planner_on);
+            for query in CORPUS {
+                let Ok(sql_text) = sql.translate_query(query) else {
+                    continue;
+                };
+                for dop in [1usize, 2, 4, 8] {
+                    sql.database().set_parallelism(dop);
+                    sql.database().set_batch_enabled(false);
+                    let row = sql.database().execute(&sql_text).unwrap_or_else(|e| {
+                        panic!("row engine failed for {query}: {e}\nSQL: {sql_text}")
+                    });
+                    sql.database().set_batch_enabled(true);
+                    let batch = sql.database().execute(&sql_text).unwrap_or_else(|e| {
+                        panic!("batch engine failed for {query}: {e}\nSQL: {sql_text}")
+                    });
+                    assert_eq!(
+                        batch.rows, row.rows,
+                        "batch engine diverged (dop {dop}, planner={planner_on}) on {query}\nSQL: {sql_text}"
+                    );
+                    assert_eq!(
+                        batch.columns, row.columns,
+                        "column names diverged on {query}"
+                    );
+                }
+            }
+        }
+        sql.database().set_planner_enabled(true);
+        sql.database().set_parallelism(0);
+        sql.database().set_batch_enabled(true);
     }
 }

@@ -101,15 +101,18 @@ fn arb_pipeline() -> impl Strategy<Value = Pipeline> {
         Just(Pipe::Vertices { filter: None }),
         (1i64..8).prop_map(Pipe::VertexById),
     ];
-    (start, prop::collection::vec(arb_pipe(), 0..5), any::<bool>()).prop_map(
-        |(start, mut pipes, count)| {
+    (
+        start,
+        prop::collection::vec(arb_pipe(), 0..5),
+        any::<bool>(),
+    )
+        .prop_map(|(start, mut pipes, count)| {
             pipes.insert(0, start);
             if count {
                 pipes.push(Pipe::Count);
             }
             Pipeline { pipes }
-        },
-    )
+        })
 }
 
 /// Pipelines whose semantics depend on element kinds the generator cannot

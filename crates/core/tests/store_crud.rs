@@ -6,15 +6,28 @@ use sqlgraph_rel::Value;
 
 fn sample() -> SqlGraph {
     let g = SqlGraph::new_in_memory();
-    let marko = g.add_vertex([("name", "marko".into()), ("age", 29i64.into())]).unwrap();
-    let vadas = g.add_vertex([("name", "vadas".into()), ("age", 27i64.into())]).unwrap();
-    let lop = g.add_vertex([("name", "lop".into()), ("lang", "java".into())]).unwrap();
-    let josh = g.add_vertex([("name", "josh".into()), ("age", 32i64.into())]).unwrap();
-    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())]).unwrap();
-    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())]).unwrap();
-    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())]).unwrap();
-    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())]).unwrap();
-    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())]).unwrap();
+    let marko = g
+        .add_vertex([("name", "marko".into()), ("age", 29i64.into())])
+        .unwrap();
+    let vadas = g
+        .add_vertex([("name", "vadas".into()), ("age", 27i64.into())])
+        .unwrap();
+    let lop = g
+        .add_vertex([("name", "lop".into()), ("lang", "java".into())])
+        .unwrap();
+    let josh = g
+        .add_vertex([("name", "josh".into()), ("age", 32i64.into())])
+        .unwrap();
+    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())])
+        .unwrap();
+    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())])
+        .unwrap();
+    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())])
+        .unwrap();
+    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())])
+        .unwrap();
+    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())])
+        .unwrap();
     g
 }
 
@@ -65,7 +78,7 @@ fn remove_edge_updates_both_directions() {
 fn remove_vertex_marks_and_cleans_neighbors() {
     let g = sample();
     g.query("g.removeVertex(g.v(2))").unwrap(); // vadas
-    // vadas no longer visible anywhere.
+                                                // vadas no longer visible anywhere.
     let out = g.query("g.V.count()").unwrap();
     assert_eq!(out.scalar(), Some(&Value::Int(3)));
     let out = g.query("g.v(1).out('knows')").unwrap();
@@ -121,7 +134,11 @@ fn add_edge_to_missing_vertex_fails_atomically() {
 
 #[test]
 fn bulk_load_round_trip() {
-    let g = SqlGraph::with_config(SchemaConfig { out_buckets: 3, in_buckets: 3 }).unwrap();
+    let g = SqlGraph::with_config(SchemaConfig {
+        out_buckets: 3,
+        in_buckets: 3,
+    })
+    .unwrap();
     let mut data = GraphData::default();
     for v in 1..=50 {
         data.vertices.push((v, vec![("n".into(), Json::int(v))]));
@@ -132,13 +149,24 @@ fn bulk_load_round_trip() {
         data.edges.push((eid, v, v + 1, "next".into(), vec![]));
         if v % 5 == 0 {
             eid += 1;
-            data.edges.push((eid, v, 1, "home".into(), vec![("w".into(), Json::float(0.5))]));
+            data.edges.push((
+                eid,
+                v,
+                1,
+                "home".into(),
+                vec![("w".into(), Json::float(0.5))],
+            ));
         }
     }
     g.bulk_load(&data).unwrap();
-    assert_eq!(g.query("g.V.count()").unwrap().scalar(), Some(&Value::Int(50)));
+    assert_eq!(
+        g.query("g.V.count()").unwrap().scalar(),
+        Some(&Value::Int(50))
+    );
     // 3-hop chain traversal.
-    let out = g.query("g.v(1).out('next').out('next').out('next')").unwrap();
+    let out = g
+        .query("g.v(1).out('next').out('next').out('next')")
+        .unwrap();
     assert_eq!(sorted_ints(&out), [4]);
     // Updates after bulk load keep working (ids continue past loaded max).
     let v = g.add_vertex([("n", Json::int(51))]).unwrap();
@@ -156,7 +184,11 @@ fn bulk_load_round_trip() {
 #[test]
 fn spill_rows_appear_when_buckets_overflow() {
     // 1 bucket forces every second co-occurring label to spill.
-    let g = SqlGraph::with_config(SchemaConfig { out_buckets: 1, in_buckets: 1 }).unwrap();
+    let g = SqlGraph::with_config(SchemaConfig {
+        out_buckets: 1,
+        in_buckets: 1,
+    })
+    .unwrap();
     let a = g.add_vertex([]).unwrap();
     let b = g.add_vertex([]).unwrap();
     let c = g.add_vertex([]).unwrap();
@@ -185,7 +217,10 @@ fn wal_backed_store_recovers() {
     }
     {
         let g = SqlGraph::open(&path, SchemaConfig::default()).unwrap();
-        assert_eq!(g.query("g.V.count()").unwrap().scalar(), Some(&Value::Int(2)));
+        assert_eq!(
+            g.query("g.V.count()").unwrap().scalar(),
+            Some(&Value::Int(2))
+        );
         assert_eq!(g.query("g.v(1).out('knows')").unwrap().int_column(), [2]);
         // Counters resumed: new ids do not collide.
         let c = g.add_vertex([]).unwrap();
@@ -197,7 +232,8 @@ fn wal_backed_store_recovers() {
 #[test]
 fn translation_is_used_not_fallback() {
     let g = sample();
-    g.query("g.V.has('age', T.gt, 28).out('created').dedup().count()").unwrap();
+    g.query("g.V.has('age', T.gt, 28).out('created').dedup().count()")
+        .unwrap();
     assert_eq!(g.fallback_count(), 0);
     // Dynamic loop falls back.
     g.query("g.v(1).out.loop(1){it.weight < 2}").unwrap();
@@ -242,14 +278,18 @@ fn property_index_accelerated_start() {
     let g = sample();
     g.create_vertex_property_index("name").unwrap();
     // GraphQuery start uses the functional index (visible in EXPLAIN).
-    let plan = g.explain_query("g.V('name','marko').out('created')").unwrap();
+    let plan = g
+        .explain_query("g.V('name','marko').out('created')")
+        .unwrap();
     let text = plan.strings().join("\n");
     assert!(
         text.contains("va_attr_name"),
         "expected functional index in plan:\n{text}"
     );
     // And produces correct results.
-    let out = g.query("g.V('name','marko').out('created').values('name')").unwrap();
+    let out = g
+        .query("g.V('name','marko').out('created').values('name')")
+        .unwrap();
     assert_eq!(out.strings(), ["lop"]);
 }
 
@@ -259,7 +299,7 @@ fn vacuum_reclaims_orphaned_secondary_lists() {
     // marko's two 'knows' edges live in an OSA list.
     assert_eq!(g.database().table_len("osa").unwrap(), 2);
     g.query("g.removeVertex(g.v(1))").unwrap(); // marko
-    // The list is unreferenced once marko's OPA row is vacuumed.
+                                                // The list is unreferenced once marko's OPA row is vacuumed.
     g.vacuum().unwrap();
     assert_eq!(g.database().table_len("osa").unwrap(), 0);
     // Remaining graph still queryable and consistent.

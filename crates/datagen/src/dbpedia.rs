@@ -134,12 +134,24 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
         *next_vid
     }
 
-    let sections = ["External_links", "History", "Geography", "Career", "Honours"];
+    let sections = [
+        "External_links",
+        "History",
+        "Geography",
+        "Career",
+        "Honours",
+    ];
     let provenance = |rng: &mut StdRng| -> Vec<(String, Json)> {
         if rng.gen_bool(0.3) {
             vec![
-                ("oldid".into(), Json::int(rng.gen_range(10_000_000..99_999_999))),
-                ("section".into(), Json::str(sections[rng.gen_range(0..sections.len())])),
+                (
+                    "oldid".into(),
+                    Json::int(rng.gen_range(10_000_000..99_999_999)),
+                ),
+                (
+                    "section".into(),
+                    Json::str(sections[rng.gen_range(0..sections.len())]),
+                ),
                 ("relative-line".into(), Json::int(rng.gen_range(1..400))),
             ]
         } else {
@@ -155,7 +167,10 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
     let first_place = next_vid + 1;
     for (i, &bucket) in buckets.iter().enumerate() {
         let mut props: Vec<(String, Json)> = vec![
-            ("uri".into(), Json::str(format!("http://dbpedia.org/resource/Place_{i}"))),
+            (
+                "uri".into(),
+                Json::str(format!("http://dbpedia.org/resource/Place_{i}")),
+            ),
             ("kind".into(), Json::str("place")),
             ("bucket".into(), Json::int(bucket as i64)),
             ("label".into(), place_label(&mut rng, i)),
@@ -170,7 +185,11 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
             props.push(("populationDensitySqMi".into(), Json::float(dens)));
         }
         if rng.gen_bool(0.6) {
-            let lm = if rng.gen_bool(0.01) { 1.0 } else { rng.gen_range(-180.0..180.0) };
+            let lm = if rng.gen_bool(0.01) {
+                1.0
+            } else {
+                rng.gen_range(-180.0..180.0)
+            };
             props.push(("longm".into(), Json::float(lm)));
         }
         if rng.gen_bool(0.05) {
@@ -196,7 +215,13 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
         };
         let parent = first_place + parent_idx as i64;
         next_eid += 1;
-        data.edges.push((next_eid, child, parent, "isPartOf".into(), provenance(&mut rng)));
+        data.edges.push((
+            next_eid,
+            child,
+            parent,
+            "isPartOf".into(),
+            provenance(&mut rng),
+        ));
     }
     // Deepest chain: follow i-1 links from the last place.
     let deep_places: Vec<i64> = (0..12.min(config.places))
@@ -210,7 +235,10 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
             &mut data,
             &mut next_vid,
             vec![
-                ("uri".into(), Json::str(format!("http://dbpedia.org/resource/Team_{i}"))),
+                (
+                    "uri".into(),
+                    Json::str(format!("http://dbpedia.org/resource/Team_{i}")),
+                ),
                 ("kind".into(), Json::str("team")),
                 ("title".into(), Json::str(format!("FC Team {i}"))),
                 ("label".into(), Json::str(format!("Team {i}@en"))),
@@ -220,11 +248,20 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
     let last_team = next_vid;
 
     // -- players ----------------------------------------------------------
-    let nationals = ["england", "brazilien", "deutschland@en", "espana@en", "france"];
+    let nationals = [
+        "england",
+        "brazilien",
+        "deutschland@en",
+        "espana@en",
+        "france",
+    ];
     let first_player = next_vid + 1;
     for i in 0..config.players {
         let mut props: Vec<(String, Json)> = vec![
-            ("uri".into(), Json::str(format!("http://dbpedia.org/resource/Player_{i}"))),
+            (
+                "uri".into(),
+                Json::str(format!("http://dbpedia.org/resource/Player_{i}")),
+            ),
             ("kind".into(), Json::str("player")),
             ("label".into(), Json::str(format!("Player {i}@en"))),
             ("wikiPageID".into(), Json::int(20_000_000 + i as i64)),
@@ -246,7 +283,8 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
         }
         for team in chosen {
             next_eid += 1;
-            data.edges.push((next_eid, player, team, "team".into(), provenance(&mut rng)));
+            data.edges
+                .push((next_eid, player, team, "team".into(), provenance(&mut rng)));
         }
     }
     let last_player = next_vid;
@@ -260,7 +298,10 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
             Json::str(format!("http://dbpedia.org/resource/Entity_{i}")),
         )];
         if rng.gen_bool(0.3) {
-            props.push(("genre".into(), Json::str(genres[rng.gen_range(0..genres.len())])));
+            props.push((
+                "genre".into(),
+                Json::str(genres[rng.gen_range(0..genres.len())]),
+            ));
         }
         if rng.gen_bool(0.4) {
             props.push(("title".into(), Json::str(format!("Entity Title {i}@en"))));
@@ -285,7 +326,9 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
     // drawn from places and entities alike: DBpedia places carry many
     // distinct object properties besides `isPartOf`, which is what makes
     // their adjacency documents wide.
-    let weights: Vec<f64> = (0..config.label_vocabulary).map(|l| 1.0 / (l as f64 + 1.0)).collect();
+    let weights: Vec<f64> = (0..config.label_vocabulary)
+        .map(|l| 1.0 / (l as f64 + 1.0))
+        .collect();
     let total_weight: f64 = weights.iter().sum();
     for _ in 0..config.entity_edges {
         let src = if rng.gen_bool(0.5) {
@@ -317,29 +360,41 @@ pub fn generate(config: &DbpediaConfig) -> DbpediaGraph {
     let class_place = alloc_v(
         &mut data,
         &mut next_vid,
-        vec![("uri".into(), Json::str(CLASS_PLACE)), ("kind".into(), Json::str("class"))],
+        vec![
+            ("uri".into(), Json::str(CLASS_PLACE)),
+            ("kind".into(), Json::str("class")),
+        ],
     );
     let class_person = alloc_v(
         &mut data,
         &mut next_vid,
-        vec![("uri".into(), Json::str(CLASS_PERSON)), ("kind".into(), Json::str("class"))],
+        vec![
+            ("uri".into(), Json::str(CLASS_PERSON)),
+            ("kind".into(), Json::str("class")),
+        ],
     );
     let class_team = alloc_v(
         &mut data,
         &mut next_vid,
-        vec![("uri".into(), Json::str(CLASS_TEAM)), ("kind".into(), Json::str("class"))],
+        vec![
+            ("uri".into(), Json::str(CLASS_TEAM)),
+            ("kind".into(), Json::str("class")),
+        ],
     );
     for v in first_place..=last_place {
         next_eid += 1;
-        data.edges.push((next_eid, v, class_place, "type".into(), vec![]));
+        data.edges
+            .push((next_eid, v, class_place, "type".into(), vec![]));
     }
     for v in first_player..=last_player {
         next_eid += 1;
-        data.edges.push((next_eid, v, class_person, "type".into(), vec![]));
+        data.edges
+            .push((next_eid, v, class_person, "type".into(), vec![]));
     }
     for v in first_team..=last_team {
         next_eid += 1;
-        data.edges.push((next_eid, v, class_team, "type".into(), vec![]));
+        data.edges
+            .push((next_eid, v, class_team, "type".into(), vec![]));
     }
 
     DbpediaGraph {
@@ -427,10 +482,7 @@ pub fn adjacency_queries(g: &DbpediaGraph) -> Vec<AdjacencyQuery> {
                 let mut q = if input == 1 {
                     format!("g.v({p0})")
                 } else {
-                    format!(
-                        "g.V.has('wikiPageID', T.lt, {})",
-                        20_000_000 + input as i64
-                    )
+                    format!("g.V.has('wikiPageID', T.lt, {})", 20_000_000 + input as i64)
                 };
                 for _ in 0..hops {
                     q.push_str(".both('team')");
@@ -438,7 +490,13 @@ pub fn adjacency_queries(g: &DbpediaGraph) -> Vec<AdjacencyQuery> {
                 q.push_str(".count()");
                 q
             };
-            AdjacencyQuery { id: i + 1, hops, input_size: input, gremlin, label }
+            AdjacencyQuery {
+                id: i + 1,
+                hops,
+                input_size: input,
+                gremlin,
+                label,
+            }
         })
         .collect()
 }
@@ -492,7 +550,11 @@ pub fn attribute_queries() -> Vec<AttributeQuery> {
     ];
     rows.into_iter()
         .enumerate()
-        .map(|(i, (key, filter))| AttributeQuery { id: i + 1, key, filter })
+        .map(|(i, (key, filter))| AttributeQuery {
+            id: i + 1,
+            key,
+            filter,
+        })
         .collect()
 }
 
@@ -551,7 +613,10 @@ pub fn benchmark_queries(g: &DbpediaGraph) -> Vec<String> {
 /// The 11 long-path queries (Figure 8b / Figure 6's `lq*`): the Table 1
 /// traversals ending in `count()`.
 pub fn path_queries(g: &DbpediaGraph) -> Vec<String> {
-    adjacency_queries(g).into_iter().map(|q| q.gremlin).collect()
+    adjacency_queries(g)
+        .into_iter()
+        .map(|q| q.gremlin)
+        .collect()
 }
 
 #[cfg(test)]
@@ -585,8 +650,10 @@ mod tests {
         let mem = MemGraph::new();
         g.data.load_blueprints(&mem).unwrap();
         let deep = g.ids.deep_places[0];
-        let q = parse_query(&format!("g.v({deep}).out('isPartOf').out('isPartOf').out('isPartOf')"))
-            .unwrap();
+        let q = parse_query(&format!(
+            "g.v({deep}).out('isPartOf').out('isPartOf').out('isPartOf')"
+        ))
+        .unwrap();
         assert!(!interp::eval(&mem, &q).unwrap().is_empty());
     }
 
@@ -609,7 +676,10 @@ mod tests {
 
     fn eval_count(mem: &MemGraph, q: &str) -> i64 {
         let p = parse_query(q).unwrap();
-        interp::eval(mem, &p).unwrap()[0].to_json().as_i64().unwrap()
+        interp::eval(mem, &p).unwrap()[0]
+            .to_json()
+            .as_i64()
+            .unwrap()
     }
 
     #[test]
@@ -631,7 +701,9 @@ mod tests {
             .vertices
             .iter()
             .filter(|(_, props)| {
-                props.iter().any(|(k, v)| k == "wikiPageID" && v.as_i64() == Some(20_000_001))
+                props
+                    .iter()
+                    .any(|(k, v)| k == "wikiPageID" && v.as_i64() == Some(20_000_001))
             })
             .count();
         assert_eq!(hits, 1);
@@ -645,7 +717,8 @@ mod tests {
         let queries = benchmark_queries(&g);
         assert_eq!(queries.len(), 20);
         for (i, q) in queries.iter().enumerate() {
-            let p = parse_query(q).unwrap_or_else(|e| panic!("query {} failed to parse: {e}", i + 1));
+            let p =
+                parse_query(q).unwrap_or_else(|e| panic!("query {} failed to parse: {e}", i + 1));
             interp::eval(&mem, &p).unwrap_or_else(|e| panic!("query {} failed: {e}", i + 1));
         }
     }

@@ -29,14 +29,22 @@ pub struct LinkBenchConfig {
 
 impl Default for LinkBenchConfig {
     fn default() -> Self {
-        LinkBenchConfig { seed: 1, nodes: 10_000, mean_degree: 4.0, payload: 32 }
+        LinkBenchConfig {
+            seed: 1,
+            nodes: 10_000,
+            mean_degree: 4.0,
+            payload: 32,
+        }
     }
 }
 
 impl LinkBenchConfig {
     /// Config with `nodes` nodes, everything else default.
     pub fn with_nodes(nodes: usize) -> LinkBenchConfig {
-        LinkBenchConfig { nodes, ..LinkBenchConfig::default() }
+        LinkBenchConfig {
+            nodes,
+            ..LinkBenchConfig::default()
+        }
     }
 }
 
@@ -238,7 +246,11 @@ impl Workload {
     /// Next operation, drawn from the Table 6 mix.
     pub fn next_op(&mut self) -> Op {
         let roll = self.rng.gen_range(0..1000u32);
-        let tag = MIX.iter().find(|(bound, _)| roll < *bound).map(|(_, t)| *t).unwrap_or(9);
+        let tag = MIX
+            .iter()
+            .find(|(bound, _)| roll < *bound)
+            .map(|(_, t)| *t)
+            .unwrap_or(9);
         match tag {
             0 => Op::AddNode {
                 props: vec![
@@ -252,18 +264,38 @@ impl Workload {
             // Node deletes draw uniformly, not from the hot set: LinkBench
             // uses separate per-operation access distributions, and at
             // laptop scale a zipf-hot delete would always hit a supernode.
-            2 => Op::DeleteNode { id: self.rng.gen_range(1..=self.nodes as i64) },
+            2 => Op::DeleteNode {
+                id: self.rng.gen_range(1..=self.nodes as i64),
+            },
             3 => Op::GetNode { id: self.node() },
-            4 => Op::AddLink { src: self.node(), dst: self.node(), ltype: self.ltype() },
-            5 => Op::DeleteLink { src: self.node(), dst: self.node(), ltype: self.ltype() },
-            6 => Op::UpdateLink { src: self.node(), dst: self.node(), ltype: self.ltype() },
-            7 => Op::CountLink { id: self.node(), ltype: self.ltype() },
+            4 => Op::AddLink {
+                src: self.node(),
+                dst: self.node(),
+                ltype: self.ltype(),
+            },
+            5 => Op::DeleteLink {
+                src: self.node(),
+                dst: self.node(),
+                ltype: self.ltype(),
+            },
+            6 => Op::UpdateLink {
+                src: self.node(),
+                dst: self.node(),
+                ltype: self.ltype(),
+            },
+            7 => Op::CountLink {
+                id: self.node(),
+                ltype: self.ltype(),
+            },
             8 => Op::MultigetLink {
                 src: self.node(),
                 dsts: (0..3).map(|_| self.node()).collect(),
                 ltype: self.ltype(),
             },
-            _ => Op::GetLinkList { id: self.node(), ltype: self.ltype() },
+            _ => Op::GetLinkList {
+                id: self.node(),
+                ltype: self.ltype(),
+            },
         }
     }
 }
@@ -275,10 +307,16 @@ mod tests {
 
     #[test]
     fn dataset_shape() {
-        let config = LinkBenchConfig { nodes: 500, ..LinkBenchConfig::default() };
+        let config = LinkBenchConfig {
+            nodes: 500,
+            ..LinkBenchConfig::default()
+        };
         let data = generate(&config);
         assert_eq!(data.vertex_count(), 500);
-        assert!(data.edge_count() > 500, "mean degree ~4 ⇒ well over 1 edge/node");
+        assert!(
+            data.edge_count() > 500,
+            "mean degree ~4 ⇒ well over 1 edge/node"
+        );
         // Degrees are skewed: the max out-degree well above the mean.
         let mut out_deg: HashMap<i64, usize> = HashMap::new();
         for (_, src, ..) in &data.edges {
@@ -291,7 +329,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let c = LinkBenchConfig { nodes: 200, ..LinkBenchConfig::default() };
+        let c = LinkBenchConfig {
+            nodes: 200,
+            ..LinkBenchConfig::default()
+        };
         let a = generate(&c);
         let b = generate(&c);
         assert_eq!(a.edges.len(), b.edges.len());

@@ -20,7 +20,9 @@ pub struct GraphError {
 impl GraphError {
     /// Build an error from anything stringy.
     pub fn new(message: impl Into<String>) -> GraphError {
-        GraphError { message: message.into() }
+        GraphError {
+            message: message.into(),
+        }
     }
 }
 

@@ -54,7 +54,12 @@ struct Traverser {
 
 impl Traverser {
     fn start(elem: Elem) -> Traverser {
-        Traverser { elem, trail: Vec::new(), marks: HashMap::new(), loops: 1 }
+        Traverser {
+            elem,
+            trail: Vec::new(),
+            marks: HashMap::new(),
+            loops: 1,
+        }
     }
 
     /// Move to a new element, recording the old one on the trail.
@@ -90,7 +95,12 @@ pub fn execute<G: Blueprints + ?Sized>(
             let id = graph.add_vertex(props)?;
             Ok(vec![Elem::Vertex(id)])
         }
-        GremlinStatement::AddEdge { src, dst, label, props } => {
+        GremlinStatement::AddEdge {
+            src,
+            dst,
+            label,
+            props,
+        } => {
             let id = graph.add_edge(*src, *dst, label, props)?;
             Ok(vec![Elem::Edge(id)])
         }
@@ -177,7 +187,9 @@ fn loop_segment_start(pipes: &[Pipe], loop_idx: usize, back: &BackTarget) -> Gra
                     return Ok(i + 1);
                 }
             }
-            Err(GraphError::new(format!("loop target as('{name}') not found")))
+            Err(GraphError::new(format!(
+                "loop target as('{name}') not found"
+            )))
         }
     }
 }
@@ -367,7 +379,9 @@ fn run_one_pipe<G: Blueprints + ?Sized>(
         }
         Pipe::Interval { key, lo, hi } => {
             for t in input {
-                let Some(got) = element_property(graph, &t.elem, key)? else { continue };
+                let Some(got) = element_property(graph, &t.elem, key)? else {
+                    continue;
+                };
                 let ge_lo = json_compare(&got, lo).is_some_and(|o| o != std::cmp::Ordering::Less);
                 let lt_hi = json_compare(&got, hi).is_some_and(|o| o == std::cmp::Ordering::Less);
                 if ge_lo && lt_hi {
@@ -410,8 +424,11 @@ fn run_one_pipe<G: Blueprints + ?Sized>(
         Pipe::SimplePath => {
             for t in input {
                 let mut seen = HashSet::new();
-                let simple =
-                    t.trail.iter().chain(std::iter::once(&t.elem)).all(|e| seen.insert(e.clone()));
+                let simple = t
+                    .trail
+                    .iter()
+                    .chain(std::iter::once(&t.elem))
+                    .all(|e| seen.insert(e.clone()));
                 if simple {
                     out.push(t);
                 }
@@ -422,18 +439,16 @@ fn run_one_pipe<G: Blueprints + ?Sized>(
             for t in input {
                 let mut hits = 0usize;
                 for b in branches {
-                    let res = run_pipes(
-                        graph,
-                        &b.pipes,
-                        vec![t.clone()],
-                        false,
-                        state,
-                    )?;
+                    let res = run_pipes(graph, &b.pipes, vec![t.clone()], false, state)?;
                     if !res.is_empty() {
                         hits += 1;
                     }
                 }
-                let keep = if want_all { hits == branches.len() } else { hits > 0 };
+                let keep = if want_all {
+                    hits == branches.len()
+                } else {
+                    hits > 0
+                };
                 if keep {
                     out.push(t);
                 }
@@ -462,7 +477,11 @@ fn run_one_pipe<G: Blueprints + ?Sized>(
         // ---- branches ----
         Pipe::IfThenElse { test, then, els } => {
             for t in &input {
-                let branch = if closure_truthy(graph, test, t)? { then } else { els };
+                let branch = if closure_truthy(graph, test, t)? {
+                    then
+                } else {
+                    els
+                };
                 let value = closure_value(graph, branch, t)?;
                 out.push(t.step_to(Elem::Value(value)));
             }
@@ -554,12 +573,12 @@ fn closure_value<G: Blueprints + ?Sized>(
                 },
             }
         }
-        Closure::And(l, r) => Json::Bool(
-            closure_truthy(graph, l, t)? && closure_truthy(graph, r, t)?,
-        ),
-        Closure::Or(l, r) => Json::Bool(
-            closure_truthy(graph, l, t)? || closure_truthy(graph, r, t)?,
-        ),
+        Closure::And(l, r) => {
+            Json::Bool(closure_truthy(graph, l, t)? && closure_truthy(graph, r, t)?)
+        }
+        Closure::Or(l, r) => {
+            Json::Bool(closure_truthy(graph, l, t)? || closure_truthy(graph, r, t)?)
+        }
         Closure::Not(x) => Json::Bool(!closure_truthy(graph, x, t)?),
         Closure::Contains(hay, needle) => {
             let h = closure_value(graph, hay, t)?;

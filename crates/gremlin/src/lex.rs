@@ -140,7 +140,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, GremlinError> {
                         }
                     }
                 }
-                out.push(Token { offset: start, kind: Tok::Str(s) });
+                out.push(Token {
+                    offset: start,
+                    kind: Tok::Str(s),
+                });
             }
             b'0'..=b'9' => {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -178,7 +181,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, GremlinError> {
                 .get(i + 1)
                 .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') =>
             {
-                out.push(Token { offset: start, kind: Tok::Underscore });
+                out.push(Token {
+                    offset: start,
+                    kind: Tok::Underscore,
+                });
                 i += 1;
             }
             _ if b == b'_' || b.is_ascii_alphabetic() => {
@@ -255,12 +261,18 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, GremlinError> {
                         })
                     }
                 };
-                out.push(Token { offset: start, kind });
+                out.push(Token {
+                    offset: start,
+                    kind,
+                });
                 i += len;
             }
         }
     }
-    out.push(Token { offset: src.len(), kind: Tok::Eof });
+    out.push(Token {
+        offset: src.len(),
+        kind: Tok::Eof,
+    });
     Ok(out)
 }
 
@@ -286,7 +298,14 @@ mod tests {
         let ks = kinds("[0..10]");
         assert_eq!(
             ks,
-            vec![Tok::LBracket, Tok::Int(0), Tok::DotDot, Tok::Int(10), Tok::RBracket, Tok::Eof]
+            vec![
+                Tok::LBracket,
+                Tok::Int(0),
+                Tok::DotDot,
+                Tok::Int(10),
+                Tok::RBracket,
+                Tok::Eof
+            ]
         );
     }
 

@@ -60,17 +60,45 @@ impl MemGraph {
     pub fn sample() -> MemGraph {
         let g = MemGraph::new();
         let props = |pairs: &[(&str, Json)]| -> Vec<(String, Json)> {
-            pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect()
         };
-        let v1 = g.add_vertex(&props(&[("name", Json::str("marko")), ("age", Json::int(29))])).unwrap();
-        let v2 = g.add_vertex(&props(&[("name", Json::str("vadas")), ("age", Json::int(27))])).unwrap();
-        let v3 = g.add_vertex(&props(&[("name", Json::str("lop")), ("lang", Json::str("java"))])).unwrap();
-        let v4 = g.add_vertex(&props(&[("name", Json::str("josh")), ("age", Json::int(32))])).unwrap();
-        g.add_edge(v1, v2, "knows", &props(&[("weight", Json::float(0.5))])).unwrap();
-        g.add_edge(v1, v4, "knows", &props(&[("weight", Json::float(1.0))])).unwrap();
-        g.add_edge(v1, v3, "created", &props(&[("weight", Json::float(0.4))])).unwrap();
-        g.add_edge(v4, v2, "likes", &props(&[("weight", Json::float(0.2))])).unwrap();
-        g.add_edge(v4, v3, "created", &props(&[("weight", Json::float(0.8))])).unwrap();
+        let v1 = g
+            .add_vertex(&props(&[
+                ("name", Json::str("marko")),
+                ("age", Json::int(29)),
+            ]))
+            .unwrap();
+        let v2 = g
+            .add_vertex(&props(&[
+                ("name", Json::str("vadas")),
+                ("age", Json::int(27)),
+            ]))
+            .unwrap();
+        let v3 = g
+            .add_vertex(&props(&[
+                ("name", Json::str("lop")),
+                ("lang", Json::str("java")),
+            ]))
+            .unwrap();
+        let v4 = g
+            .add_vertex(&props(&[
+                ("name", Json::str("josh")),
+                ("age", Json::int(32)),
+            ]))
+            .unwrap();
+        g.add_edge(v1, v2, "knows", &props(&[("weight", Json::float(0.5))]))
+            .unwrap();
+        g.add_edge(v1, v4, "knows", &props(&[("weight", Json::float(1.0))]))
+            .unwrap();
+        g.add_edge(v1, v3, "created", &props(&[("weight", Json::float(0.4))]))
+            .unwrap();
+        g.add_edge(v4, v2, "likes", &props(&[("weight", Json::float(0.2))]))
+            .unwrap();
+        g.add_edge(v4, v3, "created", &props(&[("weight", Json::float(0.8))]))
+            .unwrap();
         g
     }
 }
@@ -143,9 +171,7 @@ impl Blueprints for MemGraph {
         let mut inner = self.inner.lock();
         inner.next_vid += 1;
         let id = inner.next_vid;
-        inner
-            .vertices
-            .insert(id, props.iter().cloned().collect());
+        inner.vertices.insert(id, props.iter().cloned().collect());
         Ok(id)
     }
 

@@ -174,7 +174,12 @@ impl Parser {
                     Vec::new()
                 };
                 self.expect(&Tok::RParen)?;
-                Ok(GremlinStatement::AddEdge { src, dst, label, props })
+                Ok(GremlinStatement::AddEdge {
+                    src,
+                    dst,
+                    label,
+                    props,
+                })
             }
             Tok::Ident(m) if m == "removeVertex" => {
                 self.advance();
@@ -733,7 +738,11 @@ mod tests {
         let q = parse_query("g.V.has('age', T.gt, 29)").unwrap();
         assert!(matches!(
             q.pipes[1],
-            Pipe::Has { cmp: Cmp::Gt, value: Some(_), .. }
+            Pipe::Has {
+                cmp: Cmp::Gt,
+                value: Some(_),
+                ..
+            }
         ));
     }
 
@@ -753,12 +762,19 @@ mod tests {
         ));
         assert!(matches!(q.pipes[4], Pipe::Path));
         let q = parse_query("g.v(1).out.loop(1){it.loops < 3}").unwrap();
-        assert!(matches!(q.pipes[2], Pipe::Loop { back: BackTarget::Steps(1), .. }));
+        assert!(matches!(
+            q.pipes[2],
+            Pipe::Loop {
+                back: BackTarget::Steps(1),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn branch_pipes() {
-        let q = parse_query("g.v(1).copySplit(_().out('a'), _().in('b')).fairMerge.dedup()").unwrap();
+        let q =
+            parse_query("g.v(1).copySplit(_().out('a'), _().in('b')).fairMerge.dedup()").unwrap();
         assert!(matches!(q.pipes[1], Pipe::CopySplit(ref branches) if branches.len() == 2));
         // fairMerge is folded into CopySplit.
         assert!(matches!(q.pipes[2], Pipe::Dedup));
@@ -792,7 +808,10 @@ mod tests {
         assert_eq!(
             parse("g.addVertex([name:'marko', age:29])").unwrap(),
             GremlinStatement::AddVertex {
-                props: vec![("name".into(), Json::str("marko")), ("age".into(), Json::int(29))],
+                props: vec![
+                    ("name".into(), Json::str("marko")),
+                    ("age".into(), Json::int(29))
+                ],
             }
         );
         assert_eq!(
@@ -814,7 +833,11 @@ mod tests {
         );
         assert_eq!(
             parse("g.v(1).setProperty('age', 30)").unwrap(),
-            GremlinStatement::SetVertexProperty { id: 1, key: "age".into(), value: Json::int(30) }
+            GremlinStatement::SetVertexProperty {
+                id: 1,
+                key: "age".into(),
+                value: Json::int(30)
+            }
         );
     }
 
@@ -834,7 +857,9 @@ mod tests {
     fn closure_operators() {
         let q = parse_query("g.V.filter{it.age >= 18 && (it.name == 'x' || !(it.flag == true))}")
             .unwrap();
-        let Pipe::Filter(c) = &q.pipes[1] else { panic!() };
+        let Pipe::Filter(c) = &q.pipes[1] else {
+            panic!()
+        };
         assert!(matches!(c, Closure::And(_, _)));
     }
 
@@ -847,7 +872,15 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "g", "g.", "g.W", "x.V", "g.V.unknownPipe", "g.V.has(", "g.v()", "g.V.loop(1)",
+            "",
+            "g",
+            "g.",
+            "g.W",
+            "x.V",
+            "g.V.unknownPipe",
+            "g.V.has(",
+            "g.v()",
+            "g.V.loop(1)",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -67,7 +67,10 @@ fn the_papers_example() {
     // Adapted from §4.1: vertices adjacent (either direction) to vertices
     // whose 'name' is 'marko', deduplicated, counted.
     let g = MemGraph::sample();
-    assert_eq!(count(&g, "g.V.filter{it.name=='marko'}.both.dedup().count()"), 3);
+    assert_eq!(
+        count(&g, "g.V.filter{it.name=='marko'}.both.dedup().count()"),
+        3
+    );
 }
 
 #[test]
@@ -87,7 +90,10 @@ fn has_variants() {
 fn filter_closures() {
     let g = MemGraph::sample();
     assert_eq!(ids(&g, "g.V.filter{it.age > 27 && it.age < 32}"), [1]);
-    assert_eq!(ids(&g, "g.V.filter{it.name == 'lop' || it.name == 'vadas'}"), [2, 3]);
+    assert_eq!(
+        ids(&g, "g.V.filter{it.name == 'lop' || it.name == 'vadas'}"),
+        [2, 3]
+    );
     assert_eq!(ids(&g, "g.V.filter{!(it.age == 29)}"), [2, 3, 4]); // null != 29 is true for lop
     assert_eq!(ids(&g, "g.V.filter{it.name.contains('a')}"), [1, 2]);
 }
@@ -136,9 +142,7 @@ fn path_and_simple_path() {
     let mut paths: Vec<Vec<i64>> = out
         .iter()
         .map(|e| match e {
-            Elem::Value(Json::Array(items)) => {
-                items.iter().map(|j| j.as_i64().unwrap()).collect()
-            }
+            Elem::Value(Json::Array(items)) => items.iter().map(|j| j.as_i64().unwrap()).collect(),
             other => panic!("expected path array, got {other:?}"),
         })
         .collect();
@@ -165,24 +169,39 @@ fn dedup_and_aggregate_except_retain() {
     assert_eq!(count(&g, "g.V.out.count()"), 5);
     assert_eq!(count(&g, "g.V.out.dedup().count()"), 3);
     // Exclude the start vertex from its own neighborhood.
-    assert_eq!(ids(&g, "g.v(1).aggregate(x).out('knows').out.except(x)"), [2, 3]);
-    assert_eq!(ids(&g, "g.v(2).aggregate(x).in('knows').out.retain(x)"), [2]);
+    assert_eq!(
+        ids(&g, "g.v(1).aggregate(x).out('knows').out.except(x)"),
+        [2, 3]
+    );
+    assert_eq!(
+        ids(&g, "g.v(2).aggregate(x).in('knows').out.retain(x)"),
+        [2]
+    );
 }
 
 #[test]
 fn and_or_branches() {
     let g = MemGraph::sample();
     // Vertices with both an outgoing 'knows' and an outgoing 'created' edge.
-    assert_eq!(ids(&g, "g.V.and(_().out('knows'), _().out('created'))"), [1]);
+    assert_eq!(
+        ids(&g, "g.V.and(_().out('knows'), _().out('created'))"),
+        [1]
+    );
     // Vertices with either.
-    assert_eq!(ids(&g, "g.V.or(_().out('knows'), _().out('created'))"), [1, 4]);
+    assert_eq!(
+        ids(&g, "g.V.or(_().out('knows'), _().out('created'))"),
+        [1, 4]
+    );
 }
 
 #[test]
 fn copy_split_merge() {
     let g = MemGraph::sample();
     assert_eq!(
-        ids(&g, "g.v(1).copySplit(_().out('knows'), _().out('created')).fairMerge"),
+        ids(
+            &g,
+            "g.v(1).copySplit(_().out('knows'), _().out('created')).fairMerge"
+        ),
         [2, 3, 4]
     );
 }
@@ -204,7 +223,10 @@ fn loops_fixed_depth() {
     assert_eq!(ids(&g, "g.v(1).out.loop(1){it.loops < 2}"), [2, 3]);
     assert_eq!(ids(&g, "g.v(1).out.out"), [2, 3]);
     // Named loop target.
-    assert_eq!(ids(&g, "g.v(1).as('s').out.loop('s'){it.loops < 2}"), [2, 3]);
+    assert_eq!(
+        ids(&g, "g.v(1).as('s').out.loop('s'){it.loops < 2}"),
+        [2, 3]
+    );
 }
 
 #[test]
@@ -243,8 +265,11 @@ fn crud_statements_mutate_graph() {
 fn edge_properties_via_has() {
     let g = MemGraph::sample();
     let p = parse_query("g.E.has('weight', T.gte, 0.8)").unwrap();
-    let mut eids: Vec<i64> =
-        interp::eval(&g, &p).unwrap().into_iter().filter_map(|e| e.id()).collect();
+    let mut eids: Vec<i64> = interp::eval(&g, &p)
+        .unwrap()
+        .into_iter()
+        .filter_map(|e| e.id())
+        .collect();
     eids.sort_unstable();
     assert_eq!(eids, [2, 5]);
 }

@@ -23,7 +23,9 @@ impl Number {
     pub fn as_i64(self) -> Option<i64> {
         match self {
             Number::Int(v) => Some(v),
-            Number::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
                 Some(f as i64)
             }
             Number::Float(_) => None,

@@ -18,7 +18,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -197,9 +201,10 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // Safe: the input is a &str, and we only stopped at ASCII
                 // boundaries, so the run is valid UTF-8.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
-                    self.err("invalid UTF-8 inside string")
-                })?);
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 inside string"))?,
+                );
             }
             match self.bump() {
                 Some(b'"') => return Ok(out),
@@ -248,7 +253,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -361,8 +368,8 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "{", "[", "\"", "{]", "[1,]", "{\"a\":}", "tru", "01", "1.", "1e", "--1",
-            "nullx", "[1] []",
+            "", "{", "[", "\"", "{]", "[1,]", "{\"a\":}", "tru", "01", "1.", "1e", "--1", "nullx",
+            "[1] []",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

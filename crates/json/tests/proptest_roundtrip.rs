@@ -17,9 +17,8 @@ fn arb_json() -> impl Strategy<Value = Json> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
-            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|kvs| {
-                Json::Object(kvs.into_iter().collect::<JsonObject>())
-            }),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6)
+                .prop_map(|kvs| { Json::Object(kvs.into_iter().collect::<JsonObject>()) }),
         ]
     })
 }

@@ -1,0 +1,936 @@
+//! Columnar batches: the executor's vectorized data representation.
+//!
+//! A [`Batch`] holds a morsel's worth of rows column-wise: each column is a
+//! [`ColVec`] — a typed vector (`Int`, `Float`, interned `Str`) with an
+//! optional null bitmap, or a `Mixed` vector of [`Value`]s when a column
+//! mixes types. A selection vector (`sel`) marks the live rows, so filters
+//! narrow the selection without materializing survivors.
+//!
+//! The contract with the row engine is *byte identity*: converting a batch
+//! back to rows ([`Batch::to_rows`]) must yield exactly the `Vec<Row>` the
+//! row-at-a-time engine would have produced — same values (`Int` stays
+//! `Int`, `Double` bit patterns preserved, `Str` contents identical), same
+//! order (physical order filtered by the selection vector). The vectorized
+//! predicate fast paths ([`PredSpec`]) replicate [`Value::sql_cmp`]
+//! semantics exactly and *decline* (return `None`) whenever a column/constant
+//! type combination falls outside the proven-identical cases; the executor
+//! then falls back to evaluating the original scalar expression per row.
+//!
+//! Strings are interned per column: the column stores `u32` pool ids, and
+//! the pool (`Arc<Vec<Arc<str>>>`) is shared by `gather`, so join outputs
+//! never copy string bytes.
+
+use crate::expr::{BinaryOp, Expr};
+use crate::hasher::FxHashMap;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Executor row (mirrors `exec::Row` without a circular import).
+pub type Row = Vec<Value>;
+
+/// One column of a batch.
+#[derive(Debug, Clone)]
+pub enum ColVec {
+    /// 64-bit integers with an optional null bitmap.
+    Int {
+        vals: Vec<i64>,
+        nulls: Option<Vec<u64>>,
+    },
+    /// 64-bit floats with an optional null bitmap.
+    Float {
+        vals: Vec<f64>,
+        nulls: Option<Vec<u64>>,
+    },
+    /// Interned strings: `ids[i]` indexes into the shared `pool`.
+    Str {
+        ids: Vec<u32>,
+        nulls: Option<Vec<u64>>,
+        pool: Arc<Vec<Arc<str>>>,
+    },
+    /// Fallback for mixed-type columns (or Bool/Json/Array values).
+    Mixed(Vec<Value>),
+}
+
+#[inline]
+fn bit(nulls: &Option<Vec<u64>>, i: usize) -> bool {
+    match nulls {
+        Some(words) => (words[i / 64] >> (i % 64)) & 1 == 1,
+        None => false,
+    }
+}
+
+#[inline]
+fn set_bit(nulls: &mut Option<Vec<u64>>, len: usize, i: usize) {
+    let words = nulls.get_or_insert_with(|| vec![0u64; len.div_ceil(64)]);
+    if words.len() < len.div_ceil(64) {
+        words.resize(len.div_ceil(64), 0);
+    }
+    words[i / 64] |= 1 << (i % 64);
+}
+
+impl ColVec {
+    /// Number of physical rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColVec::Int { vals, .. } => vals.len(),
+            ColVec::Float { vals, .. } => vals.len(),
+            ColVec::Str { ids, .. } => ids.len(),
+            ColVec::Mixed(vals) => vals.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether physical row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColVec::Int { nulls, .. } | ColVec::Float { nulls, .. } | ColVec::Str { nulls, .. } => {
+                bit(nulls, i)
+            }
+            ColVec::Mixed(vals) => vals[i].is_null(),
+        }
+    }
+
+    /// Materialize physical row `i` as a [`Value`]. Cheap for numeric
+    /// columns; an `Arc` clone for strings.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            ColVec::Int { vals, nulls } => {
+                if bit(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Int(vals[i])
+                }
+            }
+            ColVec::Float { vals, nulls } => {
+                if bit(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Double(vals[i])
+                }
+            }
+            ColVec::Str { ids, nulls, pool } => {
+                if bit(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Str(pool[ids[i] as usize].clone())
+                }
+            }
+            ColVec::Mixed(vals) => vals[i].clone(),
+        }
+    }
+
+    /// Gather the physical rows at `idx` into a new dense column. String
+    /// columns share the interned pool (no byte copies).
+    pub fn gather(&self, idx: &[u32]) -> ColVec {
+        match self {
+            ColVec::Int { vals, nulls } => {
+                let out: Vec<i64> = idx.iter().map(|&i| vals[i as usize]).collect();
+                let out_nulls = gather_nulls(nulls, idx);
+                ColVec::Int {
+                    vals: out,
+                    nulls: out_nulls,
+                }
+            }
+            ColVec::Float { vals, nulls } => {
+                let out: Vec<f64> = idx.iter().map(|&i| vals[i as usize]).collect();
+                let out_nulls = gather_nulls(nulls, idx);
+                ColVec::Float {
+                    vals: out,
+                    nulls: out_nulls,
+                }
+            }
+            ColVec::Str { ids, nulls, pool } => {
+                let out: Vec<u32> = idx.iter().map(|&i| ids[i as usize]).collect();
+                let out_nulls = gather_nulls(nulls, idx);
+                ColVec::Str {
+                    ids: out,
+                    nulls: out_nulls,
+                    pool: pool.clone(),
+                }
+            }
+            ColVec::Mixed(vals) => {
+                ColVec::Mixed(idx.iter().map(|&i| vals[i as usize].clone()).collect())
+            }
+        }
+    }
+}
+
+fn gather_nulls(nulls: &Option<Vec<u64>>, idx: &[u32]) -> Option<Vec<u64>> {
+    let words = nulls.as_ref()?;
+    let mut out: Option<Vec<u64>> = None;
+    for (oi, &i) in idx.iter().enumerate() {
+        let i = i as usize;
+        if (words[i / 64] >> (i % 64)) & 1 == 1 {
+            set_bit(&mut out, idx.len(), oi);
+        }
+    }
+    out
+}
+
+/// Incremental, type-adaptive column builder. Starts untyped, picks a typed
+/// representation from the first non-NULL value, and demotes to `Mixed`
+/// when a later value does not fit (preserving every value exactly).
+pub struct ColBuilder {
+    state: BuilderState,
+}
+
+enum BuilderState {
+    /// Only NULLs seen so far (`n` of them).
+    Empty {
+        n: usize,
+    },
+    Int {
+        vals: Vec<i64>,
+        nulls: Option<Vec<u64>>,
+    },
+    Float {
+        vals: Vec<f64>,
+        nulls: Option<Vec<u64>>,
+    },
+    Str {
+        ids: Vec<u32>,
+        nulls: Option<Vec<u64>>,
+        pool: Vec<Arc<str>>,
+        interned: FxHashMap<Arc<str>, u32>,
+    },
+    Mixed(Vec<Value>),
+}
+
+impl Default for ColBuilder {
+    fn default() -> Self {
+        ColBuilder::new()
+    }
+}
+
+impl ColBuilder {
+    /// A fresh, untyped builder.
+    pub fn new() -> ColBuilder {
+        ColBuilder {
+            state: BuilderState::Empty { n: 0 },
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.state {
+            BuilderState::Empty { n } => *n,
+            BuilderState::Int { vals, .. } => vals.len(),
+            BuilderState::Float { vals, .. } => vals.len(),
+            BuilderState::Str { ids, .. } => ids.len(),
+            BuilderState::Mixed(vals) => vals.len(),
+        }
+    }
+
+    /// Demote the current typed state to `Mixed`, reconstructing every value.
+    fn demote(&mut self) {
+        let len = self.len();
+        let col = std::mem::replace(&mut self.state, BuilderState::Mixed(Vec::new()));
+        let mut vals = Vec::with_capacity(len + 1);
+        match col {
+            BuilderState::Empty { n } => {
+                vals.extend(std::iter::repeat_with(|| Value::Null).take(n))
+            }
+            BuilderState::Int { vals: v, nulls } => {
+                for (i, x) in v.iter().enumerate() {
+                    vals.push(if bit(&nulls, i) {
+                        Value::Null
+                    } else {
+                        Value::Int(*x)
+                    });
+                }
+            }
+            BuilderState::Float { vals: v, nulls } => {
+                for (i, x) in v.iter().enumerate() {
+                    vals.push(if bit(&nulls, i) {
+                        Value::Null
+                    } else {
+                        Value::Double(*x)
+                    });
+                }
+            }
+            BuilderState::Str {
+                ids, nulls, pool, ..
+            } => {
+                for (i, id) in ids.iter().enumerate() {
+                    vals.push(if bit(&nulls, i) {
+                        Value::Null
+                    } else {
+                        Value::Str(pool[*id as usize].clone())
+                    });
+                }
+            }
+            BuilderState::Mixed(v) => vals = v,
+        }
+        self.state = BuilderState::Mixed(vals);
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: &Value) {
+        // Untyped prefix: count NULLs, adopt a type on the first real value.
+        if let BuilderState::Empty { n } = &self.state {
+            let n = *n;
+            match v {
+                Value::Null => {
+                    self.state = BuilderState::Empty { n: n + 1 };
+                    return;
+                }
+                Value::Int(_) => {
+                    let mut nulls = None;
+                    for i in 0..n {
+                        set_bit(&mut nulls, n + 1, i);
+                    }
+                    self.state = BuilderState::Int {
+                        vals: vec![0; n],
+                        nulls,
+                    };
+                }
+                Value::Double(_) => {
+                    let mut nulls = None;
+                    for i in 0..n {
+                        set_bit(&mut nulls, n + 1, i);
+                    }
+                    self.state = BuilderState::Float {
+                        vals: vec![0.0; n],
+                        nulls,
+                    };
+                }
+                Value::Str(_) => {
+                    let mut nulls = None;
+                    for i in 0..n {
+                        set_bit(&mut nulls, n + 1, i);
+                    }
+                    self.state = BuilderState::Str {
+                        ids: vec![0; n],
+                        nulls,
+                        pool: Vec::new(),
+                        interned: FxHashMap::default(),
+                    };
+                }
+                _ => {
+                    self.state = BuilderState::Mixed(
+                        std::iter::repeat_with(|| Value::Null).take(n).collect(),
+                    );
+                }
+            }
+        }
+        let len = self.len();
+        match (&mut self.state, v) {
+            (BuilderState::Int { vals, nulls }, Value::Int(x)) => {
+                vals.push(*x);
+                let _ = nulls;
+            }
+            (BuilderState::Int { vals, nulls }, Value::Null) => {
+                vals.push(0);
+                set_bit(nulls, len + 1, len);
+            }
+            (BuilderState::Float { vals, nulls }, Value::Double(x)) => {
+                vals.push(*x);
+                let _ = nulls;
+            }
+            (BuilderState::Float { vals, nulls }, Value::Null) => {
+                vals.push(0.0);
+                set_bit(nulls, len + 1, len);
+            }
+            (
+                BuilderState::Str {
+                    ids,
+                    nulls,
+                    pool,
+                    interned,
+                },
+                Value::Str(s),
+            ) => {
+                let id = match interned.get(s.as_ref() as &str) {
+                    Some(&id) => id,
+                    None => {
+                        let id = pool.len() as u32;
+                        pool.push(s.clone());
+                        interned.insert(s.clone(), id);
+                        id
+                    }
+                };
+                ids.push(id);
+                let _ = nulls;
+            }
+            (BuilderState::Str { ids, nulls, .. }, Value::Null) => {
+                ids.push(0);
+                set_bit(nulls, len + 1, len);
+            }
+            (BuilderState::Mixed(vals), v) => vals.push(v.clone()),
+            // Type mismatch: demote and retry (at most once per push).
+            _ => {
+                self.demote();
+                if let BuilderState::Mixed(vals) = &mut self.state {
+                    vals.push(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Finish into an immutable column.
+    pub fn finish(self) -> ColVec {
+        match self.state {
+            BuilderState::Empty { n } => {
+                // All-NULL column: a Mixed vector keeps it simple.
+                ColVec::Mixed(std::iter::repeat_with(|| Value::Null).take(n).collect())
+            }
+            BuilderState::Int { vals, mut nulls } => {
+                fit_mask(&mut nulls, vals.len());
+                ColVec::Int { vals, nulls }
+            }
+            BuilderState::Float { vals, mut nulls } => {
+                fit_mask(&mut nulls, vals.len());
+                ColVec::Float { vals, nulls }
+            }
+            BuilderState::Str {
+                ids,
+                mut nulls,
+                pool,
+                ..
+            } => {
+                fit_mask(&mut nulls, ids.len());
+                ColVec::Str {
+                    ids,
+                    nulls,
+                    pool: Arc::new(pool),
+                }
+            }
+            BuilderState::Mixed(vals) => ColVec::Mixed(vals),
+        }
+    }
+}
+
+fn fit_mask(nulls: &mut Option<Vec<u64>>, len: usize) {
+    if let Some(words) = nulls {
+        words.resize(len.div_ceil(64), 0);
+    }
+}
+
+/// A columnar batch: columns, a physical row count, and an optional
+/// selection vector of live physical row indexes (in physical order).
+/// `sel: None` means every row is live.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Column vectors; all have `len` physical rows.
+    pub cols: Vec<ColVec>,
+    /// Physical row count.
+    pub len: usize,
+    /// Live rows (physical indexes, ascending). `None` = all live.
+    pub sel: Option<Vec<u32>>,
+}
+
+impl Batch {
+    /// Number of live (selected) rows.
+    pub fn selected(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.len,
+        }
+    }
+
+    /// Iterate live physical row indexes in order.
+    pub fn live(&self) -> impl Iterator<Item = usize> + '_ {
+        let (sel, all) = match &self.sel {
+            Some(s) => (Some(s), 0..0),
+            None => (None, 0..self.len),
+        };
+        sel.into_iter().flatten().map(|&i| i as usize).chain(all)
+    }
+
+    /// Build a dense batch (no selection) from rows of uniform width.
+    pub fn from_rows(rows: &[Row], width: usize) -> Batch {
+        let mut builders: Vec<ColBuilder> = (0..width).map(|_| ColBuilder::new()).collect();
+        for row in rows {
+            for (b, v) in builders.iter_mut().zip(row.iter()) {
+                b.push(v);
+            }
+        }
+        Batch {
+            cols: builders.into_iter().map(ColBuilder::finish).collect(),
+            len: rows.len(),
+            sel: None,
+        }
+    }
+
+    /// Materialize the live rows, in order — the boundary back to the row
+    /// engine. Values are exactly the ones pushed in.
+    pub fn to_rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.selected());
+        for i in self.live() {
+            out.push(self.cols.iter().map(|c| c.value_at(i)).collect());
+        }
+        out
+    }
+
+    /// Materialize physical row `i` into `buf` (reused scratch row).
+    pub fn read_row(&self, i: usize, buf: &mut Row) {
+        buf.clear();
+        for c in &self.cols {
+            buf.push(c.value_at(i));
+        }
+    }
+
+    /// Convert a [`crate::exec::Relation`]'s rows into a batch (columns are
+    /// carried alongside by the caller).
+    pub fn from_values(rows: &[Row], width: usize) -> Batch {
+        Batch::from_rows(rows, width)
+    }
+
+    /// Concatenate many batches into one dense batch, applying every
+    /// selection vector. Row order is preserved: batches in input order,
+    /// live rows in physical order within each.
+    pub fn compact(batches: &[Batch]) -> Batch {
+        let width = batches.first().map(|b| b.cols.len()).unwrap_or(0);
+        let total: usize = batches.iter().map(Batch::selected).sum();
+        let mut builders: Vec<ColBuilder> = (0..width).map(|_| ColBuilder::new()).collect();
+        for b in batches {
+            for i in b.live() {
+                for (bu, c) in builders.iter_mut().zip(&b.cols) {
+                    // Value round-trip keeps the conversion simple and exact;
+                    // typed columns re-form on the other side.
+                    bu.push(&c.value_at(i));
+                }
+            }
+        }
+        Batch {
+            cols: builders.into_iter().map(ColBuilder::finish).collect(),
+            len: total,
+            sel: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized predicates
+// ---------------------------------------------------------------------------
+
+/// A predicate shape with a columnar fast path. Compiled from the scalar
+/// [`Expr`] whitelist by [`compile_spec`]; applied by [`PredSpec::try_apply`],
+/// which declines (returns `None`) whenever the batch's column types fall
+/// outside the cases proven identical to [`Value::sql_cmp`] semantics.
+#[derive(Debug, Clone)]
+pub enum PredSpec {
+    /// `col OP const` (comparison operators only).
+    Cmp {
+        col: usize,
+        op: BinaryOp,
+        rhs: Value,
+    },
+    /// `(col % modulus) OP const` over integers.
+    ModCmp {
+        col: usize,
+        modulus: i64,
+        op: BinaryOp,
+        rhs: i64,
+    },
+    /// `col IS [NOT] NULL`.
+    IsNull { col: usize, negated: bool },
+}
+
+fn is_cmp(op: BinaryOp) -> bool {
+    matches!(
+        op,
+        BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+    )
+}
+
+/// Mirror of the scalar comparison dispatch in `expr::eval_binary`.
+#[inline]
+fn ord_matches(op: BinaryOp, o: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => o == Ordering::Equal,
+        BinaryOp::Ne => o != Ordering::Equal,
+        BinaryOp::Lt => o == Ordering::Less,
+        BinaryOp::Le => o != Ordering::Greater,
+        BinaryOp::Gt => o == Ordering::Greater,
+        BinaryOp::Ge => o != Ordering::Less,
+        _ => unreachable!("comparison op"),
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+/// Recognize a vectorizable predicate shape. Returns `None` for anything
+/// outside the whitelist — the caller keeps the scalar expression as the
+/// authoritative fallback.
+pub fn compile_spec(e: &Expr) -> Option<PredSpec> {
+    match e {
+        Expr::IsNull(inner, negated) => match &**inner {
+            Expr::Col(c) => Some(PredSpec::IsNull {
+                col: *c,
+                negated: *negated,
+            }),
+            _ => None,
+        },
+        Expr::Binary(op, l, r) if is_cmp(*op) => match (&**l, &**r) {
+            (Expr::Col(c), Expr::Const(v)) => Some(PredSpec::Cmp {
+                col: *c,
+                op: *op,
+                rhs: v.clone(),
+            }),
+            (Expr::Const(v), Expr::Col(c)) => Some(PredSpec::Cmp {
+                col: *c,
+                op: flip(*op),
+                rhs: v.clone(),
+            }),
+            (Expr::Binary(BinaryOp::Mod, a, b), Expr::Const(Value::Int(k))) => match (&**a, &**b) {
+                (Expr::Col(c), Expr::Const(Value::Int(m))) => Some(PredSpec::ModCmp {
+                    col: *c,
+                    modulus: *m,
+                    op: *op,
+                    rhs: *k,
+                }),
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+impl PredSpec {
+    /// Apply to the rows in `sel`, returning the surviving subset, or `None`
+    /// when this batch's column type has no proven fast path (caller falls
+    /// back to scalar evaluation). NULL comparisons are false (`sql_cmp`
+    /// returns `None` → the predicate's `eval_bool` is false).
+    pub fn try_apply(&self, batch: &Batch, sel: &[u32]) -> Option<Vec<u32>> {
+        match self {
+            PredSpec::IsNull { col, negated } => {
+                let c = &batch.cols[*col];
+                Some(
+                    sel.iter()
+                        .copied()
+                        .filter(|&i| c.is_null(i as usize) != *negated)
+                        .collect(),
+                )
+            }
+            PredSpec::Cmp { col, op, rhs } => {
+                if rhs.is_null() {
+                    return Some(Vec::new());
+                }
+                match &batch.cols[*col] {
+                    ColVec::Int { vals, nulls } => match rhs {
+                        Value::Int(k) => Some(
+                            sel.iter()
+                                .copied()
+                                .filter(|&i| {
+                                    !bit(nulls, i as usize)
+                                        && ord_matches(*op, vals[i as usize].cmp(k))
+                                })
+                                .collect(),
+                        ),
+                        Value::Double(k) => Some(
+                            sel.iter()
+                                .copied()
+                                .filter(|&i| {
+                                    !bit(nulls, i as usize)
+                                        && (vals[i as usize] as f64)
+                                            .partial_cmp(k)
+                                            .is_some_and(|o| ord_matches(*op, o))
+                                })
+                                .collect(),
+                        ),
+                        // Incomparable types: sql_cmp is None → false for
+                        // every row, NULL or not.
+                        _ => Some(Vec::new()),
+                    },
+                    ColVec::Float { vals, nulls } => match rhs.as_f64() {
+                        Some(k) => Some(
+                            sel.iter()
+                                .copied()
+                                .filter(|&i| {
+                                    !bit(nulls, i as usize)
+                                        && vals[i as usize]
+                                            .partial_cmp(&k)
+                                            .is_some_and(|o| ord_matches(*op, o))
+                                })
+                                .collect(),
+                        ),
+                        None => Some(Vec::new()),
+                    },
+                    ColVec::Str { ids, nulls, pool } => match rhs {
+                        Value::Str(k) => Some(
+                            sel.iter()
+                                .copied()
+                                .filter(|&i| {
+                                    !bit(nulls, i as usize)
+                                        && ord_matches(
+                                            *op,
+                                            pool[ids[i as usize] as usize].as_ref().cmp(k.as_ref()),
+                                        )
+                                })
+                                .collect(),
+                        ),
+                        _ => Some(Vec::new()),
+                    },
+                    ColVec::Mixed(_) => None,
+                }
+            }
+            PredSpec::ModCmp {
+                col,
+                modulus,
+                op,
+                rhs,
+            } => match &batch.cols[*col] {
+                ColVec::Int { vals, nulls } => {
+                    // `x % 0` is NULL, so every comparison against it is
+                    // false (same for NULL inputs).
+                    if *modulus == 0 {
+                        return Some(Vec::new());
+                    }
+                    Some(
+                        sel.iter()
+                            .copied()
+                            .filter(|&i| {
+                                !bit(nulls, i as usize)
+                                    && ord_matches(
+                                        *op,
+                                        vals[i as usize].wrapping_rem(*modulus).cmp(rhs),
+                                    )
+                            })
+                            .collect(),
+                    )
+                }
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: &[Value]) -> ColVec {
+        let mut b = ColBuilder::new();
+        for x in vals {
+            b.push(x);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builder_types_and_roundtrip() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(-3)];
+        let c = v(&vals);
+        assert!(matches!(c, ColVec::Int { .. }));
+        for (i, x) in vals.iter().enumerate() {
+            assert_eq!(&c.value_at(i), x);
+        }
+
+        let vals = vec![Value::Null, Value::Double(1.5), Value::Double(f64::NAN)];
+        let c = v(&vals);
+        assert!(matches!(c, ColVec::Float { .. }));
+        assert!(c.is_null(0));
+        assert_eq!(c.value_at(1), Value::Double(1.5));
+        assert!(matches!(c.value_at(2), Value::Double(x) if x.is_nan()));
+
+        let vals = vec![
+            Value::str("a"),
+            Value::str("b"),
+            Value::str("a"),
+            Value::Null,
+        ];
+        let c = v(&vals);
+        match &c {
+            ColVec::Str { ids, pool, .. } => {
+                assert_eq!(pool.len(), 2, "duplicate strings intern to one id");
+                assert_eq!(ids[0], ids[2]);
+            }
+            other => panic!("expected Str column, got {other:?}"),
+        }
+        for (i, x) in vals.iter().enumerate() {
+            assert_eq!(&c.value_at(i), x);
+        }
+    }
+
+    #[test]
+    fn builder_demotes_on_mixed_types() {
+        let vals = vec![
+            Value::Int(1),
+            Value::str("x"),
+            Value::Null,
+            Value::Bool(true),
+        ];
+        let c = v(&vals);
+        assert!(matches!(c, ColVec::Mixed(_)));
+        for (i, x) in vals.iter().enumerate() {
+            assert_eq!(&c.value_at(i), x);
+        }
+        // Int column followed by a Double must also demote — value identity
+        // (Int(1) vs Double(1.0)) has to survive the round trip.
+        let vals = vec![Value::Int(1), Value::Double(1.0)];
+        let c = v(&vals);
+        assert!(matches!(c, ColVec::Mixed(_)));
+        assert_eq!(c.value_at(0), Value::Int(1));
+        assert!(matches!(c.value_at(1), Value::Double(_)));
+    }
+
+    #[test]
+    fn batch_rows_roundtrip_and_selection() {
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Null, Value::str("b")],
+            vec![Value::Int(3), Value::Null],
+        ];
+        let mut b = Batch::from_rows(&rows, 2);
+        assert_eq!(b.to_rows(), rows);
+        b.sel = Some(vec![0, 2]);
+        assert_eq!(b.to_rows(), vec![rows[0].clone(), rows[2].clone()]);
+        let compacted = Batch::compact(&[b]);
+        assert_eq!(compacted.len, 2);
+        assert_eq!(compacted.to_rows(), vec![rows[0].clone(), rows[2].clone()]);
+    }
+
+    #[test]
+    fn gather_shares_string_pool() {
+        let rows: Vec<Row> = (0..10)
+            .map(|i| vec![Value::str(format!("s{}", i % 3))])
+            .collect();
+        let b = Batch::from_rows(&rows, 1);
+        let g = b.cols[0].gather(&[9, 0, 4]);
+        assert_eq!(g.value_at(0), Value::str("s0"));
+        assert_eq!(g.value_at(1), Value::str("s0"));
+        assert_eq!(g.value_at(2), Value::str("s1"));
+        match (&b.cols[0], &g) {
+            (ColVec::Str { pool: a, .. }, ColVec::Str { pool: c, .. }) => {
+                assert!(Arc::ptr_eq(a, c), "gather must share the pool");
+            }
+            _ => panic!("expected Str columns"),
+        }
+    }
+
+    /// Differential check: every PredSpec fast path must agree with the
+    /// scalar evaluator on every value/constant combination it accepts.
+    #[test]
+    fn pred_specs_match_scalar_eval() {
+        let columns: Vec<Vec<Value>> = vec![
+            vec![
+                Value::Int(-2),
+                Value::Int(0),
+                Value::Int(3),
+                Value::Null,
+                Value::Int(7),
+            ],
+            vec![
+                Value::Double(-0.5),
+                Value::Double(0.0),
+                Value::Null,
+                Value::Double(f64::NAN),
+                Value::Double(3.0),
+            ],
+            vec![
+                Value::str("a"),
+                Value::str("bb"),
+                Value::Null,
+                Value::str(""),
+                Value::str("a"),
+            ],
+        ];
+        let consts = vec![
+            Value::Int(0),
+            Value::Int(3),
+            Value::Double(0.0),
+            Value::Double(2.5),
+            Value::str("a"),
+            Value::Null,
+            Value::Bool(true),
+        ];
+        let ops = [
+            BinaryOp::Eq,
+            BinaryOp::Ne,
+            BinaryOp::Lt,
+            BinaryOp::Le,
+            BinaryOp::Gt,
+            BinaryOp::Ge,
+        ];
+        for col_vals in &columns {
+            let batch = Batch {
+                cols: vec![v(col_vals)],
+                len: col_vals.len(),
+                sel: None,
+            };
+            let all: Vec<u32> = (0..col_vals.len() as u32).collect();
+            for k in &consts {
+                for op in ops {
+                    let e =
+                        Expr::Binary(op, Box::new(Expr::Col(0)), Box::new(Expr::Const(k.clone())));
+                    let spec = compile_spec(&e).expect("cmp shape compiles");
+                    let Some(got) = spec.try_apply(&batch, &all) else {
+                        continue;
+                    };
+                    let want: Vec<u32> = col_vals
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, x)| e.eval_bool(std::slice::from_ref(x)).unwrap())
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    assert_eq!(got, want, "op {op:?} const {k:?} col {col_vals:?}");
+                }
+            }
+        }
+        // Mod comparisons, including modulus 0.
+        for m in [0i64, 2, 3, -3] {
+            for k in [0i64, 1, -1] {
+                let e = Expr::Binary(
+                    BinaryOp::Eq,
+                    Box::new(Expr::Binary(
+                        BinaryOp::Mod,
+                        Box::new(Expr::Col(0)),
+                        Box::new(Expr::Const(Value::Int(m))),
+                    )),
+                    Box::new(Expr::Const(Value::Int(k))),
+                );
+                let spec = compile_spec(&e).expect("mod shape compiles");
+                let col_vals = &columns[0];
+                let batch = Batch {
+                    cols: vec![v(col_vals)],
+                    len: col_vals.len(),
+                    sel: None,
+                };
+                let all: Vec<u32> = (0..col_vals.len() as u32).collect();
+                let got = spec.try_apply(&batch, &all).expect("int column");
+                let want: Vec<u32> = col_vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, x)| e.eval_bool(std::slice::from_ref(x)).unwrap())
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "mod {m} = {k}");
+            }
+        }
+        // IS NULL / IS NOT NULL.
+        for negated in [false, true] {
+            for col_vals in &columns {
+                let e = Expr::IsNull(Box::new(Expr::Col(0)), negated);
+                let spec = compile_spec(&e).expect("is-null shape compiles");
+                let batch = Batch {
+                    cols: vec![v(col_vals)],
+                    len: col_vals.len(),
+                    sel: None,
+                };
+                let all: Vec<u32> = (0..col_vals.len() as u32).collect();
+                let got = spec.try_apply(&batch, &all).expect("always applies");
+                let want: Vec<u32> = col_vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, x)| e.eval_bool(std::slice::from_ref(x)).unwrap())
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "IS NULL negated={negated}");
+            }
+        }
+    }
+}

@@ -49,6 +49,10 @@ pub struct Database {
     /// Intra-query parallelism: 0 = auto (planner picks a DOP from table
     /// statistics), 1 = serial, n > 1 = pin every eligible operator to n.
     parallelism: std::sync::atomic::AtomicUsize,
+    /// Columnar batch execution switch (on by default). Off = the executor
+    /// materializes `Vec<Row>` everywhere, for A/B comparison and
+    /// differential testing against the batch engine.
+    batch: std::sync::atomic::AtomicBool,
 }
 
 /// One statement-cache entry. The used bit gives recently-hit entries a
@@ -92,7 +96,10 @@ fn env_test_dop() -> usize {
     use std::sync::OnceLock;
     static DOP: OnceLock<usize> = OnceLock::new();
     *DOP.get_or_init(|| {
-        std::env::var("SQLGRAPH_TEST_DOP").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+        std::env::var("SQLGRAPH_TEST_DOP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
     })
 }
 
@@ -108,9 +115,20 @@ impl std::fmt::Debug for Database {
 /// One undo entry, applied in reverse order on rollback.
 #[derive(Debug)]
 enum UndoOp {
-    Insert { table: String, row_id: RowId },
-    Delete { table: String, row_id: RowId, row: Row },
-    Update { table: String, row_id: RowId, old: Row },
+    Insert {
+        table: String,
+        row_id: RowId,
+    },
+    Delete {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
+    Update {
+        table: String,
+        row_id: RowId,
+        old: Row,
+    },
 }
 
 /// Per-transaction journal: undo for rollback, redo for the WAL.
@@ -130,6 +148,7 @@ impl Database {
             stmt_cache: RwLock::new(FxHashMap::default()),
             planner: std::sync::atomic::AtomicBool::new(true),
             parallelism: std::sync::atomic::AtomicUsize::new(env_test_dop()),
+            batch: std::sync::atomic::AtomicBool::new(true),
         }
     }
 
@@ -140,16 +159,38 @@ impl Database {
 
     /// Toggle the cost-based join planner (on by default). When off, FROM
     /// items attach strictly left to right, as written.
+    ///
+    /// Flushes the prepared-statement cache: anything derived under the old
+    /// setting must not be replayed under the new one.
     pub fn set_planner_enabled(&self, on: bool) {
         self.planner.store(on, std::sync::atomic::Ordering::Relaxed);
+        self.stmt_cache.write().clear();
+    }
+
+    /// Whether columnar batch execution is enabled.
+    pub fn batch_enabled(&self) -> bool {
+        self.batch.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Toggle columnar batch execution (on by default). When off, every
+    /// operator materializes rows — byte-identical output, for A/B and
+    /// differential testing. Flushes the prepared-statement cache.
+    pub fn set_batch_enabled(&self, on: bool) {
+        self.batch.store(on, std::sync::atomic::Ordering::Relaxed);
+        self.stmt_cache.write().clear();
     }
 
     /// Set intra-query parallelism: `0` = auto (the planner picks a DOP
     /// from table statistics and stays serial below a row threshold),
     /// `1` = force serial, `n > 1` = pin every eligible operator to `n`
     /// workers regardless of input size (for differential testing).
+    ///
+    /// Flushes the prepared-statement cache: anything derived under the old
+    /// setting must not be replayed under the new one.
     pub fn set_parallelism(&self, n: usize) {
-        self.parallelism.store(n, std::sync::atomic::Ordering::Relaxed);
+        self.parallelism
+            .store(n, std::sync::atomic::Ordering::Relaxed);
+        self.stmt_cache.write().clear();
     }
 
     /// Current parallelism setting (see [`Database::set_parallelism`]).
@@ -194,7 +235,10 @@ impl Database {
             }
             cache.insert(
                 sql.to_string(),
-                CachedStmt { stmt: stmt.clone(), used: std::sync::atomic::AtomicBool::new(false) },
+                CachedStmt {
+                    stmt: stmt.clone(),
+                    used: std::sync::atomic::AtomicBool::new(false),
+                },
             );
         }
         Ok(stmt)
@@ -299,11 +343,7 @@ impl Database {
     }
 
     /// Register a stored procedure under `name` (case-insensitive).
-    pub fn register_procedure(
-        &self,
-        name: impl Into<String>,
-        proc: Arc<Procedure>,
-    ) {
+    pub fn register_procedure(&self, name: impl Into<String>, proc: Arc<Procedure>) {
         self.procedures
             .write()
             .insert(name.into().to_ascii_lowercase(), proc);
@@ -347,7 +387,10 @@ impl Database {
     /// provided [`Txn`] is journaled; on `Ok` the journal commits to the WAL,
     /// on `Err` all changes are rolled back.
     pub fn transaction<T>(&self, f: impl FnOnce(&mut Txn<'_>) -> Result<T>) -> Result<T> {
-        let mut txn = Txn { db: self, journal: Journal::default() };
+        let mut txn = Txn {
+            db: self,
+            journal: Journal::default(),
+        };
         match f(&mut txn) {
             Ok(v) => {
                 self.commit_journal(txn.journal)?;
@@ -373,15 +416,21 @@ impl Database {
             // panicking beats silently corrupting state.
             match op {
                 UndoOp::Insert { table, row_id } => {
-                    let mut t = self.write_table(&table).expect("table exists during rollback");
+                    let mut t = self
+                        .write_table(&table)
+                        .expect("table exists during rollback");
                     t.delete(row_id).expect("undo insert");
                 }
                 UndoOp::Delete { table, row_id, row } => {
-                    let mut t = self.write_table(&table).expect("table exists during rollback");
+                    let mut t = self
+                        .write_table(&table)
+                        .expect("table exists during rollback");
                     t.undelete(row_id, row).expect("undo delete");
                 }
                 UndoOp::Update { table, row_id, old } => {
-                    let mut t = self.write_table(&table).expect("table exists during rollback");
+                    let mut t = self
+                        .write_table(&table)
+                        .expect("table exists during rollback");
                     t.update(row_id, old).expect("undo update");
                 }
             }
@@ -411,31 +460,55 @@ impl Database {
                     .map(|line| vec![Value::str(line)])
                     .collect();
                 rows.push(vec![Value::str(format!("result: {} rows", rel.rows.len()))]);
-                Ok(Relation { columns: vec!["plan".into()], rows })
+                Ok(Relation {
+                    columns: vec!["plan".into()],
+                    rows,
+                })
             }
-            Statement::Insert { table, columns, source } => {
-                self.exec_insert(table, columns.as_deref(), source, params, journal)
-            }
-            Statement::Update { table, assignments, filter } => {
-                self.exec_update(table, assignments, filter.as_ref(), params, journal)
-            }
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => self.exec_insert(table, columns.as_deref(), source, params, journal),
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => self.exec_update(table, assignments, filter.as_ref(), params, journal),
             Statement::Delete { table, filter } => {
                 self.exec_delete(table, filter.as_ref(), params, journal)
             }
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 let created = self.create_table_internal(name, columns, *if_not_exists)?;
                 if created {
                     journal.redo.push(WalRecord::Ddl {
-                        sql: sql_text.map(str::to_owned).unwrap_or_else(|| {
-                            render_create_table(name, columns)
-                        }),
+                        sql: sql_text
+                            .map(str::to_owned)
+                            .unwrap_or_else(|| render_create_table(name, columns)),
                     });
                 }
                 Ok(count_relation(created as i64))
             }
-            Statement::CreateIndex { name, table, columns, unique, kind, if_not_exists } => {
-                let created =
-                    self.create_index_internal(name, table, columns, *unique, *kind, *if_not_exists)?;
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+                kind,
+                if_not_exists,
+            } => {
+                let created = self.create_index_internal(
+                    name,
+                    table,
+                    columns,
+                    *unique,
+                    *kind,
+                    *if_not_exists,
+                )?;
                 if created {
                     journal.redo.push(WalRecord::Ddl {
                         sql: sql_text.map(str::to_owned).unwrap_or_else(|| {
@@ -468,12 +541,13 @@ impl Database {
                 let env = Env::new(self, params);
                 let empty_scope_args: Vec<Value> = args
                     .iter()
-                    .map(|a| {
-                        crate::exec::compile_scalar(&env, a).and_then(|e| e.eval(&[]))
-                    })
+                    .map(|a| crate::exec::compile_scalar(&env, a).and_then(|e| e.eval(&[])))
                     .collect::<Result<_>>()?;
                 // The procedure shares this statement's journal.
-                let mut txn = Txn { db: self, journal: std::mem::take(journal) };
+                let mut txn = Txn {
+                    db: self,
+                    journal: std::mem::take(journal),
+                };
                 let result = proc(&mut txn, &empty_scope_args);
                 *journal = txn.journal;
                 result
@@ -493,7 +567,10 @@ impl Database {
                     t.set_stats(stats);
                     rows.push(vec![Value::str(name), Value::Int(count)]);
                 }
-                Ok(Relation { columns: vec!["table".into(), "rows".into()], rows })
+                Ok(Relation {
+                    columns: vec!["table".into(), "rows".into()],
+                    rows,
+                })
             }
         }
     }
@@ -563,8 +640,14 @@ impl Database {
             };
             let row_image = full.clone();
             let row_id = table.insert(full)?;
-            journal.undo.push(UndoOp::Insert { table: lower.clone(), row_id });
-            journal.redo.push(WalRecord::Insert { table: lower.clone(), row: row_image });
+            journal.undo.push(UndoOp::Insert {
+                table: lower.clone(),
+                row_id,
+            });
+            journal.redo.push(WalRecord::Insert {
+                table: lower.clone(),
+                row: row_image,
+            });
             inserted += 1;
         }
         Ok(count_relation(inserted))
@@ -591,7 +674,10 @@ impl Database {
                     .schema
                     .column_index(col)
                     .ok_or_else(|| Error::NotFound(format!("column '{col}'")))?;
-                Ok((idx, crate::exec::compile_table_expr(&env, &table.schema, e)?))
+                Ok((
+                    idx,
+                    crate::exec::compile_table_expr(&env, &table.schema, e)?,
+                ))
             })
             .collect::<Result<_>>()?;
 
@@ -604,8 +690,16 @@ impl Database {
                 new[*idx] = e.eval(&old)?;
             }
             table.update(row_id, new.clone())?;
-            journal.undo.push(UndoOp::Update { table: lower.clone(), row_id, old: old.clone() });
-            journal.redo.push(WalRecord::Update { table: lower.clone(), old, new });
+            journal.undo.push(UndoOp::Update {
+                table: lower.clone(),
+                row_id,
+                old: old.clone(),
+            });
+            journal.redo.push(WalRecord::Update {
+                table: lower.clone(),
+                old,
+                new,
+            });
             updated += 1;
         }
         Ok(count_relation(updated))
@@ -628,8 +722,15 @@ impl Database {
         let mut deleted = 0i64;
         for row_id in targets {
             let row = table.delete(row_id)?;
-            journal.undo.push(UndoOp::Delete { table: lower.clone(), row_id, row: row.clone() });
-            journal.redo.push(WalRecord::Delete { table: lower.clone(), row });
+            journal.undo.push(UndoOp::Delete {
+                table: lower.clone(),
+                row_id,
+                row: row.clone(),
+            });
+            journal.redo.push(WalRecord::Delete {
+                table: lower.clone(),
+                row,
+            });
             deleted += 1;
         }
         Ok(count_relation(deleted))
@@ -670,7 +771,10 @@ impl Database {
             lower.clone(),
             columns
                 .iter()
-                .map(|(n, ty, _)| Column { name: n.to_ascii_lowercase(), ty: *ty })
+                .map(|(n, ty, _)| Column {
+                    name: n.to_ascii_lowercase(),
+                    ty: *ty,
+                })
                 .collect(),
         )?;
         let mut table = Table::new(schema);
@@ -754,7 +858,8 @@ impl<'a> Txn<'a> {
         params: &[Value],
         sql_text: Option<&str>,
     ) -> Result<Relation> {
-        self.db.execute_in(stmt, params, sql_text, &mut self.journal)
+        self.db
+            .execute_in(stmt, params, sql_text, &mut self.journal)
     }
 }
 

@@ -1,28 +1,26 @@
-//! Query planning and execution.
+//! Query execution over the physical plan IR.
 //!
-//! Execution is set-oriented and materialized: each stage (scan, join,
-//! lateral unnest, aggregate, set op) produces a full [`Relation`]. This is
-//! exactly the execution model the paper's CTE pipelines assume — each CTE
-//! materializes once and feeds the next — and it keeps the engine simple
-//! while preserving the behaviour under study: one declarative statement
-//! executes the whole traversal with hash/index joins instead of a chatty
-//! call-per-step protocol.
+//! Planning lives in [`crate::plan`]: `plan_from` turns a FROM list + WHERE
+//! into an explicit [`plan::FromPlan`] operator tree (join order, access
+//! paths, pushdown, pruning — every decision). This module only *executes*:
+//! [`exec_from`] walks the finished plan step by step, [`run_aggregate`] /
+//! [`project`] shape the output, and set ops / ORDER BY / LIMIT compose on
+//! top. The executor makes no planning choices of its own.
 //!
-//! Planning is heuristic but real:
-//! * single-table equality predicates are pushed into scans and served from
-//!   the best matching (possibly composite) index;
-//! * comma joins execute left-to-right; each new table is attached by index
-//!   nested-loop join when an index covers the join key (plus any constant
-//!   equality columns), by hash join otherwise, falling back to a filtered
-//!   cross product when no equi-join conjunct exists;
-//! * explicit `JOIN ... ON` trees use hash equi-joins (with left-outer
-//!   NULL padding) and the same index strategy where possible.
+//! Execution is batch-at-a-time where the data allows: full scans emit
+//! columnar [`Batch`]es (one per morsel), filters flip selection vectors,
+//! and hash joins with bare-column keys build on the key columns directly.
+//! Converting a batch to rows reproduces the row engine's output exactly,
+//! so every operator can fall back to materialized `Vec<Row>` processing —
+//! and the two representations are byte-identical end to end, at any DOP.
 
+use crate::batch::{self, Batch};
 use crate::db::Database;
 use crate::error::{Error, Result};
 use crate::expr::{self, BinaryOp, Expr};
 use crate::hasher::{FxHashMap, FxHashSet};
 use crate::index::IndexKey;
+use crate::plan::{self, find_equi_split, Access, Attach, ProbePart, StepKind};
 use crate::sql::ast;
 use crate::storage::Table;
 use crate::value::Value;
@@ -32,7 +30,7 @@ use std::sync::Arc;
 pub type Row = Vec<Value>;
 
 /// Per-alias column lists tracked through explicit JOIN trees.
-type ScopeCols = Vec<(String, Vec<String>)>;
+pub(crate) type ScopeCols = Vec<(String, Vec<String>)>;
 
 /// A materialized relation: named columns plus rows.
 #[derive(Debug, Clone, Default)]
@@ -47,7 +45,10 @@ impl Relation {
     /// Build a relation, lower-casing column names.
     pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Relation {
         Relation {
-            columns: columns.into_iter().map(|c| c.to_ascii_lowercase()).collect(),
+            columns: columns
+                .into_iter()
+                .map(|c| c.to_ascii_lowercase())
+                .collect(),
             rows,
         }
     }
@@ -65,7 +66,10 @@ impl Relation {
 
     /// First column of every row as i64 (skipping non-ints).
     pub fn int_column(&self) -> Vec<i64> {
-        self.rows.iter().filter_map(|r| r.first().and_then(Value::as_int)).collect()
+        self.rows
+            .iter()
+            .filter_map(|r| r.first().and_then(Value::as_int))
+            .collect()
     }
 
     /// First column of every row rendered as strings.
@@ -89,12 +93,12 @@ pub(crate) struct ScopeEntry {
 /// Name-resolution scope for a FROM list.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Scope {
-    entries: Vec<ScopeEntry>,
-    width: usize,
+    pub(crate) entries: Vec<ScopeEntry>,
+    pub(crate) width: usize,
 }
 
 impl Scope {
-    fn push(&mut self, alias: &str, columns: Vec<String>) {
+    pub(crate) fn push(&mut self, alias: &str, columns: Vec<String>) {
         let offset = self.width;
         self.width += columns.len();
         self.entries.push(ScopeEntry {
@@ -154,7 +158,12 @@ pub struct Env<'a> {
 impl<'a> Env<'a> {
     /// New environment with no CTEs.
     pub fn new(db: &'a Database, params: &'a [Value]) -> Env<'a> {
-        Env { db, ctes: FxHashMap::default(), params, trace: None }
+        Env {
+            db,
+            ctes: FxHashMap::default(),
+            params,
+            trace: None,
+        }
     }
 
     /// Record one access-path decision (no-op unless tracing).
@@ -237,10 +246,16 @@ fn sort_relation(env: &Env<'_>, rel: &mut Relation, keys: &[(ast::Expr, bool)]) 
             }
             // Qualified references (`ORDER BY p2.name`) resolve by bare
             // column name against the output, matching common SQL practice.
-            ast::Expr::Column { table: Some(_), name } => compile_expr(
+            ast::Expr::Column {
+                table: Some(_),
+                name,
+            } => compile_expr(
                 env,
                 &scope,
-                &ast::Expr::Column { table: None, name: name.clone() },
+                &ast::Expr::Column {
+                    table: None,
+                    name: name.clone(),
+                },
             )?,
             other => compile_expr(env, &scope, other)?,
         };
@@ -272,7 +287,12 @@ fn sort_relation(env: &Env<'_>, rel: &mut Relation, keys: &[(ast::Expr, bool)]) 
 fn run_set_expr(env: &Env<'_>, body: &ast::SetExpr) -> Result<Relation> {
     match body {
         ast::SetExpr::Select(core) => run_core(env, core, &[]),
-        ast::SetExpr::Op { op, all, left, right } => {
+        ast::SetExpr::Op {
+            op,
+            all,
+            left,
+            right,
+        } => {
             let l = run_set_expr(env, left)?;
             let r = run_set_expr(env, right)?;
             if l.columns.len() != r.columns.len() {
@@ -282,7 +302,10 @@ fn run_set_expr(env: &Env<'_>, body: &ast::SetExpr) -> Result<Relation> {
                     r.columns.len()
                 )));
             }
-            let mut out = Relation { columns: l.columns.clone(), rows: Vec::new() };
+            let mut out = Relation {
+                columns: l.columns.clone(),
+                rows: Vec::new(),
+            };
             match op {
                 ast::SetOp::Union => {
                     out.rows = l.rows;
@@ -341,10 +364,13 @@ fn run_core(
     core: &ast::SelectCore,
     order_by: &[(ast::Expr, bool)],
 ) -> Result<Relation> {
-    // 1. Execute the FROM pipeline with WHERE pushdown and projection
-    //    pruning (only referenced base-table columns are materialized).
-    let needs = collect_needs(core, order_by);
-    let (scope, rows) = run_from(env, &core.from, core.filter.as_ref(), &needs)?;
+    // 1. Plan the FROM pipeline (join order, access paths, predicate
+    //    pushdown, projection pruning), then execute the plan. Planning
+    //    makes every decision; execution only follows the IR.
+    let needs = crate::plan::collect_needs(core, order_by);
+    let mut fplan = crate::plan::plan_from(env, &core.from, core.filter.as_ref(), &needs)?;
+    let data = exec_from(env, &mut fplan)?;
+    crate::plan::render_notes(env, &fplan);
 
     // 2. Aggregate or plain projection. ORDER BY keys are computed as
     //    hidden trailing columns so they may reference unprojected inputs.
@@ -354,10 +380,11 @@ fn run_core(
             _ => false,
         });
 
+    let scope = &fplan.scope;
     let mut rel = if needs_agg {
-        run_aggregate(env, &scope, rows, core, order_by)?
+        run_aggregate(env, scope, data, core, order_by)?
     } else {
-        project(env, &scope, rows, &core.projections, order_by)?
+        project(env, scope, data.into_rows(), &core.projections, order_by)?
     };
 
     let visible = rel.columns.len();
@@ -373,10 +400,30 @@ fn run_core(
             row.truncate(visible);
         }
     }
+    if env.trace.is_some() {
+        // EXPLAIN: render the physical operator tree that just ran.
+        let mut wrappers = Vec::new();
+        if !order_by.is_empty() {
+            wrappers.push(format!("Sort ({} keys)", order_by.len()));
+        }
+        if core.distinct {
+            wrappers.push("Distinct".to_string());
+        }
+        if needs_agg {
+            wrappers.push("Aggregate".to_string());
+        }
+        crate::plan::render_tree(env, &fplan, &wrappers);
+    }
     Ok(rel)
 }
 
 /// Stable sort by the hidden key columns appended after `visible`.
+///
+/// Ordering follows [`Value::total_cmp`]'s engine-wide contract: NULLs
+/// first ascending / last descending, mixed types ranked by class, NaN
+/// greater than every other number. Stability means ties preserve the
+/// executor's deterministic row order, so sorted output is byte-identical
+/// across DOP and batch/row engine settings.
 fn sort_rows_by_hidden(rows: &mut [Row], visible: usize, descs: &[bool]) {
     rows.sort_by(|a, b| {
         for (i, desc) in descs.iter().enumerate() {
@@ -440,7 +487,10 @@ fn project(
         }
         out_rows.push(out);
     }
-    Ok(Relation { columns: names, rows: out_rows })
+    Ok(Relation {
+        columns: names,
+        rows: out_rows,
+    })
 }
 
 fn compile_projections(
@@ -557,16 +607,28 @@ fn compile_with_aggs(
 ) -> Result<Expr> {
     match e {
         ast::Expr::CountStar => {
-            aggs.push(AggSpec { func: AggFn::CountStar, arg: None, distinct: false });
+            aggs.push(AggSpec {
+                func: AggFn::CountStar,
+                arg: None,
+                distinct: false,
+            });
             Ok(Expr::Col(scope.width + aggs.len() - 1))
         }
-        ast::Expr::Call { name, args, distinct } if AggFn::parse(name).is_some() => {
+        ast::Expr::Call {
+            name,
+            args,
+            distinct,
+        } if AggFn::parse(name).is_some() => {
             let func = AggFn::parse(name).unwrap();
             if args.len() != 1 {
                 return Err(Error::Invalid(format!("{name} takes exactly one argument")));
             }
             let arg = compile_expr(env, scope, &args[0])?;
-            aggs.push(AggSpec { func, arg: Some(arg), distinct: *distinct });
+            aggs.push(AggSpec {
+                func,
+                arg: Some(arg),
+                distinct: *distinct,
+            });
             Ok(Expr::Col(scope.width + aggs.len() - 1))
         }
         ast::Expr::Unary(op, x) => Ok(Expr::Unary(
@@ -586,7 +648,7 @@ fn compile_with_aggs(
 fn run_aggregate(
     env: &Env<'_>,
     scope: &Scope,
-    rows: Vec<Row>,
+    data: Data,
     core: &ast::SelectCore,
     order_by: &[(ast::Expr, bool)],
 ) -> Result<Relation> {
@@ -636,23 +698,76 @@ fn run_aggregate(
     // on input size — never on the DOP — so serial and parallel runs fold
     // the same values in the same order and agree bit-for-bit even on
     // float accumulations.
-    let dop = env.db.dop_for(rows.len());
-    env.note(|| format!("aggregate ({} rows, dop {dop})", rows.len()));
-    let rows_ref = &rows;
+    let total = data.len();
+    let dop = env.db.dop_for(total);
+    env.note(|| format!("aggregate ({total} rows, dop {dop})"));
+
+    // Columnar fast path: when the input is still batched and every group
+    // key and aggregate argument is a bare column reference, fold straight
+    // over the compacted column vectors without materializing rows.
+    // `Batch::compact` re-chunks the live rows densely from index zero, so
+    // the morsel decomposition (and thus the float fold order) is identical
+    // to the materialized-row path.
+    enum AggInput {
+        Rows(Vec<Row>),
+        Batch {
+            b: Batch,
+            gcols: Vec<usize>,
+            acols: Vec<Option<usize>>,
+        },
+    }
+    let input = match data {
+        Data::Batches(bs) => {
+            let gcols: Option<Vec<usize>> = group_exprs
+                .iter()
+                .map(|g| match g {
+                    Expr::Col(c) => Some(*c),
+                    _ => None,
+                })
+                .collect();
+            let acols: Option<Vec<Option<usize>>> = aggs
+                .iter()
+                .map(|s| match &s.arg {
+                    None => Some(None),
+                    Some(Expr::Col(c)) => Some(Some(*c)),
+                    Some(_) => None,
+                })
+                .collect();
+            match (gcols, acols) {
+                (Some(gcols), Some(acols)) => AggInput::Batch {
+                    b: Batch::compact(&bs),
+                    gcols,
+                    acols,
+                },
+                _ => AggInput::Rows(Data::Batches(bs).into_rows()),
+            }
+        }
+        Data::Rows(rows) => AggInput::Rows(rows),
+    };
+
+    let input_ref = &input;
     let group_ref = &group_exprs;
     let aggs_ref = &aggs;
     let partials = crate::parallel::ordered_map(
         dop,
-        rows.len(),
+        total,
         crate::parallel::MORSEL_ROWS,
         |range| -> Result<Vec<PartialGroup>> {
             let mut map: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
             let mut local: Vec<PartialGroup> = Vec::new();
             for i in range {
-                let row = &rows_ref[i];
                 let mut key = Vec::with_capacity(group_ref.len());
-                for g in group_ref {
-                    key.push(g.eval(row)?);
+                match input_ref {
+                    AggInput::Rows(rows) => {
+                        for g in group_ref {
+                            key.push(g.eval(&rows[i])?);
+                        }
+                    }
+                    AggInput::Batch { b, gcols, .. } => {
+                        for &c in gcols {
+                            key.push(b.cols[c].value_at(i));
+                        }
+                    }
                 }
                 let gi = match map.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => *e.get(),
@@ -668,8 +783,21 @@ fn run_aggregate(
                     }
                 };
                 let g = &mut local[gi];
-                for (acc, spec) in g.accs.iter_mut().zip(aggs_ref) {
-                    acc.update(spec, row)?;
+                match input_ref {
+                    AggInput::Rows(rows) => {
+                        for (acc, spec) in g.accs.iter_mut().zip(aggs_ref) {
+                            acc.update(spec, &rows[i])?;
+                        }
+                    }
+                    AggInput::Batch { b, acols, .. } => {
+                        for ((acc, spec), ac) in g.accs.iter_mut().zip(aggs_ref.iter()).zip(acols) {
+                            let v = match ac {
+                                Some(c) => b.cols[*c].value_at(i),
+                                None => Value::Null,
+                            };
+                            acc.update_value(spec, v)?;
+                        }
+                    }
                 }
             }
             Ok(local)
@@ -712,7 +840,10 @@ fn run_aggregate(
         let mut extended: Row = if pg.rep == usize::MAX {
             vec![Value::Null; scope.width]
         } else {
-            rows[pg.rep].clone()
+            match input_ref {
+                AggInput::Rows(rows) => rows[pg.rep].clone(),
+                AggInput::Batch { b, .. } => b.cols.iter().map(|c| c.value_at(pg.rep)).collect(),
+            }
         };
         for (acc, spec) in pg.accs.into_iter().zip(&aggs) {
             extended.push(acc.finish(spec));
@@ -728,7 +859,10 @@ fn run_aggregate(
         }
         out_rows.push(out);
     }
-    Ok(Relation { columns: names, rows: out_rows })
+    Ok(Relation {
+        columns: names,
+        rows: out_rows,
+    })
 }
 
 /// One group's partial aggregation state within a morsel (or, after the
@@ -749,7 +883,12 @@ enum AggAcc {
     CountDistinct(FxHashSet<Value>),
     /// SUM and AVG: integer and float lanes accumulated separately, mixed
     /// only at `finish` (matching SQL's int-stays-int SUM semantics).
-    Sum { sum_i: i64, sum_f: f64, any_f: bool, n: i64 },
+    Sum {
+        sum_i: i64,
+        sum_f: f64,
+        any_f: bool,
+        n: i64,
+    },
     MinMax(Option<Value>),
 }
 
@@ -759,50 +898,59 @@ impl AggAcc {
             AggFn::CountStar => AggAcc::CountStar(0),
             AggFn::Count if spec.distinct => AggAcc::CountDistinct(FxHashSet::default()),
             AggFn::Count => AggAcc::Count(0),
-            AggFn::Sum | AggFn::Avg => {
-                AggAcc::Sum { sum_i: 0, sum_f: 0.0, any_f: false, n: 0 }
-            }
+            AggFn::Sum | AggFn::Avg => AggAcc::Sum {
+                sum_i: 0,
+                sum_f: 0.0,
+                any_f: false,
+                n: 0,
+            },
             AggFn::Min | AggFn::Max => AggAcc::MinMax(None),
         }
     }
 
     fn update(&mut self, spec: &AggSpec, row: &Row) -> Result<()> {
+        let v = match &spec.arg {
+            None => Value::Null,
+            Some(arg) => arg.eval(row)?,
+        };
+        self.update_value(spec, v)
+    }
+
+    /// Fold one already-evaluated argument value into the accumulator (the
+    /// columnar path reads values straight out of column vectors instead of
+    /// evaluating an expression against a materialized row).
+    fn update_value(&mut self, spec: &AggSpec, v: Value) -> Result<()> {
         match self {
             AggAcc::CountStar(n) => *n += 1,
             AggAcc::Count(n) => {
-                let arg = spec.arg.as_ref().expect("COUNT has an argument");
-                if !arg.eval(row)?.is_null() {
+                if !v.is_null() {
                     *n += 1;
                 }
             }
             AggAcc::CountDistinct(seen) => {
-                let arg = spec.arg.as_ref().expect("COUNT has an argument");
-                let v = arg.eval(row)?;
                 if !v.is_null() {
                     seen.insert(v);
                 }
             }
-            AggAcc::Sum { sum_i, sum_f, any_f, n } => {
-                let arg = spec.arg.as_ref().expect("SUM/AVG has an argument");
-                match arg.eval(row)? {
-                    Value::Null => {}
-                    Value::Int(v) => {
-                        *sum_i = sum_i.wrapping_add(v);
-                        *n += 1;
-                    }
-                    Value::Double(v) => {
-                        *sum_f += v;
-                        *any_f = true;
-                        *n += 1;
-                    }
-                    other => {
-                        return Err(Error::Type(format!("cannot SUM a {}", other.type_name())))
-                    }
+            AggAcc::Sum {
+                sum_i,
+                sum_f,
+                any_f,
+                n,
+            } => match v {
+                Value::Null => {}
+                Value::Int(x) => {
+                    *sum_i = sum_i.wrapping_add(x);
+                    *n += 1;
                 }
-            }
+                Value::Double(x) => {
+                    *sum_f += x;
+                    *any_f = true;
+                    *n += 1;
+                }
+                other => return Err(Error::Type(format!("cannot SUM a {}", other.type_name()))),
+            },
             AggAcc::MinMax(best) => {
-                let arg = spec.arg.as_ref().expect("MIN/MAX has an argument");
-                let v = arg.eval(row)?;
                 if v.is_null() {
                     return Ok(());
                 }
@@ -831,8 +979,18 @@ impl AggAcc {
             (AggAcc::Count(a), AggAcc::Count(b)) => *a += b,
             (AggAcc::CountDistinct(a), AggAcc::CountDistinct(b)) => a.extend(b),
             (
-                AggAcc::Sum { sum_i, sum_f, any_f, n },
-                AggAcc::Sum { sum_i: bi, sum_f: bf, any_f: ba, n: bn },
+                AggAcc::Sum {
+                    sum_i,
+                    sum_f,
+                    any_f,
+                    n,
+                },
+                AggAcc::Sum {
+                    sum_i: bi,
+                    sum_f: bf,
+                    any_f: ba,
+                    n: bn,
+                },
             ) => {
                 *sum_i = sum_i.wrapping_add(bi);
                 *sum_f += bf;
@@ -864,7 +1022,12 @@ impl AggAcc {
         match self {
             AggAcc::CountStar(n) | AggAcc::Count(n) => Value::Int(n),
             AggAcc::CountDistinct(seen) => Value::Int(seen.len() as i64),
-            AggAcc::Sum { sum_i, sum_f, any_f, n } => {
+            AggAcc::Sum {
+                sum_i,
+                sum_f,
+                any_f,
+                n,
+            } => {
                 if n == 0 {
                     Value::Null
                 } else if spec.func == AggFn::Sum {
@@ -883,729 +1046,533 @@ impl AggAcc {
 }
 
 // ---------------------------------------------------------------------------
-// FROM pipeline
+// Plan execution
 // ---------------------------------------------------------------------------
+//
+// The planning half of the old interleaved FROM pipeline lives in
+// `crate::plan` now. The executor below consumes the finished
+// [`plan::FromPlan`] without making any planning decisions of its own: it
+// follows access paths, attach strategies, and pushed filters exactly as
+// planned, and records observed cardinalities into each step's
+// [`plan::StepExec`] for EXPLAIN.
 
-/// Projection-pruning analysis of a SELECT core: which columns of each
-/// FROM alias the statement can reference.
-#[derive(Debug, Default)]
-struct Needs {
-    /// Qualified references per (lower-cased) alias.
-    per_alias: FxHashMap<String, FxHashSet<String>>,
-    /// Aliases that need every column (`t.*`).
-    all_for: FxHashSet<String>,
-    /// An unqualified reference or bare `*` appeared: pruning is unsafe.
-    disable: bool,
+/// Intermediate data flowing between plan steps: materialized rows, or
+/// columnar batches while a scan's output stays columnar (full scans, and
+/// hash joins whose inputs are both batched). Converting batches to rows
+/// reproduces the row engine's output exactly, so every operator may fall
+/// back to the row representation at any point.
+pub(crate) enum Data {
+    Rows(Vec<Row>),
+    /// Invariant: never an empty vec — a scan with zero morsels still
+    /// contributes one zero-length batch so `Batch::compact` can learn the
+    /// width downstream.
+    Batches(Vec<Batch>),
 }
 
-impl Needs {
-    /// Pruned column list for `alias` given the table's full column list,
-    /// or `None` when pruning is not applicable.
-    fn pruned(&self, alias: &str, columns: &[String]) -> Option<Vec<usize>> {
-        if self.disable || self.all_for.contains(alias) {
-            return None;
+impl Data {
+    /// Live row count (honoring selection vectors).
+    fn len(&self) -> usize {
+        match self {
+            Data::Rows(r) => r.len(),
+            Data::Batches(bs) => bs.iter().map(Batch::selected).sum(),
         }
-        let wanted = self.per_alias.get(alias)?;
-        Some(
-            columns
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| wanted.contains(*c))
-                .map(|(i, _)| i)
-                .collect(),
-        )
     }
-}
 
-fn collect_needs(core: &ast::SelectCore, order_by: &[(ast::Expr, bool)]) -> Needs {
-    let mut needs = Needs::default();
-    for p in &core.projections {
-        match p {
-            ast::Projection::Wildcard => needs.disable = true,
-            ast::Projection::TableWildcard(t) => {
-                needs.all_for.insert(t.to_ascii_lowercase());
-            }
-            ast::Projection::Expr { expr, .. } => collect_expr_needs(expr, &mut needs),
+    /// Materialize to rows — the row-engine boundary.
+    fn into_rows(self) -> Vec<Row> {
+        match self {
+            Data::Rows(r) => r,
+            Data::Batches(bs) => bs.iter().flat_map(Batch::to_rows).collect(),
         }
     }
-    if let Some(f) = &core.filter {
-        collect_expr_needs(f, &mut needs);
-    }
-    for e in &core.group_by {
-        collect_expr_needs(e, &mut needs);
-    }
-    if let Some(h) = &core.having {
-        collect_expr_needs(h, &mut needs);
-    }
-    for (e, _) in order_by {
-        collect_expr_needs(e, &mut needs);
-    }
-    for item in &core.from {
-        collect_from_needs(item, &mut needs);
-    }
-    needs
-}
 
-fn collect_from_needs(item: &ast::FromItem, needs: &mut Needs) {
-    match item {
-        ast::FromItem::LateralValues { rows, .. } => {
-            for row in rows {
-                for e in row {
-                    collect_expr_needs(e, needs);
-                }
-            }
-        }
-        ast::FromItem::LateralFunc { args, .. } => {
-            for e in args {
-                collect_expr_needs(e, needs);
-            }
-        }
-        ast::FromItem::Join { left, right, on, .. } => {
-            collect_from_needs(left, needs);
-            collect_from_needs(right, needs);
-            collect_expr_needs(on, needs);
-        }
-        ast::FromItem::Table { .. } | ast::FromItem::Subquery { .. } => {}
+    /// The identity seed (`[[]]`) a FROM pipeline starts from.
+    fn is_identity(&self) -> bool {
+        matches!(self, Data::Rows(r) if r.len() == 1 && r[0].is_empty())
     }
 }
 
-fn collect_expr_needs(e: &ast::Expr, needs: &mut Needs) {
-    match e {
-        ast::Expr::Column { table: Some(t), name } => {
-            needs
-                .per_alias
-                .entry(t.to_ascii_lowercase())
-                .or_default()
-                .insert(name.to_ascii_lowercase());
-        }
-        ast::Expr::Column { table: None, .. } => needs.disable = true,
-        ast::Expr::Literal(_) | ast::Expr::Param(_) | ast::Expr::CountStar => {}
-        ast::Expr::Unary(_, x) | ast::Expr::IsNull(x, _) | ast::Expr::Cast(x, _) => {
-            collect_expr_needs(x, needs)
-        }
-        ast::Expr::Binary(_, l, r) | ast::Expr::Subscript(l, r) => {
-            collect_expr_needs(l, needs);
-            collect_expr_needs(r, needs);
-        }
-        ast::Expr::Like { expr, pattern, .. } => {
-            collect_expr_needs(expr, needs);
-            collect_expr_needs(pattern, needs);
-        }
-        ast::Expr::InList { expr, list, .. } => {
-            collect_expr_needs(expr, needs);
-            for i in list {
-                collect_expr_needs(i, needs);
-            }
-        }
-        ast::Expr::InSubquery { expr, .. } => collect_expr_needs(expr, needs),
-        ast::Expr::Between { expr, lo, hi, .. } => {
-            collect_expr_needs(expr, needs);
-            collect_expr_needs(lo, needs);
-            collect_expr_needs(hi, needs);
-        }
-        ast::Expr::Call { args, .. } => {
-            for a in args {
-                collect_expr_needs(a, needs);
-            }
-        }
-    }
+/// Control flow out of [`exec_step`]'s produce phase: `Right` hands the
+/// unit's rows to the attach phase; `Done` consumed the accumulated rows
+/// already (index probes and laterals combine while producing).
+enum Produced {
+    Right(Data),
+    Done(Data),
 }
 
-/// A planned FROM unit before execution.
-enum Unit<'q> {
-    /// Base table or CTE reference.
-    Named { name: String, alias: String },
-    /// Derived table, materialized eagerly.
-    Derived { rel: Relation, alias: String },
-    /// Lateral VALUES rows (expressions compiled later, against the
-    /// accumulated scope).
-    Lateral {
-        rows: &'q [Vec<ast::Expr>],
-        alias: String,
-        columns: Vec<String>,
-    },
-    /// Lateral table function (args compiled against the accumulated scope).
-    LateralFn {
-        func: TableFunc,
-        args: &'q [ast::Expr],
-        alias: String,
-        columns: Vec<String>,
-    },
-    /// Explicit join tree, materialized recursively.
-    JoinTree { rel: Relation, scope_cols: Vec<(String, Vec<String>)> },
+/// Execute a planned FROM pipeline.
+fn exec_from(env: &Env<'_>, plan: &mut plan::FromPlan) -> Result<Data> {
+    let mut data = Data::Rows(vec![Vec::new()]); // identity row
+    for step in &mut plan.steps {
+        data = exec_step(env, step, data)?;
+        for p in &step.after {
+            data = filter_data(env, data, p)?;
+        }
+        step.exec.actual = Some(data.len());
+    }
+    for p in &plan.residual {
+        data = filter_data(env, data, p)?;
+    }
+    Ok(data)
 }
 
-/// Execute a FROM list with WHERE pushdown; returns the final scope and rows.
-fn run_from(
-    env: &Env<'_>,
-    from: &[ast::FromItem],
-    filter: Option<&ast::Expr>,
-    needs: &Needs,
-) -> Result<(Scope, Vec<Row>)> {
-    // Table-less SELECT: one empty row.
-    if from.is_empty() {
-        let scope = Scope::default();
-        let mut rows = vec![Vec::new()];
-        if let Some(f) = filter {
-            let compiled = compile_expr(env, &scope, f)?;
-            rows.retain(|_| false);
-            let keep = compiled.eval_bool(&[])?;
-            if keep {
-                rows.push(Vec::new());
-            }
-        }
-        return Ok((scope, rows));
-    }
-
-    // Phase 1: turn FROM items into units. With the planner on, inner-only
-    // JOIN trees flatten into their leaf units so the optimizer can reorder
-    // across explicit JOIN syntax too; their ON conjuncts become ordinary
-    // pending conjuncts (equivalent for inner joins).
-    let planner_on = env.db.planner_enabled();
-    let mut units: Vec<Unit<'_>> = Vec::with_capacity(from.len());
-    let mut conjuncts: Vec<&ast::Expr> = Vec::new();
-    for item in from {
-        if planner_on {
-            if let Some(leaves) = flatten_inner_joins(item, &mut conjuncts) {
-                for leaf in leaves {
-                    units.push(plan_unit(env, leaf)?);
-                }
-                continue;
-            }
-        }
-        units.push(plan_unit(env, item)?);
-    }
-
-    // Phase 2: split WHERE into conjuncts (kept as AST; compiled when their
-    // tables are all bound). Flattened ON conjuncts come first so equi keys
-    // are found before residual predicates.
-    if let Some(f) = filter {
-        collect_conjuncts(f, &mut conjuncts);
-    }
-    let mut pending: Vec<Option<&ast::Expr>> = conjuncts.into_iter().map(Some).collect();
-
-    // Phase 3: pick an attachment order. The planner greedily reorders the
-    // maximal leading run of non-lateral units smallest-estimate-first;
-    // laterals and everything after them stay in textual order (they may
-    // reference any earlier unit's columns).
-    let planned: Vec<PlannedUnit> = if planner_on && units.len() > 1 {
-        plan_join_order(env, &units, &pending)
-    } else {
-        (0..units.len()).map(|idx| PlannedUnit { idx, est: None }).collect()
-    };
-    if planned.iter().enumerate().any(|(pos, p)| pos != p.idx) {
-        env.note(|| {
-            let names: Vec<String> = planned.iter().map(|p| unit_label(&units[p.idx])).collect();
-            format!("join order: {} (reordered)", names.join(", "))
-        });
-    }
-
-    let mut scope = Scope::default();
-    let mut rows: Vec<Row> = vec![Vec::new()]; // identity row
-    let mut slots: Vec<Option<Unit<'_>>> = units.into_iter().map(Some).collect();
-    // Scope entries contributed per original unit index, for restoring
-    // textual order below.
-    let mut entry_spans: Vec<(usize, std::ops::Range<usize>)> = Vec::with_capacity(slots.len());
-
-    for p in &planned {
-        let unit = slots[p.idx].take().expect("each unit attaches exactly once");
-        let label = unit_label(&unit);
-        let entries_before = scope.entries.len();
-        attach_unit(env, &mut scope, &mut rows, unit, &mut pending, needs)?;
-        // Apply every pending conjunct that is now fully resolvable.
-        apply_ready_conjuncts(env, &scope, &mut rows, &mut pending)?;
-        entry_spans.push((p.idx, entries_before..scope.entries.len()));
-        if let Some(est) = p.est {
-            env.note(|| {
-                format!("{label}: estimated {:.0} rows, actual {}", est, rows.len())
-            });
-        }
-    }
-
-    // Restore scope entries to textual order so `SELECT *` column order is
-    // unaffected by the planner; offsets keep pointing at the physical row
-    // layout, which is what name resolution uses.
-    entry_spans.sort_by_key(|(orig, _)| *orig);
-    let mut old: Vec<Option<ScopeEntry>> =
-        std::mem::take(&mut scope.entries).into_iter().map(Some).collect();
-    for (_, span) in entry_spans {
-        for k in span {
-            scope.entries.push(old[k].take().expect("entry moved once"));
-        }
-    }
-
-    // Any conjunct still unresolved references unknown columns — surface the
-    // resolution error.
-    for c in pending.into_iter().flatten() {
-        let compiled = compile_expr(env, &scope, c)?;
-        rows = filter_rows_par(env, rows, &compiled)?;
-    }
-    Ok((scope, rows))
-}
-
-/// One step of the planned attachment order.
-struct PlannedUnit {
-    /// Index into the unit list.
-    idx: usize,
-    /// Estimated cumulative row count after this unit attaches and its
-    /// filters apply (`None` when the planner did not estimate it).
-    est: Option<f64>,
-}
-
-/// Display label for a unit (EXPLAIN output).
-fn unit_label(unit: &Unit<'_>) -> String {
-    match unit {
-        Unit::Named { alias, .. } => alias.clone(),
-        Unit::Derived { alias, .. } => alias.clone(),
-        Unit::Lateral { alias, .. } => alias.clone(),
-        Unit::LateralFn { alias, .. } => alias.clone(),
-        Unit::JoinTree { scope_cols, .. } => {
-            let names: Vec<&str> = scope_cols.iter().map(|(a, _)| a.as_str()).collect();
-            names.join("+")
-        }
-    }
-}
-
-/// Flatten an inner-only JOIN tree whose leaves are all tables/subqueries
-/// into its leaf items, pushing every ON conjunct into `on_out`. Returns
-/// `None` (caller keeps the tree intact) for outer joins, lateral operands,
-/// or non-join items.
-fn flatten_inner_joins<'q>(
-    item: &'q ast::FromItem,
-    on_out: &mut Vec<&'q ast::Expr>,
-) -> Option<Vec<&'q ast::FromItem>> {
-    fn walk<'q>(
-        item: &'q ast::FromItem,
-        leaves: &mut Vec<&'q ast::FromItem>,
-        ons: &mut Vec<&'q ast::Expr>,
-    ) -> bool {
-        match item {
-            ast::FromItem::Join { left, right, kind: ast::JoinKind::Inner, on } => {
-                walk(left, leaves, ons) && walk(right, leaves, ons) && {
-                    collect_conjuncts(on, ons);
-                    true
-                }
-            }
-            ast::FromItem::Table { .. } | ast::FromItem::Subquery { .. } => {
-                leaves.push(item);
-                true
-            }
-            _ => false,
-        }
-    }
-    if !matches!(item, ast::FromItem::Join { .. }) {
-        return None;
-    }
-    let mut leaves = Vec::new();
-    let mut ons = Vec::new();
-    if walk(item, &mut leaves, &mut ons) {
-        on_out.extend(ons);
-        Some(leaves)
-    } else {
-        None
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Cost-based join ordering
-// ---------------------------------------------------------------------------
-
-/// Cross joins are strongly discouraged: attaching an unconnected unit costs
-/// its full Cartesian product, deferred until a join key becomes available.
-const CROSS_JOIN_PENALTY: f64 = 10.0;
-/// Mild preference for attaching base tables whose join key is indexed —
-/// they probe per row instead of materializing a hash build side.
-const INDEX_JOIN_BONUS: f64 = 0.8;
-
-/// Planning facts for one FROM unit, gathered without executing it.
-struct UnitFacts {
-    /// Aliases this unit contributes to the scope (lower-cased).
-    aliases: Vec<String>,
-    /// Unfiltered cardinality.
-    rows: f64,
-    /// Cardinality after single-unit constant predicates.
-    est: f64,
-    /// Statistics (base tables only): stored `ANALYZE` stats or index-seeded.
-    stats: Option<crate::stats::TableStats>,
-    /// Lower-cased column name → position (base tables only).
-    col_index: FxHashMap<String, usize>,
-    /// Key parts covered by a single-part index (base tables only).
-    indexed_parts: Vec<crate::index::KeyPart>,
-    /// Live row count at planning time (base tables only; caps ndv).
-    live: usize,
-    /// Lateral units cannot move — they reference earlier units' columns.
-    reorderable: bool,
-}
-
-/// An equi-join conjunct linking two units, with its estimated selectivity.
-struct JoinEdge {
-    a: usize,
-    b: usize,
-    sel: f64,
-    /// The `a`/`b`-side key is a single-part-indexed key of that unit.
-    a_indexed: bool,
-    b_indexed: bool,
-}
-
-/// Collect the set of alias qualifiers in `e` into `out`. Returns `false`
-/// when the expression is not analyzable (unqualified columns, subqueries).
-fn expr_aliases(e: &ast::Expr, out: &mut FxHashSet<String>) -> bool {
-    match e {
-        ast::Expr::Column { table: Some(t), .. } => {
-            out.insert(t.to_ascii_lowercase());
-            true
-        }
-        ast::Expr::Column { table: None, .. } => false,
-        ast::Expr::Literal(_) | ast::Expr::Param(_) | ast::Expr::CountStar => true,
-        ast::Expr::Unary(_, x) | ast::Expr::IsNull(x, _) | ast::Expr::Cast(x, _) => {
-            expr_aliases(x, out)
-        }
-        ast::Expr::Binary(_, l, r) | ast::Expr::Subscript(l, r) => {
-            expr_aliases(l, out) && expr_aliases(r, out)
-        }
-        ast::Expr::Like { expr, pattern, .. } => {
-            expr_aliases(expr, out) && expr_aliases(pattern, out)
-        }
-        ast::Expr::InList { expr, list, .. } => {
-            expr_aliases(expr, out) && list.iter().all(|i| expr_aliases(i, out))
-        }
-        ast::Expr::InSubquery { .. } => false,
-        ast::Expr::Between { expr, lo, hi, .. } => {
-            expr_aliases(expr, out) && expr_aliases(lo, out) && expr_aliases(hi, out)
-        }
-        ast::Expr::Call { args, .. } => args.iter().all(|a| expr_aliases(a, out)),
-    }
-}
-
-/// A constant operand from the planner's point of view (parameters are
-/// inlined as constants at compile time).
-fn is_const_operand(e: &ast::Expr) -> bool {
-    matches!(e, ast::Expr::Literal(_) | ast::Expr::Param(_))
-}
-
-/// Resolve an AST expression to an index key part of `facts`' table: a
-/// qualified bare column or `JSON_VAL(col, 'member')` over one.
-fn ast_key_part(facts: &UnitFacts, e: &ast::Expr) -> Option<crate::index::KeyPart> {
-    use crate::index::KeyPart;
-    match e {
-        ast::Expr::Column { table: Some(_), name } => facts
-            .col_index
-            .get(&name.to_ascii_lowercase())
-            .map(|&c| KeyPart::Column(c)),
-        ast::Expr::Call { name, args, .. } if name.eq_ignore_ascii_case("JSON_VAL") => {
-            match (args.first(), args.get(1)) {
-                (
-                    Some(ast::Expr::Column { table: Some(_), name: col }),
-                    Some(ast::Expr::Literal(Value::Str(member))),
-                ) => facts
-                    .col_index
-                    .get(&col.to_ascii_lowercase())
-                    .map(|&c| KeyPart::JsonKey(c, member.to_string())),
-                _ => None,
-            }
-        }
-        _ => None,
-    }
-}
-
-/// Distinct-value estimate for one side of a join conjunct. Falls back to
-/// the System-R tenth-of-the-rows default when no statistic applies.
-fn side_ndv(facts: &UnitFacts, e: &ast::Expr) -> f64 {
-    if let (Some(part), Some(stats)) = (ast_key_part(facts, e), facts.stats.as_ref()) {
-        return stats.ndv_or_default(&part, facts.live) as f64;
-    }
-    (facts.rows / 10.0).max(1.0)
-}
-
-/// Selectivity of a single-unit conjunct: `key = const` uses 1/ndv, any
-/// other recognized predicate the classic 0.3 guess.
-fn conjunct_selectivity(facts: &UnitFacts, c: &ast::Expr) -> f64 {
-    if let ast::Expr::Binary(BinaryOp::Eq, a, b) = c {
-        let key = if is_const_operand(b) {
-            Some(a)
-        } else if is_const_operand(a) {
-            Some(b)
-        } else {
-            None
-        };
-        if let Some(key) = key {
-            if let (Some(part), Some(stats)) = (ast_key_part(facts, key), facts.stats.as_ref()) {
-                return stats.eq_selectivity(&part, facts.live);
-            }
-            return 1.0 / (facts.rows / 10.0).max(1.0);
-        }
-    }
-    0.3
-}
-
-/// Gather planning facts for every unit; estimates never execute a unit
-/// (base tables are inspected under a briefly-held read lock).
-fn gather_unit_facts(
-    env: &Env<'_>,
-    units: &[Unit<'_>],
-    pending: &[Option<&ast::Expr>],
-) -> Vec<UnitFacts> {
-    let mut all: Vec<UnitFacts> = units
+fn find_index<'t>(t: &'t Table, name: &str) -> Result<&'t crate::index::Index> {
+    // Plans hold index *names*; re-resolve at execution time so a plan never
+    // outlives the index it chose (DDL between plan and run surfaces as a
+    // clean error).
+    t.indexes()
         .iter()
-        .map(|unit| match unit {
-            Unit::Named { name, alias } => {
-                if let Some(cte) = env.ctes.get(name) {
-                    return UnitFacts {
-                        aliases: vec![alias.to_ascii_lowercase()],
-                        rows: cte.rows.len() as f64,
-                        est: cte.rows.len() as f64,
-                        stats: None,
-                        col_index: FxHashMap::default(),
-                        indexed_parts: Vec::new(),
-                        live: 0,
-                        reorderable: true,
-                    };
-                }
-                match env.db.read_table(name) {
-                    Ok(t) => {
-                        let live = t.len();
-                        // Analyzed stats whose recorded row count has
-                        // drifted >2× from the live table mislead more
-                        // than they help; fall back to seeded stats.
-                        let stats = t
-                            .stats()
-                            .filter(|s| !s.is_stale(live))
-                            .cloned()
-                            .unwrap_or_else(|| crate::stats::TableStats::seed(&t));
-                        let col_index = t
-                            .schema
-                            .columns
-                            .iter()
-                            .enumerate()
-                            .map(|(i, c)| (c.name.clone(), i))
-                            .collect();
-                        let indexed_parts = t
-                            .indexes()
-                            .iter()
-                            .filter(|i| i.parts.len() == 1)
-                            .map(|i| i.parts[0].clone())
-                            .collect();
-                        UnitFacts {
-                            aliases: vec![alias.to_ascii_lowercase()],
-                            rows: live as f64,
-                            est: live as f64,
-                            stats: Some(stats),
-                            col_index,
-                            indexed_parts,
-                            live,
-                            reorderable: true,
+        .find(|i| i.name == name)
+        .ok_or_else(|| Error::NotFound(format!("index '{name}'")))
+}
+
+/// Execute one step: produce the unit's rows per [`plan::StepKind`] /
+/// [`plan::Access`], then combine with the accumulated rows per
+/// [`plan::Attach`].
+fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
+    let mut left = Some(left);
+    let produced = match &mut step.kind {
+        StepKind::Scan {
+            table,
+            keep,
+            access,
+            locals,
+        } => {
+            let guard = env.db.read_table(table)?;
+            let t: &Table = &guard;
+            match access {
+                Access::Probe { index, parts } => {
+                    // Index nested-loop join: build a key per accumulated
+                    // row, probe, and emit combined rows directly.
+                    let idx = find_index(t, index)?;
+                    let lrows = left.take().expect("left consumed once").into_rows();
+                    let mut out = Vec::new();
+                    for l in lrows {
+                        let mut key = Vec::with_capacity(parts.len());
+                        let mut null_key = false;
+                        for p in parts.iter() {
+                            let v = match p {
+                                ProbePart::Const(v) => v.clone(),
+                                ProbePart::Probe(e) => e.eval(&l)?,
+                            };
+                            if v.is_null() {
+                                null_key = true;
+                                break;
+                            }
+                            key.push(v);
+                        }
+                        if null_key {
+                            continue;
+                        }
+                        for &rid in idx.lookup(&IndexKey(key)) {
+                            let row = t.get(rid).expect("index points at live row");
+                            let mut combined = l.clone();
+                            combined.extend(keep.iter().map(|&i| row[i].clone()));
+                            out.push(combined);
                         }
                     }
-                    // Missing table: the attach step will surface the error;
-                    // give the planner a neutral placeholder.
-                    Err(_) => UnitFacts {
-                        aliases: vec![alias.to_ascii_lowercase()],
-                        rows: 1.0,
-                        est: 1.0,
-                        stats: None,
-                        col_index: FxHashMap::default(),
-                        indexed_parts: Vec::new(),
-                        live: 0,
-                        reorderable: true,
-                    },
+                    Produced::Done(Data::Rows(out))
+                }
+                Access::Point { index, key, .. } => {
+                    let idx = find_index(t, index)?;
+                    let mut scanned: Vec<Row> = idx
+                        .lookup(&IndexKey(key.clone()))
+                        .iter()
+                        .map(|&rid| {
+                            let row = t.get(rid).expect("index points at live row");
+                            keep.iter().map(|&i| row[i].clone()).collect()
+                        })
+                        .collect();
+                    for p in locals.iter() {
+                        let before = scanned.len();
+                        scanned = filter_rows(scanned, p)?;
+                        step.exec.local_counts.push((before, scanned.len()));
+                    }
+                    Produced::Right(Data::Rows(scanned))
+                }
+                Access::Range { index, lo, hi } => {
+                    let idx = find_index(t, index)?;
+                    let lo_key = lo.as_ref().map(|v| IndexKey(vec![v.clone()]));
+                    let hi_key = hi.as_ref().map(|v| IndexKey(vec![v.clone()]));
+                    let ids = idx.range(lo_key.as_ref(), hi_key.as_ref())?;
+                    let mut scanned: Vec<Row> = ids
+                        .iter()
+                        .map(|&rid| {
+                            let row = t.get(rid).expect("index points at live row");
+                            keep.iter().map(|&i| row[i].clone()).collect()
+                        })
+                        .collect();
+                    // EXPLAIN's range-scan count is rows before locals.
+                    step.exec.scan_rows = Some(scanned.len());
+                    for p in locals.iter() {
+                        let before = scanned.len();
+                        scanned = filter_rows(scanned, p)?;
+                        step.exec.local_counts.push((before, scanned.len()));
+                    }
+                    Produced::Right(Data::Rows(scanned))
+                }
+                Access::Full => {
+                    // Full scan fused with the pushed-down predicates, split
+                    // into morsels when the table is large enough (or
+                    // parallelism is pinned). Morsels cover disjoint slab
+                    // ranges and outputs concatenate in slab order, so the
+                    // result is identical at every DOP — and identical
+                    // between the columnar and row representations.
+                    let live = t.len();
+                    let dop = env.db.dop_for(live);
+                    step.exec.scan_rows = Some(live);
+                    step.exec.scan_dop = Some(dop);
+                    let slots = t.slots();
+                    if env.db.batch_enabled() {
+                        // Columnar: one batch per morsel; filters flip the
+                        // selection vector (vectorized where the predicate
+                        // shape allows) instead of materializing rows.
+                        let specs: Vec<Option<batch::PredSpec>> =
+                            locals.iter().map(batch::compile_spec).collect();
+                        let keep_ref: &[usize] = keep;
+                        let locals_ref: &[Expr] = locals;
+                        let specs_ref = &specs;
+                        let chunks = crate::parallel::ordered_map(
+                            dop,
+                            slots.len(),
+                            crate::parallel::MORSEL_ROWS,
+                            |range| -> Result<Batch> {
+                                let mut b = t.batch_range(range, keep_ref);
+                                if !locals_ref.is_empty() {
+                                    let mut sel: Vec<u32> = (0..b.len as u32).collect();
+                                    for (p, spec) in locals_ref.iter().zip(specs_ref) {
+                                        sel =
+                                            match spec.as_ref().and_then(|s| s.try_apply(&b, &sel))
+                                            {
+                                                Some(s) => s,
+                                                None => generic_batch_filter(&b, &sel, p)?,
+                                            };
+                                    }
+                                    b.sel = Some(sel);
+                                }
+                                Ok(b)
+                            },
+                        );
+                        let mut batches = Vec::with_capacity(chunks.len().max(1));
+                        for c in chunks {
+                            batches.push(c?);
+                        }
+                        if batches.is_empty() {
+                            batches.push(t.batch_range(0..0, keep));
+                        }
+                        if !locals.is_empty() {
+                            let total: usize = batches.iter().map(Batch::selected).sum();
+                            step.exec.local_counts.push((live, total));
+                        }
+                        Produced::Right(Data::Batches(batches))
+                    } else {
+                        let keep_ref: &[usize] = keep;
+                        let locals_ref: &[Expr] = locals;
+                        let chunks = crate::parallel::ordered_map(
+                            dop,
+                            slots.len(),
+                            crate::parallel::MORSEL_ROWS,
+                            |range| -> Result<Vec<Row>> {
+                                let mut out = Vec::new();
+                                'slot: for slot in &slots[range] {
+                                    let Some(r) = slot else { continue };
+                                    let row: Row = keep_ref.iter().map(|&i| r[i].clone()).collect();
+                                    for p in locals_ref {
+                                        if !p.eval_bool(&row)? {
+                                            continue 'slot;
+                                        }
+                                    }
+                                    out.push(row);
+                                }
+                                Ok(out)
+                            },
+                        );
+                        let mut scanned = Vec::new();
+                        for chunk in chunks {
+                            scanned.extend(chunk?);
+                        }
+                        if !locals.is_empty() {
+                            step.exec.local_counts.push((live, scanned.len()));
+                        }
+                        Produced::Right(Data::Rows(scanned))
+                    }
                 }
             }
-            Unit::Derived { rel, alias } => UnitFacts {
-                aliases: vec![alias.to_ascii_lowercase()],
-                rows: rel.rows.len() as f64,
-                est: rel.rows.len() as f64,
-                stats: None,
-                col_index: FxHashMap::default(),
-                indexed_parts: Vec::new(),
-                live: 0,
-                reorderable: true,
-            },
-            Unit::JoinTree { rel, scope_cols } => UnitFacts {
-                aliases: scope_cols.iter().map(|(a, _)| a.to_ascii_lowercase()).collect(),
-                rows: rel.rows.len() as f64,
-                est: rel.rows.len() as f64,
-                stats: None,
-                col_index: FxHashMap::default(),
-                indexed_parts: Vec::new(),
-                live: 0,
-                reorderable: true,
-            },
-            Unit::Lateral { alias, .. } | Unit::LateralFn { alias, .. } => UnitFacts {
-                aliases: vec![alias.to_ascii_lowercase()],
-                rows: 1.0,
-                est: 1.0,
-                stats: None,
-                col_index: FxHashMap::default(),
-                indexed_parts: Vec::new(),
-                live: 0,
-                reorderable: false,
-            },
-        })
-        .collect();
-
-    // Apply single-unit constant predicates to the estimates.
-    for facts in &mut all {
-        let mut sel = 1.0;
-        for c in pending.iter().flatten() {
-            let mut aliases = FxHashSet::default();
-            if !expr_aliases(c, &mut aliases) || aliases.len() != 1 {
-                continue;
-            }
-            let alias = aliases.iter().next().expect("len checked");
-            if facts.aliases.len() == 1 && facts.aliases[0] == *alias {
-                sel *= conjunct_selectivity(facts, c);
-            }
         }
-        facts.est = facts.rows * sel;
-    }
-    all
-}
-
-/// Extract equi-join edges between reorderable units from the pending
-/// conjuncts.
-fn extract_join_edges(
-    facts: &[UnitFacts],
-    pending: &[Option<&ast::Expr>],
-    prefix: usize,
-) -> Vec<JoinEdge> {
-    let owner_of = |alias: &str| -> Option<usize> {
-        facts[..prefix]
-            .iter()
-            .position(|f| f.aliases.iter().any(|a| a == alias))
-    };
-    let mut edges = Vec::new();
-    for c in pending.iter().flatten() {
-        let ast::Expr::Binary(BinaryOp::Eq, l, r) = c else { continue };
-        let mut la = FxHashSet::default();
-        let mut ra = FxHashSet::default();
-        if !expr_aliases(l, &mut la) || !expr_aliases(r, &mut ra) {
-            continue;
-        }
-        if la.len() != 1 || ra.len() != 1 {
-            continue;
-        }
-        let (la, ra) = (
-            la.iter().next().expect("len checked").clone(),
-            ra.iter().next().expect("len checked").clone(),
-        );
-        let (Some(a), Some(b)) = (owner_of(&la), owner_of(&ra)) else { continue };
-        if a == b {
-            continue;
-        }
-        let sel = 1.0 / side_ndv(&facts[a], l).max(side_ndv(&facts[b], r));
-        let a_indexed = ast_key_part(&facts[a], l)
-            .is_some_and(|p| facts[a].indexed_parts.contains(&p));
-        let b_indexed = ast_key_part(&facts[b], r)
-            .is_some_and(|p| facts[b].indexed_parts.contains(&p));
-        edges.push(JoinEdge { a, b, sel, a_indexed, b_indexed });
-    }
-    edges
-}
-
-/// Greedy smallest-first join ordering over the maximal leading run of
-/// non-lateral units. Starts from the unit with the smallest filtered
-/// estimate, then repeatedly attaches the unit minimizing the estimated
-/// intermediate result — penalizing cross joins, mildly preferring
-/// index-probe attachments. Units at or after the first lateral keep their
-/// textual positions.
-fn plan_join_order(
-    env: &Env<'_>,
-    units: &[Unit<'_>],
-    pending: &[Option<&ast::Expr>],
-) -> Vec<PlannedUnit> {
-    let facts = gather_unit_facts(env, units, pending);
-    let prefix = facts.iter().position(|f| !f.reorderable).unwrap_or(facts.len());
-    if prefix < 2 {
-        return (0..units.len()).map(|idx| PlannedUnit { idx, est: None }).collect();
-    }
-    let edges = extract_join_edges(&facts, pending, prefix);
-
-    let mut order: Vec<PlannedUnit> = Vec::with_capacity(units.len());
-    let mut used = vec![false; prefix];
-    let first = (0..prefix)
-        .min_by(|&i, &j| facts[i].est.total_cmp(&facts[j].est))
-        .expect("prefix >= 2");
-    used[first] = true;
-    let mut cur = facts[first].est;
-    order.push(PlannedUnit { idx: first, est: Some(cur) });
-
-    while order.len() < prefix {
-        let mut best: Option<(usize, f64, f64)> = None; // (unit, cost, result rows)
-        for j in 0..prefix {
-            if used[j] {
-                continue;
-            }
-            let mut sel = 1.0;
-            let mut connected = false;
-            let mut probes_index = false;
-            for e in &edges {
-                let (other, j_side_indexed) = if e.a == j {
-                    (e.b, e.a_indexed)
-                } else if e.b == j {
-                    (e.a, e.b_indexed)
-                } else {
-                    continue;
-                };
-                if !used[other] {
-                    continue;
+        StepKind::Rel { rel, .. } => Produced::Right(Data::Rows(std::mem::take(&mut rel.rows))),
+        StepKind::LateralValues {
+            rows: compiled_rows,
+            arity: _,
+        } => {
+            let lrows = left.take().expect("left consumed once").into_rows();
+            let mut out = Vec::with_capacity(lrows.len() * compiled_rows.len());
+            for row in lrows {
+                for cr in compiled_rows.iter() {
+                    let mut extended = row.clone();
+                    for e in cr {
+                        extended.push(e.eval(&row)?);
+                    }
+                    out.push(extended);
                 }
-                connected = true;
-                sel *= e.sel;
-                probes_index |= j_side_indexed;
             }
-            let result = cur * facts[j].est * sel;
-            let mut cost = result;
-            if !connected {
-                cost *= CROSS_JOIN_PENALTY;
-            } else if probes_index && facts[j].stats.is_some() {
-                cost *= INDEX_JOIN_BONUS;
-            }
-            if best.as_ref().is_none_or(|(_, bc, _)| cost < *bc) {
-                best = Some((j, cost, result));
-            }
+            Produced::Done(Data::Rows(out))
         }
-        let (j, _, result) = best.expect("unused unit remains");
-        used[j] = true;
-        cur = result;
-        order.push(PlannedUnit { idx: j, est: Some(cur) });
-    }
-    // The first lateral and everything after it attach in textual order.
-    order.extend((prefix..units.len()).map(|idx| PlannedUnit { idx, est: None }));
-    order
-}
-
-fn plan_unit<'q>(env: &Env<'_>, item: &'q ast::FromItem) -> Result<Unit<'q>> {
-    match item {
-        ast::FromItem::Table { name, alias } => Ok(Unit::Named {
-            name: name.to_ascii_lowercase(),
-            alias: alias.clone().unwrap_or_else(|| name.clone()),
-        }),
-        ast::FromItem::Subquery { query, alias } => {
-            let rel = run_select(env, query)?;
-            Ok(Unit::Derived { rel, alias: alias.clone() })
-        }
-        ast::FromItem::LateralValues { rows, alias, columns } => Ok(Unit::Lateral {
-            rows,
-            alias: alias.clone(),
-            columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
-        }),
-        ast::FromItem::LateralFunc { func, args, alias, columns } => Ok(Unit::LateralFn {
-            func: TableFunc::parse(func)?,
+        StepKind::LateralFunc {
+            func,
             args,
-            alias: alias.clone(),
-            columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
-        }),
-        ast::FromItem::Join { .. } => {
-            let (rel, scope_cols) = run_join_tree(env, item)?;
-            Ok(Unit::JoinTree { rel, scope_cols })
+            arity: _,
+        } => {
+            let lrows = left.take().expect("left consumed once").into_rows();
+            let mut out = Vec::new();
+            for row in lrows {
+                let mut arg_values = Vec::with_capacity(args.len());
+                for e in args.iter() {
+                    arg_values.push(e.eval(&row)?);
+                }
+                for produced in func.invoke(&arg_values)? {
+                    let mut extended = row.clone();
+                    extended.extend(produced);
+                    out.push(extended);
+                }
+            }
+            Produced::Done(Data::Rows(out))
+        }
+    };
+    match produced {
+        Produced::Done(data) => Ok(data),
+        Produced::Right(right) => {
+            exec_attach(env, step, left.take().expect("left consumed once"), right)
         }
     }
+}
+
+/// Combine the accumulated rows with a step's produced unit rows.
+fn exec_attach(env: &Env<'_>, step: &mut plan::Step, left: Data, right: Data) -> Result<Data> {
+    match &step.attach {
+        Attach::Hash { lkey, rkey } => {
+            let dop = env.db.dop_for(right.len().max(left.len()));
+            step.exec.join_rows = Some(right.len());
+            step.exec.join_dop = Some(dop);
+            // Columnar fast path: both sides batched and both keys bare
+            // columns — join on the column vectors directly.
+            if let (Data::Batches(lb), Data::Batches(rb), Expr::Col(lc), Expr::Col(rc)) =
+                (&left, &right, lkey, rkey)
+            {
+                return batch_hash_join(dop, lb, rb, *lc, *rc);
+            }
+            let rrows = right.into_rows();
+            let mut lrows = left.into_rows();
+            if dop <= 1 {
+                // Serial build in row order, probe in row order.
+                let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
+                for r in &rrows {
+                    let k = rkey.eval(r)?;
+                    if !k.is_null() {
+                        table.entry(k).or_default().push(r);
+                    }
+                }
+                let mut out = Vec::new();
+                for l in lrows {
+                    let k = lkey.eval(&l)?;
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(cands) = table.get(&k) {
+                        for r in cands {
+                            let mut combined = l.clone();
+                            combined.extend_from_slice(r);
+                            out.push(combined);
+                        }
+                    }
+                }
+                Ok(Data::Rows(out))
+            } else {
+                Ok(Data::Rows(parallel_hash_join(
+                    dop, &mut lrows, &rrows, lkey, rkey,
+                )?))
+            }
+        }
+        Attach::Cross => {
+            if left.is_identity() {
+                // Leading unit: crossing the identity row is a passthrough
+                // (this keeps columnar scans columnar).
+                step.exec.join_rows = Some(right.len());
+                step.exec.join_dop = Some(1);
+                return Ok(right);
+            }
+            let rrows = right.into_rows();
+            let lrows = left.into_rows();
+            let dop = env.db.dop_for(lrows.len());
+            step.exec.join_rows = Some(rrows.len());
+            step.exec.join_dop = Some(dop);
+            let left_ref = &lrows;
+            let right_ref = &rrows;
+            let chunks = crate::parallel::ordered_map(
+                dop,
+                lrows.len(),
+                crate::parallel::MORSEL_ROWS,
+                |range| {
+                    let mut out = Vec::with_capacity(range.len() * right_ref.len());
+                    for l in &left_ref[range] {
+                        for r in right_ref {
+                            let mut combined = l.clone();
+                            combined.extend_from_slice(r);
+                            out.push(combined);
+                        }
+                    }
+                    out
+                },
+            );
+            Ok(Data::Rows(chunks.into_iter().flatten().collect()))
+        }
+        Attach::Probe | Attach::Flatten => {
+            unreachable!("probe/flatten attaches combine inside exec_step")
+        }
+    }
+}
+
+/// Hash join over columnar inputs. The build side (right/unit) is hashed
+/// serially in row order; the probe side fans out over MORSEL_ROWS chunks
+/// whose outputs concatenate in order — so match lists and output order are
+/// exactly the serial row join's at any DOP. Keys go through a typed `i64`
+/// map when both key columns are integer vectors (`Value` hashing and
+/// equality agree with `i64`'s there, and never equate `Int` with `Double`,
+/// matching the row engine); anything else uses `Value` keys.
+fn batch_hash_join(dop: usize, lb: &[Batch], rb: &[Batch], lc: usize, rc: usize) -> Result<Data> {
+    use crate::batch::ColVec;
+    let lbat = Batch::compact(lb);
+    let rbat = Batch::compact(rb);
+
+    enum KeyMap {
+        Int(FxHashMap<i64, Vec<u32>>),
+        Val(FxHashMap<Value, Vec<u32>>),
+    }
+    let map = match (&lbat.cols[lc], &rbat.cols[rc]) {
+        (ColVec::Int { .. }, ColVec::Int { vals, .. }) => {
+            let mut m: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+            for (i, v) in vals.iter().enumerate() {
+                if !rbat.cols[rc].is_null(i) {
+                    m.entry(*v).or_default().push(i as u32);
+                }
+            }
+            KeyMap::Int(m)
+        }
+        _ => {
+            let mut m: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+            for i in 0..rbat.len {
+                let k = rbat.cols[rc].value_at(i);
+                if !k.is_null() {
+                    m.entry(k).or_default().push(i as u32);
+                }
+            }
+            KeyMap::Val(m)
+        }
+    };
+
+    let map_ref = &map;
+    let lbat_ref = &lbat;
+    let pair_chunks = crate::parallel::ordered_map(
+        dop,
+        lbat.len,
+        crate::parallel::MORSEL_ROWS,
+        |range| -> Vec<(u32, u32)> {
+            let mut pairs = Vec::new();
+            for i in range {
+                let cands = match map_ref {
+                    KeyMap::Int(m) => {
+                        if lbat_ref.cols[lc].is_null(i) {
+                            continue;
+                        }
+                        let ColVec::Int { vals, .. } = &lbat_ref.cols[lc] else {
+                            unreachable!("typed map implies Int probe column");
+                        };
+                        m.get(&vals[i])
+                    }
+                    KeyMap::Val(m) => {
+                        let k = lbat_ref.cols[lc].value_at(i);
+                        if k.is_null() {
+                            continue;
+                        }
+                        m.get(&k)
+                    }
+                };
+                if let Some(cands) = cands {
+                    for &r in cands {
+                        pairs.push((i as u32, r));
+                    }
+                }
+            }
+            pairs
+        },
+    );
+    let mut li = Vec::new();
+    let mut ri = Vec::new();
+    for chunk in pair_chunks {
+        for (l, r) in chunk {
+            li.push(l);
+            ri.push(r);
+        }
+    }
+    let mut cols = Vec::with_capacity(lbat.cols.len() + rbat.cols.len());
+    for c in &lbat.cols {
+        cols.push(c.gather(&li));
+    }
+    for c in &rbat.cols {
+        cols.push(c.gather(&ri));
+    }
+    let len = li.len();
+    Ok(Data::Batches(vec![Batch {
+        cols,
+        len,
+        sel: None,
+    }]))
+}
+
+/// Apply one compiled predicate to intermediate data. Rows filter through
+/// the morsel-parallel row filter; batches flip their selection vectors in
+/// place (vectorized where the predicate shape allows) without
+/// materializing.
+fn filter_data(env: &Env<'_>, data: Data, p: &Expr) -> Result<Data> {
+    match data {
+        Data::Rows(rows) => Ok(Data::Rows(filter_rows_par(env, rows, p)?)),
+        Data::Batches(mut bs) => {
+            let spec = batch::compile_spec(p);
+            for b in &mut bs {
+                let sel: Vec<u32> = b.live().map(|i| i as u32).collect();
+                let new = match spec.as_ref().and_then(|s| s.try_apply(b, &sel)) {
+                    Some(s) => s,
+                    None => generic_batch_filter(b, &sel, p)?,
+                };
+                b.sel = Some(new);
+            }
+            Ok(Data::Batches(bs))
+        }
+    }
+}
+
+/// Scalar fallback for predicates without a columnar fast path: evaluate
+/// against a scratch row per selected index.
+fn generic_batch_filter(b: &Batch, sel: &[u32], p: &Expr) -> Result<Vec<u32>> {
+    let mut out = Vec::with_capacity(sel.len());
+    let mut buf: Row = Vec::new();
+    for &i in sel {
+        b.read_row(i as usize, &mut buf);
+        if p.eval_bool(&buf)? {
+            out.push(i);
+        }
+    }
+    Ok(out)
 }
 
 /// Execute an explicit JOIN tree into a relation, tracking per-alias columns.
-fn run_join_tree(env: &Env<'_>, item: &ast::FromItem) -> Result<(Relation, ScopeCols)> {
+pub(crate) fn run_join_tree(env: &Env<'_>, item: &ast::FromItem) -> Result<(Relation, ScopeCols)> {
     match item {
-        ast::FromItem::Join { left, right, kind, on } => {
+        ast::FromItem::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let (lrel, lcols) = run_join_tree(env, left)?;
             // Index nested-loop fast path: right side is a base table whose
             // join column is indexed — probe per left row instead of
@@ -1694,7 +1661,13 @@ fn run_join_tree(env: &Env<'_>, item: &ast::FromItem) -> Result<(Relation, Scope
             columns.extend(rrel.columns);
             let mut scope_cols = lcols;
             scope_cols.extend(rcols);
-            Ok((Relation { columns, rows: out_rows }, scope_cols))
+            Ok((
+                Relation {
+                    columns,
+                    rows: out_rows,
+                },
+                scope_cols,
+            ))
         }
         ast::FromItem::Table { name, alias } => {
             let rel = load_named(env, &name.to_ascii_lowercase(), &[])?;
@@ -1733,7 +1706,12 @@ fn try_index_join(
         Err(_) => return Ok(None),
     };
     let table: &Table = &guard;
-    let rnames: Vec<String> = table.schema.columns.iter().map(|c| c.name.clone()).collect();
+    let rnames: Vec<String> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
     let mut scope = Scope::default();
     for (alias, cols) in lcols {
         scope.push(alias, cols.clone());
@@ -1745,7 +1723,9 @@ fn try_index_join(
         return Ok(None);
     };
     // Right key must be a single bare column with a usable index.
-    let Expr::Col(ridx) = rkey else { return Ok(None) };
+    let Expr::Col(ridx) = rkey else {
+        return Ok(None);
+    };
     if ridx < lwidth {
         return Ok(None);
     }
@@ -1760,7 +1740,11 @@ fn try_index_join(
     env.note(|| {
         format!(
             "{table_name}: index {} join via {}",
-            if kind == ast::JoinKind::LeftOuter { "left-outer" } else { "nested-loop" },
+            if kind == ast::JoinKind::LeftOuter {
+                "left-outer"
+            } else {
+                "nested-loop"
+            },
             idx.name
         )
     });
@@ -1792,69 +1776,13 @@ fn try_index_join(
     columns.extend(rnames.clone());
     let mut scope_cols = lcols.to_vec();
     scope_cols.push((ralias.to_string(), rnames));
-    Ok(Some((Relation { columns, rows: out_rows }, scope_cols)))
-}
-
-/// If `on` includes a conjunct `expr_l = expr_r` where `expr_l` touches only
-/// columns `< lwidth` and `expr_r` only columns `>= lwidth` (or vice versa),
-/// return `(left_key, right_key)`.
-fn find_equi_split(on: &Expr, lwidth: usize) -> Option<(Expr, Expr)> {
-    let mut found = None;
-    visit_conjuncts(on, &mut |c| {
-        if found.is_some() {
-            return;
-        }
-        if let Expr::Binary(BinaryOp::Eq, a, b) = c {
-            let side = |e: &Expr| -> Option<bool> {
-                // Some(true) = pure left, Some(false) = pure right.
-                let mut all_left = true;
-                let mut all_right = true;
-                let mut any = false;
-                e.visit_columns(&mut |i| {
-                    any = true;
-                    if i < lwidth {
-                        all_right = false;
-                    } else {
-                        all_left = false;
-                    }
-                });
-                if !any {
-                    return None;
-                }
-                if all_left {
-                    Some(true)
-                } else if all_right {
-                    Some(false)
-                } else {
-                    None
-                }
-            };
-            match (side(a), side(b)) {
-                (Some(true), Some(false)) => found = Some(((**a).clone(), (**b).clone())),
-                (Some(false), Some(true)) => found = Some(((**b).clone(), (**a).clone())),
-                _ => {}
-            }
-        }
-    });
-    found
-}
-
-fn visit_conjuncts(e: &Expr, f: &mut impl FnMut(&Expr)) {
-    if let Expr::Binary(BinaryOp::And, l, r) = e {
-        visit_conjuncts(l, f);
-        visit_conjuncts(r, f);
-    } else {
-        f(e);
-    }
-}
-
-fn collect_conjuncts<'q>(e: &'q ast::Expr, out: &mut Vec<&'q ast::Expr>) {
-    if let ast::Expr::Binary(BinaryOp::And, l, r) = e {
-        collect_conjuncts(l, out);
-        collect_conjuncts(r, out);
-    } else {
-        out.push(e);
-    }
+    Ok(Some((
+        Relation {
+            columns,
+            rows: out_rows,
+        },
+        scope_cols,
+    )))
 }
 
 /// Built-in lateral table functions.
@@ -1870,7 +1798,7 @@ pub(crate) enum TableFunc {
 }
 
 impl TableFunc {
-    fn parse(name: &str) -> Result<TableFunc> {
+    pub(crate) fn parse(name: &str) -> Result<TableFunc> {
         match name.to_ascii_uppercase().as_str() {
             "JSON_EDGES" => Ok(TableFunc::JsonEdges),
             "JSON_EACH" => Ok(TableFunc::JsonEach),
@@ -1911,13 +1839,17 @@ impl TableFunc {
                         )))
                     }
                 };
-                let Some(obj) = doc.as_object() else { return Ok(Vec::new()) };
+                let Some(obj) = doc.as_object() else {
+                    return Ok(Vec::new());
+                };
                 let mut out = Vec::new();
                 for (label, edges) in obj.iter() {
                     if label_filter.is_some_and(|want| want != label) {
                         continue;
                     }
-                    let Some(arr) = edges.as_array() else { continue };
+                    let Some(arr) = edges.as_array() else {
+                        continue;
+                    };
                     for entry in arr {
                         let eid = entry
                             .get("eid")
@@ -1943,16 +1875,16 @@ impl TableFunc {
                         )))
                     }
                 };
-                let Some(obj) = doc.as_object() else { return Ok(Vec::new()) };
+                let Some(obj) = doc.as_object() else {
+                    return Ok(Vec::new());
+                };
                 Ok(obj
                     .iter()
                     .map(|(k, v)| vec![Value::str(k), crate::expr::json_to_value(v)])
                     .collect())
             }
             TableFunc::Unnest => match args.first() {
-                Some(Value::Array(items)) => {
-                    Ok(items.iter().map(|v| vec![v.clone()]).collect())
-                }
+                Some(Value::Array(items)) => Ok(items.iter().map(|v| vec![v.clone()]).collect()),
                 Some(Value::Null) | None => Ok(Vec::new()),
                 Some(other) => Err(Error::Type(format!(
                     "UNNEST expects an array, got {}",
@@ -1962,291 +1894,13 @@ impl TableFunc {
         }
     }
 
-    fn arity(&self) -> usize {
+    pub(crate) fn arity(&self) -> usize {
         match self {
             TableFunc::JsonEdges => 3,
             TableFunc::JsonEach => 2,
             TableFunc::Unnest => 1,
         }
     }
-}
-
-/// Attach a unit to the accumulated rows, choosing a join strategy.
-fn attach_unit(
-    env: &Env<'_>,
-    scope: &mut Scope,
-    rows: &mut Vec<Row>,
-    unit: Unit<'_>,
-    pending: &mut [Option<&ast::Expr>],
-    needs: &Needs,
-) -> Result<()> {
-    match unit {
-        Unit::Lateral { rows: value_rows, alias, columns } => {
-            // Compile row expressions against a scope extended with the
-            // lateral's own columns *excluded* — they may only reference
-            // earlier units.
-            let arity = columns.len();
-            let mut compiled_rows = Vec::with_capacity(value_rows.len());
-            for vr in value_rows {
-                let mut cr = Vec::with_capacity(vr.len());
-                for e in vr {
-                    cr.push(compile_expr(env, scope, e)?);
-                }
-                compiled_rows.push(cr);
-            }
-            scope.push(&alias, columns);
-            let mut out = Vec::with_capacity(rows.len() * compiled_rows.len());
-            for row in rows.drain(..) {
-                for cr in &compiled_rows {
-                    let mut extended = row.clone();
-                    for e in cr {
-                        extended.push(e.eval(&row)?);
-                    }
-                    debug_assert_eq!(extended.len(), row.len() + arity);
-                    out.push(extended);
-                }
-            }
-            *rows = out;
-            Ok(())
-        }
-        Unit::LateralFn { func, args, alias, columns } => {
-            if columns.len() != func.arity() {
-                return Err(Error::Invalid(format!(
-                    "{func:?} produces {} columns, alias declares {}",
-                    func.arity(),
-                    columns.len()
-                )));
-            }
-            let compiled: Vec<Expr> = args
-                .iter()
-                .map(|e| compile_expr(env, scope, e))
-                .collect::<Result<_>>()?;
-            scope.push(&alias, columns);
-            let mut out = Vec::new();
-            for row in rows.drain(..) {
-                let mut arg_values = Vec::with_capacity(compiled.len());
-                for e in &compiled {
-                    arg_values.push(e.eval(&row)?);
-                }
-                for produced in func.invoke(&arg_values)? {
-                    let mut extended = row.clone();
-                    extended.extend(produced);
-                    out.push(extended);
-                }
-            }
-            *rows = out;
-            Ok(())
-        }
-        Unit::Derived { rel, alias } => {
-            attach_relation(scope, rows, rel, &alias, env, pending)
-        }
-        Unit::JoinTree { rel, scope_cols } => {
-            // Multi-alias relation: extend the scope with every alias, then
-            // cross/hash join like a derived table. Join-tree outputs are
-            // attached by hash join when a pending equi conjunct links them.
-            let base_alias_cols = scope_cols;
-            let mut flat_cols = Vec::new();
-            for (_, cols) in &base_alias_cols {
-                flat_cols.extend(cols.iter().cloned());
-            }
-            let before_width = scope.width;
-            for (alias, cols) in &base_alias_cols {
-                scope.push(alias, cols.clone());
-            }
-            join_pending(env, scope, rows, rel, before_width, pending)
-        }
-        Unit::Named { name, alias } => {
-            // Base table: try index-assisted attachment.
-            if let Some(cte) = env.ctes.get(&name) {
-                let rel = (**cte).clone();
-                return attach_relation(scope, rows, rel, &alias, env, pending);
-            }
-            attach_base_table(env, scope, rows, &name, &alias, pending, needs)
-        }
-    }
-}
-
-fn attach_relation(
-    scope: &mut Scope,
-    rows: &mut Vec<Row>,
-    rel: Relation,
-    alias: &str,
-    env: &Env<'_>,
-    pending: &mut [Option<&ast::Expr>],
-) -> Result<()> {
-    let before_width = scope.width;
-    let arity = rel.columns.len();
-    scope.push(alias, rel.columns.clone());
-    let mut rel = rel;
-    push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
-    join_pending(env, scope, rows, rel, before_width, pending)
-}
-
-/// Predicate pushdown: apply every pending conjunct that touches only the
-/// unit just pushed at `before_width` (arity `arity`, in `rel`'s layout)
-/// directly to `rel`'s rows, before the join materializes combined rows.
-fn push_down_filters(
-    env: &Env<'_>,
-    scope: &Scope,
-    before_width: usize,
-    arity: usize,
-    alias: &str,
-    rel: &mut Relation,
-    pending: &mut [Option<&ast::Expr>],
-) -> Result<()> {
-    for slot in pending.iter_mut() {
-        let Some(c) = slot else { continue };
-        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
-        let mut any = false;
-        let mut local = true;
-        compiled.visit_columns(&mut |i| {
-            any = true;
-            if i < before_width || i >= before_width + arity {
-                local = false;
-            }
-        });
-        if !any || !local {
-            continue;
-        }
-        // Re-base the predicate from the combined layout onto the bare unit
-        // row, filter in place, and retire the conjunct.
-        let mut rebased = compiled.clone();
-        rebased.map_columns(&mut |i| i - before_width);
-        let before = rel.rows.len();
-        rel.rows = filter_rows(std::mem::take(&mut rel.rows), &rebased)?;
-        env.note(|| {
-            format!("{alias}: pushdown filter ({before} -> {} rows)", rel.rows.len())
-        });
-        *slot = None;
-    }
-    Ok(())
-}
-
-/// Take every pending conjunct local to the unit at `before_width` and
-/// return it re-based onto the bare unit row, retiring the pending slot.
-/// The scan then evaluates these predicates inside its morsel loop (fused
-/// scan + filter) instead of materializing unfiltered rows first.
-fn take_local_filters(
-    env: &Env<'_>,
-    scope: &Scope,
-    before_width: usize,
-    arity: usize,
-    pending: &mut [Option<&ast::Expr>],
-) -> Vec<Expr> {
-    let mut out = Vec::new();
-    for slot in pending.iter_mut() {
-        let Some(c) = slot else { continue };
-        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
-        let mut any = false;
-        let mut local = true;
-        compiled.visit_columns(&mut |i| {
-            any = true;
-            if i < before_width || i >= before_width + arity {
-                local = false;
-            }
-        });
-        if !any || !local {
-            continue;
-        }
-        let mut rebased = compiled;
-        rebased.map_columns(&mut |i| i - before_width);
-        out.push(rebased);
-        *slot = None;
-    }
-    out
-}
-
-/// Join `rel` (already pushed into `scope` at `before_width`) to the
-/// accumulated rows: hash join on the first usable pending equi conjunct,
-/// else cross product.
-fn join_pending(
-    env: &Env<'_>,
-    scope: &Scope,
-    rows: &mut Vec<Row>,
-    rel: Relation,
-    before_width: usize,
-    pending: &mut [Option<&ast::Expr>],
-) -> Result<()> {
-    // Find a pending equi conjunct usable as the hash key.
-    let mut key_pair: Option<(Expr, Expr, usize)> = None;
-    for (i, slot) in pending.iter().enumerate() {
-        let Some(c) = slot else { continue };
-        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
-        if let Some((lk, rk)) = find_equi_split(&compiled, before_width) {
-            // Keys must not reference columns beyond the current width.
-            let mut max_col = 0;
-            lk.visit_columns(&mut |i| max_col = max_col.max(i));
-            rk.visit_columns(&mut |i| max_col = max_col.max(i));
-            if max_col < scope.width {
-                key_pair = Some((lk, rk, i));
-                break;
-            }
-        }
-    }
-    match key_pair {
-        Some((lkey, rkey, idx)) => {
-            let dop = env.db.dop_for(rel.rows.len().max(rows.len()));
-            env.note(|| format!("hash join ({} build rows, dop {dop})", rel.rows.len()));
-            pending[idx] = None;
-            // `find_equi_split` guarantees side purity: rkey references only
-            // columns >= before_width, lkey only columns < before_width. So
-            // the build key can be re-based onto the bare right row and the
-            // probe key evaluated on the left row directly — no per-row
-            // padding clones.
-            let mut rkey = rkey;
-            rkey.map_columns(&mut |c| c - before_width);
-            if dop <= 1 {
-                let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
-                for r in &rel.rows {
-                    let k = rkey.eval(r)?;
-                    if !k.is_null() {
-                        table.entry(k).or_default().push(r);
-                    }
-                }
-                let mut out = Vec::new();
-                for l in rows.drain(..) {
-                    let k = lkey.eval(&l)?;
-                    if k.is_null() {
-                        continue;
-                    }
-                    if let Some(cands) = table.get(&k) {
-                        for r in cands {
-                            let mut combined = l.clone();
-                            combined.extend_from_slice(r);
-                            out.push(combined);
-                        }
-                    }
-                }
-                *rows = out;
-            } else {
-                *rows = parallel_hash_join(dop, rows, &rel.rows, &lkey, &rkey)?;
-            }
-        }
-        None => {
-            let dop = env.db.dop_for(rows.len());
-            env.note(|| format!("cross join ({} right rows, dop {dop})", rel.rows.len()));
-            let left = std::mem::take(rows);
-            let right = &rel.rows;
-            let chunks = crate::parallel::ordered_map(
-                dop,
-                left.len(),
-                crate::parallel::MORSEL_ROWS,
-                |range| {
-                    let mut out = Vec::with_capacity(range.len() * right.len());
-                    for l in &left[range] {
-                        for r in right {
-                            let mut combined = l.clone();
-                            combined.extend_from_slice(r);
-                            out.push(combined);
-                        }
-                    }
-                    out
-                },
-            );
-            *rows = chunks.into_iter().flatten().collect();
-        }
-    }
-    Ok(())
 }
 
 /// Partitioned parallel hash join.
@@ -2345,390 +1999,7 @@ fn parallel_hash_join(
     Ok(out)
 }
 
-/// Attach a base table with index support:
-/// 1. index nested-loop join when a pending equi conjunct maps to an index
-///    on the table (optionally extended with constant-equality columns);
-/// 2. otherwise, an index-filtered or full scan, then hash/cross join.
-fn attach_base_table(
-    env: &Env<'_>,
-    scope: &mut Scope,
-    rows: &mut Vec<Row>,
-    name: &str,
-    alias: &str,
-    pending: &mut [Option<&ast::Expr>],
-    needs: &Needs,
-) -> Result<()> {
-    let guard = env.db.read_table(name)?;
-    let table: &Table = &guard;
-    let all_names: Vec<String> = table.schema.columns.iter().map(|c| c.name.clone()).collect();
-    // Projection pruning: materialize only the columns the statement can
-    // reference. `keep` maps pruned position -> original position.
-    let keep: Vec<usize> = needs
-        .pruned(&alias.to_ascii_lowercase(), &all_names)
-        .unwrap_or_else(|| (0..all_names.len()).collect());
-    let col_names: Vec<String> = keep.iter().map(|&i| all_names[i].clone()).collect();
-    let before_width = scope.width;
-    scope.push(alias, col_names);
-    let arity = keep.len();
-
-    // Gather, for this unit: constant equality pairs (key part -> const)
-    // and probe equality pairs (key part -> left-side key expression).
-    // A key part is a plain column or `JSON_VAL(json_col, 'member')` — the
-    // latter matches functional indexes.
-    use crate::index::KeyPart;
-    let mut const_eq: Vec<(KeyPart, Value, usize)> = Vec::new();
-    let mut probe_eq: Vec<(KeyPart, Expr, usize)> = Vec::new();
-    for (i, slot) in pending.iter().enumerate() {
-        let Some(c) = slot else { continue };
-        let Ok(compiled) = compile_expr(env, scope, c) else { continue };
-        // Only consider plain equality conjuncts.
-        let Expr::Binary(BinaryOp::Eq, a, b) = &compiled else { continue };
-        let as_key_part = |e: &Expr| -> Option<KeyPart> {
-            match e {
-                Expr::Col(idx) if *idx >= before_width && *idx < before_width + arity => {
-                    // Map the pruned position back to the original column.
-                    Some(KeyPart::Column(keep[*idx - before_width]))
-                }
-                Expr::Call(crate::expr::Func::JsonVal, args) => match (args.first(), args.get(1)) {
-                    (Some(Expr::Col(idx)), Some(Expr::Const(Value::Str(member))))
-                        if *idx >= before_width && *idx < before_width + arity =>
-                    {
-                        Some(KeyPart::JsonKey(keep[*idx - before_width], member.to_string()))
-                    }
-                    _ => None,
-                },
-                _ => None,
-            }
-        };
-        let is_bound = |e: &Expr| -> bool {
-            let mut ok = true;
-            e.visit_columns(&mut |i| {
-                if i >= before_width {
-                    ok = false;
-                }
-            });
-            ok
-        };
-        let (part, other) = match (as_key_part(a), as_key_part(b)) {
-            (Some(p), None) if is_bound(b) => (p, (**b).clone()),
-            (None, Some(p)) if is_bound(a) => (p, (**a).clone()),
-            _ => continue,
-        };
-        if let Expr::Const(v) = &other {
-            const_eq.push((part, v.clone(), i));
-        } else {
-            probe_eq.push((part, other, i));
-        }
-    }
-
-    // Strategy 1: index nested loop. Find an index whose key parts are all
-    // covered by probe/const pairs, preferring indexes that use a probe.
-    let mut best: Option<(&crate::index::Index, Vec<ProbePart>, Vec<usize>)> = None;
-    for idx in table.indexes() {
-        let mut parts = Vec::with_capacity(idx.parts.len());
-        let mut used = Vec::new();
-        let mut ok = true;
-        let mut uses_probe = false;
-        for part in &idx.parts {
-            if let Some((_, key_expr, pi)) = probe_eq.iter().find(|(pp, _, _)| pp == part) {
-                parts.push(ProbePart::Probe(key_expr.clone()));
-                used.push(*pi);
-                uses_probe = true;
-            } else if let Some((_, v, pi)) = const_eq.iter().find(|(cp, _, _)| cp == part) {
-                parts.push(ProbePart::Const(v.clone()));
-                used.push(*pi);
-            } else {
-                ok = false;
-                break;
-            }
-        }
-        if !ok {
-            continue;
-        }
-        let better = match &best {
-            None => true,
-            Some((bidx, _, _)) => {
-                // Prefer probe-using, then longer keys, then unique.
-                let b_probe = bidx
-                    .parts
-                    .iter()
-                    .any(|p| probe_eq.iter().any(|(pp, _, _)| pp == p));
-                (uses_probe && !b_probe)
-                    || (uses_probe == b_probe && idx.parts.len() > bidx.parts.len())
-            }
-        };
-        if better {
-            best = Some((idx, parts, used));
-        }
-    }
-
-    if let Some((idx, parts, used)) = best {
-        let uses_probe = parts.iter().any(|p| matches!(p, ProbePart::Probe(_)));
-        env.note(|| {
-            format!(
-                "{name}: {} via index {} ({} key parts)",
-                if uses_probe { "index nested-loop join" } else { "index scan" },
-                idx.name,
-                parts.len()
-            )
-        });
-        if uses_probe {
-            for pi in &used {
-                pending[*pi] = None;
-            }
-            let mut out = Vec::new();
-            for l in rows.drain(..) {
-                let mut key = Vec::with_capacity(parts.len());
-                let mut null_key = false;
-                for p in &parts {
-                    let v = match p {
-                        ProbePart::Const(v) => v.clone(),
-                        ProbePart::Probe(e) => e.eval(&l)?,
-                    };
-                    if v.is_null() {
-                        null_key = true;
-                        break;
-                    }
-                    key.push(v);
-                }
-                if null_key {
-                    continue;
-                }
-                for &rid in idx.lookup(&IndexKey(key)) {
-                    let row = table.get(rid).expect("index points at live row");
-                    let mut combined = l.clone();
-                    combined.extend(keep.iter().map(|&i| row[i].clone()));
-                    out.push(combined);
-                }
-            }
-            *rows = out;
-            return Ok(());
-        }
-        // Const-only index: point scan, then join the scanned rows.
-        for pi in &used {
-            pending[*pi] = None;
-        }
-        let key: Vec<Value> = parts
-            .iter()
-            .map(|p| match p {
-                ProbePart::Const(v) => v.clone(),
-                ProbePart::Probe(_) => unreachable!("no probes in const-only path"),
-            })
-            .collect();
-        let scanned: Vec<Row> = idx
-            .lookup(&IndexKey(key))
-            .iter()
-            .map(|&rid| {
-                let row = table.get(rid).expect("live");
-                keep.iter().map(|&i| row[i].clone()).collect()
-            })
-            .collect();
-        let mut rel = Relation {
-            columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
-            rows: scanned,
-        };
-        drop(guard);
-        push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
-        return join_pending(env, scope, rows, rel, before_width, pending);
-    }
-
-    // Strategy 2: B-tree range scan for comparison predicates on an indexed
-    // key part. Bounds are applied inclusively; the original conjuncts stay
-    // pending so exclusive endpoints are filtered residually.
-    let mut range_scan: Option<(String, Vec<Row>)> = None;
-    {
-        let mut lo: Option<(KeyPart, Value)> = None;
-        let mut hi: Option<(KeyPart, Value)> = None;
-        for slot in pending.iter() {
-            let Some(c) = slot else { continue };
-            let Ok(compiled) = compile_expr(env, scope, c) else { continue };
-            // BETWEEN desugars to `a AND b` inside one conjunct: split at
-            // the compiled level too.
-            visit_conjuncts(&compiled, &mut |leaf| {
-                let Expr::Binary(op, a, b) = leaf else { return };
-                let as_key_part = |e: &Expr| -> Option<KeyPart> {
-                    match e {
-                        Expr::Col(idx) if *idx >= before_width && *idx < before_width + arity => {
-                            Some(KeyPart::Column(keep[*idx - before_width]))
-                        }
-                        Expr::Call(crate::expr::Func::JsonVal, args) => {
-                            match (args.first(), args.get(1)) {
-                                (Some(Expr::Col(idx)), Some(Expr::Const(Value::Str(member))))
-                                    if *idx >= before_width && *idx < before_width + arity =>
-                                {
-                                    Some(KeyPart::JsonKey(
-                                        keep[*idx - before_width],
-                                        member.to_string(),
-                                    ))
-                                }
-                                _ => None,
-                            }
-                        }
-                        _ => None,
-                    }
-                };
-                // Normalize to `part OP const`.
-                let (part, value, op) =
-                    match (as_key_part(a), b.as_ref(), as_key_part(b), a.as_ref()) {
-                        (Some(p), Expr::Const(v), _, _) => (p, v.clone(), *op),
-                        (_, _, Some(p), Expr::Const(v)) => {
-                            // Flip: const OP part becomes part OP' const.
-                            let flipped = match *op {
-                                BinaryOp::Lt => BinaryOp::Gt,
-                                BinaryOp::Le => BinaryOp::Ge,
-                                BinaryOp::Gt => BinaryOp::Lt,
-                                BinaryOp::Ge => BinaryOp::Le,
-                                other => other,
-                            };
-                            (p, v.clone(), flipped)
-                        }
-                        _ => return,
-                    };
-                if value.is_null() {
-                    return;
-                }
-                match op {
-                    BinaryOp::Gt | BinaryOp::Ge
-                        if lo.as_ref().is_none_or(|(p, _)| *p == part) =>
-                    {
-                        lo = Some((part, value));
-                    }
-                    BinaryOp::Lt | BinaryOp::Le
-                        if hi.as_ref().is_none_or(|(p, _)| *p == part) =>
-                    {
-                        hi = Some((part, value));
-                    }
-                    _ => {}
-                }
-            });
-        }
-        // Bounds must target one part with a single-part B-tree index.
-        let part = match (&lo, &hi) {
-            (Some((p1, _)), Some((p2, _))) if p1 == p2 => Some(p1.clone()),
-            (Some((p, _)), None) | (None, Some((p, _))) => Some(p.clone()),
-            _ => None,
-        };
-        if let Some(part) = part {
-            let found = table.indexes().iter().find(|i| {
-                i.parts.len() == 1
-                    && i.parts[0] == part
-                    && i.kind() == crate::index::IndexKind::BTree
-            });
-            if let Some(idx) = found {
-                let lo_key = lo
-                    .as_ref()
-                    .filter(|(p, _)| *p == part)
-                    .map(|(_, v)| IndexKey(vec![v.clone()]));
-                let hi_key = hi
-                    .as_ref()
-                    .filter(|(p, _)| *p == part)
-                    .map(|(_, v)| IndexKey(vec![v.clone()]));
-                let ids = idx.range(lo_key.as_ref(), hi_key.as_ref())?;
-                let scanned: Vec<Row> = ids
-                    .iter()
-                    .map(|&rid| {
-                        let row = table.get(rid).expect("index points at live row");
-                        keep.iter().map(|&i| row[i].clone()).collect()
-                    })
-                    .collect();
-                range_scan = Some((idx.name.clone(), scanned));
-            }
-        }
-    }
-    if let Some((idx_name, scanned)) = range_scan {
-        env.note(|| {
-            format!("{name}: range scan via index {idx_name} ({} rows)", scanned.len())
-        });
-        let mut rel = Relation {
-            columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
-            rows: scanned,
-        };
-        drop(guard);
-        push_down_filters(env, scope, before_width, arity, alias, &mut rel, pending)?;
-        return join_pending(env, scope, rows, rel, before_width, pending);
-    }
-
-    // Strategy 3: full scan fused with the unit's pushed-down predicates,
-    // split into morsels when the table is large enough (or parallelism is
-    // pinned). Morsels cover disjoint slab ranges and their outputs are
-    // concatenated in slab order, so the result is identical at every DOP.
-    let locals = take_local_filters(env, scope, before_width, arity, pending);
-    let live = table.len();
-    let dop = env.db.dop_for(live);
-    env.note(|| format!("{name}: full scan ({live} rows, dop {dop})"));
-    let slots = table.slots();
-    let keep_ref = &keep;
-    let locals_ref = &locals;
-    let chunks = crate::parallel::ordered_map(
-        dop,
-        slots.len(),
-        crate::parallel::MORSEL_ROWS,
-        |range| -> Result<Vec<Row>> {
-            let mut out = Vec::new();
-            'slot: for slot in &slots[range] {
-                let Some(r) = slot else { continue };
-                let row: Row = keep_ref.iter().map(|&i| r[i].clone()).collect();
-                for p in locals_ref {
-                    if !p.eval_bool(&row)? {
-                        continue 'slot;
-                    }
-                }
-                out.push(row);
-            }
-            Ok(out)
-        },
-    );
-    let mut scanned = Vec::new();
-    for chunk in chunks {
-        scanned.extend(chunk?);
-    }
-    if !locals.is_empty() {
-        env.note(|| format!("{alias}: pushdown filter ({live} -> {} rows)", scanned.len()));
-    }
-    let rel = Relation {
-        columns: keep.iter().map(|&i| all_names[i].clone()).collect(),
-        rows: scanned,
-    };
-    drop(guard);
-    join_pending(env, scope, rows, rel, before_width, pending)
-}
-
-enum ProbePart {
-    Const(Value),
-    Probe(Expr),
-}
-
-fn apply_ready_conjuncts(
-    env: &Env<'_>,
-    scope: &Scope,
-    rows: &mut Vec<Row>,
-    pending: &mut [Option<&ast::Expr>],
-) -> Result<()> {
-    for slot in pending.iter_mut() {
-        let Some(c) = slot else { continue };
-        match compile_expr(env, scope, c) {
-            Ok(compiled) => {
-                let mut max_col = 0;
-                let mut any = false;
-                compiled.visit_columns(&mut |i| {
-                    any = true;
-                    max_col = max_col.max(i);
-                });
-                if !any || max_col < scope.width {
-                    *rows = filter_rows_par(env, std::mem::take(rows), &compiled)?;
-                    *slot = None;
-                }
-            }
-            Err(_) => {
-                // References columns not yet in scope; retry after the next
-                // unit is attached.
-            }
-        }
-    }
-    Ok(())
-}
-
-fn filter_rows(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
+pub(crate) fn filter_rows(rows: Vec<Row>, predicate: &Expr) -> Result<Vec<Row>> {
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
         if predicate.eval_bool(&row)? {
@@ -2780,7 +2051,12 @@ fn load_named(env: &Env<'_>, name: &str, _hint: &[()]) -> Result<Relation> {
     }
     let guard = env.db.read_table(name)?;
     Ok(Relation {
-        columns: guard.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        columns: guard
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
         rows: guard.iter().map(|(_, r)| r.to_vec()).collect(),
     })
 }
@@ -2831,12 +2107,20 @@ pub(crate) fn compile_expr(env: &Env<'_>, scope: &Scope, e: &ast::Expr) -> Resul
         ast::Expr::IsNull(x, negated) => {
             Expr::IsNull(Box::new(compile_expr(env, scope, x)?), *negated)
         }
-        ast::Expr::Like { expr, pattern, negated } => Expr::Like {
+        ast::Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(compile_expr(env, scope, expr)?),
             pattern: Box::new(compile_expr(env, scope, pattern)?),
             negated: *negated,
         },
-        ast::Expr::InList { expr, list, negated } => {
+        ast::Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let scrutinee = compile_expr(env, scope, expr)?;
             let compiled: Vec<Expr> = list
                 .iter()
@@ -2874,7 +2158,11 @@ pub(crate) fn compile_expr(env: &Env<'_>, scope: &Scope, e: &ast::Expr) -> Resul
                 }
             }
         }
-        ast::Expr::InSubquery { expr, query, negated } => {
+        ast::Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             let rel = run_select(env, query)?;
             if rel.columns.len() != 1 {
                 return Err(Error::Invalid(
@@ -2894,7 +2182,12 @@ pub(crate) fn compile_expr(env: &Env<'_>, scope: &Scope, e: &ast::Expr) -> Resul
                 negated: *negated,
             }
         }
-        ast::Expr::Between { expr, lo, hi, negated } => {
+        ast::Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
             let x = compile_expr(env, scope, expr)?;
             let lo = compile_expr(env, scope, lo)?;
             let hi = compile_expr(env, scope, hi)?;
@@ -2907,7 +2200,11 @@ pub(crate) fn compile_expr(env: &Env<'_>, scope: &Scope, e: &ast::Expr) -> Resul
                 and
             }
         }
-        ast::Expr::Call { name, args, distinct } => {
+        ast::Expr::Call {
+            name,
+            args,
+            distinct,
+        } => {
             if *distinct {
                 return Err(Error::Invalid(format!(
                     "DISTINCT is only valid in aggregate calls, not {name}"
@@ -2926,9 +2223,7 @@ pub(crate) fn compile_expr(env: &Env<'_>, scope: &Scope, e: &ast::Expr) -> Resul
                 .collect::<Result<_>>()?;
             Expr::Call(func, compiled)
         }
-        ast::Expr::CountStar => {
-            return Err(Error::Invalid("COUNT(*) is not allowed here".into()))
-        }
+        ast::Expr::CountStar => return Err(Error::Invalid("COUNT(*) is not allowed here".into())),
         ast::Expr::Cast(x, ty) => Expr::Cast(Box::new(compile_expr(env, scope, x)?), *ty),
         ast::Expr::Subscript(x, i) => Expr::Subscript(
             Box::new(compile_expr(env, scope, x)?),

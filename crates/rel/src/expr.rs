@@ -168,7 +168,11 @@ impl Expr {
                 let v = e.eval(row)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 let p = pattern.eval(row)?;
                 match (v, p) {
@@ -205,10 +209,7 @@ impl Expr {
                         Ok(a.get(i as usize).cloned().unwrap_or(Value::Null))
                     }
                     (Value::Array(_), _) => Ok(Value::Null),
-                    _ => Err(Error::Type(format!(
-                        "cannot subscript a {}",
-                        v.type_name()
-                    ))),
+                    _ => Err(Error::Type(format!("cannot subscript a {}", v.type_name()))),
                 }
             }
         }
@@ -303,7 +304,10 @@ fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
         UnaryOp::Not => match v {
             Value::Null => Ok(Value::Null),
             Value::Bool(b) => Ok(Value::Bool(!b)),
-            other => Err(Error::Type(format!("NOT requires a boolean, got {}", other.type_name()))),
+            other => Err(Error::Type(format!(
+                "NOT requires a boolean, got {}",
+                other.type_name()
+            ))),
         },
     }
 }
@@ -547,7 +551,9 @@ fn eval_call(func: Func, args: &[Expr], row: &[Value]) -> Result<Value> {
                         .collect();
                     Ok(Value::str(out))
                 }
-                _ => Err(Error::Type("SUBSTR requires (TEXT, start>=1, len>=0)".into())),
+                _ => Err(Error::Type(
+                    "SUBSTR requires (TEXT, start>=1, len>=0)".into(),
+                )),
             }
         }
         Func::Abs => {
@@ -662,11 +668,28 @@ mod tests {
     #[test]
     fn arithmetic() {
         let row = [];
-        assert_eq!(bin(BinaryOp::Add, c(2i64), c(3i64)).eval(&row).unwrap(), Value::Int(5));
-        assert_eq!(bin(BinaryOp::Div, c(7i64), c(2i64)).eval(&row).unwrap(), Value::Int(3));
-        assert_eq!(bin(BinaryOp::Div, c(7i64), c(0i64)).eval(&row).unwrap(), Value::Null);
-        assert_eq!(bin(BinaryOp::Mul, c(2i64), c(1.5f64)).eval(&row).unwrap(), Value::Double(3.0));
-        assert_eq!(bin(BinaryOp::Add, c(1i64), Expr::Const(Value::Null)).eval(&row).unwrap(), Value::Null);
+        assert_eq!(
+            bin(BinaryOp::Add, c(2i64), c(3i64)).eval(&row).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            bin(BinaryOp::Div, c(7i64), c(2i64)).eval(&row).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            bin(BinaryOp::Div, c(7i64), c(0i64)).eval(&row).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            bin(BinaryOp::Mul, c(2i64), c(1.5f64)).eval(&row).unwrap(),
+            Value::Double(3.0)
+        );
+        assert_eq!(
+            bin(BinaryOp::Add, c(1i64), Expr::Const(Value::Null))
+                .eval(&row)
+                .unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -675,11 +698,28 @@ mod tests {
         let null = || Expr::Const(Value::Null);
         let t = || c(true);
         let f = || c(false);
-        assert_eq!(bin(BinaryOp::And, f(), null()).eval(&row).unwrap(), Value::Bool(false));
-        assert_eq!(bin(BinaryOp::And, t(), null()).eval(&row).unwrap(), Value::Null);
-        assert_eq!(bin(BinaryOp::Or, t(), null()).eval(&row).unwrap(), Value::Bool(true));
-        assert_eq!(bin(BinaryOp::Or, f(), null()).eval(&row).unwrap(), Value::Null);
-        assert_eq!(Expr::Unary(UnaryOp::Not, Box::new(null())).eval(&row).unwrap(), Value::Null);
+        assert_eq!(
+            bin(BinaryOp::And, f(), null()).eval(&row).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            bin(BinaryOp::And, t(), null()).eval(&row).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            bin(BinaryOp::Or, t(), null()).eval(&row).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin(BinaryOp::Or, f(), null()).eval(&row).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::Unary(UnaryOp::Not, Box::new(null()))
+                .eval(&row)
+                .unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -696,9 +736,19 @@ mod tests {
     #[test]
     fn comparisons_with_nulls() {
         let row = [];
-        assert_eq!(bin(BinaryOp::Eq, c(1i64), Expr::Const(Value::Null)).eval(&row).unwrap(), Value::Null);
-        assert!(!bin(BinaryOp::Eq, c(1i64), Expr::Const(Value::Null)).eval_bool(&row).unwrap());
-        assert_eq!(bin(BinaryOp::Le, c(1i64), c(1.0f64)).eval(&row).unwrap(), Value::Bool(true));
+        assert_eq!(
+            bin(BinaryOp::Eq, c(1i64), Expr::Const(Value::Null))
+                .eval(&row)
+                .unwrap(),
+            Value::Null
+        );
+        assert!(!bin(BinaryOp::Eq, c(1i64), Expr::Const(Value::Null))
+            .eval_bool(&row)
+            .unwrap());
+        assert_eq!(
+            bin(BinaryOp::Le, c(1i64), c(1.0f64)).eval(&row).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -718,10 +768,13 @@ mod tests {
 
     #[test]
     fn json_val_extraction() {
-        let doc = sqlgraph_json::parse(r#"{"name":"marko","age":29,"w":0.5,"ok":true,"tags":[1]}"#).unwrap();
+        let doc = sqlgraph_json::parse(r#"{"name":"marko","age":29,"w":0.5,"ok":true,"tags":[1]}"#)
+            .unwrap();
         let row = [Value::json(doc)];
         let jv = |key: &str| {
-            Expr::Call(Func::JsonVal, vec![Expr::Col(0), c(key)]).eval(&row).unwrap()
+            Expr::Call(Func::JsonVal, vec![Expr::Col(0), c(key)])
+                .eval(&row)
+                .unwrap()
         };
         assert_eq!(jv("name"), Value::str("marko"));
         assert_eq!(jv("age"), Value::Int(29));
@@ -751,7 +804,9 @@ mod tests {
         let mk = |items: Vec<i64>| {
             Expr::Call(
                 Func::IsSimplePath,
-                vec![Expr::Const(Value::array(items.into_iter().map(Value::Int).collect()))],
+                vec![Expr::Const(Value::array(
+                    items.into_iter().map(Value::Int).collect(),
+                ))],
             )
         };
         assert_eq!(mk(vec![1, 2, 3]).eval(&row).unwrap(), Value::Int(1));
@@ -762,13 +817,25 @@ mod tests {
     fn string_functions() {
         let row = [];
         assert_eq!(
-            Expr::Call(Func::Substr, vec![c("hello"), c(2i64), c(3i64)]).eval(&row).unwrap(),
+            Expr::Call(Func::Substr, vec![c("hello"), c(2i64), c(3i64)])
+                .eval(&row)
+                .unwrap(),
             Value::str("ell")
         );
-        assert_eq!(Expr::Call(Func::Lower, vec![c("AbC")]).eval(&row).unwrap(), Value::str("abc"));
-        assert_eq!(Expr::Call(Func::Length, vec![c("héllo")]).eval(&row).unwrap(), Value::Int(5));
         assert_eq!(
-            Expr::Call(Func::Coalesce, vec![Expr::Const(Value::Null), c(7i64)]).eval(&row).unwrap(),
+            Expr::Call(Func::Lower, vec![c("AbC")]).eval(&row).unwrap(),
+            Value::str("abc")
+        );
+        assert_eq!(
+            Expr::Call(Func::Length, vec![c("héllo")])
+                .eval(&row)
+                .unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            Expr::Call(Func::Coalesce, vec![Expr::Const(Value::Null), c(7i64)])
+                .eval(&row)
+                .unwrap(),
             Value::Int(7)
         );
     }

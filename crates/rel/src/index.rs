@@ -101,7 +101,12 @@ pub struct Index {
 
 impl Index {
     /// Create an empty index over plain columns.
-    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Index {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Index {
         let parts = columns.iter().map(|&c| KeyPart::Column(c)).collect();
         Index::with_parts(name, parts, unique, kind)
     }
@@ -266,7 +271,10 @@ mod tests {
         let mut idx = Index::new("c", vec![0, 1], false, IndexKind::Hash);
         idx.insert(&row(&[1, 2]), 0).unwrap();
         idx.insert(&row(&[1, 3]), 1).unwrap();
-        assert_eq!(idx.lookup(&IndexKey(vec![Value::Int(1), Value::Int(2)])), [0]);
+        assert_eq!(
+            idx.lookup(&IndexKey(vec![Value::Int(1), Value::Int(2)])),
+            [0]
+        );
         assert!(idx.lookup(&IndexKey(vec![Value::Int(1)])).is_empty());
     }
 

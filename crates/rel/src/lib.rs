@@ -31,6 +31,7 @@
 //! assert_eq!(rel.strings(), ["marko"]);
 //! ```
 
+pub mod batch;
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -38,6 +39,7 @@ pub mod expr;
 pub mod hasher;
 pub mod index;
 pub mod parallel;
+pub mod plan;
 pub mod schema;
 pub mod sql;
 pub mod stats;
@@ -58,6 +60,8 @@ const _: () = {
     sync_clean::<expr::Expr>();
     sync_clean::<exec::Relation>();
     sync_clean::<stats::TableStats>();
+    sync_clean::<batch::Batch>();
+    sync_clean::<batch::ColVec>();
 };
 
 pub use db::{Database, Txn};

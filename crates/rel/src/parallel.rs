@@ -84,7 +84,10 @@ fn pool() -> &'static WorkerPool {
 pub fn max_workers() -> usize {
     static MAX: OnceLock<usize> = OnceLock::new();
     *MAX.get_or_init(|| {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 8)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(2, 8)
     })
 }
 
@@ -98,7 +101,11 @@ struct Latch {
 
 impl Latch {
     fn new(count: usize) -> Self {
-        Latch { remaining: Mutex::new(count), done: Condvar::new(), panic: Mutex::new(None) }
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
     }
 
     fn arrive(&self) {
@@ -203,7 +210,9 @@ where
     let morsel = morsel.max(1);
     let n_morsels = count.div_ceil(morsel);
     if n_morsels <= 1 || dop <= 1 {
-        return (0..n_morsels).map(|m| f(m * morsel..((m + 1) * morsel).min(count))).collect();
+        return (0..n_morsels)
+            .map(|m| f(m * morsel..((m + 1) * morsel).min(count)))
+            .collect();
     }
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n_morsels);
@@ -220,7 +229,12 @@ where
         slots.lock().unwrap()[m] = Some(r);
     });
 
-    slots.into_inner().unwrap().drain(..).map(|s| s.expect("morsel slot filled")).collect()
+    slots
+        .into_inner()
+        .unwrap()
+        .drain(..)
+        .map(|s| s.expect("morsel slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,1738 @@
+//! Physical plan IR: the planning half of the former monolithic executor.
+//!
+//! [`plan_from`] turns a FROM list + WHERE clause into a [`FromPlan`] — an
+//! explicit, fully-decided physical operator tree. Every decision the old
+//! interleaved executor made mid-flight lives here now: join order (the
+//! cost-based [`plan_join_order`]), access-path selection per table
+//! ([`Access`]: index probe, point, range, or full scan), predicate
+//! pushdown (scan-local filters), hash-key extraction ([`Attach::Hash`]),
+//! and projection pruning ([`Needs`]). The executor (`exec::exec_from`)
+//! consumes the IR without making any planning choices of its own, and
+//! EXPLAIN renders the same tree that runs.
+//!
+//! The planning pass mirrors the retired in-line planner *decision for
+//! decision* — the same conjunct-retirement order, the same compile-attempt
+//! semantics (a conjunct that fails to compile against the current scope is
+//! simply retried after the next unit extends the scope), the same
+//! inclusive-range + residual-filter treatment of B-tree bounds — so planned
+//! results are byte-identical to the seed engine's.
+
+use crate::error::{Error, Result};
+use crate::exec::{
+    compile_expr, filter_rows, run_join_tree, run_select, Env, Relation, Scope, TableFunc,
+};
+use crate::expr::{BinaryOp, Expr};
+use crate::hasher::{FxHashMap, FxHashSet};
+use crate::sql::ast;
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// The physical plan IR
+// ---------------------------------------------------------------------------
+
+/// A fully-planned FROM pipeline: an ordered list of attach steps, the final
+/// name-resolution scope (restored to textual order), and residual filters
+/// that run after the last attach.
+pub(crate) struct FromPlan {
+    /// Attach steps in execution order (post join-reorder).
+    pub(crate) steps: Vec<Step>,
+    /// Final scope, entries in textual order (offsets point at the physical
+    /// row layout, which follows execution order).
+    pub(crate) scope: Scope,
+    /// Conjuncts that resolve only against the full scope, compiled, in
+    /// original conjunct order.
+    pub(crate) residual: Vec<Expr>,
+}
+
+/// One unit attachment: produce the unit's rows ([`StepKind`]) and combine
+/// them with the rows accumulated so far ([`Attach`]).
+pub(crate) struct Step {
+    /// Display label (alias, or `a+b` for join-tree units).
+    pub(crate) label: String,
+    /// Planner's estimated cumulative cardinality after this step.
+    pub(crate) est: Option<f64>,
+    pub(crate) kind: StepKind,
+    pub(crate) attach: Attach,
+    /// Ready conjuncts applied to the combined rows right after the attach
+    /// (combined layout), in conjunct order.
+    pub(crate) after: Vec<Expr>,
+    /// Execution-time observations, filled by the executor and read by the
+    /// EXPLAIN renderer.
+    pub(crate) exec: StepExec,
+}
+
+/// Cardinalities and DOPs observed while executing a [`Step`].
+#[derive(Debug, Default, Clone)]
+pub(crate) struct StepExec {
+    /// Combined rows after the attach and `after` filters.
+    pub(crate) actual: Option<usize>,
+    /// Rows seen by the scan (live table rows for full scans, matched rows
+    /// for range scans).
+    pub(crate) scan_rows: Option<usize>,
+    /// Morsel DOP used by a full scan.
+    pub(crate) scan_dop: Option<usize>,
+    /// Per-pushed-filter (rows before, rows after). Full scans fuse all
+    /// locals into one entry.
+    pub(crate) local_counts: Vec<(usize, usize)>,
+    /// Hash-join build rows, or cross-join right-side rows.
+    pub(crate) join_rows: Option<usize>,
+    /// DOP used by the hash/cross join.
+    pub(crate) join_dop: Option<usize>,
+}
+
+/// How a step produces its unit rows.
+pub(crate) enum StepKind {
+    /// Base-table scan (pruned to `keep` columns) with a chosen access path
+    /// and fused local filters (unit layout).
+    Scan {
+        /// Lower-cased table name.
+        table: String,
+        keep: Vec<usize>,
+        access: Access,
+        locals: Vec<Expr>,
+    },
+    /// Pre-materialized relation (CTE clone, derived table, or an explicit
+    /// JOIN tree executed at plan time), with plan-time pushdown already
+    /// applied. `pushed` records per-filter (before, after) counts and
+    /// `rows` the final cardinality, both for EXPLAIN.
+    Rel {
+        rel: Relation,
+        pushed: Vec<(usize, usize)>,
+        rows: usize,
+    },
+    /// Lateral `TABLE (VALUES ...)`: value expressions compiled against the
+    /// *prior* scope, evaluated once per accumulated row.
+    LateralValues { rows: Vec<Vec<Expr>>, arity: usize },
+    /// Lateral table function call.
+    LateralFunc {
+        func: TableFunc,
+        args: Vec<Expr>,
+        arity: usize,
+    },
+}
+
+/// Access path of a base-table scan.
+pub(crate) enum Access {
+    /// Index nested-loop join: per accumulated row, build a key from
+    /// `parts` and probe `index`. Consumes the left side inside the scan.
+    Probe {
+        index: String,
+        parts: Vec<ProbePart>,
+    },
+    /// Constant-key index lookup.
+    Point {
+        index: String,
+        key: Vec<Value>,
+        parts: usize,
+    },
+    /// Single-part B-tree range scan (inclusive bounds; exact predicates
+    /// remain in `locals`).
+    Range {
+        index: String,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    },
+    /// Full (morsel-parallel) scan.
+    Full,
+}
+
+/// One component of an index-probe key.
+pub(crate) enum ProbePart {
+    Const(Value),
+    /// Expression over already-attached columns (combined layout).
+    Probe(Expr),
+}
+
+/// How the unit rows combine with the accumulated rows.
+pub(crate) enum Attach {
+    /// Handled inside the scan ([`Access::Probe`]).
+    Probe,
+    /// Hash equi-join; `rkey` is already re-based onto the unit layout.
+    Hash { lkey: Expr, rkey: Expr },
+    /// Cartesian product.
+    Cross,
+    /// Lateral flatten (one unit row set per accumulated row).
+    Flatten,
+}
+
+// ---------------------------------------------------------------------------
+// Projection pruning
+// ---------------------------------------------------------------------------
+
+/// Projection-pruning analysis of a SELECT core: which columns of each
+/// FROM alias the statement can reference.
+#[derive(Debug, Default)]
+pub(crate) struct Needs {
+    /// Qualified references per (lower-cased) alias.
+    per_alias: FxHashMap<String, FxHashSet<String>>,
+    /// Aliases that need every column (`t.*`).
+    all_for: FxHashSet<String>,
+    /// An unqualified reference or bare `*` appeared: pruning is unsafe.
+    disable: bool,
+}
+
+impl Needs {
+    /// Pruned column list for `alias` given the table's full column list,
+    /// or `None` when pruning is not applicable.
+    fn pruned(&self, alias: &str, columns: &[String]) -> Option<Vec<usize>> {
+        if self.disable || self.all_for.contains(alias) {
+            return None;
+        }
+        let wanted = self.per_alias.get(alias)?;
+        Some(
+            columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| wanted.contains(*c))
+                .map(|(i, _)| i)
+                .collect(),
+        )
+    }
+}
+
+/// Gather the pruning analysis for a SELECT core.
+pub(crate) fn collect_needs(core: &ast::SelectCore, order_by: &[(ast::Expr, bool)]) -> Needs {
+    let mut needs = Needs::default();
+    for p in &core.projections {
+        match p {
+            ast::Projection::Wildcard => needs.disable = true,
+            ast::Projection::TableWildcard(t) => {
+                needs.all_for.insert(t.to_ascii_lowercase());
+            }
+            ast::Projection::Expr { expr, .. } => collect_expr_needs(expr, &mut needs),
+        }
+    }
+    if let Some(f) = &core.filter {
+        collect_expr_needs(f, &mut needs);
+    }
+    for e in &core.group_by {
+        collect_expr_needs(e, &mut needs);
+    }
+    if let Some(h) = &core.having {
+        collect_expr_needs(h, &mut needs);
+    }
+    for (e, _) in order_by {
+        collect_expr_needs(e, &mut needs);
+    }
+    for item in &core.from {
+        collect_from_needs(item, &mut needs);
+    }
+    needs
+}
+
+fn collect_from_needs(item: &ast::FromItem, needs: &mut Needs) {
+    match item {
+        ast::FromItem::LateralValues { rows, .. } => {
+            for row in rows {
+                for e in row {
+                    collect_expr_needs(e, needs);
+                }
+            }
+        }
+        ast::FromItem::LateralFunc { args, .. } => {
+            for e in args {
+                collect_expr_needs(e, needs);
+            }
+        }
+        ast::FromItem::Join {
+            left, right, on, ..
+        } => {
+            collect_from_needs(left, needs);
+            collect_from_needs(right, needs);
+            collect_expr_needs(on, needs);
+        }
+        ast::FromItem::Table { .. } | ast::FromItem::Subquery { .. } => {}
+    }
+}
+
+fn collect_expr_needs(e: &ast::Expr, needs: &mut Needs) {
+    match e {
+        ast::Expr::Column {
+            table: Some(t),
+            name,
+        } => {
+            needs
+                .per_alias
+                .entry(t.to_ascii_lowercase())
+                .or_default()
+                .insert(name.to_ascii_lowercase());
+        }
+        ast::Expr::Column { table: None, .. } => needs.disable = true,
+        ast::Expr::Literal(_) | ast::Expr::Param(_) | ast::Expr::CountStar => {}
+        ast::Expr::Unary(_, x) | ast::Expr::IsNull(x, _) | ast::Expr::Cast(x, _) => {
+            collect_expr_needs(x, needs)
+        }
+        ast::Expr::Binary(_, l, r) | ast::Expr::Subscript(l, r) => {
+            collect_expr_needs(l, needs);
+            collect_expr_needs(r, needs);
+        }
+        ast::Expr::Like { expr, pattern, .. } => {
+            collect_expr_needs(expr, needs);
+            collect_expr_needs(pattern, needs);
+        }
+        ast::Expr::InList { expr, list, .. } => {
+            collect_expr_needs(expr, needs);
+            for i in list {
+                collect_expr_needs(i, needs);
+            }
+        }
+        ast::Expr::InSubquery { expr, .. } => collect_expr_needs(expr, needs),
+        ast::Expr::Between { expr, lo, hi, .. } => {
+            collect_expr_needs(expr, needs);
+            collect_expr_needs(lo, needs);
+            collect_expr_needs(hi, needs);
+        }
+        ast::Expr::Call { args, .. } => {
+            for a in args {
+                collect_expr_needs(a, needs);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FROM units
+// ---------------------------------------------------------------------------
+
+/// A FROM unit before access-path planning.
+enum Unit<'q> {
+    /// Base table or CTE reference.
+    Named { name: String, alias: String },
+    /// Derived table, materialized eagerly.
+    Derived { rel: Relation, alias: String },
+    /// Lateral VALUES rows (expressions compiled later, against the
+    /// accumulated scope).
+    Lateral {
+        rows: &'q [Vec<ast::Expr>],
+        alias: String,
+        columns: Vec<String>,
+    },
+    /// Lateral table function (args compiled against the accumulated scope).
+    LateralFn {
+        func: TableFunc,
+        args: &'q [ast::Expr],
+        alias: String,
+        columns: Vec<String>,
+    },
+    /// Explicit join tree, materialized recursively.
+    JoinTree {
+        rel: Relation,
+        scope_cols: Vec<(String, Vec<String>)>,
+    },
+}
+
+/// Display label for a unit (EXPLAIN output).
+fn unit_label(unit: &Unit<'_>) -> String {
+    match unit {
+        Unit::Named { alias, .. } => alias.clone(),
+        Unit::Derived { alias, .. } => alias.clone(),
+        Unit::Lateral { alias, .. } => alias.clone(),
+        Unit::LateralFn { alias, .. } => alias.clone(),
+        Unit::JoinTree { scope_cols, .. } => {
+            let names: Vec<&str> = scope_cols.iter().map(|(a, _)| a.as_str()).collect();
+            names.join("+")
+        }
+    }
+}
+
+fn plan_unit<'q>(env: &Env<'_>, item: &'q ast::FromItem) -> Result<Unit<'q>> {
+    match item {
+        ast::FromItem::Table { name, alias } => Ok(Unit::Named {
+            name: name.to_ascii_lowercase(),
+            alias: alias.clone().unwrap_or_else(|| name.clone()),
+        }),
+        ast::FromItem::Subquery { query, alias } => {
+            let rel = run_select(env, query)?;
+            Ok(Unit::Derived {
+                rel,
+                alias: alias.clone(),
+            })
+        }
+        ast::FromItem::LateralValues {
+            rows,
+            alias,
+            columns,
+        } => Ok(Unit::Lateral {
+            rows,
+            alias: alias.clone(),
+            columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        }),
+        ast::FromItem::LateralFunc {
+            func,
+            args,
+            alias,
+            columns,
+        } => Ok(Unit::LateralFn {
+            func: TableFunc::parse(func)?,
+            args,
+            alias: alias.clone(),
+            columns: columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        }),
+        ast::FromItem::Join { .. } => {
+            let (rel, scope_cols) = run_join_tree(env, item)?;
+            Ok(Unit::JoinTree { rel, scope_cols })
+        }
+    }
+}
+
+/// Flatten an inner-only JOIN tree whose leaves are all tables/subqueries
+/// into its leaf items, pushing every ON conjunct into `on_out`. Returns
+/// `None` (caller keeps the tree intact) for outer joins, lateral operands,
+/// or non-join items.
+fn flatten_inner_joins<'q>(
+    item: &'q ast::FromItem,
+    on_out: &mut Vec<&'q ast::Expr>,
+) -> Option<Vec<&'q ast::FromItem>> {
+    fn walk<'q>(
+        item: &'q ast::FromItem,
+        leaves: &mut Vec<&'q ast::FromItem>,
+        ons: &mut Vec<&'q ast::Expr>,
+    ) -> bool {
+        match item {
+            ast::FromItem::Join {
+                left,
+                right,
+                kind: ast::JoinKind::Inner,
+                on,
+            } => {
+                walk(left, leaves, ons) && walk(right, leaves, ons) && {
+                    collect_conjuncts(on, ons);
+                    true
+                }
+            }
+            ast::FromItem::Table { .. } | ast::FromItem::Subquery { .. } => {
+                leaves.push(item);
+                true
+            }
+            _ => false,
+        }
+    }
+    if !matches!(item, ast::FromItem::Join { .. }) {
+        return None;
+    }
+    let mut leaves = Vec::new();
+    let mut ons = Vec::new();
+    if walk(item, &mut leaves, &mut ons) {
+        on_out.extend(ons);
+        Some(leaves)
+    } else {
+        None
+    }
+}
+
+/// Split an AST expression into top-level AND conjuncts.
+pub(crate) fn collect_conjuncts<'q>(e: &'q ast::Expr, out: &mut Vec<&'q ast::Expr>) {
+    if let ast::Expr::Binary(BinaryOp::And, l, r) = e {
+        collect_conjuncts(l, out);
+        collect_conjuncts(r, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Visit the top-level AND conjuncts of a compiled expression.
+pub(crate) fn visit_conjuncts(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    if let Expr::Binary(BinaryOp::And, l, r) = e {
+        visit_conjuncts(l, f);
+        visit_conjuncts(r, f);
+    } else {
+        f(e);
+    }
+}
+
+/// If `on` includes a conjunct `expr_l = expr_r` where `expr_l` touches only
+/// columns `< lwidth` and `expr_r` only columns `>= lwidth` (or vice versa),
+/// return `(left_key, right_key)`.
+pub(crate) fn find_equi_split(on: &Expr, lwidth: usize) -> Option<(Expr, Expr)> {
+    let mut found = None;
+    visit_conjuncts(on, &mut |c| {
+        if found.is_some() {
+            return;
+        }
+        if let Expr::Binary(BinaryOp::Eq, a, b) = c {
+            let side = |e: &Expr| -> Option<bool> {
+                // Some(true) = pure left, Some(false) = pure right.
+                let mut all_left = true;
+                let mut all_right = true;
+                let mut any = false;
+                e.visit_columns(&mut |i| {
+                    any = true;
+                    if i < lwidth {
+                        all_right = false;
+                    } else {
+                        all_left = false;
+                    }
+                });
+                if !any {
+                    return None;
+                }
+                if all_left {
+                    Some(true)
+                } else if all_right {
+                    Some(false)
+                } else {
+                    None
+                }
+            };
+            match (side(a), side(b)) {
+                (Some(true), Some(false)) => found = Some(((**a).clone(), (**b).clone())),
+                (Some(false), Some(true)) => found = Some(((**b).clone(), (**a).clone())),
+                _ => {}
+            }
+        }
+    });
+    found
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based join ordering
+// ---------------------------------------------------------------------------
+
+/// Cross joins are strongly discouraged: attaching an unconnected unit costs
+/// its full Cartesian product, deferred until a join key becomes available.
+const CROSS_JOIN_PENALTY: f64 = 10.0;
+/// Mild preference for attaching base tables whose join key is indexed —
+/// they probe per row instead of materializing a hash build side.
+const INDEX_JOIN_BONUS: f64 = 0.8;
+
+/// One step of the planned attachment order.
+struct PlannedUnit {
+    /// Index into the unit list.
+    idx: usize,
+    /// Estimated cumulative row count after this unit attaches and its
+    /// filters apply (`None` when the planner did not estimate it).
+    est: Option<f64>,
+}
+
+/// Planning facts for one FROM unit, gathered without executing it.
+struct UnitFacts {
+    /// Aliases this unit contributes to the scope (lower-cased).
+    aliases: Vec<String>,
+    /// Unfiltered cardinality.
+    rows: f64,
+    /// Cardinality after single-unit constant predicates.
+    est: f64,
+    /// Statistics (base tables only): stored `ANALYZE` stats or index-seeded.
+    stats: Option<crate::stats::TableStats>,
+    /// Lower-cased column name → position (base tables only).
+    col_index: FxHashMap<String, usize>,
+    /// Key parts covered by a single-part index (base tables only).
+    indexed_parts: Vec<crate::index::KeyPart>,
+    /// Live row count at planning time (base tables only; caps ndv).
+    live: usize,
+    /// Lateral units cannot move — they reference earlier units' columns.
+    reorderable: bool,
+}
+
+/// An equi-join conjunct linking two units, with its estimated selectivity.
+struct JoinEdge {
+    a: usize,
+    b: usize,
+    sel: f64,
+    /// The `a`/`b`-side key is a single-part-indexed key of that unit.
+    a_indexed: bool,
+    b_indexed: bool,
+}
+
+/// Collect the set of alias qualifiers in `e` into `out`. Returns `false`
+/// when the expression is not analyzable (unqualified columns, subqueries).
+fn expr_aliases(e: &ast::Expr, out: &mut FxHashSet<String>) -> bool {
+    match e {
+        ast::Expr::Column { table: Some(t), .. } => {
+            out.insert(t.to_ascii_lowercase());
+            true
+        }
+        ast::Expr::Column { table: None, .. } => false,
+        ast::Expr::Literal(_) | ast::Expr::Param(_) | ast::Expr::CountStar => true,
+        ast::Expr::Unary(_, x) | ast::Expr::IsNull(x, _) | ast::Expr::Cast(x, _) => {
+            expr_aliases(x, out)
+        }
+        ast::Expr::Binary(_, l, r) | ast::Expr::Subscript(l, r) => {
+            expr_aliases(l, out) && expr_aliases(r, out)
+        }
+        ast::Expr::Like { expr, pattern, .. } => {
+            expr_aliases(expr, out) && expr_aliases(pattern, out)
+        }
+        ast::Expr::InList { expr, list, .. } => {
+            expr_aliases(expr, out) && list.iter().all(|i| expr_aliases(i, out))
+        }
+        ast::Expr::InSubquery { .. } => false,
+        ast::Expr::Between { expr, lo, hi, .. } => {
+            expr_aliases(expr, out) && expr_aliases(lo, out) && expr_aliases(hi, out)
+        }
+        ast::Expr::Call { args, .. } => args.iter().all(|a| expr_aliases(a, out)),
+    }
+}
+
+/// A constant operand from the planner's point of view (parameters are
+/// inlined as constants at compile time).
+fn is_const_operand(e: &ast::Expr) -> bool {
+    matches!(e, ast::Expr::Literal(_) | ast::Expr::Param(_))
+}
+
+/// Resolve an AST expression to an index key part of `facts`' table: a
+/// qualified bare column or `JSON_VAL(col, 'member')` over one.
+fn ast_key_part(facts: &UnitFacts, e: &ast::Expr) -> Option<crate::index::KeyPart> {
+    use crate::index::KeyPart;
+    match e {
+        ast::Expr::Column {
+            table: Some(_),
+            name,
+        } => facts
+            .col_index
+            .get(&name.to_ascii_lowercase())
+            .map(|&c| KeyPart::Column(c)),
+        ast::Expr::Call { name, args, .. } if name.eq_ignore_ascii_case("JSON_VAL") => {
+            match (args.first(), args.get(1)) {
+                (
+                    Some(ast::Expr::Column {
+                        table: Some(_),
+                        name: col,
+                    }),
+                    Some(ast::Expr::Literal(Value::Str(member))),
+                ) => facts
+                    .col_index
+                    .get(&col.to_ascii_lowercase())
+                    .map(|&c| KeyPart::JsonKey(c, member.to_string())),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Distinct-value estimate for one side of a join conjunct. Falls back to
+/// the System-R tenth-of-the-rows default when no statistic applies.
+fn side_ndv(facts: &UnitFacts, e: &ast::Expr) -> f64 {
+    if let (Some(part), Some(stats)) = (ast_key_part(facts, e), facts.stats.as_ref()) {
+        return stats.ndv_or_default(&part, facts.live) as f64;
+    }
+    (facts.rows / 10.0).max(1.0)
+}
+
+/// Selectivity of a single-unit conjunct: `key = const` uses 1/ndv, any
+/// other recognized predicate the classic 0.3 guess.
+fn conjunct_selectivity(facts: &UnitFacts, c: &ast::Expr) -> f64 {
+    if let ast::Expr::Binary(BinaryOp::Eq, a, b) = c {
+        let key = if is_const_operand(b) {
+            Some(a)
+        } else if is_const_operand(a) {
+            Some(b)
+        } else {
+            None
+        };
+        if let Some(key) = key {
+            if let (Some(part), Some(stats)) = (ast_key_part(facts, key), facts.stats.as_ref()) {
+                return stats.eq_selectivity(&part, facts.live);
+            }
+            return 1.0 / (facts.rows / 10.0).max(1.0);
+        }
+    }
+    0.3
+}
+
+/// Gather planning facts for every unit; estimates never execute a unit
+/// (base tables are inspected under a briefly-held read lock).
+fn gather_unit_facts(
+    env: &Env<'_>,
+    units: &[Unit<'_>],
+    pending: &[Option<&ast::Expr>],
+) -> Vec<UnitFacts> {
+    let mut all: Vec<UnitFacts> = units
+        .iter()
+        .map(|unit| match unit {
+            Unit::Named { name, alias } => {
+                if let Some(cte) = env.ctes.get(name) {
+                    return UnitFacts {
+                        aliases: vec![alias.to_ascii_lowercase()],
+                        rows: cte.rows.len() as f64,
+                        est: cte.rows.len() as f64,
+                        stats: None,
+                        col_index: FxHashMap::default(),
+                        indexed_parts: Vec::new(),
+                        live: 0,
+                        reorderable: true,
+                    };
+                }
+                match env.db.read_table(name) {
+                    Ok(t) => {
+                        let live = t.len();
+                        // Analyzed stats whose recorded row count has
+                        // drifted >2× from the live table mislead more
+                        // than they help; fall back to seeded stats.
+                        let stats = t
+                            .stats()
+                            .filter(|s| !s.is_stale(live))
+                            .cloned()
+                            .unwrap_or_else(|| crate::stats::TableStats::seed(&t));
+                        let col_index = t
+                            .schema
+                            .columns
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| (c.name.clone(), i))
+                            .collect();
+                        let indexed_parts = t
+                            .indexes()
+                            .iter()
+                            .filter(|i| i.parts.len() == 1)
+                            .map(|i| i.parts[0].clone())
+                            .collect();
+                        UnitFacts {
+                            aliases: vec![alias.to_ascii_lowercase()],
+                            rows: live as f64,
+                            est: live as f64,
+                            stats: Some(stats),
+                            col_index,
+                            indexed_parts,
+                            live,
+                            reorderable: true,
+                        }
+                    }
+                    // Missing table: the attach step will surface the error;
+                    // give the planner a neutral placeholder.
+                    Err(_) => UnitFacts {
+                        aliases: vec![alias.to_ascii_lowercase()],
+                        rows: 1.0,
+                        est: 1.0,
+                        stats: None,
+                        col_index: FxHashMap::default(),
+                        indexed_parts: Vec::new(),
+                        live: 0,
+                        reorderable: true,
+                    },
+                }
+            }
+            Unit::Derived { rel, alias } => UnitFacts {
+                aliases: vec![alias.to_ascii_lowercase()],
+                rows: rel.rows.len() as f64,
+                est: rel.rows.len() as f64,
+                stats: None,
+                col_index: FxHashMap::default(),
+                indexed_parts: Vec::new(),
+                live: 0,
+                reorderable: true,
+            },
+            Unit::JoinTree { rel, scope_cols } => UnitFacts {
+                aliases: scope_cols
+                    .iter()
+                    .map(|(a, _)| a.to_ascii_lowercase())
+                    .collect(),
+                rows: rel.rows.len() as f64,
+                est: rel.rows.len() as f64,
+                stats: None,
+                col_index: FxHashMap::default(),
+                indexed_parts: Vec::new(),
+                live: 0,
+                reorderable: true,
+            },
+            Unit::Lateral { alias, .. } | Unit::LateralFn { alias, .. } => UnitFacts {
+                aliases: vec![alias.to_ascii_lowercase()],
+                rows: 1.0,
+                est: 1.0,
+                stats: None,
+                col_index: FxHashMap::default(),
+                indexed_parts: Vec::new(),
+                live: 0,
+                reorderable: false,
+            },
+        })
+        .collect();
+
+    // Apply single-unit constant predicates to the estimates.
+    for facts in &mut all {
+        let mut sel = 1.0;
+        for c in pending.iter().flatten() {
+            let mut aliases = FxHashSet::default();
+            if !expr_aliases(c, &mut aliases) || aliases.len() != 1 {
+                continue;
+            }
+            let alias = aliases.iter().next().expect("len checked");
+            if facts.aliases.len() == 1 && facts.aliases[0] == *alias {
+                sel *= conjunct_selectivity(facts, c);
+            }
+        }
+        facts.est = facts.rows * sel;
+    }
+    all
+}
+
+/// Extract equi-join edges between reorderable units from the pending
+/// conjuncts.
+fn extract_join_edges(
+    facts: &[UnitFacts],
+    pending: &[Option<&ast::Expr>],
+    prefix: usize,
+) -> Vec<JoinEdge> {
+    let owner_of = |alias: &str| -> Option<usize> {
+        facts[..prefix]
+            .iter()
+            .position(|f| f.aliases.iter().any(|a| a == alias))
+    };
+    let mut edges = Vec::new();
+    for c in pending.iter().flatten() {
+        let ast::Expr::Binary(BinaryOp::Eq, l, r) = c else {
+            continue;
+        };
+        let mut la = FxHashSet::default();
+        let mut ra = FxHashSet::default();
+        if !expr_aliases(l, &mut la) || !expr_aliases(r, &mut ra) {
+            continue;
+        }
+        if la.len() != 1 || ra.len() != 1 {
+            continue;
+        }
+        let (la, ra) = (
+            la.iter().next().expect("len checked").clone(),
+            ra.iter().next().expect("len checked").clone(),
+        );
+        let (Some(a), Some(b)) = (owner_of(&la), owner_of(&ra)) else {
+            continue;
+        };
+        if a == b {
+            continue;
+        }
+        let sel = 1.0 / side_ndv(&facts[a], l).max(side_ndv(&facts[b], r));
+        let a_indexed =
+            ast_key_part(&facts[a], l).is_some_and(|p| facts[a].indexed_parts.contains(&p));
+        let b_indexed =
+            ast_key_part(&facts[b], r).is_some_and(|p| facts[b].indexed_parts.contains(&p));
+        edges.push(JoinEdge {
+            a,
+            b,
+            sel,
+            a_indexed,
+            b_indexed,
+        });
+    }
+    edges
+}
+
+/// Greedy smallest-first join ordering over the maximal leading run of
+/// non-lateral units. Starts from the unit with the smallest filtered
+/// estimate, then repeatedly attaches the unit minimizing the estimated
+/// intermediate result — penalizing cross joins, mildly preferring
+/// index-probe attachments. Units at or after the first lateral keep their
+/// textual positions.
+fn plan_join_order(
+    env: &Env<'_>,
+    units: &[Unit<'_>],
+    pending: &[Option<&ast::Expr>],
+) -> Vec<PlannedUnit> {
+    let facts = gather_unit_facts(env, units, pending);
+    let prefix = facts
+        .iter()
+        .position(|f| !f.reorderable)
+        .unwrap_or(facts.len());
+    if prefix < 2 {
+        return (0..units.len())
+            .map(|idx| PlannedUnit { idx, est: None })
+            .collect();
+    }
+    let edges = extract_join_edges(&facts, pending, prefix);
+
+    let mut order: Vec<PlannedUnit> = Vec::with_capacity(units.len());
+    let mut used = vec![false; prefix];
+    let first = (0..prefix)
+        .min_by(|&i, &j| facts[i].est.total_cmp(&facts[j].est))
+        .expect("prefix >= 2");
+    used[first] = true;
+    let mut cur = facts[first].est;
+    order.push(PlannedUnit {
+        idx: first,
+        est: Some(cur),
+    });
+
+    while order.len() < prefix {
+        let mut best: Option<(usize, f64, f64)> = None; // (unit, cost, result rows)
+        for j in 0..prefix {
+            if used[j] {
+                continue;
+            }
+            let mut sel = 1.0;
+            let mut connected = false;
+            let mut probes_index = false;
+            for e in &edges {
+                let (other, j_side_indexed) = if e.a == j {
+                    (e.b, e.a_indexed)
+                } else if e.b == j {
+                    (e.a, e.b_indexed)
+                } else {
+                    continue;
+                };
+                if !used[other] {
+                    continue;
+                }
+                connected = true;
+                sel *= e.sel;
+                probes_index |= j_side_indexed;
+            }
+            let result = cur * facts[j].est * sel;
+            let mut cost = result;
+            if !connected {
+                cost *= CROSS_JOIN_PENALTY;
+            } else if probes_index && facts[j].stats.is_some() {
+                cost *= INDEX_JOIN_BONUS;
+            }
+            if best.as_ref().is_none_or(|(_, bc, _)| cost < *bc) {
+                best = Some((j, cost, result));
+            }
+        }
+        let (j, _, result) = best.expect("unused unit remains");
+        used[j] = true;
+        cur = result;
+        order.push(PlannedUnit {
+            idx: j,
+            est: Some(cur),
+        });
+    }
+    // The first lateral and everything after it attach in textual order.
+    order.extend((prefix..units.len()).map(|idx| PlannedUnit { idx, est: None }));
+    order
+}
+
+// ---------------------------------------------------------------------------
+// The planning pass
+// ---------------------------------------------------------------------------
+
+/// Plan a FROM list + WHERE clause into a [`FromPlan`]. Performs every
+/// planning decision (join order, access paths, pushdown, hash keys) and
+/// compiles every predicate; the executor only follows the plan.
+pub(crate) fn plan_from(
+    env: &Env<'_>,
+    from: &[ast::FromItem],
+    filter: Option<&ast::Expr>,
+    needs: &Needs,
+) -> Result<FromPlan> {
+    // Table-less SELECT: no steps; the WHERE (if any) gates the identity row.
+    if from.is_empty() {
+        let scope = Scope::default();
+        let residual = match filter {
+            Some(f) => vec![compile_expr(env, &scope, f)?],
+            None => Vec::new(),
+        };
+        return Ok(FromPlan {
+            steps: Vec::new(),
+            scope,
+            residual,
+        });
+    }
+
+    // Phase 1: turn FROM items into units. With the planner on, inner-only
+    // JOIN trees flatten into their leaf units so the optimizer can reorder
+    // across explicit JOIN syntax too; their ON conjuncts become ordinary
+    // pending conjuncts (equivalent for inner joins).
+    let planner_on = env.db.planner_enabled();
+    let mut units: Vec<Unit<'_>> = Vec::with_capacity(from.len());
+    let mut conjuncts: Vec<&ast::Expr> = Vec::new();
+    for item in from {
+        if planner_on {
+            if let Some(leaves) = flatten_inner_joins(item, &mut conjuncts) {
+                for leaf in leaves {
+                    units.push(plan_unit(env, leaf)?);
+                }
+                continue;
+            }
+        }
+        units.push(plan_unit(env, item)?);
+    }
+
+    // Phase 2: split WHERE into conjuncts (kept as AST; compiled when their
+    // tables are all bound). Flattened ON conjuncts come first so equi keys
+    // are found before residual predicates.
+    if let Some(f) = filter {
+        collect_conjuncts(f, &mut conjuncts);
+    }
+    let mut pending: Vec<Option<&ast::Expr>> = conjuncts.into_iter().map(Some).collect();
+
+    // Phase 3: pick an attachment order.
+    let planned: Vec<PlannedUnit> = if planner_on && units.len() > 1 {
+        plan_join_order(env, &units, &pending)
+    } else {
+        (0..units.len())
+            .map(|idx| PlannedUnit { idx, est: None })
+            .collect()
+    };
+    if planned.iter().enumerate().any(|(pos, p)| pos != p.idx) {
+        env.note(|| {
+            let names: Vec<String> = planned.iter().map(|p| unit_label(&units[p.idx])).collect();
+            format!("join order: {} (reordered)", names.join(", "))
+        });
+    }
+
+    // Phase 4: plan each attach step in execution order.
+    let mut scope = Scope::default();
+    let mut slots: Vec<Option<Unit<'_>>> = units.into_iter().map(Some).collect();
+    let mut entry_spans: Vec<(usize, std::ops::Range<usize>)> = Vec::with_capacity(slots.len());
+    let mut steps: Vec<Step> = Vec::with_capacity(slots.len());
+
+    for p in &planned {
+        let unit = slots[p.idx].take().expect("each unit plans exactly once");
+        let label = unit_label(&unit);
+        let entries_before = scope.entries.len();
+        let (kind, attach) = match unit {
+            Unit::Lateral {
+                rows: value_rows,
+                alias,
+                columns,
+            } => {
+                // Compile row expressions against a scope extended with the
+                // lateral's own columns *excluded* — they may only reference
+                // earlier units.
+                let arity = columns.len();
+                let mut compiled_rows = Vec::with_capacity(value_rows.len());
+                for vr in value_rows {
+                    let mut cr = Vec::with_capacity(vr.len());
+                    for e in vr {
+                        cr.push(compile_expr(env, &scope, e)?);
+                    }
+                    compiled_rows.push(cr);
+                }
+                scope.push(&alias, columns);
+                (
+                    StepKind::LateralValues {
+                        rows: compiled_rows,
+                        arity,
+                    },
+                    Attach::Flatten,
+                )
+            }
+            Unit::LateralFn {
+                func,
+                args,
+                alias,
+                columns,
+            } => {
+                if columns.len() != func.arity() {
+                    return Err(Error::Invalid(format!(
+                        "{func:?} produces {} columns, alias declares {}",
+                        func.arity(),
+                        columns.len()
+                    )));
+                }
+                let compiled: Vec<Expr> = args
+                    .iter()
+                    .map(|e| compile_expr(env, &scope, e))
+                    .collect::<Result<_>>()?;
+                let arity = columns.len();
+                scope.push(&alias, columns);
+                (
+                    StepKind::LateralFunc {
+                        func,
+                        args: compiled,
+                        arity,
+                    },
+                    Attach::Flatten,
+                )
+            }
+            Unit::Derived { rel, alias } => {
+                plan_rel_step(env, &mut scope, rel, &[alias], true, &mut pending)?
+            }
+            Unit::JoinTree { rel, scope_cols } => {
+                // Multi-alias relation: extend the scope with every alias.
+                // Join-tree outputs take no pushdown (their own predicates
+                // lived in ON clauses); ready conjuncts apply after attach.
+                let before_width = scope.width;
+                for (alias, cols) in &scope_cols {
+                    scope.push(alias, cols.clone());
+                }
+                let rows = rel.rows.len();
+                let attach = pick_attach(env, &scope, before_width, &mut pending);
+                (
+                    StepKind::Rel {
+                        rel,
+                        pushed: Vec::new(),
+                        rows,
+                    },
+                    attach,
+                )
+            }
+            Unit::Named { name, alias } => {
+                if let Some(cte) = env.ctes.get(&name) {
+                    let rel = (**cte).clone();
+                    plan_rel_step(env, &mut scope, rel, &[alias], true, &mut pending)?
+                } else {
+                    plan_base_table(env, &mut scope, &name, &alias, &mut pending, needs)?
+                }
+            }
+        };
+
+        // Ready conjuncts: everything now fully resolvable applies to the
+        // combined rows right after this attach, in conjunct order.
+        let mut after = Vec::new();
+        for slot in pending.iter_mut() {
+            let Some(c) = slot else { continue };
+            if let Ok(compiled) = compile_expr(env, &scope, c) {
+                let mut max_col = 0;
+                let mut any = false;
+                compiled.visit_columns(&mut |i| {
+                    any = true;
+                    max_col = max_col.max(i);
+                });
+                if !any || max_col < scope.width {
+                    after.push(compiled);
+                    *slot = None;
+                }
+            }
+            // Compile failures reference columns not yet in scope; retry
+            // after the next unit extends it.
+        }
+        entry_spans.push((p.idx, entries_before..scope.entries.len()));
+        steps.push(Step {
+            label,
+            est: p.est,
+            kind,
+            attach,
+            after,
+            exec: StepExec::default(),
+        });
+    }
+
+    // Restore scope entries to textual order so `SELECT *` column order is
+    // unaffected by the planner; offsets keep pointing at the physical row
+    // layout, which is what name resolution uses.
+    entry_spans.sort_by_key(|(orig, _)| *orig);
+    let mut old: Vec<Option<crate::exec::ScopeEntry>> = std::mem::take(&mut scope.entries)
+        .into_iter()
+        .map(Some)
+        .collect();
+    for (_, span) in entry_spans {
+        for k in span {
+            scope.entries.push(old[k].take().expect("entry moved once"));
+        }
+    }
+
+    // Any conjunct still unresolved references unknown columns — surface the
+    // resolution error.
+    let mut residual = Vec::new();
+    for c in pending.into_iter().flatten() {
+        residual.push(compile_expr(env, &scope, c)?);
+    }
+    Ok(FromPlan {
+        steps,
+        scope,
+        residual,
+    })
+}
+
+/// Plan the attachment of a pre-materialized relation: push its alias(es),
+/// apply plan-time pushdown (the relation's rows exist already), pick the
+/// hash key.
+fn plan_rel_step(
+    env: &Env<'_>,
+    scope: &mut Scope,
+    mut rel: Relation,
+    aliases: &[String],
+    pushdown: bool,
+    pending: &mut [Option<&ast::Expr>],
+) -> Result<(StepKind, Attach)> {
+    let before_width = scope.width;
+    let arity = rel.columns.len();
+    for alias in aliases {
+        scope.push(alias, rel.columns.clone());
+    }
+    let mut pushed = Vec::new();
+    if pushdown {
+        let locals = take_locals(env, scope, before_width, arity, pending);
+        for p in &locals {
+            let before = rel.rows.len();
+            rel.rows = filter_rows(std::mem::take(&mut rel.rows), p)?;
+            pushed.push((before, rel.rows.len()));
+        }
+    }
+    let rows = rel.rows.len();
+    let attach = pick_attach(env, scope, before_width, pending);
+    Ok((StepKind::Rel { rel, pushed, rows }, attach))
+}
+
+/// Take every pending conjunct local to the unit at `before_width` and
+/// return it re-based onto the bare unit row, retiring the pending slot.
+/// The executor evaluates these predicates inside the scan (fused
+/// scan + filter) instead of materializing unfiltered rows first.
+fn take_locals(
+    env: &Env<'_>,
+    scope: &Scope,
+    before_width: usize,
+    arity: usize,
+    pending: &mut [Option<&ast::Expr>],
+) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for slot in pending.iter_mut() {
+        let Some(c) = slot else { continue };
+        let Ok(compiled) = compile_expr(env, scope, c) else {
+            continue;
+        };
+        let mut any = false;
+        let mut local = true;
+        compiled.visit_columns(&mut |i| {
+            any = true;
+            if i < before_width || i >= before_width + arity {
+                local = false;
+            }
+        });
+        if !any || !local {
+            continue;
+        }
+        let mut rebased = compiled;
+        rebased.map_columns(&mut |i| i - before_width);
+        out.push(rebased);
+        *slot = None;
+    }
+    out
+}
+
+/// Pick the attach strategy for the unit just pushed at `before_width`:
+/// hash join on the first usable pending equi conjunct, else cross product.
+fn pick_attach(
+    env: &Env<'_>,
+    scope: &Scope,
+    before_width: usize,
+    pending: &mut [Option<&ast::Expr>],
+) -> Attach {
+    for slot in pending.iter_mut() {
+        let Some(c) = slot else { continue };
+        let Ok(compiled) = compile_expr(env, scope, c) else {
+            continue;
+        };
+        if let Some((lkey, rkey)) = find_equi_split(&compiled, before_width) {
+            // Keys must not reference columns beyond the current width.
+            let mut max_col = 0;
+            lkey.visit_columns(&mut |i| max_col = max_col.max(i));
+            rkey.visit_columns(&mut |i| max_col = max_col.max(i));
+            if max_col < scope.width {
+                *slot = None;
+                // `find_equi_split` guarantees side purity: the build key
+                // re-bases onto the bare unit row, the probe key evaluates
+                // on the accumulated row directly.
+                let mut rkey = rkey;
+                rkey.map_columns(&mut |c| c - before_width);
+                return Attach::Hash { lkey, rkey };
+            }
+        }
+    }
+    Attach::Cross
+}
+
+/// Plan a base-table attach: choose index probe / point / range / full scan
+/// (the same strategy ladder the in-line executor used), scoop local
+/// filters, and pick the join strategy.
+fn plan_base_table(
+    env: &Env<'_>,
+    scope: &mut Scope,
+    name: &str,
+    alias: &str,
+    pending: &mut [Option<&ast::Expr>],
+    needs: &Needs,
+) -> Result<(StepKind, Attach)> {
+    let guard = env.db.read_table(name)?;
+    let table: &crate::storage::Table = &guard;
+    let all_names: Vec<String> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    // Projection pruning: materialize only the columns the statement can
+    // reference. `keep` maps pruned position -> original position.
+    let keep: Vec<usize> = needs
+        .pruned(&alias.to_ascii_lowercase(), &all_names)
+        .unwrap_or_else(|| (0..all_names.len()).collect());
+    let col_names: Vec<String> = keep.iter().map(|&i| all_names[i].clone()).collect();
+    let before_width = scope.width;
+    scope.push(alias, col_names);
+    let arity = keep.len();
+
+    // Gather, for this unit: constant equality pairs (key part -> const)
+    // and probe equality pairs (key part -> left-side key expression).
+    // A key part is a plain column or `JSON_VAL(json_col, 'member')` — the
+    // latter matches functional indexes.
+    use crate::index::KeyPart;
+    let as_key_part = |e: &Expr| -> Option<KeyPart> {
+        match e {
+            Expr::Col(idx) if *idx >= before_width && *idx < before_width + arity => {
+                // Map the pruned position back to the original column.
+                Some(KeyPart::Column(keep[*idx - before_width]))
+            }
+            Expr::Call(crate::expr::Func::JsonVal, args) => match (args.first(), args.get(1)) {
+                (Some(Expr::Col(idx)), Some(Expr::Const(Value::Str(member))))
+                    if *idx >= before_width && *idx < before_width + arity =>
+                {
+                    Some(KeyPart::JsonKey(
+                        keep[*idx - before_width],
+                        member.to_string(),
+                    ))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let mut const_eq: Vec<(KeyPart, Value, usize)> = Vec::new();
+    let mut probe_eq: Vec<(KeyPart, Expr, usize)> = Vec::new();
+    for (i, slot) in pending.iter().enumerate() {
+        let Some(c) = slot else { continue };
+        let Ok(compiled) = compile_expr(env, scope, c) else {
+            continue;
+        };
+        // Only consider plain equality conjuncts.
+        let Expr::Binary(BinaryOp::Eq, a, b) = &compiled else {
+            continue;
+        };
+        let is_bound = |e: &Expr| -> bool {
+            let mut ok = true;
+            e.visit_columns(&mut |i| {
+                if i >= before_width {
+                    ok = false;
+                }
+            });
+            ok
+        };
+        let (part, other) = match (as_key_part(a), as_key_part(b)) {
+            (Some(p), None) if is_bound(b) => (p, (**b).clone()),
+            (None, Some(p)) if is_bound(a) => (p, (**a).clone()),
+            _ => continue,
+        };
+        if let Expr::Const(v) = &other {
+            const_eq.push((part, v.clone(), i));
+        } else {
+            probe_eq.push((part, other, i));
+        }
+    }
+
+    // Strategy 1: index nested loop. Find an index whose key parts are all
+    // covered by probe/const pairs, preferring indexes that use a probe.
+    let mut best: Option<(&crate::index::Index, Vec<ProbePart>, Vec<usize>)> = None;
+    for idx in table.indexes() {
+        let mut parts = Vec::with_capacity(idx.parts.len());
+        let mut used = Vec::new();
+        let mut ok = true;
+        let mut uses_probe = false;
+        for part in &idx.parts {
+            if let Some((_, key_expr, pi)) = probe_eq.iter().find(|(pp, _, _)| pp == part) {
+                parts.push(ProbePart::Probe(key_expr.clone()));
+                used.push(*pi);
+                uses_probe = true;
+            } else if let Some((_, v, pi)) = const_eq.iter().find(|(cp, _, _)| cp == part) {
+                parts.push(ProbePart::Const(v.clone()));
+                used.push(*pi);
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((bidx, _, _)) => {
+                // Prefer probe-using, then longer keys, then unique.
+                let b_probe = bidx
+                    .parts
+                    .iter()
+                    .any(|p| probe_eq.iter().any(|(pp, _, _)| pp == p));
+                (uses_probe && !b_probe)
+                    || (uses_probe == b_probe && idx.parts.len() > bidx.parts.len())
+            }
+        };
+        if better {
+            best = Some((idx, parts, used));
+        }
+    }
+
+    if let Some((idx, parts, used)) = best {
+        let uses_probe = parts.iter().any(|p| matches!(p, ProbePart::Probe(_)));
+        for pi in &used {
+            pending[*pi] = None;
+        }
+        if uses_probe {
+            return Ok((
+                StepKind::Scan {
+                    table: name.to_string(),
+                    keep,
+                    access: Access::Probe {
+                        index: idx.name.clone(),
+                        parts,
+                    },
+                    locals: Vec::new(),
+                },
+                Attach::Probe,
+            ));
+        }
+        // Const-only index: point scan, then join the scanned rows.
+        let key: Vec<Value> = parts
+            .iter()
+            .map(|p| match p {
+                ProbePart::Const(v) => v.clone(),
+                ProbePart::Probe(_) => unreachable!("no probes in const-only path"),
+            })
+            .collect();
+        let n_parts = parts.len();
+        let index = idx.name.clone();
+        drop(guard);
+        let locals = take_locals(env, scope, before_width, arity, pending);
+        let attach = pick_attach(env, scope, before_width, pending);
+        return Ok((
+            StepKind::Scan {
+                table: name.to_string(),
+                keep,
+                access: Access::Point {
+                    index,
+                    key,
+                    parts: n_parts,
+                },
+                locals,
+            },
+            attach,
+        ));
+    }
+
+    // Strategy 2: B-tree range scan for comparison predicates on an indexed
+    // key part. Bounds are applied inclusively; the bounding conjuncts stay
+    // pending — `take_locals` scoops them, so exclusive endpoints are
+    // filtered exactly.
+    let mut range_access: Option<Access> = None;
+    {
+        let mut lo: Option<(KeyPart, Value)> = None;
+        let mut hi: Option<(KeyPart, Value)> = None;
+        for slot in pending.iter() {
+            let Some(c) = slot else { continue };
+            let Ok(compiled) = compile_expr(env, scope, c) else {
+                continue;
+            };
+            // BETWEEN desugars to `a AND b` inside one conjunct: split at
+            // the compiled level too.
+            visit_conjuncts(&compiled, &mut |leaf| {
+                let Expr::Binary(op, a, b) = leaf else { return };
+                // Normalize to `part OP const`.
+                let (part, value, op) =
+                    match (as_key_part(a), b.as_ref(), as_key_part(b), a.as_ref()) {
+                        (Some(p), Expr::Const(v), _, _) => (p, v.clone(), *op),
+                        (_, _, Some(p), Expr::Const(v)) => {
+                            // Flip: const OP part becomes part OP' const.
+                            let flipped = match *op {
+                                BinaryOp::Lt => BinaryOp::Gt,
+                                BinaryOp::Le => BinaryOp::Ge,
+                                BinaryOp::Gt => BinaryOp::Lt,
+                                BinaryOp::Ge => BinaryOp::Le,
+                                other => other,
+                            };
+                            (p, v.clone(), flipped)
+                        }
+                        _ => return,
+                    };
+                if value.is_null() {
+                    return;
+                }
+                match op {
+                    BinaryOp::Gt | BinaryOp::Ge if lo.as_ref().is_none_or(|(p, _)| *p == part) => {
+                        lo = Some((part, value));
+                    }
+                    BinaryOp::Lt | BinaryOp::Le if hi.as_ref().is_none_or(|(p, _)| *p == part) => {
+                        hi = Some((part, value));
+                    }
+                    _ => {}
+                }
+            });
+        }
+        // Bounds must target one part with a single-part B-tree index.
+        let part = match (&lo, &hi) {
+            (Some((p1, _)), Some((p2, _))) if p1 == p2 => Some(p1.clone()),
+            (Some((p, _)), None) | (None, Some((p, _))) => Some(p.clone()),
+            _ => None,
+        };
+        if let Some(part) = part {
+            let found = table.indexes().iter().find(|i| {
+                i.parts.len() == 1
+                    && i.parts[0] == part
+                    && i.kind() == crate::index::IndexKind::BTree
+            });
+            if let Some(idx) = found {
+                range_access = Some(Access::Range {
+                    index: idx.name.clone(),
+                    lo: lo
+                        .as_ref()
+                        .filter(|(p, _)| *p == part)
+                        .map(|(_, v)| v.clone()),
+                    hi: hi
+                        .as_ref()
+                        .filter(|(p, _)| *p == part)
+                        .map(|(_, v)| v.clone()),
+                });
+            }
+        }
+    }
+    drop(guard);
+    if let Some(access) = range_access {
+        let locals = take_locals(env, scope, before_width, arity, pending);
+        let attach = pick_attach(env, scope, before_width, pending);
+        return Ok((
+            StepKind::Scan {
+                table: name.to_string(),
+                keep,
+                access,
+                locals,
+            },
+            attach,
+        ));
+    }
+
+    // Strategy 3: full scan fused with the unit's pushed-down predicates.
+    let locals = take_locals(env, scope, before_width, arity, pending);
+    let attach = pick_attach(env, scope, before_width, pending);
+    Ok((
+        StepKind::Scan {
+            table: name.to_string(),
+            keep,
+            access: Access::Full,
+            locals,
+        },
+        attach,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering
+// ---------------------------------------------------------------------------
+
+/// Emit the flat access-path notes for an executed plan (the historical
+/// EXPLAIN format: strategy, pushdown counts, join kind + DOP, and
+/// per-step `estimated … actual` cardinalities).
+pub(crate) fn render_notes(env: &Env<'_>, plan: &FromPlan) {
+    for step in &plan.steps {
+        let x = &step.exec;
+        match &step.kind {
+            StepKind::Scan {
+                table,
+                access,
+                locals,
+                ..
+            } => match access {
+                Access::Probe { index, parts } => {
+                    env.note(|| {
+                        format!(
+                            "{table}: index nested-loop join via index {index} ({} key parts)",
+                            parts.len()
+                        )
+                    });
+                }
+                Access::Point { index, parts, .. } => {
+                    env.note(|| {
+                        format!("{table}: index scan via index {index} ({parts} key parts)")
+                    });
+                    for (before, after) in &x.local_counts {
+                        env.note(|| {
+                            format!("{}: pushdown filter ({before} -> {after} rows)", step.label)
+                        });
+                    }
+                }
+                Access::Range { index, .. } => {
+                    env.note(|| {
+                        format!(
+                            "{table}: range scan via index {index} ({} rows)",
+                            x.scan_rows.unwrap_or_default()
+                        )
+                    });
+                    for (before, after) in &x.local_counts {
+                        env.note(|| {
+                            format!("{}: pushdown filter ({before} -> {after} rows)", step.label)
+                        });
+                    }
+                }
+                Access::Full => {
+                    env.note(|| {
+                        format!(
+                            "{table}: full scan ({} rows, dop {})",
+                            x.scan_rows.unwrap_or_default(),
+                            x.scan_dop.unwrap_or(1)
+                        )
+                    });
+                    if !locals.is_empty() {
+                        for (before, after) in &x.local_counts {
+                            env.note(|| {
+                                format!(
+                                    "{}: pushdown filter ({before} -> {after} rows)",
+                                    step.label
+                                )
+                            });
+                        }
+                    }
+                }
+            },
+            StepKind::Rel { pushed, .. } => {
+                for (before, after) in pushed {
+                    env.note(|| {
+                        format!("{}: pushdown filter ({before} -> {after} rows)", step.label)
+                    });
+                }
+            }
+            StepKind::LateralValues { .. } | StepKind::LateralFunc { .. } => {}
+        }
+        match &step.attach {
+            Attach::Hash { .. } => {
+                env.note(|| {
+                    format!(
+                        "hash join ({} build rows, dop {})",
+                        x.join_rows.unwrap_or_default(),
+                        x.join_dop.unwrap_or(1)
+                    )
+                });
+            }
+            Attach::Cross => {
+                env.note(|| {
+                    format!(
+                        "cross join ({} right rows, dop {})",
+                        x.join_rows.unwrap_or_default(),
+                        x.join_dop.unwrap_or(1)
+                    )
+                });
+            }
+            Attach::Probe | Attach::Flatten => {}
+        }
+        if let (Some(est), Some(actual)) = (step.est, x.actual) {
+            env.note(|| format!("{}: estimated {est:.0} rows, actual {actual}", step.label));
+        }
+    }
+}
+
+/// Render the physical operator tree (the IR that actually ran) into the
+/// trace: outer `wrappers` (Sort/Distinct/Aggregate, outermost first), then
+/// the left-deep join tree with per-node DOP and pushed-filter counts.
+pub(crate) fn render_tree(env: &Env<'_>, plan: &FromPlan, wrappers: &[String]) {
+    let mut lines: Vec<String> = vec!["plan:".to_string()];
+    let mut depth = 1usize;
+    for w in wrappers {
+        lines.push(format!("{}{w}", "  ".repeat(depth)));
+        depth += 1;
+    }
+    if !plan.residual.is_empty() {
+        lines.push(format!(
+            "{}Filter ({} residual predicates)",
+            "  ".repeat(depth),
+            plan.residual.len()
+        ));
+        depth += 1;
+    }
+    if plan.steps.is_empty() {
+        lines.push(format!("{}Values (1 row)", "  ".repeat(depth)));
+    } else {
+        tree_into(&plan.steps, plan.steps.len() - 1, depth, &mut lines);
+    }
+    for line in lines {
+        env.note(|| line.clone());
+    }
+}
+
+/// Recursive left-deep tree render of `steps[..=i]`.
+fn tree_into(steps: &[Step], i: usize, depth: usize, out: &mut Vec<String>) {
+    let step = &steps[i];
+    let pad = "  ".repeat(depth);
+    let mut depth = depth;
+    if !step.after.is_empty() {
+        out.push(format!("{pad}Filter ({} predicates)", step.after.len()));
+        depth += 1;
+    }
+    let pad = "  ".repeat(depth);
+    let x = &step.exec;
+    // The attach node (for non-leading steps, and for index probes which
+    // fuse join+scan).
+    if i == 0 {
+        // Leading step: its Cross attach against the identity row is a
+        // passthrough — render the source alone.
+        out.push(format!("{pad}{}", leaf_label(step)));
+        return;
+    }
+    match &step.attach {
+        Attach::Probe => {
+            let (index, parts) = match &step.kind {
+                StepKind::Scan {
+                    access: Access::Probe { index, parts },
+                    ..
+                } => (index.as_str(), parts.len()),
+                _ => ("?", 0),
+            };
+            out.push(format!(
+                "{pad}IndexJoin {} (index {index}, {parts} key parts)",
+                step.label
+            ));
+            tree_into(steps, i - 1, depth + 1, out);
+        }
+        Attach::Hash { .. } => {
+            out.push(format!(
+                "{pad}HashJoin (build {}, {} build rows, dop {})",
+                step.label,
+                x.join_rows.unwrap_or_default(),
+                x.join_dop.unwrap_or(1)
+            ));
+            tree_into(steps, i - 1, depth + 1, out);
+            out.push(format!("{}{}", "  ".repeat(depth + 1), leaf_label(step)));
+        }
+        Attach::Cross => {
+            out.push(format!("{pad}CrossJoin (dop {})", x.join_dop.unwrap_or(1)));
+            tree_into(steps, i - 1, depth + 1, out);
+            out.push(format!("{}{}", "  ".repeat(depth + 1), leaf_label(step)));
+        }
+        Attach::Flatten => {
+            out.push(format!("{pad}Flatten {}", step.label));
+            tree_into(steps, i - 1, depth + 1, out);
+            out.push(format!("{}{}", "  ".repeat(depth + 1), leaf_label(step)));
+        }
+    }
+}
+
+/// One-line description of a step's row source.
+fn leaf_label(step: &Step) -> String {
+    let x = &step.exec;
+    match &step.kind {
+        StepKind::Scan {
+            table,
+            access,
+            locals,
+            keep,
+        } => match access {
+            Access::Probe { index, parts } => format!(
+                "Probe {} [{table}] (index {index}, {} key parts)",
+                step.label,
+                parts.len()
+            ),
+            Access::Point { index, parts, .. } => format!(
+                "Scan {} [{table}] (index {index}, point, {parts} key parts{})",
+                step.label,
+                filters_suffix(locals.len())
+            ),
+            Access::Range { index, .. } => format!(
+                "Scan {} [{table}] (index {index}, range, {} rows{})",
+                step.label,
+                x.scan_rows.unwrap_or_default(),
+                filters_suffix(locals.len())
+            ),
+            Access::Full => format!(
+                "Scan {} [{table}] (full, {} rows, {} cols, dop {}{})",
+                step.label,
+                x.scan_rows.unwrap_or_default(),
+                keep.len(),
+                x.scan_dop.unwrap_or(1),
+                filters_suffix(locals.len())
+            ),
+        },
+        StepKind::Rel { rows, pushed, .. } => format!(
+            "Rel {} ({rows} rows{})",
+            step.label,
+            filters_suffix(pushed.len())
+        ),
+        StepKind::LateralValues { rows, arity } => {
+            format!("Values {} ({} rows, {arity} cols)", step.label, rows.len())
+        }
+        StepKind::LateralFunc { func, arity, .. } => {
+            format!("Call {} ({func:?}, {arity} cols)", step.label)
+        }
+    }
+}
+
+fn filters_suffix(n: usize) -> String {
+    if n == 0 {
+        String::new()
+    } else {
+        format!(", {n} pushed filters")
+    }
+}

@@ -138,9 +138,18 @@ mod tests {
         TableSchema::new(
             "T",
             vec![
-                Column { name: "id".into(), ty: ColumnType::Integer },
-                Column { name: "w".into(), ty: ColumnType::Double },
-                Column { name: "name".into(), ty: ColumnType::Text },
+                Column {
+                    name: "id".into(),
+                    ty: ColumnType::Integer,
+                },
+                Column {
+                    name: "w".into(),
+                    ty: ColumnType::Double,
+                },
+                Column {
+                    name: "name".into(),
+                    ty: ColumnType::Text,
+                },
             ],
         )
         .unwrap()
@@ -160,8 +169,14 @@ mod tests {
         let r = TableSchema::new(
             "t",
             vec![
-                Column { name: "a".into(), ty: ColumnType::Any },
-                Column { name: "a".into(), ty: ColumnType::Any },
+                Column {
+                    name: "a".into(),
+                    ty: ColumnType::Any,
+                },
+                Column {
+                    name: "a".into(),
+                    ty: ColumnType::Any,
+                },
             ],
         );
         assert!(r.is_err());

@@ -117,7 +117,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { offset: start, kind: TokenKind::Str(s) });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Str(s),
+                });
             }
             b'"' => {
                 // Quoted identifier.
@@ -143,7 +146,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -178,10 +184,16 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         })?),
                     }
                 };
-                tokens.push(Token { offset: start, kind: TokenKind::Number(value) });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Number(value),
+                });
             }
             b'?' => {
-                tokens.push(Token { offset: start, kind: TokenKind::Param });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Param,
+                });
                 i += 1;
             }
             _ if b == b'_' || b.is_ascii_alphabetic() => {
@@ -225,12 +237,18 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         })
                     }
                 };
-                tokens.push(Token { offset: start, kind: TokenKind::Symbol(sym) });
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Symbol(sym),
+                });
                 i += len;
             }
         }
     }
-    tokens.push(Token { offset: sql.len(), kind: TokenKind::Eof });
+    tokens.push(Token {
+        offset: sql.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(tokens)
 }
 
@@ -251,7 +269,9 @@ mod tests {
         assert!(ks.contains(&TokenKind::Symbol(Symbol::Ge)));
         assert!(ks.contains(&TokenKind::Symbol(Symbol::Ne)));
         assert!(ks.contains(&TokenKind::Param));
-        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
+        assert!(!ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
     }
 
     #[test]

@@ -33,7 +33,11 @@ use crate::value::{CastType, Value};
 /// Parse one SQL statement (an optional trailing `;` is accepted).
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_symbol(Symbol::Semicolon);
     p.expect_eof()?;
@@ -43,7 +47,11 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 /// Parse a statement and report how many `?` parameters it uses.
 pub fn parse_statement_with_params(sql: &str) -> Result<(Statement, usize)> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_symbol(Symbol::Semicolon);
     p.expect_eof()?;
@@ -51,11 +59,57 @@ pub fn parse_statement_with_params(sql: &str) -> Result<(Statement, usize)> {
 }
 
 const RESERVED: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION",
-    "INTERSECT", "EXCEPT", "ALL", "DISTINCT", "AS", "ON", "JOIN", "LEFT", "INNER", "OUTER",
-    "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IN", "IS", "LIKE", "BETWEEN", "CAST",
-    "VALUES", "TABLE", "WITH", "INSERT", "INTO", "UPDATE", "SET", "DELETE", "CREATE", "UNIQUE",
-    "INDEX", "USING", "DROP", "IF", "EXISTS", "CALL", "PRIMARY", "KEY", "WHEN", "CASE",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "UNION",
+    "INTERSECT",
+    "EXCEPT",
+    "ALL",
+    "DISTINCT",
+    "AS",
+    "ON",
+    "JOIN",
+    "LEFT",
+    "INNER",
+    "OUTER",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "IN",
+    "IS",
+    "LIKE",
+    "BETWEEN",
+    "CAST",
+    "VALUES",
+    "TABLE",
+    "WITH",
+    "INSERT",
+    "INTO",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "UNIQUE",
+    "INDEX",
+    "USING",
+    "DROP",
+    "IF",
+    "EXISTS",
+    "CALL",
+    "PRIMARY",
+    "KEY",
+    "WHEN",
+    "CASE",
 ];
 
 struct Parser {
@@ -74,7 +128,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> Error {
-        Error::Parse { offset: self.offset(), message: message.into() }
+        Error::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn advance(&mut self) -> TokenKind {
@@ -226,7 +283,11 @@ impl Parser {
         } else {
             InsertSource::Select(Box::new(self.select_stmt()?))
         };
-        Ok(Statement::Insert { table, columns, source })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source,
+        })
     }
 
     fn update_stmt(&mut self) -> Result<Statement> {
@@ -242,14 +303,26 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, assignments, filter })
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            filter,
+        })
     }
 
     fn delete_stmt(&mut self) -> Result<Statement> {
         self.expect_keyword("FROM")?;
         let table = self.ident()?;
-        let filter = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
@@ -277,7 +350,11 @@ impl Parser {
                 }
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(Statement::CreateTable { name, columns, if_not_exists });
+            return Ok(Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            });
         }
         if self.eat_keyword("INDEX") {
             let if_not_exists = self.if_not_exists()?;
@@ -299,7 +376,14 @@ impl Parser {
             } else {
                 IndexKind::Hash
             };
-            return Ok(Statement::CreateIndex { name, table, columns, unique, kind, if_not_exists });
+            return Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+                kind,
+                if_not_exists,
+            });
         }
         Err(self.err("expected TABLE or INDEX after CREATE"))
     }
@@ -318,9 +402,15 @@ impl Parser {
                 _ => return Err(self.err("JSON_VAL index key needs a string member")),
             };
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(IndexColumn { column, json_key: Some(member) });
+            return Ok(IndexColumn {
+                column,
+                json_key: Some(member),
+            });
         }
-        Ok(IndexColumn { column: first, json_key: None })
+        Ok(IndexColumn {
+            column: first,
+            json_key: None,
+        })
     }
 
     fn if_not_exists(&mut self) -> Result<bool> {
@@ -394,9 +484,23 @@ impl Parser {
                 }
             }
         }
-        let limit = if self.eat_keyword("LIMIT") { Some(self.expr()?) } else { None };
-        let offset = if self.eat_keyword("OFFSET") { Some(self.expr()?) } else { None };
-        Ok(SelectStmt { ctes, body, order_by, limit, offset })
+        let limit = if self.eat_keyword("LIMIT") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_keyword("OFFSET") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            ctes,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn set_expr(&mut self) -> Result<SetExpr> {
@@ -413,7 +517,12 @@ impl Parser {
             };
             let all = self.eat_keyword("ALL");
             let right = self.set_core()?;
-            left = SetExpr::Op { op, all, left: Box::new(left), right: Box::new(right) };
+            left = SetExpr::Op {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -444,7 +553,11 @@ impl Parser {
                 from.push(self.parse_from_item()?);
             }
         }
-        let filter = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -453,7 +566,11 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(SetExpr::Select(Box::new(SelectCore {
             distinct,
             projections,
@@ -471,9 +588,13 @@ impl Parser {
         // `t.*`
         if let TokenKind::Ident(name) = self.peek() {
             let name = name.clone();
-            if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Symbol(Symbol::Dot)))
-                && matches!(self.tokens.get(self.pos + 2).map(|t| &t.kind), Some(TokenKind::Symbol(Symbol::Star)))
-            {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Symbol(Symbol::Dot))
+            ) && matches!(
+                self.tokens.get(self.pos + 2).map(|t| &t.kind),
+                Some(TokenKind::Symbol(Symbol::Star))
+            ) {
                 self.advance();
                 self.advance();
                 self.advance();
@@ -541,7 +662,12 @@ impl Parser {
                     columns.push(self.ident()?);
                 }
                 self.expect_symbol(Symbol::RParen)?;
-                return Ok(FromItem::LateralFunc { func, args, alias, columns });
+                return Ok(FromItem::LateralFunc {
+                    func,
+                    args,
+                    alias,
+                    columns,
+                });
             }
             self.expect_keyword("VALUES")?;
             let mut rows = vec![self.paren_expr_list()?];
@@ -561,7 +687,11 @@ impl Parser {
             if rows.iter().any(|r| r.len() != arity) || columns.len() != arity {
                 return Err(self.err("TABLE(VALUES ...) rows and column list must agree in arity"));
             }
-            return Ok(FromItem::LateralValues { rows, alias, columns });
+            return Ok(FromItem::LateralValues {
+                rows,
+                alias,
+                columns,
+            });
         }
         if self.eat_symbol(Symbol::LParen) {
             let query = self.select_stmt()?;
@@ -570,7 +700,10 @@ impl Parser {
             let alias = self
                 .alias_ident()
                 .ok_or_else(|| self.err("derived table requires an alias"))?;
-            return Ok(FromItem::Subquery { query: Box::new(query), alias });
+            return Ok(FromItem::Subquery {
+                query: Box::new(query),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = if self.eat_keyword("AS") {
@@ -632,21 +765,33 @@ impl Parser {
         let negated = self.eat_keyword("NOT");
         if self.eat_keyword("LIKE") {
             let pattern = self.additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if self.eat_keyword("IN") {
             self.expect_symbol(Symbol::LParen)?;
             if self.at_keyword("SELECT") || self.at_keyword("WITH") {
                 let query = self.select_stmt()?;
                 self.expect_symbol(Symbol::RParen)?;
-                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(query), negated });
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
             }
             let mut list = vec![self.expr()?];
             while self.eat_symbol(Symbol::Comma) {
                 list.push(self.expr()?);
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword("BETWEEN") {
             let lo = self.additive()?;
@@ -785,9 +930,7 @@ impl Parser {
                         ColumnType::Double => CastType::Double,
                         ColumnType::Text => CastType::Text,
                         ColumnType::Boolean => CastType::Boolean,
-                        other => {
-                            return Err(self.err(format!("cannot CAST to {other:?}")))
-                        }
+                        other => return Err(self.err(format!("cannot CAST to {other:?}"))),
                     };
                     self.expect_symbol(Symbol::RParen)?;
                     return Ok(Expr::Cast(Box::new(e), ty));
@@ -813,13 +956,20 @@ impl Parser {
                         }
                     }
                     self.expect_symbol(Symbol::RParen)?;
-                    return Ok(Expr::Call { name, args, distinct });
+                    return Ok(Expr::Call {
+                        name,
+                        args,
+                        distinct,
+                    });
                 }
                 // Qualified column `t.c`?
                 if self.at_symbol(Symbol::Dot) {
                     self.advance();
                     let col = self.ident()?;
-                    return Ok(Expr::Column { table: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
                 }
                 Ok(Expr::Column { table: None, name })
             }
@@ -842,7 +992,9 @@ mod tests {
     #[test]
     fn simple_select() {
         let s = sel("SELECT a, b AS x FROM t WHERE a = 1");
-        let SetExpr::Select(core) = &s.body else { panic!() };
+        let SetExpr::Select(core) = &s.body else {
+            panic!()
+        };
         assert_eq!(core.projections.len(), 2);
         assert_eq!(core.from.len(), 1);
         assert!(core.filter.is_some());
@@ -850,12 +1002,17 @@ mod tests {
 
     #[test]
     fn with_ctes_and_set_ops() {
-        let s = sel(
-            "WITH t1 AS (SELECT 1 AS v), t2 AS (SELECT 2 AS v) \
-             SELECT v FROM t1 UNION ALL SELECT v FROM t2 ORDER BY v DESC LIMIT 5 OFFSET 1",
-        );
+        let s = sel("WITH t1 AS (SELECT 1 AS v), t2 AS (SELECT 2 AS v) \
+             SELECT v FROM t1 UNION ALL SELECT v FROM t2 ORDER BY v DESC LIMIT 5 OFFSET 1");
         assert_eq!(s.ctes.len(), 2);
-        assert!(matches!(s.body, SetExpr::Op { op: SetOp::Union, all: true, .. }));
+        assert!(matches!(
+            s.body,
+            SetExpr::Op {
+                op: SetOp::Union,
+                all: true,
+                ..
+            }
+        ));
         assert_eq!(s.order_by.len(), 1);
         assert!(s.order_by[0].1);
         assert!(s.limit.is_some() && s.offset.is_some());
@@ -864,10 +1021,16 @@ mod tests {
     #[test]
     fn joins() {
         let s = sel("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y JOIN c ON c.z = a.x");
-        let SetExpr::Select(core) = &s.body else { panic!() };
-        let FromItem::Join { kind, left, .. } = &core.from[0] else { panic!() };
+        let SetExpr::Select(core) = &s.body else {
+            panic!()
+        };
+        let FromItem::Join { kind, left, .. } = &core.from[0] else {
+            panic!()
+        };
         assert_eq!(*kind, JoinKind::Inner);
-        let FromItem::Join { kind, .. } = left.as_ref() else { panic!() };
+        let FromItem::Join { kind, .. } = left.as_ref() else {
+            panic!()
+        };
         assert_eq!(*kind, JoinKind::LeftOuter);
     }
 
@@ -876,7 +1039,9 @@ mod tests {
         let s = sel(
             "SELECT t.val FROM opa p, TABLE(VALUES(p.val0),(p.val1)) AS t(val) WHERE t.val IS NOT NULL",
         );
-        let SetExpr::Select(core) = &s.body else { panic!() };
+        let SetExpr::Select(core) = &s.body else {
+            panic!()
+        };
         assert_eq!(core.from.len(), 2);
         let FromItem::LateralValues { rows, columns, .. } = &core.from[1] else {
             panic!("expected lateral values")
@@ -893,7 +1058,9 @@ mod tests {
              WHERE x LIKE '%en' AND y NOT IN (1, 2) AND z BETWEEN 1 AND 5 \
              AND w IS NOT NULL AND v IN (SELECT q FROM u) OR NOT flag",
         );
-        let SetExpr::Select(core) = &s.body else { panic!() };
+        let SetExpr::Select(core) = &s.body else {
+            panic!()
+        };
         assert_eq!(core.projections.len(), 7);
         assert!(core.filter.is_some());
     }
@@ -916,7 +1083,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("INSERT INTO t SELECT * FROM u").unwrap(),
-            Statement::Insert { source: InsertSource::Select(_), .. }
+            Statement::Insert {
+                source: InsertSource::Select(_),
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("UPDATE t SET a = a + 1 WHERE id = ?").unwrap(),
@@ -928,7 +1098,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("CALL add_vertex(1, '{}')").unwrap(),
@@ -951,16 +1124,26 @@ mod tests {
     #[test]
     fn keyword_does_not_become_alias() {
         let s = sel("SELECT a FROM t WHERE a = 1");
-        let SetExpr::Select(core) = &s.body else { panic!() };
-        let FromItem::Table { alias, .. } = &core.from[0] else { panic!() };
+        let SetExpr::Select(core) = &s.body else {
+            panic!()
+        };
+        let FromItem::Table { alias, .. } = &core.from[0] else {
+            panic!()
+        };
         assert!(alias.is_none());
     }
 
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "SELECT", "SELECT FROM t", "SELECT * FROM", "SELEC * FROM t",
-            "SELECT * FROM t WHERE", "INSERT t VALUES (1)", "CREATE TABLE t",
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELEC * FROM t",
+            "SELECT * FROM t WHERE",
+            "INSERT t VALUES (1)",
+            "CREATE TABLE t",
         ] {
             assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
         }

@@ -75,7 +75,8 @@ impl TableStats {
     /// keys queries can name cheaply).
     pub fn analyze(table: &Table) -> TableStats {
         let arity = table.schema.arity();
-        let mut col_sets: Vec<FxHashSet<Value>> = (0..arity).map(|_| FxHashSet::default()).collect();
+        let mut col_sets: Vec<FxHashSet<Value>> =
+            (0..arity).map(|_| FxHashSet::default()).collect();
         let json_parts: Vec<KeyPart> = table
             .indexes()
             .iter()
@@ -83,8 +84,9 @@ impl TableStats {
             .filter(|p| matches!(p, KeyPart::JsonKey(..)))
             .cloned()
             .collect();
-        let mut json_sets: Vec<FxHashSet<Value>> =
-            (0..json_parts.len()).map(|_| FxHashSet::default()).collect();
+        let mut json_sets: Vec<FxHashSet<Value>> = (0..json_parts.len())
+            .map(|_| FxHashSet::default())
+            .collect();
         for (_, row) in table.iter() {
             for (c, set) in col_sets.iter_mut().enumerate() {
                 if !row[c].is_null() {
@@ -157,14 +159,24 @@ mod tests {
         let schema = TableSchema::new(
             "t",
             vec![
-                Column { name: "id".into(), ty: ColumnType::Integer },
-                Column { name: "grp".into(), ty: ColumnType::Integer },
-                Column { name: "attr".into(), ty: ColumnType::Json },
+                Column {
+                    name: "id".into(),
+                    ty: ColumnType::Integer,
+                },
+                Column {
+                    name: "grp".into(),
+                    ty: ColumnType::Integer,
+                },
+                Column {
+                    name: "attr".into(),
+                    ty: ColumnType::Json,
+                },
             ],
         )
         .unwrap();
         let mut t = Table::new(schema);
-        t.create_index("t_pk", vec![0], true, IndexKind::Hash).unwrap();
+        t.create_index("t_pk", vec![0], true, IndexKind::Hash)
+            .unwrap();
         for i in 0..100i64 {
             let doc = sqlgraph_json::parse(&format!(r#"{{"tag":"t{}"}}"#, i % 5)).unwrap();
             t.insert(vec![Value::Int(i), Value::Int(i % 4), Value::json(doc)])

@@ -73,6 +73,37 @@ impl Table {
         &self.rows
     }
 
+    /// Materialize the live rows of slab range `range` (pruned to `keep`
+    /// columns, in `keep` order) as one columnar batch — the batch engine's
+    /// scan primitive. Visits slots in slab order, so concatenating the
+    /// batches of consecutive ranges reproduces a serial scan exactly.
+    pub fn batch_range(
+        &self,
+        range: std::ops::Range<usize>,
+        keep: &[usize],
+    ) -> crate::batch::Batch {
+        let mut builders: Vec<crate::batch::ColBuilder> = keep
+            .iter()
+            .map(|_| crate::batch::ColBuilder::new())
+            .collect();
+        let mut len = 0usize;
+        for slot in &self.rows[range] {
+            let Some(r) = slot else { continue };
+            for (b, &i) in builders.iter_mut().zip(keep) {
+                b.push(&r[i]);
+            }
+            len += 1;
+        }
+        crate::batch::Batch {
+            cols: builders
+                .into_iter()
+                .map(crate::batch::ColBuilder::finish)
+                .collect(),
+            len,
+            sel: None,
+        }
+    }
+
     /// Iterate `(RowId, row)` over live rows.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
         self.rows
@@ -256,13 +287,20 @@ mod tests {
         let schema = TableSchema::new(
             "t",
             vec![
-                Column { name: "id".into(), ty: ColumnType::Integer },
-                Column { name: "v".into(), ty: ColumnType::Any },
+                Column {
+                    name: "id".into(),
+                    ty: ColumnType::Integer,
+                },
+                Column {
+                    name: "v".into(),
+                    ty: ColumnType::Any,
+                },
             ],
         )
         .unwrap();
         let mut t = Table::new(schema);
-        t.create_index("t_pk", vec![0], true, IndexKind::Hash).unwrap();
+        t.create_index("t_pk", vec![0], true, IndexKind::Hash)
+            .unwrap();
         t
     }
 
@@ -306,8 +344,15 @@ mod tests {
         let mut t = table();
         let a = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
         t.update(a, vec![Value::Int(9), Value::str("y")]).unwrap();
-        assert!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)])).unwrap().is_empty());
-        assert_eq!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(9)])).unwrap(), [a]);
+        assert!(t
+            .index_lookup("t_pk", &IndexKey(vec![Value::Int(1)]))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.index_lookup("t_pk", &IndexKey(vec![Value::Int(9)]))
+                .unwrap(),
+            [a]
+        );
     }
 
     #[test]
@@ -318,7 +363,11 @@ mod tests {
         assert!(t.update(b, vec![Value::Int(1), Value::Null]).is_err());
         // b unchanged and still findable under its old key.
         assert_eq!(t.get(b).unwrap()[1], Value::str("keep"));
-        assert_eq!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(2)])).unwrap(), [b]);
+        assert_eq!(
+            t.index_lookup("t_pk", &IndexKey(vec![Value::Int(2)]))
+                .unwrap(),
+            [b]
+        );
     }
 
     #[test]
@@ -328,7 +377,11 @@ mod tests {
         let row = t.delete(a).unwrap();
         t.undelete(a, row).unwrap();
         assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
-        assert_eq!(t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)])).unwrap(), [a]);
+        assert_eq!(
+            t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)]))
+                .unwrap(),
+            [a]
+        );
     }
 
     #[test]
@@ -337,9 +390,14 @@ mod tests {
         for i in 0..10 {
             t.insert(vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
         }
-        t.create_index("t_v", vec![1], false, IndexKind::BTree).unwrap();
-        let ids = t.index_lookup("t_v", &IndexKey(vec![Value::Int(0)])).unwrap();
+        t.create_index("t_v", vec![1], false, IndexKind::BTree)
+            .unwrap();
+        let ids = t
+            .index_lookup("t_v", &IndexKey(vec![Value::Int(0)]))
+            .unwrap();
         assert_eq!(ids.len(), 4); // 0, 3, 6, 9
-        assert!(t.create_index("t_v", vec![1], false, IndexKind::Hash).is_err());
+        assert!(t
+            .create_index("t_v", vec![1], false, IndexKind::Hash)
+            .is_err());
     }
 }

@@ -146,6 +146,17 @@ impl Value {
 
     /// Total order for sorting and B-tree keys. NULL sorts first; distinct
     /// type classes are ranked; numbers compare across Int/Double.
+    ///
+    /// This is the engine-wide ordering contract — `ORDER BY`, B-tree index
+    /// keys, and MIN/MAX all route through it, so it must be total even on
+    /// inputs SQL comparison calls *unknown*:
+    ///
+    /// * `NULL` is the smallest value. With `ASC` (the default) NULLs come
+    ///   first; `DESC` reverses the whole ordering, so NULLs come last.
+    /// * Mixed types rank `NULL < BOOLEAN < numbers < TEXT < JSON < ARRAY`.
+    /// * `Int` and `Double` compare numerically (`1 < 1.5 < 2`); `-0.0`
+    ///   equals `0.0`; `NaN` compares greater than every other number and
+    ///   equal to itself, so sorts never panic and ties stay stable.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         fn rank(v: &Value) -> u8 {
             match v {
@@ -380,7 +391,10 @@ mod tests {
         assert_eq!(Value::Int(3), Value::Double(3.0));
         assert_eq!(h(&Value::Int(3)), h(&Value::Double(3.0)));
         assert_eq!(Value::Int(3).sql_eq(&Value::Double(3.0)), Some(true));
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Double(3.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Double(3.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -407,9 +421,34 @@ mod tests {
     }
 
     #[test]
+    fn total_order_handles_nan_and_signed_zero() {
+        let nan = Value::Double(f64::NAN);
+        // NaN is greater than every other number and equal to itself.
+        assert_eq!(
+            nan.total_cmp(&Value::Double(f64::INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(Value::Int(i64::MAX).total_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        // ... but still below the string class.
+        assert_eq!(nan.total_cmp(&Value::str("")), Ordering::Less);
+        assert_eq!(
+            Value::Double(-0.0).total_cmp(&Value::Double(0.0)),
+            Ordering::Equal
+        );
+        assert_eq!(Value::Double(-0.0), Value::Int(0));
+    }
+
+    #[test]
     fn casts() {
-        assert_eq!(Value::str("42").cast(CastType::Integer).unwrap(), Value::Int(42));
-        assert_eq!(Value::str(" 2.5 ").cast(CastType::Double).unwrap(), Value::Double(2.5));
+        assert_eq!(
+            Value::str("42").cast(CastType::Integer).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::str(" 2.5 ").cast(CastType::Double).unwrap(),
+            Value::Double(2.5)
+        );
         assert_eq!(Value::Int(7).cast(CastType::Text).unwrap(), Value::str("7"));
         assert_eq!(Value::Null.cast(CastType::Integer).unwrap(), Value::Null);
         assert!(Value::str("x").cast(CastType::Integer).is_err());
@@ -418,6 +457,9 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Value::Null.to_string(), "NULL");
-        assert_eq!(Value::array(vec![Value::Int(1), Value::str("a")]).to_string(), "[1, a]");
+        assert_eq!(
+            Value::array(vec![Value::Int(1), Value::str("a")]).to_string(),
+            "[1, a]"
+        );
     }
 }

@@ -171,8 +171,14 @@ fn decode_record(buf: &mut Bytes) -> Result<WalRecord> {
     let op = get_u8(buf)?;
     let table = get_str(buf)?;
     Ok(match op {
-        0 => WalRecord::Insert { table, row: get_row(buf)? },
-        1 => WalRecord::Delete { table, row: get_row(buf)? },
+        0 => WalRecord::Insert {
+            table,
+            row: get_row(buf)?,
+        },
+        1 => WalRecord::Delete {
+            table,
+            row: get_row(buf)?,
+        },
         2 => WalRecord::Update {
             table,
             old: get_row(buf)?,

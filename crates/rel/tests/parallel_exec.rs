@@ -5,20 +5,30 @@
 use sqlgraph_rel::{Database, Value};
 
 fn plan_of(db: &Database, sql: &str) -> String {
-    db.execute(&format!("EXPLAIN {sql}")).unwrap().strings().join("\n")
+    db.execute(&format!("EXPLAIN {sql}"))
+        .unwrap()
+        .strings()
+        .join("\n")
 }
 
 /// Build the planner test schema: a small graph-ish mix of tables that
 /// exercises full scans, hash joins, pushdown filters, and aggregation.
 fn build_corpus_db() -> Database {
     let db = Database::new();
-    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY, grp INTEGER, score DOUBLE)").unwrap();
-    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER, w INTEGER)").unwrap();
-    db.execute("CREATE TABLE names (id INTEGER PRIMARY KEY, label TEXT)").unwrap();
+    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY, grp INTEGER, score DOUBLE)")
+        .unwrap();
+    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER, w INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE names (id INTEGER PRIMARY KEY, label TEXT)")
+        .unwrap();
     for i in 0..120i64 {
         db.execute_with_params(
             "INSERT INTO v VALUES (?, ?, ?)",
-            &[Value::Int(i), Value::Int(i % 7), Value::Double(i as f64 * 0.31)],
+            &[
+                Value::Int(i),
+                Value::Int(i % 7),
+                Value::Double(i as f64 * 0.31),
+            ],
         )
         .unwrap();
         db.execute_with_params(
@@ -122,7 +132,10 @@ fn explain_reports_chosen_dop() {
     let db = build_corpus_db();
     db.set_parallelism(4);
     let plan = plan_of(&db, "SELECT COUNT(*) FROM e WHERE e.w = 2");
-    assert!(plan.contains("full scan") && plan.contains("dop 4"), "{plan}");
+    assert!(
+        plan.contains("full scan") && plan.contains("dop 4"),
+        "{plan}"
+    );
     // Serial pin shows dop 1 on the same steps.
     db.set_parallelism(1);
     let plan = plan_of(&db, "SELECT COUNT(*) FROM e WHERE e.w = 2");
@@ -130,18 +143,23 @@ fn explain_reports_chosen_dop() {
     // Auto mode stays serial below the row threshold.
     db.set_parallelism(0);
     let plan = plan_of(&db, "SELECT COUNT(*) FROM e WHERE e.w = 2");
-    assert!(plan.contains("dop 1"), "small tables must not pay thread overhead:\n{plan}");
+    assert!(
+        plan.contains("dop 1"),
+        "small tables must not pay thread overhead:\n{plan}"
+    );
 }
 
 #[test]
 fn stmt_cache_is_bounded_under_distinct_statements() {
     let db = Database::new();
-    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
     // A hot statement, re-executed throughout so its used bit stays set.
     let hot = "SELECT id FROM t WHERE id = 1";
     for i in 0..9000i64 {
-        db.execute(&format!("SELECT id FROM t WHERE id = {i}")).unwrap();
+        db.execute(&format!("SELECT id FROM t WHERE id = {i}"))
+            .unwrap();
         if i % 64 == 0 {
             db.execute(hot).unwrap();
         }
@@ -158,8 +176,10 @@ fn stmt_cache_is_bounded_under_distinct_statements() {
 #[test]
 fn stale_stats_are_discarded_by_the_planner() {
     let db = Database::new();
-    db.execute("CREATE TABLE t1 (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)").unwrap();
-    db.execute("CREATE TABLE t2 (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)").unwrap();
+    db.execute("CREATE TABLE t1 (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE t2 (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)")
+        .unwrap();
     // t1: 40 rows, c all-distinct (analyzed ndv 40 → `c = 1` keeps ~1 row).
     // t2: 40 rows, c eight-valued (analyzed ndv 8 → `c = 1` keeps ~5 rows).
     for i in 0..40i64 {

@@ -5,13 +5,15 @@
 use sqlgraph_rel::{Database, Value};
 
 fn plan_of(db: &Database, sql: &str) -> String {
-    db.execute(&format!("EXPLAIN {sql}")).unwrap().strings().join("\n")
+    db.execute(&format!("EXPLAIN {sql}"))
+        .unwrap()
+        .strings()
+        .join("\n")
 }
 
 /// Sort rows for order-insensitive comparison.
 fn canon(rel: &sqlgraph_rel::Relation) -> Vec<String> {
-    let mut rows: Vec<String> =
-        rel.rows.iter().map(|r| format!("{r:?}")).collect();
+    let mut rows: Vec<String> = rel.rows.iter().map(|r| format!("{r:?}")).collect();
     rows.sort();
     rows
 }
@@ -19,11 +21,16 @@ fn canon(rel: &sqlgraph_rel::Relation) -> Vec<String> {
 #[test]
 fn analyze_reports_row_counts() {
     let db = Database::new();
-    db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
-    db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY)")
+        .unwrap();
     for i in 0..7i64 {
-        db.execute_with_params("INSERT INTO a VALUES (?, ?)", &[Value::Int(i), Value::Int(i % 3)])
-            .unwrap();
+        db.execute_with_params(
+            "INSERT INTO a VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i % 3)],
+        )
+        .unwrap();
     }
     db.execute("INSERT INTO b VALUES (1)").unwrap();
 
@@ -34,11 +41,13 @@ fn analyze_reports_row_counts() {
 
     // Bare ANALYZE covers every table.
     let rel = db.execute("ANALYZE").unwrap();
-    let mut names: Vec<String> =
-        rel.rows.iter().map(|r| format!("{:?}", r[0])).collect();
+    let mut names: Vec<String> = rel.rows.iter().map(|r| format!("{:?}", r[0])).collect();
     names.sort();
     assert_eq!(rel.rows.len(), 2, "{rel:?}");
-    assert!(names[0].contains('a') && names[1].contains('b'), "{names:?}");
+    assert!(
+        names[0].contains('a') && names[1].contains('b'),
+        "{names:?}"
+    );
 
     // Unknown tables error rather than silently no-op.
     assert!(db.execute("ANALYZE nope").is_err());
@@ -47,27 +56,37 @@ fn analyze_reports_row_counts() {
 #[test]
 fn join_reordered_smallest_first() {
     let db = Database::new();
-    db.execute("CREATE TABLE big (id INTEGER PRIMARY KEY, k INTEGER)").unwrap();
-    db.execute("CREATE TABLE small (k INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE big (id INTEGER PRIMARY KEY, k INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE small (k INTEGER PRIMARY KEY)")
+        .unwrap();
     for i in 0..300i64 {
-        db.execute_with_params("INSERT INTO big VALUES (?, ?)", &[Value::Int(i), Value::Int(i % 5)])
-            .unwrap();
+        db.execute_with_params(
+            "INSERT INTO big VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i % 5)],
+        )
+        .unwrap();
     }
     for k in 0..5i64 {
-        db.execute_with_params("INSERT INTO small VALUES (?)", &[Value::Int(k)]).unwrap();
+        db.execute_with_params("INSERT INTO small VALUES (?)", &[Value::Int(k)])
+            .unwrap();
     }
     db.execute("ANALYZE").unwrap();
 
     // Textual order starts with the big table; the planner must flip it.
     let plan = plan_of(&db, "SELECT big.id FROM big, small WHERE big.k = small.k");
-    assert!(plan.contains("join order: small, big (reordered)"), "{plan}");
+    assert!(
+        plan.contains("join order: small, big (reordered)"),
+        "{plan}"
+    );
     // Estimated and actual cardinalities are reported per attach step.
     assert!(plan.contains("estimated"), "{plan}");
     assert!(plan.contains("actual"), "{plan}");
 
     // The reordered plan returns exactly the rows of the textual order.
-    let rel =
-        db.execute("SELECT big.id FROM big, small WHERE big.k = small.k ORDER BY big.id").unwrap();
+    let rel = db
+        .execute("SELECT big.id FROM big, small WHERE big.k = small.k ORDER BY big.id")
+        .unwrap();
     assert_eq!(rel.rows.len(), 300);
 }
 
@@ -78,8 +97,10 @@ fn skewed_ndv_drives_join_order() {
     // t_dup: 60 rows, c two-valued   => `c = const` keeps ~30 rows.
     // Pure row counts would start with t_dup; ndv statistics must start
     // with t_uniq instead.
-    db.execute("CREATE TABLE t_uniq (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)").unwrap();
-    db.execute("CREATE TABLE t_dup (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)").unwrap();
+    db.execute("CREATE TABLE t_uniq (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE t_dup (id INTEGER PRIMARY KEY, c INTEGER, j INTEGER)")
+        .unwrap();
     for i in 0..100i64 {
         db.execute_with_params(
             "INSERT INTO t_uniq VALUES (?, ?, ?)",
@@ -106,7 +127,9 @@ fn skewed_ndv_drives_join_order() {
 
     // And the answer is unchanged by the reorder.
     let rel = db.execute(sql).unwrap();
-    let expected: Vec<i64> = (0..60).filter(|i| i % 2 == 1 && 42 % 10 == i % 10).collect();
+    let expected: Vec<i64> = (0..60)
+        .filter(|i| i % 2 == 1 && 42 % 10 == i % 10)
+        .collect();
     let mut got: Vec<i64> = rel
         .rows
         .iter()
@@ -122,14 +145,23 @@ fn skewed_ndv_drives_join_order() {
 #[test]
 fn constant_predicates_pushed_below_join() {
     let db = Database::new();
-    db.execute("CREATE TABLE l (id INTEGER PRIMARY KEY, k INTEGER)").unwrap();
-    db.execute("CREATE TABLE r (id INTEGER PRIMARY KEY, k INTEGER, tag TEXT)").unwrap();
+    db.execute("CREATE TABLE l (id INTEGER PRIMARY KEY, k INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE r (id INTEGER PRIMARY KEY, k INTEGER, tag TEXT)")
+        .unwrap();
     for i in 0..50i64 {
-        db.execute_with_params("INSERT INTO l VALUES (?, ?)", &[Value::Int(i), Value::Int(i % 4)])
-            .unwrap();
+        db.execute_with_params(
+            "INSERT INTO l VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i % 4)],
+        )
+        .unwrap();
         db.execute_with_params(
             "INSERT INTO r VALUES (?, ?, ?)",
-            &[Value::Int(i), Value::Int(i % 4), Value::str(if i % 2 == 0 { "even" } else { "odd" })],
+            &[
+                Value::Int(i),
+                Value::Int(i % 4),
+                Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+            ],
         )
         .unwrap();
     }
@@ -137,7 +169,10 @@ fn constant_predicates_pushed_below_join() {
 
     let sql = "SELECT l.id, r.id FROM l, r WHERE l.k = r.k AND r.tag = 'even' AND l.id < 10";
     let plan = plan_of(&db, sql);
-    assert!(plan.contains("pushdown filter"), "constant conjuncts filter base tables:\n{plan}");
+    assert!(
+        plan.contains("pushdown filter"),
+        "constant conjuncts filter base tables:\n{plan}"
+    );
 
     // Cross-check rows against a straightforward recomputation.
     let rel = db.execute(sql).unwrap();
@@ -155,12 +190,18 @@ fn constant_predicates_pushed_below_join() {
 #[test]
 fn planner_toggle_returns_identical_rows() {
     let db = Database::new();
-    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY, grp INTEGER)").unwrap();
-    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)").unwrap();
-    db.execute("CREATE TABLE names (id INTEGER PRIMARY KEY, label TEXT)").unwrap();
+    db.execute("CREATE TABLE v (id INTEGER PRIMARY KEY, grp INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE e (src INTEGER, dst INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE names (id INTEGER PRIMARY KEY, label TEXT)")
+        .unwrap();
     for i in 0..40i64 {
-        db.execute_with_params("INSERT INTO v VALUES (?, ?)", &[Value::Int(i), Value::Int(i % 6)])
-            .unwrap();
+        db.execute_with_params(
+            "INSERT INTO v VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i % 6)],
+        )
+        .unwrap();
         db.execute_with_params(
             "INSERT INTO e VALUES (?, ?)",
             &[Value::Int(i), Value::Int((i * 7) % 40)],
@@ -199,8 +240,10 @@ fn planner_toggle_returns_identical_rows() {
 fn explain_three_table_join_shows_cardinalities() {
     let db = Database::new();
     db.execute("CREATE TABLE f (a INTEGER, b INTEGER)").unwrap();
-    db.execute("CREATE TABLE d1 (a INTEGER PRIMARY KEY)").unwrap();
-    db.execute("CREATE TABLE d2 (b INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE d1 (a INTEGER PRIMARY KEY)")
+        .unwrap();
+    db.execute("CREATE TABLE d2 (b INTEGER PRIMARY KEY)")
+        .unwrap();
     for i in 0..200i64 {
         db.execute_with_params(
             "INSERT INTO f VALUES (?, ?)",
@@ -209,10 +252,12 @@ fn explain_three_table_join_shows_cardinalities() {
         .unwrap();
     }
     for a in 0..20i64 {
-        db.execute_with_params("INSERT INTO d1 VALUES (?)", &[Value::Int(a)]).unwrap();
+        db.execute_with_params("INSERT INTO d1 VALUES (?)", &[Value::Int(a)])
+            .unwrap();
     }
     for b in 0..3i64 {
-        db.execute_with_params("INSERT INTO d2 VALUES (?)", &[Value::Int(b)]).unwrap();
+        db.execute_with_params("INSERT INTO d2 VALUES (?)", &[Value::Int(b)])
+            .unwrap();
     }
     db.execute("ANALYZE").unwrap();
 
@@ -223,6 +268,9 @@ fn explain_three_table_join_shows_cardinalities() {
     // Three-table join: the tiny d2 leads, f connects, d1 last.
     assert!(plan.contains("join order: d2, f, d1 (reordered)"), "{plan}");
     // Every planned step reports estimated vs. actual cardinality.
-    let steps = plan.lines().filter(|l| l.contains("estimated") && l.contains("actual")).count();
+    let steps = plan
+        .lines()
+        .filter(|l| l.contains("estimated") && l.contains("actual"))
+        .count();
     assert_eq!(steps, 3, "{plan}");
 }

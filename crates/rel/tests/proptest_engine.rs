@@ -26,9 +26,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
 
 fn fresh_db() -> Database {
     let db = Database::new();
-    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, s TEXT)").unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, s TEXT)")
+        .unwrap();
     db.execute("CREATE INDEX t_k ON t (k)").unwrap();
-    db.execute("CREATE INDEX t_k_s ON t (k, s) USING BTREE").unwrap();
+    db.execute("CREATE INDEX t_k_s ON t (k, s) USING BTREE")
+        .unwrap();
     db
 }
 

@@ -6,21 +6,26 @@ use sqlgraph_rel::{Database, Value};
 
 fn db_with_people() -> Database {
     let db = Database::new();
-    db.execute("CREATE TABLE people (id INTEGER PRIMARY KEY, name TEXT, age INTEGER)").unwrap();
+    db.execute("CREATE TABLE people (id INTEGER PRIMARY KEY, name TEXT, age INTEGER)")
+        .unwrap();
     db.execute(
         "INSERT INTO people VALUES (1, 'marko', 29), (2, 'vadas', 27), (3, 'josh', 32), (4, 'peter', 35)",
     )
     .unwrap();
-    db.execute("CREATE TABLE knows (src INTEGER, dst INTEGER, weight DOUBLE)").unwrap();
+    db.execute("CREATE TABLE knows (src INTEGER, dst INTEGER, weight DOUBLE)")
+        .unwrap();
     db.execute("CREATE INDEX knows_src ON knows (src)").unwrap();
-    db.execute("INSERT INTO knows VALUES (1, 2, 0.5), (1, 3, 1.0), (3, 4, 0.2)").unwrap();
+    db.execute("INSERT INTO knows VALUES (1, 2, 0.5), (1, 3, 1.0), (3, 4, 0.2)")
+        .unwrap();
     db
 }
 
 #[test]
 fn basic_select_and_filter() {
     let db = db_with_people();
-    let rel = db.execute("SELECT name FROM people WHERE age > 28 ORDER BY name").unwrap();
+    let rel = db
+        .execute("SELECT name FROM people WHERE age > 28 ORDER BY name")
+        .unwrap();
     assert_eq!(rel.strings(), ["josh", "marko", "peter"]);
 }
 
@@ -58,7 +63,11 @@ fn explicit_joins_inner_and_left_outer() {
     // marko has 2 edges, vadas/peter have none (NULL), josh has 1.
     assert_eq!(rel.rows.len(), 5);
     assert_eq!(rel.rows[0][0], Value::str("marko"));
-    let vadas_row = rel.rows.iter().find(|r| r[0] == Value::str("vadas")).unwrap();
+    let vadas_row = rel
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::str("vadas"))
+        .unwrap();
     assert!(vadas_row[1].is_null());
 }
 
@@ -81,8 +90,10 @@ fn cte_pipeline_like_gremlin_translation() {
 fn lateral_table_values_unnest() {
     // The paper's device for turning hash-bucket column triads back into rows.
     let db = Database::new();
-    db.execute("CREATE TABLE opa (vid INTEGER PRIMARY KEY, val0 INTEGER, val1 INTEGER)").unwrap();
-    db.execute("INSERT INTO opa VALUES (1, 10, 20), (2, 30, NULL)").unwrap();
+    db.execute("CREATE TABLE opa (vid INTEGER PRIMARY KEY, val0 INTEGER, val1 INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO opa VALUES (1, 10, 20), (2, 30, NULL)")
+        .unwrap();
     let rel = db
         .execute(
             "SELECT t.val FROM opa p, TABLE(VALUES(p.val0),(p.val1)) AS t(val) \
@@ -96,9 +107,7 @@ fn lateral_table_values_unnest() {
 fn union_all_and_distinct_set_ops() {
     let db = db_with_people();
     let rel = db
-        .execute(
-            "SELECT id FROM people WHERE id <= 2 UNION ALL SELECT id FROM people WHERE id = 2",
-        )
+        .execute("SELECT id FROM people WHERE id <= 2 UNION ALL SELECT id FROM people WHERE id = 2")
         .unwrap();
     assert_eq!(rel.rows.len(), 3);
     let rel = db
@@ -137,7 +146,9 @@ fn aggregates_group_by_having() {
 #[test]
 fn scalar_aggregates_over_empty_input() {
     let db = db_with_people();
-    let rel = db.execute("SELECT COUNT(*), MIN(age), AVG(age) FROM people WHERE id > 99").unwrap();
+    let rel = db
+        .execute("SELECT COUNT(*), MIN(age), AVG(age) FROM people WHERE id > 99")
+        .unwrap();
     assert_eq!(rel.rows.len(), 1);
     assert_eq!(rel.rows[0][0], Value::Int(0));
     assert!(rel.rows[0][1].is_null());
@@ -167,7 +178,9 @@ fn in_list_and_in_subquery() {
 #[test]
 fn like_and_between() {
     let db = db_with_people();
-    let rel = db.execute("SELECT name FROM people WHERE name LIKE '%o' ORDER BY name").unwrap();
+    let rel = db
+        .execute("SELECT name FROM people WHERE name LIKE '%o' ORDER BY name")
+        .unwrap();
     assert_eq!(rel.strings(), ["marko"]);
     let rel = db
         .execute("SELECT name FROM people WHERE age BETWEEN 27 AND 29 ORDER BY age")
@@ -187,16 +200,22 @@ fn limit_offset_and_order_desc() {
 #[test]
 fn json_column_and_json_val() {
     let db = Database::new();
-    db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)").unwrap();
-    let doc = sqlgraph_json::parse(r#"{"name":"marko","age":29,"lang":null}"#).unwrap();
-    db.execute_with_params("INSERT INTO va VALUES (?, ?)", &[Value::Int(1), Value::json(doc)])
+    db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)")
         .unwrap();
+    let doc = sqlgraph_json::parse(r#"{"name":"marko","age":29,"lang":null}"#).unwrap();
+    db.execute_with_params(
+        "INSERT INTO va VALUES (?, ?)",
+        &[Value::Int(1), Value::json(doc)],
+    )
+    .unwrap();
     let rel = db
         .execute("SELECT JSON_VAL(attr, 'age') FROM va WHERE JSON_VAL(attr, 'name') = 'marko'")
         .unwrap();
     assert_eq!(rel.scalar(), Some(&Value::Int(29)));
     // Missing key and JSON null both surface as SQL NULL.
-    let rel = db.execute("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, 'lang') IS NULL").unwrap();
+    let rel = db
+        .execute("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, 'lang') IS NULL")
+        .unwrap();
     assert_eq!(rel.scalar(), Some(&Value::Int(1)));
 }
 
@@ -217,7 +236,9 @@ fn path_arrays_concat_and_subscript() {
 #[test]
 fn update_and_delete_with_index_targeting() {
     let db = db_with_people();
-    let n = db.execute("UPDATE people SET age = age + 1 WHERE id = 1").unwrap();
+    let n = db
+        .execute("UPDATE people SET age = age + 1 WHERE id = 1")
+        .unwrap();
     assert_eq!(n.scalar(), Some(&Value::Int(1)));
     let rel = db.execute("SELECT age FROM people WHERE id = 1").unwrap();
     assert_eq!(rel.scalar(), Some(&Value::Int(30)));
@@ -239,18 +260,25 @@ fn delete_count_is_exact() {
 #[test]
 fn insert_select_and_column_lists() {
     let db = db_with_people();
-    db.execute("CREATE TABLE names (id INTEGER, name TEXT)").unwrap();
-    db.execute("INSERT INTO names SELECT id, name FROM people WHERE age < 30").unwrap();
+    db.execute("CREATE TABLE names (id INTEGER, name TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO names SELECT id, name FROM people WHERE age < 30")
+        .unwrap();
     assert_eq!(db.table_len("names").unwrap(), 2);
-    db.execute("INSERT INTO names (name) VALUES ('ghost')").unwrap();
-    let rel = db.execute("SELECT id FROM names WHERE name = 'ghost'").unwrap();
+    db.execute("INSERT INTO names (name) VALUES ('ghost')")
+        .unwrap();
+    let rel = db
+        .execute("SELECT id FROM names WHERE name = 'ghost'")
+        .unwrap();
     assert!(rel.rows[0][0].is_null());
 }
 
 #[test]
 fn unique_index_rejects_duplicates() {
     let db = db_with_people();
-    let err = db.execute("INSERT INTO people VALUES (1, 'dup', 0)").unwrap_err();
+    let err = db
+        .execute("INSERT INTO people VALUES (1, 'dup', 0)")
+        .unwrap_err();
     assert!(err.to_string().contains("unique"));
     // Table unchanged.
     assert_eq!(db.table_len("people").unwrap(), 4);
@@ -263,7 +291,9 @@ fn statement_atomicity_on_midway_failure() {
     let err = db.execute("INSERT INTO people VALUES (10, 'a', 1), (1, 'dup', 2)");
     assert!(err.is_err());
     assert_eq!(db.table_len("people").unwrap(), 4);
-    let rel = db.execute("SELECT COUNT(*) FROM people WHERE id = 10").unwrap();
+    let rel = db
+        .execute("SELECT COUNT(*) FROM people WHERE id = 10")
+        .unwrap();
     assert_eq!(rel.scalar(), Some(&Value::Int(0)));
 }
 
@@ -303,7 +333,10 @@ fn stored_procedures_share_the_transaction() {
                 std::slice::from_ref(&a),
             )?;
             // Second insert intentionally violates the PK when a == 1.
-            tx.execute_with_params("INSERT INTO people VALUES (?, 'proc2', 0)", &[Value::Int(1)])
+            tx.execute_with_params(
+                "INSERT INTO people VALUES (?, 'proc2', 0)",
+                &[Value::Int(1)],
+            )
         }),
     );
     // Failure path: both inserts rolled back.
@@ -340,9 +373,11 @@ fn wal_recovery_round_trip() {
     let _ = std::fs::remove_file(&path);
     {
         let db = Database::open(&path).unwrap();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .unwrap();
         db.execute("CREATE INDEX t_v ON t (v)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+            .unwrap();
         db.execute("UPDATE t SET v = 'z' WHERE id = 2").unwrap();
         db.execute("DELETE FROM t WHERE id = 3").unwrap();
     }
@@ -360,11 +395,15 @@ fn wal_recovery_round_trip() {
 #[test]
 fn rolled_back_changes_never_hit_the_wal() {
     let mut path = std::env::temp_dir();
-    path.push(format!("sqlgraph-rel-rollback-wal-{}.wal", std::process::id()));
+    path.push(format!(
+        "sqlgraph-rel-rollback-wal-{}.wal",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&path);
     {
         let db = Database::open(&path).unwrap();
-        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            .unwrap();
         db.execute("INSERT INTO t VALUES (1)").unwrap();
         let _ = db.transaction(|tx| {
             tx.execute("INSERT INTO t VALUES (2)")?;
@@ -384,7 +423,8 @@ fn composite_index_join_strategy() {
     let db = Database::new();
     db.execute("CREATE TABLE ea (eid INTEGER PRIMARY KEY, inv INTEGER, outv INTEGER, lbl TEXT)")
         .unwrap();
-    db.execute("CREATE INDEX ea_inv_lbl ON ea (inv, lbl)").unwrap();
+    db.execute("CREATE INDEX ea_inv_lbl ON ea (inv, lbl)")
+        .unwrap();
     for i in 0..100 {
         db.execute_with_params(
             "INSERT INTO ea VALUES (?, ?, ?, ?)",
@@ -448,13 +488,17 @@ fn drop_table() {
 fn lateral_json_edges_unnest() {
     // JSON-adjacency traversal: the Figure 2c representation.
     let db = Database::new();
-    db.execute("CREATE TABLE ja (vid INTEGER PRIMARY KEY, edges JSON)").unwrap();
+    db.execute("CREATE TABLE ja (vid INTEGER PRIMARY KEY, edges JSON)")
+        .unwrap();
     let doc = sqlgraph_json::parse(
         r#"{"knows":[{"eid":7,"val":2},{"eid":8,"val":4}],"created":[{"eid":9,"val":3}]}"#,
     )
     .unwrap();
-    db.execute_with_params("INSERT INTO ja VALUES (?, ?)", &[Value::Int(1), Value::json(doc)])
-        .unwrap();
+    db.execute_with_params(
+        "INSERT INTO ja VALUES (?, ?)",
+        &[Value::Int(1), Value::json(doc)],
+    )
+    .unwrap();
     let rel = db
         .execute(
             "SELECT t.val FROM ja p, TABLE(JSON_EDGES(p.edges)) AS t(lbl, eid, val) \
@@ -488,7 +532,8 @@ fn functional_index_on_json_member() {
     // The paper's "specialized indexes for attributes" (§3.3): an index on
     // JSON_VAL(attr, 'name') must serve equality lookups and joins.
     let db = Database::new();
-    db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)").unwrap();
+    db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)")
+        .unwrap();
     for i in 0..500i64 {
         let doc = sqlgraph_json::parse(&format!(
             r#"{{"name":"person-{}","age":{}}}"#,
@@ -496,10 +541,14 @@ fn functional_index_on_json_member() {
             i % 90
         ))
         .unwrap();
-        db.execute_with_params("INSERT INTO va VALUES (?, ?)", &[Value::Int(i), Value::json(doc)])
-            .unwrap();
+        db.execute_with_params(
+            "INSERT INTO va VALUES (?, ?)",
+            &[Value::Int(i), Value::json(doc)],
+        )
+        .unwrap();
     }
-    db.execute("CREATE INDEX va_name ON va (JSON_VAL(attr, 'name'))").unwrap();
+    db.execute("CREATE INDEX va_name ON va (JSON_VAL(attr, 'name'))")
+        .unwrap();
 
     let rel = db
         .execute("SELECT vid FROM va WHERE JSON_VAL(attr, 'name') = 'person-7' ORDER BY vid")
@@ -509,17 +558,17 @@ fn functional_index_on_json_member() {
 
     // Functional index also serves probe joins.
     db.execute("CREATE TABLE seeds (n TEXT)").unwrap();
-    db.execute("INSERT INTO seeds VALUES ('person-3'), ('person-7')").unwrap();
+    db.execute("INSERT INTO seeds VALUES ('person-3'), ('person-7')")
+        .unwrap();
     let rel = db
-        .execute(
-            "SELECT COUNT(*) FROM seeds s, va p WHERE JSON_VAL(p.attr, 'name') = s.n",
-        )
+        .execute("SELECT COUNT(*) FROM seeds s, va p WHERE JSON_VAL(p.attr, 'name') = s.n")
         .unwrap();
     assert_eq!(rel.scalar(), Some(&Value::Int(20)));
 
     // Stays consistent under updates.
     let doc = sqlgraph_json::parse(r#"{"name":"renamed"}"#).unwrap();
-    db.execute_with_params("UPDATE va SET attr = ? WHERE vid = 7", &[Value::json(doc)]).unwrap();
+    db.execute_with_params("UPDATE va SET attr = ? WHERE vid = 7", &[Value::json(doc)])
+        .unwrap();
     let rel = db
         .execute("SELECT COUNT(*) FROM va WHERE JSON_VAL(attr, 'name') = 'person-7'")
         .unwrap();
@@ -543,14 +592,19 @@ fn functional_index_survives_wal_recovery() {
     let _ = std::fs::remove_file(&path);
     {
         let db = Database::open(&path).unwrap();
-        db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)").unwrap();
-        db.execute("CREATE INDEX va_k ON va (JSON_VAL(attr, 'k'))").unwrap();
+        db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)")
+            .unwrap();
+        db.execute("CREATE INDEX va_k ON va (JSON_VAL(attr, 'k'))")
+            .unwrap();
         let doc = sqlgraph_json::parse(r#"{"k":"x"}"#).unwrap();
-        db.execute_with_params("INSERT INTO va VALUES (1, ?)", &[Value::json(doc)]).unwrap();
+        db.execute_with_params("INSERT INTO va VALUES (1, ?)", &[Value::json(doc)])
+            .unwrap();
     }
     {
         let db = Database::open(&path).unwrap();
-        let rel = db.execute("SELECT vid FROM va WHERE JSON_VAL(attr, 'k') = 'x'").unwrap();
+        let rel = db
+            .execute("SELECT vid FROM va WHERE JSON_VAL(attr, 'k') = 'x'")
+            .unwrap();
         assert_eq!(rel.int_column(), [1]);
     }
     std::fs::remove_file(&path).unwrap();
@@ -567,11 +621,19 @@ fn explain_reports_access_paths() {
         )
         .unwrap();
     let plan = rel.strings().join("\n");
-    assert!(plan.contains("index"), "expected an index access path:\n{plan}");
-    assert!(plan.contains("result:"), "plan ends with result row:\n{plan}");
+    assert!(
+        plan.contains("index"),
+        "expected an index access path:\n{plan}"
+    );
+    assert!(
+        plan.contains("result:"),
+        "plan ends with result row:\n{plan}"
+    );
 
     // Full scan reported when no index applies.
-    let rel = db.execute("EXPLAIN SELECT * FROM people WHERE age > 1").unwrap();
+    let rel = db
+        .execute("EXPLAIN SELECT * FROM people WHERE age > 1")
+        .unwrap();
     let plan = rel.strings().join("\n");
     assert!(plan.contains("full scan"), "expected a full scan:\n{plan}");
 }
@@ -579,10 +641,14 @@ fn explain_reports_access_paths() {
 #[test]
 fn btree_range_pushdown() {
     let db = Database::new();
-    db.execute("CREATE TABLE m (id INTEGER PRIMARY KEY, v INTEGER)").unwrap();
+    db.execute("CREATE TABLE m (id INTEGER PRIMARY KEY, v INTEGER)")
+        .unwrap();
     for i in 0..1000i64 {
-        db.execute_with_params("INSERT INTO m VALUES (?, ?)", &[Value::Int(i), Value::Int(i * 2)])
-            .unwrap();
+        db.execute_with_params(
+            "INSERT INTO m VALUES (?, ?)",
+            &[Value::Int(i), Value::Int(i * 2)],
+        )
+        .unwrap();
     }
     db.execute("CREATE INDEX m_v ON m (v) USING BTREE").unwrap();
     // Range predicates must be served by the B-tree, visible in EXPLAIN.
@@ -593,7 +659,9 @@ fn btree_range_pushdown() {
         .join("\n");
     assert!(plan.contains("range scan via index m_v"), "{plan}");
     // And the results are exact, including the exclusive upper bound.
-    let rel = db.execute("SELECT id FROM m WHERE v >= 100 AND v < 120 ORDER BY id").unwrap();
+    let rel = db
+        .execute("SELECT id FROM m WHERE v >= 100 AND v < 120 ORDER BY id")
+        .unwrap();
     assert_eq!(rel.int_column(), (50..60).collect::<Vec<i64>>());
     // One-sided ranges.
     let rel = db.execute("SELECT COUNT(*) FROM m WHERE v > 1990").unwrap();
@@ -610,13 +678,18 @@ fn btree_range_pushdown() {
 #[test]
 fn functional_btree_range_on_json() {
     let db = Database::new();
-    db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)").unwrap();
+    db.execute("CREATE TABLE va (vid INTEGER PRIMARY KEY, attr JSON)")
+        .unwrap();
     for i in 0..200i64 {
         let doc = sqlgraph_json::parse(&format!(r#"{{"bucket":{i}}}"#)).unwrap();
-        db.execute_with_params("INSERT INTO va VALUES (?, ?)", &[Value::Int(i), Value::json(doc)])
-            .unwrap();
+        db.execute_with_params(
+            "INSERT INTO va VALUES (?, ?)",
+            &[Value::Int(i), Value::json(doc)],
+        )
+        .unwrap();
     }
-    db.execute("CREATE INDEX va_bucket ON va (JSON_VAL(attr, 'bucket')) USING BTREE").unwrap();
+    db.execute("CREATE INDEX va_bucket ON va (JSON_VAL(attr, 'bucket')) USING BTREE")
+        .unwrap();
     let plan = db
         .execute(
             "EXPLAIN SELECT vid FROM va WHERE JSON_VAL(attr, 'bucket') >= 0 \

@@ -9,7 +9,10 @@ use sqlgraph::rel::Value;
 
 fn main() {
     let mut wal = std::env::temp_dir();
-    wal.push(format!("sqlgraph-durability-demo-{}.wal", std::process::id()));
+    wal.push(format!(
+        "sqlgraph-durability-demo-{}.wal",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&wal);
     println!("WAL: {}", wal.display());
 
@@ -27,7 +30,11 @@ fn main() {
         g.query("g.removeVertex(g.v(3))").unwrap();
         println!(
             "session 1: {} vertices visible",
-            g.query("g.V.count()").unwrap().scalar().and_then(Value::as_int).unwrap()
+            g.query("g.V.count()")
+                .unwrap()
+                .scalar()
+                .and_then(Value::as_int)
+                .unwrap()
         );
         // A rolled-back transaction never reaches the log.
         let _ = g.database().transaction(|tx| {
@@ -41,17 +48,26 @@ fn main() {
         let g = SqlGraph::open(&wal, SchemaConfig::default()).unwrap();
         println!(
             "session 2 (recovered): {} vertices visible",
-            g.query("g.V.count()").unwrap().scalar().and_then(Value::as_int).unwrap()
+            g.query("g.V.count()")
+                .unwrap()
+                .scalar()
+                .and_then(Value::as_int)
+                .unwrap()
         );
         println!(
             "  alice follows: {:?}",
-            g.query("g.v(1).out('follows').values('name')").unwrap().strings()
+            g.query("g.v(1).out('follows').values('name')")
+                .unwrap()
+                .strings()
         );
         println!(
             "  alice's age:   {:?}",
             g.query("g.v(1).values('age')").unwrap().strings()
         );
-        assert!(g.query("g.v(99)").unwrap().rows.is_empty(), "rollback must not survive");
+        assert!(
+            g.query("g.v(99)").unwrap().rows.is_empty(),
+            "rollback must not survive"
+        );
         // New writes continue in the same log without id collisions.
         let dave = g.add_vertex([("name", "dave".into())]).unwrap();
         println!("  new vertex after recovery got id {dave}");

@@ -17,15 +17,28 @@ use std::io::{self, BufRead, Write};
 fn main() {
     let g = SqlGraph::new_in_memory();
     // Seed with the paper's Figure 2a sample.
-    let marko = g.add_vertex([("name", "marko".into()), ("age", 29i64.into())]).unwrap();
-    let vadas = g.add_vertex([("name", "vadas".into()), ("age", 27i64.into())]).unwrap();
-    let lop = g.add_vertex([("name", "lop".into()), ("lang", "java".into())]).unwrap();
-    let josh = g.add_vertex([("name", "josh".into()), ("age", 32i64.into())]).unwrap();
-    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())]).unwrap();
-    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())]).unwrap();
-    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())]).unwrap();
-    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())]).unwrap();
-    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())]).unwrap();
+    let marko = g
+        .add_vertex([("name", "marko".into()), ("age", 29i64.into())])
+        .unwrap();
+    let vadas = g
+        .add_vertex([("name", "vadas".into()), ("age", 27i64.into())])
+        .unwrap();
+    let lop = g
+        .add_vertex([("name", "lop".into()), ("lang", "java".into())])
+        .unwrap();
+    let josh = g
+        .add_vertex([("name", "josh".into()), ("age", 32i64.into())])
+        .unwrap();
+    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())])
+        .unwrap();
+    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())])
+        .unwrap();
+    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())])
+        .unwrap();
+    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())])
+        .unwrap();
+    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())])
+        .unwrap();
 
     println!("SQLGraph Gremlin shell — Figure 2a sample loaded (4 vertices, 5 edges).");
     println!("Try: g.V.has('name','marko').out('knows').values('name')");
@@ -49,7 +62,11 @@ fn main() {
         }
         if line == ":tables" {
             for t in g.database().table_names() {
-                println!("  {:<6} {:>8} rows", t, g.database().table_len(&t).unwrap_or(0));
+                println!(
+                    "  {:<6} {:>8} rows",
+                    t,
+                    g.database().table_len(&t).unwrap_or(0)
+                );
             }
             continue;
         }

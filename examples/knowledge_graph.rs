@@ -11,8 +11,14 @@ use sqlgraph::datagen::dbpedia::{self, DbpediaConfig};
 use std::time::Instant;
 
 fn main() {
-    let config = DbpediaConfig { seed: 7, ..DbpediaConfig::default() };
-    println!("generating DBpedia-like graph ({} places, {} players)...", config.places, config.players);
+    let config = DbpediaConfig {
+        seed: 7,
+        ..DbpediaConfig::default()
+    };
+    println!(
+        "generating DBpedia-like graph ({} places, {} players)...",
+        config.places, config.players
+    );
     let graph = dbpedia::generate(&config);
     println!(
         "  {} vertices, {} edges",
@@ -63,7 +69,10 @@ fn main() {
 
     // Player-team neighborhood, ignoring edge direction.
     let player = graph.ids.players.0;
-    run(&g, &format!("g.v({player}).both('team').both('team').dedup().count()"));
+    run(
+        &g,
+        &format!("g.v({player}).both('team').both('team').dedup().count()"),
+    );
 }
 
 fn run(g: &SqlGraph, q: &str) {

@@ -11,15 +11,28 @@ fn main() {
     let g = SqlGraph::new_in_memory();
 
     // The sample property graph of Figure 2a.
-    let marko = g.add_vertex([("name", "marko".into()), ("age", 29i64.into())]).unwrap();
-    let vadas = g.add_vertex([("name", "vadas".into()), ("age", 27i64.into())]).unwrap();
-    let lop = g.add_vertex([("name", "lop".into()), ("lang", "java".into())]).unwrap();
-    let josh = g.add_vertex([("name", "josh".into()), ("age", 32i64.into())]).unwrap();
-    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())]).unwrap();
-    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())]).unwrap();
-    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())]).unwrap();
-    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())]).unwrap();
-    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())]).unwrap();
+    let marko = g
+        .add_vertex([("name", "marko".into()), ("age", 29i64.into())])
+        .unwrap();
+    let vadas = g
+        .add_vertex([("name", "vadas".into()), ("age", 27i64.into())])
+        .unwrap();
+    let lop = g
+        .add_vertex([("name", "lop".into()), ("lang", "java".into())])
+        .unwrap();
+    let josh = g
+        .add_vertex([("name", "josh".into()), ("age", 32i64.into())])
+        .unwrap();
+    g.add_edge(marko, vadas, "knows", [("weight", 0.5f64.into())])
+        .unwrap();
+    g.add_edge(marko, josh, "knows", [("weight", 1.0f64.into())])
+        .unwrap();
+    g.add_edge(marko, lop, "created", [("weight", 0.4f64.into())])
+        .unwrap();
+    g.add_edge(josh, vadas, "likes", [("weight", 0.2f64.into())])
+        .unwrap();
+    g.add_edge(josh, lop, "created", [("weight", 0.8f64.into())])
+        .unwrap();
 
     // The paper's running example (§4.1): count the distinct vertices
     // adjacent to any vertex whose 'name' is 'marko'.
@@ -42,11 +55,14 @@ fn main() {
 
     // Updates run as multi-table transactions (the paper's stored
     // procedures); vertex deletion uses the negative-ID optimization.
-    g.query("g.addEdge(g.v(4), g.v(1), 'knows', [weight:0.7])").unwrap();
+    g.query("g.addEdge(g.v(4), g.v(1), 'knows', [weight:0.7])")
+        .unwrap();
     g.query("g.removeVertex(g.v(2))").unwrap();
     println!(
         "\nafter update+delete, marko knows: {:?}",
-        g.query("g.v(1).out('knows').values('name')").unwrap().strings()
+        g.query("g.v(1).out('knows').values('name')")
+            .unwrap()
+            .strings()
     );
     let removed = g.vacuum().unwrap();
     println!("vacuum removed {removed} logically deleted rows");

@@ -18,18 +18,25 @@ fn main() {
     let config = LinkBenchConfig::with_nodes(5_000);
     println!("generating LinkBench graph ({} nodes)...", config.nodes);
     let data = linkbench::generate(&config);
-    println!("  {} nodes, {} associations", data.vertex_count(), data.edge_count());
+    println!(
+        "  {} nodes, {} associations",
+        data.vertex_count(),
+        data.edge_count()
+    );
 
     let g = SqlGraph::new_in_memory();
-    g.bulk_load(&GraphData { vertices: data.vertices.clone(), edges: data.edges.clone() })
-        .unwrap();
+    g.bulk_load(&GraphData {
+        vertices: data.vertices.clone(),
+        edges: data.edges.clone(),
+    })
+    .unwrap();
 
     // A few single requests, the Gremlin way.
     println!("\nsample requests:");
     for q in [
-        "g.v(3).outE('assoc_0').count()",      // count_link
-        "g.v(3).out('assoc_0')[0..9]",         // get_link_list page
-        "g.v(7).values('data')",               // get_node
+        "g.v(3).outE('assoc_0').count()", // count_link
+        "g.v(3).out('assoc_0')[0..9]",    // get_link_list page
+        "g.v(7).values('data')",          // get_node
     ] {
         let out = g.query(q).unwrap();
         println!("  {q:<40} -> {} rows", out.rows.len());
@@ -74,20 +81,24 @@ fn main() {
     .unwrap();
     let elapsed = t0.elapsed().as_secs_f64();
     let total = done.load(Ordering::Relaxed);
-    println!("  {total} ops in {elapsed:.2}s = {:.0} op/sec", total as f64 / elapsed);
+    println!(
+        "  {total} ops in {elapsed:.2}s = {:.0} op/sec",
+        total as f64 / elapsed
+    );
     println!("\nper-operation mean latency:");
     let mut rows: Vec<_> = all_latencies.into_iter().collect();
     rows.sort_by_key(|(name, _)| *name);
     for (name, (total_s, n)) in rows {
-        println!("  {:<16} {:>10.3} ms  ({n} ops)", name, 1e3 * total_s / n as f64);
+        println!(
+            "  {:<16} {:>10.3} ms  ({n} ops)",
+            name,
+            1e3 * total_s / n as f64
+        );
     }
 
     // Consistency check after the storm: EA and the adjacency tables agree.
     let ea_edges = g.database().table_len("ea").unwrap();
-    let rel = g
-        .database()
-        .execute("SELECT COUNT(*) FROM osa")
-        .unwrap();
+    let rel = g.database().execute("SELECT COUNT(*) FROM osa").unwrap();
     println!(
         "\nfinal state: {} edges in EA, {} secondary adjacency rows",
         ea_edges,

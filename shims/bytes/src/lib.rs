@@ -31,14 +31,25 @@ impl Bytes {
 
     /// Sub-view relative to this view (zero-copy).
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && self.start + range.end <= self.end, "slice out of range");
-        Bytes { data: Arc::clone(&self.data), start: self.start + range.start, end: self.start + range.end }
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice out of range"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 
     /// Split off and return the first `at` bytes, advancing self past them.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of range");
-        let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
         self.start += at;
         head
     }
@@ -60,7 +71,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         let end = data.len();
-        Bytes { data: Arc::new(data), start: 0, end }
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -88,7 +103,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     pub fn len(&self) -> usize {

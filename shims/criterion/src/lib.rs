@@ -18,7 +18,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+        }
     }
 }
 
@@ -27,7 +29,11 @@ impl Criterion {
         let name = name.into();
         println!("\n== group: {name} ==");
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { _parent: self, name, sample_size }
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
@@ -93,12 +99,20 @@ impl Bencher {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Smoke mode (CI `bench-smoke` job): run each benchmark body a couple
+    // of times so its built-in correctness assertions execute, without the
+    // auto-tuned timing batches. Reported times are meaningless here.
+    let smoke = std::env::var_os("SQLGRAPH_BENCH_SMOKE").is_some();
+    let samples = if smoke { 2 } else { samples };
     // Warm-up and batch sizing: grow the batch until one sample takes at
     // least ~1ms so Instant resolution doesn't dominate.
-    let mut bencher = Bencher { batch: 1, elapsed: Duration::ZERO };
+    let mut bencher = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
     loop {
         f(&mut bencher);
-        if bencher.elapsed >= Duration::from_millis(1) || bencher.batch >= (1 << 20) {
+        if smoke || bencher.elapsed >= Duration::from_millis(1) || bencher.batch >= (1 << 20) {
             break;
         }
         bencher.batch *= 4;

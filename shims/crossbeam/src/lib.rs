@@ -49,10 +49,19 @@ pub mod channel {
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Inner { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             ready: Condvar::new(),
         });
-        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -71,7 +80,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.queue.lock().unwrap().senders += 1;
-            Sender { shared: Arc::clone(&self.shared) }
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -115,7 +126,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.queue.lock().unwrap().receivers += 1;
-            Receiver { shared: Arc::clone(&self.shared) }
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -199,7 +212,9 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
-            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
         }
     }
 

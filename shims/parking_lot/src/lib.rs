@@ -20,7 +20,9 @@ pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
-        Mutex { inner: StdMutex::new(value) }
+        Mutex {
+            inner: StdMutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -64,7 +66,10 @@ struct LockState {
 
 impl RawRwLock {
     fn new() -> Self {
-        RawRwLock { state: StdMutex::new(LockState::default()), cond: Condvar::new() }
+        RawRwLock {
+            state: StdMutex::new(LockState::default()),
+            cond: Condvar::new(),
+        }
     }
 
     fn lock_shared(&self) {
@@ -109,7 +114,10 @@ unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
-        RwLock { raw: RawRwLock::new(), data: UnsafeCell::new(value) }
+        RwLock {
+            raw: RawRwLock::new(),
+            data: UnsafeCell::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -138,7 +146,10 @@ impl<T: ?Sized> RwLock<T> {
         T: Sized,
     {
         self.raw.lock_shared();
-        lock_api::ArcRwLockReadGuard { lock: Arc::clone(self), _raw: std::marker::PhantomData }
+        lock_api::ArcRwLockReadGuard {
+            lock: Arc::clone(self),
+            _raw: std::marker::PhantomData,
+        }
     }
 
     /// Owned write guard holding the `Arc` alive (parking_lot `arc_lock`).
@@ -147,7 +158,10 @@ impl<T: ?Sized> RwLock<T> {
         T: Sized,
     {
         self.raw.lock_exclusive();
-        lock_api::ArcRwLockWriteGuard { lock: Arc::clone(self), _raw: std::marker::PhantomData }
+        lock_api::ArcRwLockWriteGuard {
+            lock: Arc::clone(self),
+            _raw: std::marker::PhantomData,
+        }
     }
 }
 

@@ -95,14 +95,20 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty collection size range");
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -122,7 +128,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -352,9 +361,12 @@ mod tests {
             #[allow(dead_code)]
             Node(Vec<Tree>),
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).boxed().prop_recursive(3, 16, 4, |inner| {
-            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .boxed()
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::from_seed(42);
         let mut saw_node = false;
         for _ in 0..100 {

@@ -49,7 +49,10 @@ fn parse(pattern: &str) -> Vec<Piece> {
                 if let Some(p) = prev {
                     ranges.push((p, p));
                 }
-                assert!(!ranges.is_empty(), "empty character class in pattern {pattern:?}");
+                assert!(
+                    !ranges.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
                 Atom::Class(ranges)
             }
             '\\' => match chars.next() {

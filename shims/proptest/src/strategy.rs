@@ -34,7 +34,13 @@ pub trait Strategy {
     /// Recursive structures: `branch` receives a strategy for the inner
     /// level and returns the composite level. `depth` bounds recursion;
     /// the node-count/branch-size hints are accepted but unused.
-    fn prop_recursive<R, F>(self, depth: u32, _desired_size: u32, _expected_branch: u32, branch: F) -> Recursive<Self::Value>
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> Recursive<Self::Value>
     where
         Self: Sized + 'static,
         Self::Value: 'static,
@@ -145,7 +151,9 @@ impl<T> Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { arms: self.arms.clone() }
+        Union {
+            arms: self.arms.clone(),
+        }
     }
 }
 
@@ -166,7 +174,11 @@ pub struct Recursive<T> {
 
 impl<T> Clone for Recursive<T> {
     fn clone(&self) -> Self {
-        Recursive { depth: self.depth, leaf: self.leaf.clone(), branch: Rc::clone(&self.branch) }
+        Recursive {
+            depth: self.depth,
+            leaf: self.leaf.clone(),
+            branch: Rc::clone(&self.branch),
+        }
     }
 }
 

@@ -60,7 +60,9 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn from_seed(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Seed for a named test: `PROPTEST_SEED` env var when set, otherwise

@@ -129,7 +129,9 @@ pub mod rngs {
         fn from_seed(seed: Self::Seed) -> Self {
             let mut raw = [0u8; 8];
             raw.copy_from_slice(&seed[..8]);
-            StdRng { state: splitmix64(u64::from_le_bytes(raw)) }
+            StdRng {
+                state: splitmix64(u64::from_le_bytes(raw)),
+            }
         }
     }
 
@@ -208,6 +210,9 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle left the slice in order (astronomically unlikely)");
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice in order (astronomically unlikely)"
+        );
     }
 }

@@ -25,9 +25,12 @@ fn apply(g: &SqlGraph, op: &Op) {
             let _ = Blueprints::add_edge(g, *src, *dst, ltype, &[]);
         }
         Op::DeleteLink { src, dst, ltype } => {
-            let found = Blueprints::edges_of(g, *src, sqlgraph::gremlin::Direction::Out, &[
-                ltype.to_string(),
-            ])
+            let found = Blueprints::edges_of(
+                g,
+                *src,
+                sqlgraph::gremlin::Direction::Out,
+                &[ltype.to_string()],
+            )
             .into_iter()
             .find(|&e| Blueprints::edge_target(g, e) == Some(*dst));
             if let Some(e) = found {
@@ -36,20 +39,29 @@ fn apply(g: &SqlGraph, op: &Op) {
         }
         Op::UpdateLink { .. } | Op::CountLink { .. } | Op::MultigetLink { .. } => {}
         Op::GetLinkList { id, ltype } => {
-            let _ = Blueprints::adjacent(g, *id, sqlgraph::gremlin::Direction::Out, &[
-                ltype.to_string(),
-            ]);
+            let _ = Blueprints::adjacent(
+                g,
+                *id,
+                sqlgraph::gremlin::Direction::Out,
+                &[ltype.to_string()],
+            );
         }
     }
 }
 
 #[test]
 fn concurrent_linkbench_storm_preserves_invariants() {
-    let config = LinkBenchConfig { nodes: 300, ..LinkBenchConfig::default() };
+    let config = LinkBenchConfig {
+        nodes: 300,
+        ..LinkBenchConfig::default()
+    };
     let data = linkbench::generate(&config);
     let g = SqlGraph::new_in_memory();
-    g.bulk_load(&GraphData { vertices: data.vertices.clone(), edges: data.edges.clone() })
-        .unwrap();
+    g.bulk_load(&GraphData {
+        vertices: data.vertices.clone(),
+        edges: data.edges.clone(),
+    })
+    .unwrap();
 
     crossbeam::thread::scope(|scope| {
         for r in 0..8u64 {
@@ -72,14 +84,25 @@ fn concurrent_linkbench_storm_preserves_invariants() {
              OR outv NOT IN (SELECT vid FROM va WHERE vid >= 0)",
         )
         .unwrap();
-    assert_eq!(dangling.scalar(), Some(&Value::Int(0)), "dangling EA endpoints");
+    assert_eq!(
+        dangling.scalar(),
+        Some(&Value::Int(0)),
+        "dangling EA endpoints"
+    );
 
     // Invariant 2: adjacency-table traversal agrees with the EA triple
     // table for every live vertex (out direction, all labels).
     use sqlgraph::core::{AdjacencyStrategy, TranslateOptions};
-    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
-    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
-    let vids = db.execute("SELECT vid FROM va WHERE vid >= 0").unwrap().int_column();
+    let hash = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceHash,
+    };
+    let ea = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceEa,
+    };
+    let vids = db
+        .execute("SELECT vid FROM va WHERE vid >= 0")
+        .unwrap()
+        .int_column();
     for &v in vids.iter().step_by(7) {
         let q = format!("g.v({v}).out");
         let mut a = g.query_with(&q, hash).unwrap().int_column();
@@ -97,7 +120,11 @@ fn concurrent_linkbench_storm_preserves_invariants() {
              WHERE t.v >= 1000000000000 AND t.v NOT IN (SELECT valid FROM osa)",
         )
         .unwrap();
-    assert_eq!(orphans.scalar(), Some(&Value::Int(0)), "orphaned multi-value pointers");
+    assert_eq!(
+        orphans.scalar(),
+        Some(&Value::Int(0)),
+        "orphaned multi-value pointers"
+    );
 }
 
 #[test]
@@ -107,11 +134,17 @@ fn parallel_queries_survive_concurrent_linkbench_storm() {
     // workers hold table read guards while writers contend for the write
     // locks. Only panics and deadlocks are bugs; row contents shift under
     // the race, but every result must stay well-formed.
-    let config = LinkBenchConfig { nodes: 300, ..LinkBenchConfig::default() };
+    let config = LinkBenchConfig {
+        nodes: 300,
+        ..LinkBenchConfig::default()
+    };
     let data = linkbench::generate(&config);
     let g = SqlGraph::new_in_memory();
-    g.bulk_load(&GraphData { vertices: data.vertices.clone(), edges: data.edges.clone() })
-        .unwrap();
+    g.bulk_load(&GraphData {
+        vertices: data.vertices.clone(),
+        edges: data.edges.clone(),
+    })
+    .unwrap();
     g.database().set_parallelism(4);
 
     crossbeam::thread::scope(|scope| {
@@ -138,7 +171,9 @@ fn parallel_queries_survive_concurrent_linkbench_storm() {
                     for row in &groups.rows {
                         assert_eq!(row.len(), 2, "malformed aggregate row: {row:?}");
                     }
-                    let scanned = db.execute("SELECT COUNT(*) FROM va WHERE vid >= 0").unwrap();
+                    let scanned = db
+                        .execute("SELECT COUNT(*) FROM va WHERE vid >= 0")
+                        .unwrap();
                     assert!(scanned.scalar().and_then(Value::as_int).is_some());
                 }
             });

@@ -4,15 +4,22 @@
 
 use sqlgraph::baselines::{KvGraph, NativeGraph};
 use sqlgraph::core::{GraphData, SchemaConfig, SqlGraph};
-use sqlgraph::datagen::dbpedia::{
-    adjacency_queries, benchmark_queries, generate, DbpediaConfig,
-};
+use sqlgraph::datagen::dbpedia::{adjacency_queries, benchmark_queries, generate, DbpediaConfig};
 use sqlgraph::gremlin::{interp, parse_query, Elem};
 use sqlgraph::rel::Value;
 
-fn build_all() -> (sqlgraph::datagen::dbpedia::DbpediaGraph, SqlGraph, KvGraph, NativeGraph) {
+fn build_all() -> (
+    sqlgraph::datagen::dbpedia::DbpediaGraph,
+    SqlGraph,
+    KvGraph,
+    NativeGraph,
+) {
     let g = generate(&DbpediaConfig::tiny());
-    let sql = SqlGraph::with_config(SchemaConfig { out_buckets: 5, in_buckets: 5 }).unwrap();
+    let sql = SqlGraph::with_config(SchemaConfig {
+        out_buckets: 5,
+        in_buckets: 5,
+    })
+    .unwrap();
     sql.bulk_load(&GraphData {
         vertices: g.data.vertices.clone(),
         edges: g.data.edges.clone(),
@@ -71,8 +78,12 @@ fn all_systems_agree_on_the_path_queries() {
 fn physical_strategies_agree() {
     use sqlgraph::core::{AdjacencyStrategy, TranslateOptions};
     let (g, sql, _, _) = build_all();
-    let ea = TranslateOptions { adjacency: AdjacencyStrategy::ForceEa };
-    let hash = TranslateOptions { adjacency: AdjacencyStrategy::ForceHash };
+    let ea = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceEa,
+    };
+    let hash = TranslateOptions {
+        adjacency: AdjacencyStrategy::ForceHash,
+    };
     for spec in adjacency_queries(&g) {
         let a = canon_rel(&sql.query_with(&spec.gremlin, ea).unwrap());
         let b = canon_rel(&sql.query_with(&spec.gremlin, hash).unwrap());
@@ -97,9 +108,18 @@ fn alternative_schemas_agree_with_sqlgraph() {
         q.push_str(".out('isPartOf')");
     }
     q.push_str(".count()");
-    let from_sql = sql.query(&q).unwrap().scalar().and_then(Value::as_int).unwrap();
+    let from_sql = sql
+        .query(&q)
+        .unwrap()
+        .scalar()
+        .and_then(Value::as_int)
+        .unwrap();
     let from_json = ja
-        .khop(&format!("JSON_VAL(attr, 'bucket') < {places}"), Some("isPartOf"), 3)
+        .khop(
+            &format!("JSON_VAL(attr, 'bucket') < {places}"),
+            Some("isPartOf"),
+            3,
+        )
         .unwrap()
         .scalar()
         .and_then(Value::as_int)
@@ -115,7 +135,9 @@ fn facade_reexports_work_together() {
     let b = g.add_vertex([("name", "grace".into())]).unwrap();
     g.add_edge(a, b, "admires", []).unwrap();
     assert_eq!(
-        g.query("g.V.has('name','ada').out('admires').values('name')").unwrap().strings(),
+        g.query("g.V.has('name','ada').out('admires').values('name')")
+            .unwrap()
+            .strings(),
         ["grace"]
     );
     // JSON crate round trip through the public facade.
