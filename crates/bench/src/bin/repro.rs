@@ -16,6 +16,7 @@
 //!   table6   Table 6 (per-op latency, mid scale)
 //!   table7   Table 7 (per-op latency, largest scale)
 //!   sizes    §5.1 storage footprints
+//!   recovery Durability: cold WAL replay vs snapshot + tail reopen latency
 //!   all      everything above
 //! ```
 
@@ -78,6 +79,7 @@ fn main() {
             "table6" => experiments::table67(config, false),
             "table7" => experiments::table67(config, true),
             "sizes" => experiments::sizes(config),
+            "recovery" => experiments::recovery(config),
             other => die(&format!("unknown experiment '{other}'")),
         };
         println!("{report}");
@@ -97,6 +99,7 @@ fn main() {
             "table6",
             "table7",
             "sizes",
+            "recovery",
         ] {
             println!("==================================================================");
             run(name, &config);
@@ -108,7 +111,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig3|fig4|table3|table4|fig6|fig8|fig8c|fig9|throughput|table6|table7|sizes|all> \
+        "usage: repro <fig3|fig4|table3|table4|fig6|fig8|fig8c|fig9|throughput|table6|table7|sizes|recovery|all> \
          [--scale F] [--runs N] [--lb-ops N] [--quick]"
     );
 }

@@ -912,3 +912,100 @@ pub fn sizes(cfg: &ReproConfig) -> String {
     );
     out
 }
+
+// ---------------------------------------------------------------------------
+// Durability — recovery time: cold WAL replay vs snapshot + tail
+// ---------------------------------------------------------------------------
+
+/// Crash-recovery cost as a function of log length: reopen a database whose
+/// entire history lives in one WAL segment (cold replay is O(ops)), then the
+/// same history with a checkpoint taken just before the last few commits
+/// (reopen is snapshot load + O(tail)).
+pub fn recovery(cfg: &ReproConfig) -> String {
+    use sqlgraph_rel::Database;
+
+    let tail_ops = 100usize;
+    let op_counts: Vec<usize> = [10_000usize, 100_000, 1_000_000]
+        .iter()
+        .map(|&n| ((n as f64 * cfg.scale) as usize).max(1_000))
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("sqlgraph-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    // One committed transaction per op: mostly inserts, with updates and
+    // deletes mixed in so replay exercises every record kind.
+    let build = |path: &std::path::Path, ops: usize, checkpoint_at: Option<usize>| -> u64 {
+        let db = Database::open(path).expect("open for build");
+        db.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+            .expect("ddl");
+        db.execute("CREATE INDEX kv_v ON kv (v)").expect("ddl");
+        for i in 0..ops {
+            if checkpoint_at == Some(i) {
+                db.checkpoint().expect("checkpoint");
+            }
+            let sql = match i % 20 {
+                18 if i > 0 => format!("UPDATE kv SET v = 'u{i}' WHERE id = {}", i - 1),
+                19 if i > 1 => format!("DELETE FROM kv WHERE id = {}", i - 2),
+                _ => format!("INSERT INTO kv VALUES ({i}, 'v{i}')"),
+            };
+            db.execute(&sql).expect("op");
+        }
+        drop(db);
+        // Size of the gen-0 segment (the builds without a checkpoint keep
+        // their whole history there).
+        std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Durability — recovery time (reopen latency)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>16} {:>20} {:>12}",
+        "ops", "wal bytes", "cold replay ms", "snapshot+tail ms", "tail commits"
+    );
+    for (idx, &ops) in op_counts.iter().enumerate() {
+        // Cold: the whole history is one WAL segment.
+        let cold_path = dir.join(format!("cold-{idx}.wal"));
+        let wal_bytes = build(&cold_path, ops, None);
+        let start = Instant::now();
+        let db = Database::open(&cold_path).expect("cold reopen");
+        let cold = start.elapsed();
+        let cold_commits = db.recovery_report().expect("report").commits_replayed;
+        assert_eq!(cold_commits as usize, ops + 2, "cold replay covers all ops");
+        drop(db);
+
+        // Checkpointed: same history, snapshot taken `tail_ops` before the end.
+        let ckpt_path = dir.join(format!("ckpt-{idx}.wal"));
+        build(&ckpt_path, ops, Some(ops.saturating_sub(tail_ops)));
+        let start = Instant::now();
+        let db = Database::open(&ckpt_path).expect("ckpt reopen");
+        let warm = start.elapsed();
+        let report = db.recovery_report().expect("report").clone();
+        assert!(report.snapshot_gen.is_some(), "snapshot must be used");
+        assert_eq!(
+            report.commits_replayed as usize, tail_ops,
+            "checkpointed reopen replays only the post-checkpoint tail"
+        );
+        drop(db);
+
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>16} {:>20} {:>12}",
+            ops,
+            wal_bytes,
+            ms(cold),
+            ms(warm),
+            report.commits_replayed
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = writeln!(
+        out,
+        "(cold replay re-executes every committed operation; a checkpointed \
+         database deserializes the final state and replays only the \
+         post-checkpoint tail — O(state + delta), not O(history))"
+    );
+    out
+}

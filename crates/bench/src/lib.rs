@@ -14,6 +14,7 @@
 //! | Figure 9 | [`experiments::fig9`] |
 //! | Tables 6/7 | [`experiments::table67`] |
 //! | §5.1 sizes | [`experiments::sizes`] |
+//! | Recovery time (durability) | [`experiments::recovery`] |
 //!
 //! Run them all with `cargo run --release -p sqlgraph-bench --bin repro -- all`.
 

@@ -85,13 +85,44 @@ impl SqlGraph {
     /// Open (or create) a WAL-backed store at `wal_path`. Existing data is
     /// recovered by replay; id counters resume past the recovered maxima.
     pub fn open(wal_path: impl AsRef<Path>, config: SchemaConfig) -> Result<SqlGraph, CoreError> {
-        let db = Database::open(wal_path)?;
+        SqlGraph::from_recovered(Database::open(wal_path)?, config)
+    }
+
+    /// [`SqlGraph::open`] over an explicit file-system layer, for
+    /// deterministic crash testing with [`sqlgraph_rel::SimFs`].
+    pub fn open_with_vfs(
+        wal_path: impl AsRef<Path>,
+        config: SchemaConfig,
+        vfs: std::sync::Arc<dyn sqlgraph_rel::Vfs>,
+    ) -> Result<SqlGraph, CoreError> {
+        SqlGraph::from_recovered(Database::open_with_vfs(wal_path, vfs)?, config)
+    }
+
+    fn from_recovered(db: Database, config: SchemaConfig) -> Result<SqlGraph, CoreError> {
         if !db.table_names().contains(&"va".to_string()) {
             create_tables(&db, &config)?;
         }
         let store = SqlGraph::from_db(db, config);
         store.resync_counters()?;
         Ok(store)
+    }
+
+    /// Snapshot the full graph state and rotate the WAL, bounding the next
+    /// open to the snapshot plus the post-checkpoint tail. Graph mutations
+    /// are excluded while the snapshot is cut.
+    pub fn checkpoint(&self) -> Result<sqlgraph_rel::CheckpointReport, CoreError> {
+        let _exclusive = self.mutation_lock.write();
+        Ok(self.db.checkpoint()?)
+    }
+
+    /// Fsync the WAL on every commit (off by default for benchmarks).
+    pub fn set_sync_on_commit(&self, sync: bool) {
+        self.db.set_sync_on_commit(sync);
+    }
+
+    /// What recovery found when this store was opened from a log.
+    pub fn recovery_report(&self) -> Option<&sqlgraph_rel::RecoveryReport> {
+        self.db.recovery_report()
     }
 
     fn from_db(db: Database, config: SchemaConfig) -> SqlGraph {

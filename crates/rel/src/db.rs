@@ -10,17 +10,19 @@
 //! is statement-level (read committed) — the same level the paper's
 //! LinkBench runs exercise.
 
+use crate::checkpoint::{self, CheckpointReport, RecoveryReport};
 use crate::error::{Error, Result};
 use crate::exec::{run_select, Env, Relation, Row};
 use crate::expr::{BinaryOp, Expr};
 use crate::hasher::FxHashMap;
 use crate::index::{IndexKey, IndexKind, KeyPart, RowId};
+use crate::io::{StdFs, Vfs};
 use crate::schema::{Column, ColumnType, TableSchema};
 use crate::sql::ast::{self, Statement};
 use crate::sql::parse_statement;
 use crate::storage::Table;
 use crate::value::Value;
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{segment_path, Wal, WalRecord};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 use std::path::Path;
@@ -53,6 +55,14 @@ pub struct Database {
     /// materializes `Vec<Row>` everywhere, for A/B comparison and
     /// differential testing against the batch engine.
     batch: std::sync::atomic::AtomicBool,
+    /// Apply+commit vs checkpoint exclusion. Every mutating statement holds
+    /// this shared from first table mutation through WAL append, so a
+    /// checkpoint (exclusive) never snapshots table state whose WAL records
+    /// would land in the post-snapshot segment (which replay would then
+    /// double-apply).
+    commit_lock: RwLock<()>,
+    /// What recovery found, when this database was opened from a log.
+    recovery: Option<RecoveryReport>,
 }
 
 /// One statement-cache entry. The used bit gives recently-hit entries a
@@ -129,6 +139,17 @@ enum UndoOp {
         row_id: RowId,
         old: Row,
     },
+    CreateTable {
+        table: String,
+    },
+    CreateIndex {
+        table: String,
+        index: String,
+    },
+    DropTable {
+        table: String,
+        handle: Arc<RwLock<Table>>,
+    },
 }
 
 /// Per-transaction journal: undo for rollback, redo for the WAL.
@@ -149,6 +170,8 @@ impl Database {
             planner: std::sync::atomic::AtomicBool::new(true),
             parallelism: std::sync::atomic::AtomicUsize::new(env_test_dop()),
             batch: std::sync::atomic::AtomicBool::new(true),
+            commit_lock: RwLock::new(()),
+            recovery: None,
         }
     }
 
@@ -249,15 +272,83 @@ impl Database {
         self.stmt_cache.read().len()
     }
 
-    /// Open a database backed by a WAL file: existing records are replayed
-    /// (DDL first-class, row images matched by content), then new commits
-    /// append to the same log.
+    /// Open a database backed by the log rooted at `wal_path`: the latest
+    /// checkpoint snapshot (if any) is loaded, the WAL segments it anchors
+    /// are replayed commit-by-commit, torn/corrupt/commit-less tails are
+    /// truncated away, and new commits append to the active segment.
     pub fn open(wal_path: impl AsRef<Path>) -> Result<Database> {
-        let records = Wal::read_all(&wal_path)?;
+        Database::open_with_vfs(wal_path, Arc::new(StdFs))
+    }
+
+    /// [`Database::open`] over an explicit file-system layer — the entry
+    /// point for deterministic crash testing with [`crate::io::SimFs`].
+    pub fn open_with_vfs(wal_path: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> Result<Database> {
+        let base = wal_path.as_ref().to_path_buf();
+        let mut report = RecoveryReport::default();
         let mut db = Database::new();
-        db.replay(&records)?;
-        db.wal = Some(Mutex::new(Wal::open(wal_path)?));
+
+        // 1. Snapshot, if a checkpoint was ever taken. A stray temp file
+        //    from an interrupted checkpoint is ignored (and cleaned up).
+        let mut start_gen = 0;
+        if let Some(snap) = checkpoint::load_snapshot(vfs.as_ref(), &base)? {
+            report.snapshot_gen = Some(snap.gen);
+            report.snapshot_tables = snap.tables.len();
+            start_gen = snap.gen;
+            let mut tables = db.tables.write();
+            for t in snap.tables {
+                tables.insert(t.schema.name.clone(), Arc::new(RwLock::new(t)));
+            }
+        }
+        let tmp = checkpoint::snapshot_tmp_path(&base);
+        if vfs.exists(&tmp) {
+            let _ = vfs.remove(&tmp);
+        }
+        // Segments older than the snapshot are fully covered by it; retire
+        // leftovers from a checkpoint that crashed before deleting them.
+        for gen in 0..start_gen {
+            let stale = segment_path(&base, gen);
+            if vfs.exists(&stale) {
+                let _ = vfs.remove(&stale);
+            }
+        }
+
+        // 2. Tail replay: segments are created in order, so walk forward
+        //    from the snapshot generation until one is missing.
+        let mut active_gen = start_gen;
+        let mut gen = start_gen;
+        loop {
+            let path = segment_path(&base, gen);
+            if !vfs.exists(&path) {
+                break;
+            }
+            let scan = Wal::scan_segment(vfs.as_ref(), &path)?;
+            report.segments_scanned += 1;
+            report.commits_replayed += scan.commits.len();
+            report.records_replayed += scan.commits.iter().map(Vec::len).sum::<usize>();
+            report.dangling_records += scan.dangling_records;
+            report.bytes_truncated += scan.file_len - scan.valid_len;
+            db.replay_commits(&scan.commits)?;
+            // Truncate past the last commit marker *before* appending:
+            // anything left there (torn tail, corrupt record, commit-less
+            // batch) would make every later commit unreadable on the next
+            // replay, silently losing acknowledged transactions.
+            if scan.file_len > scan.valid_len {
+                vfs.truncate(&path, scan.valid_len)
+                    .map_err(|e| Error::Wal(format!("truncate torn tail: {e}")))?;
+            }
+            active_gen = gen;
+            gen += 1;
+        }
+
+        db.wal = Some(Mutex::new(Wal::open_segment(vfs, &base, active_gen)?));
+        db.recovery = Some(report);
         Ok(db)
+    }
+
+    /// What recovery found when this database was opened from a log;
+    /// `None` for in-memory databases.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Turn on fsync-per-commit durability (off by default for benchmarks).
@@ -267,27 +358,103 @@ impl Database {
         }
     }
 
-    fn replay(&mut self, records: &[WalRecord]) -> Result<()> {
-        for record in records {
-            match record {
-                WalRecord::Ddl { sql } => {
-                    self.execute(sql)?;
-                }
-                WalRecord::Insert { table, row } => {
-                    let mut t = self.write_table(table)?;
-                    t.insert(row.clone())?;
-                }
-                WalRecord::Delete { table, row } => {
-                    let mut t = self.write_table(table)?;
-                    if let Some(id) = find_row_by_image(&t, row) {
-                        t.delete(id)?;
+    /// Checkpoint: atomically install a full-state snapshot and rotate the
+    /// WAL to a fresh segment, bounding the next recovery to the snapshot
+    /// plus the post-checkpoint tail. Old segments are retired afterwards
+    /// (best-effort; leftovers are cleaned up on the next open).
+    ///
+    /// Crash-safe at every step: the snapshot only becomes visible through
+    /// the final rename, and commits are excluded for the duration, so the
+    /// snapshot/segment boundary is exact.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        let _commit = self.commit_lock.write();
+        let wal_slot = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("checkpoint: in-memory database has no WAL".into()))?;
+        let mut wal = wal_slot.lock();
+        let vfs = wal.vfs();
+        let base = wal.base().to_path_buf();
+        let old_gen = wal.gen();
+        let new_gen = old_gen + 1;
+
+        // Open the fresh segment first: if this fails nothing has changed,
+        // and a stray empty segment file is harmless to recovery (it scans
+        // as zero commits).
+        let new_file = vfs
+            .append(&segment_path(&base, new_gen))
+            .map_err(|e| Error::Wal(format!("checkpoint: open segment {new_gen}: {e}")))?;
+
+        // Serialize a consistent image: the exclusive commit lock keeps
+        // every writer out, and read guards cover concurrent readers.
+        let names = self.table_names();
+        let guards: Vec<TableReadGuard> = names
+            .iter()
+            .map(|n| self.read_table(n))
+            .collect::<Result<_>>()?;
+        let refs: Vec<&Table> = guards.iter().map(|g| &**g).collect();
+        let bytes = checkpoint::encode_snapshot(new_gen, &refs);
+        let written = checkpoint::install_snapshot(vfs.as_ref(), &base, &bytes)?;
+
+        // The snapshot is durable and anchors generation `new_gen`; switch
+        // the writer (infallible) and retire covered segments.
+        wal.install_segment(new_gen, new_file);
+        let mut retired = 0;
+        for gen in (0..new_gen).rev() {
+            let old = segment_path(&base, gen);
+            if !vfs.exists(&old) {
+                break;
+            }
+            if vfs.remove(&old).is_ok() {
+                retired += 1;
+            }
+        }
+        Ok(CheckpointReport {
+            gen: new_gen,
+            bytes: written,
+            tables: names.len(),
+            retired_segments: retired,
+        })
+    }
+
+    /// Apply recovered commits. Each operation targets the physical row id
+    /// recorded at commit time; ids are remapped when replay assigns a
+    /// different slab slot than the original run did (the original slab may
+    /// contain tombstones from rolled-back transactions, which the WAL —
+    /// correctly — knows nothing about).
+    fn replay_commits(&mut self, commits: &[Vec<WalRecord>]) -> Result<()> {
+        let mut id_map: FxHashMap<(String, RowId), RowId> = FxHashMap::default();
+        for commit in commits {
+            for record in commit {
+                match record {
+                    WalRecord::Ddl { sql } => {
+                        self.execute(sql)?;
                     }
-                }
-                WalRecord::Update { table, old, new } => {
-                    let mut t = self.write_table(table)?;
-                    if let Some(id) = find_row_by_image(&t, old) {
-                        t.update(id, new.clone())?;
+                    WalRecord::Insert { table, row_id, row } => {
+                        let mut t = self.write_table(table)?;
+                        let new_id = t.insert(row.clone())?;
+                        id_map.insert((table.clone(), *row_id), new_id);
                     }
+                    WalRecord::Delete { table, row_id, .. } => {
+                        let id = id_map.remove(&(table.clone(), *row_id)).unwrap_or(*row_id);
+                        let mut t = self.write_table(table)?;
+                        t.delete(id).map_err(|e| {
+                            Error::Wal(format!("replay delete {table}[{row_id}]: {e}"))
+                        })?;
+                    }
+                    WalRecord::Update {
+                        table, row_id, new, ..
+                    } => {
+                        let id = id_map
+                            .get(&(table.clone(), *row_id))
+                            .copied()
+                            .unwrap_or(*row_id);
+                        let mut t = self.write_table(table)?;
+                        t.update(id, new.clone()).map_err(|e| {
+                            Error::Wal(format!("replay update {table}[{row_id}]: {e}"))
+                        })?;
+                    }
+                    WalRecord::Commit => {}
                 }
             }
         }
@@ -370,12 +537,20 @@ impl Database {
         params: &[Value],
         sql_text: Option<&str>,
     ) -> Result<Relation> {
+        let _commit = self.commit_lock.read();
         let mut journal = Journal::default();
         match self.execute_in(stmt, params, sql_text, &mut journal) {
-            Ok(rel) => {
-                self.commit_journal(journal)?;
-                Ok(rel)
-            }
+            Ok(rel) => match self.commit_journal(&journal) {
+                Ok(()) => Ok(rel),
+                // A failed commit must not leave its mutations visible: the
+                // caller got an error, so the in-memory state rolls back.
+                // (The WAL may still hold the transaction — an errored
+                // commit is indeterminate until the next open.)
+                Err(e) => {
+                    self.rollback_journal(journal);
+                    Err(e)
+                }
+            },
             Err(e) => {
                 self.rollback_journal(journal);
                 Err(e)
@@ -387,15 +562,19 @@ impl Database {
     /// provided [`Txn`] is journaled; on `Ok` the journal commits to the WAL,
     /// on `Err` all changes are rolled back.
     pub fn transaction<T>(&self, f: impl FnOnce(&mut Txn<'_>) -> Result<T>) -> Result<T> {
+        let _commit = self.commit_lock.read();
         let mut txn = Txn {
             db: self,
             journal: Journal::default(),
         };
         match f(&mut txn) {
-            Ok(v) => {
-                self.commit_journal(txn.journal)?;
-                Ok(v)
-            }
+            Ok(v) => match self.commit_journal(&txn.journal) {
+                Ok(()) => Ok(v),
+                Err(e) => {
+                    self.rollback_journal(txn.journal);
+                    Err(e)
+                }
+            },
             Err(e) => {
                 self.rollback_journal(txn.journal);
                 Err(e)
@@ -403,7 +582,7 @@ impl Database {
         }
     }
 
-    fn commit_journal(&self, journal: Journal) -> Result<()> {
+    fn commit_journal(&self, journal: &Journal) -> Result<()> {
         if let (Some(wal), false) = (&self.wal, journal.redo.is_empty()) {
             wal.lock().append_commit(&journal.redo)?;
         }
@@ -432,6 +611,18 @@ impl Database {
                         .write_table(&table)
                         .expect("table exists during rollback");
                     t.update(row_id, old).expect("undo update");
+                }
+                UndoOp::CreateTable { table } => {
+                    self.tables.write().remove(&table);
+                }
+                UndoOp::CreateIndex { table, index } => {
+                    let mut t = self
+                        .write_table(&table)
+                        .expect("table exists during rollback");
+                    assert!(t.drop_index(&index), "undo create index");
+                }
+                UndoOp::DropTable { table, handle } => {
+                    self.tables.write().insert(table, handle);
                 }
             }
         }
@@ -490,6 +681,9 @@ impl Database {
                             .map(str::to_owned)
                             .unwrap_or_else(|| render_create_table(name, columns)),
                     });
+                    journal.undo.push(UndoOp::CreateTable {
+                        table: name.to_ascii_lowercase(),
+                    });
                 }
                 Ok(count_relation(created as i64))
             }
@@ -515,21 +709,30 @@ impl Database {
                             render_create_index(name, table, columns, *unique, *kind)
                         }),
                     });
+                    journal.undo.push(UndoOp::CreateIndex {
+                        table: table.to_ascii_lowercase(),
+                        index: name.to_ascii_lowercase(),
+                    });
                 }
                 Ok(count_relation(created as i64))
             }
             Statement::DropTable { name, if_exists } => {
                 let lower = name.to_ascii_lowercase();
-                let removed = self.tables.write().remove(&lower).is_some();
-                if !removed && !*if_exists {
+                let removed = self.tables.write().remove(&lower);
+                if removed.is_none() && !*if_exists {
                     return Err(Error::NotFound(format!("table '{name}'")));
                 }
-                if removed {
+                let dropped = removed.is_some();
+                if let Some(handle) = removed {
                     journal.redo.push(WalRecord::Ddl {
                         sql: format!("DROP TABLE IF EXISTS {lower}"),
                     });
+                    journal.undo.push(UndoOp::DropTable {
+                        table: lower,
+                        handle,
+                    });
                 }
-                Ok(count_relation(removed as i64))
+                Ok(count_relation(dropped as i64))
             }
             Statement::Call { name, args } => {
                 let proc = self
@@ -646,6 +849,7 @@ impl Database {
             });
             journal.redo.push(WalRecord::Insert {
                 table: lower.clone(),
+                row_id,
                 row: row_image,
             });
             inserted += 1;
@@ -697,6 +901,7 @@ impl Database {
             });
             journal.redo.push(WalRecord::Update {
                 table: lower.clone(),
+                row_id,
                 old,
                 new,
             });
@@ -729,6 +934,7 @@ impl Database {
             });
             journal.redo.push(WalRecord::Delete {
                 table: lower.clone(),
+                row_id,
                 row,
             });
             deleted += 1;
@@ -915,22 +1121,6 @@ fn visit_conjuncts_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
     } else {
         f(e);
     }
-}
-
-fn find_row_by_image(table: &Table, image: &[Value]) -> Option<RowId> {
-    // Prefer a unique index prefix if the image's first column is indexed.
-    if let Some(idx) = table.index_with_prefix(0) {
-        if idx.columns.len() == 1 {
-            let key = IndexKey(vec![image[0].clone()]);
-            for &id in idx.lookup(&key) {
-                if table.get(id).is_some_and(|r| r == image) {
-                    return Some(id);
-                }
-            }
-            return None;
-        }
-    }
-    table.iter().find(|(_, r)| *r == image).map(|(id, _)| id)
 }
 
 fn count_relation(n: i64) -> Relation {

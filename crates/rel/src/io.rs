@@ -1,0 +1,533 @@
+//! Pluggable file-system layer for durability code.
+//!
+//! Every byte the WAL and checkpoint machinery puts on (or reads off) disk
+//! goes through a [`Vfs`]. Two implementations exist:
+//!
+//! * [`StdFs`] — thin wrapper over `std::fs`, used in production.
+//! * [`SimFs`] — a deterministic in-memory file system with scripted fault
+//!   injection: fail the Nth operation, crash with a torn tail, silently
+//!   drop an fsync, fail a rename. Crash-recovery tests enumerate every
+//!   mutating operation of a workload and crash at each one, so recovery is
+//!   tested exhaustively instead of by luck.
+//!
+//! The durability model `SimFs` implements is the standard append-only
+//! contract: bytes written before the last `sync` survive a crash; bytes
+//! written after it survive only as an arbitrary *prefix* of the unsynced
+//! tail (configurable per crash fault, so tests can sweep "none", "some",
+//! and "all" of the tail). Renames are atomic and immediately durable when
+//! they succeed.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A writable file handle produced by a [`Vfs`].
+pub trait VfsFile: Send {
+    /// Append `buf` in full.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Make everything written so far durable.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// File-system operations the durability layer needs. Paths are plain
+/// `std::path` values; a `Vfs` is shared behind an `Arc` between the
+/// database, its WAL, and the checkpointer.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Full contents of `path`, or `None` if it does not exist.
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Create (or truncate) `path` and open it for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open `path` for appending, creating it if missing.
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Truncate `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically rename `from` to `to`, replacing `to` if it exists.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete `path`. Deleting a missing file is an error.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------- StdFs --
+
+/// The real file system.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+struct StdFile(std::fs::File);
+
+impl VfsFile for StdFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        use io::Write;
+        self.0.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for StdFs {
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(std::fs::File::create(path)?)))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+// ---------------------------------------------------------------- SimFs --
+
+/// What a scripted fault does when its operation number comes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation returns an I/O error; the "process" keeps running.
+    FailOp,
+    /// The process crashes at this operation. The operation itself does not
+    /// take effect, every later operation fails, and on [`SimFs::recover`]
+    /// each file rolls back to its synced prefix — except the file this
+    /// operation targeted, which additionally keeps the first `keep_tail`
+    /// bytes of its unsynced tail (for a write fault, the tail includes the
+    /// faulted buffer: a *torn write*).
+    Crash {
+        /// Unsynced-tail bytes of the faulted file that survive.
+        keep_tail: usize,
+    },
+    /// The sync reports success but persists nothing. Only meaningful on a
+    /// `sync` operation; a later crash then loses the "synced" bytes.
+    DropSync,
+}
+
+/// One scripted fault: fire `kind` when the global operation counter
+/// reaches `at_op` (counting from 0 over all mutating operations).
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// Operation number the fault fires at.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+#[derive(Debug, Default, Clone)]
+struct SimFile {
+    data: Vec<u8>,
+    /// Durable prefix length: bytes below this survive a crash.
+    synced: usize,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: HashMap<PathBuf, SimFile>,
+    ops: u64,
+    faults: Vec<Fault>,
+    crashed: bool,
+    trace: Vec<String>,
+}
+
+/// Deterministic in-memory file system with scripted fault injection.
+/// Cloning shares the underlying state, so a handle given to a `Database`
+/// can also be driven by the test.
+#[derive(Debug, Clone, Default)]
+pub struct SimFs {
+    inner: Arc<Mutex<SimState>>,
+}
+
+/// Append handle into a [`SimFs`] file.
+#[derive(Debug)]
+pub struct SimFsFile {
+    fs: SimFs,
+    path: PathBuf,
+}
+
+fn io_err(msg: impl Into<String>) -> io::Error {
+    io::Error::other(msg.into())
+}
+
+impl SimFs {
+    /// A fresh, empty file system with no scheduled faults.
+    pub fn new() -> SimFs {
+        SimFs::default()
+    }
+
+    /// Schedule a fault. Multiple faults may be scheduled (e.g. a
+    /// [`FaultKind::DropSync`] followed by a later [`FaultKind::Crash`]).
+    pub fn schedule_fault(&self, fault: Fault) {
+        self.inner.lock().unwrap().faults.push(fault);
+    }
+
+    /// Number of mutating operations performed so far. Running a workload
+    /// once fault-free yields the operation count to enumerate over.
+    pub fn op_count(&self) -> u64 {
+        self.inner.lock().unwrap().ops
+    }
+
+    /// Human-readable trace of every mutating operation, for debugging a
+    /// failing crash-matrix point.
+    pub fn trace(&self) -> Vec<String> {
+        self.inner.lock().unwrap().trace.clone()
+    }
+
+    /// Whether a crash fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.inner.lock().unwrap().crashed
+    }
+
+    /// Materialize the post-crash disk state and clear the crashed flag:
+    /// every file rolls back to what a real disk would hold, and the file
+    /// system accepts operations again (the "reboot"). Also clears any
+    /// remaining scheduled faults and resets the operation counter.
+    pub fn recover(&self) {
+        let mut st = self.inner.lock().unwrap();
+        for file in st.files.values_mut() {
+            file.data.truncate(file.synced);
+        }
+        st.crashed = false;
+        st.faults.clear();
+        st.ops = 0;
+        st.trace.clear();
+    }
+
+    /// Contents of `path` as the running process sees it (test hook).
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+    }
+
+    /// Overwrite `path` with `data`, fully synced (test hook for seeding
+    /// corrupted files without going through the fault machinery).
+    pub fn install(&self, path: &Path, data: Vec<u8>) {
+        let mut st = self.inner.lock().unwrap();
+        let synced = data.len();
+        st.files
+            .insert(path.to_path_buf(), SimFile { data, synced });
+    }
+
+    /// Sorted list of existing file paths (test hook).
+    pub fn list(&self) -> Vec<PathBuf> {
+        let mut paths: Vec<PathBuf> = self.inner.lock().unwrap().files.keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+
+    /// Account one mutating operation against `path`; returns the fault to
+    /// apply, if one fires now. Applies crash bookkeeping internally.
+    fn step(&self, st: &mut SimState, op: &str, path: &Path) -> io::Result<Option<FaultKind>> {
+        if st.crashed {
+            return Err(io_err(format!("simulated crash: fs is down ({op})")));
+        }
+        let op_no = st.ops;
+        st.ops += 1;
+        st.trace.push(format!("{op_no}: {op} {}", path.display()));
+        if let Some(i) = st.faults.iter().position(|f| f.at_op == op_no) {
+            let fault = st.faults.remove(i);
+            if let FaultKind::Crash { .. } = fault.kind {
+                st.crashed = true;
+            }
+            return Ok(Some(fault.kind));
+        }
+        Ok(None)
+    }
+
+    /// Apply the crash tail policy: roll every file back to its synced
+    /// prefix is deferred to [`SimFs::recover`]; here we only record the
+    /// surviving tail of the faulted file by bumping its synced length.
+    fn crash_keep_tail(st: &mut SimState, path: &Path, keep: usize) {
+        if let Some(file) = st.files.get_mut(path) {
+            // `keep = usize::MAX` means "the whole tail survives".
+            file.synced = file.synced.saturating_add(keep).min(file.data.len());
+        }
+    }
+
+    fn write_impl(&self, path: &Path, buf: &[u8]) -> io::Result<()> {
+        let mut st = self.inner.lock().unwrap();
+        let fault = self.step(&mut st, &format!("write[{}]", buf.len()), path)?;
+        match fault {
+            Some(FaultKind::FailOp) => Err(io_err("simulated write failure")),
+            Some(FaultKind::Crash { keep_tail }) => {
+                // The torn write: the buffer lands in the page cache up to
+                // the crash point; `keep_tail` bytes of the unsynced tail
+                // (old unsynced bytes first, then this buffer) survive.
+                let entry = st.files.entry(path.to_path_buf()).or_default();
+                entry.data.extend_from_slice(buf);
+                Self::crash_keep_tail(&mut st, path, keep_tail);
+                Err(io_err("simulated crash during write"))
+            }
+            Some(FaultKind::DropSync) | None => {
+                let entry = st.files.entry(path.to_path_buf()).or_default();
+                entry.data.extend_from_slice(buf);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync_impl(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.inner.lock().unwrap();
+        let fault = self.step(&mut st, "sync", path)?;
+        match fault {
+            Some(FaultKind::FailOp) => Err(io_err("simulated sync failure")),
+            Some(FaultKind::Crash { keep_tail }) => {
+                // Crash before the sync takes effect.
+                Self::crash_keep_tail(&mut st, path, keep_tail);
+                Err(io_err("simulated crash during sync"))
+            }
+            Some(FaultKind::DropSync) => Ok(()), // lies: durable prefix unchanged
+            None => {
+                if let Some(file) = st.files.get_mut(path) {
+                    file.synced = file.data.len();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl VfsFile for SimFsFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.fs.write_impl(&self.path, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.fs.sync_impl(&self.path)
+    }
+}
+
+impl Vfs for SimFs {
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        let st = self.inner.lock().unwrap();
+        if st.crashed {
+            return Err(io_err("simulated crash: fs is down (read)"));
+        }
+        Ok(st.files.get(path).map(|f| f.data.clone()))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = self.inner.lock().unwrap();
+        !st.crashed && st.files.contains_key(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut st = self.inner.lock().unwrap();
+        match self.step(&mut st, "create", path)? {
+            Some(FaultKind::FailOp) => return Err(io_err("simulated create failure")),
+            Some(FaultKind::Crash { keep_tail }) => {
+                Self::crash_keep_tail(&mut st, path, keep_tail);
+                return Err(io_err("simulated crash during create"));
+            }
+            Some(FaultKind::DropSync) | None => {
+                st.files.insert(path.to_path_buf(), SimFile::default());
+            }
+        }
+        drop(st);
+        Ok(Box::new(SimFsFile {
+            fs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut st = self.inner.lock().unwrap();
+        // Opening for append is not a faultable disk mutation; only track
+        // crash state and ensure the file exists.
+        if st.crashed {
+            return Err(io_err("simulated crash: fs is down (append)"));
+        }
+        st.files.entry(path.to_path_buf()).or_default();
+        drop(st);
+        Ok(Box::new(SimFsFile {
+            fs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut st = self.inner.lock().unwrap();
+        match self.step(&mut st, &format!("truncate[{len}]"), path)? {
+            Some(FaultKind::FailOp) => Err(io_err("simulated truncate failure")),
+            Some(FaultKind::Crash { keep_tail }) => {
+                Self::crash_keep_tail(&mut st, path, keep_tail);
+                Err(io_err("simulated crash during truncate"))
+            }
+            Some(FaultKind::DropSync) | None => {
+                let file = st
+                    .files
+                    .get_mut(path)
+                    .ok_or_else(|| io_err("truncate: no such file"))?;
+                file.data.truncate(len as usize);
+                // Truncation is metadata; treat it as immediately durable
+                // (the recovery path truncates then appends — modelling it
+                // as volatile would just re-grow the same torn tail).
+                file.synced = file.synced.min(file.data.len());
+                Ok(())
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.inner.lock().unwrap();
+        match self.step(&mut st, "rename", from)? {
+            Some(FaultKind::FailOp) => Err(io_err("simulated rename failure")),
+            Some(FaultKind::Crash { keep_tail }) => {
+                // Crash before the rename takes effect: `to` keeps its old
+                // durable content, `from` survives as a stray temp file.
+                Self::crash_keep_tail(&mut st, from, keep_tail);
+                Err(io_err("simulated crash during rename"))
+            }
+            Some(FaultKind::DropSync) | None => {
+                let file = st
+                    .files
+                    .remove(from)
+                    .ok_or_else(|| io_err("rename: no such file"))?;
+                // A successful rename is atomic and durable: the moved file
+                // is installed with whatever is durable *in its content*,
+                // and the whole content was synced by the caller before the
+                // rename (checkpoint protocol). Keep its synced marker.
+                st.files.insert(to.to_path_buf(), file);
+                Ok(())
+            }
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.inner.lock().unwrap();
+        match self.step(&mut st, "remove", path)? {
+            Some(FaultKind::FailOp) => Err(io_err("simulated remove failure")),
+            Some(FaultKind::Crash { .. }) => Err(io_err("simulated crash during remove")),
+            Some(FaultKind::DropSync) | None => st
+                .files
+                .remove(path)
+                .map(|_| ())
+                .ok_or_else(|| io_err("remove: no such file")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn synced_prefix_survives_crash() {
+        let fs = SimFs::new();
+        let mut f = fs.create(&p("a")).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync().unwrap();
+        f.write_all(b" world").unwrap(); // unsynced
+        fs.schedule_fault(Fault {
+            at_op: fs.op_count(),
+            kind: FaultKind::Crash { keep_tail: 0 },
+        });
+        assert!(f.write_all(b"!").is_err());
+        assert!(fs.crashed());
+        assert!(fs.read(&p("a")).is_err(), "fs is down after crash");
+        fs.recover();
+        assert_eq!(fs.read(&p("a")).unwrap().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix_of_unsynced_bytes() {
+        let fs = SimFs::new();
+        let mut f = fs.create(&p("a")).unwrap();
+        f.write_all(b"base").unwrap();
+        f.sync().unwrap();
+        fs.schedule_fault(Fault {
+            at_op: fs.op_count(),
+            kind: FaultKind::Crash { keep_tail: 3 },
+        });
+        assert!(f.write_all(b"torn-write").is_err());
+        fs.recover();
+        assert_eq!(fs.read(&p("a")).unwrap().unwrap(), b"basetor");
+    }
+
+    #[test]
+    fn dropped_sync_loses_data_at_next_crash() {
+        let fs = SimFs::new();
+        let mut f = fs.create(&p("a")).unwrap();
+        f.write_all(b"one").unwrap();
+        f.sync().unwrap();
+        f.write_all(b"two").unwrap();
+        fs.schedule_fault(Fault {
+            at_op: fs.op_count(),
+            kind: FaultKind::DropSync,
+        });
+        f.sync().unwrap(); // lies
+        fs.schedule_fault(Fault {
+            at_op: fs.op_count(),
+            kind: FaultKind::Crash { keep_tail: 0 },
+        });
+        assert!(f.write_all(b"three").is_err());
+        fs.recover();
+        assert_eq!(fs.read(&p("a")).unwrap().unwrap(), b"one");
+    }
+
+    #[test]
+    fn rename_is_atomic_and_failable() {
+        let fs = SimFs::new();
+        let mut f = fs.create(&p("tmp")).unwrap();
+        f.write_all(b"snapshot").unwrap();
+        f.sync().unwrap();
+        fs.schedule_fault(Fault {
+            at_op: fs.op_count(),
+            kind: FaultKind::FailOp,
+        });
+        assert!(fs.rename(&p("tmp"), &p("final")).is_err());
+        assert!(fs.exists(&p("tmp")) && !fs.exists(&p("final")));
+        fs.rename(&p("tmp"), &p("final")).unwrap();
+        assert_eq!(fs.read(&p("final")).unwrap().unwrap(), b"snapshot");
+        assert!(!fs.exists(&p("tmp")));
+    }
+
+    #[test]
+    fn fail_op_is_transient() {
+        let fs = SimFs::new();
+        let mut f = fs.create(&p("a")).unwrap();
+        fs.schedule_fault(Fault {
+            at_op: fs.op_count(),
+            kind: FaultKind::FailOp,
+        });
+        assert!(f.write_all(b"x").is_err());
+        f.write_all(b"y").unwrap();
+        f.sync().unwrap();
+        fs.recover();
+        assert_eq!(fs.read(&p("a")).unwrap().unwrap(), b"y");
+    }
+}

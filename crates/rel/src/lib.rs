@@ -32,12 +32,14 @@
 //! ```
 
 pub mod batch;
+pub mod checkpoint;
 pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod hasher;
 pub mod index;
+pub mod io;
 pub mod parallel;
 pub mod plan;
 pub mod schema;
@@ -64,9 +66,11 @@ const _: () = {
     sync_clean::<batch::ColVec>();
 };
 
+pub use checkpoint::{CheckpointReport, RecoveryReport};
 pub use db::{Database, Txn};
 pub use error::{Error, Result};
 pub use exec::Relation;
+pub use io::{Fault, FaultKind, SimFs, StdFs, Vfs};
 pub use schema::{Column, ColumnType, TableSchema};
 pub use stats::TableStats;
 pub use value::Value;

@@ -55,7 +55,7 @@ impl ColumnType {
 }
 
 /// A column definition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Lower-cased column name (the engine is case-insensitive).
     pub name: String,
@@ -64,7 +64,7 @@ pub struct Column {
 }
 
 /// A table definition: name plus ordered columns.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     /// Lower-cased table name.
     pub name: String,

@@ -36,6 +36,33 @@ impl Table {
         }
     }
 
+    /// Rebuild a table from a serialized slab (checkpoint load): slots are
+    /// installed verbatim — tombstones included — so physical `RowId`s and
+    /// scan order match the snapshotted table exactly. Rows are validated
+    /// against the schema; indexes must be created afterwards (they
+    /// backfill on creation).
+    pub fn from_slots(schema: TableSchema, slots: Vec<Option<Vec<Value>>>) -> Result<Table> {
+        let mut live = 0;
+        let mut rows = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                None => rows.push(None),
+                Some(mut row) => {
+                    schema.check_row(&mut row)?;
+                    rows.push(Some(row.into_boxed_slice()));
+                    live += 1;
+                }
+            }
+        }
+        Ok(Table {
+            schema,
+            rows,
+            indexes: Vec::new(),
+            live,
+            stats: None,
+        })
+    }
+
     /// Install analyzed statistics (see [`crate::stats::TableStats`]).
     pub fn set_stats(&mut self, stats: crate::stats::TableStats) {
         self.stats = Some(stats);
@@ -239,6 +266,14 @@ impl Table {
         }
         self.indexes.push(idx);
         Ok(())
+    }
+
+    /// Remove the index named `name`. Returns whether it existed. Used by
+    /// transaction rollback to undo a journaled `CREATE INDEX`.
+    pub fn drop_index(&mut self, name: &str) -> bool {
+        let before = self.indexes.len();
+        self.indexes.retain(|i| i.name != name);
+        self.indexes.len() != before
     }
 
     /// Find an index whose key columns are exactly `columns` (order matters).

@@ -1,30 +1,45 @@
 //! Write-ahead log: durability for committed row-level changes.
 //!
-//! The log is a flat file of length-prefixed, checksummed records. Each
-//! record is a committed row operation (insert / delete / update with full
-//! row images), so replay is idempotent-enough for crash recovery: a torn
-//! tail record fails its checksum and is truncated.
+//! The log is a sequence of *segment* files of length-prefixed, checksummed
+//! records, written through the pluggable [`crate::io::Vfs`] layer. Each
+//! committed transaction is one contiguous run of operation records closed
+//! by a [`WalRecord::Commit`] marker, appended with a single write so a
+//! torn tail can only ever lose the *whole* transaction, never half of it.
+//! Replay applies commit-closed runs only; a tail without its marker is
+//! discarded and truncated away before the log accepts new appends.
+//!
+//! Row operations carry the physical [`RowId`] they touched so replay can
+//! target the exact slot even when duplicate row images exist; full images
+//! are still logged for auditability and defense-in-depth checks.
+//!
+//! Segments rotate at checkpoint time (see [`crate::checkpoint`]): segment
+//! `gen` holds everything committed since snapshot `gen` was taken, so
+//! recovery is snapshot-load + tail-segment replay instead of a full
+//! history scan.
 //!
 //! Format per record:
 //! ```text
-//! [u32 len][u32 checksum][payload: op u8, table (u16+bytes), rows...]
+//! [u32 len][u32 checksum][payload: op u8, ...]
 //! ```
 
 use crate::error::{Error, Result};
+use crate::index::RowId;
+use crate::io::{Vfs, VfsFile};
 use crate::value::Value;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sqlgraph_json::Json;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A committed row-level operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
-    /// Row inserted into `table`.
+    /// Row inserted into `table` at physical slot `row_id`.
     Insert {
         /// Table name.
         table: String,
+        /// Slab slot the row landed in.
+        row_id: RowId,
         /// Full row image.
         row: Vec<Value>,
     },
@@ -32,13 +47,17 @@ pub enum WalRecord {
     Delete {
         /// Table name.
         table: String,
-        /// Full row image (used to find the row on replay).
+        /// Slab slot the row occupied.
+        row_id: RowId,
+        /// Full row image (for audit; replay targets `row_id`).
         row: Vec<Value>,
     },
     /// Row updated in `table`.
     Update {
         /// Table name.
         table: String,
+        /// Slab slot the row occupies.
+        row_id: RowId,
         /// Previous row image.
         old: Vec<Value>,
         /// New row image.
@@ -50,74 +69,171 @@ pub enum WalRecord {
         /// The original SQL text.
         sql: String,
     },
+    /// Transaction boundary: everything since the previous marker commits
+    /// atomically. Written automatically by [`Wal::append_commit`].
+    Commit,
 }
 
-/// An append-only WAL file.
-#[derive(Debug)]
+/// Segment file path for generation `gen` under base path `base`: the base
+/// path itself for generation 0 (backward compatible with single-file
+/// logs), `<base>.g<gen>` afterwards.
+pub fn segment_path(base: &Path, gen: u64) -> PathBuf {
+    if gen == 0 {
+        base.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}.g{gen}", base.display()))
+    }
+}
+
+/// Everything a scan learned about one segment file.
+#[derive(Debug, Default)]
+pub struct SegmentScan {
+    /// Commit-closed transactions, in log order.
+    pub commits: Vec<Vec<WalRecord>>,
+    /// Byte offset just past the last commit marker — the only safe append
+    /// point. Everything beyond is torn, corrupt, or commit-less.
+    pub valid_len: u64,
+    /// Total file length scanned.
+    pub file_len: u64,
+    /// Records seen after the last commit marker (intact but uncommitted —
+    /// discarded by recovery).
+    pub dangling_records: usize,
+}
+
+/// An append-only WAL segment.
 pub struct Wal {
-    path: PathBuf,
-    writer: BufWriter<File>,
+    vfs: Arc<dyn Vfs>,
+    base: PathBuf,
+    gen: u64,
+    file: Box<dyn VfsFile>,
     /// fsync after every commit batch when true (durability vs throughput).
     pub sync_on_commit: bool,
+    /// Set after an append error: the on-disk tail is in an unknown state
+    /// (the failed transaction's bytes may or may not be durable), so
+    /// further appends could interleave new commits with a half-written
+    /// one. The log refuses writes until the database is reopened, which
+    /// truncates the tail back to the last commit marker. A transaction
+    /// whose commit *errored* is therefore indeterminate: it is rolled back
+    /// in memory, but if its bytes did reach disk intact, reopening will
+    /// replay it.
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("base", &self.base)
+            .field("gen", &self.gen)
+            .field("sync_on_commit", &self.sync_on_commit)
+            .finish()
+    }
 }
 
 impl Wal {
-    /// Open (creating if needed) a WAL at `path` for appending.
+    /// Open (creating if needed) the generation-0 segment at `path` for
+    /// appending, on the real file system. Convenience for tests and
+    /// single-segment use; recovery paths use [`Wal::open_segment`].
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
-        let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
+        Wal::open_segment(Arc::new(crate::io::StdFs), path.as_ref(), 0)
+    }
+
+    /// Open segment `gen` of the log at `base` for appending.
+    pub fn open_segment(vfs: Arc<dyn Vfs>, base: &Path, gen: u64) -> Result<Wal> {
+        let path = segment_path(base, gen);
+        let file = vfs
+            .append(&path)
             .map_err(|e| Error::Wal(format!("open {}: {e}", path.display())))?;
         Ok(Wal {
-            path,
-            writer: BufWriter::new(file),
+            vfs,
+            base: base.to_path_buf(),
+            gen,
+            file,
             sync_on_commit: false,
+            poisoned: false,
         })
     }
 
-    /// Path of the log file.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// Base path of the log (segment files derive from it).
+    pub fn base(&self) -> &Path {
+        &self.base
     }
 
-    /// Append a batch of committed records (one transaction) atomically
-    /// enough: records are individually checksummed; the batch is flushed
-    /// (and optionally fsynced) before returning.
+    /// Path of the active segment file.
+    pub fn path(&self) -> PathBuf {
+        segment_path(&self.base, self.gen)
+    }
+
+    /// Generation of the active segment.
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// The file-system layer this log writes through.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        self.vfs.clone()
+    }
+
+    /// Switch to a pre-opened segment handle (checkpoint rotation):
+    /// subsequent commits append to it. Infallible by design — the caller
+    /// opens the handle *before* installing the snapshot so the snapshot
+    /// and active segment can never disagree. The old segment file is left
+    /// on disk for the caller to retire.
+    pub fn install_segment(&mut self, gen: u64, file: Box<dyn VfsFile>) {
+        self.file = file;
+        self.gen = gen;
+    }
+
+    /// Append one transaction: `records` followed by a commit marker, as a
+    /// single write (so a torn tail drops the transaction atomically),
+    /// flushed — and fsynced when `sync_on_commit` — before returning.
     pub fn append_commit(&mut self, records: &[WalRecord]) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Wal(
+                "log poisoned by an earlier append failure; reopen the database to recover".into(),
+            ));
+        }
         let mut buf = BytesMut::new();
         for r in records {
             encode_record(r, &mut buf);
         }
-        self.writer
-            .write_all(&buf)
-            .map_err(|e| Error::Wal(format!("write: {e}")))?;
-        self.writer
-            .flush()
-            .map_err(|e| Error::Wal(format!("flush: {e}")))?;
+        encode_record(&WalRecord::Commit, &mut buf);
+        if let Err(e) = self.file.write_all(&buf) {
+            self.poisoned = true;
+            return Err(Error::Wal(format!("write: {e}")));
+        }
         if self.sync_on_commit {
-            self.writer
-                .get_ref()
-                .sync_data()
-                .map_err(|e| Error::Wal(format!("fsync: {e}")))?;
+            if let Err(e) = self.file.sync() {
+                self.poisoned = true;
+                return Err(Error::Wal(format!("fsync: {e}")));
+            }
         }
         Ok(())
     }
 
-    /// Read every intact record from a WAL file. A corrupt/torn tail stops
-    /// the scan without error (standard recovery semantics).
-    pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
-        let mut file = match File::open(path.as_ref()) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+    /// Whether an append error has made this log read-only (see the
+    /// `poisoned` field docs).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Scan a segment file: parse every intact record, group them into
+    /// commit-closed transactions, and report the last safe append offset.
+    /// A corrupt or torn record stops the scan without error (standard
+    /// recovery semantics); so does an intact tail with no commit marker.
+    pub fn scan_segment(vfs: &dyn Vfs, path: &Path) -> Result<SegmentScan> {
+        let data = match vfs.read(path) {
+            Ok(Some(d)) => d,
+            Ok(None) => return Ok(SegmentScan::default()),
             Err(e) => return Err(Error::Wal(format!("open for replay: {e}"))),
         };
-        let mut data = Vec::new();
-        file.read_to_end(&mut data)
-            .map_err(|e| Error::Wal(format!("read: {e}")))?;
+        let file_len = data.len() as u64;
         let mut buf = Bytes::from(data);
-        let mut out = Vec::new();
+        let mut scan = SegmentScan {
+            file_len,
+            ..SegmentScan::default()
+        };
+        let mut offset = 0u64;
+        let mut pending: Vec<WalRecord> = Vec::new();
         while buf.remaining() >= 8 {
             let len = (&buf[0..4]).get_u32() as usize;
             let checksum = (&buf[4..8]).get_u32();
@@ -126,40 +242,66 @@ impl Wal {
             }
             let payload = buf.slice(8..8 + len);
             if fletcher32(&payload) != checksum {
-                break; // corrupt tail
+                break; // corrupt record
             }
-            match decode_record(&mut payload.clone()) {
-                Ok(r) => out.push(r),
+            let record = match decode_record(&mut payload.clone()) {
+                Ok(r) => r,
                 Err(_) => break,
-            }
+            };
             buf.advance(8 + len);
+            offset += 8 + len as u64;
+            if matches!(record, WalRecord::Commit) {
+                scan.commits.push(std::mem::take(&mut pending));
+                scan.valid_len = offset;
+            } else {
+                pending.push(record);
+            }
         }
-        Ok(out)
+        scan.dangling_records = pending.len();
+        Ok(scan)
+    }
+
+    /// Every record of every *committed* transaction in the generation-0
+    /// segment at `path`, flattened in log order. Convenience for tests.
+    pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
+        let scan = Wal::scan_segment(&crate::io::StdFs, path.as_ref())?;
+        Ok(scan.commits.into_iter().flatten().collect())
     }
 }
 
 fn encode_record(r: &WalRecord, out: &mut BytesMut) {
     let mut payload = BytesMut::new();
     match r {
-        WalRecord::Insert { table, row } => {
+        WalRecord::Insert { table, row_id, row } => {
             payload.put_u8(0);
             put_str(&mut payload, table);
+            payload.put_u64_le(*row_id as u64);
             put_row(&mut payload, row);
         }
-        WalRecord::Delete { table, row } => {
+        WalRecord::Delete { table, row_id, row } => {
             payload.put_u8(1);
             put_str(&mut payload, table);
+            payload.put_u64_le(*row_id as u64);
             put_row(&mut payload, row);
         }
-        WalRecord::Update { table, old, new } => {
+        WalRecord::Update {
+            table,
+            row_id,
+            old,
+            new,
+        } => {
             payload.put_u8(2);
             put_str(&mut payload, table);
+            payload.put_u64_le(*row_id as u64);
             put_row(&mut payload, old);
             put_row(&mut payload, new);
         }
         WalRecord::Ddl { sql } => {
             payload.put_u8(3);
             put_str(&mut payload, sql);
+        }
+        WalRecord::Commit => {
+            payload.put_u8(4);
         }
     }
     out.put_u32(payload.len() as u32);
@@ -169,18 +311,24 @@ fn encode_record(r: &WalRecord, out: &mut BytesMut) {
 
 fn decode_record(buf: &mut Bytes) -> Result<WalRecord> {
     let op = get_u8(buf)?;
+    if op == 4 {
+        return Ok(WalRecord::Commit);
+    }
     let table = get_str(buf)?;
     Ok(match op {
         0 => WalRecord::Insert {
             table,
+            row_id: get_u64(buf)? as RowId,
             row: get_row(buf)?,
         },
         1 => WalRecord::Delete {
             table,
+            row_id: get_u64(buf)? as RowId,
             row: get_row(buf)?,
         },
         2 => WalRecord::Update {
             table,
+            row_id: get_u64(buf)? as RowId,
             old: get_row(buf)?,
             new: get_row(buf)?,
         },
@@ -189,19 +337,19 @@ fn decode_record(buf: &mut Bytes) -> Result<WalRecord> {
     })
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn put_row(buf: &mut BytesMut, row: &[Value]) {
+pub(crate) fn put_row(buf: &mut BytesMut, row: &[Value]) {
     buf.put_u32(row.len() as u32);
     for v in row {
         put_value(buf, v);
     }
 }
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Bool(b) => {
@@ -234,21 +382,28 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_u8(buf: &mut Bytes) -> Result<u8> {
+pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8> {
     if buf.remaining() < 1 {
         return Err(Error::Wal("truncated record".into()));
     }
     Ok(buf.get_u8())
 }
 
-fn get_u32(buf: &mut Bytes) -> Result<u32> {
+pub(crate) fn get_u32(buf: &mut Bytes) -> Result<u32> {
     if buf.remaining() < 4 {
         return Err(Error::Wal("truncated record".into()));
     }
     Ok(buf.get_u32())
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
+pub(crate) fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(Error::Wal("truncated record".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String> {
     let len = get_u32(buf)? as usize;
     if buf.remaining() < len {
         return Err(Error::Wal("truncated string".into()));
@@ -257,7 +412,7 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
     String::from_utf8(bytes.to_vec()).map_err(|_| Error::Wal("invalid UTF-8".into()))
 }
 
-fn get_row(buf: &mut Bytes) -> Result<Vec<Value>> {
+pub(crate) fn get_row(buf: &mut Bytes) -> Result<Vec<Value>> {
     let n = get_u32(buf)? as usize;
     let mut row = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
@@ -266,7 +421,7 @@ fn get_row(buf: &mut Bytes) -> Result<Vec<Value>> {
     Ok(row)
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value> {
+pub(crate) fn get_value(buf: &mut Bytes) -> Result<Value> {
     Ok(match get_u8(buf)? {
         0 => Value::Null,
         1 => Value::Bool(get_u8(buf)? != 0),
@@ -302,7 +457,7 @@ fn get_value(buf: &mut Bytes) -> Result<Value> {
 }
 
 /// Fletcher-32 checksum — cheap and detects torn/garbled tails.
-fn fletcher32(data: &[u8]) -> u32 {
+pub(crate) fn fletcher32(data: &[u8]) -> u32 {
     let (mut a, mut b) = (0u32, 0u32);
     for chunk in data.chunks(359) {
         for &byte in chunk {
@@ -318,6 +473,7 @@ fn fletcher32(data: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -329,6 +485,7 @@ mod tests {
         vec![
             WalRecord::Insert {
                 table: "va".into(),
+                row_id: 0,
                 row: vec![
                     Value::Int(1),
                     Value::json(sqlgraph_json::parse(r#"{"name":"marko"}"#).unwrap()),
@@ -336,10 +493,12 @@ mod tests {
             },
             WalRecord::Delete {
                 table: "ea".into(),
+                row_id: 7,
                 row: vec![Value::Int(7), Value::str("knows")],
             },
             WalRecord::Update {
                 table: "opa".into(),
+                row_id: 3,
                 old: vec![Value::Null, Value::Double(0.5)],
                 new: vec![Value::Bool(true), Value::array(vec![Value::Int(1)])],
             },
@@ -359,6 +518,10 @@ mod tests {
         assert_eq!(records.len(), 4);
         assert_eq!(records[0], sample_records()[0]);
         assert_eq!(records[3], sample_records()[0]);
+        let scan = Wal::scan_segment(&crate::io::StdFs, &path).unwrap();
+        assert_eq!(scan.commits.len(), 2);
+        assert_eq!(scan.valid_len, scan.file_len);
+        assert_eq!(scan.dangling_records, 0);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -370,13 +533,20 @@ mod tests {
             let mut wal = Wal::open(&path).unwrap();
             wal.append_commit(&sample_records()).unwrap();
         }
+        let good_len = std::fs::metadata(&path).unwrap().len();
         // Append garbage simulating a torn write.
         {
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(&[9, 9, 9, 9, 1]).unwrap();
         }
         let records = Wal::read_all(&path).unwrap();
         assert_eq!(records.len(), 3);
+        let scan = Wal::scan_segment(&crate::io::StdFs, &path).unwrap();
+        assert_eq!(scan.valid_len, good_len, "torn bytes are past valid_len");
+        assert!(scan.file_len > scan.valid_len);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -393,13 +563,48 @@ mod tests {
         let mid = data.len() / 2;
         data[mid] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
+        // The commit marker is past the corruption, so nothing commits.
         let records = Wal::read_all(&path).unwrap();
-        assert!(records.len() < 3);
+        assert!(records.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn commitless_tail_is_not_replayed() {
+        let path = tmp("commitless");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append_commit(&sample_records()).unwrap();
+        }
+        // Append an intact record with no commit marker (simulating a crash
+        // that persisted only part of the next transaction's batch).
+        {
+            let mut buf = BytesMut::new();
+            encode_record(&sample_records()[0], &mut buf);
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&buf).unwrap();
+        }
+        let scan = Wal::scan_segment(&crate::io::StdFs, &path).unwrap();
+        assert_eq!(scan.commits.len(), 1);
+        assert_eq!(scan.commits[0].len(), 3);
+        assert_eq!(scan.dangling_records, 1);
+        assert!(scan.valid_len < scan.file_len);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn missing_file_is_empty() {
         assert!(Wal::read_all(tmp("never-created")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn segment_paths() {
+        let base = Path::new("/x/db.wal");
+        assert_eq!(segment_path(base, 0), PathBuf::from("/x/db.wal"));
+        assert_eq!(segment_path(base, 3), PathBuf::from("/x/db.wal.g3"));
     }
 }

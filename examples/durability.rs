@@ -41,11 +41,25 @@ fn main() {
             tx.execute("INSERT INTO va VALUES (99, NULL)")?;
             Err::<(), _>(sqlgraph::rel::Error::RolledBack("simulated failure".into()))
         });
+        // Checkpoint: snapshot the state and rotate the log, so recovery
+        // replays only what comes after.
+        let ckpt = g.checkpoint().unwrap();
+        println!(
+            "checkpoint: gen {}, {} bytes, {} tables, {} old segment(s) retired",
+            ckpt.gen, ckpt.bytes, ckpt.tables, ckpt.retired_segments
+        );
+        // Post-checkpoint tail: the only work recovery has to redo.
+        g.query("g.v(2).setProperty('age', 27)").unwrap();
     } // <- crash
 
-    // Session 2: recover by replaying the log.
+    // Session 2: recover = load the snapshot, replay the tail segment.
     {
         let g = SqlGraph::open(&wal, SchemaConfig::default()).unwrap();
+        let report = g.recovery_report().expect("opened from a log");
+        println!(
+            "recovery: snapshot gen {:?}, {} segment(s) scanned, {} commit(s) replayed",
+            report.snapshot_gen, report.segments_scanned, report.commits_replayed
+        );
         println!(
             "session 2 (recovered): {} vertices visible",
             g.query("g.V.count()")
@@ -73,6 +87,11 @@ fn main() {
         println!("  new vertex after recovery got id {dave}");
     }
 
-    std::fs::remove_file(&wal).unwrap();
+    // The checkpoint retired the gen-0 segment; clean up what remains.
+    for suffix in ["", ".g1", ".ckpt"] {
+        let mut p = wal.clone().into_os_string();
+        p.push(suffix);
+        let _ = std::fs::remove_file(p);
+    }
     println!("done.");
 }

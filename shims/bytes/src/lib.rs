@@ -181,6 +181,13 @@ pub trait Buf {
         u64::from_be_bytes(raw)
     }
 
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
     fn get_i64_le(&mut self) -> i64 {
         let mut raw = [0u8; 8];
         raw.copy_from_slice(&self.chunk()[..8]);
@@ -241,6 +248,10 @@ pub trait BufMut {
 
     fn put_u64(&mut self, v: u64) {
         self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     fn put_i64_le(&mut self, v: i64) {
