@@ -13,6 +13,7 @@
 //!   fig8c    Figure 8c substitute (scale sweep)
 //!   fig9     Figure 9 (LinkBench throughput)
 //!   throughput  §5.2 concurrency: ops/sec at 1/2/4/8 client threads
+//!   throughput-mixed  mixed read/write: MVCC vs per-table-lock baseline
 //!   table6   Table 6 (per-op latency, mid scale)
 //!   table7   Table 7 (per-op latency, largest scale)
 //!   sizes    §5.1 storage footprints
@@ -76,6 +77,7 @@ fn main() {
             "fig8c" => experiments::fig8c(config),
             "fig9" => experiments::fig9(config),
             "throughput" => experiments::throughput(config),
+            "throughput-mixed" => experiments::throughput_mixed(config),
             "table6" => experiments::table67(config, false),
             "table7" => experiments::table67(config, true),
             "sizes" => experiments::sizes(config),
@@ -96,6 +98,7 @@ fn main() {
             "fig8c",
             "fig9",
             "throughput",
+            "throughput-mixed",
             "table6",
             "table7",
             "sizes",
@@ -111,7 +114,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig3|fig4|table3|table4|fig6|fig8|fig8c|fig9|throughput|table6|table7|sizes|recovery|all> \
+        "usage: repro <fig3|fig4|table3|table4|fig6|fig8|fig8c|fig9|throughput|throughput-mixed|table6|table7|sizes|recovery|all> \
          [--scale F] [--runs N] [--lb-ops N] [--quick]"
     );
 }

@@ -48,7 +48,7 @@ const _: () = {
 
 pub use layout::{color_labels, ColorMap, GraphLayout, LayoutStats};
 pub use schema::{deleted_id, SchemaConfig, MV_BASE};
-pub use store::{props_to_json, value_to_json, GraphData, SqlGraph};
+pub use store::{props_to_json, value_to_json, GraphData, GraphTxn, SqlGraph};
 pub use translate::{translate, translate_with, AdjacencyStrategy, TranslateOptions, Unsupported};
 
 use sqlgraph_gremlin::{GraphError, GremlinError};

@@ -11,9 +11,11 @@ use crate::layout::{color_labels, GraphLayout, LayoutStats};
 use crate::schema::{create_tables, deleted_id, SchemaConfig, MV_BASE};
 use crate::translate::{translate, translate_with, TranslateOptions};
 use crate::CoreError;
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockWriteGuard};
 use sqlgraph_gremlin::ast::GremlinStatement;
-use sqlgraph_gremlin::blueprints::{Blueprints, Direction, GraphError, GraphResult};
+use sqlgraph_gremlin::blueprints::{
+    Blueprints, Direction, GraphError, GraphResult, GraphTransaction,
+};
 use sqlgraph_gremlin::{interp, parse};
 use sqlgraph_json::{Json, JsonObject};
 use sqlgraph_rel::{Database, Relation, Txn, Value};
@@ -23,6 +25,13 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Per-vertex adjacency grouped by label: vid → label → [(eid, other)].
 type AdjacencyMap<'a> = BTreeMap<i64, BTreeMap<&'a str, Vec<(i64, i64)>>>;
+
+/// How many times an autocommit graph mutation is retried when it loses a
+/// first-updater-wins conflict against a concurrent writer. Graph CRUD
+/// touches disjoint rows in the common case, so a handful of retries
+/// absorbs transient hot-row collisions (e.g. two edges migrating the same
+/// adjacency triad single→multi).
+const TXN_RETRIES: usize = 16;
 
 /// One vertex for bulk loading: `(vertex id, properties)`.
 pub type VertexSpec = (i64, Vec<(String, Json)>);
@@ -458,6 +467,53 @@ impl SqlGraph {
     // CRUD (the paper's stored procedures)
     // ------------------------------------------------------------------
 
+    /// Run `f` as one autocommit transaction, retrying a bounded number of
+    /// times when it loses a first-updater-wins conflict. Each attempt
+    /// re-runs the closure against a fresh snapshot, so its reads observe
+    /// whatever the winning writer committed.
+    fn retry_txn<T>(
+        &self,
+        f: impl Fn(&mut Txn<'_>) -> sqlgraph_rel::Result<T>,
+    ) -> Result<T, CoreError> {
+        let mut attempts = 0usize;
+        loop {
+            match self.db.transaction(&f) {
+                Err(sqlgraph_rel::Error::TxnConflict(msg)) => {
+                    attempts += 1;
+                    if attempts >= TXN_RETRIES {
+                        return Err(sqlgraph_rel::Error::TxnConflict(msg).into());
+                    }
+                    std::thread::yield_now();
+                }
+                other => return other.map_err(CoreError::from),
+            }
+        }
+    }
+
+    /// Open a multi-statement graph transaction.
+    ///
+    /// Every mutation issued through the returned handle is provisional
+    /// until [`GraphTxn::commit`]; reads through the handle see the
+    /// snapshot taken here plus the transaction's own writes, and nothing
+    /// from writers that commit later (snapshot isolation). Dropping the
+    /// handle rolls back.
+    ///
+    /// The handle holds the store's mutation lock exclusively for its
+    /// lifetime: autocommit mutations and checkpoints wait until it
+    /// finishes, which keeps the multi-table invariants (no dangling
+    /// adjacency entries) safe from interleaving without giving up
+    /// lock-free *reads* — queries on other threads still run against
+    /// their own snapshots.
+    pub fn transaction(&self) -> GraphTxn<'_> {
+        let exclusive = self.mutation_lock.write();
+        GraphTxn {
+            txn: self.db.begin(),
+            layout: self.layout.read().clone(),
+            graph: self,
+            _exclusive: exclusive,
+        }
+    }
+
     /// Add a vertex with properties; returns its id.
     pub fn add_vertex<'p>(
         &self,
@@ -472,21 +528,25 @@ impl SqlGraph {
         let _shared = self.mutation_lock.read();
         let vid = self.next_vid.fetch_add(1, Ordering::SeqCst);
         let attr = Value::json(props_to_json(props));
-        self.db.transaction(|tx| {
-            tx.execute_with_params(
-                "INSERT INTO va VALUES (?, ?)",
-                &[Value::Int(vid), attr.clone()],
-            )?;
-            for pa in ["opa", "ipa"] {
-                let rowno = self.next_rowno.fetch_add(1, Ordering::Relaxed);
-                tx.execute_with_params(
-                    &format!("INSERT INTO {pa} (rowno, vid, spill) VALUES (?, ?, 0)"),
-                    &[Value::Int(rowno), Value::Int(vid)],
-                )?;
-            }
-            Ok(())
-        })?;
+        self.retry_txn(|tx| self.add_vertex_in(tx, vid, &attr))?;
         Ok(vid)
+    }
+
+    /// Insert the vertex attribute row and both empty primary adjacency
+    /// rows inside `tx`.
+    fn add_vertex_in(&self, tx: &mut Txn<'_>, vid: i64, attr: &Value) -> sqlgraph_rel::Result<()> {
+        tx.execute_with_params(
+            "INSERT INTO va VALUES (?, ?)",
+            &[Value::Int(vid), attr.clone()],
+        )?;
+        for pa in ["opa", "ipa"] {
+            let rowno = self.next_rowno.fetch_add(1, Ordering::Relaxed);
+            tx.execute_with_params(
+                &format!("INSERT INTO {pa} (rowno, vid, spill) VALUES (?, ?, 0)"),
+                &[Value::Int(rowno), Value::Int(vid)],
+            )?;
+        }
+        Ok(())
     }
 
     /// Add an edge `src -label-> dst`; returns its id.
@@ -518,22 +578,36 @@ impl SqlGraph {
         let eid = self.next_eid.fetch_add(1, Ordering::SeqCst);
         let attr = Value::json(props_to_json(props));
         let layout = self.layout.read().clone();
-        self.db.transaction(|tx| {
-            tx.execute_with_params(
-                "INSERT INTO ea VALUES (?, ?, ?, ?, ?)",
-                &[
-                    Value::Int(eid),
-                    Value::Int(src),
-                    Value::Int(dst),
-                    Value::str(label),
-                    attr.clone(),
-                ],
-            )?;
-            self.attach(tx, &layout, true, src, label, eid, dst)?;
-            self.attach(tx, &layout, false, dst, label, eid, src)?;
-            Ok(())
-        })?;
+        self.retry_txn(|tx| self.add_edge_in(tx, &layout, eid, src, dst, label, &attr))?;
         Ok(eid)
+    }
+
+    /// Insert the edge attribute/triple row and both adjacency entries
+    /// inside `tx`.
+    #[allow(clippy::too_many_arguments)] // (txn, layout, eid, src, dst, label, attr) is the natural shape
+    fn add_edge_in(
+        &self,
+        tx: &mut Txn<'_>,
+        layout: &GraphLayout,
+        eid: i64,
+        src: i64,
+        dst: i64,
+        label: &str,
+        attr: &Value,
+    ) -> sqlgraph_rel::Result<()> {
+        tx.execute_with_params(
+            "INSERT INTO ea VALUES (?, ?, ?, ?, ?)",
+            &[
+                Value::Int(eid),
+                Value::Int(src),
+                Value::Int(dst),
+                Value::str(label),
+                attr.clone(),
+            ],
+        )?;
+        self.attach(tx, layout, true, src, label, eid, dst)?;
+        self.attach(tx, layout, false, dst, label, eid, src)?;
+        Ok(())
     }
 
     /// Insert `(label, eid, other)` into one direction's adjacency tables.
@@ -685,21 +759,29 @@ impl SqlGraph {
     fn remove_edge_impl(&self, eid: i64) -> Result<(), CoreError> {
         let _shared = self.mutation_lock.read();
         let layout = self.layout.read().clone();
-        self.db.transaction(|tx| {
-            let rel = tx.execute_with_params(
-                "SELECT inv, outv, lbl FROM ea WHERE eid = ?",
-                &[Value::Int(eid)],
-            )?;
-            let Some(row) = rel.rows.first() else {
-                return Err(sqlgraph_rel::Error::NotFound(format!("edge {eid}")));
-            };
-            let (src, dst) = (row[0].as_int().unwrap_or(-1), row[1].as_int().unwrap_or(-1));
-            let label = row[2].as_str().unwrap_or("").to_string();
-            tx.execute_with_params("DELETE FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
-            self.detach(tx, &layout, true, src, &label, eid)?;
-            self.detach(tx, &layout, false, dst, &label, eid)?;
-            Ok(())
-        })?;
+        self.retry_txn(|tx| self.remove_edge_in(tx, &layout, eid))?;
+        Ok(())
+    }
+
+    /// Delete the edge row and detach both endpoints inside `tx`.
+    fn remove_edge_in(
+        &self,
+        tx: &mut Txn<'_>,
+        layout: &GraphLayout,
+        eid: i64,
+    ) -> sqlgraph_rel::Result<()> {
+        let rel = tx.execute_with_params(
+            "SELECT inv, outv, lbl FROM ea WHERE eid = ?",
+            &[Value::Int(eid)],
+        )?;
+        let Some(row) = rel.rows.first() else {
+            return Err(sqlgraph_rel::Error::NotFound(format!("edge {eid}")));
+        };
+        let (src, dst) = (row[0].as_int().unwrap_or(-1), row[1].as_int().unwrap_or(-1));
+        let label = row[2].as_str().unwrap_or("").to_string();
+        tx.execute_with_params("DELETE FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
+        self.detach(tx, layout, true, src, &label, eid)?;
+        self.detach(tx, layout, false, dst, &label, eid)?;
         Ok(())
     }
 
@@ -711,87 +793,95 @@ impl SqlGraph {
             ))));
         }
         let layout = self.layout.read().clone();
-        self.db.transaction(|tx| {
-            // All incident edges via the redundant EA triple table.
-            let mut incident: Vec<(i64, i64, i64, String)> = Vec::new();
-            for key in ["inv", "outv"] {
-                let rel = tx.execute_with_params(
-                    &format!("SELECT eid, inv, outv, lbl FROM ea WHERE {key} = ?"),
-                    &[Value::Int(vid)],
-                )?;
-                for row in &rel.rows {
-                    incident.push((
-                        row[0].as_int().unwrap_or(-1),
-                        row[1].as_int().unwrap_or(-1),
-                        row[2].as_int().unwrap_or(-1),
-                        row[3].as_str().unwrap_or("").to_string(),
-                    ));
-                }
+        self.retry_txn(|tx| self.remove_vertex_in(tx, &layout, vid))?;
+        Ok(())
+    }
+
+    /// The §4.5.2 vertex-removal procedure inside `tx`: delete every
+    /// incident edge, then mark the vertex's own rows with the negative-ID
+    /// tombstone.
+    fn remove_vertex_in(
+        &self,
+        tx: &mut Txn<'_>,
+        layout: &GraphLayout,
+        vid: i64,
+    ) -> sqlgraph_rel::Result<()> {
+        // All incident edges via the redundant EA triple table.
+        let mut incident: Vec<(i64, i64, i64, String)> = Vec::new();
+        for key in ["inv", "outv"] {
+            let rel = tx.execute_with_params(
+                &format!("SELECT eid, inv, outv, lbl FROM ea WHERE {key} = ?"),
+                &[Value::Int(vid)],
+            )?;
+            for row in &rel.rows {
+                incident.push((
+                    row[0].as_int().unwrap_or(-1),
+                    row[1].as_int().unwrap_or(-1),
+                    row[2].as_int().unwrap_or(-1),
+                    row[3].as_str().unwrap_or("").to_string(),
+                ));
             }
-            incident.sort_by_key(|(e, ..)| *e);
-            incident.dedup_by_key(|(e, ..)| *e);
-            for (eid, src, dst, label) in incident {
-                tx.execute_with_params("DELETE FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
-                self.detach(tx, &layout, true, src, &label, eid)?;
-                self.detach(tx, &layout, false, dst, &label, eid)?;
-            }
-            // Negative-ID marking (§4.5.2): cheap logical deletion of the
-            // vertex's own rows; vacuum() removes them physically.
-            let marked = Value::Int(deleted_id(vid));
+        }
+        incident.sort_by_key(|(e, ..)| *e);
+        incident.dedup_by_key(|(e, ..)| *e);
+        for (eid, src, dst, label) in incident {
+            tx.execute_with_params("DELETE FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
+            self.detach(tx, layout, true, src, &label, eid)?;
+            self.detach(tx, layout, false, dst, &label, eid)?;
+        }
+        // Negative-ID marking (§4.5.2): cheap logical deletion of the
+        // vertex's own rows; vacuum() removes them physically.
+        let marked = Value::Int(deleted_id(vid));
+        tx.execute_with_params(
+            "UPDATE va SET vid = ? WHERE vid = ?",
+            &[marked.clone(), Value::Int(vid)],
+        )?;
+        for pa in ["opa", "ipa"] {
             tx.execute_with_params(
-                "UPDATE va SET vid = ? WHERE vid = ?",
+                &format!("UPDATE {pa} SET vid = ? WHERE vid = ?"),
                 &[marked.clone(), Value::Int(vid)],
             )?;
-            for pa in ["opa", "ipa"] {
-                tx.execute_with_params(
-                    &format!("UPDATE {pa} SET vid = ? WHERE vid = ?"),
-                    &[marked.clone(), Value::Int(vid)],
-                )?;
-            }
-            Ok(())
-        })?;
+        }
         Ok(())
     }
 
     fn set_vertex_property_impl(&self, vid: i64, key: &str, value: &Json) -> Result<(), CoreError> {
         let _shared = self.mutation_lock.read();
-        self.db.transaction(|tx| {
-            let rel =
-                tx.execute_with_params("SELECT attr FROM va WHERE vid = ?", &[Value::Int(vid)])?;
-            let Some(Value::Json(doc)) = rel.rows.first().and_then(|r| r.first()) else {
-                return Err(sqlgraph_rel::Error::NotFound(format!("vertex {vid}")));
-            };
-            let mut doc = (**doc).clone();
-            if let Some(obj) = doc.as_object_mut() {
-                obj.insert(key, value.clone());
-            }
-            tx.execute_with_params(
-                "UPDATE va SET attr = ? WHERE vid = ?",
-                &[Value::json(doc), Value::Int(vid)],
-            )?;
-            Ok(())
-        })?;
-        Ok(())
+        self.retry_txn(|tx| Self::set_property_in(tx, "va", "vid", vid, key, value))
     }
 
     fn set_edge_property_impl(&self, eid: i64, key: &str, value: &Json) -> Result<(), CoreError> {
         let _shared = self.mutation_lock.read();
-        self.db.transaction(|tx| {
-            let rel =
-                tx.execute_with_params("SELECT attr FROM ea WHERE eid = ?", &[Value::Int(eid)])?;
-            let Some(Value::Json(doc)) = rel.rows.first().and_then(|r| r.first()) else {
-                return Err(sqlgraph_rel::Error::NotFound(format!("edge {eid}")));
-            };
-            let mut doc = (**doc).clone();
-            if let Some(obj) = doc.as_object_mut() {
-                obj.insert(key, value.clone());
-            }
-            tx.execute_with_params(
-                "UPDATE ea SET attr = ? WHERE eid = ?",
-                &[Value::json(doc), Value::Int(eid)],
-            )?;
-            Ok(())
-        })?;
+        self.retry_txn(|tx| Self::set_property_in(tx, "ea", "eid", eid, key, value))
+    }
+
+    /// Read-modify-write of one element's JSON attribute document inside
+    /// `tx`. `table`/`id_col` select the element kind (`va`/`vid` or
+    /// `ea`/`eid`).
+    fn set_property_in(
+        tx: &mut Txn<'_>,
+        table: &str,
+        id_col: &str,
+        id: i64,
+        key: &str,
+        value: &Json,
+    ) -> sqlgraph_rel::Result<()> {
+        let rel = tx.execute_with_params(
+            &format!("SELECT attr FROM {table} WHERE {id_col} = ?"),
+            &[Value::Int(id)],
+        )?;
+        let Some(Value::Json(doc)) = rel.rows.first().and_then(|r| r.first()) else {
+            let kind = if table == "va" { "vertex" } else { "edge" };
+            return Err(sqlgraph_rel::Error::NotFound(format!("{kind} {id}")));
+        };
+        let mut doc = (**doc).clone();
+        if let Some(obj) = doc.as_object_mut() {
+            obj.insert(key, value.clone());
+        }
+        tx.execute_with_params(
+            &format!("UPDATE {table} SET attr = ? WHERE {id_col} = ?"),
+            &[Value::json(doc), Value::Int(id)],
+        )?;
         Ok(())
     }
 
@@ -856,6 +946,239 @@ impl SqlGraph {
             .db
             .execute_with_params("SELECT vid FROM va WHERE vid = ?", &[Value::Int(vid)])?;
         Ok(!rel.rows.is_empty())
+    }
+
+    /// [`SqlGraph::vertex_exists_internal`] evaluated inside `tx`, so a
+    /// vertex added earlier in the same transaction counts as existing.
+    fn vertex_exists_tx(&self, tx: &mut Txn<'_>, vid: i64) -> sqlgraph_rel::Result<bool> {
+        let rel = tx.execute_with_params("SELECT vid FROM va WHERE vid = ?", &[Value::Int(vid)])?;
+        Ok(!rel.rows.is_empty())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Multi-statement graph transactions
+// ----------------------------------------------------------------------
+
+/// A multi-statement graph transaction with snapshot isolation.
+///
+/// Created by [`SqlGraph::transaction`]. Mutations buffer provisionally in
+/// the underlying relational transaction and become visible atomically at
+/// [`GraphTxn::commit`]; [`GraphTxn::query`] runs traversals against the
+/// transaction's snapshot plus its own writes. Dropping the handle without
+/// committing rolls everything back — including a partially applied
+/// vertex-removal procedure, which is exactly the multi-table update the
+/// paper runs as a stored-procedure transaction (§4.5.2).
+pub struct GraphTxn<'g> {
+    graph: &'g SqlGraph,
+    txn: Txn<'g>,
+    /// Layout frozen at `transaction()`; safe because the mutation lock
+    /// excludes concurrent bulk loads (the only layout writers).
+    layout: GraphLayout,
+    /// Held exclusively so no autocommit mutation or checkpoint
+    /// interleaves with this transaction's statements. Declared after
+    /// `txn` so the rollback (via `Txn::drop`) happens before the lock is
+    /// released.
+    _exclusive: RwLockWriteGuard<'g, ()>,
+}
+
+impl<'g> GraphTxn<'g> {
+    /// Add a vertex with properties; returns its id.
+    ///
+    /// The id is allocated eagerly from the store's counter; rolling the
+    /// transaction back leaves a gap in the id space (standard sequence
+    /// semantics).
+    pub fn add_vertex(&mut self, props: &[(String, Json)]) -> Result<i64, CoreError> {
+        let vid = self.graph.next_vid.fetch_add(1, Ordering::SeqCst);
+        let attr = Value::json(props_to_json(props));
+        self.graph.add_vertex_in(&mut self.txn, vid, &attr)?;
+        Ok(vid)
+    }
+
+    /// Add an edge `src -label-> dst`; returns its id. Endpoints created
+    /// earlier in this transaction are valid targets.
+    pub fn add_edge(
+        &mut self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> Result<i64, CoreError> {
+        for v in [src, dst] {
+            if !self.graph.vertex_exists_tx(&mut self.txn, v)? {
+                return Err(CoreError::Graph(GraphError::new(format!("no vertex {v}"))));
+            }
+        }
+        let eid = self.graph.next_eid.fetch_add(1, Ordering::SeqCst);
+        let attr = Value::json(props_to_json(props));
+        self.graph
+            .add_edge_in(&mut self.txn, &self.layout, eid, src, dst, label, &attr)?;
+        Ok(eid)
+    }
+
+    /// Remove a vertex and all incident edges (the §4.5.2 negative-ID
+    /// procedure), atomically with the rest of this transaction.
+    pub fn remove_vertex(&mut self, vid: i64) -> Result<(), CoreError> {
+        if !self.graph.vertex_exists_tx(&mut self.txn, vid)? {
+            return Err(CoreError::Graph(GraphError::new(format!(
+                "no vertex {vid}"
+            ))));
+        }
+        self.graph
+            .remove_vertex_in(&mut self.txn, &self.layout, vid)?;
+        Ok(())
+    }
+
+    /// Remove an edge.
+    pub fn remove_edge(&mut self, eid: i64) -> Result<(), CoreError> {
+        self.graph
+            .remove_edge_in(&mut self.txn, &self.layout, eid)?;
+        Ok(())
+    }
+
+    /// Set (or replace) a vertex property.
+    pub fn set_vertex_property(
+        &mut self,
+        vid: i64,
+        key: &str,
+        value: &Json,
+    ) -> Result<(), CoreError> {
+        SqlGraph::set_property_in(&mut self.txn, "va", "vid", vid, key, value)?;
+        Ok(())
+    }
+
+    /// Set (or replace) an edge property.
+    pub fn set_edge_property(
+        &mut self,
+        eid: i64,
+        key: &str,
+        value: &Json,
+    ) -> Result<(), CoreError> {
+        SqlGraph::set_property_in(&mut self.txn, "ea", "eid", eid, key, value)?;
+        Ok(())
+    }
+
+    /// Execute a Gremlin statement inside this transaction. Traversals
+    /// compile to a single SQL statement evaluated against the
+    /// transaction's snapshot (plus its own writes); CRUD statements route
+    /// to the transactional mutation methods. The interpreter fallback is
+    /// not available here — it reads through the autocommit Blueprints
+    /// API, which would escape the snapshot — so non-translatable
+    /// traversals return [`CoreError::Unsupported`].
+    pub fn query(&mut self, gremlin: &str) -> Result<Relation, CoreError> {
+        match parse(gremlin)? {
+            GremlinStatement::Query(pipeline) => {
+                let sql = translate(&pipeline, &self.layout)
+                    .map_err(|u| CoreError::Unsupported(u.reason))?;
+                Ok(self.txn.execute(&sql)?)
+            }
+            GremlinStatement::AddVertex { props } => {
+                let id = self.add_vertex(&props)?;
+                Ok(Relation::new(
+                    vec!["val".into()],
+                    vec![vec![Value::Int(id)]],
+                ))
+            }
+            GremlinStatement::AddEdge {
+                src,
+                dst,
+                label,
+                props,
+            } => {
+                let id = self.add_edge(src, dst, &label, &props)?;
+                Ok(Relation::new(
+                    vec!["val".into()],
+                    vec![vec![Value::Int(id)]],
+                ))
+            }
+            GremlinStatement::RemoveVertex { id } => {
+                self.remove_vertex(id)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+            GremlinStatement::RemoveEdge { id } => {
+                self.remove_edge(id)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+            GremlinStatement::SetVertexProperty { id, key, value } => {
+                self.set_vertex_property(id, &key, &value)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+            GremlinStatement::SetEdgeProperty { id, key, value } => {
+                self.set_edge_property(id, &key, &value)?;
+                Ok(Relation::new(vec!["val".into()], vec![]))
+            }
+        }
+    }
+
+    /// Run raw SQL inside this transaction (inspection, tests).
+    pub fn sql(&mut self, statement: &str) -> Result<Relation, CoreError> {
+        Ok(self.txn.execute(statement)?)
+    }
+
+    /// Run raw SQL with positional `?` parameters inside this transaction.
+    pub fn sql_with_params(
+        &mut self,
+        statement: &str,
+        params: &[Value],
+    ) -> Result<Relation, CoreError> {
+        Ok(self.txn.execute_with_params(statement, params)?)
+    }
+
+    /// SQL statements executed so far in this transaction. Graph calls
+    /// like [`GraphTxn::add_edge`] run several; benchmarks that model a
+    /// plain-SQL client charge one round trip per statement.
+    pub fn statements_executed(&self) -> u64 {
+        self.txn.statements_executed()
+    }
+
+    /// Make every buffered mutation visible atomically.
+    pub fn commit(self) -> Result<(), CoreError> {
+        Ok(self.txn.commit()?)
+    }
+
+    /// Discard every buffered mutation (also what `Drop` does).
+    pub fn rollback(self) {
+        self.txn.rollback();
+    }
+}
+
+impl GraphTransaction for GraphTxn<'_> {
+    fn add_vertex(&mut self, props: &[(String, Json)]) -> GraphResult<i64> {
+        GraphTxn::add_vertex(self, props).map_err(to_graph_error)
+    }
+
+    fn add_edge(
+        &mut self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> GraphResult<i64> {
+        GraphTxn::add_edge(self, src, dst, label, props).map_err(to_graph_error)
+    }
+
+    fn remove_vertex(&mut self, v: i64) -> GraphResult<()> {
+        GraphTxn::remove_vertex(self, v).map_err(to_graph_error)
+    }
+
+    fn remove_edge(&mut self, e: i64) -> GraphResult<()> {
+        GraphTxn::remove_edge(self, e).map_err(to_graph_error)
+    }
+
+    fn set_vertex_property(&mut self, v: i64, key: &str, value: &Json) -> GraphResult<()> {
+        GraphTxn::set_vertex_property(self, v, key, value).map_err(to_graph_error)
+    }
+
+    fn set_edge_property(&mut self, e: i64, key: &str, value: &Json) -> GraphResult<()> {
+        GraphTxn::set_edge_property(self, e, key, value).map_err(to_graph_error)
+    }
+
+    fn commit(self: Box<Self>) -> GraphResult<()> {
+        GraphTxn::commit(*self).map_err(to_graph_error)
+    }
+
+    fn rollback(self: Box<Self>) {
+        GraphTxn::rollback(*self);
     }
 }
 

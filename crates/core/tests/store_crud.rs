@@ -306,3 +306,105 @@ fn vacuum_reclaims_orphaned_secondary_lists() {
     let out = g.query("g.v(4).out('created').values('name')").unwrap();
     assert_eq!(out.strings(), ["lop"]);
 }
+
+// ------------------------------------------------------ graph transactions --
+
+/// A multi-step graph transaction commits atomically: none of its
+/// vertices, edges, or property writes are visible to queries until
+/// `commit`, and all of them are after.
+#[test]
+fn graph_transaction_commits_atomically() {
+    let g = sample();
+    let before = g.query("g.V().count()").unwrap().int_column()[0];
+
+    let mut tx = g.transaction();
+    let a = tx
+        .add_vertex(&[("name".to_string(), Json::str("peter"))])
+        .unwrap();
+    let b = tx
+        .add_vertex(&[("name".to_string(), Json::str("ripple"))])
+        .unwrap();
+    let e = tx.add_edge(a, b, "created", &[]).unwrap();
+    tx.set_vertex_property(a, "age", &Json::int(35)).unwrap();
+    tx.set_edge_property(e, "weight", &Json::float(0.9))
+        .unwrap();
+    tx.commit().unwrap();
+
+    assert_eq!(
+        g.query("g.V().count()").unwrap().int_column()[0],
+        before + 2
+    );
+    let names = g.query(&format!("g.v({a}).out('created').values('name')"));
+    assert_eq!(names.unwrap().strings(), ["ripple"]);
+    assert_eq!(
+        g.query(&format!("g.v({a}).values('age')"))
+            .unwrap()
+            .int_column(),
+        [35]
+    );
+}
+
+/// Rolling back (or dropping) a graph transaction leaves no trace — the
+/// §4.5.2 vertex delete included: its incident-edge removals and
+/// negative-ID marks must all be undone.
+#[test]
+fn graph_transaction_rolls_back_all_steps() {
+    let g = sample();
+    let snapshot = |g: &SqlGraph| {
+        let mut t = (
+            g.query("g.V().count()").unwrap().int_column()[0],
+            g.query("g.E().count()").unwrap().int_column()[0],
+            g.query("g.v(1).out().values('name')").unwrap().strings(),
+        );
+        t.2.sort();
+        t
+    };
+    let before = snapshot(&g);
+
+    let mut tx = g.transaction();
+    let v = tx
+        .add_vertex(&[("name".to_string(), Json::str("doomed"))])
+        .unwrap();
+    tx.add_edge(1, v, "knows", &[]).unwrap();
+    // Vertex delete inside the transaction: removes incident edges and
+    // marks the vertex rows with the negative-ID tombstone.
+    tx.remove_vertex(3).unwrap();
+    tx.set_vertex_property(1, "age", &Json::int(99)).unwrap();
+    tx.rollback();
+
+    assert_eq!(snapshot(&g), before, "rollback left residue");
+    assert_eq!(g.query("g.v(1).values('age')").unwrap().int_column(), [29]);
+    // The store still accepts new work after the rollback.
+    let v2 = g.add_vertex([("name", "fresh".into())]).unwrap();
+    assert!(v2 > v, "vertex ids must not be reused after rollback");
+}
+
+/// In-transaction reads observe the transaction's own writes, while
+/// autocommit readers on other "connections" never see them pre-commit.
+#[test]
+fn graph_transaction_reads_its_own_writes() {
+    let g = sample();
+    let mut tx = g.transaction();
+    let v = tx
+        .add_vertex(&[("name".to_string(), Json::str("temp"))])
+        .unwrap();
+    tx.add_edge(1, v, "knows", &[]).unwrap();
+    let rel = tx
+        .sql_with_params(
+            "SELECT JSON_VAL(attr, 'name') FROM va WHERE vid = ?",
+            &[Value::Int(v)],
+        )
+        .unwrap();
+    assert_eq!(rel.rows[0][0], Value::str("temp"));
+    let out = tx.query("g.v(1).out('knows').id()").unwrap();
+    assert!(
+        out.int_column().contains(&v),
+        "snapshot must include own writes"
+    );
+    tx.commit().unwrap();
+    assert!(g
+        .query("g.v(1).out('knows').id()")
+        .unwrap()
+        .int_column()
+        .contains(&v));
+}

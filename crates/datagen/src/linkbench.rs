@@ -243,6 +243,22 @@ impl Workload {
         ASSOC_TYPES[self.rng.gen_range(0..ASSOC_TYPES.len())]
     }
 
+    /// Next operation with the read/write balance pinned: a write with
+    /// probability `write_permille`/1000, a read otherwise, while the
+    /// relative frequencies *within* each class still follow the Table 6
+    /// mix (rejection-sampled, so the stream stays deterministic per
+    /// seed). Used by the mixed-throughput benchmark to sweep read/write
+    /// ratios independently of the paper's fixed mix.
+    pub fn next_op_mixed(&mut self, write_permille: u32) -> Op {
+        let want_write = self.rng.gen_range(0..1000u32) < write_permille;
+        loop {
+            let op = self.next_op();
+            if op.is_write() == want_write {
+                return op;
+            }
+        }
+    }
+
     /// Next operation, drawn from the Table 6 mix.
     pub fn next_op(&mut self) -> Op {
         let roll = self.rng.gen_range(0..1000u32);

@@ -158,6 +158,46 @@ pub trait Blueprints: Send + Sync {
     fn set_edge_property(&self, e: i64, key: &str, value: &Json) -> GraphResult<()>;
 }
 
+/// A multi-statement graph transaction over the Blueprints update API.
+///
+/// Obtained from a transactional store (e.g. `SqlGraph::transaction`).
+/// Every mutation is provisional until [`GraphTransaction::commit`]; reads
+/// issued through the owning handle observe the transaction's snapshot
+/// plus its own writes. Dropping the handle without committing rolls the
+/// transaction back. `commit`/`rollback` consume the handle (`Box<Self>`
+/// so the trait stays object-safe).
+pub trait GraphTransaction {
+    /// Create a vertex with initial properties; returns its id.
+    fn add_vertex(&mut self, props: &[(String, Json)]) -> GraphResult<i64>;
+
+    /// Create an edge `src -label-> dst`; returns its id.
+    fn add_edge(
+        &mut self,
+        src: i64,
+        dst: i64,
+        label: &str,
+        props: &[(String, Json)],
+    ) -> GraphResult<i64>;
+
+    /// Remove a vertex and all incident edges.
+    fn remove_vertex(&mut self, v: i64) -> GraphResult<()>;
+
+    /// Remove an edge.
+    fn remove_edge(&mut self, e: i64) -> GraphResult<()>;
+
+    /// Set (or replace) a vertex property.
+    fn set_vertex_property(&mut self, v: i64, key: &str, value: &Json) -> GraphResult<()>;
+
+    /// Set (or replace) an edge property.
+    fn set_edge_property(&mut self, e: i64, key: &str, value: &Json) -> GraphResult<()>;
+
+    /// Make every buffered mutation visible atomically.
+    fn commit(self: Box<Self>) -> GraphResult<()>;
+
+    /// Discard every buffered mutation.
+    fn rollback(self: Box<Self>);
+}
+
 impl<G: Blueprints + ?Sized> Blueprints for &G {
     fn vertex_ids(&self) -> Vec<i64> {
         (**self).vertex_ids()

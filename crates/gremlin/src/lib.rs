@@ -29,7 +29,7 @@ pub mod memgraph;
 pub mod parse;
 
 pub use ast::{GremlinStatement, Pipeline};
-pub use blueprints::{Blueprints, Direction, GraphError, GraphResult};
+pub use blueprints::{Blueprints, Direction, GraphError, GraphResult, GraphTransaction};
 pub use interp::Elem;
 pub use lex::GremlinError;
 pub use memgraph::MemGraph;

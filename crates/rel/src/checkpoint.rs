@@ -26,7 +26,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &str = "SQLGSNAP";
-const VERSION: u32 = 1;
+// Version 2 added the MVCC commit clock to the header.
+const VERSION: u32 = 2;
 
 /// Snapshot file path for the log rooted at `base`.
 pub fn snapshot_path(base: &Path) -> PathBuf {
@@ -80,6 +81,9 @@ pub struct RecoveryReport {
 pub struct Snapshot {
     /// Replay WAL segments with generation >= this.
     pub gen: u64,
+    /// MVCC commit clock at the moment the snapshot was cut; recovery
+    /// restores the [`crate::txn::TxnManager`] clock to at least this.
+    pub clock: u64,
     /// Rebuilt tables, in serialized order.
     pub tables: Vec<Table>,
     /// Snapshot file size.
@@ -166,8 +170,12 @@ fn encode_table(table: &Table) -> BytesMut {
     }
     let slots = table.slots();
     p.put_u64_le(slots.len() as u64);
+    // Serialize each chain's committed-live version; a chain holding only
+    // provisional (uncommitted) versions snapshots as a tombstone — its
+    // transaction either commits into the fresh WAL segment or vanishes.
+    let latest = crate::txn::Snapshot::latest();
     for slot in slots {
-        match slot {
+        match slot.visible(latest) {
             None => p.put_u8(0),
             Some(row) => {
                 p.put_u8(1);
@@ -239,13 +247,15 @@ fn decode_table(payload: Bytes) -> Result<Table> {
     Ok(table)
 }
 
-/// Serialize `tables` into snapshot bytes anchored at generation `gen`.
-pub(crate) fn encode_snapshot(gen: u64, tables: &[&Table]) -> Vec<u8> {
+/// Serialize `tables` into snapshot bytes anchored at generation `gen`,
+/// with the MVCC commit clock standing at `clock`.
+pub(crate) fn encode_snapshot(gen: u64, clock: u64, tables: &[&Table]) -> Vec<u8> {
     let mut out = BytesMut::new();
     let mut header = BytesMut::new();
     put_str(&mut header, MAGIC);
     header.put_u32(VERSION);
     header.put_u64_le(gen);
+    header.put_u64_le(clock);
     header.put_u32(tables.len() as u32);
     put_record(&mut out, &header);
     for table in tables {
@@ -307,6 +317,7 @@ pub(crate) fn load_snapshot(vfs: &dyn Vfs, base: &Path) -> Result<Option<Snapsho
         )));
     }
     let gen = get_u64(&mut header)?;
+    let clock = get_u64(&mut header)?;
     let ntables = get_u32(&mut header)? as usize;
     let mut tables = Vec::with_capacity(ntables);
     for _ in 0..ntables {
@@ -316,7 +327,12 @@ pub(crate) fn load_snapshot(vfs: &dyn Vfs, base: &Path) -> Result<Option<Snapsho
     if get_str(&mut footer)? != "END" {
         return Err(Error::Wal("snapshot: missing footer".into()));
     }
-    Ok(Some(Snapshot { gen, tables, bytes }))
+    Ok(Some(Snapshot {
+        gen,
+        clock,
+        tables,
+        bytes,
+    }))
 }
 
 #[cfg(test)]
@@ -366,10 +382,11 @@ mod tests {
         let t = sample_table();
         let fs = SimFs::new();
         let base = Path::new("/db.wal");
-        let bytes = encode_snapshot(7, &[&t]);
+        let bytes = encode_snapshot(7, 42, &[&t]);
         install_snapshot(&fs, base, &bytes).unwrap();
         let snap = load_snapshot(&fs, base).unwrap().unwrap();
         assert_eq!(snap.gen, 7);
+        assert_eq!(snap.clock, 42, "commit clock survives the round trip");
         assert_eq!(snap.tables.len(), 1);
         let r = &snap.tables[0];
         assert_eq!(r.schema, t.schema);
@@ -392,7 +409,7 @@ mod tests {
         let base = Path::new("/db.wal");
         assert!(load_snapshot(&fs, base).unwrap().is_none());
         let t = sample_table();
-        let mut bytes = encode_snapshot(1, &[&t]);
+        let mut bytes = encode_snapshot(1, 0, &[&t]);
         install_snapshot(&fs, base, &bytes).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;

@@ -1,14 +1,27 @@
 //! The `Database` facade: catalog, statement execution, transactions,
 //! stored procedures, and WAL-backed recovery.
 //!
-//! Concurrency model: per-table reader/writer locks. Readers may hold
-//! several read locks for the duration of a statement; writers lock one
-//! table at a time inside a statement, and multi-table lock acquisition is
-//! always ordered by table name, so lock cycles cannot form. Transactions
-//! provide atomicity through an undo journal (rolled back on error) and
-//! durability through the WAL (redo records appended at commit). Isolation
-//! is statement-level (read committed) — the same level the paper's
-//! LinkBench runs exercise.
+//! Concurrency model: MVCC with snapshot isolation (see [`crate::txn`]).
+//! Every statement — and every multi-statement transaction begun with
+//! [`Database::begin`] — reads through a snapshot of the commit clock, so
+//! readers take only brief shared table guards and never block on writers.
+//! Writers install *provisional* row versions under their transaction
+//! token, holding a table's write lock only while applying one statement's
+//! mutations to that table; write-write races fail fast with
+//! [`Error::TxnConflict`] (first-updater-wins). Commits serialize on the
+//! transaction manager: redo records are appended to the WAL with the
+//! commit timestamp, provisional versions are stamped, and the clock
+//! advances last. Rollback walks the undo journal in reverse. Old versions
+//! are reclaimed by [`Database::vacuum`] below the oldest-active-snapshot
+//! watermark.
+//!
+//! Two residual locking rules keep the rare multi-lock paths safe: a
+//! write statement compiles its expressions (which may read other tables
+//! for subqueries) *before* taking the target's write lock, and
+//! checkpoints exclude commits via `commit_lock`. A `coarse_writes` toggle
+//! restores the pre-MVCC readers-queue-behind-writers behavior as a
+//! benchmark baseline: write transactions hold a store-wide lock
+//! exclusively from begin to commit, autocommit reads take it shared.
 
 use crate::checkpoint::{self, CheckpointReport, RecoveryReport};
 use crate::error::{Error, Result};
@@ -21,6 +34,7 @@ use crate::schema::{Column, ColumnType, TableSchema};
 use crate::sql::ast::{self, Statement};
 use crate::sql::parse_statement;
 use crate::storage::Table;
+use crate::txn::{Snapshot, TxnManager};
 use crate::value::Value;
 use crate::wal::{segment_path, Wal, WalRecord};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
@@ -55,12 +69,30 @@ pub struct Database {
     /// materializes `Vec<Row>` everywhere, for A/B comparison and
     /// differential testing against the batch engine.
     batch: std::sync::atomic::AtomicBool,
-    /// Apply+commit vs checkpoint exclusion. Every mutating statement holds
-    /// this shared from first table mutation through WAL append, so a
-    /// checkpoint (exclusive) never snapshots table state whose WAL records
-    /// would land in the post-snapshot segment (which replay would then
-    /// double-apply).
+    /// Commit vs checkpoint exclusion. Commits hold this shared across the
+    /// WAL append + version stamping, so a checkpoint (exclusive) never
+    /// snapshots table state whose WAL records would land in the
+    /// post-snapshot segment (which replay would then double-apply).
+    /// Autocommit DDL additionally holds it shared across catalog
+    /// application, since catalog changes are not versioned.
     commit_lock: RwLock<()>,
+    /// MVCC state: commit clock, token allocator, active snapshots.
+    txns: TxnManager,
+    /// Benchmark baseline switch: when set, UPDATE/DELETE hold the target
+    /// table's write lock for the whole statement (compilation included),
+    /// reproducing the pre-MVCC per-table-lock behavior for A/B runs.
+    coarse_writes: std::sync::atomic::AtomicBool,
+    /// The coarse baseline's transaction-scope lock (only used while
+    /// `coarse_writes` is set): write transactions hold it exclusively
+    /// from begin to commit — the two-phase-locking discipline a
+    /// non-versioned store needs — and autocommit reads take it shared,
+    /// so readers wait out concurrent write transactions exactly as they
+    /// would under per-table locks (every LinkBench write touches the
+    /// same hot attribute/adjacency tables the reads scan). MVCC mode
+    /// never touches this lock.
+    coarse_txn_lock: Arc<RwLock<()>>,
+    /// Commits since the last automatic vacuum.
+    commits_since_vacuum: std::sync::atomic::AtomicU64,
     /// What recovery found, when this database was opened from a log.
     recovery: Option<RecoveryReport>,
 }
@@ -74,6 +106,11 @@ struct CachedStmt {
 
 /// Statement-cache capacity.
 const STMT_CACHE_CAP: usize = 4096;
+
+/// Automatic vacuum cadence: reclaim dead row versions after this many
+/// commits (checkpoints also vacuum, so long-lived databases converge
+/// even with a quieter write load).
+const VACUUM_EVERY_COMMITS: u64 = 4096;
 
 /// Second-chance eviction: drop entries whose used bit is clear, clearing
 /// bits as we sweep, until the cache is at 3/4 capacity. A second pass
@@ -122,7 +159,9 @@ impl std::fmt::Debug for Database {
     }
 }
 
-/// One undo entry, applied in reverse order on rollback.
+/// One undo entry, applied in reverse order on rollback. DML entries are
+/// slim — the version chains hold the row images; rollback pops the
+/// provisional version (or clears the provisional delete marker).
 #[derive(Debug)]
 enum UndoOp {
     Insert {
@@ -132,12 +171,10 @@ enum UndoOp {
     Delete {
         table: String,
         row_id: RowId,
-        row: Row,
     },
     Update {
         table: String,
         row_id: RowId,
-        old: Row,
     },
     CreateTable {
         table: String,
@@ -152,11 +189,72 @@ enum UndoOp {
     },
 }
 
+impl UndoOp {
+    /// The `(table, row_id)` a DML undo entry targets — the set of rows
+    /// whose provisional stamps the commit path must finalize.
+    fn dml_target(&self) -> Option<(&str, RowId)> {
+        match self {
+            UndoOp::Insert { table, row_id }
+            | UndoOp::Delete { table, row_id }
+            | UndoOp::Update { table, row_id } => Some((table, *row_id)),
+            _ => None,
+        }
+    }
+}
+
 /// Per-transaction journal: undo for rollback, redo for the WAL.
 #[derive(Debug, Default)]
 struct Journal {
     undo: Vec<UndoOp>,
     redo: Vec<WalRecord>,
+}
+
+/// The execution state of one open transaction: its MVCC snapshot (which
+/// also carries the provisional-write token) and its undo/redo journal.
+/// Owned by a [`Txn`] handle or a [`crate::txn::Session`].
+pub struct TxnState {
+    pub(crate) snap: Snapshot,
+    journal: Journal,
+    /// Whether `snap` is registered in the active-snapshot set (and so
+    /// must be released exactly once).
+    registered: bool,
+    /// Held exclusively from begin to commit when the `coarse_writes`
+    /// baseline is active; `None` in MVCC mode.
+    coarse_guard: Option<ArcRwLockWriteGuard<RawRwLock, ()>>,
+}
+
+impl std::fmt::Debug for TxnState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnState")
+            .field("snap", &self.snap)
+            .field("registered", &self.registered)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for TxnState {
+    /// An inert placeholder (used by `std::mem::take` when a stored
+    /// procedure temporarily adopts a statement's state): unregistered,
+    /// empty journal, all-committed snapshot.
+    fn default() -> TxnState {
+        TxnState {
+            snap: Snapshot::latest(),
+            journal: Journal::default(),
+            registered: false,
+            coarse_guard: None,
+        }
+    }
+}
+
+impl TxnState {
+    /// The transaction's snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snap
+    }
+
+    fn is_empty(&self) -> bool {
+        self.journal.undo.is_empty() && self.journal.redo.is_empty()
+    }
 }
 
 impl Database {
@@ -171,8 +269,33 @@ impl Database {
             parallelism: std::sync::atomic::AtomicUsize::new(env_test_dop()),
             batch: std::sync::atomic::AtomicBool::new(true),
             commit_lock: RwLock::new(()),
+            txns: TxnManager::new(),
+            coarse_writes: std::sync::atomic::AtomicBool::new(false),
+            coarse_txn_lock: Arc::new(RwLock::new(())),
+            commits_since_vacuum: std::sync::atomic::AtomicU64::new(0),
             recovery: None,
         }
+    }
+
+    /// The MVCC transaction manager (clock, active snapshots, watermark).
+    pub fn txns(&self) -> &TxnManager {
+        &self.txns
+    }
+
+    /// Whether the coarse per-table-lock write baseline is active.
+    pub fn coarse_writes(&self) -> bool {
+        self.coarse_writes
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Toggle the coarse write baseline (off by default): write
+    /// transactions hold [`Database::coarse_txn_lock`] exclusively from
+    /// begin to commit and autocommit reads take it shared — the
+    /// pre-MVCC readers-queue-behind-writers behavior, kept for honest
+    /// before/after throughput comparisons.
+    pub fn set_coarse_writes(&self, on: bool) {
+        self.coarse_writes
+            .store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Whether the cost-based join planner is enabled.
@@ -235,9 +358,10 @@ impl Database {
         }
     }
 
-    /// Parse `sql`, consulting the prepared-statement cache first. DDL is
-    /// never cached (it is rare and must observe catalog changes).
-    fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>> {
+    /// Parse `sql`, consulting the prepared-statement cache first. DDL and
+    /// transaction-control statements are never cached (rare, and DDL must
+    /// observe catalog changes).
+    pub(crate) fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>> {
         if let Some(entry) = self.stmt_cache.read().get(sql) {
             entry.used.store(true, std::sync::atomic::Ordering::Relaxed);
             return Ok(entry.stmt.clone());
@@ -294,6 +418,7 @@ impl Database {
             report.snapshot_gen = Some(snap.gen);
             report.snapshot_tables = snap.tables.len();
             start_gen = snap.gen;
+            db.txns.restore_clock(snap.clock);
             let mut tables = db.tables.write();
             for t in snap.tables {
                 tables.insert(t.schema.name.clone(), Arc::new(RwLock::new(t)));
@@ -324,7 +449,7 @@ impl Database {
             let scan = Wal::scan_segment(vfs.as_ref(), &path)?;
             report.segments_scanned += 1;
             report.commits_replayed += scan.commits.len();
-            report.records_replayed += scan.commits.iter().map(Vec::len).sum::<usize>();
+            report.records_replayed += scan.commits.iter().map(|(_, r)| r.len()).sum::<usize>();
             report.dangling_records += scan.dangling_records;
             report.bytes_truncated += scan.file_len - scan.valid_len;
             db.replay_commits(&scan.commits)?;
@@ -367,6 +492,11 @@ impl Database {
     /// the final rename, and commits are excluded for the duration, so the
     /// snapshot/segment boundary is exact.
     pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        // Reclaim dead versions first (outside the commit lock — vacuum
+        // takes table write locks of its own): the snapshot encodes only
+        // latest-committed versions anyway, and a trimmed slab is cheaper
+        // to serialize.
+        self.vacuum();
         let _commit = self.commit_lock.write();
         let wal_slot = self
             .wal
@@ -393,7 +523,7 @@ impl Database {
             .map(|n| self.read_table(n))
             .collect::<Result<_>>()?;
         let refs: Vec<&Table> = guards.iter().map(|g| &**g).collect();
-        let bytes = checkpoint::encode_snapshot(new_gen, &refs);
+        let bytes = checkpoint::encode_snapshot(new_gen, self.txns.now(), &refs);
         let written = checkpoint::install_snapshot(vfs.as_ref(), &base, &bytes)?;
 
         // The snapshot is durable and anchors generation `new_gen`; switch
@@ -421,14 +551,27 @@ impl Database {
     /// recorded at commit time; ids are remapped when replay assigns a
     /// different slab slot than the original run did (the original slab may
     /// contain tombstones from rolled-back transactions, which the WAL —
-    /// correctly — knows nothing about).
-    fn replay_commits(&mut self, commits: &[Vec<WalRecord>]) -> Result<()> {
+    /// correctly — knows nothing about). Replay uses the destructive table
+    /// paths (every recovered commit is committed state — no version
+    /// history to preserve) and restores the commit clock to the highest
+    /// replayed timestamp.
+    fn replay_commits(&mut self, commits: &[(u64, Vec<WalRecord>)]) -> Result<()> {
         let mut id_map: FxHashMap<(String, RowId), RowId> = FxHashMap::default();
-        for commit in commits {
+        let mut max_ts = 0;
+        for (ts, commit) in commits {
+            max_ts = max_ts.max(*ts);
             for record in commit {
                 match record {
                     WalRecord::Ddl { sql } => {
-                        self.execute(sql)?;
+                        // An autocommit DDL can be logged by a checkpoint's
+                        // covering snapshot *and* sit in the replayed tail
+                        // when the checkpoint raced a multi-statement
+                        // transaction; re-creating is then a benign no-op.
+                        match self.execute(sql) {
+                            Ok(_) => {}
+                            Err(Error::Schema(msg)) if msg.contains("already exists") => {}
+                            Err(e) => return Err(e),
+                        }
                     }
                     WalRecord::Insert { table, row_id, row } => {
                         let mut t = self.write_table(table)?;
@@ -454,10 +597,13 @@ impl Database {
                             Error::Wal(format!("replay update {table}[{row_id}]: {e}"))
                         })?;
                     }
-                    WalRecord::Commit => {}
+                    // Commit markers are consumed by the segment scanner;
+                    // tolerate one appearing in a group defensively.
+                    WalRecord::Commit { .. } => {}
                 }
             }
         }
+        self.txns.restore_clock(max_ts);
         Ok(())
     }
 
@@ -530,87 +676,162 @@ impl Database {
         self.execute_statement(&stmt, params, Some(sql))
     }
 
-    /// Execute a pre-parsed statement (auto-commit).
+    /// Execute a pre-parsed statement in autocommit mode: reads run
+    /// lock-free against a fresh snapshot; writes run as a one-statement
+    /// MVCC transaction (begin, apply provisionally, commit).
     pub fn execute_statement(
         &self,
         stmt: &Statement,
         params: &[Value],
         sql_text: Option<&str>,
     ) -> Result<Relation> {
-        let _commit = self.commit_lock.read();
-        let mut journal = Journal::default();
-        match self.execute_in(stmt, params, sql_text, &mut journal) {
-            Ok(rel) => match self.commit_journal(&journal) {
-                Ok(()) => Ok(rel),
-                // A failed commit must not leave its mutations visible: the
-                // caller got an error, so the in-memory state rolls back.
-                // (The WAL may still hold the transaction — an errored
-                // commit is indeterminate until the next open.)
-                Err(e) => {
-                    self.rollback_journal(journal);
-                    Err(e)
-                }
-            },
+        if matches!(stmt, Statement::Select(_) | Statement::Explain(_)) {
+            // Read-only fast path: a registered read snapshot (token 0),
+            // nothing to journal, nothing to commit. Under the coarse
+            // baseline the read additionally waits out any in-flight
+            // write transaction (shared lock) — the cost MVCC removes.
+            let _coarse = self.coarse_writes().then(|| self.coarse_txn_lock.read());
+            let mut state = TxnState {
+                snap: self.txns.read_snapshot(),
+                journal: Journal::default(),
+                registered: true,
+                coarse_guard: None,
+            };
+            let result = self.execute_in(stmt, params, sql_text, &mut state);
+            self.release_state(state);
+            return result;
+        }
+        // Catalog changes are not versioned, so an autocommit DDL holds
+        // the commit lock shared across application + commit — a
+        // checkpoint can then never snapshot a catalog state whose DDL
+        // commit lands in the post-snapshot segment (or gets rolled back).
+        let _ddl_guard = matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::CreateIndex { .. }
+                | Statement::DropTable { .. }
+        )
+        .then(|| self.commit_lock.read());
+        let mut state = self.begin_state();
+        match self.execute_in(stmt, params, sql_text, &mut state) {
+            Ok(rel) => self.commit_state(state).map(|()| rel),
             Err(e) => {
-                self.rollback_journal(journal);
+                self.rollback_state(state);
                 Err(e)
             }
+        }
+    }
+
+    /// Begin a multi-statement snapshot-isolation transaction. Dropping
+    /// the returned handle without [`Txn::commit`] rolls it back.
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            db: self,
+            stmts: 0,
+            state: Some(self.begin_state()),
         }
     }
 
     /// Run `f` inside a transaction: every statement executed through the
-    /// provided [`Txn`] is journaled; on `Ok` the journal commits to the WAL,
-    /// on `Err` all changes are rolled back.
+    /// provided [`Txn`] shares one snapshot and journal; on `Ok` the
+    /// journal commits to the WAL, on `Err` all changes are rolled back.
     pub fn transaction<T>(&self, f: impl FnOnce(&mut Txn<'_>) -> Result<T>) -> Result<T> {
-        let _commit = self.commit_lock.read();
-        let mut txn = Txn {
-            db: self,
-            journal: Journal::default(),
-        };
+        let mut txn = self.begin();
         match f(&mut txn) {
-            Ok(v) => match self.commit_journal(&txn.journal) {
-                Ok(()) => Ok(v),
-                Err(e) => {
-                    self.rollback_journal(txn.journal);
-                    Err(e)
-                }
-            },
+            Ok(v) => txn.commit().map(|()| v),
             Err(e) => {
-                self.rollback_journal(txn.journal);
+                txn.rollback();
                 Err(e)
             }
         }
     }
 
-    fn commit_journal(&self, journal: &Journal) -> Result<()> {
-        if let (Some(wal), false) = (&self.wal, journal.redo.is_empty()) {
-            wal.lock().append_commit(&journal.redo)?;
+    pub(crate) fn begin_state(&self) -> TxnState {
+        // Baseline mode: a transaction is a lock-holding writer for its
+        // whole lifetime (two-phase locking); readers queue behind it.
+        let coarse_guard = self
+            .coarse_writes()
+            .then(|| self.coarse_txn_lock.write_arc());
+        TxnState {
+            snap: self.txns.begin(),
+            journal: Journal::default(),
+            registered: true,
+            coarse_guard,
         }
+    }
+
+    /// Commit protocol: serialize on the transaction manager, reserve
+    /// `clock + 1`, append redo + `Commit{ts}` to the WAL, stamp every
+    /// provisional version with `ts` (shared table guards — stamps are
+    /// atomics), and advance the clock *last* so any snapshot at the new
+    /// clock value observes the commit in full.
+    pub(crate) fn commit_state(&self, state: TxnState) -> Result<()> {
+        if state.is_empty() {
+            self.release_state(state);
+            return Ok(());
+        }
+        {
+            // `read_recursive` because autocommit DDL already holds this
+            // lock shared; a queued checkpoint writer must not wedge us.
+            let commit_guard = self.commit_lock.read_recursive();
+            let serial = self.txns.commit_mutex.lock();
+            let ts = self.txns.now() + 1;
+            if let (Some(wal), false) = (&self.wal, state.journal.redo.is_empty()) {
+                if let Err(e) = wal.lock().append_commit(&state.journal.redo, ts) {
+                    // A failed commit must not leave its mutations visible:
+                    // the caller got an error, so the in-memory state rolls
+                    // back. (The WAL may still hold the transaction — an
+                    // errored commit is indeterminate until the next open.)
+                    drop(serial);
+                    drop(commit_guard);
+                    self.rollback_state(state);
+                    return Err(e);
+                }
+            }
+            let token = state.snap.token;
+            for op in &state.journal.undo {
+                if let Some((table, row_id)) = op.dml_target() {
+                    // The table can be gone if this transaction also
+                    // dropped it; its versions are unreachable then.
+                    if let Ok(t) = self.read_table(table) {
+                        t.stamp_commit(row_id, token, ts);
+                    }
+                }
+            }
+            self.txns.advance_clock(ts);
+        }
+        self.release_state(state);
+        self.maybe_vacuum();
         Ok(())
     }
 
-    fn rollback_journal(&self, journal: Journal) {
+    pub(crate) fn rollback_state(&self, state: TxnState) {
+        let TxnState {
+            snap,
+            journal,
+            registered,
+            // Keep the baseline's transaction lock held until the undo
+            // walk finishes (dropped at end of scope).
+            coarse_guard: _coarse_guard,
+        } = state;
         for op in journal.undo.into_iter().rev() {
             // Rollback must not fail; violations here indicate a bug, and
             // panicking beats silently corrupting state.
             match op {
                 UndoOp::Insert { table, row_id } => {
-                    let mut t = self
-                        .write_table(&table)
-                        .expect("table exists during rollback");
-                    t.delete(row_id).expect("undo insert");
+                    self.write_table(&table)
+                        .expect("table exists during rollback")
+                        .rollback_insert(row_id, snap.token);
                 }
-                UndoOp::Delete { table, row_id, row } => {
-                    let mut t = self
-                        .write_table(&table)
-                        .expect("table exists during rollback");
-                    t.undelete(row_id, row).expect("undo delete");
+                UndoOp::Delete { table, row_id } => {
+                    self.write_table(&table)
+                        .expect("table exists during rollback")
+                        .rollback_delete(row_id, snap.token);
                 }
-                UndoOp::Update { table, row_id, old } => {
-                    let mut t = self
-                        .write_table(&table)
-                        .expect("table exists during rollback");
-                    t.update(row_id, old).expect("undo update");
+                UndoOp::Update { table, row_id } => {
+                    self.write_table(&table)
+                        .expect("table exists during rollback")
+                        .rollback_update(row_id, snap.token);
                 }
                 UndoOp::CreateTable { table } => {
                     self.tables.write().remove(&table);
@@ -626,23 +847,59 @@ impl Database {
                 }
             }
         }
+        if registered {
+            self.txns.release(snap);
+        }
     }
 
-    fn execute_in(
+    fn release_state(&self, state: TxnState) {
+        if state.registered {
+            self.txns.release(state.snap);
+        }
+    }
+
+    /// Reclaim row versions no active (or future) snapshot can see — those
+    /// with a committed `end` at or below the oldest-active-snapshot
+    /// watermark. Returns the number of versions pruned. Runs
+    /// automatically every [`VACUUM_EVERY_COMMITS`] commits and at the
+    /// start of every checkpoint.
+    pub fn vacuum(&self) -> usize {
+        let watermark = self.txns.watermark();
+        let mut pruned = 0;
+        for name in self.table_names() {
+            if let Ok(mut t) = self.write_table(&name) {
+                pruned += t.vacuum(watermark);
+            }
+        }
+        pruned
+    }
+
+    fn maybe_vacuum(&self) {
+        let n = self
+            .commits_since_vacuum
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if n.is_multiple_of(VACUUM_EVERY_COMMITS) {
+            self.vacuum();
+        }
+    }
+
+    pub(crate) fn execute_in(
         &self,
         stmt: &Statement,
         params: &[Value],
         sql_text: Option<&str>,
-        journal: &mut Journal,
+        state: &mut TxnState,
     ) -> Result<Relation> {
+        let snap = state.snap;
         match stmt {
             Statement::Select(select) => {
-                let env = Env::new(self, params);
+                let env = Env::with_snap(self, params, snap);
                 run_select(&env, select)
             }
             Statement::Explain(select) => {
                 let trace = std::cell::RefCell::new(Vec::new());
-                let mut env = Env::new(self, params);
+                let mut env = Env::with_snap(self, params, snap);
                 env.trace = Some(&trace);
                 let rel = run_select(&env, select)?;
                 let mut rows: Vec<Row> = trace
@@ -660,14 +917,14 @@ impl Database {
                 table,
                 columns,
                 source,
-            } => self.exec_insert(table, columns.as_deref(), source, params, journal),
+            } => self.exec_insert(table, columns.as_deref(), source, params, state),
             Statement::Update {
                 table,
                 assignments,
                 filter,
-            } => self.exec_update(table, assignments, filter.as_ref(), params, journal),
+            } => self.exec_update(table, assignments, filter.as_ref(), params, state),
             Statement::Delete { table, filter } => {
-                self.exec_delete(table, filter.as_ref(), params, journal)
+                self.exec_delete(table, filter.as_ref(), params, state)
             }
             Statement::CreateTable {
                 name,
@@ -676,12 +933,12 @@ impl Database {
             } => {
                 let created = self.create_table_internal(name, columns, *if_not_exists)?;
                 if created {
-                    journal.redo.push(WalRecord::Ddl {
+                    state.journal.redo.push(WalRecord::Ddl {
                         sql: sql_text
                             .map(str::to_owned)
                             .unwrap_or_else(|| render_create_table(name, columns)),
                     });
-                    journal.undo.push(UndoOp::CreateTable {
+                    state.journal.undo.push(UndoOp::CreateTable {
                         table: name.to_ascii_lowercase(),
                     });
                 }
@@ -704,12 +961,12 @@ impl Database {
                     *if_not_exists,
                 )?;
                 if created {
-                    journal.redo.push(WalRecord::Ddl {
+                    state.journal.redo.push(WalRecord::Ddl {
                         sql: sql_text.map(str::to_owned).unwrap_or_else(|| {
                             render_create_index(name, table, columns, *unique, *kind)
                         }),
                     });
-                    journal.undo.push(UndoOp::CreateIndex {
+                    state.journal.undo.push(UndoOp::CreateIndex {
                         table: table.to_ascii_lowercase(),
                         index: name.to_ascii_lowercase(),
                     });
@@ -724,10 +981,15 @@ impl Database {
                 }
                 let dropped = removed.is_some();
                 if let Some(handle) = removed {
-                    journal.redo.push(WalRecord::Ddl {
+                    // Cached statements were planned against this table's
+                    // schema; a later CREATE TABLE under the same name
+                    // must not serve plans bound to the dropped
+                    // incarnation.
+                    self.stmt_cache.write().clear();
+                    state.journal.redo.push(WalRecord::Ddl {
                         sql: format!("DROP TABLE IF EXISTS {lower}"),
                     });
-                    journal.undo.push(UndoOp::DropTable {
+                    state.journal.undo.push(UndoOp::DropTable {
                         table: lower,
                         handle,
                     });
@@ -741,20 +1003,28 @@ impl Database {
                     .get(&name.to_ascii_lowercase())
                     .cloned()
                     .ok_or_else(|| Error::NotFound(format!("procedure '{name}'")))?;
-                let env = Env::new(self, params);
+                let env = Env::with_snap(self, params, snap);
                 let empty_scope_args: Vec<Value> = args
                     .iter()
                     .map(|a| crate::exec::compile_scalar(&env, a).and_then(|e| e.eval(&[])))
                     .collect::<Result<_>>()?;
-                // The procedure shares this statement's journal.
+                // The procedure adopts this statement's transaction state
+                // (snapshot + journal) for the duration of the call; an
+                // inert placeholder stands in until it returns.
                 let mut txn = Txn {
                     db: self,
-                    journal: std::mem::take(journal),
+                    stmts: 0,
+                    state: Some(std::mem::take(state)),
                 };
                 let result = proc(&mut txn, &empty_scope_args);
-                *journal = txn.journal;
+                *state = txn.state.take().expect("procedure kept the txn open");
                 result
             }
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Invalid(
+                "BEGIN/COMMIT/ROLLBACK control a session transaction; \
+                 use txn::Session or Database::begin"
+                    .into(),
+            )),
             Statement::Analyze { table } => {
                 // Full-scan statistics collection; not journaled or WAL'd —
                 // stats are derived state, rebuilt by re-running ANALYZE.
@@ -786,9 +1056,9 @@ impl Database {
         columns: Option<&[String]>,
         source: &ast::InsertSource,
         params: &[Value],
-        journal: &mut Journal,
+        state: &mut TxnState,
     ) -> Result<Relation> {
-        let env = Env::new(self, params);
+        let env = Env::with_snap(self, params, state.snap);
         // Materialize the source rows *before* locking the target table.
         let source_rows: Vec<Row> = match source {
             ast::InsertSource::Values(rows) => {
@@ -805,6 +1075,7 @@ impl Database {
             ast::InsertSource::Select(query) => run_select(&env, query)?.rows,
         };
 
+        let token = state.snap.token;
         let mut table = self.write_table(table_name)?;
         let lower = table.schema.name.clone();
         // Map through the explicit column list if given.
@@ -842,12 +1113,12 @@ impl Database {
                 }
             };
             let row_image = full.clone();
-            let row_id = table.insert(full)?;
-            journal.undo.push(UndoOp::Insert {
+            let row_id = table.mvcc_insert(full, token)?;
+            state.journal.undo.push(UndoOp::Insert {
                 table: lower.clone(),
                 row_id,
             });
-            journal.redo.push(WalRecord::Insert {
+            state.journal.redo.push(WalRecord::Insert {
                 table: lower.clone(),
                 row_id,
                 row: row_image,
@@ -863,43 +1134,51 @@ impl Database {
         assignments: &[(String, ast::Expr)],
         filter: Option<&ast::Expr>,
         params: &[Value],
-        journal: &mut Journal,
+        state: &mut TxnState,
     ) -> Result<Relation> {
-        let env = Env::new(self, params);
-        let mut table = self.write_table(table_name)?;
-        let lower = table.schema.name.clone();
+        let snap = state.snap;
+        let env = Env::with_snap(self, params, snap);
+        // Compile against a schema clone under a brief read guard, so
+        // subquery evaluation never runs while this statement holds a
+        // write lock: two concurrent writers cannot deadlock on inverted
+        // table orders, and a statement whose subquery reads its own
+        // target table cannot wedge itself. (The coarse baseline's lock
+        // scope lives at the transaction level — `coarse_txn_lock`, held
+        // from begin to commit — not here.)
+        let schema = self.read_table(table_name)?.schema.clone();
+        let lower = schema.name.clone();
         let compiled_filter = filter
-            .map(|f| crate::exec::compile_table_expr(&env, &table.schema, f))
+            .map(|f| crate::exec::compile_table_expr(&env, &schema, f))
             .transpose()?;
         let compiled_assignments: Vec<(usize, Expr)> = assignments
             .iter()
             .map(|(col, e)| {
-                let idx = table
-                    .schema
+                let idx = schema
                     .column_index(col)
                     .ok_or_else(|| Error::NotFound(format!("column '{col}'")))?;
-                Ok((
-                    idx,
-                    crate::exec::compile_table_expr(&env, &table.schema, e)?,
-                ))
+                Ok((idx, crate::exec::compile_table_expr(&env, &schema, e)?))
             })
             .collect::<Result<_>>()?;
 
-        let targets = find_target_rows(&table, compiled_filter.as_ref())?;
+        let mut table = self.write_table(table_name)?;
+        let token = snap.token;
+        let targets = find_target_rows(&table, compiled_filter.as_ref(), snap)?;
         let mut updated = 0i64;
         for row_id in targets {
-            let old: Row = table.get(row_id).expect("target is live").to_vec();
+            let old: Row = table
+                .get_visible(row_id, snap)
+                .expect("target visible under write lock")
+                .to_vec();
             let mut new = old.clone();
             for (idx, e) in &compiled_assignments {
                 new[*idx] = e.eval(&old)?;
             }
-            table.update(row_id, new.clone())?;
-            journal.undo.push(UndoOp::Update {
+            table.mvcc_update(row_id, new.clone(), token, snap)?;
+            state.journal.undo.push(UndoOp::Update {
                 table: lower.clone(),
                 row_id,
-                old: old.clone(),
             });
-            journal.redo.push(WalRecord::Update {
+            state.journal.redo.push(WalRecord::Update {
                 table: lower.clone(),
                 row_id,
                 old,
@@ -915,24 +1194,31 @@ impl Database {
         table_name: &str,
         filter: Option<&ast::Expr>,
         params: &[Value],
-        journal: &mut Journal,
+        state: &mut TxnState,
     ) -> Result<Relation> {
-        let env = Env::new(self, params);
-        let mut table = self.write_table(table_name)?;
-        let lower = table.schema.name.clone();
+        let snap = state.snap;
+        let env = Env::with_snap(self, params, snap);
+        // Sources before the target's write lock — see exec_update.
+        let schema = self.read_table(table_name)?.schema.clone();
+        let lower = schema.name.clone();
         let compiled_filter = filter
-            .map(|f| crate::exec::compile_table_expr(&env, &table.schema, f))
+            .map(|f| crate::exec::compile_table_expr(&env, &schema, f))
             .transpose()?;
-        let targets = find_target_rows(&table, compiled_filter.as_ref())?;
+        let mut table = self.write_table(table_name)?;
+        let token = snap.token;
+        let targets = find_target_rows(&table, compiled_filter.as_ref(), snap)?;
         let mut deleted = 0i64;
         for row_id in targets {
-            let row = table.delete(row_id)?;
-            journal.undo.push(UndoOp::Delete {
+            let row: Row = table
+                .get_visible(row_id, snap)
+                .expect("target visible under write lock")
+                .to_vec();
+            table.mvcc_delete(row_id, token, snap)?;
+            state.journal.undo.push(UndoOp::Delete {
                 table: lower.clone(),
                 row_id,
-                row: row.clone(),
             });
-            journal.redo.push(WalRecord::Delete {
+            state.journal.redo.push(WalRecord::Delete {
                 table: lower.clone(),
                 row_id,
                 row,
@@ -1034,16 +1320,37 @@ impl Default for Database {
     }
 }
 
-/// A transaction handle: statements executed through it share one journal.
+/// A transaction handle: statements executed through it share one MVCC
+/// snapshot and one undo/redo journal. Dropping the handle without
+/// [`Txn::commit`] rolls the transaction back.
 pub struct Txn<'a> {
     db: &'a Database,
-    journal: Journal,
+    /// `Some` while the transaction is open; taken by commit/rollback (and
+    /// by the stored-procedure trampoline, which puts it back).
+    state: Option<TxnState>,
+    /// Statements executed through this handle — benchmarks use the count
+    /// to charge one client round trip per statement.
+    stmts: u64,
 }
 
 impl<'a> Txn<'a> {
-    /// The underlying database (for read-only queries).
+    /// The underlying database (for catalog inspection and procedures).
     pub fn db(&self) -> &'a Database {
         self.db
+    }
+
+    /// The transaction's snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.state().snap
+    }
+
+    /// How many statements have executed through this handle.
+    pub fn statements_executed(&self) -> u64 {
+        self.stmts
+    }
+
+    fn state(&self) -> &TxnState {
+        self.state.as_ref().expect("transaction is open")
     }
 
     /// Execute a statement inside this transaction.
@@ -1064,16 +1371,40 @@ impl<'a> Txn<'a> {
         params: &[Value],
         sql_text: Option<&str>,
     ) -> Result<Relation> {
-        self.db
-            .execute_in(stmt, params, sql_text, &mut self.journal)
+        let state = self.state.as_mut().expect("transaction is open");
+        self.stmts += 1;
+        self.db.execute_in(stmt, params, sql_text, state)
+    }
+
+    /// Commit: append the journal to the WAL with a fresh commit timestamp
+    /// and make every provisional version visible. Consumes the handle.
+    pub fn commit(mut self) -> Result<()> {
+        let state = self.state.take().expect("transaction is open");
+        self.db.commit_state(state)
+    }
+
+    /// Roll back every change made through this handle. Consumes it.
+    /// (Dropping the handle without committing does the same.)
+    pub fn rollback(mut self) {
+        if let Some(state) = self.state.take() {
+            self.db.rollback_state(state);
+        }
     }
 }
 
-/// Row ids matching `filter` — point index lookup for `col = const`
-/// conjuncts where possible, otherwise a scan.
-fn find_target_rows(table: &Table, filter: Option<&Expr>) -> Result<Vec<RowId>> {
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            self.db.rollback_state(state);
+        }
+    }
+}
+
+/// Row ids visible to `snap` and matching `filter` — point index lookup
+/// for `col = const` conjuncts where possible, otherwise a scan.
+fn find_target_rows(table: &Table, filter: Option<&Expr>, snap: Snapshot) -> Result<Vec<RowId>> {
     let Some(filter) = filter else {
-        return Ok(table.iter().map(|(id, _)| id).collect());
+        return Ok(table.iter_snap(snap).map(|(id, _)| id).collect());
     };
     // Try: filter contains conjunct Col(i) = Const and an index on [i].
     let mut candidate: Option<(usize, Value)> = None;
@@ -1096,7 +1427,12 @@ fn find_target_rows(table: &Table, filter: Option<&Expr>) -> Result<Vec<RowId>> 
                 let ids: Vec<RowId> = idx.lookup(&IndexKey(vec![value])).to_vec();
                 let mut out = Vec::with_capacity(ids.len());
                 for id in ids {
-                    let row = table.get(id).expect("index points at live row");
+                    // Postings cover every version in a chain; the full
+                    // filter re-check rejects versions that no longer
+                    // carry the probed key.
+                    let Some(row) = table.get_visible(id, snap) else {
+                        continue;
+                    };
                     if filter.eval_bool(row)? {
                         out.push(id);
                     }
@@ -1106,7 +1442,7 @@ fn find_target_rows(table: &Table, filter: Option<&Expr>) -> Result<Vec<RowId>> 
         }
     }
     let mut out = Vec::new();
-    for (id, row) in table.iter() {
+    for (id, row) in table.iter_snap(snap) {
         if filter.eval_bool(row)? {
             out.push(id);
         }

@@ -20,6 +20,9 @@ pub enum Error {
     Wal(String),
     /// The transaction was rolled back by user code.
     RolledBack(String),
+    /// Snapshot-isolation write-write conflict (first-updater-wins): the
+    /// transaction raced a concurrent writer and should be retried.
+    TxnConflict(String),
 }
 
 impl fmt::Display for Error {
@@ -34,6 +37,7 @@ impl fmt::Display for Error {
             Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
             Error::Wal(msg) => write!(f, "WAL error: {msg}"),
             Error::RolledBack(msg) => write!(f, "transaction rolled back: {msg}"),
+            Error::TxnConflict(msg) => write!(f, "transaction conflict: {msg}"),
         }
     }
 }

@@ -23,6 +23,7 @@ use crate::index::IndexKey;
 use crate::plan::{self, find_equi_split, Access, Attach, ProbePart, StepKind};
 use crate::sql::ast;
 use crate::storage::Table;
+use crate::txn::Snapshot;
 use crate::value::Value;
 use std::sync::Arc;
 
@@ -79,6 +80,14 @@ impl Relation {
             .filter_map(|r| r.first())
             .map(|v| v.to_string())
             .collect()
+    }
+
+    /// The single-cell `count` relation DML statements return.
+    pub fn count(n: i64) -> Relation {
+        Relation {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Int(n)]],
+        }
     }
 }
 
@@ -153,16 +162,25 @@ pub struct Env<'a> {
     /// When set, the executor records access-path decisions here
     /// (`EXPLAIN` support).
     pub trace: Option<&'a std::cell::RefCell<Vec<String>>>,
+    /// MVCC snapshot every table read resolves against. `Snapshot::latest`
+    /// sees all committed state (no in-flight provisional versions).
+    pub snap: Snapshot,
 }
 
 impl<'a> Env<'a> {
-    /// New environment with no CTEs.
+    /// New environment with no CTEs, reading latest-committed state.
     pub fn new(db: &'a Database, params: &'a [Value]) -> Env<'a> {
+        Env::with_snap(db, params, Snapshot::latest())
+    }
+
+    /// New environment reading through an explicit MVCC snapshot.
+    pub fn with_snap(db: &'a Database, params: &'a [Value], snap: Snapshot) -> Env<'a> {
         Env {
             db,
             ctes: FxHashMap::default(),
             params,
             trace: None,
+            snap,
         }
     }
 
@@ -182,6 +200,7 @@ pub fn run_select(env: &Env<'_>, stmt: &ast::SelectStmt) -> Result<Relation> {
         ctes: env.ctes.clone(),
         params: env.params,
         trace: env.trace,
+        snap: env.snap,
     };
     for (name, query) in &stmt.ctes {
         let rel = run_select(&env2, query)?;
@@ -1164,8 +1183,17 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                         if null_key {
                             continue;
                         }
-                        for &rid in idx.lookup(&IndexKey(key)) {
-                            let row = t.get(rid).expect("index points at live row");
+                        let probe = IndexKey(key);
+                        for &rid in idx.lookup(&probe) {
+                            // A posting covers every version of a chain;
+                            // re-check the key against the visible version
+                            // (older versions may carry a different key).
+                            let Some(row) = t.get_visible(rid, env.snap) else {
+                                continue;
+                            };
+                            if idx.key_of(row) != probe {
+                                continue;
+                            }
                             let mut combined = l.clone();
                             combined.extend(keep.iter().map(|&i| row[i].clone()));
                             out.push(combined);
@@ -1175,12 +1203,14 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                 }
                 Access::Point { index, key, .. } => {
                     let idx = find_index(t, index)?;
+                    let probe = IndexKey(key.clone());
                     let mut scanned: Vec<Row> = idx
-                        .lookup(&IndexKey(key.clone()))
+                        .lookup(&probe)
                         .iter()
-                        .map(|&rid| {
-                            let row = t.get(rid).expect("index points at live row");
-                            keep.iter().map(|&i| row[i].clone()).collect()
+                        .filter_map(|&rid| {
+                            let row = t.get_visible(rid, env.snap)?;
+                            (idx.key_of(row) == probe)
+                                .then(|| keep.iter().map(|&i| row[i].clone()).collect())
                         })
                         .collect();
                     for p in locals.iter() {
@@ -1197,9 +1227,14 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                     let ids = idx.range(lo_key.as_ref(), hi_key.as_ref())?;
                     let mut scanned: Vec<Row> = ids
                         .iter()
-                        .map(|&rid| {
-                            let row = t.get(rid).expect("index points at live row");
-                            keep.iter().map(|&i| row[i].clone()).collect()
+                        .filter_map(|&rid| {
+                            let row = t.get_visible(rid, env.snap)?;
+                            // Re-check bounds against the visible version's
+                            // key (postings cover the whole chain).
+                            let k = idx.key_of(row);
+                            let in_lo = lo_key.as_ref().is_none_or(|lo| &k >= lo);
+                            let in_hi = hi_key.as_ref().is_none_or(|hi| &k <= hi);
+                            (in_lo && in_hi).then(|| keep.iter().map(|&i| row[i].clone()).collect())
                         })
                         .collect();
                     // EXPLAIN's range-scan count is rows before locals.
@@ -1218,6 +1253,7 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                     // ranges and outputs concatenate in slab order, so the
                     // result is identical at every DOP — and identical
                     // between the columnar and row representations.
+                    let snap = env.snap;
                     let live = t.len();
                     let dop = env.db.dop_for(live);
                     step.exec.scan_rows = Some(live);
@@ -1237,7 +1273,7 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                             slots.len(),
                             crate::parallel::MORSEL_ROWS,
                             |range| -> Result<Batch> {
-                                let mut b = t.batch_range(range, keep_ref);
+                                let mut b = t.batch_range(range, keep_ref, snap);
                                 if !locals_ref.is_empty() {
                                     let mut sel: Vec<u32> = (0..b.len as u32).collect();
                                     for (p, spec) in locals_ref.iter().zip(specs_ref) {
@@ -1258,7 +1294,7 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                             batches.push(c?);
                         }
                         if batches.is_empty() {
-                            batches.push(t.batch_range(0..0, keep));
+                            batches.push(t.batch_range(0..0, keep, snap));
                         }
                         if !locals.is_empty() {
                             let total: usize = batches.iter().map(Batch::selected).sum();
@@ -1275,7 +1311,9 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                             |range| -> Result<Vec<Row>> {
                                 let mut out = Vec::new();
                                 'slot: for slot in &slots[range] {
-                                    let Some(r) = slot else { continue };
+                                    let Some(r) = slot.visible(snap) else {
+                                        continue;
+                                    };
                                     let row: Row = keep_ref.iter().map(|&i| r[i].clone()).collect();
                                     for p in locals_ref {
                                         if !p.eval_bool(&row)? {
@@ -1757,7 +1795,11 @@ fn try_index_join(
         let mut matched = false;
         if !k.is_null() {
             for &rid in idx.lookup(&IndexKey(vec![k])) {
-                let row = table.get(rid).expect("index points at live row");
+                // The full ON re-evaluation below also rejects chain
+                // versions whose visible key differs from the posting.
+                let Some(row) = table.get_visible(rid, env.snap) else {
+                    continue;
+                };
                 let mut combined = l.clone();
                 combined.extend_from_slice(row);
                 if on_compiled.eval_bool(&combined)? {
@@ -2057,7 +2099,7 @@ fn load_named(env: &Env<'_>, name: &str, _hint: &[()]) -> Result<Relation> {
             .iter()
             .map(|c| c.name.clone())
             .collect(),
-        rows: guard.iter().map(|(_, r)| r.to_vec()).collect(),
+        rows: guard.iter_snap(env.snap).map(|(_, r)| r.to_vec()).collect(),
     })
 }
 

@@ -166,9 +166,26 @@ impl Index {
         Ok(())
     }
 
+    /// Add a posting for `row_id` under `key` without the unique check.
+    /// MVCC paths use this: a unique index legitimately holds postings for
+    /// several *versions* carrying the same key, so uniqueness is enforced
+    /// at the table level against version liveness instead.
+    pub fn add(&mut self, key: IndexKey, row_id: RowId) {
+        let entry = match &mut self.map {
+            Map::Hash(m) => m.entry(key).or_default(),
+            Map::BTree(m) => m.entry(key).or_default(),
+        };
+        entry.push(row_id);
+    }
+
     /// Remove `row_id` under the key extracted from `row`. No-op if absent.
     pub fn remove(&mut self, row: &[Value], row_id: RowId) {
         let key = self.key_of(row);
+        self.remove_key(&key, row_id);
+    }
+
+    /// Remove `row_id`'s posting under `key`. No-op if absent.
+    pub fn remove_key(&mut self, key: &IndexKey, row_id: RowId) {
         let remove_from = |ids: &mut Vec<RowId>| {
             if let Some(pos) = ids.iter().position(|&id| id == row_id) {
                 ids.swap_remove(pos);
@@ -177,16 +194,16 @@ impl Index {
         };
         match &mut self.map {
             Map::Hash(m) => {
-                if let Some(ids) = m.get_mut(&key) {
+                if let Some(ids) = m.get_mut(key) {
                     if remove_from(ids) {
-                        m.remove(&key);
+                        m.remove(key);
                     }
                 }
             }
             Map::BTree(m) => {
-                if let Some(ids) = m.get_mut(&key) {
+                if let Some(ids) = m.get_mut(key) {
                     if remove_from(ids) {
-                        m.remove(&key);
+                        m.remove(key);
                     }
                 }
             }

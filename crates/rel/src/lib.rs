@@ -11,8 +11,13 @@
 //!   `UNION [ALL]`/`INTERSECT`/`EXCEPT`, `DISTINCT`, aggregates,
 //!   `ORDER BY`/`LIMIT`/`OFFSET`, and the `JSON_VAL` accessor over JSON
 //!   columns,
-//! * DML with statement/transaction atomicity (undo journal), durability
-//!   (checksummed WAL + replay recovery), and per-table reader/writer locks,
+//! * MVCC snapshot-isolation transactions: lock-free snapshot reads over
+//!   row version chains, multi-statement transactions via
+//!   [`Database::begin`] / SQL `BEGIN`/`COMMIT`/`ROLLBACK` (see
+//!   [`txn::Session`]), first-updater-wins conflict detection, and
+//!   watermark-driven vacuum,
+//! * DML atomicity (undo journal) and durability (checksummed WAL with
+//!   commit timestamps + replay recovery),
 //! * stored procedures (registered Rust closures) for the multi-table graph
 //!   update operations.
 //!
@@ -46,6 +51,7 @@ pub mod schema;
 pub mod sql;
 pub mod stats;
 pub mod storage;
+pub mod txn;
 pub mod value;
 pub mod wal;
 
@@ -73,4 +79,5 @@ pub use exec::Relation;
 pub use io::{Fault, FaultKind, SimFs, StdFs, Vfs};
 pub use schema::{Column, ColumnType, TableSchema};
 pub use stats::TableStats;
+pub use txn::{Session, Snapshot};
 pub use value::Value;

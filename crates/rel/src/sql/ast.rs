@@ -84,6 +84,13 @@ pub enum Statement {
         /// Target table; `None` analyzes every table.
         table: Option<String>,
     },
+    /// `BEGIN [TRANSACTION]` — open a session transaction (see
+    /// [`crate::txn::Session`]).
+    Begin,
+    /// `COMMIT` — commit the open session transaction.
+    Commit,
+    /// `ROLLBACK` — roll back the open session transaction.
+    Rollback,
 }
 
 /// One index key definition.

@@ -252,6 +252,18 @@ impl Parser {
             };
             return Ok(Statement::Analyze { table });
         }
+        if self.eat_keyword("BEGIN") {
+            let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_keyword("COMMIT") {
+            let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_keyword("ROLLBACK") {
+            let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+            return Ok(Statement::Rollback);
+        }
         Err(self.err("expected a statement"))
     }
 

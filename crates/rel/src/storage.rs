@@ -1,21 +1,151 @@
-//! In-memory table storage: an append-only row slab with tombstones, kept
-//! consistent with the table's indexes on every mutation.
+//! In-memory table storage: an append-only slab of row *version chains*,
+//! kept consistent with the table's indexes on every mutation.
+//!
+//! Each slab slot holds the versions of one logical row, oldest → newest,
+//! stamped with `begin`/`end` commit timestamps (see [`crate::txn`]). A
+//! snapshot sees at most one version per chain. An empty chain is a
+//! tombstone. `RowId`s are slab positions and stay stable for index
+//! entries and undo logs.
+//!
+//! Two mutation APIs coexist:
+//!
+//! * the **destructive** API (`insert`/`delete`/`update`/`undelete`) edits
+//!   chains as single committed versions — WAL replay, checkpoint restore,
+//!   and bulk load run single-threaded with no snapshots active, so they
+//!   need no history;
+//! * the **MVCC** API (`mvcc_insert`/`mvcc_delete`/`mvcc_update` plus the
+//!   `rollback_*` inverses, `stamp_commit`, and `vacuum`) grows chains with
+//!   provisional versions stamped by a transaction token, enforcing
+//!   first-updater-wins at write time.
+//!
+//! Index postings cover the union of keys across every version of a chain
+//! (deduplicated per chain), so a reader at any snapshot finds its version
+//! through the index; read paths re-check visibility and key match.
 
 use crate::error::{Error, Result};
 use crate::index::{Index, IndexKey, IndexKind, KeyPart, RowId};
 use crate::schema::TableSchema;
+use crate::txn::{self, Snapshot};
 use crate::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A stored table: schema + rows + indexes.
+/// One version of a row: the payload plus its validity interval.
 ///
-/// Rows live in a slab; deletion tombstones the slot (`None`) so `RowId`s
-/// stay stable for index entries and undo logs. `live` counts non-tombstone
-/// rows for cardinality estimates.
+/// `begin`/`end` are atomics so commit stamping (marker → timestamp) can
+/// run under a table *read* lock while scans proceed; the stores are
+/// simple releases, and every transition is from-marker-to-final.
+#[derive(Debug)]
+pub struct Version {
+    begin: AtomicU64,
+    end: AtomicU64,
+    row: Box<[Value]>,
+}
+
+impl Version {
+    fn committed(row: Box<[Value]>) -> Version {
+        Version {
+            begin: AtomicU64::new(0),
+            end: AtomicU64::new(txn::TS_INF),
+            row,
+        }
+    }
+
+    fn provisional(row: Box<[Value]>, token: u64) -> Version {
+        Version {
+            begin: AtomicU64::new(txn::marker(token)),
+            end: AtomicU64::new(txn::TS_INF),
+            row,
+        }
+    }
+
+    /// The row payload.
+    pub fn row(&self) -> &[Value] {
+        &self.row
+    }
+
+    /// Creation stamp: commit timestamp or provisional marker.
+    pub fn begin(&self) -> u64 {
+        self.begin.load(Ordering::Acquire)
+    }
+
+    /// Deletion stamp: `TS_INF` while live.
+    pub fn end(&self) -> u64 {
+        self.end.load(Ordering::Acquire)
+    }
+
+    /// Whether `snap` sees this version.
+    pub fn visible(&self, snap: Snapshot) -> bool {
+        snap.sees(self.begin(), self.end())
+    }
+}
+
+/// A row's version chain, oldest → newest. Empty = tombstone.
+#[derive(Debug, Default)]
+pub struct Slot {
+    versions: Vec<Version>,
+}
+
+impl Slot {
+    /// The version `snap` sees, if any. At most one version of a chain is
+    /// visible to a given snapshot; scan newest-first since recent
+    /// snapshots want recent versions.
+    pub fn visible(&self, snap: Snapshot) -> Option<&[Value]> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.visible(snap))
+            .map(Version::row)
+    }
+
+    /// All versions, oldest → newest.
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    fn latest(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+}
+
+/// First-updater-wins admission: may the transaction `(token, snap)`
+/// modify a chain whose newest version is `v`?
+///
+/// Rejecting at write time (rather than validating at commit) means a
+/// transaction never wastes work building on a row it cannot commit.
+fn check_write(v: &Version, token: u64, snap: Snapshot) -> Result<()> {
+    let own = txn::marker(token);
+    let e = v.end();
+    if e != txn::TS_INF {
+        // Newest version already superseded: by us (logic error upstream),
+        // by another in-flight transaction, or by a commit we may not even
+        // see yet. All are write-write conflicts under first-updater-wins.
+        return Err(if e == own {
+            Error::Invalid("row already deleted in this transaction".into())
+        } else {
+            Error::TxnConflict("row is being written by a concurrent transaction".into())
+        });
+    }
+    let b = v.begin();
+    if txn::is_marker(b) {
+        if b != own {
+            return Err(Error::TxnConflict(
+                "row was inserted by a concurrent uncommitted transaction".into(),
+            ));
+        }
+    } else if b > snap.ts {
+        return Err(Error::TxnConflict(
+            "row was modified after this transaction's snapshot".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// A stored table: schema + version-chain slab + indexes.
 #[derive(Debug)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
-    rows: Vec<Option<Box<[Value]>>>,
+    rows: Vec<Slot>,
     indexes: Vec<Index>,
     live: usize,
     /// Analyzed statistics (`ANALYZE`), if collected. Deliberately not
@@ -38,18 +168,21 @@ impl Table {
 
     /// Rebuild a table from a serialized slab (checkpoint load): slots are
     /// installed verbatim — tombstones included — so physical `RowId`s and
-    /// scan order match the snapshotted table exactly. Rows are validated
-    /// against the schema; indexes must be created afterwards (they
-    /// backfill on creation).
+    /// scan order match the snapshotted table exactly. Every restored row
+    /// is a single committed version. Rows are validated against the
+    /// schema; indexes must be created afterwards (they backfill on
+    /// creation).
     pub fn from_slots(schema: TableSchema, slots: Vec<Option<Vec<Value>>>) -> Result<Table> {
         let mut live = 0;
         let mut rows = Vec::with_capacity(slots.len());
         for slot in slots {
             match slot {
-                None => rows.push(None),
+                None => rows.push(Slot::default()),
                 Some(mut row) => {
                     schema.check_row(&mut row)?;
-                    rows.push(Some(row.into_boxed_slice()));
+                    rows.push(Slot {
+                        versions: vec![Version::committed(row.into_boxed_slice())],
+                    });
                     live += 1;
                 }
             }
@@ -73,7 +206,9 @@ impl Table {
         self.stats.as_ref()
     }
 
-    /// Number of live rows.
+    /// Number of live rows. Counts committed-live rows plus uncommitted
+    /// inserts minus uncommitted deletes — an estimate for the planner and
+    /// the exact count in any single-writer window.
     pub fn len(&self) -> usize {
         self.live
     }
@@ -88,26 +223,33 @@ impl Table {
         self.rows.len()
     }
 
-    /// Fetch a live row.
+    /// Fetch a row as of the all-committed view.
     pub fn get(&self, id: RowId) -> Option<&[Value]> {
-        self.rows.get(id).and_then(|r| r.as_deref())
+        self.get_visible(id, Snapshot::latest())
     }
 
-    /// Raw slab access for morsel-parallel scans: slot `i` is row id `i`,
-    /// `None` marks a tombstone. Workers slice disjoint ranges of this
-    /// slab so a parallel scan visits rows in exactly `iter()`'s order.
-    pub fn slots(&self) -> &[Option<Box<[Value]>>] {
+    /// Fetch the version of row `id` visible to `snap`, if any.
+    pub fn get_visible(&self, id: RowId, snap: Snapshot) -> Option<&[Value]> {
+        self.rows.get(id).and_then(|s| s.visible(snap))
+    }
+
+    /// Raw slab access for morsel-parallel scans: slot `i` is row id `i`'s
+    /// version chain. Workers slice disjoint ranges of this slab so a
+    /// parallel scan visits rows in exactly `iter()`'s order.
+    pub fn slots(&self) -> &[Slot] {
         &self.rows
     }
 
-    /// Materialize the live rows of slab range `range` (pruned to `keep`
-    /// columns, in `keep` order) as one columnar batch — the batch engine's
-    /// scan primitive. Visits slots in slab order, so concatenating the
-    /// batches of consecutive ranges reproduces a serial scan exactly.
+    /// Materialize the rows of slab range `range` visible to `snap`
+    /// (pruned to `keep` columns, in `keep` order) as one columnar batch —
+    /// the batch engine's scan primitive. Visits slots in slab order, so
+    /// concatenating the batches of consecutive ranges reproduces a serial
+    /// scan exactly.
     pub fn batch_range(
         &self,
         range: std::ops::Range<usize>,
         keep: &[usize],
+        snap: Snapshot,
     ) -> crate::batch::Batch {
         let mut builders: Vec<crate::batch::ColBuilder> = keep
             .iter()
@@ -115,7 +257,9 @@ impl Table {
             .collect();
         let mut len = 0usize;
         for slot in &self.rows[range] {
-            let Some(r) = slot else { continue };
+            let Some(r) = slot.visible(snap) else {
+                continue;
+            };
             for (b, &i) in builders.iter_mut().zip(keep) {
                 b.push(&r[i]);
             }
@@ -131,16 +275,26 @@ impl Table {
         }
     }
 
-    /// Iterate `(RowId, row)` over live rows.
+    /// Iterate `(RowId, row)` over rows in the all-committed view.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.iter_snap(Snapshot::latest())
+    }
+
+    /// Iterate `(RowId, row)` over rows visible to `snap`.
+    pub fn iter_snap(&self, snap: Snapshot) -> impl Iterator<Item = (RowId, &[Value])> {
         self.rows
             .iter()
             .enumerate()
-            .filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
+            .filter_map(move |(id, s)| s.visible(snap).map(|row| (id, row)))
     }
 
-    /// Insert a row (validated/coerced against the schema), updating all
-    /// indexes. Returns the new row's id.
+    // ------------------------------------------------------------------
+    // Destructive API: single committed versions, no history. WAL replay,
+    // checkpoint restore, and bulk load — single-threaded, no snapshots.
+    // ------------------------------------------------------------------
+
+    /// Insert a row (validated/coerced against the schema) as a single
+    /// committed version, updating all indexes. Returns the new row's id.
     ///
     /// On a unique violation the row is not inserted and previously updated
     /// indexes are rolled back, so the table stays consistent.
@@ -155,70 +309,348 @@ impl Table {
                 return Err(e);
             }
         }
-        self.rows.push(Some(row.into_boxed_slice()));
+        self.rows.push(Slot {
+            versions: vec![Version::committed(row.into_boxed_slice())],
+        });
         self.live += 1;
         Ok(id)
     }
 
-    /// Delete a row by id, returning the removed values.
+    /// Delete a row by id, discarding its whole version chain. Returns the
+    /// newest version's values.
     pub fn delete(&mut self, id: RowId) -> Result<Vec<Value>> {
-        let slot = self
-            .rows
-            .get_mut(id)
-            .ok_or_else(|| Error::Invalid(format!("row {id} out of range")))?;
-        let row = slot
-            .take()
-            .ok_or_else(|| Error::Invalid(format!("row {id} already deleted")))?;
-        for idx in &mut self.indexes {
-            idx.remove(&row, id);
+        if id >= self.rows.len() {
+            return Err(Error::Invalid(format!("row {id} out of range")));
         }
-        self.live -= 1;
-        Ok(row.into_vec())
+        let mut versions = std::mem::take(&mut self.rows[id].versions);
+        if versions.is_empty() {
+            return Err(Error::Invalid(format!("row {id} already deleted")));
+        }
+        for v in &versions {
+            for i in 0..self.indexes.len() {
+                let key = self.indexes[i].key_of(v.row());
+                // Postings are deduplicated per chain; removing a key twice
+                // is a no-op.
+                self.indexes[i].remove_key(&key, id);
+            }
+        }
+        let newest = versions.pop().expect("chain checked non-empty");
+        if newest.end() == txn::TS_INF {
+            self.live -= 1;
+        }
+        Ok(newest.row.into_vec())
     }
 
-    /// Replace a row in place, updating indexes. Returns the old values.
+    /// Replace a row in place with a single committed version, updating
+    /// indexes. Returns the newest old values.
     pub fn update(&mut self, id: RowId, mut new_row: Vec<Value>) -> Result<Vec<Value>> {
         self.schema.check_row(&mut new_row)?;
-        let old = self
+        if self
             .rows
             .get(id)
-            .and_then(|r| r.clone())
-            .ok_or_else(|| Error::Invalid(format!("row {id} not live")))?;
-        for idx in &mut self.indexes {
-            idx.remove(&old, id);
+            .and_then(Slot::latest)
+            .is_none_or(|v| v.end() != txn::TS_INF)
+        {
+            return Err(Error::Invalid(format!("row {id} not live")));
+        }
+        // Drop the old chain's postings, then insert the new key set with
+        // unique checks; on a violation restore the old postings verbatim.
+        let old_keys: Vec<Vec<IndexKey>> = self
+            .indexes
+            .iter()
+            .map(|idx| {
+                let mut keys: Vec<IndexKey> = self.rows[id]
+                    .versions
+                    .iter()
+                    .map(|v| idx.key_of(v.row()))
+                    .collect();
+                keys.sort();
+                keys.dedup();
+                keys
+            })
+            .collect();
+        for (i, keys) in old_keys.iter().enumerate() {
+            for key in keys {
+                self.indexes[i].remove_key(key, id);
+            }
         }
         for i in 0..self.indexes.len() {
             if let Err(e) = self.indexes[i].insert(&new_row, id) {
-                // Restore: undo partial inserts, re-add old entries.
                 for j in 0..i {
                     self.indexes[j].remove(&new_row, id);
                 }
-                for idx in &mut self.indexes {
-                    idx.insert(&old, id).expect("restoring prior index state");
+                for (j, keys) in old_keys.iter().enumerate() {
+                    for key in keys {
+                        self.indexes[j].add(key.clone(), id);
+                    }
                 }
                 return Err(e);
             }
         }
-        self.rows[id] = Some(new_row.into_boxed_slice());
-        Ok(old.into_vec())
+        let mut versions = std::mem::replace(
+            &mut self.rows[id].versions,
+            vec![Version::committed(new_row.into_boxed_slice())],
+        );
+        let newest = versions.pop().expect("liveness checked above");
+        Ok(newest.row.into_vec())
     }
 
-    /// Re-insert a previously deleted row at its original id (transaction
-    /// rollback path). The slot must currently be a tombstone.
+    /// Re-insert a previously deleted row at its original id (recovery
+    /// path). The slot must currently be a tombstone.
     pub fn undelete(&mut self, id: RowId, row: Vec<Value>) -> Result<()> {
-        let slot = self
-            .rows
-            .get_mut(id)
-            .ok_or_else(|| Error::Invalid(format!("row {id} out of range")))?;
-        if slot.is_some() {
+        if id >= self.rows.len() {
+            return Err(Error::Invalid(format!("row {id} out of range")));
+        }
+        if !self.rows[id].versions.is_empty() {
             return Err(Error::Invalid(format!("row {id} is live; cannot undelete")));
         }
         for idx in &mut self.indexes {
             idx.insert(&row, id)?;
         }
-        *slot = Some(row.into_boxed_slice());
+        self.rows[id].versions = vec![Version::committed(row.into_boxed_slice())];
         self.live += 1;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC API: provisional versions under a transaction token, with
+    // first-updater-wins conflict detection. Callers hold the table's
+    // write lock for mutation; `stamp_commit` needs only a read lock.
+    // ------------------------------------------------------------------
+
+    /// Uniqueness under MVCC: a key is taken if any version carrying it is
+    /// live (`end == TS_INF`) in the *current state* — the newest committed
+    /// or provisionally written state, not the transaction's snapshot —
+    /// matching the write-time first-updater-wins discipline.
+    fn check_unique_mvcc(&self, idx_i: usize, key: &IndexKey, token: u64) -> Result<()> {
+        let idx = &self.indexes[idx_i];
+        if !idx.unique {
+            return Ok(());
+        }
+        let own = txn::marker(token);
+        for &rid in idx.lookup(key) {
+            for v in self.rows[rid].versions() {
+                if idx.key_of(v.row()) != *key {
+                    continue;
+                }
+                let e = v.end();
+                if e == txn::TS_INF {
+                    let b = v.begin();
+                    return Err(if txn::is_marker(b) && b != own {
+                        // Someone else's uncommitted insert holds the key;
+                        // whether it commits is undecided.
+                        Error::TxnConflict(format!(
+                            "concurrent insert contends unique index '{}'",
+                            idx.name
+                        ))
+                    } else {
+                        Error::Schema(format!("unique index '{}' violated", idx.name))
+                    });
+                }
+                if txn::is_marker(e) && e != own {
+                    // Another in-flight transaction is deleting the holder;
+                    // if it rolls back the key is taken again.
+                    return Err(Error::TxnConflict(format!(
+                        "unique key contended on index '{}'",
+                        idx.name
+                    )));
+                }
+                // Committed delete or our own provisional delete: key free.
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a provisional row version for transaction `token`.
+    pub fn mvcc_insert(&mut self, mut row: Vec<Value>, token: u64) -> Result<RowId> {
+        self.schema.check_row(&mut row)?;
+        for i in 0..self.indexes.len() {
+            let key = self.indexes[i].key_of(&row);
+            self.check_unique_mvcc(i, &key, token)?;
+        }
+        let id = self.rows.len();
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.add(key, id);
+        }
+        self.rows.push(Slot {
+            versions: vec![Version::provisional(row.into_boxed_slice(), token)],
+        });
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Provisionally delete row `id`: stamp the newest version's `end`
+    /// with the transaction's marker. Fails with [`Error::TxnConflict`]
+    /// if another transaction got there first.
+    pub fn mvcc_delete(&mut self, id: RowId, token: u64, snap: Snapshot) -> Result<()> {
+        let v = self
+            .rows
+            .get(id)
+            .and_then(Slot::latest)
+            .ok_or_else(|| Error::Invalid(format!("row {id} not live")))?;
+        check_write(v, token, snap)?;
+        v.end.store(txn::marker(token), Ordering::Release);
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Provisionally replace row `id`: end-stamp the newest version with
+    /// the transaction's marker and append a provisional successor.
+    pub fn mvcc_update(
+        &mut self,
+        id: RowId,
+        mut new_row: Vec<Value>,
+        token: u64,
+        snap: Snapshot,
+    ) -> Result<()> {
+        self.schema.check_row(&mut new_row)?;
+        {
+            let v = self
+                .rows
+                .get(id)
+                .and_then(Slot::latest)
+                .ok_or_else(|| Error::Invalid(format!("row {id} not live")))?;
+            check_write(v, token, snap)?;
+            for i in 0..self.indexes.len() {
+                if !self.indexes[i].unique {
+                    continue;
+                }
+                let new_key = self.indexes[i].key_of(&new_row);
+                if self.indexes[i].key_of(v.row()) == new_key {
+                    continue;
+                }
+                self.check_unique_mvcc(i, &new_key, token)?;
+            }
+        }
+        // Postings only for keys the chain doesn't already cover.
+        let to_add: Vec<(usize, IndexKey)> = self
+            .indexes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, idx)| {
+                let key = idx.key_of(&new_row);
+                let covered = self.rows[id]
+                    .versions
+                    .iter()
+                    .any(|v| idx.key_of(v.row()) == key);
+                (!covered).then_some((i, key))
+            })
+            .collect();
+        let own = txn::marker(token);
+        let slot = &mut self.rows[id];
+        slot.versions
+            .last()
+            .expect("liveness checked above")
+            .end
+            .store(own, Ordering::Release);
+        slot.versions
+            .push(Version::provisional(new_row.into_boxed_slice(), token));
+        for (i, key) in to_add {
+            self.indexes[i].add(key, id);
+        }
+        Ok(())
+    }
+
+    /// Undo a provisional insert: pop the version and drop its postings.
+    pub fn rollback_insert(&mut self, id: RowId, token: u64) {
+        let v = self.rows[id]
+            .versions
+            .pop()
+            .expect("rollback insert: version exists");
+        debug_assert_eq!(v.begin(), txn::marker(token));
+        self.unindex_unless_shared(id, v.row());
+        self.live -= 1;
+    }
+
+    /// Undo a provisional delete: clear the marker back to live.
+    pub fn rollback_delete(&mut self, id: RowId, token: u64) {
+        let v = self.rows[id]
+            .versions
+            .last()
+            .expect("rollback delete: version exists");
+        debug_assert_eq!(v.end(), txn::marker(token));
+        v.end.store(txn::TS_INF, Ordering::Release);
+        self.live += 1;
+    }
+
+    /// Undo a provisional update: pop the successor, drop its unshared
+    /// postings, revive the predecessor.
+    pub fn rollback_update(&mut self, id: RowId, token: u64) {
+        let v = self.rows[id]
+            .versions
+            .pop()
+            .expect("rollback update: successor exists");
+        debug_assert_eq!(v.begin(), txn::marker(token));
+        self.unindex_unless_shared(id, v.row());
+        let prev = self.rows[id]
+            .versions
+            .last()
+            .expect("rollback update: predecessor exists");
+        debug_assert_eq!(prev.end(), txn::marker(token));
+        prev.end.store(txn::TS_INF, Ordering::Release);
+    }
+
+    /// Replace transaction `token`'s markers on row `id` with commit
+    /// timestamp `ts`. Idempotent; needs only a shared table guard — the
+    /// stamps are atomics and chain structure is untouched.
+    pub fn stamp_commit(&self, id: RowId, token: u64, ts: u64) {
+        let own = txn::marker(token);
+        let Some(slot) = self.rows.get(id) else {
+            return;
+        };
+        for v in &slot.versions {
+            if v.begin.load(Ordering::Acquire) == own {
+                v.begin.store(ts, Ordering::Release);
+            }
+            if v.end.load(Ordering::Acquire) == own {
+                v.end.store(ts, Ordering::Release);
+            }
+        }
+    }
+
+    /// Reclaim versions invisible to every present and future snapshot:
+    /// committed `end <= watermark`. Returns the number pruned.
+    pub fn vacuum(&mut self, watermark: u64) -> usize {
+        let mut pruned = 0;
+        for id in 0..self.rows.len() {
+            let has_dead = self.rows[id].versions.iter().any(|v| {
+                let e = v.end();
+                e != txn::TS_INF && !txn::is_marker(e) && e <= watermark
+            });
+            if !has_dead {
+                continue;
+            }
+            let mut removed: Vec<Box<[Value]>> = Vec::new();
+            self.rows[id].versions.retain_mut(|v| {
+                let e = v.end();
+                let dead = e != txn::TS_INF && !txn::is_marker(e) && e <= watermark;
+                if dead {
+                    removed.push(std::mem::take(&mut v.row));
+                }
+                !dead
+            });
+            for row in &removed {
+                self.unindex_unless_shared(id, row);
+            }
+            pruned += removed.len();
+        }
+        pruned
+    }
+
+    /// Drop row `id`'s postings for `row`'s keys, unless another surviving
+    /// version of the chain still carries the key.
+    fn unindex_unless_shared(&mut self, id: RowId, row: &[Value]) {
+        for i in 0..self.indexes.len() {
+            let key = self.indexes[i].key_of(row);
+            let shared = self.rows[id]
+                .versions
+                .iter()
+                .any(|v| self.indexes[i].key_of(v.row()) == key);
+            if !shared {
+                self.indexes[i].remove_key(&key, id);
+            }
+        }
     }
 
     /// Create and backfill an index over `columns`.
@@ -238,7 +670,9 @@ impl Table {
     }
 
     /// Create and backfill an index over arbitrary key parts (plain columns
-    /// or `JSON_VAL` extractions — functional indexes).
+    /// or `JSON_VAL` extractions — functional indexes). Backfill covers
+    /// every version of every chain (deduplicated per chain); unique
+    /// enforcement applies to the committed-live version of each chain.
     pub fn create_index_with_parts(
         &mut self,
         name: impl Into<String>,
@@ -255,14 +689,22 @@ impl Table {
                 "index '{name}' references a column out of range"
             )));
         }
+        let latest = Snapshot::latest();
         let mut idx = Index::with_parts(name, parts, unique, kind);
-        for (id, row) in self
-            .rows
-            .iter()
-            .enumerate()
-            .filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
-        {
-            idx.insert(row, id)?;
+        for (id, slot) in self.rows.iter().enumerate() {
+            let mut seen: Vec<IndexKey> = Vec::new();
+            for v in slot.versions.iter().rev() {
+                let key = idx.key_of(v.row());
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key.clone());
+                if v.visible(latest) {
+                    idx.insert(v.row(), id)?;
+                } else {
+                    idx.add(key, id);
+                }
+            }
         }
         self.indexes.push(idx);
         Ok(())
@@ -302,7 +744,8 @@ impl Table {
         &self.indexes
     }
 
-    /// Row ids matching `key` on the index named `index`.
+    /// Row ids matching `key` on the index named `index`. Postings may
+    /// cover non-current versions; callers re-check visibility.
     pub fn index_lookup(&self, index: &str, key: &IndexKey) -> Result<Vec<RowId>> {
         let idx = self
             .indexes
@@ -434,5 +877,204 @@ mod tests {
         assert!(t
             .create_index("t_v", vec![1], false, IndexKind::Hash)
             .is_err());
+    }
+
+    // ---------------- MVCC ----------------
+
+    fn snap(ts: u64, token: u64) -> Snapshot {
+        Snapshot { ts, token }
+    }
+
+    #[test]
+    fn mvcc_insert_visible_only_to_owner_until_stamped() {
+        let mut t = table();
+        let id = t
+            .mvcc_insert(vec![Value::Int(1), Value::str("a")], 7)
+            .unwrap();
+        assert_eq!(t.len(), 1, "live counter includes provisional inserts");
+        assert!(t.get_visible(id, snap(0, 7)).is_some(), "owner sees it");
+        assert!(t.get_visible(id, snap(0, 8)).is_none(), "others do not");
+        assert!(t.get(id).is_none(), "all-committed view does not");
+        t.stamp_commit(id, 7, 5);
+        assert!(t.get_visible(id, snap(5, 0)).is_some());
+        assert!(t.get_visible(id, snap(4, 0)).is_none(), "older snapshot");
+        assert!(t.get(id).is_some());
+    }
+
+    #[test]
+    fn mvcc_update_builds_chain_and_keeps_old_version_readable() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::str("old")]).unwrap();
+        let s = snap(0, 3);
+        t.mvcc_update(id, vec![Value::Int(1), Value::str("new")], 3, s)
+            .unwrap();
+        // Owner sees the new version; a plain snapshot still sees the old.
+        assert_eq!(t.get_visible(id, s).unwrap()[1], Value::str("new"));
+        assert_eq!(t.get_visible(id, snap(0, 0)).unwrap()[1], Value::str("old"));
+        t.stamp_commit(id, 3, 4);
+        assert_eq!(t.get_visible(id, snap(3, 0)).unwrap()[1], Value::str("old"));
+        assert_eq!(t.get_visible(id, snap(4, 0)).unwrap()[1], Value::str("new"));
+    }
+
+    #[test]
+    fn first_updater_wins_conflicts() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let s1 = snap(0, 1);
+        let s2 = snap(0, 2);
+        t.mvcc_update(id, vec![Value::Int(1), Value::str("a")], 1, s1)
+            .unwrap();
+        // A second writer hits the in-flight marker.
+        assert!(matches!(
+            t.mvcc_update(id, vec![Value::Int(1), Value::str("b")], 2, s2),
+            Err(Error::TxnConflict(_))
+        ));
+        assert!(matches!(
+            t.mvcc_delete(id, 2, s2),
+            Err(Error::TxnConflict(_))
+        ));
+        // After commit at ts 5, a snapshot from before the commit still
+        // conflicts (it would overwrite a version it cannot see).
+        t.stamp_commit(id, 1, 5);
+        assert!(matches!(
+            t.mvcc_delete(id, 2, snap(0, 2)),
+            Err(Error::TxnConflict(_))
+        ));
+        // A snapshot at/after the commit may proceed.
+        t.mvcc_delete(id, 2, snap(5, 2)).unwrap();
+    }
+
+    #[test]
+    fn rollbacks_restore_prior_state() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::str("keep")]).unwrap();
+        let s = snap(0, 9);
+        let b = t.mvcc_insert(vec![Value::Int(2), Value::Null], 9).unwrap();
+        t.mvcc_update(a, vec![Value::Int(7), Value::str("tmp")], 9, s)
+            .unwrap();
+        // Undo in reverse order, as the journal does.
+        t.rollback_update(a, 9);
+        t.rollback_insert(b, 9);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(a).unwrap()[1], Value::str("keep"));
+        assert_eq!(
+            t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)]))
+                .unwrap(),
+            [a]
+        );
+        assert!(t
+            .index_lookup("t_pk", &IndexKey(vec![Value::Int(7)]))
+            .unwrap()
+            .is_empty());
+        assert!(t
+            .index_lookup("t_pk", &IndexKey(vec![Value::Int(2)]))
+            .unwrap()
+            .is_empty());
+
+        let s2 = snap(0, 11);
+        t.mvcc_delete(a, 11, s2).unwrap();
+        assert_eq!(t.len(), 0);
+        t.rollback_delete(a, 11);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn mvcc_unique_respects_liveness_not_history() {
+        let mut t = table();
+        let a = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        // Live key blocks an MVCC insert.
+        assert!(matches!(
+            t.mvcc_insert(vec![Value::Int(1), Value::Null], 2),
+            Err(Error::Schema(_))
+        ));
+        // Delete committed at ts 3: the key is free for current writers
+        // even though the old version is still readable at ts <= 2.
+        t.mvcc_delete(a, 1, snap(0, 1)).unwrap();
+        t.stamp_commit(a, 1, 3);
+        let b = t
+            .mvcc_insert(vec![Value::Int(1), Value::str("new")], 2)
+            .unwrap();
+        t.stamp_commit(b, 2, 4);
+        assert_eq!(t.get_visible(a, snap(2, 0)).unwrap()[0], Value::Int(1));
+        assert_eq!(t.get_visible(b, snap(4, 0)).unwrap()[1], Value::str("new"));
+        // An uncommitted foreign insert holding the key is a conflict, not
+        // a hard schema error.
+        let mut t2 = table();
+        t2.mvcc_insert(vec![Value::Int(5), Value::Null], 1).unwrap();
+        assert!(matches!(
+            t2.mvcc_insert(vec![Value::Int(5), Value::Null], 2),
+            Err(Error::TxnConflict(_))
+        ));
+    }
+
+    #[test]
+    fn vacuum_prunes_below_watermark() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::str("v0")]).unwrap();
+        t.mvcc_update(id, vec![Value::Int(2), Value::str("v1")], 1, snap(0, 1))
+            .unwrap();
+        t.stamp_commit(id, 1, 2);
+        t.mvcc_update(id, vec![Value::Int(3), Value::str("v2")], 2, snap(2, 2))
+            .unwrap();
+        t.stamp_commit(id, 2, 4);
+        assert_eq!(t.slots()[id].versions().len(), 3);
+        // Watermark 1: v0 (end=2) still visible to a snapshot at ts 1.
+        assert_eq!(t.vacuum(1), 0);
+        // Watermark 2: v0 dead everywhere, v1 (end=4) still needed.
+        assert_eq!(t.vacuum(2), 1);
+        assert_eq!(t.slots()[id].versions().len(), 2);
+        assert!(t
+            .index_lookup("t_pk", &IndexKey(vec![Value::Int(1)]))
+            .unwrap()
+            .is_empty());
+        // Watermark 4: only the live version remains; its key survives.
+        assert_eq!(t.vacuum(4), 1);
+        assert_eq!(t.slots()[id].versions().len(), 1);
+        assert_eq!(
+            t.index_lookup("t_pk", &IndexKey(vec![Value::Int(3)]))
+                .unwrap(),
+            [id]
+        );
+        // A fully deleted chain vacuums to an empty tombstone.
+        let d = t.insert(vec![Value::Int(9), Value::Null]).unwrap();
+        t.mvcc_delete(d, 3, snap(4, 3)).unwrap();
+        t.stamp_commit(d, 3, 5);
+        assert_eq!(t.vacuum(5), 1);
+        assert!(t.slots()[d].versions().is_empty());
+        assert!(t
+            .index_lookup("t_pk", &IndexKey(vec![Value::Int(9)]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn key_cycling_updates_keep_postings_deduplicated() {
+        let mut t = table();
+        let id = t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let s = snap(0, 1);
+        // 1 -> 2 -> 1: the chain covers key 1 twice but posts it once.
+        t.mvcc_update(id, vec![Value::Int(2), Value::str("b")], 1, s)
+            .unwrap();
+        t.mvcc_update(id, vec![Value::Int(1), Value::str("c")], 1, s)
+            .unwrap();
+        assert_eq!(
+            t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)]))
+                .unwrap(),
+            [id]
+        );
+        // Rolling back the chain leaves exactly the original posting.
+        t.rollback_update(id, 1);
+        t.rollback_update(id, 1);
+        assert_eq!(
+            t.index_lookup("t_pk", &IndexKey(vec![Value::Int(1)]))
+                .unwrap(),
+            [id]
+        );
+        assert!(t
+            .index_lookup("t_pk", &IndexKey(vec![Value::Int(2)]))
+            .unwrap()
+            .is_empty());
+        assert_eq!(t.get(id).unwrap()[1], Value::str("a"));
     }
 }

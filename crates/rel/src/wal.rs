@@ -70,8 +70,13 @@ pub enum WalRecord {
         sql: String,
     },
     /// Transaction boundary: everything since the previous marker commits
-    /// atomically. Written automatically by [`Wal::append_commit`].
-    Commit,
+    /// atomically at timestamp `ts` on the MVCC commit clock. Written
+    /// automatically by [`Wal::append_commit`]; replay restores the clock
+    /// from the largest `ts` seen.
+    Commit {
+        /// Commit timestamp assigned by [`crate::txn::TxnManager`].
+        ts: u64,
+    },
 }
 
 /// Segment file path for generation `gen` under base path `base`: the base
@@ -88,8 +93,9 @@ pub fn segment_path(base: &Path, gen: u64) -> PathBuf {
 /// Everything a scan learned about one segment file.
 #[derive(Debug, Default)]
 pub struct SegmentScan {
-    /// Commit-closed transactions, in log order.
-    pub commits: Vec<Vec<WalRecord>>,
+    /// Commit-closed transactions, in log order, each with its commit
+    /// timestamp.
+    pub commits: Vec<(u64, Vec<WalRecord>)>,
     /// Byte offset just past the last commit marker — the only safe append
     /// point. Everything beyond is torn, corrupt, or commit-less.
     pub valid_len: u64,
@@ -186,7 +192,7 @@ impl Wal {
     /// Append one transaction: `records` followed by a commit marker, as a
     /// single write (so a torn tail drops the transaction atomically),
     /// flushed — and fsynced when `sync_on_commit` — before returning.
-    pub fn append_commit(&mut self, records: &[WalRecord]) -> Result<()> {
+    pub fn append_commit(&mut self, records: &[WalRecord], ts: u64) -> Result<()> {
         if self.poisoned {
             return Err(Error::Wal(
                 "log poisoned by an earlier append failure; reopen the database to recover".into(),
@@ -196,7 +202,7 @@ impl Wal {
         for r in records {
             encode_record(r, &mut buf);
         }
-        encode_record(&WalRecord::Commit, &mut buf);
+        encode_record(&WalRecord::Commit { ts }, &mut buf);
         if let Err(e) = self.file.write_all(&buf) {
             self.poisoned = true;
             return Err(Error::Wal(format!("write: {e}")));
@@ -250,8 +256,8 @@ impl Wal {
             };
             buf.advance(8 + len);
             offset += 8 + len as u64;
-            if matches!(record, WalRecord::Commit) {
-                scan.commits.push(std::mem::take(&mut pending));
+            if let WalRecord::Commit { ts } = record {
+                scan.commits.push((ts, std::mem::take(&mut pending)));
                 scan.valid_len = offset;
             } else {
                 pending.push(record);
@@ -265,7 +271,7 @@ impl Wal {
     /// segment at `path`, flattened in log order. Convenience for tests.
     pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
         let scan = Wal::scan_segment(&crate::io::StdFs, path.as_ref())?;
-        Ok(scan.commits.into_iter().flatten().collect())
+        Ok(scan.commits.into_iter().flat_map(|(_, r)| r).collect())
     }
 }
 
@@ -300,8 +306,9 @@ fn encode_record(r: &WalRecord, out: &mut BytesMut) {
             payload.put_u8(3);
             put_str(&mut payload, sql);
         }
-        WalRecord::Commit => {
+        WalRecord::Commit { ts } => {
             payload.put_u8(4);
+            payload.put_u64_le(*ts);
         }
     }
     out.put_u32(payload.len() as u32);
@@ -312,7 +319,7 @@ fn encode_record(r: &WalRecord, out: &mut BytesMut) {
 fn decode_record(buf: &mut Bytes) -> Result<WalRecord> {
     let op = get_u8(buf)?;
     if op == 4 {
-        return Ok(WalRecord::Commit);
+        return Ok(WalRecord::Commit { ts: get_u64(buf)? });
     }
     let table = get_str(buf)?;
     Ok(match op {
@@ -511,8 +518,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append_commit(&sample_records()).unwrap();
-            wal.append_commit(&sample_records()[..1]).unwrap();
+            wal.append_commit(&sample_records(), 1).unwrap();
+            wal.append_commit(&sample_records()[..1], 2).unwrap();
         }
         let records = Wal::read_all(&path).unwrap();
         assert_eq!(records.len(), 4);
@@ -520,6 +527,8 @@ mod tests {
         assert_eq!(records[3], sample_records()[0]);
         let scan = Wal::scan_segment(&crate::io::StdFs, &path).unwrap();
         assert_eq!(scan.commits.len(), 2);
+        assert_eq!(scan.commits[0].0, 1, "commit timestamps round-trip");
+        assert_eq!(scan.commits[1].0, 2);
         assert_eq!(scan.valid_len, scan.file_len);
         assert_eq!(scan.dangling_records, 0);
         std::fs::remove_file(&path).unwrap();
@@ -531,7 +540,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append_commit(&sample_records()).unwrap();
+            wal.append_commit(&sample_records(), 1).unwrap();
         }
         let good_len = std::fs::metadata(&path).unwrap().len();
         // Append garbage simulating a torn write.
@@ -556,7 +565,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append_commit(&sample_records()).unwrap();
+            wal.append_commit(&sample_records(), 1).unwrap();
         }
         // Flip a byte in the middle of the file (second record's payload).
         let mut data = std::fs::read(&path).unwrap();
@@ -575,7 +584,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append_commit(&sample_records()).unwrap();
+            wal.append_commit(&sample_records(), 1).unwrap();
         }
         // Append an intact record with no commit marker (simulating a crash
         // that persisted only part of the next transaction's batch).
@@ -590,7 +599,7 @@ mod tests {
         }
         let scan = Wal::scan_segment(&crate::io::StdFs, &path).unwrap();
         assert_eq!(scan.commits.len(), 1);
-        assert_eq!(scan.commits[0].len(), 3);
+        assert_eq!(scan.commits[0].1.len(), 3);
         assert_eq!(scan.dangling_records, 1);
         assert!(scan.valid_len < scan.file_len);
         std::fs::remove_file(&path).unwrap();

@@ -498,43 +498,55 @@ fn replay_resolves_duplicate_row_images_by_physical_id() {
     let dup = vec![Value::Int(1), Value::str("dup")];
     {
         let mut wal = Wal::open_segment(Arc::new(fs.clone()), &base, 0).unwrap();
-        wal.append_commit(&[WalRecord::Ddl {
-            sql: "CREATE TABLE t (a INTEGER, b TEXT)".into(),
-        }])
+        wal.append_commit(
+            &[WalRecord::Ddl {
+                sql: "CREATE TABLE t (a INTEGER, b TEXT)".into(),
+            }],
+            1,
+        )
         .unwrap();
-        wal.append_commit(&[
-            WalRecord::Insert {
-                table: "t".into(),
-                row_id: 0,
-                row: dup.clone(),
-            },
-            WalRecord::Insert {
-                table: "t".into(),
-                row_id: 1,
-                row: dup.clone(),
-            },
-            WalRecord::Insert {
-                table: "t".into(),
-                row_id: 2,
-                row: vec![Value::Int(2), Value::str("other")],
-            },
-        ])
+        wal.append_commit(
+            &[
+                WalRecord::Insert {
+                    table: "t".into(),
+                    row_id: 0,
+                    row: dup.clone(),
+                },
+                WalRecord::Insert {
+                    table: "t".into(),
+                    row_id: 1,
+                    row: dup.clone(),
+                },
+                WalRecord::Insert {
+                    table: "t".into(),
+                    row_id: 2,
+                    row: vec![Value::Int(2), Value::str("other")],
+                },
+            ],
+            2,
+        )
         .unwrap();
         // Delete the SECOND duplicate; an image-based replay would remove
         // whichever it finds first.
-        wal.append_commit(&[WalRecord::Delete {
-            table: "t".into(),
-            row_id: 1,
-            row: dup.clone(),
-        }])
+        wal.append_commit(
+            &[WalRecord::Delete {
+                table: "t".into(),
+                row_id: 1,
+                row: dup.clone(),
+            }],
+            3,
+        )
         .unwrap();
         // Update the FIRST duplicate by id.
-        wal.append_commit(&[WalRecord::Update {
-            table: "t".into(),
-            row_id: 0,
-            old: dup.clone(),
-            new: vec![Value::Int(1), Value::str("first-updated")],
-        }])
+        wal.append_commit(
+            &[WalRecord::Update {
+                table: "t".into(),
+                row_id: 0,
+                old: dup.clone(),
+                new: vec![Value::Int(1), Value::str("first-updated")],
+            }],
+            4,
+        )
         .unwrap();
     }
     let db = Database::open_with_vfs(&base, Arc::new(fs.clone())).unwrap();
@@ -715,4 +727,55 @@ fn checkpoint_bounds_recovery_to_the_tail() {
     assert_eq!(report.records_replayed, 1);
     let rel = db.execute("SELECT COUNT(*) FROM t").unwrap();
     assert_eq!(rel.rows[0][0], Value::Int(11));
+}
+
+/// Transactions that are still open (statements executed, no commit) when
+/// the machine dies must be invisible after recovery: MVCC buffers their
+/// writes as provisional versions and appends nothing to the WAL until
+/// commit, so a crash leaves no trace of them. Committed transactions
+/// that raced the open ones must survive in full.
+#[test]
+fn uncommitted_transactions_are_invisible_after_crash() {
+    let fs = SimFs::new();
+    let base = PathBuf::from("db.wal");
+    let db = Database::open_with_vfs(&base, Arc::new(fs.clone())).unwrap();
+    db.set_sync_on_commit(true);
+    db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+
+    // Two in-flight transactions with executed-but-uncommitted writes:
+    // a handle transaction updating the committed row and inserting, and
+    // a SQL session sitting inside BEGIN.
+    let mut open_txn = db.begin();
+    open_txn.execute("UPDATE t SET a = 99 WHERE a = 1").unwrap();
+    open_txn.execute("INSERT INTO t VALUES (100)").unwrap();
+    let mut open_session = sqlgraph_rel::Session::new(&db);
+    open_session.execute("BEGIN").unwrap();
+    open_session.execute("INSERT INTO t VALUES (200)").unwrap();
+
+    // A concurrent autocommit transaction commits while both are open.
+    db.execute("INSERT INTO t VALUES (2)").unwrap();
+
+    // Crash with the transactions still open. A real crash never runs
+    // rollback, so the handles are forgotten, not dropped.
+    std::mem::forget(open_txn);
+    std::mem::forget(open_session);
+    std::mem::forget(db);
+    fs.recover();
+
+    let db = Database::open_with_vfs(&base, Arc::new(fs.clone())).unwrap();
+    assert_eq!(
+        db.execute("SELECT a FROM t ORDER BY a").unwrap().rows,
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        "uncommitted transaction leaked into the recovered state"
+    );
+    // The recovered database still takes commits.
+    db.set_sync_on_commit(true);
+    db.execute("UPDATE t SET a = 3 WHERE a = 2").unwrap();
+    drop(db);
+    let db = Database::open_with_vfs(&base, Arc::new(fs.clone())).unwrap();
+    assert_eq!(
+        db.execute("SELECT a FROM t ORDER BY a").unwrap().rows,
+        vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+    );
 }

@@ -131,6 +131,15 @@ impl<T: ?Sized> RwLock<T> {
         RwLockReadGuard { lock: self }
     }
 
+    /// Shared lock safe to take while the same thread already holds a
+    /// shared lock (parking_lot's `read_recursive`). This shim's readers
+    /// never wait behind a *queued* writer — `lock_shared` only blocks
+    /// while a writer holds the lock — so plain `read` already has the
+    /// required no-deadlock property and this is an alias for intent.
+    pub fn read_recursive(&self) -> RwLockReadGuard<'_, T> {
+        self.read()
+    }
+
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.raw.lock_exclusive();
         RwLockWriteGuard { lock: self }
