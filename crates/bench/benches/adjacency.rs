@@ -1,4 +1,5 @@
-//! Criterion bench: Figure 3 — hash-shredded vs JSON-document adjacency.
+//! Criterion bench: Figure 3 — hash-shredded vs JSON-document adjacency,
+//! plus the CSR + factorized access path over the same hash tables.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sqlgraph_bench::setup::{build_sqlgraph, to_graph_data};
@@ -13,6 +14,7 @@ fn bench_adjacency(c: &mut Criterion) {
     ja.load(&to_graph_data(&g.data)).unwrap();
     let force_hash = TranslateOptions {
         adjacency: AdjacencyStrategy::ForceHash,
+        factorize: false,
     };
     let places = g.config.places;
 
@@ -26,6 +28,14 @@ fn bench_adjacency(c: &mut Criterion) {
         q.push_str(".count()");
         group.bench_function(format!("hash_{hops}hop"), |b| {
             b.iter(|| sql.query_with(&q, force_hash).unwrap())
+        });
+        // Correctness gate for the smoke run: the CSR + factorized path
+        // must agree with the row templates before it is timed.
+        let want = sql.query_with(&q, force_hash).unwrap().rows;
+        let got = sql.query(&q).unwrap().rows;
+        assert_eq!(got, want, "csr/factorized arm diverged at {hops} hops");
+        group.bench_function(format!("csr_{hops}hop"), |b| {
+            b.iter(|| sql.query(&q).unwrap())
         });
         let seed = format!("JSON_VAL(attr, 'bucket') < {places}");
         group.bench_function(format!("json_{hops}hop"), |b| {

@@ -10,9 +10,11 @@ fn bench_path_strategy(c: &mut Criterion) {
     let sql = build_sqlgraph(&g.data);
     let hash = TranslateOptions {
         adjacency: AdjacencyStrategy::ForceHash,
+        factorize: false,
     };
     let ea = TranslateOptions {
         adjacency: AdjacencyStrategy::ForceEa,
+        factorize: false,
     };
 
     let mut group = c.benchmark_group("fig6_path_strategy");

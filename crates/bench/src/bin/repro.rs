@@ -73,6 +73,7 @@ fn main() {
             "table3" => experiments::table3(config),
             "table4" => experiments::table4(config),
             "fig6" => experiments::fig6(config),
+            "longpath" => experiments::longpath(config),
             "fig8" => experiments::fig8(config),
             "fig8c" => experiments::fig8c(config),
             "fig9" => experiments::fig9(config),
@@ -94,6 +95,7 @@ fn main() {
             "table3",
             "table4",
             "fig6",
+            "longpath",
             "fig8",
             "fig8c",
             "fig9",
@@ -114,7 +116,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig3|fig4|table3|table4|fig6|fig8|fig8c|fig9|throughput|throughput-mixed|table6|table7|sizes|recovery|all> \
+        "usage: repro <fig3|fig4|table3|table4|fig6|longpath|fig8|fig8c|fig9|throughput|throughput-mixed|table6|table7|sizes|recovery|all> \
          [--scale F] [--runs N] [--lb-ops N] [--quick]"
     );
 }

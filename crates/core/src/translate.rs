@@ -58,10 +58,26 @@ pub enum AdjacencyStrategy {
 }
 
 /// Translation options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct TranslateOptions {
     /// Which physical tables serve `out`/`in`/`both`.
     pub adjacency: AdjacencyStrategy,
+    /// Rewrite trailing multi-hop counting traversals into multiplicity
+    /// (factorized) form: the frontier is compressed to distinct vertices
+    /// with a path-count column after every hop, so intermediate
+    /// cardinality is bounded by the vertex count instead of the path
+    /// count. Counts are unchanged; disable to force one-row-per-path
+    /// execution (the Figure 6 row templates).
+    pub factorize: bool,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> TranslateOptions {
+        TranslateOptions {
+            adjacency: AdjacencyStrategy::default(),
+            factorize: true,
+        }
+    }
 }
 
 /// What kind of element flows out of a pipe (resolves `has`/`values` to the
@@ -143,7 +159,28 @@ pub fn translate_with(
         traversal_steps: count_traversal_steps(&pipeline.pipes),
         options,
     };
-    translate_pipes(&mut ctx, &pipeline.pipes)?;
+    // Trailing `.out/.in/.both × k (.dedup)? .count()` runs compress the
+    // frontier to (vertex, multiplicity) after every hop — but only when no
+    // pipe needs per-path history and the hops use the hash tables.
+    let span = if options.factorize
+        && !needs_path
+        && !matches!(options.adjacency, AdjacencyStrategy::ForceEa)
+    {
+        multiplicity_span(&pipeline.pipes)
+    } else {
+        None
+    };
+    match span {
+        Some(start) if start > 0 => {
+            translate_pipes(&mut ctx, &pipeline.pipes[..start])?;
+            if ctx.kind == Kind::Vertex {
+                translate_multiplicity(&mut ctx, &pipeline.pipes[start..])?;
+            } else {
+                translate_pipes(&mut ctx, &pipeline.pipes[start..])?;
+            }
+        }
+        _ => translate_pipes(&mut ctx, &pipeline.pipes)?,
+    }
     if ctx.ctes.is_empty() {
         return Err(Unsupported::new("empty pipeline"));
     }
@@ -351,6 +388,130 @@ fn adjacency_ea_step(ctx: &mut Ctx<'_>, labels: &[String], out: bool) {
         lbl = label_in_list("p.lbl", labels),
     );
     ctx.push_cte(sql);
+}
+
+/// Start of the longest rewritable suffix for multiplicity mode: at least
+/// two consecutive `out`/`in`/`both` hops, optionally one `dedup`, then a
+/// terminal `count`. Returns the index of the first hop.
+fn multiplicity_span(pipes: &[Pipe]) -> Option<usize> {
+    if !matches!(pipes.last(), Some(Pipe::Count)) {
+        return None;
+    }
+    let mut hop_end = pipes.len() - 1; // index of Count
+    if hop_end >= 1 && matches!(pipes[hop_end - 1], Pipe::Dedup) {
+        hop_end -= 1;
+    }
+    let mut start = hop_end;
+    while start > 0 && matches!(pipes[start - 1], Pipe::Out(_) | Pipe::In(_) | Pipe::Both(_)) {
+        start -= 1;
+    }
+    (hop_end - start >= 2).then_some(start)
+}
+
+/// Translate a multiplicity span (see [`multiplicity_span`]): the frontier
+/// carries `(val, m)` — a distinct vertex and how many traversal paths
+/// reach it — so each hop joins over distinct vertices only. `dedup` drops
+/// `m` (distinct vertices are exactly the deduplicated result) and `count`
+/// totals `SUM(m)` (or `COUNT(*)` after a dedup).
+fn translate_multiplicity(ctx: &mut Ctx<'_>, pipes: &[Pipe]) -> Result<(), Unsupported> {
+    // Seed: collapse the incoming frontier to distinct vertices.
+    ctx.push_cte(format!(
+        "SELECT val, COUNT(*) AS m FROM {cur} GROUP BY val",
+        cur = ctx.cur
+    ));
+    let mut deduped = false;
+    for pipe in pipes {
+        match pipe {
+            Pipe::Out(labels) | Pipe::In(labels) => {
+                multiplicity_arm(ctx, labels, matches!(pipe, Pipe::Out(_)));
+                multiplicity_compress(ctx);
+                ctx.transforms += 1;
+            }
+            Pipe::Both(labels) => {
+                let input = ctx.cur.clone();
+                multiplicity_arm(ctx, labels, true);
+                let out_tbl = ctx.cur.clone();
+                ctx.cur = input;
+                multiplicity_arm(ctx, labels, false);
+                let in_tbl = ctx.cur.clone();
+                ctx.push_cte(format!(
+                    "SELECT * FROM {out_tbl} UNION ALL SELECT * FROM {in_tbl}"
+                ));
+                multiplicity_compress(ctx);
+                ctx.transforms += 1;
+            }
+            Pipe::Dedup => {
+                ctx.push_cte(format!("SELECT DISTINCT val FROM {cur}", cur = ctx.cur));
+                deduped = true;
+            }
+            Pipe::Count => {
+                if deduped {
+                    ctx.push_cte(format!("SELECT COUNT(*) AS val FROM {cur}", cur = ctx.cur));
+                } else {
+                    // SUM over an empty frontier is NULL; a count must be 0.
+                    ctx.push_cte(format!("SELECT SUM(m) AS val FROM {cur}", cur = ctx.cur));
+                    ctx.push_cte(format!(
+                        "SELECT COALESCE(val, 0) AS val FROM {cur}",
+                        cur = ctx.cur
+                    ));
+                }
+                ctx.kind = Kind::Value;
+            }
+            other => {
+                return Err(Unsupported::new(format!(
+                    "pipe {other:?} inside a multiplicity span"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One directional hop in multiplicity mode: the OPA/IPA probe fused with
+/// the per-target `SUM(m)` regroup, then the OSA/ISA multi-value resolve
+/// (which forwards `m` unchanged — re-collisions are compressed by the
+/// caller via [`multiplicity_compress`]).
+fn multiplicity_arm(ctx: &mut Ctx<'_>, labels: &[String], out: bool) {
+    let (pa, sa) = if out { ("opa", "osa") } else { ("ipa", "isa") };
+    let cols = buckets_for(ctx, labels, out);
+    if cols.len() == 1 && !labels.is_empty() {
+        let c = cols[0];
+        let a = format!(
+            "SELECT p.val{c} AS val, SUM(v.m) AS m FROM {cur} v, {pa} p \
+             WHERE v.val = p.vid AND p.val{c} IS NOT NULL{lbl_filter} GROUP BY p.val{c}",
+            cur = ctx.cur,
+            lbl_filter = label_in_list(&format!("p.lbl{c}"), labels),
+        );
+        ctx.push_cte(a);
+    } else {
+        let triads: Vec<String> = cols
+            .iter()
+            .map(|c| format!("(p.lbl{c}, p.val{c})"))
+            .collect();
+        let a = format!(
+            "SELECT t.val AS val, SUM(v.m) AS m FROM {cur} v, {pa} p, \
+             TABLE(VALUES {triads}) AS t(lbl, val) \
+             WHERE v.val = p.vid AND t.val IS NOT NULL{lbl_filter} GROUP BY t.val",
+            cur = ctx.cur,
+            triads = triads.join(", "),
+            lbl_filter = label_in_list("t.lbl", labels),
+        );
+        ctx.push_cte(a);
+    }
+    let b = format!(
+        "SELECT COALESCE(s.val, p.val) AS val, p.m AS m FROM {cur} p \
+         LEFT OUTER JOIN {sa} s ON p.val = s.valid",
+        cur = ctx.cur,
+    );
+    ctx.push_cte(b);
+}
+
+/// Re-compress a multiplicity frontier to one row per distinct vertex.
+fn multiplicity_compress(ctx: &mut Ctx<'_>) {
+    ctx.push_cte(format!(
+        "SELECT val, SUM(m) AS m FROM {cur} GROUP BY val",
+        cur = ctx.cur
+    ));
 }
 
 /// Attribute-table alias for the current element kind.
@@ -1004,5 +1165,74 @@ mod tests {
     fn count_star_terminal() {
         let sql = tr("g.V.count()").unwrap();
         assert!(sql.ends_with("SELECT val FROM t2"));
+    }
+
+    #[test]
+    fn multihop_count_uses_multiplicities() {
+        let sql = tr("g.V.out.out.count()").unwrap();
+        assert!(
+            sql.contains("COUNT(*) AS m"),
+            "seed compress missing: {sql}"
+        );
+        assert!(
+            sql.contains("SUM(v.m) AS m"),
+            "fused hop regroup missing: {sql}"
+        );
+        assert!(
+            sql.contains("SELECT COALESCE(val, 0) AS val"),
+            "empty-frontier count guard missing: {sql}"
+        );
+    }
+
+    #[test]
+    fn multihop_dedup_count_drops_multiplicity_at_dedup() {
+        let sql = tr("g.V.out.out.dedup().count()").unwrap();
+        assert!(sql.contains("SUM(v.m) AS m"), "{sql}");
+        assert!(sql.contains("SELECT DISTINCT val"), "{sql}");
+        assert!(sql.contains("SELECT COUNT(*) AS val"), "{sql}");
+        assert!(!sql.contains("SUM(m) AS val"), "dedup must drop m: {sql}");
+    }
+
+    #[test]
+    fn single_hop_count_keeps_row_template() {
+        let sql = tr("g.V.out.count()").unwrap();
+        assert!(!sql.contains(" AS m"), "{sql}");
+    }
+
+    #[test]
+    fn factorize_off_keeps_row_templates() {
+        let opts = TranslateOptions {
+            factorize: false,
+            ..TranslateOptions::default()
+        };
+        let sql = translate_with(
+            &parse_query("g.V.out.out.count()").unwrap(),
+            &layout(),
+            opts,
+        )
+        .unwrap();
+        assert!(!sql.contains(" AS m"), "{sql}");
+    }
+
+    #[test]
+    fn force_ea_disables_multiplicities() {
+        let opts = TranslateOptions {
+            adjacency: AdjacencyStrategy::ForceEa,
+            factorize: true,
+        };
+        let sql = translate_with(
+            &parse_query("g.V.out.out.count()").unwrap(),
+            &layout(),
+            opts,
+        )
+        .unwrap();
+        assert!(!sql.contains(" AS m"), "{sql}");
+        assert!(sql.contains("ea p"), "{sql}");
+    }
+
+    #[test]
+    fn path_queries_never_use_multiplicities() {
+        let sql = tr("g.v(1).out.out.path").unwrap();
+        assert!(!sql.contains(" AS m"), "{sql}");
     }
 }

@@ -581,3 +581,80 @@ fn corpus_batch_vs_row() {
         sql.database().set_batch_enabled(true);
     }
 }
+
+#[test]
+fn corpus_csr_on_vs_off() {
+    // The CSR adjacency access path plus list-based execution must be
+    // byte-identical to the row engine's index nested-loop joins — same
+    // rows, same order — for every translatable corpus query at DOP
+    // 1/2/4/8 with the planner both on and off. The graph is sized so the
+    // adjacency tables clear the planner's CSR row-count floor (the tiny
+    // corpus graphs never would).
+    let data = random_graph(42, 400, 1100);
+    let (sql, _mem) = build_stores(&data);
+    sql.database().execute("ANALYZE").unwrap();
+    for planner_on in [true, false] {
+        sql.database().set_planner_enabled(planner_on);
+        for query in CORPUS {
+            let Ok(sql_text) = sql.translate_query(query) else {
+                continue;
+            };
+            for dop in [1usize, 2, 4, 8] {
+                sql.database().set_parallelism(dop);
+                sql.database().set_csr_enabled(false);
+                let row = sql.database().execute(&sql_text).unwrap_or_else(|e| {
+                    panic!("csr-off execution failed for {query}: {e}\nSQL: {sql_text}")
+                });
+                sql.database().set_csr_enabled(true);
+                let csr = sql.database().execute(&sql_text).unwrap_or_else(|e| {
+                    panic!("csr-on execution failed for {query}: {e}\nSQL: {sql_text}")
+                });
+                assert_eq!(
+                    csr.rows, row.rows,
+                    "csr path diverged (dop {dop}, planner={planner_on}) on {query}\nSQL: {sql_text}"
+                );
+                assert_eq!(csr.columns, row.columns, "column names diverged on {query}");
+            }
+        }
+    }
+    assert!(
+        sql.database().csr_builds() > 0,
+        "corpus never exercised the CSR access path"
+    );
+    sql.database().set_planner_enabled(true);
+    sql.database().set_parallelism(0);
+}
+
+#[test]
+fn txn_reader_never_sees_csr_rebuilt_past_its_snapshot() {
+    // A CSR entry is keyed to the table's content version; a transaction's
+    // snapshot must keep seeing pre-transaction adjacency even after
+    // concurrent commits invalidate and rebuild the shared cache entry.
+    let data = random_graph(7, 400, 1100);
+    let (sql, _mem) = build_stores(&data);
+    let db = sql.database();
+    let count_sql = sql.translate_query("g.V.out.out.count()").unwrap();
+    let before = db.execute(&count_sql).unwrap().rows.clone();
+    assert!(db.csr_cache_len() > 0, "autocommit read should prime CSR");
+
+    let mut txn = db.begin();
+    let in_txn_first = txn.execute(&count_sql).unwrap().rows;
+    assert_eq!(in_txn_first, before);
+
+    // Concurrent autocommit writer: new edges through the graph update
+    // procedures (they rewrite OPA/IPA/OSA/ISA/EA consistently).
+    for i in 0..10 {
+        Blueprints::add_edge(&sql, 1 + i, 2 + i, "knows", &[]).unwrap();
+    }
+    // The shared cache must not serve the stale entry to new readers...
+    let after_write = db.execute(&count_sql).unwrap().rows.clone();
+    assert_ne!(after_write, before, "writer's commit must be visible");
+    // ...and the rebuilt entry must not leak into the open transaction.
+    let in_txn_second = txn.execute(&count_sql).unwrap().rows;
+    assert_eq!(
+        in_txn_second, before,
+        "snapshot reader observed a CSR rebuilt past its snapshot"
+    );
+    txn.rollback();
+    assert_eq!(db.execute(&count_sql).unwrap().rows, after_write);
+}

@@ -93,6 +93,16 @@ pub struct Database {
     coarse_txn_lock: Arc<RwLock<()>>,
     /// Commits since the last automatic vacuum.
     commits_since_vacuum: std::sync::atomic::AtomicU64,
+    /// CSR adjacency access path switch (on by default). Off = probes run
+    /// index nested-loop row-at-a-time, for A/B and differential testing.
+    csr: std::sync::atomic::AtomicBool,
+    /// Lazily built CSR adjacency entries, keyed by (table, index, kept
+    /// columns). Entries are validated against the table's content version
+    /// and commit clock on every lookup (see [`Database::csr_for`]) so a
+    /// stale entry is never served.
+    csr_cache: RwLock<FxHashMap<crate::csr::CsrKey, Arc<crate::csr::CsrEntry>>>,
+    /// Total CSR builds performed (cache-miss observability for tests).
+    csr_builds: std::sync::atomic::AtomicU64,
     /// What recovery found, when this database was opened from a log.
     recovery: Option<RecoveryReport>,
 }
@@ -273,6 +283,9 @@ impl Database {
             coarse_writes: std::sync::atomic::AtomicBool::new(false),
             coarse_txn_lock: Arc::new(RwLock::new(())),
             commits_since_vacuum: std::sync::atomic::AtomicU64::new(0),
+            csr: std::sync::atomic::AtomicBool::new(true),
+            csr_cache: RwLock::new(FxHashMap::default()),
+            csr_builds: std::sync::atomic::AtomicU64::new(0),
             recovery: None,
         }
     }
@@ -324,6 +337,97 @@ impl Database {
     pub fn set_batch_enabled(&self, on: bool) {
         self.batch.store(on, std::sync::atomic::Ordering::Relaxed);
         self.stmt_cache.write().clear();
+    }
+
+    /// Whether the CSR adjacency access path is enabled.
+    pub fn csr_enabled(&self) -> bool {
+        self.csr.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Toggle the CSR adjacency access path (on by default). When off, the
+    /// planner falls back to row-at-a-time index nested-loop probes —
+    /// byte-identical output, for A/B and differential testing. Flushes the
+    /// prepared-statement cache and drops every cached CSR entry.
+    pub fn set_csr_enabled(&self, on: bool) {
+        self.csr.store(on, std::sync::atomic::Ordering::Relaxed);
+        self.stmt_cache.write().clear();
+        self.csr_cache.write().clear();
+    }
+
+    /// Number of cached CSR adjacency entries (test hook).
+    pub fn csr_cache_len(&self) -> usize {
+        self.csr_cache.read().len()
+    }
+
+    /// Total CSR entries built since startup, cached or private (test hook:
+    /// a cache hit leaves this unchanged, an invalidation forces a rebuild
+    /// and increments it).
+    pub fn csr_builds(&self) -> u64 {
+        self.csr_builds.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Drop every cached CSR entry built over `table` (case-insensitive).
+    /// Called on `ANALYZE` and `DROP TABLE`: both mark points where caches
+    /// derived from the old table contents must not linger.
+    pub fn invalidate_csr(&self, table: &str) {
+        let lower = table.to_ascii_lowercase();
+        self.csr_cache.write().retain(|k, _| k.table != lower);
+    }
+
+    /// Fetch or build the CSR entry for (`table`, `index`, `keep`) as seen
+    /// by `snap`, where `t` is the already-acquired read guard over
+    /// `table`.
+    ///
+    /// Cache discipline (the MVCC contract):
+    /// * Only read-only snapshots (`token == 0`) touch the shared cache.
+    ///   A reader inside a transaction gets a **private** entry built
+    ///   against its own snapshot, so it can never observe a CSR rebuilt
+    ///   past that snapshot by a concurrent committer.
+    /// * A cached entry is served only while the table's content version
+    ///   still equals the entry's build version (any insert/delete/update,
+    ///   commit stamp, rollback, vacuum prune, index DDL, or `ANALYZE`
+    ///   bumps it — this is also what invalidates an entry when the row
+    ///   count drifts past the stats-staleness threshold) **and** the
+    ///   snapshot is at or past the table's newest commit timestamp.
+    /// * A freshly built entry is published only under the same
+    ///   conditions; otherwise it stays private to the calling query.
+    pub(crate) fn csr_for(
+        &self,
+        t: &Table,
+        table: &str,
+        index: &str,
+        keep: &[usize],
+        snap: Snapshot,
+    ) -> Result<Arc<crate::csr::CsrEntry>> {
+        let key = crate::csr::CsrKey {
+            table: table.to_string(),
+            index: index.to_string(),
+            keep: keep.to_vec(),
+        };
+        // The caller holds the table's read guard, so the content version
+        // cannot change while we validate, build, or publish.
+        let version = t.content_version();
+        let cacheable = snap.token == 0 && snap.ts >= t.last_commit_ts();
+        if snap.token == 0 {
+            let hit = self.csr_cache.read().get(&key).cloned();
+            if let Some(entry) = hit {
+                if entry.built_version == version && cacheable {
+                    return Ok(entry);
+                }
+                // Stale: evict so the cache length reflects reality.
+                let mut cache = self.csr_cache.write();
+                if cache.get(&key).is_some_and(|e| e.built_version != version) {
+                    cache.remove(&key);
+                }
+            }
+        }
+        let entry = Arc::new(crate::csr::CsrEntry::build(t, index, keep, snap)?);
+        self.csr_builds
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if cacheable {
+            self.csr_cache.write().insert(key, entry.clone());
+        }
+        Ok(entry)
     }
 
     /// Set intra-query parallelism: `0` = auto (the planner picks a DOP
@@ -984,8 +1088,9 @@ impl Database {
                     // Cached statements were planned against this table's
                     // schema; a later CREATE TABLE under the same name
                     // must not serve plans bound to the dropped
-                    // incarnation.
+                    // incarnation. Same for CSR entries built over it.
                     self.stmt_cache.write().clear();
+                    self.invalidate_csr(&lower);
                     state.journal.redo.push(WalRecord::Ddl {
                         sql: format!("DROP TABLE IF EXISTS {lower}"),
                     });
@@ -1034,11 +1139,19 @@ impl Database {
                 };
                 let mut rows = Vec::new();
                 for name in names {
-                    let mut t = self.write_table(&name)?;
-                    let stats = crate::stats::TableStats::analyze(&t);
-                    let count = stats.row_count as i64;
-                    t.set_stats(stats);
-                    rows.push(vec![Value::str(name), Value::Int(count)]);
+                    {
+                        let mut t = self.write_table(&name)?;
+                        let stats = crate::stats::TableStats::analyze(&t);
+                        let count = stats.row_count as i64;
+                        t.set_stats(stats);
+                        rows.push(vec![Value::str(name.clone()), Value::Int(count)]);
+                    }
+                    // Fresh statistics mark a reload/bulk-change boundary:
+                    // drop any CSR adjacency entries built from the old
+                    // table contents (set_stats also bumped the content
+                    // version, so a lingering entry could never be served —
+                    // this keeps the cache from pinning dead memory).
+                    self.invalidate_csr(&name);
                 }
                 Ok(Relation {
                     columns: vec!["table".into(), "rows".into()],

@@ -712,6 +712,43 @@ fn run_aggregate(
         proj_exprs.push(ke);
     }
 
+    // Factorized COUNT(*): a count-only scalar aggregate over a factored
+    // input needs just the leaf count plus the first path as the group
+    // representative — the expansion lists are never flattened.
+    if let Data::Factor(f) = &data {
+        if group_exprs.is_empty()
+            && !aggs.is_empty()
+            && aggs
+                .iter()
+                .all(|s| s.func == AggFn::CountStar && !s.distinct)
+        {
+            let n = f.leaf_count();
+            env.note(|| format!("aggregate (factorized count, {n} paths)"));
+            let mut extended: Row = f
+                .first_path_row()
+                .unwrap_or_else(|| vec![Value::Null; scope.width]);
+            for _ in &aggs {
+                extended.push(Value::Int(n as i64));
+            }
+            let mut out_rows = Vec::new();
+            let passes = match &having {
+                Some(h) => h.eval_bool(&extended)?,
+                None => true,
+            };
+            if passes {
+                let mut out = Vec::with_capacity(proj_exprs.len());
+                for e in &proj_exprs {
+                    out.push(e.eval(&extended)?);
+                }
+                out_rows.push(out);
+            }
+            return Ok(Relation {
+                columns: names,
+                rows: out_rows,
+            });
+        }
+    }
+
     // Group rows morsel by morsel into per-worker partial accumulators,
     // then merge partials in morsel order. The decomposition depends only
     // on input size — never on the DOP — so serial and parallel runs fold
@@ -762,6 +799,36 @@ fn run_aggregate(
             }
         }
         Data::Rows(rows) => AggInput::Rows(rows),
+        // Aggregation merges are a row-semantics operator: flatten here
+        // (the count-only fast path above already handled the list case).
+        // Only the columns the aggregation actually reads — group keys,
+        // aggregate arguments, HAVING, and projection inputs — are cloned;
+        // everything else flattens as NULL at full row width.
+        Data::Factor(f) => {
+            let mut mask = vec![false; scope.width];
+            let mut need = |e: &Expr| {
+                e.visit_columns(&mut |c| {
+                    if c < mask.len() {
+                        mask[c] = true;
+                    }
+                })
+            };
+            for g in &group_exprs {
+                need(g);
+            }
+            for s in &aggs {
+                if let Some(a) = &s.arg {
+                    need(a);
+                }
+            }
+            if let Some(h) = &having {
+                need(h);
+            }
+            for p in &proj_exprs {
+                need(p);
+            }
+            AggInput::Rows(f.flatten_masked(&mask))
+        }
     };
 
     let input_ref = &input;
@@ -1086,14 +1153,179 @@ pub(crate) enum Data {
     /// contributes one zero-length batch so `Batch::compact` can learn the
     /// width downstream.
     Batches(Vec<Batch>),
+    /// List-based (factorized) representation produced by CSR adjacency
+    /// expansion: base rows plus one offset-delimited expansion level per
+    /// CSR step. Flattening reproduces the row engine's nested-loop output
+    /// exactly, so any operator may fall back via `into_rows`.
+    Factor(Factored),
+}
+
+/// One expansion level of a [`Factored`] intermediate: element `e` belongs
+/// to parent `p` (a base row for level 0, an element of the previous level
+/// otherwise) iff `offsets[p] <= e < offsets[p + 1]`. Elements keep the
+/// index's posting order, so a depth-first walk visits exactly the rows the
+/// row engine's index nested-loop join would produce, in the same order.
+pub(crate) struct Level {
+    /// `parent_count + 1` offsets into the element arrays.
+    offsets: Vec<u32>,
+    /// One value vector per kept column (may be empty when the step keeps
+    /// zero columns; `len` still counts elements).
+    cols: Vec<Vec<Value>>,
+    /// Element count (`offsets.last()`), tracked separately because `cols`
+    /// can be empty.
+    len: usize,
+}
+
+/// Factorized intermediate data: `base` rows and a chain of expansion
+/// [`Level`]s. Each leaf element has exactly one ancestor chain, so the
+/// logical row count is the last level's element count and per-leaf
+/// filtering equals per-flattened-row filtering.
+pub(crate) struct Factored {
+    base: Vec<Row>,
+    /// Width of every base row (kept explicitly so an empty base still
+    /// knows its scope width).
+    base_width: usize,
+    /// Invariant: never empty — a factor exists only once a CSR step has
+    /// expanded at least one level.
+    levels: Vec<Level>,
+}
+
+impl Factored {
+    /// Logical (flattened) row count: one row per leaf element.
+    fn leaf_count(&self) -> usize {
+        self.levels.last().map_or(self.base.len(), |l| l.len)
+    }
+
+    /// Column offset where the last level's values start in a flattened row.
+    fn last_level_start(&self) -> usize {
+        self.base_width
+            + self.levels[..self.levels.len() - 1]
+                .iter()
+                .map(|l| l.cols.len())
+                .sum::<usize>()
+    }
+
+    /// Depth-first flatten: for each base row in order, expand each level's
+    /// elements in order — byte-identical to the nested index-probe loops
+    /// the plan would otherwise run.
+    fn flatten(self) -> Vec<Row> {
+        fn rec(levels: &[Level], parent: usize, prefix: &mut Row, out: &mut Vec<Row>) {
+            let (lv, rest) = levels.split_first().expect("levels never empty here");
+            let (lo, hi) = (lv.offsets[parent] as usize, lv.offsets[parent + 1] as usize);
+            for e in lo..hi {
+                let w = prefix.len();
+                for col in &lv.cols {
+                    prefix.push(col[e].clone());
+                }
+                if rest.is_empty() {
+                    out.push(prefix.clone());
+                } else {
+                    rec(rest, e, prefix, out);
+                }
+                prefix.truncate(w);
+            }
+        }
+        if self.levels.is_empty() {
+            return self.base;
+        }
+        let mut out = Vec::with_capacity(self.leaf_count());
+        let mut prefix: Row = Vec::new();
+        for (b, row) in self.base.iter().enumerate() {
+            prefix.clear();
+            prefix.extend_from_slice(row);
+            rec(&self.levels, b, &mut prefix, &mut out);
+        }
+        out
+    }
+
+    /// Flatten, cloning only the columns marked in `mask` — the rest come
+    /// out as `NULL`. Consumers that provably never read the unmasked
+    /// columns (aggregation reads group keys, aggregate arguments, HAVING,
+    /// and projection inputs only) get rows of the full width — column
+    /// indices stay valid — without paying for the dead values. Row count
+    /// and order are exactly [`Factored::flatten`]'s.
+    fn flatten_masked(self, mask: &[bool]) -> Vec<Row> {
+        if mask.iter().all(|&m| m) {
+            return self.flatten();
+        }
+        // `prefix.len()` on entry to a level is that level's first absolute
+        // column index, so the mask indexes directly.
+        fn rec(
+            levels: &[Level],
+            parent: usize,
+            prefix: &mut Row,
+            mask: &[bool],
+            out: &mut Vec<Row>,
+        ) {
+            let (lv, rest) = levels.split_first().expect("levels never empty here");
+            let (lo, hi) = (lv.offsets[parent] as usize, lv.offsets[parent + 1] as usize);
+            let w = prefix.len();
+            for e in lo..hi {
+                for (c, col) in lv.cols.iter().enumerate() {
+                    prefix.push(if mask[w + c] {
+                        col[e].clone()
+                    } else {
+                        Value::Null
+                    });
+                }
+                if rest.is_empty() {
+                    out.push(prefix.clone());
+                } else {
+                    rec(rest, e, prefix, mask, out);
+                }
+                prefix.truncate(w);
+            }
+        }
+        let keep_base = |row: &Row| -> Row {
+            row.iter()
+                .enumerate()
+                .map(|(c, v)| if mask[c] { v.clone() } else { Value::Null })
+                .collect()
+        };
+        if self.levels.is_empty() {
+            return self.base.iter().map(keep_base).collect();
+        }
+        let mut out = Vec::with_capacity(self.leaf_count());
+        let mut prefix: Row = Vec::new();
+        for (b, row) in self.base.iter().enumerate() {
+            prefix.clear();
+            prefix.extend(keep_base(row));
+            rec(&self.levels, b, &mut prefix, mask, &mut out);
+        }
+        out
+    }
+
+    /// The first flattened row (the aggregate representative) without
+    /// materializing the rest, or `None` when there are no leaves.
+    fn first_path_row(&self) -> Option<Row> {
+        if self.leaf_count() == 0 {
+            return None;
+        }
+        // Walk ancestor indices from the first leaf up: the parent of
+        // element `e` is the last offset entry at or below `e`.
+        let mut elem = vec![0usize; self.levels.len()];
+        let mut idx = 0usize;
+        for (d, lv) in self.levels.iter().enumerate().rev() {
+            elem[d] = idx;
+            idx = lv.offsets.partition_point(|&o| o as usize <= idx) - 1;
+        }
+        let mut row = self.base[idx].clone();
+        for (lv, &e) in self.levels.iter().zip(&elem) {
+            for col in &lv.cols {
+                row.push(col[e].clone());
+            }
+        }
+        Some(row)
+    }
 }
 
 impl Data {
-    /// Live row count (honoring selection vectors).
+    /// Live row count (honoring selection vectors; leaf paths for factors).
     fn len(&self) -> usize {
         match self {
             Data::Rows(r) => r.len(),
             Data::Batches(bs) => bs.iter().map(Batch::selected).sum(),
+            Data::Factor(f) => f.leaf_count(),
         }
     }
 
@@ -1102,6 +1334,7 @@ impl Data {
         match self {
             Data::Rows(r) => r,
             Data::Batches(bs) => bs.iter().flat_map(Batch::to_rows).collect(),
+            Data::Factor(f) => f.flatten(),
         }
     }
 
@@ -1123,9 +1356,18 @@ enum Produced {
 fn exec_from(env: &Env<'_>, plan: &mut plan::FromPlan) -> Result<Data> {
     let mut data = Data::Rows(vec![Vec::new()]); // identity row
     for step in &mut plan.steps {
+        let was_factor = matches!(&data, Data::Factor(_));
         data = exec_step(env, step, data)?;
         for p in &step.after {
             data = filter_data(env, data, p)?;
+        }
+        // EXPLAIN's per-step list-vs-flat mode: a step whose output stays
+        // factorized runs in list mode; the step that materializes a
+        // factored input back to rows is the flatten point.
+        if matches!(&data, Data::Factor(_)) {
+            step.exec.list_out = Some(true);
+        } else if was_factor {
+            step.exec.list_out = Some(false);
         }
         step.exec.actual = Some(data.len());
     }
@@ -1200,6 +1442,84 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
                         }
                     }
                     Produced::Done(Data::Rows(out))
+                }
+                Access::Csr { index, part } => {
+                    // CSR adjacency expansion: probe keys resolve through a
+                    // compressed per-key grouping of the index's postings
+                    // (cached across statements when the snapshot allows —
+                    // see `Database::csr_for`). Output stays factorized:
+                    // the expansion is appended as an offset-delimited
+                    // level instead of materializing one row per match.
+                    let entry = env.db.csr_for(t, table, index, keep, env.snap)?;
+                    step.exec.csr_groups = Some(entry.group_count());
+                    let width = keep.len();
+                    let ldata = left.take().expect("left consumed once");
+                    // A factored input extends in place when the probe key
+                    // only reads the last level's columns (each leaf then
+                    // owns its key); otherwise flatten first.
+                    let extend = match &ldata {
+                        Data::Factor(f) if !f.levels.is_empty() => {
+                            let start = f.last_level_start();
+                            let lw = f.levels.last().expect("checked non-empty").cols.len();
+                            let mut ok = true;
+                            part.visit_columns(&mut |c| {
+                                if c < start || c >= start + lw {
+                                    ok = false;
+                                }
+                            });
+                            ok
+                        }
+                        _ => false,
+                    };
+                    let mut offsets: Vec<u32> = vec![0];
+                    let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::new()).collect();
+                    let mut total = 0usize;
+                    if extend {
+                        let Data::Factor(mut f) = ldata else {
+                            unreachable!("extend implies factored input");
+                        };
+                        let start = f.last_level_start();
+                        let last = f.levels.last().expect("checked non-empty");
+                        // Scratch row: NULL prefix (the probe never reads
+                        // it) + the leaf element's own columns.
+                        let mut buf: Row = vec![Value::Null; start];
+                        for e in 0..last.len {
+                            buf.truncate(start);
+                            for col in &last.cols {
+                                buf.push(col[e].clone());
+                            }
+                            let key = part.eval(&buf)?;
+                            if !key.is_null() {
+                                total += entry.expand_into(&key, &mut cols);
+                            }
+                            offsets.push(total as u32);
+                        }
+                        f.levels.push(Level {
+                            offsets,
+                            cols,
+                            len: total,
+                        });
+                        Produced::Done(Data::Factor(f))
+                    } else {
+                        let base = ldata.into_rows();
+                        let base_width = base.first().map_or(0, Vec::len);
+                        for l in &base {
+                            let key = part.eval(l)?;
+                            if !key.is_null() {
+                                total += entry.expand_into(&key, &mut cols);
+                            }
+                            offsets.push(total as u32);
+                        }
+                        Produced::Done(Data::Factor(Factored {
+                            base,
+                            base_width,
+                            levels: vec![Level {
+                                offsets,
+                                cols,
+                                len: total,
+                            }],
+                        }))
+                    }
                 }
                 Access::Point { index, key, .. } => {
                     let idx = find_index(t, index)?;
@@ -1340,20 +1660,79 @@ fn exec_step(env: &Env<'_>, step: &mut plan::Step, left: Data) -> Result<Data> {
         StepKind::Rel { rel, .. } => Produced::Right(Data::Rows(std::mem::take(&mut rel.rows))),
         StepKind::LateralValues {
             rows: compiled_rows,
-            arity: _,
+            arity,
         } => {
-            let lrows = left.take().expect("left consumed once").into_rows();
-            let mut out = Vec::with_capacity(lrows.len() * compiled_rows.len());
-            for row in lrows {
-                for cr in compiled_rows.iter() {
-                    let mut extended = row.clone();
-                    for e in cr {
-                        extended.push(e.eval(&row)?);
+            let ldata = left.take().expect("left consumed once");
+            // A factored input stays factored when every row expression
+            // reads only the last level's columns (the unpivot then nests
+            // as one more offset-delimited level instead of materializing
+            // the full-width cross product). Flatten order is preserved:
+            // each leaf's lateral rows nest under it in VALUES order.
+            let listwise = match &ldata {
+                Data::Factor(f) if !f.levels.is_empty() => {
+                    let start = f.last_level_start();
+                    let lw = f.levels.last().expect("checked non-empty").cols.len();
+                    let mut ok = true;
+                    for cr in compiled_rows.iter() {
+                        for e in cr {
+                            e.visit_columns(&mut |c| {
+                                if c < start || c >= start + lw {
+                                    ok = false;
+                                }
+                            });
+                        }
                     }
-                    out.push(extended);
+                    ok
                 }
+                _ => false,
+            };
+            if listwise {
+                let Data::Factor(mut f) = ldata else {
+                    unreachable!("listwise implies factored input");
+                };
+                let start = f.last_level_start();
+                let last = f.levels.last().expect("checked non-empty");
+                let k = compiled_rows.len();
+                let parent_len = last.len;
+                let mut offsets: Vec<u32> = Vec::with_capacity(parent_len + 1);
+                offsets.push(0);
+                let mut cols: Vec<Vec<Value>> = (0..*arity)
+                    .map(|_| Vec::with_capacity(parent_len * k))
+                    .collect();
+                // Scratch row: NULL prefix (never read) + the leaf element.
+                let mut buf: Row = vec![Value::Null; start];
+                for e in 0..parent_len {
+                    buf.truncate(start);
+                    for col in &last.cols {
+                        buf.push(col[e].clone());
+                    }
+                    for cr in compiled_rows.iter() {
+                        for (j, expr) in cr.iter().enumerate() {
+                            cols[j].push(expr.eval(&buf)?);
+                        }
+                    }
+                    offsets.push(((e + 1) * k) as u32);
+                }
+                f.levels.push(Level {
+                    offsets,
+                    cols,
+                    len: parent_len * k,
+                });
+                Produced::Done(Data::Factor(f))
+            } else {
+                let lrows = ldata.into_rows();
+                let mut out = Vec::with_capacity(lrows.len() * compiled_rows.len());
+                for row in lrows {
+                    for cr in compiled_rows.iter() {
+                        let mut extended = row.clone();
+                        for e in cr {
+                            extended.push(e.eval(&row)?);
+                        }
+                        out.push(extended);
+                    }
+                }
+                Produced::Done(Data::Rows(out))
             }
-            Produced::Done(Data::Rows(out))
         }
         StepKind::LateralFunc {
             func,
@@ -1584,6 +1963,57 @@ fn filter_data(env: &Env<'_>, data: Data, p: &Expr) -> Result<Data> {
                 b.sel = Some(new);
             }
             Ok(Data::Batches(bs))
+        }
+        Data::Factor(mut f) => {
+            // A predicate that only reads the last level's columns filters
+            // leaf elements list-wise (each leaf is exactly one flattened
+            // row, so dropping an element drops exactly that row); anything
+            // touching earlier columns falls back to flattening.
+            let start = f.last_level_start();
+            let w = f
+                .levels
+                .last()
+                .expect("factor levels never empty")
+                .cols
+                .len();
+            let mut leaf_only = true;
+            p.visit_columns(&mut |c| {
+                if c < start || c >= start + w {
+                    leaf_only = false;
+                }
+            });
+            if !leaf_only {
+                return Ok(Data::Rows(filter_rows_par(env, f.flatten(), p)?));
+            }
+            let last = f.levels.last_mut().expect("factor levels never empty");
+            let mut buf: Row = vec![Value::Null; start];
+            let mut offsets: Vec<u32> = Vec::with_capacity(last.offsets.len());
+            offsets.push(0);
+            let mut cols: Vec<Vec<Value>> = (0..w).map(|_| Vec::new()).collect();
+            let mut kept = 0usize;
+            for parent in 0..last.offsets.len() - 1 {
+                let (lo, hi) = (
+                    last.offsets[parent] as usize,
+                    last.offsets[parent + 1] as usize,
+                );
+                for e in lo..hi {
+                    buf.truncate(start);
+                    for col in &last.cols {
+                        buf.push(col[e].clone());
+                    }
+                    if p.eval_bool(&buf)? {
+                        for (nc, col) in cols.iter_mut().zip(&last.cols) {
+                            nc.push(col[e].clone());
+                        }
+                        kept += 1;
+                    }
+                }
+                offsets.push(kept as u32);
+            }
+            last.offsets = offsets;
+            last.cols = cols;
+            last.len = kept;
+            Ok(Data::Factor(f))
         }
     }
 }

@@ -247,6 +247,17 @@ impl Index {
             Map::BTree(m) => m.len(),
         }
     }
+
+    /// Iterate every (key, postings) entry. Hash indexes yield keys in
+    /// arbitrary order, B-trees in key order; within an entry the postings
+    /// keep their insertion order — the same order [`Index::lookup`]
+    /// returns, which the CSR builder relies on for byte-identical results.
+    pub fn entries(&self) -> Box<dyn Iterator<Item = (&IndexKey, &[RowId])> + '_> {
+        match &self.map {
+            Map::Hash(m) => Box::new(m.iter().map(|(k, v)| (k, v.as_slice()))),
+            Map::BTree(m) => Box::new(m.iter().map(|(k, v)| (k, v.as_slice()))),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 
 pub mod batch;
 pub mod checkpoint;
+pub mod csr;
 pub mod db;
 pub mod error;
 pub mod exec;

@@ -78,6 +78,11 @@ pub(crate) struct StepExec {
     pub(crate) join_rows: Option<usize>,
     /// DOP used by the hash/cross join.
     pub(crate) join_dop: Option<usize>,
+    /// Distinct probe groups in the CSR entry a csr scan went through.
+    pub(crate) csr_groups: Option<usize>,
+    /// Whether a csr step emitted factorized lists (`true`) or had to
+    /// flatten into rows (`false`). `None` for non-csr steps.
+    pub(crate) list_out: Option<bool>,
 }
 
 /// How a step produces its unit rows.
@@ -118,6 +123,16 @@ pub(crate) enum Access {
     Probe {
         index: String,
         parts: Vec<ProbePart>,
+    },
+    /// Compressed adjacency probe: like `Probe`, but through a cached CSR
+    /// entry ([`crate::csr::CsrEntry`]) built lazily from the index — an
+    /// O(1) group lookup plus a dense range copy per accumulated row, with
+    /// the expansion kept as offset-delimited lists (factorized) until an
+    /// operator needs row semantics. Byte-identical to `Probe`.
+    Csr {
+        index: String,
+        /// The single probe-key expression (combined layout).
+        part: Expr,
     },
     /// Constant-key index lookup.
     Point {
@@ -1216,6 +1231,42 @@ fn pick_attach(
 /// Plan a base-table attach: choose index probe / point / range / full scan
 /// (the same strategy ladder the in-line executor used), scoop local
 /// filters, and pick the join strategy.
+/// Minimum live rows before the planner routes a probe through the CSR
+/// adjacency cache: below this the O(table) lazy build cannot beat plain
+/// index nested-loop probes even with perfect reuse.
+const CSR_MIN_ROWS: usize = 256;
+
+/// Whether a probe-side index nested-loop scan should go through the CSR
+/// compressed-adjacency path instead: the scan must be adjacency-shaped —
+/// a single probed key part over a non-unique hash index (unique indexes
+/// are 1:1 point lookups that the probe path already serves optimally, and
+/// B-trees also answer range scans the flat CSR layout cannot) — over a
+/// table big enough to amortize the lazy build.
+fn csr_eligible(
+    env: &Env<'_>,
+    table: &crate::storage::Table,
+    idx: &crate::index::Index,
+    parts: &[ProbePart],
+) -> bool {
+    env.db.csr_enabled()
+        && parts.len() == 1
+        && matches!(parts[0], ProbePart::Probe(_))
+        && !idx.unique
+        && idx.kind() == crate::index::IndexKind::Hash
+        && table.len() >= CSR_MIN_ROWS
+}
+
+/// Estimated average rows per probe group, for EXPLAIN: analyzed (fresh)
+/// statistics when available, otherwise the index's exact distinct-key
+/// count.
+fn csr_est_fanout(table: &crate::storage::Table, idx: &crate::index::Index) -> f64 {
+    let live = table.len();
+    match table.stats().filter(|s| !s.is_stale(live)) {
+        Some(s) => s.avg_fanout(&idx.parts[0], live),
+        None => live as f64 / idx.distinct_keys().max(1) as f64,
+    }
+}
+
 fn plan_base_table(
     env: &Env<'_>,
     scope: &mut Scope,
@@ -1346,14 +1397,25 @@ fn plan_base_table(
             pending[*pi] = None;
         }
         if uses_probe {
+            let access = if csr_eligible(env, table, idx, &parts) {
+                let Some(ProbePart::Probe(part)) = parts.into_iter().next() else {
+                    unreachable!("eligibility requires a single probe part")
+                };
+                Access::Csr {
+                    index: idx.name.clone(),
+                    part,
+                }
+            } else {
+                Access::Probe {
+                    index: idx.name.clone(),
+                    parts,
+                }
+            };
             return Ok((
                 StepKind::Scan {
                     table: name.to_string(),
                     keep,
-                    access: Access::Probe {
-                        index: idx.name.clone(),
-                        parts,
-                    },
+                    access,
                     locals: Vec::new(),
                 },
                 Attach::Probe,
@@ -1516,6 +1578,25 @@ pub(crate) fn render_notes(env: &Env<'_>, plan: &FromPlan) {
                         )
                     });
                 }
+                Access::Csr { index, .. } => {
+                    env.note(|| {
+                        let fanout = env
+                            .db
+                            .read_table(table)
+                            .map(|t| {
+                                t.indexes()
+                                    .iter()
+                                    .find(|i| &i.name == index)
+                                    .map(|i| csr_est_fanout(&t, i))
+                                    .unwrap_or(0.0)
+                            })
+                            .unwrap_or(0.0);
+                        format!(
+                            "{table}: csr adjacency via index {index} ({} groups, est fanout {fanout:.1})",
+                            x.csr_groups.unwrap_or_default()
+                        )
+                    });
+                }
                 Access::Point { index, parts, .. } => {
                     env.note(|| {
                         format!("{table}: index scan via index {index} ({parts} key parts)")
@@ -1590,7 +1671,17 @@ pub(crate) fn render_notes(env: &Env<'_>, plan: &FromPlan) {
             Attach::Probe | Attach::Flatten => {}
         }
         if let (Some(est), Some(actual)) = (step.est, x.actual) {
-            env.note(|| format!("{}: estimated {est:.0} rows, actual {actual}", step.label));
+            let mode = match x.list_out {
+                Some(true) => " (list)",
+                Some(false) => " (flat)",
+                None => "",
+            };
+            env.note(|| {
+                format!(
+                    "{}: estimated {est:.0} rows, actual {actual}{mode}",
+                    step.label
+                )
+            });
         }
     }
 }
@@ -1644,17 +1735,38 @@ fn tree_into(steps: &[Step], i: usize, depth: usize, out: &mut Vec<String>) {
     }
     match &step.attach {
         Attach::Probe => {
-            let (index, parts) = match &step.kind {
+            match &step.kind {
                 StepKind::Scan {
                     access: Access::Probe { index, parts },
                     ..
-                } => (index.as_str(), parts.len()),
-                _ => ("?", 0),
-            };
-            out.push(format!(
-                "{pad}IndexJoin {} (index {index}, {parts} key parts)",
-                step.label
-            ));
+                } => {
+                    out.push(format!(
+                        "{pad}IndexJoin {} (index {index}, {} key parts)",
+                        step.label,
+                        parts.len()
+                    ));
+                }
+                StepKind::Scan {
+                    access: Access::Csr { index, .. },
+                    ..
+                } => {
+                    let mode = match x.list_out {
+                        Some(false) => "flat",
+                        // List output is the design point; report it even if
+                        // the step never executed.
+                        _ => "list",
+                    };
+                    out.push(format!(
+                        "{pad}CsrExpand {} (index {index}, {} groups, {mode})",
+                        step.label,
+                        x.csr_groups.unwrap_or_default()
+                    ));
+                }
+                _ => out.push(format!(
+                    "{pad}IndexJoin {} (index ?, 0 key parts)",
+                    step.label
+                )),
+            }
             tree_into(steps, i - 1, depth + 1, out);
         }
         Attach::Hash { .. } => {
@@ -1694,6 +1806,15 @@ fn leaf_label(step: &Step) -> String {
                 "Probe {} [{table}] (index {index}, {} key parts)",
                 step.label,
                 parts.len()
+            ),
+            Access::Csr { index, .. } => format!(
+                "CsrExpand {} [{table}] (index {index}, {} groups, {})",
+                step.label,
+                x.csr_groups.unwrap_or_default(),
+                match x.list_out {
+                    Some(false) => "flat",
+                    _ => "list",
+                }
             ),
             Access::Point { index, parts, .. } => format!(
                 "Scan {} [{table}] (index {index}, point, {parts} key parts{})",

@@ -135,6 +135,18 @@ impl TableStats {
         1.0 / self.ndv_or_default(part, live_rows) as f64
     }
 
+    /// Estimated average rows per distinct value of `part` — the expected
+    /// fanout of one adjacency expansion. Used by the planner's CSR gate:
+    /// a compressed adjacency entry amortizes its build over
+    /// `live / fanout` distinct probe groups, so very high fanout (few
+    /// huge groups) still pays off while an all-unique key (fanout ≈ 1)
+    /// degenerates to a point-lookup table the probe path already serves
+    /// well. Stale stats (see [`TableStats::is_stale`]) are discarded by
+    /// the caller before consulting this.
+    pub fn avg_fanout(&self, part: &KeyPart, live_rows: usize) -> f64 {
+        live_rows as f64 / self.ndv_or_default(part, live_rows) as f64
+    }
+
     /// Whether the table has drifted more than 2× (either direction) from
     /// the row count recorded when these stats were collected. Stale ndv
     /// estimates mislead the planner, so it discards stats that fail this

@@ -152,6 +152,17 @@ pub struct Table {
     /// invalidated on mutation — stats go stale, the planner compensates by
     /// capping ndv at the live row count.
     stats: Option<crate::stats::TableStats>,
+    /// Physical-content counter: bumped on every mutation of the version
+    /// slab or indexes (inserts, deletes, updates, MVCC stamps/rollbacks,
+    /// vacuum pruning, index DDL) and on `ANALYZE`. Derived caches (the CSR
+    /// adjacency cache) key their validity on it: an unchanged counter
+    /// proves the bytes the cache was built from are untouched.
+    version: std::sync::atomic::AtomicU64,
+    /// Highest commit timestamp stamped into this table (0 = none). A
+    /// snapshot at `ts >= last_commit_ts` sees every committed version and
+    /// no in-flight ones, so caches built under one such snapshot can be
+    /// served to any other.
+    last_commit_ts: std::sync::atomic::AtomicU64,
 }
 
 impl Table {
@@ -163,6 +174,8 @@ impl Table {
             indexes: Vec::new(),
             live: 0,
             stats: None,
+            version: std::sync::atomic::AtomicU64::new(0),
+            last_commit_ts: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -193,12 +206,34 @@ impl Table {
             indexes: Vec::new(),
             live,
             stats: None,
+            version: std::sync::atomic::AtomicU64::new(0),
+            last_commit_ts: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
     /// Install analyzed statistics (see [`crate::stats::TableStats`]).
+    /// Counts as a content-version bump: `ANALYZE` marks a point where
+    /// derived caches built from the pre-analyze table must be rebuilt.
     pub fn set_stats(&mut self, stats: crate::stats::TableStats) {
         self.stats = Some(stats);
+        self.bump_version();
+    }
+
+    /// Current physical-content version (see the field docs).
+    pub fn content_version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Highest commit timestamp stamped into this table (0 = none).
+    pub fn last_commit_ts(&self) -> u64 {
+        self.last_commit_ts
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    #[inline]
+    fn bump_version(&self) {
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     /// Analyzed statistics, if `ANALYZE` has been run on this table.
@@ -313,6 +348,7 @@ impl Table {
             versions: vec![Version::committed(row.into_boxed_slice())],
         });
         self.live += 1;
+        self.bump_version();
         Ok(id)
     }
 
@@ -338,6 +374,7 @@ impl Table {
         if newest.end() == txn::TS_INF {
             self.live -= 1;
         }
+        self.bump_version();
         Ok(newest.row.into_vec())
     }
 
@@ -392,6 +429,7 @@ impl Table {
             vec![Version::committed(new_row.into_boxed_slice())],
         );
         let newest = versions.pop().expect("liveness checked above");
+        self.bump_version();
         Ok(newest.row.into_vec())
     }
 
@@ -409,6 +447,7 @@ impl Table {
         }
         self.rows[id].versions = vec![Version::committed(row.into_boxed_slice())];
         self.live += 1;
+        self.bump_version();
         Ok(())
     }
 
@@ -477,6 +516,7 @@ impl Table {
             versions: vec![Version::provisional(row.into_boxed_slice(), token)],
         });
         self.live += 1;
+        self.bump_version();
         Ok(id)
     }
 
@@ -492,6 +532,7 @@ impl Table {
         check_write(v, token, snap)?;
         v.end.store(txn::marker(token), Ordering::Release);
         self.live -= 1;
+        self.bump_version();
         Ok(())
     }
 
@@ -549,6 +590,7 @@ impl Table {
         for (i, key) in to_add {
             self.indexes[i].add(key, id);
         }
+        self.bump_version();
         Ok(())
     }
 
@@ -561,6 +603,7 @@ impl Table {
         debug_assert_eq!(v.begin(), txn::marker(token));
         self.unindex_unless_shared(id, v.row());
         self.live -= 1;
+        self.bump_version();
     }
 
     /// Undo a provisional delete: clear the marker back to live.
@@ -572,6 +615,7 @@ impl Table {
         debug_assert_eq!(v.end(), txn::marker(token));
         v.end.store(txn::TS_INF, Ordering::Release);
         self.live += 1;
+        self.bump_version();
     }
 
     /// Undo a provisional update: pop the successor, drop its unshared
@@ -589,11 +633,14 @@ impl Table {
             .expect("rollback update: predecessor exists");
         debug_assert_eq!(prev.end(), txn::marker(token));
         prev.end.store(txn::TS_INF, Ordering::Release);
+        self.bump_version();
     }
 
     /// Replace transaction `token`'s markers on row `id` with commit
     /// timestamp `ts`. Idempotent; needs only a shared table guard — the
-    /// stamps are atomics and chain structure is untouched.
+    /// stamps are atomics and chain structure is untouched. Records `ts`
+    /// as the table's newest commit and bumps the content version so
+    /// derived caches built before the commit are invalidated.
     pub fn stamp_commit(&self, id: RowId, token: u64, ts: u64) {
         let own = txn::marker(token);
         let Some(slot) = self.rows.get(id) else {
@@ -607,6 +654,8 @@ impl Table {
                 v.end.store(ts, Ordering::Release);
             }
         }
+        self.last_commit_ts.fetch_max(ts, Ordering::AcqRel);
+        self.bump_version();
     }
 
     /// Reclaim versions invisible to every present and future snapshot:
@@ -634,6 +683,9 @@ impl Table {
                 self.unindex_unless_shared(id, row);
             }
             pruned += removed.len();
+        }
+        if pruned > 0 {
+            self.bump_version();
         }
         pruned
     }
@@ -707,6 +759,7 @@ impl Table {
             }
         }
         self.indexes.push(idx);
+        self.bump_version();
         Ok(())
     }
 
@@ -715,7 +768,11 @@ impl Table {
     pub fn drop_index(&mut self, name: &str) -> bool {
         let before = self.indexes.len();
         self.indexes.retain(|i| i.name != name);
-        self.indexes.len() != before
+        if self.indexes.len() != before {
+            self.bump_version();
+            return true;
+        }
+        false
     }
 
     /// Find an index whose key columns are exactly `columns` (order matters).

@@ -51,6 +51,118 @@ fn set_batch_enabled_flushes_stmt_cache() {
     assert_eq!(rel.scalar(), Some(&Value::Int(5)));
 }
 
+/// A database whose `adj` table is large enough (≥ 256 rows) and shaped
+/// right (non-unique hash index) for the planner to pick the CSR access
+/// path, primed so the CSR cache holds one entry.
+fn csr_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE seed (sid INTEGER PRIMARY KEY)")
+        .unwrap();
+    db.execute("CREATE TABLE adj (id INTEGER PRIMARY KEY, src INTEGER, dst INTEGER)")
+        .unwrap();
+    db.execute("CREATE INDEX adj_src ON adj (src)").unwrap();
+    for i in 0..20 {
+        db.execute_with_params("INSERT INTO seed VALUES (?)", &[Value::Int(i)])
+            .unwrap();
+    }
+    for i in 0..400 {
+        db.execute_with_params(
+            "INSERT INTO adj VALUES (?, ?, ?)",
+            &[Value::Int(i), Value::Int(i % 20), Value::Int(1000 + i)],
+        )
+        .unwrap();
+    }
+    let rel = db
+        .execute("SELECT COUNT(*) FROM seed s, adj a WHERE s.sid = a.src")
+        .unwrap();
+    assert_eq!(rel.scalar(), Some(&Value::Int(400)));
+    assert!(db.csr_cache_len() > 0, "csr cache should be primed");
+    db
+}
+
+#[test]
+fn set_csr_enabled_flushes_stmt_and_csr_caches() {
+    let db = csr_db();
+    assert!(db.stmt_cache_len() > 0);
+    db.set_csr_enabled(false);
+    assert_eq!(db.stmt_cache_len(), 0, "stale plans could still name csr");
+    assert_eq!(db.csr_cache_len(), 0);
+    let rel = db
+        .execute("SELECT COUNT(*) FROM seed s, adj a WHERE s.sid = a.src")
+        .unwrap();
+    assert_eq!(rel.scalar(), Some(&Value::Int(400)));
+    assert_eq!(db.csr_cache_len(), 0, "csr disabled: nothing rebuilt");
+    db.set_csr_enabled(true);
+    db.execute("SELECT COUNT(*) FROM seed s, adj a WHERE s.sid = a.src")
+        .unwrap();
+    assert!(db.csr_cache_len() > 0, "re-enabled: csr rebuilt");
+}
+
+#[test]
+fn analyze_invalidates_cached_csr() {
+    let db = csr_db();
+    assert!(db.csr_cache_len() > 0);
+    db.execute("ANALYZE adj").unwrap();
+    assert_eq!(
+        db.csr_cache_len(),
+        0,
+        "ANALYZE adj must drop the table's cached CSR entries"
+    );
+    // The next query rebuilds against current contents.
+    let builds = db.csr_builds();
+    let rel = db
+        .execute("SELECT COUNT(*) FROM seed s, adj a WHERE s.sid = a.src")
+        .unwrap();
+    assert_eq!(rel.scalar(), Some(&Value::Int(400)));
+    assert!(db.csr_builds() > builds, "post-ANALYZE query rebuilds CSR");
+}
+
+#[test]
+fn row_drift_past_staleness_threshold_rebuilds_csr() {
+    // The >2x drift that invalidates analyzed statistics is mutation-driven,
+    // and every mutation bumps the table content version — so a CSR built
+    // before the drift can never be served after it.
+    let db = csr_db();
+    db.execute("ANALYZE adj").unwrap();
+    db.execute("SELECT COUNT(*) FROM seed s, adj a WHERE s.sid = a.src")
+        .unwrap();
+    assert!(db.csr_cache_len() > 0);
+    let builds = db.csr_builds();
+    // Triple the table: well past the 2x staleness threshold.
+    for i in 400..1200 {
+        db.execute_with_params(
+            "INSERT INTO adj VALUES (?, ?, ?)",
+            &[Value::Int(i), Value::Int(i % 20), Value::Int(1000 + i)],
+        )
+        .unwrap();
+    }
+    let rel = db
+        .execute("SELECT COUNT(*) FROM seed s, adj a WHERE s.sid = a.src")
+        .unwrap();
+    assert_eq!(rel.scalar(), Some(&Value::Int(1200)));
+    assert!(
+        db.csr_builds() > builds,
+        "stale CSR must be rebuilt, not served"
+    );
+}
+
+#[test]
+fn every_mutation_invalidates_cached_csr() {
+    let db = csr_db();
+    let count = || {
+        db.execute("SELECT COUNT(*) FROM seed s, adj a WHERE s.sid = a.src")
+            .unwrap()
+            .scalar()
+            .cloned()
+    };
+    db.execute("DELETE FROM adj WHERE id = 0").unwrap();
+    assert_eq!(count(), Some(Value::Int(399)));
+    db.execute("UPDATE adj SET src = 19 WHERE id = 1").unwrap();
+    assert_eq!(count(), Some(Value::Int(399)));
+    db.execute("INSERT INTO adj VALUES (2000, 0, 42)").unwrap();
+    assert_eq!(count(), Some(Value::Int(400)));
+}
+
 #[test]
 fn reconfigured_query_results_match() {
     // End-to-end guard for the bug class the flush prevents: run a query,

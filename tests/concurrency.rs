@@ -95,9 +95,11 @@ fn concurrent_linkbench_storm_preserves_invariants() {
     use sqlgraph::core::{AdjacencyStrategy, TranslateOptions};
     let hash = TranslateOptions {
         adjacency: AdjacencyStrategy::ForceHash,
+        factorize: false,
     };
     let ea = TranslateOptions {
         adjacency: AdjacencyStrategy::ForceEa,
+        factorize: false,
     };
     let vids = db
         .execute("SELECT vid FROM va WHERE vid >= 0")

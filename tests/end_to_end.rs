@@ -80,9 +80,11 @@ fn physical_strategies_agree() {
     let (g, sql, _, _) = build_all();
     let ea = TranslateOptions {
         adjacency: AdjacencyStrategy::ForceEa,
+        factorize: false,
     };
     let hash = TranslateOptions {
         adjacency: AdjacencyStrategy::ForceHash,
+        factorize: false,
     };
     for spec in adjacency_queries(&g) {
         let a = canon_rel(&sql.query_with(&spec.gremlin, ea).unwrap());
