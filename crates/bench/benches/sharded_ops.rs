@@ -1,0 +1,74 @@
+//! Criterion bench: LinkBench point reads against the hash-partitioned
+//! store, next to the unsharded store on the same dataset.
+//!
+//! Like the other benches this doubles as a correctness gate under
+//! `SQLGRAPH_BENCH_SMOKE`: before any timing, every sampled read is
+//! asserted to return the same result from the 4-shard store as from the
+//! unsharded one, at a dataset size the unit-test corpora never reach.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlgraph_bench::linkops::{LinkOps, ShardedLinkOps, SqlLinkOps};
+use sqlgraph_bench::setup::{build_sharded, build_sqlgraph};
+use sqlgraph_datagen::linkbench::{generate, LinkBenchConfig, Op, Workload};
+
+fn bench_sharded(c: &mut Criterion) {
+    let nodes = 2_000;
+    let data = generate(&LinkBenchConfig::with_nodes(nodes));
+    let sql = build_sqlgraph(&data);
+    let sql_ops = SqlLinkOps {
+        graph: &sql,
+        overhead: std::time::Duration::ZERO,
+    };
+    let sharded = build_sharded(&data, 4);
+    let sharded_ops = ShardedLinkOps {
+        graph: &sharded,
+        overhead: std::time::Duration::ZERO,
+    };
+
+    // Correctness gate: a read-only workload sample must agree between
+    // the sharded and unsharded stores, result for result.
+    let mut wl = Workload::new(7, 0, nodes, 0);
+    let mut checked = 0;
+    while checked < 500 {
+        let op = wl.next_op_mixed(0);
+        let want = sql_ops.apply(&op).unwrap();
+        let got = sharded_ops.apply(&op).unwrap();
+        assert_eq!(want, got, "sharded read diverged on {op:?}");
+        checked += 1;
+    }
+
+    let get_node = Op::GetNode { id: 5 };
+    let get_links = Op::GetLinkList {
+        id: 3,
+        ltype: "assoc_0",
+    };
+    let count_links = Op::CountLink {
+        id: 3,
+        ltype: "assoc_0",
+    };
+
+    let mut group = c.benchmark_group("sharded_ops");
+    group.sample_size(30);
+    group.bench_function("sharded4_get_node", |b| {
+        b.iter(|| sharded_ops.apply(&get_node).unwrap())
+    });
+    group.bench_function("unsharded_get_node", |b| {
+        b.iter(|| sql_ops.apply(&get_node).unwrap())
+    });
+    group.bench_function("sharded4_get_link_list", |b| {
+        b.iter(|| sharded_ops.apply(&get_links).unwrap())
+    });
+    group.bench_function("unsharded_get_link_list", |b| {
+        b.iter(|| sql_ops.apply(&get_links).unwrap())
+    });
+    group.bench_function("sharded4_count_link", |b| {
+        b.iter(|| sharded_ops.apply(&count_links).unwrap())
+    });
+    group.bench_function("unsharded_count_link", |b| {
+        b.iter(|| sql_ops.apply(&count_links).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

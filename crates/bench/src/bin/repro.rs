@@ -14,6 +14,7 @@
 //!   fig9     Figure 9 (LinkBench throughput)
 //!   throughput  §5.2 concurrency: ops/sec at 1/2/4/8 client threads
 //!   throughput-mixed  mixed read/write: MVCC vs per-table-lock baseline
+//!   shard-sweep hash-partitioned store: ops/sec at 1/2/4/8 shards
 //!   table6   Table 6 (per-op latency, mid scale)
 //!   table7   Table 7 (per-op latency, largest scale)
 //!   sizes    §5.1 storage footprints
@@ -56,6 +57,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--lb-ops needs an integer"));
             }
+            "--shard-nodes" => {
+                i += 1;
+                config.shard_nodes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--shard-nodes needs an integer"));
+            }
             name if !name.starts_with('-') => experiment = name.to_string(),
             other => die(&format!("unknown flag {other}")),
         }
@@ -79,6 +87,7 @@ fn main() {
             "fig9" => experiments::fig9(config),
             "throughput" => experiments::throughput(config),
             "throughput-mixed" => experiments::throughput_mixed(config),
+            "shard-sweep" => experiments::shard_sweep(config),
             "table6" => experiments::table67(config, false),
             "table7" => experiments::table67(config, true),
             "sizes" => experiments::sizes(config),
@@ -101,6 +110,7 @@ fn main() {
             "fig9",
             "throughput",
             "throughput-mixed",
+            "shard-sweep",
             "table6",
             "table7",
             "sizes",
@@ -116,8 +126,8 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig3|fig4|table3|table4|fig6|longpath|fig8|fig8c|fig9|throughput|throughput-mixed|table6|table7|sizes|recovery|all> \
-         [--scale F] [--runs N] [--lb-ops N] [--quick]"
+        "usage: repro <fig3|fig4|table3|table4|fig6|longpath|fig8|fig8c|fig9|throughput|throughput-mixed|shard-sweep|table6|table7|sizes|recovery|all> \
+         [--scale F] [--runs N] [--lb-ops N] [--shard-nodes N] [--quick]"
     );
 }
 

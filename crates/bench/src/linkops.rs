@@ -8,7 +8,7 @@
 //! one indexed SQL statement, writes run as the multi-table stored
 //! procedures.
 
-use sqlgraph_core::SqlGraph;
+use sqlgraph_core::{ShardedGraph, SqlGraph};
 use sqlgraph_datagen::linkbench::Op;
 use sqlgraph_gremlin::{Blueprints, Direction};
 use sqlgraph_json::Json;
@@ -172,6 +172,93 @@ impl LinkOps for SqlLinkOps<'_> {
                     &[Value::Int(*id), Value::str(*ltype)],
                 )
                 .map_err(|e| e.to_string())?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Set-oriented LinkBench driver over the hash-partitioned store.
+///
+/// Every LinkBench read keys on a single node id, and an out-edge's `EA`
+/// row lives on its source's shard — so each read routes to exactly one
+/// shard's database and runs the same single indexed statement
+/// [`SqlLinkOps`] issues. Writes go through the sharded graph procedures
+/// (cross-shard links commit two-shard atomically under the shared
+/// timestamp oracle).
+pub struct ShardedLinkOps<'g> {
+    /// The partitioned store.
+    pub graph: &'g ShardedGraph,
+    /// One round trip per operation.
+    pub overhead: std::time::Duration,
+}
+
+impl LinkOps for ShardedLinkOps<'_> {
+    fn apply(&self, op: &Op) -> Result<bool, String> {
+        if !self.overhead.is_zero() {
+            let start = std::time::Instant::now();
+            while start.elapsed() < self.overhead {
+                std::hint::spin_loop();
+            }
+        }
+        match op {
+            Op::AddNode { .. }
+            | Op::UpdateNode { .. }
+            | Op::DeleteNode { .. }
+            | Op::AddLink { .. }
+            | Op::UpdateLink { .. }
+            | Op::DeleteLink { .. } => {
+                // Blueprints impl of ShardedGraph routes through the
+                // sharded stored procedures; reuse it for writes.
+                let g: &ShardedGraph = self.graph;
+                <ShardedGraph as LinkOps>::apply(g, op)
+            }
+            Op::GetNode { id } => {
+                self.graph
+                    .shard_for(*id)
+                    .database()
+                    .execute_with_params("SELECT attr FROM va WHERE vid = ?", &[Value::Int(*id)])
+                    .map_err(|e| e.to_string())?;
+                Ok(true)
+            }
+            Op::CountLink { id, ltype } => {
+                self.graph
+                    .shard_for(*id)
+                    .database()
+                    .execute_with_params(
+                        "SELECT COUNT(*) FROM ea WHERE inv = ? AND lbl = ?",
+                        &[Value::Int(*id), Value::str(*ltype)],
+                    )
+                    .map_err(|e| e.to_string())?;
+                Ok(true)
+            }
+            Op::MultigetLink { src, dsts, ltype } => {
+                let list = dsts
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.graph
+                    .shard_for(*src)
+                    .database()
+                    .execute_with_params(
+                        &format!(
+                            "SELECT eid, outv FROM ea WHERE inv = ? AND lbl = ? AND outv IN ({list})"
+                        ),
+                        &[Value::Int(*src), Value::str(*ltype)],
+                    )
+                    .map_err(|e| e.to_string())?;
+                Ok(true)
+            }
+            Op::GetLinkList { id, ltype } => {
+                self.graph
+                    .shard_for(*id)
+                    .database()
+                    .execute_with_params(
+                        "SELECT eid, outv, attr FROM ea WHERE inv = ? AND lbl = ?",
+                        &[Value::Int(*id), Value::str(*ltype)],
+                    )
+                    .map_err(|e| e.to_string())?;
                 Ok(true)
             }
         }

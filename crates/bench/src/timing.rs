@@ -101,4 +101,55 @@ mod tests {
         assert_eq!(s.percentile(0.0), Duration::from_millis(1));
         assert_eq!(s.percentile(100.0), Duration::from_millis(10));
     }
+
+    #[test]
+    fn tail_percentiles() {
+        // 1..=100 ms: the nearest-rank estimate lands on the intuitive
+        // sample for the percentiles the throughput reports print.
+        let mut s = LatencyStats::default();
+        for msec in 1..=100u64 {
+            s.record(Duration::from_millis(msec));
+        }
+        assert_eq!(s.percentile(50.0), Duration::from_millis(51));
+        assert_eq!(s.percentile(95.0), Duration::from_millis(95));
+        assert_eq!(s.percentile(99.0), Duration::from_millis(99));
+        // Insertion order must not matter.
+        let mut rev = LatencyStats::default();
+        for msec in (1..=100u64).rev() {
+            rev.record(Duration::from_millis(msec));
+        }
+        assert_eq!(rev.percentile(95.0), s.percentile(95.0));
+        // An outlier in the top 1% of ranks dominates p99 but not p50.
+        let mut spike = LatencyStats::default();
+        for _ in 0..9 {
+            spike.record(Duration::from_millis(1));
+        }
+        spike.record(Duration::from_secs(1));
+        assert_eq!(spike.percentile(50.0), Duration::from_millis(1));
+        assert_eq!(spike.percentile(99.0), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn percentile_of_merged_shards_matches_global() {
+        // Per-thread accumulators merged into one must yield the same
+        // tail as recording globally — the shard sweep relies on this.
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        let mut global = LatencyStats::default();
+        for msec in 1..=50u64 {
+            a.record(Duration::from_millis(msec));
+            global.record(Duration::from_millis(msec));
+        }
+        for msec in 51..=100u64 {
+            b.record(Duration::from_millis(msec));
+            global.record(Duration::from_millis(msec));
+        }
+        let mut merged = LatencyStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), global.count());
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(merged.percentile(p), global.percentile(p));
+        }
+    }
 }

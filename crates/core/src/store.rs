@@ -18,10 +18,11 @@ use sqlgraph_gremlin::blueprints::{
 };
 use sqlgraph_gremlin::{interp, parse};
 use sqlgraph_json::{Json, JsonObject};
-use sqlgraph_rel::{Database, Relation, Txn, Value};
-use std::collections::BTreeMap;
+use sqlgraph_rel::{Database, Relation, TsOracle, Txn, Value};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-vertex adjacency grouped by label: vid → label → [(eid, other)].
 type AdjacencyMap<'a> = BTreeMap<i64, BTreeMap<&'a str, Vec<(i64, i64)>>>;
@@ -91,6 +92,18 @@ impl SqlGraph {
         Ok(SqlGraph::from_db(db, config))
     }
 
+    /// [`SqlGraph::with_config`] whose commit timestamps come from a shared
+    /// oracle. Used by [`crate::shard::ShardedGraph`] so all shards draw
+    /// from one monotone clock (the cross-shard atomic-commit requirement).
+    pub fn with_config_oracle(
+        config: SchemaConfig,
+        oracle: Arc<TsOracle>,
+    ) -> Result<SqlGraph, CoreError> {
+        let db = Database::new_with_oracle(oracle);
+        create_tables(&db, &config)?;
+        Ok(SqlGraph::from_db(db, config))
+    }
+
     /// Open (or create) a WAL-backed store at `wal_path`. Existing data is
     /// recovered by replay; id counters resume past the recovered maxima.
     pub fn open(wal_path: impl AsRef<Path>, config: SchemaConfig) -> Result<SqlGraph, CoreError> {
@@ -105,6 +118,19 @@ impl SqlGraph {
         vfs: std::sync::Arc<dyn sqlgraph_rel::Vfs>,
     ) -> Result<SqlGraph, CoreError> {
         SqlGraph::from_recovered(Database::open_with_vfs(wal_path, vfs)?, config)
+    }
+
+    /// [`SqlGraph::open_with_vfs`] with a shared commit-timestamp oracle.
+    pub fn open_with_vfs_oracle(
+        wal_path: impl AsRef<Path>,
+        config: SchemaConfig,
+        vfs: std::sync::Arc<dyn sqlgraph_rel::Vfs>,
+        oracle: Arc<TsOracle>,
+    ) -> Result<SqlGraph, CoreError> {
+        SqlGraph::from_recovered(
+            Database::open_with_vfs_oracle(wal_path, vfs, oracle)?,
+            config,
+        )
     }
 
     fn from_recovered(db: Database, config: SchemaConfig) -> Result<SqlGraph, CoreError> {
@@ -205,54 +231,73 @@ impl SqlGraph {
     /// Bulk loading bypasses the WAL (standard bulk-import semantics); use
     /// it on a fresh store.
     pub fn bulk_load(&self, data: &GraphData) -> Result<(), CoreError> {
-        // 1. Per-vertex label sets for the coloring.
+        let layout = layout_for(&self.config, [data]);
+        self.bulk_load_with_layout(data, &layout, None)
+    }
+
+    /// [`SqlGraph::bulk_load`] with a pre-computed layout, optionally
+    /// restricted to one hash partition.
+    ///
+    /// `part = Some((n, me))` loads only this shard's slice of `data`:
+    /// vertex rows whose vid hashes to `me` under [`crate::shard::shard_of`],
+    /// EA rows owned by their *source* vertex, out-adjacency for owned
+    /// sources, and in-adjacency for owned targets. The layout must be
+    /// computed from the full graph (via [`layout_for`]) so every shard
+    /// colors labels identically.
+    pub(crate) fn bulk_load_with_layout(
+        &self,
+        data: &GraphData,
+        layout: &GraphLayout,
+        part: Option<(usize, usize)>,
+    ) -> Result<(), CoreError> {
+        let owns = |vid: i64| match part {
+            None => true,
+            Some((n, me)) => crate::shard::shard_of(vid, n) == me,
+        };
+        // 1. This partition's adjacency, grouped by vertex and label.
         let mut out_adj: AdjacencyMap<'_> = AdjacencyMap::new();
         let mut in_adj: AdjacencyMap<'_> = AdjacencyMap::new();
         for (eid, src, dst, label, _) in &data.edges {
-            out_adj
-                .entry(*src)
-                .or_default()
-                .entry(label)
-                .or_default()
-                .push((*eid, *dst));
-            in_adj
-                .entry(*dst)
-                .or_default()
-                .entry(label)
-                .or_default()
-                .push((*eid, *src));
+            if owns(*src) {
+                out_adj
+                    .entry(*src)
+                    .or_default()
+                    .entry(label)
+                    .or_default()
+                    .push((*eid, *dst));
+            }
+            if owns(*dst) {
+                in_adj
+                    .entry(*dst)
+                    .or_default()
+                    .entry(label)
+                    .or_default()
+                    .push((*eid, *src));
+            }
         }
-        let out_lists = out_adj
-            .values()
-            .map(|m| m.keys().copied().collect::<Vec<_>>());
-        let in_lists = in_adj
-            .values()
-            .map(|m| m.keys().copied().collect::<Vec<_>>());
-        let layout = GraphLayout {
-            out: color_labels(out_lists, self.config.out_buckets),
-            incoming: color_labels(in_lists, self.config.in_buckets),
-            out_buckets: self.config.out_buckets,
-            in_buckets: self.config.in_buckets,
-        };
 
         // 2. Write VA.
         {
             let mut va = self.db.write_table("va")?;
             for (vid, props) in &data.vertices {
-                va.insert(vec![Value::Int(*vid), Value::json(props_to_json(props))])?;
+                if owns(*vid) {
+                    va.insert(vec![Value::Int(*vid), Value::json(props_to_json(props))])?;
+                }
             }
         }
-        // 3. Write EA.
+        // 3. Write EA (placed on the source vertex's partition).
         {
             let mut ea = self.db.write_table("ea")?;
             for (eid, src, dst, label, props) in &data.edges {
-                ea.insert(vec![
-                    Value::Int(*eid),
-                    Value::Int(*src),
-                    Value::Int(*dst),
-                    Value::str(label),
-                    Value::json(props_to_json(props)),
-                ])?;
+                if owns(*src) {
+                    ea.insert(vec![
+                        Value::Int(*eid),
+                        Value::Int(*src),
+                        Value::Int(*dst),
+                        Value::str(label),
+                        Value::json(props_to_json(props)),
+                    ])?;
+                }
             }
         }
         // 4. Shred adjacency, collecting Table 3 stats.
@@ -271,15 +316,15 @@ impl SqlGraph {
                 .unwrap_or(0),
             ..LayoutStats::default()
         };
-        self.shred_direction(&layout, &out_adj, true, data.vertices.len(), &mut stats_out)?;
-        self.shred_direction(&layout, &in_adj, false, data.vertices.len(), &mut stats_in)?;
+        self.shred_direction(layout, &out_adj, true, data.vertices.len(), &mut stats_out)?;
+        self.shred_direction(layout, &in_adj, false, data.vertices.len(), &mut stats_in)?;
 
-        // 5. Counters and layout.
+        // 5. Counters (from the full graph, so shard loads agree) and layout.
         let max_vid = data.vertices.iter().map(|(v, _)| *v).max().unwrap_or(0);
         let max_eid = data.edges.iter().map(|(e, ..)| *e).max().unwrap_or(0);
         self.next_vid.fetch_max(max_vid + 1, Ordering::SeqCst);
         self.next_eid.fetch_max(max_eid + 1, Ordering::SeqCst);
-        *self.layout.write() = layout;
+        *self.layout.write() = layout.clone();
         *self.load_stats.write() = Some((stats_out, stats_in));
         Ok(())
     }
@@ -471,7 +516,7 @@ impl SqlGraph {
     /// times when it loses a first-updater-wins conflict. Each attempt
     /// re-runs the closure against a fresh snapshot, so its reads observe
     /// whatever the winning writer committed.
-    fn retry_txn<T>(
+    pub(crate) fn retry_txn<T>(
         &self,
         f: impl Fn(&mut Txn<'_>) -> sqlgraph_rel::Result<T>,
     ) -> Result<T, CoreError> {
@@ -534,7 +579,12 @@ impl SqlGraph {
 
     /// Insert the vertex attribute row and both empty primary adjacency
     /// rows inside `tx`.
-    fn add_vertex_in(&self, tx: &mut Txn<'_>, vid: i64, attr: &Value) -> sqlgraph_rel::Result<()> {
+    pub(crate) fn add_vertex_in(
+        &self,
+        tx: &mut Txn<'_>,
+        vid: i64,
+        attr: &Value,
+    ) -> sqlgraph_rel::Result<()> {
         tx.execute_with_params(
             "INSERT INTO va VALUES (?, ?)",
             &[Value::Int(vid), attr.clone()],
@@ -585,7 +635,7 @@ impl SqlGraph {
     /// Insert the edge attribute/triple row and both adjacency entries
     /// inside `tx`.
     #[allow(clippy::too_many_arguments)] // (txn, layout, eid, src, dst, label, attr) is the natural shape
-    fn add_edge_in(
+    pub(crate) fn add_edge_in(
         &self,
         tx: &mut Txn<'_>,
         layout: &GraphLayout,
@@ -612,7 +662,7 @@ impl SqlGraph {
 
     /// Insert `(label, eid, other)` into one direction's adjacency tables.
     #[allow(clippy::too_many_arguments)] // (txn, layout, direction, vid, label, eid, other) is the natural shape
-    fn attach(
+    pub(crate) fn attach(
         &self,
         tx: &mut Txn<'_>,
         layout: &GraphLayout,
@@ -697,7 +747,7 @@ impl SqlGraph {
     }
 
     /// Remove `eid` from one direction's adjacency tables.
-    fn detach(
+    pub(crate) fn detach(
         &self,
         tx: &mut Txn<'_>,
         layout: &GraphLayout,
@@ -764,7 +814,7 @@ impl SqlGraph {
     }
 
     /// Delete the edge row and detach both endpoints inside `tx`.
-    fn remove_edge_in(
+    pub(crate) fn remove_edge_in(
         &self,
         tx: &mut Txn<'_>,
         layout: &GraphLayout,
@@ -858,7 +908,7 @@ impl SqlGraph {
     /// Read-modify-write of one element's JSON attribute document inside
     /// `tx`. `table`/`id_col` select the element kind (`va`/`vid` or
     /// `ea`/`eid`).
-    fn set_property_in(
+    pub(crate) fn set_property_in(
         tx: &mut Txn<'_>,
         table: &str,
         id_col: &str,
@@ -941,7 +991,7 @@ impl SqlGraph {
         Ok(removed)
     }
 
-    fn vertex_exists_internal(&self, vid: i64) -> Result<bool, CoreError> {
+    pub(crate) fn vertex_exists_internal(&self, vid: i64) -> Result<bool, CoreError> {
         let rel = self
             .db
             .execute_with_params("SELECT vid FROM va WHERE vid = ?", &[Value::Int(vid)])?;
@@ -953,6 +1003,51 @@ impl SqlGraph {
     fn vertex_exists_tx(&self, tx: &mut Txn<'_>, vid: i64) -> sqlgraph_rel::Result<bool> {
         let rel = tx.execute_with_params("SELECT vid FROM va WHERE vid = ?", &[Value::Int(vid)])?;
         Ok(!rel.rows.is_empty())
+    }
+
+    /// Where this store's vertex-id counter stands (for shard-global
+    /// allocation: the sharded layer takes the max across shards).
+    pub(crate) fn next_vid_hint(&self) -> i64 {
+        self.next_vid.load(Ordering::SeqCst)
+    }
+
+    /// Where this store's edge-id counter stands.
+    pub(crate) fn next_eid_hint(&self) -> i64 {
+        self.next_eid.load(Ordering::SeqCst)
+    }
+}
+
+/// Compute the §3.2 coloring layout for the union of one or more graphs'
+/// per-vertex label sets. Shards pass every partition's data so the
+/// coloring — and therefore the bucket each label hashes to — is identical
+/// on all shards.
+pub(crate) fn layout_for<'a>(
+    config: &SchemaConfig,
+    datasets: impl IntoIterator<Item = &'a GraphData>,
+) -> GraphLayout {
+    let mut out_labels: BTreeMap<i64, BTreeSet<&'a str>> = BTreeMap::new();
+    let mut in_labels: BTreeMap<i64, BTreeSet<&'a str>> = BTreeMap::new();
+    for data in datasets {
+        for (_, src, dst, label, _) in &data.edges {
+            out_labels.entry(*src).or_default().insert(label);
+            in_labels.entry(*dst).or_default().insert(label);
+        }
+    }
+    GraphLayout {
+        out: color_labels(
+            out_labels
+                .values()
+                .map(|s| s.iter().copied().collect::<Vec<_>>()),
+            config.out_buckets,
+        ),
+        incoming: color_labels(
+            in_labels
+                .values()
+                .map(|s| s.iter().copied().collect::<Vec<_>>()),
+            config.in_buckets,
+        ),
+        out_buckets: config.out_buckets,
+        in_buckets: config.in_buckets,
     }
 }
 
@@ -1218,7 +1313,7 @@ pub fn value_to_json(v: &Value) -> Json {
     }
 }
 
-fn elems_to_relation(elems: Vec<interp::Elem>) -> Relation {
+pub(crate) fn elems_to_relation(elems: Vec<interp::Elem>) -> Relation {
     Relation::new(
         vec!["val".into()],
         elems
@@ -1428,6 +1523,6 @@ impl Blueprints for SqlGraph {
     }
 }
 
-fn to_graph_error(e: CoreError) -> GraphError {
+pub(crate) fn to_graph_error(e: CoreError) -> GraphError {
     GraphError::new(e.to_string())
 }

@@ -280,11 +280,11 @@ fn loop_unroll_count(cond: &Closure) -> Result<usize, Unsupported> {
     ))
 }
 
-fn sql_str(s: &str) -> String {
+pub(crate) fn sql_str(s: &str) -> String {
     format!("'{}'", s.replace('\'', "''"))
 }
 
-fn sql_json(v: &Json) -> Result<String, Unsupported> {
+pub(crate) fn sql_json(v: &Json) -> Result<String, Unsupported> {
     Ok(match v {
         Json::Null => "NULL".to_string(),
         Json::Bool(true) => "TRUE".to_string(),
@@ -295,7 +295,7 @@ fn sql_json(v: &Json) -> Result<String, Unsupported> {
     })
 }
 
-fn label_in_list(column: &str, labels: &[String]) -> String {
+pub(crate) fn label_in_list(column: &str, labels: &[String]) -> String {
     if labels.is_empty() {
         String::new()
     } else {
@@ -983,7 +983,7 @@ fn translate_branch(
     Ok(out)
 }
 
-fn cmp_sql(cmp: Cmp) -> &'static str {
+pub(crate) fn cmp_sql(cmp: Cmp) -> &'static str {
     match cmp {
         Cmp::Eq => "=",
         Cmp::Neq => "<>",

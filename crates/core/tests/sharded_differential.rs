@@ -1,0 +1,495 @@
+//! Differential testing for the hash-partitioned store: every query in the
+//! corpus must return the **same bytes** from `ShardedGraph` at N = 1, 2,
+//! and 4 shards, at DOP 1 and 4, from the scatter-gather executor and from
+//! the interpreter over the sharded Blueprints API — and the same multiset
+//! as the unsharded `SqlGraph` engine and the MemGraph oracle. CRUD
+//! sequences applied through the sharded Blueprints API must leave all
+//! stores agreeing, including on assigned ids.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlgraph_core::{GraphData, SchemaConfig, ShardedGraph, SqlGraph};
+use sqlgraph_gremlin::{interp, parse_query, Blueprints, Elem, MemGraph};
+use sqlgraph_json::Json;
+use sqlgraph_rel::Value;
+
+/// Canonical rendering of a result multiset for cross-engine comparison.
+fn canon_values(rows: &[Vec<Value>]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|r| render_value(r.first().expect("one column")))
+        .collect();
+    out.sort();
+    out
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i:{i}"),
+        Value::Double(f) => format!("f:{f}"),
+        Value::Str(s) => format!("s:{s}"),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Null => "null".into(),
+        // The translator materializes arrays as Value::Array, the
+        // interpreter fallback as Value::Json(Json::Array); render both
+        // forms identically so the canonical comparison sees through it.
+        Value::Json(j) => render_json(j),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render_value).collect();
+            format!("a:[{}]", inner.join(","))
+        }
+    }
+}
+
+fn canon_elems(elems: &[Elem]) -> Vec<String> {
+    let mut out: Vec<String> = elems
+        .iter()
+        .map(|e| match e {
+            Elem::Vertex(v) | Elem::Edge(v) => format!("i:{v}"),
+            Elem::Value(j) => render_json(j),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn render_json(j: &Json) -> String {
+    match j {
+        Json::Num(n) if n.is_int() => format!("i:{}", n.as_i64().unwrap()),
+        Json::Num(n) => format!("f:{}", n.as_f64()),
+        Json::Str(s) => format!("s:{s}"),
+        Json::Bool(b) => format!("b:{b}"),
+        Json::Null => "null".into(),
+        Json::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render_json).collect();
+            format!("a:[{}]", inner.join(","))
+        }
+        other => format!("j:{other}"),
+    }
+}
+
+/// The same query corpus the unsharded differential test runs.
+const CORPUS: &[&str] = &[
+    "g.V",
+    "g.E",
+    "g.v(1)",
+    "g.v(99)",
+    "g.e(3)",
+    "g.V.count()",
+    "g.E.count()",
+    "g.v(1).out",
+    "g.v(1).out('knows')",
+    "g.v(1).out('knows','created')",
+    "g.v(3).in",
+    "g.v(2).in('likes')",
+    "g.v(4).both",
+    "g.v(1).outE",
+    "g.v(1).outE('knows')",
+    "g.v(2).inE",
+    "g.v(4).bothE",
+    "g.v(1).outE('knows').inV",
+    "g.e(4).outV",
+    "g.e(4).inV",
+    "g.e(4).bothV",
+    "g.v(1).out.out",
+    "g.v(1).out.out.count()",
+    "g.v(1).out.in.dedup()",
+    "g.V.has('age')",
+    "g.V.hasNot('age')",
+    "g.V.has('age', 29)",
+    "g.V.has('age', T.gt, 28)",
+    "g.V.has('age', T.lte, 29)",
+    "g.V.has('age', T.neq, 29)",
+    "g.V.has('name', 'lop')",
+    "g.V('name','lop')",
+    "g.V('name','lop').in('created')",
+    "g.V.filter{it.age > 27 && it.age < 32}",
+    "g.V.filter{it.name == 'lop' || it.name == 'vadas'}",
+    "g.V.filter{it.name.contains('a')}",
+    "g.V.interval('age', 27, 32)",
+    "g.V.out.dedup()",
+    "g.V.out.dedup().count()",
+    "g.v(1).out('knows').values('name')",
+    "g.v(1).values('age')",
+    "g.v(1).outE.label.dedup()",
+    "g.v(2).id",
+    "g.E.has('weight', T.gte, 0.8)",
+    "g.E.has('weight', T.lt, 0.5).inV",
+    "g.v(1).out('knows').out.path",
+    "g.v(1).out.both.simplePath.count()",
+    "g.V.as('x').out('created').back('x')",
+    "g.V.out('created').back(1)",
+    "g.V.as('x').out('created').back('x').values('name')",
+    "g.v(1).aggregate(x).out('knows').out.except(x)",
+    "g.v(2).aggregate(x).in('knows').out.retain(x)",
+    "g.V.and(_().out('knows'), _().out('created'))",
+    "g.V.or(_().out('knows'), _().out('created'))",
+    "g.v(1).copySplit(_().out('knows'), _().out('created')).fairMerge",
+    "g.v(1).out.loop(1){it.loops < 2}",
+    "g.v(1).out.loop(1){it.loops < 3}.count()",
+    "g.V.as('s').out.loop('s'){it.loops < 2}.dedup()",
+    "g.V.groupBy{it.name}{it}.count()",
+    "g.V.table(t1).out.count()",
+    "g.V.filter{it.tag=='w'}.both.dedup().count()",
+    "g.V.has('age').ifThenElse{it.age > 28}{it.name}{it.age}",
+    // Sharded-specific shapes: multi-source frontiers that force
+    // scatter-gather position bookkeeping and cross-shard merges.
+    "g.V.out",
+    "g.V.in",
+    "g.V.both",
+    "g.V.outE",
+    "g.V.inE",
+    "g.V.bothE",
+    "g.V.out.count()",
+    "g.V.in.count()",
+    "g.V.both.count()",
+    "g.V.outE.count()",
+    "g.V.out.values('name')",
+    "g.V.both.has('age', T.gt, 27)",
+    "g.E.outV",
+    "g.E.inV",
+    "g.E.bothV",
+    "g.E.label",
+    "g.E.values('weight')",
+    "g.V.out.out.dedup()",
+    "g.V.range(1, 3)",
+    "g.V.out.range(0, 2)",
+];
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn config() -> SchemaConfig {
+    SchemaConfig {
+        out_buckets: 3,
+        in_buckets: 3,
+    }
+}
+
+fn build_all(data: &GraphData) -> (SqlGraph, Vec<ShardedGraph>, MemGraph) {
+    let sql = SqlGraph::with_config(config()).unwrap();
+    sql.bulk_load(data).unwrap();
+    let sharded = SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            let g = ShardedGraph::with_config(n, config()).unwrap();
+            g.bulk_load(data).unwrap();
+            g
+        })
+        .collect();
+    let mem = MemGraph::new();
+    for (vid, props) in &data.vertices {
+        assert_eq!(mem.add_vertex(props).unwrap(), *vid);
+    }
+    for (eid, src, dst, label, props) in &data.edges {
+        assert_eq!(mem.add_edge(*src, *dst, label, props).unwrap(), *eid);
+    }
+    (sql, sharded, mem)
+}
+
+/// The core contract, per query:
+/// 1. every shard count returns byte-identical rows (same values, same
+///    order) at DOP 1 and DOP 4;
+/// 2. the scatter-gather executor is byte-identical to the interpreter
+///    over the sharded Blueprints API;
+/// 3. the result multiset equals the unsharded engine's and MemGraph's.
+fn check_query(sql: &SqlGraph, sharded: &[ShardedGraph], mem: &MemGraph, query: &str) {
+    let pipeline = parse_query(query).unwrap();
+    let oracle = canon_elems(&interp::eval(mem, &pipeline).unwrap());
+    let unsharded = sql
+        .query(query)
+        .unwrap_or_else(|e| panic!("unsharded failed on {query}: {e}"));
+    assert_eq!(
+        canon_values(&unsharded.rows),
+        oracle,
+        "unsharded diverged from MemGraph on {query}"
+    );
+
+    let mut baseline: Option<Vec<Vec<Value>>> = None;
+    for g in sharded {
+        for dop in [1usize, 4] {
+            g.set_parallelism(dop);
+            let rows = g
+                .query(query)
+                .unwrap_or_else(|e| panic!("{} shards failed on {query}: {e}", g.shard_count()))
+                .rows;
+            match &baseline {
+                None => {
+                    assert_eq!(
+                        canon_values(&rows),
+                        oracle,
+                        "sharded diverged from MemGraph on {query}"
+                    );
+                    baseline = Some(rows);
+                }
+                Some(base) => assert_eq!(
+                    base,
+                    &rows,
+                    "{} shards at DOP {dop} not byte-identical on {query}",
+                    g.shard_count()
+                ),
+            }
+        }
+        g.set_parallelism(0);
+        let interpreted = g
+            .query_interpreted(query)
+            .unwrap_or_else(|e| panic!("interpreter failed on {query}: {e}"))
+            .rows;
+        assert_eq!(
+            baseline.as_ref().unwrap(),
+            &interpreted,
+            "{} shards: scatter executor vs interpreter order on {query}",
+            g.shard_count()
+        );
+    }
+}
+
+fn figure2_graph() -> GraphData {
+    GraphData {
+        vertices: vec![
+            (
+                1,
+                vec![
+                    ("name".into(), "marko".into()),
+                    ("age".into(), Json::int(29)),
+                ],
+            ),
+            (
+                2,
+                vec![
+                    ("name".into(), "vadas".into()),
+                    ("age".into(), Json::int(27)),
+                ],
+            ),
+            (
+                3,
+                vec![
+                    ("name".into(), "lop".into()),
+                    ("lang".into(), "java".into()),
+                ],
+            ),
+            (
+                4,
+                vec![
+                    ("name".into(), "josh".into()),
+                    ("age".into(), Json::int(32)),
+                ],
+            ),
+        ],
+        edges: vec![
+            (
+                1,
+                1,
+                2,
+                "knows".into(),
+                vec![("weight".into(), Json::float(0.5))],
+            ),
+            (
+                2,
+                1,
+                4,
+                "knows".into(),
+                vec![("weight".into(), Json::float(1.0))],
+            ),
+            (
+                3,
+                1,
+                3,
+                "created".into(),
+                vec![("weight".into(), Json::float(0.4))],
+            ),
+            (
+                4,
+                4,
+                2,
+                "likes".into(),
+                vec![("weight".into(), Json::float(0.2))],
+            ),
+            (
+                5,
+                4,
+                3,
+                "created".into(),
+                vec![("weight".into(), Json::float(0.8))],
+            ),
+        ],
+    }
+}
+
+fn random_graph(seed: u64, vertices: usize, edges: usize) -> GraphData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = ["knows", "created", "likes", "isPartOf", "team"];
+    let names = ["alpha", "beta", "gamma", "delta"];
+    let mut data = GraphData::default();
+    for v in 1..=vertices as i64 {
+        let mut props: Vec<(String, Json)> = vec![(
+            "name".into(),
+            Json::str(names[rng.gen_range(0..names.len())]),
+        )];
+        if rng.gen_bool(0.7) {
+            props.push(("age".into(), Json::int(rng.gen_range(10..60))));
+        }
+        if rng.gen_bool(0.3) {
+            props.push((
+                "tag".into(),
+                Json::str(if rng.gen_bool(0.5) { "w" } else { "z" }),
+            ));
+        }
+        data.vertices.push((v, props));
+    }
+    for e in 1..=edges as i64 {
+        let src = rng.gen_range(1..=vertices as i64);
+        let dst = rng.gen_range(1..=vertices as i64);
+        let label = labels[rng.gen_range(0..labels.len())];
+        let mut props: Vec<(String, Json)> = Vec::new();
+        if rng.gen_bool(0.5) {
+            props.push((
+                "weight".into(),
+                Json::float((rng.gen_range(0..100) as f64) / 100.0),
+            ));
+        }
+        data.edges.push((e, src, dst, label.into(), props));
+    }
+    data
+}
+
+#[test]
+fn corpus_on_figure2_graph_sharded() {
+    let data = figure2_graph();
+    let (sql, sharded, mem) = build_all(&data);
+    for query in CORPUS {
+        check_query(&sql, &sharded, &mem, query);
+    }
+}
+
+#[test]
+fn corpus_on_random_graphs_sharded() {
+    for seed in 0..3u64 {
+        let data = random_graph(seed, 25, 60);
+        let (sql, sharded, mem) = build_all(&data);
+        for query in CORPUS {
+            check_query(&sql, &sharded, &mem, query);
+        }
+    }
+}
+
+#[test]
+fn scatter_covers_most_of_the_corpus() {
+    // Guard against silently interpreting everything: the scatter-gather
+    // executor must handle a healthy majority of the corpus itself.
+    let data = figure2_graph();
+    let g = ShardedGraph::with_config(4, config()).unwrap();
+    g.bulk_load(&data).unwrap();
+    for query in CORPUS {
+        let _ = g.query(query);
+    }
+    let fallbacks = g.fallback_count();
+    assert!(
+        (fallbacks as usize) * 2 < CORPUS.len(),
+        "{fallbacks}/{} corpus queries fell back to the interpreter",
+        CORPUS.len()
+    );
+}
+
+/// Blueprints CRUD parity: one random mutation sequence applied to the
+/// unsharded store, every sharded store, and MemGraph. Assigned ids must
+/// match exactly (the sharded stores allocate from store-global counters),
+/// and the corpus must agree afterwards — mutations exercise single-shard
+/// commits, cross-shard two-shard commits, and the sharded §4.5.2 delete.
+#[test]
+fn crud_sequence_keeps_all_stores_identical() {
+    let data = figure2_graph();
+    let (sql, sharded, mem) = build_all(&data);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut live_vertices: Vec<i64> = vec![1, 2, 3, 4];
+    let mut live_edges: Vec<i64> = vec![1, 2, 3, 4, 5];
+    for step in 0..60 {
+        match rng.gen_range(0..6) {
+            0 => {
+                let props = vec![
+                    ("name".to_string(), Json::str("new")),
+                    ("age".to_string(), Json::int(rng.gen_range(10..60))),
+                ];
+                let want = Blueprints::add_vertex(&sql, &props).unwrap();
+                assert_eq!(mem.add_vertex(&props).unwrap(), want);
+                for g in &sharded {
+                    assert_eq!(
+                        g.add_vertex(&props).unwrap(),
+                        want,
+                        "vertex id diverged at step {step} ({} shards)",
+                        g.shard_count()
+                    );
+                }
+                live_vertices.push(want);
+            }
+            1 | 2 => {
+                if live_vertices.len() < 2 {
+                    continue;
+                }
+                let src = live_vertices[rng.gen_range(0..live_vertices.len())];
+                let dst = live_vertices[rng.gen_range(0..live_vertices.len())];
+                let label = ["knows", "created", "likes"][rng.gen_range(0..3usize)];
+                let props = vec![("weight".to_string(), Json::float(0.5))];
+                let want = Blueprints::add_edge(&sql, src, dst, label, &props).unwrap();
+                assert_eq!(mem.add_edge(src, dst, label, &props).unwrap(), want);
+                for g in &sharded {
+                    assert_eq!(
+                        g.add_edge(src, dst, label, &props).unwrap(),
+                        want,
+                        "edge id diverged at step {step} ({} shards)",
+                        g.shard_count()
+                    );
+                }
+                live_edges.push(want);
+            }
+            3 => {
+                if live_vertices.len() <= 2 {
+                    continue;
+                }
+                let idx = rng.gen_range(0..live_vertices.len());
+                let v = live_vertices.swap_remove(idx);
+                Blueprints::remove_vertex(&sql, v).unwrap();
+                mem.remove_vertex(v).unwrap();
+                for g in &sharded {
+                    g.remove_vertex(v).unwrap();
+                }
+                // Incident edges are gone everywhere; refresh from one store.
+                live_edges.retain(|&e| sql.edge_exists(e));
+            }
+            4 => {
+                if live_edges.is_empty() {
+                    continue;
+                }
+                let idx = rng.gen_range(0..live_edges.len());
+                let e = live_edges.swap_remove(idx);
+                Blueprints::remove_edge(&sql, e).unwrap();
+                mem.remove_edge(e).unwrap();
+                for g in &sharded {
+                    g.remove_edge(e).unwrap();
+                }
+            }
+            _ => {
+                if let Some(&v) = live_vertices.first() {
+                    let val = Json::int(rng.gen_range(10..60));
+                    Blueprints::set_vertex_property(&sql, v, "age", &val).unwrap();
+                    mem.set_vertex_property(v, "age", &val).unwrap();
+                    for g in &sharded {
+                        g.set_vertex_property(v, "age", &val).unwrap();
+                    }
+                }
+            }
+        }
+    }
+    // Structure parity, including ids.
+    for g in &sharded {
+        assert_eq!(g.vertex_ids(), sql.vertex_ids());
+        assert_eq!(g.edge_ids(), sql.edge_ids());
+    }
+    // Every corpus query still agrees (ids aligned, so edge-id queries
+    // are fair game too). Range is skipped: after deletes the relational
+    // stores' traversal order legitimately differs from MemGraph's
+    // insertion order, so a positional slice picks different elements —
+    // an unsharded-vs-oracle gap, not a sharding one.
+    for query in CORPUS.iter().filter(|q| !q.contains(".range(")) {
+        check_query(&sql, &sharded, &mem, query);
+    }
+}

@@ -74,11 +74,11 @@ const _: () = {
 };
 
 pub use checkpoint::{CheckpointReport, RecoveryReport};
-pub use db::{Database, Txn};
+pub use db::{commit_many, Database, Txn};
 pub use error::{Error, Result};
 pub use exec::Relation;
 pub use io::{Fault, FaultKind, SimFs, StdFs, Vfs};
 pub use schema::{Column, ColumnType, TableSchema};
 pub use stats::TableStats;
-pub use txn::{Session, Snapshot};
+pub use txn::{Session, Snapshot, TsOracle};
 pub use value::Value;

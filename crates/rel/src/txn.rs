@@ -39,6 +39,7 @@ use crate::value::Value;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// High bit marking a provisional (uncommitted) stamp: `TXN_BIT | token`.
 pub const TXN_BIT: u64 = 1 << 63;
@@ -109,13 +110,55 @@ impl Snapshot {
     }
 }
 
-/// The database-wide transaction state: commit clock, token allocator,
-/// active-snapshot registry, and the commit serialization point.
+/// A monotone commit-timestamp allocator, shareable across databases.
+///
+/// A single database owns a private oracle; a sharded deployment hands one
+/// oracle to every shard so cross-shard commits carry one globally ordered
+/// timestamp. The oracle only *allocates*; each database keeps its own
+/// `applied` clock (the last timestamp it has fully stamped), so readers on
+/// one shard never wait on commits happening on another. Allocation holes —
+/// timestamps reserved by commits that later failed — are harmless: replay
+/// and visibility only care about the stamps actually written.
 #[derive(Debug, Default)]
+pub struct TsOracle {
+    /// Last allocated timestamp.
+    next: AtomicU64,
+}
+
+impl TsOracle {
+    /// A fresh oracle at 0.
+    pub fn new() -> TsOracle {
+        TsOracle::default()
+    }
+
+    /// Reserve the next commit timestamp (strictly increasing, never 0).
+    pub fn allocate(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Ratchet the allocator to at least `ts` (recovery path: replayed
+    /// commits must never collide with future allocations).
+    pub fn ratchet(&self, ts: u64) {
+        self.next.fetch_max(ts, Ordering::AcqRel);
+    }
+
+    /// Last allocated timestamp.
+    pub fn last(&self) -> u64 {
+        self.next.load(Ordering::Acquire)
+    }
+}
+
+/// The per-database transaction state: applied-commit clock, token
+/// allocator, active-snapshot registry, and the commit serialization point.
+/// Timestamps come from a [`TsOracle`] that may be shared between databases.
+#[derive(Debug)]
 pub struct TxnManager {
-    /// Last committed timestamp. Advanced *after* a commit is fully
-    /// stamped, so any snapshot taken at the new value sees all of it.
-    clock: AtomicU64,
+    /// Commit-timestamp allocator (shared across shards when sharded).
+    oracle: Arc<TsOracle>,
+    /// Last commit timestamp fully stamped *in this database*. Advanced
+    /// *after* a commit is stamped, so any snapshot taken at the new value
+    /// sees all of it. Always ≤ the oracle's last allocation.
+    applied: AtomicU64,
     /// Next write token (starts at 1; 0 is the read-only token).
     next_token: AtomicU64,
     /// Registered snapshot timestamps → refcount. The minimum key is the
@@ -126,30 +169,55 @@ pub struct TxnManager {
     pub(crate) commit_mutex: Mutex<()>,
 }
 
+impl Default for TxnManager {
+    fn default() -> TxnManager {
+        TxnManager::new()
+    }
+}
+
 impl TxnManager {
-    /// A fresh manager at clock 0.
+    /// A fresh manager at clock 0 with a private oracle.
     pub fn new() -> TxnManager {
+        TxnManager::with_oracle(Arc::new(TsOracle::new()))
+    }
+
+    /// A fresh manager drawing timestamps from `oracle`.
+    pub fn with_oracle(oracle: Arc<TsOracle>) -> TxnManager {
         TxnManager {
-            clock: AtomicU64::new(0),
+            oracle,
+            applied: AtomicU64::new(0),
             next_token: AtomicU64::new(1),
             active: Mutex::new(BTreeMap::new()),
             commit_mutex: Mutex::new(()),
         }
     }
 
-    /// Current commit clock.
+    /// The timestamp oracle this manager allocates from.
+    pub fn oracle(&self) -> &Arc<TsOracle> {
+        &self.oracle
+    }
+
+    /// Current applied-commit clock (this database's last stamped commit).
     pub fn now(&self) -> u64 {
-        self.clock.load(Ordering::Acquire)
+        self.applied.load(Ordering::Acquire)
     }
 
-    /// Advance the clock to `ts` (commit path; caller holds `commit_mutex`).
+    /// Reserve a commit timestamp (caller holds `commit_mutex`).
+    pub(crate) fn allocate_ts(&self) -> u64 {
+        self.oracle.allocate()
+    }
+
+    /// Advance the applied clock to `ts` (commit path). `fetch_max` rather
+    /// than a store: a shared oracle means another shard may have allocated
+    /// past us, and a multi-shard commit advances each participant.
     pub(crate) fn advance_clock(&self, ts: u64) {
-        self.clock.store(ts, Ordering::Release);
+        self.applied.fetch_max(ts, Ordering::AcqRel);
     }
 
-    /// Ratchet the clock up to at least `ts` (recovery path).
+    /// Ratchet the clock *and* the oracle up to at least `ts` (recovery).
     pub(crate) fn restore_clock(&self, ts: u64) {
-        self.clock.fetch_max(ts, Ordering::AcqRel);
+        self.applied.fetch_max(ts, Ordering::AcqRel);
+        self.oracle.ratchet(ts);
     }
 
     /// Begin a writing transaction: fresh token, snapshot registered in the
