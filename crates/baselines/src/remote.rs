@@ -7,6 +7,11 @@
 //! per Blueprints call and counts the calls, making the chatty-protocol
 //! effect explicit and tunable. With `latency = 0` it degenerates to call
 //! counting only.
+//!
+//! Scope note: this wrapper models the *baselines'* remote deployments
+//! only. SQLGraph itself no longer simulates its client/server path —
+//! `sqlgraph-server` is a real framed-TCP front end, and the mixed and
+//! connection-sweep benchmarks drive it over actual sockets.
 
 use sqlgraph_gremlin::blueprints::{Blueprints, Direction, GraphResult};
 use sqlgraph_json::Json;

@@ -13,7 +13,8 @@
 //!   fig8c    Figure 8c substitute (scale sweep)
 //!   fig9     Figure 9 (LinkBench throughput)
 //!   throughput  §5.2 concurrency: ops/sec at 1/2/4/8 client threads
-//!   throughput-mixed  mixed read/write: MVCC vs per-table-lock baseline
+//!   throughput-mixed  mixed read/write over the wire protocol: MVCC vs lock
+//!   conn-sweep  wire protocol: ops/sec + tails at 1/8/64/256/1024 sockets
 //!   shard-sweep hash-partitioned store: ops/sec at 1/2/4/8 shards
 //!   table6   Table 6 (per-op latency, mid scale)
 //!   table7   Table 7 (per-op latency, largest scale)
@@ -87,6 +88,7 @@ fn main() {
             "fig9" => experiments::fig9(config),
             "throughput" => experiments::throughput(config),
             "throughput-mixed" => experiments::throughput_mixed(config),
+            "conn-sweep" => experiments::conn_sweep(config),
             "shard-sweep" => experiments::shard_sweep(config),
             "table6" => experiments::table67(config, false),
             "table7" => experiments::table67(config, true),
@@ -110,6 +112,7 @@ fn main() {
             "fig9",
             "throughput",
             "throughput-mixed",
+            "conn-sweep",
             "shard-sweep",
             "table6",
             "table7",
@@ -126,7 +129,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig3|fig4|table3|table4|fig6|longpath|fig8|fig8c|fig9|throughput|throughput-mixed|shard-sweep|table6|table7|sizes|recovery|all> \
+        "usage: repro <fig3|fig4|table3|table4|fig6|longpath|fig8|fig8c|fig9|throughput|throughput-mixed|conn-sweep|shard-sweep|table6|table7|sizes|recovery|all> \
          [--scale F] [--runs N] [--lb-ops N] [--shard-nodes N] [--quick]"
     );
 }

@@ -2,7 +2,7 @@
 //! system, and returns a printable report. The `repro` binary is a thin
 //! dispatcher over these.
 
-use crate::linkops::{LinkOps, MixedSqlOps, ShardedLinkOps, SqlLinkOps};
+use crate::linkops::{LinkOps, RemoteMixedOps, ShardedLinkOps, SqlLinkOps};
 use crate::setup::{
     build_kvgraph, build_nativegraph, build_sharded, build_sqlgraph, to_graph_data,
 };
@@ -17,7 +17,10 @@ use sqlgraph_datagen::dbpedia::{
 use sqlgraph_datagen::linkbench::{self, LinkBenchConfig, Workload};
 use sqlgraph_gremlin::{interp, parse_query};
 use sqlgraph_rel::Value;
+use sqlgraph_server::Server;
 use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Busy-wait for `d` (sub-100µs sleeps are too coarse for the simulated
@@ -51,11 +54,8 @@ pub struct ReproConfig {
     /// idealized in-memory baselines do not otherwise pay. Set to 0 for the
     /// fully idealized in-memory comparison.
     pub call_overhead_us: u64,
-    /// Client/server round trip (µs) charged per statement in the mixed
-    /// read/write benchmark. Unlike `call_overhead_us` (CPU cost of an
-    /// embedded call), a round trip is *idle* time on the server: the
-    /// thread sleeps, and any locks a transaction holds stay held.
-    pub mixed_roundtrip_us: u64,
+    /// Client counts for the connection-scalability sweep (`conn-sweep`).
+    pub conn_counts: Vec<usize>,
     /// LinkBench graph size (node count) for the shard-count sweep — the
     /// headline claim is made at 1M+ nodes.
     pub shard_nodes: usize,
@@ -70,7 +70,7 @@ impl Default for ReproConfig {
             lb_ops: 400,
             lb_requesters: vec![1, 10, 100],
             call_overhead_us: 20,
-            mixed_roundtrip_us: 200,
+            conn_counts: vec![1, 8, 64, 256, 1024],
             shard_nodes: 1_000_000,
         }
     }
@@ -86,7 +86,7 @@ impl ReproConfig {
             lb_ops: 100,
             lb_requesters: vec![1, 4],
             call_overhead_us: 20,
-            mixed_roundtrip_us: 200,
+            conn_counts: vec![1, 8, 64],
             shard_nodes: 2_000,
         }
     }
@@ -931,35 +931,33 @@ pub fn shard_sweep(cfg: &ReproConfig) -> String {
     out
 }
 
-/// One mixed run: `readers` threads work through a fixed quota of read
-/// operations while `writers` threads stream write transactions
-/// continuously until the readers finish. Returns aggregate (read
-/// ops/sec, write ops/sec). Dedicated roles keep the writer pressure
-/// constant — in a closed-loop mix, blocked readers would stop issuing
-/// writes too, hiding exactly the reader/writer interference this
-/// experiment measures.
+/// One mixed run: `readers` client connections work through a fixed quota
+/// of read operations while `writers` connections stream write
+/// transactions continuously until the readers finish — every operation a
+/// real socket round trip against the wire-protocol server at `addr`
+/// (writes are explicit BEGIN … COMMIT sessions, one round trip per
+/// statement). Returns aggregate (read ops/sec, write ops/sec). Dedicated
+/// roles keep the writer pressure constant — in a closed-loop mix, blocked
+/// readers would stop issuing writes too, hiding exactly the
+/// reader/writer interference this experiment measures.
 fn run_mixed(
-    sql: &SqlGraph,
+    addr: SocketAddr,
     nodes: usize,
     readers: usize,
     writers: usize,
     reads_per_thread: usize,
     seed: u64,
-    roundtrip: Duration,
 ) -> (f64, f64) {
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrd};
     let stop = AtomicBool::new(false);
     let wrote = AtomicU64::new(0);
     let done = AtomicUsize::new(0);
-    let ops = MixedSqlOps {
-        graph: sql,
-        roundtrip,
-    };
     let start = Instant::now();
     crossbeam::thread::scope(|scope| {
         for w in 0..writers {
-            let (stop, wrote, ops) = (&stop, &wrote, &ops);
+            let (stop, wrote) = (&stop, &wrote);
             scope.spawn(move |_| {
+                let mut ops = RemoteMixedOps::connect(addr).expect("writer connects");
                 let mut wl = Workload::new(seed, 1_000 + w as u64, nodes, 32);
                 while !stop.load(AtomicOrd::Relaxed) {
                     let op = wl.next_op_mixed(1000);
@@ -969,8 +967,9 @@ fn run_mixed(
             });
         }
         for r in 0..readers {
-            let (stop, done, ops) = (&stop, &done, &ops);
+            let (stop, done) = (&stop, &done);
             scope.spawn(move |_| {
+                let mut ops = RemoteMixedOps::connect(addr).expect("reader connects");
                 let mut wl = Workload::new(seed, r as u64, nodes, 32);
                 for _ in 0..reads_per_thread {
                     let op = wl.next_op_mixed(0);
@@ -993,10 +992,11 @@ fn run_mixed(
 /// Mixed read/write LinkBench: MVCC snapshot reads vs the per-table-lock
 /// baseline.
 ///
-/// Reader threads run LinkBench read operations against one shared store
-/// while writer threads continuously execute client-driven write
-/// transactions (multi-statement, one round trip per statement — see
-/// [`MixedSqlOps`]). The *lock* columns re-run each cell with
+/// Reader connections run LinkBench read operations against one shared
+/// store behind the wire-protocol server while writer connections
+/// continuously execute client-driven write transactions
+/// (multi-statement, one real socket round trip per statement — see
+/// [`RemoteMixedOps`]). The *lock* columns re-run each cell with
 /// `set_coarse_writes(true)`, restoring pre-MVCC locking: a write
 /// transaction holds its lock from begin to commit and readers queue
 /// behind it. Under MVCC, readers execute against their snapshots and
@@ -1006,19 +1006,20 @@ pub fn throughput_mixed(cfg: &ReproConfig) -> String {
     let mut out = String::new();
     let nodes = cfg.lb_nodes.first().copied().unwrap_or(1_000);
     let data = linkbench::generate(&LinkBenchConfig::with_nodes(nodes));
-    let roundtrip = Duration::from_micros(cfg.mixed_roundtrip_us);
-    // Reader quota per thread: large enough that each cell measures a
-    // window of hundreds of milliseconds, not scheduler noise.
-    let reads_per_thread = cfg.lb_ops.max(100) * 20;
+    // Reader quota per connection: large enough that each cell measures a
+    // window of hundreds of milliseconds, not scheduler noise. Real
+    // loopback round trips are slower than the simulated ones this
+    // replaced, so the multiplier is smaller.
+    let reads_per_thread = cfg.lb_ops.max(100) * 5;
     let _ = writeln!(
         out,
         "Mixed read/write LinkBench — MVCC snapshot reads vs per-table-lock baseline\n\
-         scale: {} nodes, {} edges; {} read ops per reader thread; writers stream\n\
-         client-driven transactions ({}us per statement round trip)",
+         scale: {} nodes, {} edges; {} read ops per reader connection; writers stream\n\
+         client-driven transactions over the wire protocol (one TCP round trip per\n\
+         statement, loopback)",
         data.vertex_count(),
         data.edge_count(),
-        reads_per_thread,
-        cfg.mixed_roundtrip_us
+        reads_per_thread
     );
     let _ = writeln!(
         out,
@@ -1029,20 +1030,22 @@ pub fn throughput_mixed(cfg: &ReproConfig) -> String {
     // (readers, writers): 8-thread cells model the 90/10 and 50/50 mixes
     // by role split; smaller cells chart the trend.
     for &(readers, writers) in &[(1usize, 1usize), (3, 1), (7, 1), (4, 4)] {
-        // Fresh store per cell and mode so earlier mutations (and
-        // accumulated version chains) don't skew later cells.
+        // Fresh store and server per cell and mode so earlier mutations
+        // (and accumulated version chains) don't skew later cells.
         let run = |coarse: bool| {
-            let sql = build_sqlgraph(&data);
+            let sql = Arc::new(build_sqlgraph(&data));
             sql.database().set_coarse_writes(coarse);
-            run_mixed(
-                &sql,
+            let server = Server::start_local(Arc::clone(&sql)).expect("server starts");
+            let result = run_mixed(
+                server.local_addr(),
                 nodes,
                 readers,
                 writers,
                 reads_per_thread,
                 13,
-                roundtrip,
-            )
+            );
+            server.shutdown();
+            result
         };
         let (lock_rd, lock_wr) = run(true);
         let (mvcc_rd, mvcc_wr) = run(false);
@@ -1065,6 +1068,135 @@ pub fn throughput_mixed(cfg: &ReproConfig) -> String {
         out,
         "(headline: 8 threads, 7 readers + 1 writer (~90/10): MVCC reader throughput \
          is {headline:.1}x the per-table-lock baseline)"
+    );
+    out
+}
+
+/// Connection-scalability sweep: aggregate LinkBench read throughput and
+/// tail latency against one wire-protocol server as the number of
+/// concurrent client sockets grows (default 1/8/64/256/1024).
+///
+/// Every client is a real TCP connection issuing §5.2 read operations as
+/// framed round trips; the server multiplexes them onto its bounded
+/// worker pool, so past the pool size the sweep measures queueing — the
+/// dispatcher's frame assembly and the pool's fairness — rather than
+/// engine parallelism. The total operation budget is fixed per row, so
+/// high-connection rows measure many mostly-idle sockets (the LinkBench
+/// requester model) rather than proportionally more work.
+pub fn conn_sweep(cfg: &ReproConfig) -> String {
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrd};
+    use std::sync::{Barrier, Mutex};
+
+    let mut out = String::new();
+    let nodes = cfg.lb_nodes.first().copied().unwrap_or(1_000);
+    let data = linkbench::generate(&LinkBenchConfig::with_nodes(nodes));
+    let sql = Arc::new(build_sqlgraph(&data));
+    let server = Server::start_local(Arc::clone(&sql)).expect("server starts");
+    let addr = server.local_addr();
+    // Fixed total budget per row, with a floor so the widest rows still
+    // give every connection a few timed operations.
+    let total_ops = cfg.lb_ops.max(100) * 16;
+    let _ = writeln!(
+        out,
+        "Connection sweep — LinkBench reads over the wire protocol, one server\n\
+         scale: {} nodes, {} edges; ~{} total ops per row; {} worker threads",
+        data.vertex_count(),
+        data.edge_count(),
+        total_ops,
+        server.worker_count()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>12} {:>10} {:>9} {:>9} {:>9}",
+        "clients", "ops each", "ops/sec", "vs N=1", "p50 ms", "p95 ms", "p99 ms"
+    );
+    let mut base = 0.0f64;
+    for &n in &cfg.conn_counts {
+        let ops_each = (total_ops / n).max(8);
+        let collected = Arc::new(Mutex::new(LatencyStats::default()));
+        let connect_failures = Arc::new(AtomicUsize::new(0));
+        // All clients connect before the clock starts; the barrier holds
+        // them at the line so the timed window is pure steady state.
+        let barrier = Arc::new(Barrier::new(n + 1));
+        let handles: Vec<_> = (0..n)
+            .map(|r| {
+                let collected = Arc::clone(&collected);
+                let connect_failures = Arc::clone(&connect_failures);
+                let barrier = Arc::clone(&barrier);
+                std::thread::Builder::new()
+                    .name(format!("conn-sweep-{r}"))
+                    // Client threads only shuttle frames; small stacks
+                    // keep 1024 of them cheap.
+                    .stack_size(256 * 1024)
+                    .spawn(move || {
+                        // Retry the connect: a thousand simultaneous
+                        // SYNs can outrun the accept loop's backlog.
+                        let deadline = Instant::now() + Duration::from_secs(20);
+                        let mut ops = loop {
+                            match RemoteMixedOps::connect(addr) {
+                                Ok(c) => break Some(c),
+                                Err(_) if Instant::now() < deadline => {
+                                    std::thread::sleep(Duration::from_millis(10))
+                                }
+                                Err(_) => break None,
+                            }
+                        };
+                        barrier.wait();
+                        let Some(ops) = ops.as_mut() else {
+                            connect_failures.fetch_add(1, AtomicOrd::Relaxed);
+                            return 0usize;
+                        };
+                        let mut wl = Workload::new(23, r as u64, nodes, 32);
+                        let mut local = LatencyStats::default();
+                        let mut done = 0usize;
+                        for _ in 0..ops_each {
+                            let op = wl.next_op_mixed(0);
+                            let t0 = Instant::now();
+                            if ops.apply(&op).is_ok() {
+                                done += 1;
+                            }
+                            local.record(t0.elapsed());
+                        }
+                        collected.lock().expect("no poisoning").merge(&local);
+                        done
+                    })
+            })
+            .collect::<std::io::Result<Vec<_>>>()
+            .expect("spawn client threads");
+        barrier.wait();
+        let start = Instant::now();
+        let completed: usize = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let failures = connect_failures.load(AtomicOrd::Relaxed);
+        let tput = completed as f64 / elapsed;
+        if n == cfg.conn_counts[0] {
+            base = tput;
+        }
+        let stats = collected.lock().expect("no poisoning").clone();
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>12.0} {:>9.2}x {}{}",
+            n,
+            ops_each,
+            tput,
+            tput / base.max(1e-9),
+            tail_columns(&stats),
+            if failures > 0 {
+                format!("  ({failures} connects failed)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    server.shutdown();
+    let _ = writeln!(
+        out,
+        "(every client is a real TCP socket; the server's worker pool is bounded, so\n\
+         rows past the pool size measure dispatcher/queueing behaviour, not engine\n\
+         parallelism)"
     );
     out
 }

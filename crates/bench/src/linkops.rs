@@ -8,11 +8,12 @@
 //! one indexed SQL statement, writes run as the multi-table stored
 //! procedures.
 
-use sqlgraph_core::{ShardedGraph, SqlGraph};
+use sqlgraph_core::{GraphTxn, ShardedGraph, SqlGraph};
 use sqlgraph_datagen::linkbench::Op;
 use sqlgraph_gremlin::{Blueprints, Direction};
 use sqlgraph_json::Json;
-use sqlgraph_rel::Value;
+use sqlgraph_rel::{Relation, Value};
+use sqlgraph_server::Client;
 
 /// Execute one LinkBench operation. Errors from racing requesters (e.g.
 /// the node was deleted concurrently) are normal and reported as `Ok(false)`.
@@ -265,157 +266,262 @@ impl LinkOps for ShardedLinkOps<'_> {
     }
 }
 
-/// Client-driven transactional writes for the mixed throughput benchmark.
-///
-/// Reads behave exactly like [`SqlLinkOps`]: one SQL statement, one
-/// round trip. Writes run as explicit multi-statement graph transactions
-/// ([`SqlGraph::transaction`]) the way the paper's client executes its
-/// stored procedures — one round trip per statement *with the
-/// transaction open*. Under MVCC the open transaction costs readers
-/// nothing; under the per-table-lock baseline every round trip extends
-/// the window in which readers queue behind the writer. That difference
-/// is the quantity `throughput-mixed` measures.
+// ---------------------------------------------------------------------------
+// Mixed read/write drivers: one write script, two transports
+// ---------------------------------------------------------------------------
+
+/// One open transaction the mixed write script can drive, independent of
+/// transport: the in-process [`GraphTxn`] or a wire-protocol session with
+/// an open transaction. Having exactly one script run over both is what
+/// lets `remote_parity` assert that `statements_executed` accounting
+/// matches between embedded and remote execution.
+pub trait MixedTxn {
+    /// Run one SQL statement inside the transaction.
+    fn sql(&mut self, sql: &str, params: &[Value]) -> Result<Relation, String>;
+    /// Run one Gremlin CRUD statement inside the transaction.
+    fn gremlin(&mut self, q: &str) -> Result<Relation, String>;
+    /// The transaction's cumulative statement counter.
+    fn stmts(&self) -> u64;
+}
+
+impl MixedTxn for GraphTxn<'_> {
+    fn sql(&mut self, sql: &str, params: &[Value]) -> Result<Relation, String> {
+        self.sql_with_params(sql, params).map_err(|e| e.to_string())
+    }
+    fn gremlin(&mut self, q: &str) -> Result<Relation, String> {
+        self.query(q).map_err(|e| e.to_string())
+    }
+    fn stmts(&self) -> u64 {
+        self.statements_executed()
+    }
+}
+
+/// A [`Client`] whose session currently has an explicit transaction open.
+pub struct RemoteTxn<'c>(pub &'c mut Client);
+
+impl MixedTxn for RemoteTxn<'_> {
+    fn sql(&mut self, sql: &str, params: &[Value]) -> Result<Relation, String> {
+        self.0
+            .query_sql_with_params(sql, params)
+            .map_err(|e| e.to_string())
+    }
+    fn gremlin(&mut self, q: &str) -> Result<Relation, String> {
+        self.0.query_gremlin(q).map_err(|e| e.to_string())
+    }
+    fn stmts(&self) -> u64 {
+        self.0.statements_executed()
+    }
+}
+
+/// Gremlin literal for a property value.
+fn gremlin_lit(j: &Json) -> String {
+    match j {
+        Json::Num(n) if n.is_int() => n.as_i64().unwrap_or(0).to_string(),
+        Json::Num(n) => format!("{:?}", n.as_f64()),
+        Json::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+        other => format!("'{other}'"),
+    }
+}
+
+/// Gremlin map literal for a property list.
+fn gremlin_map(props: &[(String, Json)]) -> String {
+    props
+        .iter()
+        .map(|(k, v)| format!("'{k}':{}", gremlin_lit(v)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// `eid` of `(src) -ltype-> (dst)` read inside the transaction.
+fn find_link_tx<T: MixedTxn>(
+    tx: &mut T,
+    src: i64,
+    dst: i64,
+    ltype: &str,
+) -> Result<Option<i64>, String> {
+    let rel = tx.sql(
+        "SELECT eid FROM ea WHERE inv = ? AND outv = ? AND lbl = ?",
+        &[Value::Int(src), Value::Int(dst), Value::str(ltype)],
+    )?;
+    Ok(rel.rows.first().and_then(|r| r[0].as_int()))
+}
+
+/// The mixed benchmark's write script: the op's statements inside an
+/// already-open transaction. The caller commits on `Ok(true)` and rolls
+/// back on `Ok(false)` / `Err`. Statement-for-statement identical over
+/// both transports, so `MixedTxn::stmts` must agree at every step.
+pub fn apply_mixed_write<T: MixedTxn>(tx: &mut T, op: &Op) -> Result<bool, String> {
+    match op {
+        Op::AddNode { props } => {
+            tx.gremlin(&format!("g.addVertex([{}])", gremlin_map(props)))?;
+            Ok(true)
+        }
+        Op::UpdateNode { id } => {
+            let rel = tx.sql(
+                "SELECT JSON_VAL(attr, 'version') FROM va WHERE vid = ?",
+                &[Value::Int(*id)],
+            )?;
+            let Some(row) = rel.rows.first() else {
+                return Ok(false);
+            };
+            let version = row[0].as_int().unwrap_or(0);
+            tx.gremlin(&format!(
+                "g.v({id}).setProperty('version', {})",
+                version + 1
+            ))?;
+            Ok(true)
+        }
+        Op::DeleteNode { id } => {
+            // Racing delete is fine; the §4.5.2 procedure itself is
+            // several statements (edge deletes + negative-ID marks).
+            Ok(tx.gremlin(&format!("g.removeVertex({id})")).is_ok())
+        }
+        Op::AddLink { src, dst, ltype } => {
+            let q = format!(
+                "g.addEdge({src}, {dst}, '{ltype}', ['visibility':1, 'timestamp':1500000000])"
+            );
+            Ok(tx.gremlin(&q).is_ok())
+        }
+        Op::DeleteLink { src, dst, ltype } => match find_link_tx(tx, *src, *dst, ltype)? {
+            Some(e) => Ok(tx.gremlin(&format!("g.removeEdge({e})")).is_ok()),
+            None => Ok(false),
+        },
+        Op::UpdateLink { src, dst, ltype } => match find_link_tx(tx, *src, *dst, ltype)? {
+            Some(e) => Ok(tx
+                .gremlin(&format!("g.e({e}).setProperty('timestamp', 1600000000)"))
+                .is_ok()),
+            None => Ok(false),
+        },
+        _ => Err(format!("{} is not a write op", op.name())),
+    }
+}
+
+/// In-process mixed driver: reads are single SQL statements
+/// ([`SqlLinkOps`] behaviour), writes run the shared script inside a
+/// [`SqlGraph::transaction`].
 pub struct MixedSqlOps<'g> {
     /// The store.
     pub graph: &'g SqlGraph,
-    /// One client/server round trip, charged per statement.
-    pub roundtrip: std::time::Duration,
-}
-
-impl MixedSqlOps<'_> {
-    /// One client/server round trip. The server core is *idle* while the
-    /// client has the ball, so this sleeps (yields the CPU) rather than
-    /// busy-waiting — a writer that holds locks across round trips keeps
-    /// holding them while other threads could be doing useful work.
-    fn spin(&self, round_trips: u64) {
-        if self.roundtrip.is_zero() || round_trips == 0 {
-            return;
-        }
-        std::thread::sleep(self.roundtrip * round_trips as u32);
-    }
-
-    /// `eid` of `(src) -ltype-> (dst)` read inside the transaction.
-    fn find_link_tx(
-        tx: &mut sqlgraph_core::GraphTxn<'_>,
-        src: i64,
-        dst: i64,
-        ltype: &str,
-    ) -> Result<Option<i64>, String> {
-        let rel = tx
-            .sql_with_params(
-                "SELECT eid FROM ea WHERE inv = ? AND outv = ? AND lbl = ?",
-                &[Value::Int(src), Value::Int(dst), Value::str(ltype)],
-            )
-            .map_err(|e| e.to_string())?;
-        Ok(rel.rows.first().and_then(|r| r[0].as_int()))
-    }
 }
 
 impl LinkOps for MixedSqlOps<'_> {
     fn apply(&self, op: &Op) -> Result<bool, String> {
         if !op.is_write() {
-            // Single-statement reads: one statement, one round trip
-            // (modelled as idle time, same as the write path's).
-            let done = SqlLinkOps {
+            return SqlLinkOps {
                 graph: self.graph,
                 overhead: std::time::Duration::ZERO,
             }
             .apply(op);
-            self.spin(1);
-            return done;
         }
-        // Writes: BEGIN, then the op's statements, then COMMIT — one
-        // round trip per SQL statement the procedures actually execute
-        // (graph calls like add_edge run several: the EA insert plus
-        // adjacency maintenance). `charge` reads the transaction's
-        // statement counter and sleeps for the newly executed ones.
-        // Dropping the handle on an early return rolls back.
         let mut tx = self.graph.transaction();
-        self.spin(1); // BEGIN round trip
-        let seen = std::cell::Cell::new(0u64);
-        macro_rules! charge {
-            () => {{
-                let now = tx.statements_executed();
-                self.spin(now - seen.get());
-                seen.set(now);
-            }};
+        match apply_mixed_write(&mut tx, op) {
+            Ok(true) => {
+                tx.commit().map_err(|e| e.to_string())?;
+                Ok(true)
+            }
+            Ok(false) => {
+                tx.rollback();
+                Ok(false)
+            }
+            Err(e) => {
+                tx.rollback();
+                Err(e)
+            }
         }
-        let did_work = match op {
-            Op::AddNode { props } => {
-                tx.add_vertex(props).map_err(|e| e.to_string())?;
-                charge!();
-                true
+    }
+}
+
+/// Remote mixed driver: the same operations through a wire-protocol
+/// session — real socket round trips instead of the simulated
+/// `thread::sleep` ones this replaced. One instance per client thread
+/// (a [`Client`] is one connection).
+pub struct RemoteMixedOps {
+    /// The connection; `pub` so harnesses can reuse it for setup.
+    pub client: Client,
+}
+
+impl RemoteMixedOps {
+    /// Connect a fresh session to a running server.
+    pub fn connect(addr: std::net::SocketAddr) -> Result<RemoteMixedOps, String> {
+        Ok(RemoteMixedOps {
+            client: Client::connect(addr).map_err(|e| e.to_string())?,
+        })
+    }
+
+    /// Apply one LinkBench operation over the wire.
+    pub fn apply(&mut self, op: &Op) -> Result<bool, String> {
+        if !op.is_write() {
+            return self.apply_read(op);
+        }
+        self.client.begin().map_err(|e| e.to_string())?;
+        let outcome = apply_mixed_write(&mut RemoteTxn(&mut self.client), op);
+        match outcome {
+            Ok(true) => {
+                self.client.commit().map_err(|e| e.to_string())?;
+                Ok(true)
             }
-            Op::UpdateNode { id } => {
-                let rel = tx
-                    .sql_with_params(
-                        "SELECT JSON_VAL(attr, 'version') FROM va WHERE vid = ?",
-                        &[Value::Int(*id)],
-                    )
-                    .map_err(|e| e.to_string())?;
-                charge!();
-                let Some(row) = rel.rows.first() else {
-                    return Ok(false);
-                };
-                let version = row[0].as_int().unwrap_or(0);
-                tx.set_vertex_property(*id, "version", &Json::int(version + 1))
-                    .map_err(|e| e.to_string())?;
-                charge!();
-                true
+            Ok(false) => {
+                let _ = self.client.rollback();
+                Ok(false)
             }
-            Op::DeleteNode { id } => {
-                // Racing delete is fine; the §4.5.2 procedure itself is
-                // several statements (edge deletes + negative-ID marks).
-                let removed = tx.remove_vertex(*id);
-                charge!();
-                if removed.is_err() {
-                    return Ok(false);
+            Err(e) => {
+                // The server may have already aborted the transaction
+                // (conflict); a failed rollback of a closed transaction
+                // is fine.
+                if self.client.in_transaction() {
+                    let _ = self.client.rollback();
                 }
-                true
+                Err(e)
             }
-            Op::AddLink { src, dst, ltype } => {
-                let props = vec![
-                    ("visibility".to_string(), Json::int(1)),
-                    ("timestamp".to_string(), Json::int(1_500_000_000)),
-                ];
-                let added = tx.add_edge(*src, *dst, ltype, &props);
-                charge!();
-                if added.is_err() {
-                    return Ok(false);
-                }
-                true
-            }
-            Op::DeleteLink { src, dst, ltype } => {
-                let found = Self::find_link_tx(&mut tx, *src, *dst, ltype)?;
-                charge!();
-                match found {
-                    Some(e) => {
-                        let ok = tx.remove_edge(e).is_ok();
-                        charge!();
-                        ok
-                    }
-                    None => return Ok(false),
-                }
-            }
-            Op::UpdateLink { src, dst, ltype } => {
-                let found = Self::find_link_tx(&mut tx, *src, *dst, ltype)?;
-                charge!();
-                match found {
-                    Some(e) => {
-                        let ok = tx
-                            .set_edge_property(e, "timestamp", &Json::int(1_600_000_000))
-                            .is_ok();
-                        charge!();
-                        ok
-                    }
-                    None => return Ok(false),
-                }
-            }
-            _ => unreachable!("read ops handled above"),
+        }
+    }
+
+    /// Reads: the same single indexed statements [`SqlLinkOps`] issues,
+    /// as one wire round trip each.
+    fn apply_read(&mut self, op: &Op) -> Result<bool, String> {
+        let c = &mut self.client;
+        let run = |c: &mut Client, sql: &str, params: &[Value]| {
+            c.query_sql_with_params(sql, params)
+                .map_err(|e| e.to_string())
         };
-        tx.commit().map_err(|e| e.to_string())?;
-        self.spin(1); // COMMIT round trip
-        Ok(did_work)
+        match op {
+            Op::GetNode { id } => {
+                run(c, "SELECT attr FROM va WHERE vid = ?", &[Value::Int(*id)])?;
+                Ok(true)
+            }
+            Op::CountLink { id, ltype } => {
+                run(
+                    c,
+                    "SELECT COUNT(*) FROM ea WHERE inv = ? AND lbl = ?",
+                    &[Value::Int(*id), Value::str(*ltype)],
+                )?;
+                Ok(true)
+            }
+            Op::MultigetLink { src, dsts, ltype } => {
+                let list = dsts
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                run(
+                    c,
+                    &format!(
+                        "SELECT eid, outv FROM ea WHERE inv = ? AND lbl = ? AND outv IN ({list})"
+                    ),
+                    &[Value::Int(*src), Value::str(*ltype)],
+                )?;
+                Ok(true)
+            }
+            Op::GetLinkList { id, ltype } => {
+                run(
+                    c,
+                    "SELECT eid, outv, attr FROM ea WHERE inv = ? AND lbl = ?",
+                    &[Value::Int(*id), Value::str(*ltype)],
+                )?;
+                Ok(true)
+            }
+            other => Err(format!("{} is not a read op", other.name())),
+        }
     }
 }
 

@@ -1,0 +1,180 @@
+//! Remote/in-process parity: the mixed benchmark's write script must
+//! behave *identically* whether it runs over an embedded [`GraphTxn`] or
+//! a wire-protocol session — same effectiveness per op, same
+//! `statements_executed` accounting at every step, same final store
+//! contents. This is the regression net for the `throughput-mixed`
+//! driver: if remote execution ever charges a different number of
+//! statements (or silently diverges in effect), the benchmark would be
+//! comparing different workloads, not different transports.
+
+use sqlgraph_bench::linkops::{apply_mixed_write, MixedTxn, RemoteTxn};
+use sqlgraph_core::SqlGraph;
+use sqlgraph_datagen::linkbench::{generate, LinkBenchConfig, Workload};
+use sqlgraph_server::{Client, Server};
+use std::sync::Arc;
+
+fn canon_rows(rel: &sqlgraph_rel::Relation) -> Vec<String> {
+    let mut rows: Vec<String> = rel.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// Full canonical dump of both attribute tables.
+fn dump(graph: &SqlGraph) -> (Vec<String>, Vec<String>) {
+    let va = graph
+        .database()
+        .execute("SELECT vid, attr FROM va")
+        .unwrap();
+    let ea = graph
+        .database()
+        .execute("SELECT eid, inv, outv, lbl, attr FROM ea")
+        .unwrap();
+    (canon_rows(&va), canon_rows(&ea))
+}
+
+#[test]
+fn statement_accounting_matches_across_transports() {
+    let config = LinkBenchConfig {
+        nodes: 60,
+        ..LinkBenchConfig::default()
+    };
+    let data = generate(&config);
+
+    // Two identical stores: `local` driven embedded, `remote` through a
+    // live wire-protocol server.
+    let local = SqlGraph::new_in_memory();
+    data.load_blueprints(&local).unwrap();
+    let remote = Arc::new(SqlGraph::new_in_memory());
+    data.load_blueprints(remote.as_ref()).unwrap();
+    let server = Server::start_local(Arc::clone(&remote)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The same deterministic write stream against both. Replaying one op
+    // at a time keeps the stores lock-step, so any divergence points at
+    // the transport, not at racing workloads.
+    let mut wl = Workload::new(41, 7, config.nodes, 8);
+    let mut writes = 0u32;
+    let mut effective = 0u32;
+    while writes < 150 {
+        let op = wl.next_op_mixed(1000);
+        if !op.is_write() {
+            continue;
+        }
+        writes += 1;
+
+        let (local_ok, local_stmts) = {
+            let mut tx = local.transaction();
+            let outcome = apply_mixed_write(&mut tx, &op);
+            let stmts = tx.stmts();
+            match outcome {
+                Ok(true) => {
+                    tx.commit().unwrap();
+                    (Ok(true), stmts)
+                }
+                Ok(false) => {
+                    tx.rollback();
+                    (Ok(false), stmts)
+                }
+                Err(e) => {
+                    tx.rollback();
+                    (Err(e), stmts)
+                }
+            }
+        };
+
+        let (remote_ok, remote_stmts) = {
+            client.begin().unwrap();
+            let mut tx = RemoteTxn(&mut client);
+            let outcome = apply_mixed_write(&mut tx, &op);
+            let stmts = tx.stmts();
+            match outcome {
+                Ok(true) => {
+                    client.commit().unwrap();
+                    (Ok(true), stmts)
+                }
+                Ok(false) => {
+                    client.rollback().unwrap();
+                    (Ok(false), stmts)
+                }
+                Err(e) => {
+                    if client.in_transaction() {
+                        let _ = client.rollback();
+                    }
+                    (Err(e), stmts)
+                }
+            }
+        };
+
+        assert_eq!(
+            local_ok.is_ok(),
+            remote_ok.is_ok(),
+            "outcome kind diverged on {op:?}: local {local_ok:?}, remote {remote_ok:?}"
+        );
+        if let (Ok(a), Ok(b)) = (&local_ok, &remote_ok) {
+            assert_eq!(a, b, "write effectiveness diverged on {op:?}");
+            if *a {
+                effective += 1;
+            }
+        }
+        assert_eq!(
+            local_stmts, remote_stmts,
+            "statements_executed diverged on {op:?} (after {writes} writes): \
+             local charged {local_stmts}, remote charged {remote_stmts}"
+        );
+    }
+    assert!(effective > 20, "workload too inert to prove anything");
+
+    // After 150 lock-step write transactions, the stores must be
+    // byte-identical row for row.
+    drop(client);
+    server.shutdown();
+    assert_eq!(dump(&local), dump(&remote), "final store contents diverged");
+}
+
+#[test]
+fn remote_reads_return_the_same_relations() {
+    let config = LinkBenchConfig {
+        nodes: 60,
+        ..LinkBenchConfig::default()
+    };
+    let data = generate(&config);
+    let graph = Arc::new(SqlGraph::new_in_memory());
+    data.load_blueprints(graph.as_ref()).unwrap();
+    let server = Server::start_local(Arc::clone(&graph)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The read statements the benchmark drivers issue, spot-checked over
+    // both transports for every node id.
+    for vid in 1..=60i64 {
+        for (sql, params) in [
+            (
+                "SELECT attr FROM va WHERE vid = ?",
+                vec![sqlgraph_rel::Value::Int(vid)],
+            ),
+            (
+                "SELECT COUNT(*) FROM ea WHERE inv = ? AND lbl = ?",
+                vec![
+                    sqlgraph_rel::Value::Int(vid),
+                    sqlgraph_rel::Value::str("l0"),
+                ],
+            ),
+            (
+                "SELECT eid, outv, attr FROM ea WHERE inv = ? AND lbl = ?",
+                vec![
+                    sqlgraph_rel::Value::Int(vid),
+                    sqlgraph_rel::Value::str("l1"),
+                ],
+            ),
+        ] {
+            let embedded = graph.database().execute_with_params(sql, &params).unwrap();
+            let wire = client.query_sql_with_params(sql, &params).unwrap();
+            assert_eq!(
+                canon_rows(&embedded),
+                canon_rows(&wire),
+                "diverged on {sql}"
+            );
+            assert_eq!(embedded.columns, wire.columns, "columns diverged on {sql}");
+        }
+    }
+    server.shutdown();
+}

@@ -559,6 +559,21 @@ impl SqlGraph {
         }
     }
 
+    /// [`SqlGraph::transaction`] without blocking: `None` if another
+    /// transaction (or an autocommit mutation / checkpoint) holds the
+    /// mutation lock. The wire server's session threads poll this instead
+    /// of parking in `transaction()`, so a shutdown request can interrupt
+    /// a `BEGIN` that is queued behind a long-lived transaction.
+    pub fn try_transaction(&self) -> Option<GraphTxn<'_>> {
+        let exclusive = self.mutation_lock.try_write()?;
+        Some(GraphTxn {
+            txn: self.db.begin(),
+            layout: self.layout.read().clone(),
+            graph: self,
+            _exclusive: exclusive,
+        })
+    }
+
     /// Add a vertex with properties; returns its id.
     pub fn add_vertex<'p>(
         &self,

@@ -510,6 +510,14 @@ impl Database {
         Ok(stmt)
     }
 
+    /// Validate `sql` and warm the shared prepared-statement cache (the
+    /// wire server's `Prepare` path). Parse errors surface here rather
+    /// than at execute time; later executions of the same text — from any
+    /// session — hit the cache.
+    pub fn prepare(&self, sql: &str) -> Result<()> {
+        self.parse_cached(sql).map(|_| ())
+    }
+
     /// Number of cached prepared statements (test hook).
     pub fn stmt_cache_len(&self) -> usize {
         self.stmt_cache.read().len()

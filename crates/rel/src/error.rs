@@ -44,5 +44,66 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl Error {
+    /// Stable numeric code for the wire protocol's typed error frames.
+    /// Codes 1–8 are reserved for this enum; the server crate layers its
+    /// own codes (protocol violations, auth, shutdown, …) above 8.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            Error::Parse { .. } => 1,
+            Error::NotFound(_) => 2,
+            Error::Schema(_) => 3,
+            Error::Type(_) => 4,
+            Error::Invalid(_) => 5,
+            Error::Wal(_) => 6,
+            Error::RolledBack(_) => 7,
+            Error::TxnConflict(_) => 8,
+        }
+    }
+
+    /// Auxiliary `u32` carried alongside the code (byte offset for parse
+    /// errors, 0 otherwise).
+    pub fn wire_aux(&self) -> u32 {
+        match self {
+            Error::Parse { offset, .. } => u32::try_from(*offset).unwrap_or(u32::MAX),
+            _ => 0,
+        }
+    }
+
+    /// The message field for the wire frame (without the variant prefix,
+    /// which [`Error::from_wire`] restores from the code).
+    pub fn wire_message(&self) -> &str {
+        match self {
+            Error::Parse { message, .. } => message,
+            Error::NotFound(m)
+            | Error::Schema(m)
+            | Error::Type(m)
+            | Error::Invalid(m)
+            | Error::Wal(m)
+            | Error::RolledBack(m)
+            | Error::TxnConflict(m) => m,
+        }
+    }
+
+    /// Reconstruct an engine error from its wire representation; `None`
+    /// for codes outside the 1–8 range this enum owns.
+    pub fn from_wire(code: u8, aux: u32, message: &str) -> Option<Error> {
+        Some(match code {
+            1 => Error::Parse {
+                offset: aux as usize,
+                message: message.to_string(),
+            },
+            2 => Error::NotFound(message.to_string()),
+            3 => Error::Schema(message.to_string()),
+            4 => Error::Type(message.to_string()),
+            5 => Error::Invalid(message.to_string()),
+            6 => Error::Wal(message.to_string()),
+            7 => Error::RolledBack(message.to_string()),
+            8 => Error::TxnConflict(message.to_string()),
+            _ => return None,
+        })
+    }
+}
+
 /// Convenience alias used throughout the engine.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,984 @@
+//! The wire-protocol server: accept thread + frame dispatcher + bounded
+//! worker pool, with dedicated session threads for open transactions.
+//!
+//! ## Threading model
+//!
+//! * **Accept thread** — non-blocking `accept` loop; hands sockets to the
+//!   dispatcher over a channel. Refuses connections over the cap.
+//! * **Dispatcher thread** — owns every connection's read half
+//!   (non-blocking). Each sweep it drains readable sockets into
+//!   per-connection buffers, cuts complete frames, and routes them: to the
+//!   session's transaction thread if one is open, otherwise onto the
+//!   bounded worker pool's MPMC queue. One frame per connection is in
+//!   flight at a time (later frames stay buffered — pipelining works, but
+//!   responses come back in order). The dispatcher also enforces frame
+//!   size limits and idle timeouts, and runs the graceful drain.
+//! * **Worker pool** — `workers` threads executing autocommit requests.
+//!   The pool is deliberately small (default ≲ the core count): hundreds
+//!   of sockets multiplex onto it, and the statements themselves can fan
+//!   out through `rel::parallel`'s morsel workers, so an oversized pool
+//!   would oversubscribe the machine.
+//! * **Transaction threads** — `BEGIN` moves the session onto a dedicated
+//!   thread that owns the `GraphTxn` until commit/rollback. At most one
+//!   graph transaction runs at a time (the store's mutation lock is
+//!   exclusive), so these threads mostly wait; they exist so a transaction
+//!   blocked on the mutation lock can never starve the worker pool that
+//!   must process the lock holder's `COMMIT`. Sessions queued on `BEGIN`
+//!   poll [`SqlGraph::try_transaction`] so shutdown can interrupt them.
+//!
+//! Dropping the [`Server`] (or calling [`Server::shutdown`]) drains:
+//! in-flight requests finish and their responses are flushed, open
+//! transactions roll back, then sockets close.
+
+use crate::protocol::{ErrorCode, Request, Response, MAX_FRAME_DEFAULT, PROTO_VERSION};
+use parking_lot::Mutex;
+use sqlgraph_core::{CoreError, GraphTxn, SqlGraph};
+use sqlgraph_rel::{Relation, Value};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs. `Default` is sized for tests and the bench harness.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub bind: SocketAddr,
+    /// Worker-pool size for autocommit requests.
+    pub workers: usize,
+    /// Per-frame body size limit (both directions).
+    pub max_frame: usize,
+    /// Expected handshake token (empty = accept any empty token).
+    pub auth_token: String,
+    /// Close connections idle longer than this (no open transaction).
+    pub idle_timeout: Duration,
+    /// Roll back and close a session whose open transaction sits idle
+    /// longer than this — a stalled client cannot wedge the store's
+    /// mutation lock forever.
+    pub txn_idle_timeout: Duration,
+    /// Give up on `BEGIN` if the store transaction cannot be acquired
+    /// within this long (another session holds it).
+    pub txn_acquire_timeout: Duration,
+    /// Refuse sockets beyond this many concurrent connections.
+    pub max_connections: usize,
+    /// Refuse `BEGIN` beyond this many concurrently open transactions
+    /// (each costs a thread parked on the mutation lock).
+    pub max_txn_sessions: usize,
+    /// Upper bound on the graceful drain at shutdown.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServerConfig {
+            bind: "127.0.0.1:0".parse().expect("literal addr"),
+            workers: cores.clamp(2, 8),
+            max_frame: MAX_FRAME_DEFAULT,
+            auth_token: String::new(),
+            idle_timeout: Duration::from_secs(60),
+            txn_idle_timeout: Duration::from_secs(5),
+            txn_acquire_timeout: Duration::from_secs(10),
+            max_connections: 2048,
+            max_txn_sessions: 64,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotone counters exposed for tests and monitoring.
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    active: AtomicUsize,
+    open_txns: AtomicUsize,
+    frames: AtomicU64,
+    proto_errors: AtomicU64,
+    panics: AtomicU64,
+}
+
+struct Shared {
+    engine: Arc<SqlGraph>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+/// Message to a session's transaction thread.
+enum TxnMsg {
+    Frame(Vec<u8>),
+}
+
+/// Mutable per-session state, shared by dispatcher / workers / txn thread.
+struct SessState {
+    hello: bool,
+    next_stmt: u32,
+    stmts: HashMap<u32, String>,
+    /// `Some` while an explicit transaction is open: frames route to the
+    /// transaction thread behind this sender.
+    txn: Option<mpsc::Sender<TxnMsg>>,
+}
+
+/// One connection's session, shared across threads via `Arc`.
+struct Sess {
+    id: u64,
+    /// Write half (cloned handle; non-blocking like the read half).
+    wr: Mutex<TcpStream>,
+    state: Mutex<SessState>,
+    /// Exactly one request per connection is processed at a time.
+    in_flight: AtomicBool,
+    /// Set to close the connection once the in-flight request finishes.
+    kill: AtomicBool,
+}
+
+impl Sess {
+    /// Serialize and send a response; on write failure mark the
+    /// connection dead (the dispatcher reaps it).
+    fn reply(&self, resp: &Response) {
+        let body = resp.encode();
+        let mut wr = self.wr.lock();
+        if write_frame_nb(&mut wr, &body, Duration::from_secs(10)).is_err() {
+            self.kill.store(true, Ordering::Release);
+        }
+    }
+
+    fn reply_error(&self, code: ErrorCode, message: impl Into<String>) {
+        self.reply(&Response::Error {
+            code,
+            aux: 0,
+            message: message.into(),
+        });
+    }
+}
+
+/// A running server. Dropping it performs a graceful shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `engine` with default configuration on an
+    /// ephemeral loopback port.
+    pub fn start_local(engine: Arc<SqlGraph>) -> std::io::Result<Server> {
+        Server::start(engine, ServerConfig::default())
+    }
+
+    /// Bind and start serving.
+    pub fn start(engine: Arc<SqlGraph>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(cfg.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+
+        let (conn_tx, conn_rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sqlgraph-accept".into())
+                .spawn(move || accept_loop(&shared, listener, conn_tx))?
+        };
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sqlgraph-dispatch".into())
+                .spawn(move || dispatch_loop(&shared, conn_rx, job_tx))?
+        };
+        let mut workers = Vec::new();
+        for i in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = job_rx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sqlgraph-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, rx))?,
+            );
+        }
+        drop(job_rx);
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Size of the worker pool serving autocommit requests.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Currently open connections.
+    pub fn active_connections(&self) -> usize {
+        self.shared.stats.active.load(Ordering::Acquire)
+    }
+
+    /// Currently open explicit transactions.
+    pub fn open_transactions(&self) -> usize {
+        self.shared.stats.open_txns.load(Ordering::Acquire)
+    }
+
+    /// Total frames dispatched.
+    pub fn frames_processed(&self) -> u64 {
+        self.shared.stats.frames.load(Ordering::Acquire)
+    }
+
+    /// Malformed frames / handshake violations seen.
+    pub fn protocol_errors(&self) -> u64 {
+        self.shared.stats.proto_errors.load(Ordering::Acquire)
+    }
+
+    /// Request handlers that panicked (each replied `Internal` and closed
+    /// only its own connection).
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.stats.panics.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish
+    /// and flush their responses, roll back open transactions, close
+    /// sockets, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Transaction threads are detached; the dispatcher's drain waited
+        // for open_txns to hit zero (bounded by drain_timeout).
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept thread
+// ---------------------------------------------------------------------
+
+fn accept_loop(
+    shared: &Shared,
+    listener: TcpListener,
+    conn_tx: crossbeam::channel::Sender<TcpStream>,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((sock, _)) => {
+                if shared.stats.active.load(Ordering::Acquire) >= shared.cfg.max_connections {
+                    drop(sock); // refuse: over the cap
+                    continue;
+                }
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                if conn_tx.send(sock).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------
+
+struct Job {
+    sess: Arc<Sess>,
+    body: Vec<u8>,
+}
+
+struct Conn {
+    sock: TcpStream,
+    buf: Vec<u8>,
+    sess: Arc<Sess>,
+    last: Instant,
+    /// Client half-closed; reap once the in-flight request finishes.
+    eof: bool,
+}
+
+fn dispatch_loop(
+    shared: &Arc<Shared>,
+    conn_rx: crossbeam::channel::Receiver<TcpStream>,
+    job_tx: crossbeam::channel::Sender<Job>,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 1;
+    let mut scratch = vec![0u8; 64 * 1024];
+
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut progressed = false;
+
+        // Adopt new connections.
+        while let Ok(sock) = conn_rx.try_recv() {
+            if sock.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let Ok(wr) = sock.try_clone() else { continue };
+            let id = next_id;
+            next_id += 1;
+            let sess = Arc::new(Sess {
+                id,
+                wr: Mutex::new(wr),
+                state: Mutex::new(SessState {
+                    hello: false,
+                    next_stmt: 1,
+                    stmts: HashMap::new(),
+                    txn: None,
+                }),
+                in_flight: AtomicBool::new(false),
+                kill: AtomicBool::new(false),
+            });
+            shared.stats.active.fetch_add(1, Ordering::AcqRel);
+            conns.insert(
+                id,
+                Conn {
+                    sock,
+                    buf: Vec::new(),
+                    sess,
+                    last: Instant::now(),
+                    eof: false,
+                },
+            );
+            progressed = true;
+        }
+
+        let mut dead: Vec<u64> = Vec::new();
+        for (&id, conn) in conns.iter_mut() {
+            let in_flight = conn.sess.in_flight.load(Ordering::Acquire);
+            if conn.sess.kill.load(Ordering::Acquire) && !in_flight {
+                dead.push(id);
+                continue;
+            }
+
+            // Pull bytes. Cap buffering at one max frame plus headroom so a
+            // pipelining client cannot balloon memory.
+            if conn.buf.len() < shared.cfg.max_frame + 4 {
+                match conn.sock.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        if !in_flight {
+                            dead.push(id);
+                            continue;
+                        }
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&scratch[..n]);
+                        conn.last = Instant::now();
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        dead.push(id);
+                        continue;
+                    }
+                }
+            }
+
+            // Cut and route one frame if the session is free.
+            if !conn.sess.in_flight.load(Ordering::Acquire) && conn.buf.len() >= 4 {
+                let len = u32::from_le_bytes(conn.buf[..4].try_into().unwrap()) as usize;
+                if len > shared.cfg.max_frame {
+                    shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    conn.sess.reply_error(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "frame of {len} bytes exceeds limit {}",
+                            shared.cfg.max_frame
+                        ),
+                    );
+                    dead.push(id);
+                    continue;
+                }
+                if conn.buf.len() >= 4 + len {
+                    let body: Vec<u8> = conn.buf.drain(..4 + len).skip(4).collect();
+                    conn.sess.in_flight.store(true, Ordering::Release);
+                    shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+                    conn.last = Instant::now();
+                    progressed = true;
+                    route(&conn.sess, body, &job_tx);
+                }
+            }
+
+            // Idle reaping (transaction idleness is handled by the
+            // transaction thread's own recv timeout).
+            let has_txn = conn.sess.state.lock().txn.is_some();
+            if !in_flight && !has_txn && !conn.eof && conn.last.elapsed() > shared.cfg.idle_timeout
+            {
+                conn.sess.reply_error(ErrorCode::Timeout, "idle timeout");
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            if let Some(conn) = conns.remove(&id) {
+                close_conn(shared, conn);
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    drain(shared, conns, job_tx);
+}
+
+/// Route one complete frame: transaction thread if the session has one,
+/// otherwise the worker pool.
+fn route(sess: &Arc<Sess>, body: Vec<u8>, job_tx: &crossbeam::channel::Sender<Job>) {
+    let st = sess.state.lock();
+    if let Some(tx) = &st.txn {
+        if tx.send(TxnMsg::Frame(body)).is_ok() {
+            return;
+        }
+        // The transaction thread already exited (idle timeout); it set
+        // `kill`, so just release the in-flight slot and let the reaper
+        // close the connection.
+        drop(st);
+        sess.in_flight.store(false, Ordering::Release);
+        sess.kill.store(true, Ordering::Release);
+        return;
+    }
+    drop(st);
+    let _ = job_tx.send(Job {
+        sess: Arc::clone(sess),
+        body,
+    });
+}
+
+fn close_conn(shared: &Shared, conn: Conn) {
+    // Dropping the transaction sender makes the session's transaction
+    // thread roll back and exit.
+    conn.sess.state.lock().txn = None;
+    shared.stats.active.fetch_sub(1, Ordering::AcqRel);
+    let _ = conn.sock.shutdown(std::net::Shutdown::Both);
+}
+
+/// Graceful drain: let in-flight requests finish and flush, roll back
+/// open transactions, then close every socket.
+fn drain(
+    shared: &Arc<Shared>,
+    mut conns: HashMap<u64, Conn>,
+    job_tx: crossbeam::channel::Sender<Job>,
+) {
+    let deadline = Instant::now() + shared.cfg.drain_timeout;
+
+    // Wait for in-flight autocommit requests (their responses flush from
+    // the worker threads). Keep `job_tx` alive until they finish so the
+    // workers' queue does not disconnect under them.
+    while Instant::now() < deadline
+        && conns
+            .values()
+            .any(|c| c.sess.in_flight.load(Ordering::Acquire))
+    {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    drop(job_tx);
+
+    // Drop transaction senders: session threads observe the disconnect,
+    // roll back, and clear the open-transaction gauge.
+    for conn in conns.values() {
+        conn.sess.state.lock().txn = None;
+    }
+    while Instant::now() < deadline && shared.stats.open_txns.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    for (_, conn) in conns.drain() {
+        conn.sess
+            .reply_error(ErrorCode::ShuttingDown, "server shutting down");
+        close_conn(shared, conn);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker pool (autocommit requests)
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>, rx: crossbeam::channel::Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_autocommit(shared, &job)));
+        match outcome {
+            // `true` means a transaction thread took over the session and
+            // owns the in-flight slot now.
+            Ok(true) => {}
+            Ok(false) => job.sess.in_flight.store(false, Ordering::Release),
+            Err(_) => {
+                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                job.sess
+                    .reply_error(ErrorCode::Internal, "request handler panicked");
+                job.sess.kill.store(true, Ordering::Release);
+                job.sess.in_flight.store(false, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// SQL text forms of the transaction-control frames, accepted through
+/// `QuerySql` for clients that speak plain SQL.
+enum SqlClass<'a> {
+    Begin,
+    Commit,
+    Rollback,
+    Other(&'a str),
+}
+
+fn classify(sql: &str) -> SqlClass<'_> {
+    let t = sql.trim().trim_end_matches(';').trim();
+    if t.eq_ignore_ascii_case("begin") {
+        SqlClass::Begin
+    } else if t.eq_ignore_ascii_case("commit") {
+        SqlClass::Commit
+    } else if t.eq_ignore_ascii_case("rollback") {
+        SqlClass::Rollback
+    } else {
+        SqlClass::Other(sql)
+    }
+}
+
+/// Handle one frame outside a transaction. Returns `true` when a
+/// transaction thread was spawned and now owns the session's in-flight
+/// slot.
+fn handle_autocommit(shared: &Arc<Shared>, job: &Job) -> bool {
+    let sess = &job.sess;
+    let req = match Request::decode(&job.body) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
+            sess.reply_error(ErrorCode::Protocol, e.to_string());
+            sess.kill.store(true, Ordering::Release);
+            return false;
+        }
+    };
+
+    // Handshake gate.
+    if !sess.state.lock().hello {
+        let Request::Hello { proto, token } = &req else {
+            shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
+            sess.reply_error(ErrorCode::Protocol, "handshake required before requests");
+            sess.kill.store(true, Ordering::Release);
+            return false;
+        };
+        if *proto != PROTO_VERSION {
+            sess.reply_error(
+                ErrorCode::Auth,
+                format!("unsupported protocol version {proto}"),
+            );
+            sess.kill.store(true, Ordering::Release);
+            return false;
+        }
+        if *token != shared.cfg.auth_token {
+            sess.reply_error(ErrorCode::Auth, "bad token");
+            sess.kill.store(true, Ordering::Release);
+            return false;
+        }
+        sess.state.lock().hello = true;
+        sess.reply(&Response::HelloOk { session: sess.id });
+        return false;
+    }
+
+    match req {
+        Request::Hello { .. } => {
+            sess.reply_error(ErrorCode::Protocol, "duplicate handshake");
+            sess.kill.store(true, Ordering::Release);
+            false
+        }
+        Request::Ping => {
+            sess.reply(&Response::Ok { stmts: 0 });
+            false
+        }
+        Request::Close => {
+            sess.reply(&Response::Ok { stmts: 0 });
+            sess.kill.store(true, Ordering::Release);
+            false
+        }
+        Request::Prepare { sql } => {
+            match shared.engine.database().prepare(&sql) {
+                Ok(()) => {
+                    let mut st = sess.state.lock();
+                    let id = st.next_stmt;
+                    st.next_stmt += 1;
+                    st.stmts.insert(id, sql);
+                    drop(st);
+                    sess.reply(&Response::PrepareOk { stmt: id });
+                }
+                Err(e) => sess.reply(&Response::from_rel_error(&e)),
+            }
+            false
+        }
+        Request::Begin => begin_txn(shared, sess),
+        Request::Commit | Request::Rollback => {
+            sess.reply_error(ErrorCode::Invalid, "no open transaction");
+            false
+        }
+        Request::QuerySql { sql, params } => match classify(&sql) {
+            SqlClass::Begin => begin_txn(shared, sess),
+            SqlClass::Commit | SqlClass::Rollback => {
+                sess.reply_error(ErrorCode::Invalid, "no open transaction");
+                false
+            }
+            SqlClass::Other(text) => {
+                run_sql_autocommit(shared, sess, text, &params);
+                false
+            }
+        },
+        Request::Execute { stmt, params } => {
+            let sql = sess.state.lock().stmts.get(&stmt).cloned();
+            match sql {
+                Some(text) => run_sql_autocommit(shared, sess, &text, &params),
+                None => sess.reply_error(
+                    ErrorCode::Invalid,
+                    format!("unknown prepared statement {stmt}"),
+                ),
+            }
+            false
+        }
+        Request::QueryGremlin { gremlin } => {
+            match shared.engine.query(&gremlin) {
+                Ok(rel) => sess.reply(&Response::ResultSet { stmts: 1, rel }),
+                Err(e) => sess.reply(&Response::from_core_error(&e)),
+            }
+            false
+        }
+    }
+}
+
+fn run_sql_autocommit(shared: &Arc<Shared>, sess: &Arc<Sess>, sql: &str, params: &[Value]) {
+    match shared.engine.database().execute_with_params(sql, params) {
+        Ok(rel) => sess.reply(&Response::ResultSet { stmts: 1, rel }),
+        Err(e) => sess.reply(&Response::from_rel_error(&e)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transaction threads
+// ---------------------------------------------------------------------
+
+/// Reserve a transaction slot and move the session onto a dedicated
+/// thread. The worker's in-flight slot transfers to the new thread, which
+/// replies to the `BEGIN` once the store transaction is acquired.
+fn begin_txn(shared: &Arc<Shared>, sess: &Arc<Sess>) -> bool {
+    {
+        let st = sess.state.lock();
+        if st.txn.is_some() {
+            drop(st);
+            sess.reply_error(ErrorCode::Invalid, "transaction already open");
+            return false;
+        }
+    }
+    let slots = &shared.stats.open_txns;
+    if slots.fetch_add(1, Ordering::AcqRel) >= shared.cfg.max_txn_sessions {
+        slots.fetch_sub(1, Ordering::AcqRel);
+        sess.reply_error(
+            ErrorCode::Busy,
+            format!(
+                "open-transaction limit ({}) reached",
+                shared.cfg.max_txn_sessions
+            ),
+        );
+        return false;
+    }
+    let (tx, rx) = mpsc::channel::<TxnMsg>();
+    sess.state.lock().txn = Some(tx);
+    let shared2 = Arc::clone(shared);
+    let sess2 = Arc::clone(sess);
+    let spawned = std::thread::Builder::new()
+        .name("sqlgraph-txn".into())
+        .spawn(move || txn_thread(&shared2, &sess2, rx))
+        .is_ok();
+    if !spawned {
+        sess.state.lock().txn = None;
+        slots.fetch_sub(1, Ordering::AcqRel);
+        sess.reply_error(ErrorCode::Busy, "could not spawn transaction thread");
+        return false;
+    }
+    true
+}
+
+/// Clears the session's transaction registration on every exit path,
+/// including panics (the `GraphTxn` itself rolls back via its own Drop).
+struct TxnGuard<'a> {
+    shared: &'a Shared,
+    sess: &'a Sess,
+}
+
+impl Drop for TxnGuard<'_> {
+    fn drop(&mut self) {
+        self.sess.state.lock().txn = None;
+        self.shared.stats.open_txns.fetch_sub(1, Ordering::AcqRel);
+        self.sess.in_flight.store(false, Ordering::Release);
+    }
+}
+
+fn txn_thread(shared: &Arc<Shared>, sess: &Arc<Sess>, rx: mpsc::Receiver<TxnMsg>) {
+    let guard = TxnGuard { shared, sess };
+    let outcome = catch_unwind(AssertUnwindSafe(|| txn_session(shared, sess, &rx)));
+    if outcome.is_err() {
+        shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+        sess.reply_error(ErrorCode::Internal, "transaction handler panicked");
+        sess.kill.store(true, Ordering::Release);
+    }
+    drop(guard);
+}
+
+fn txn_session(shared: &Arc<Shared>, sess: &Arc<Sess>, rx: &mpsc::Receiver<TxnMsg>) {
+    // Acquire the store transaction, polling so shutdown can interrupt.
+    let deadline = Instant::now() + shared.cfg.txn_acquire_timeout;
+    let mut txn: GraphTxn<'_> = loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            sess.reply_error(ErrorCode::ShuttingDown, "server shutting down");
+            sess.kill.store(true, Ordering::Release);
+            return;
+        }
+        if let Some(t) = shared.engine.try_transaction() {
+            break t;
+        }
+        if Instant::now() > deadline {
+            sess.reply_error(
+                ErrorCode::Busy,
+                "timed out waiting for the store transaction",
+            );
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    sess.reply(&Response::Ok { stmts: 0 });
+    sess.in_flight.store(false, Ordering::Release);
+
+    loop {
+        match rx.recv_timeout(shared.cfg.txn_idle_timeout) {
+            Ok(TxnMsg::Frame(body)) => {
+                match txn_frame(shared, sess, txn, &body) {
+                    Some(t) => {
+                        txn = t;
+                        sess.in_flight.store(false, Ordering::Release);
+                    }
+                    None => return, // committed / rolled back / fatal
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Stalled client holding the mutation lock: roll back and
+                // kick the connection.
+                txn.rollback();
+                sess.reply_error(ErrorCode::Timeout, "transaction idle timeout; rolled back");
+                sess.kill.store(true, Ordering::Release);
+                return;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Connection closed or server draining: roll back.
+                txn.rollback();
+                return;
+            }
+        }
+    }
+}
+
+/// Handle one frame inside a transaction. Returns the transaction if it
+/// stays open, `None` if it ended (the guard in `txn_thread` clears the
+/// session registration; `in_flight` is cleared here on the ended paths).
+fn txn_frame<'g>(
+    shared: &Shared,
+    sess: &Sess,
+    txn: GraphTxn<'g>,
+    body: &[u8],
+) -> Option<GraphTxn<'g>> {
+    let req = match Request::decode(body) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
+            txn.rollback();
+            sess.reply_error(ErrorCode::Protocol, e.to_string());
+            sess.kill.store(true, Ordering::Release);
+            return None;
+        }
+    };
+    match req {
+        Request::Hello { .. } => {
+            txn.rollback();
+            sess.reply_error(ErrorCode::Protocol, "duplicate handshake");
+            sess.kill.store(true, Ordering::Release);
+            None
+        }
+        Request::Ping => {
+            let stmts = txn.statements_executed();
+            sess.reply(&Response::Ok { stmts });
+            Some(txn)
+        }
+        Request::Close => {
+            txn.rollback();
+            sess.reply(&Response::Ok { stmts: 0 });
+            sess.kill.store(true, Ordering::Release);
+            None
+        }
+        Request::Begin => {
+            sess.reply_error(ErrorCode::Invalid, "transaction already open");
+            Some(txn)
+        }
+        Request::Commit => {
+            let stmts = txn.statements_executed();
+            match txn.commit() {
+                Ok(()) => sess.reply(&Response::Ok { stmts }),
+                Err(e) => sess.reply(&Response::from_core_error(&e)),
+            }
+            None
+        }
+        Request::Rollback => {
+            let stmts = txn.statements_executed();
+            txn.rollback();
+            sess.reply(&Response::Ok { stmts });
+            None
+        }
+        Request::Prepare { sql } => {
+            match shared.engine.database().prepare(&sql) {
+                Ok(()) => {
+                    let mut st = sess.state.lock();
+                    let id = st.next_stmt;
+                    st.next_stmt += 1;
+                    st.stmts.insert(id, sql);
+                    drop(st);
+                    sess.reply(&Response::PrepareOk { stmt: id });
+                }
+                Err(e) => sess.reply(&Response::from_rel_error(&e)),
+            }
+            Some(txn)
+        }
+        Request::QuerySql { sql, params } => match classify(&sql) {
+            SqlClass::Begin => {
+                sess.reply_error(ErrorCode::Invalid, "transaction already open");
+                Some(txn)
+            }
+            SqlClass::Commit => {
+                let stmts = txn.statements_executed();
+                match txn.commit() {
+                    Ok(()) => sess.reply(&Response::Ok { stmts }),
+                    Err(e) => sess.reply(&Response::from_core_error(&e)),
+                }
+                None
+            }
+            SqlClass::Rollback => {
+                let stmts = txn.statements_executed();
+                txn.rollback();
+                sess.reply(&Response::Ok { stmts });
+                None
+            }
+            SqlClass::Other(text) => txn_statement(sess, txn, |t| t.sql_with_params(text, &params)),
+        },
+        Request::Execute { stmt, params } => {
+            let sql = sess.state.lock().stmts.get(&stmt).cloned();
+            match sql {
+                Some(text) => txn_statement(sess, txn, |t| t.sql_with_params(&text, &params)),
+                None => {
+                    sess.reply_error(
+                        ErrorCode::Invalid,
+                        format!("unknown prepared statement {stmt}"),
+                    );
+                    Some(txn)
+                }
+            }
+        }
+        Request::QueryGremlin { gremlin } => txn_statement(sess, txn, |t| t.query(&gremlin)),
+    }
+}
+
+/// Run one statement inside the transaction. Recoverable errors (bad SQL,
+/// missing vertex, …) leave the transaction open, matching in-process
+/// `GraphTxn` semantics; a first-updater-wins conflict aborts it — the
+/// snapshot can no longer commit, so the server rolls back and the client
+/// retries from `BEGIN`.
+fn txn_statement<'g>(
+    sess: &Sess,
+    mut txn: GraphTxn<'g>,
+    f: impl FnOnce(&mut GraphTxn<'g>) -> Result<Relation, CoreError>,
+) -> Option<GraphTxn<'g>> {
+    match f(&mut txn) {
+        Ok(rel) => {
+            let stmts = txn.statements_executed();
+            sess.reply(&Response::ResultSet { stmts, rel });
+            Some(txn)
+        }
+        Err(e) => {
+            let fatal = matches!(
+                &e,
+                CoreError::Rel(
+                    sqlgraph_rel::Error::TxnConflict(_)
+                        | sqlgraph_rel::Error::RolledBack(_)
+                        | sqlgraph_rel::Error::Wal(_)
+                )
+            );
+            sess.reply(&Response::from_core_error(&e));
+            if fatal {
+                txn.rollback();
+                None
+            } else {
+                Some(txn)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Non-blocking write helper
+// ---------------------------------------------------------------------
+
+/// `write_frame` over a non-blocking socket: spin out `WouldBlock` with
+/// short sleeps until `timeout`.
+fn write_frame_nb(sock: &mut TcpStream, body: &[u8], timeout: Duration) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    let deadline = Instant::now() + timeout;
+    let mut off = 0;
+    while off < frame.len() {
+        match sock.write(&frame[off..]) {
+            Ok(0) => return Err(std::io::Error::new(ErrorKind::WriteZero, "socket closed")),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(std::io::Error::new(ErrorKind::TimedOut, "write timed out"));
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

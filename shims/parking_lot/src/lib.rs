@@ -96,6 +96,16 @@ impl RawRwLock {
         s.writer = true;
     }
 
+    fn try_lock_exclusive(&self) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if s.writer || s.readers > 0 {
+            false
+        } else {
+            s.writer = true;
+            true
+        }
+    }
+
     fn unlock_exclusive(&self) {
         let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
         s.writer = false;
@@ -143,6 +153,16 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.raw.lock_exclusive();
         RwLockWriteGuard { lock: self }
+    }
+
+    /// Exclusive lock without blocking: `None` if any reader or writer
+    /// holds the lock (parking_lot's `try_write`).
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        if self.raw.try_lock_exclusive() {
+            Some(RwLockWriteGuard { lock: self })
+        } else {
+            None
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {

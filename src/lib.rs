@@ -27,3 +27,4 @@ pub use sqlgraph_datagen as datagen;
 pub use sqlgraph_gremlin as gremlin;
 pub use sqlgraph_json as json;
 pub use sqlgraph_rel as rel;
+pub use sqlgraph_server as server;
